@@ -1,0 +1,203 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper's evaluation (see DESIGN.md §2 for the experiment index and
+// EXPERIMENTS.md for recorded paper-vs-measured values). Each benchmark
+// prints the same rows/series the paper reports; benchmarks that train
+// neural models run one iteration of the full experiment at the unit scale
+// (use `cmd/genie experiment <name> -scale small|full` for the larger runs).
+package repro_test
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/genie"
+	"repro/internal/model"
+	"repro/internal/nltemplate"
+	"repro/internal/runtime"
+	"repro/internal/synthesis"
+	"repro/internal/thingpedia"
+	"repro/internal/thingtalk"
+)
+
+var benchScale = genie.Unit
+
+// --- Paper tables and figures ---------------------------------------------------
+
+// BenchmarkFig7TrainingSetCharacteristics regenerates Fig. 7 (training-set
+// composition: primitive / +filters / compound / +param-passing / +filters).
+func BenchmarkFig7TrainingSetCharacteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig7(benchScale, 1)
+		if i == 0 {
+			b.StopTimer()
+			res.Print(os.Stdout)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkFig8TrainingStrategies regenerates Fig. 8 (synthesized-only vs
+// paraphrase-only vs Genie on the four evaluation sets).
+func BenchmarkFig8TrainingStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig8(benchScale, 1)
+		if i == 0 {
+			b.StopTimer()
+			res.Print(os.Stdout)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkTable3Ablations regenerates Table 3 (the feature ablation study).
+func BenchmarkTable3Ablations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table3(benchScale, 1)
+		if i == 0 {
+			b.StopTimer()
+			res.Print(os.Stdout)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkFig9CaseStudies regenerates Fig. 9 (Spotify, TACL and TT+A;
+// Baseline vs Genie).
+func BenchmarkFig9CaseStudies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig9(benchScale, 1)
+		if i == 0 {
+			b.StopTimer()
+			res.Print(os.Stdout)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkSynthesisStatistics regenerates the §5.2 dataset statistics
+// (synthesized-set size, vocabulary growth, paraphrase novelty).
+func BenchmarkSynthesisStatistics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Stats(benchScale, 1)
+		if i == 0 {
+			b.StopTimer()
+			res.Print(os.Stdout)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkErrorAnalysis regenerates the §5.5 error ladder.
+func BenchmarkErrorAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Errors(benchScale, 1)
+		if i == 0 {
+			b.StopTimer()
+			res.Print(os.Stdout)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkParaphraseLimitation regenerates §5.2's "limitation of paraphrase
+// tests" experiment (the Wang-et-al methodology scored three ways).
+func BenchmarkParaphraseLimitation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Limitation(benchScale, 1)
+		if i == 0 {
+			b.StopTimer()
+			res.Print(os.Stdout)
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkIFTTTCleanup regenerates Table 2 (IFTTT cleanup-rule activity).
+func BenchmarkIFTTTCleanup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.IFTTTCleanup(benchScale, 1)
+		if i == 0 {
+			b.StopTimer()
+			res.Print(os.Stdout)
+			b.StartTimer()
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks --------------------------------------------------
+
+func BenchmarkSynthesis(b *testing.B) {
+	lib := thingpedia.Builtin()
+	g := nltemplate.StandardGrammar(lib, nltemplate.DefaultOptions)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		synthesis.Synthesize(g, synthesis.Config{TargetPerRule: 24, MaxDepth: 4, Seed: int64(i), Schemas: lib})
+	}
+}
+
+func BenchmarkParseProgram(b *testing.B) {
+	src := `monitor ( @com.twitter.timeline filter param:author == " pldi " ) => @com.twitter.retweet param:tweet_id = param:tweet_id`
+	for i := 0; i < b.N; i++ {
+		if _, err := thingtalk.ParseProgram(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTypecheckAndCanonicalize(b *testing.B) {
+	lib := thingpedia.Builtin()
+	prog, err := thingtalk.ParseProgram(
+		`now => @com.dropbox.list_folder filter param:file_size > 10 unit:MB and ( param:is_folder == false or param:modified_time > date:start_of_week ) => notify`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := thingtalk.Typecheck(prog, lib); err != nil {
+			b.Fatal(err)
+		}
+		thingtalk.Canonicalize(prog, lib)
+	}
+}
+
+func BenchmarkTrainingStep(b *testing.B) {
+	pairs := []model.Pair{{
+		Src: []string{"post", "hello", "world", "on", "twitter"},
+		Tgt: []string{"now", "=>", "@com.twitter.post", "param:status", "=", `"`, "hello", "world", `"`},
+	}}
+	cfg := model.Config{EmbedDim: 32, HiddenDim: 48, LR: 1e-3, Epochs: 1,
+		EvalEvery: 1 << 30, PointerGen: true, MaxDecodeLen: 16, MinVocabCount: 1, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Train(pairs, nil, nil, cfg)
+	}
+}
+
+func BenchmarkRuntimeExecution(b *testing.B) {
+	lib := thingpedia.Builtin()
+	exec := runtime.NewExecutor(lib)
+	runtime.RegisterAll(exec, lib, 1)
+	prog, err := thingtalk.ParseProgram(
+		`now => @com.nytimes.get_front_page join @com.yandex.translate on param:text = param:title => notify`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exec.Run(prog, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParameterExpansion(b *testing.B) {
+	lib := thingpedia.Builtin()
+	d := genie.BuildData(lib, nltemplate.DefaultOptions, genie.Unit, 1)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.TrainingExamples(genie.StrategyGenie, rng)
+	}
+}

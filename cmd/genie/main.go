@@ -1,0 +1,112 @@
+// Command genie runs the Genie pipeline and the paper's experiments.
+//
+// Usage:
+//
+//	genie synthesize [-scale unit|small|full] [-n 10]
+//	genie experiment fig7|fig8|table3|fig9|stats|errors|limitation|ifttt [-scale ...] [-seed N]
+//	genie experiment all [-scale ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/genie"
+	"repro/internal/nltemplate"
+	"repro/internal/thingpedia"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "synthesize":
+		cmdSynthesize(os.Args[2:])
+	case "experiment":
+		cmdExperiment(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: genie synthesize|experiment [args]")
+	fmt.Fprintln(os.Stderr, "  genie synthesize -scale unit -n 10")
+	fmt.Fprintln(os.Stderr, "  genie experiment fig7|fig8|table3|fig9|stats|errors|limitation|ifttt|all -scale unit -seed 1")
+	os.Exit(2)
+}
+
+func scaleFlag(fs *flag.FlagSet) *string {
+	return fs.String("scale", "unit", "scale preset: unit, small or full")
+}
+
+func resolveScale(name string) genie.Scale {
+	s, ok := genie.ScaleByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "genie: unknown scale %q\n", name)
+		os.Exit(2)
+	}
+	return s
+}
+
+func cmdSynthesize(args []string) {
+	fs := flag.NewFlagSet("synthesize", flag.ExitOnError)
+	scaleName := scaleFlag(fs)
+	n := fs.Int("n", 10, "examples to print")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	scale := resolveScale(*scaleName)
+
+	lib := thingpedia.Builtin()
+	d := genie.BuildData(lib, nltemplate.DefaultOptions, scale, *seed)
+	fmt.Printf("synthesized %d sentences, %d paraphrases\n", len(d.Synth), len(d.Paraphrases))
+	for i := 0; i < *n && i < len(d.Synth); i++ {
+		fmt.Printf("  NL: %s\n  TT: %s\n", d.Synth[i].Sentence(), d.Synth[i].Program)
+	}
+}
+
+func cmdExperiment(args []string) {
+	if len(args) < 1 {
+		usage()
+	}
+	which := args[0]
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	scaleName := scaleFlag(fs)
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args[1:])
+	scale := resolveScale(*scaleName)
+
+	run := func(name string) {
+		switch name {
+		case "fig7":
+			experiments.Fig7(scale, *seed).Print(os.Stdout)
+		case "fig8":
+			experiments.Fig8(scale, *seed).Print(os.Stdout)
+		case "table3":
+			experiments.Table3(scale, *seed).Print(os.Stdout)
+		case "fig9":
+			experiments.Fig9(scale, *seed).Print(os.Stdout)
+		case "stats":
+			experiments.Stats(scale, *seed).Print(os.Stdout)
+		case "errors":
+			experiments.Errors(scale, *seed).Print(os.Stdout)
+		case "limitation":
+			experiments.Limitation(scale, *seed).Print(os.Stdout)
+		case "ifttt":
+			experiments.IFTTTCleanup(scale, *seed).Print(os.Stdout)
+		default:
+			usage()
+		}
+		fmt.Println()
+	}
+	if which == "all" {
+		for _, name := range []string{"stats", "fig7", "ifttt", "limitation", "fig8", "table3", "fig9", "errors"} {
+			run(name)
+		}
+		return
+	}
+	run(which)
+}

@@ -1,0 +1,95 @@
+// Command thingtalk is a language tool for ThingTalk programs: it parses,
+// typechecks, canonicalizes, describes and executes programs against the
+// built-in simulated skill library.
+//
+// Usage:
+//
+//	thingtalk check 'now => @com.thecatapi.get => notify'
+//	thingtalk canon 'now => @x.y param:b = 1 param:a = 2 => notify'
+//	thingtalk describe 'monitor ( @com.twitter.timeline ) => notify'
+//	thingtalk run -ticks 5 'monitor ( @org.thingpedia.weather.current ) => notify'
+//	thingtalk library
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/runtime"
+	"repro/internal/thingpedia"
+	"repro/internal/thingtalk"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	lib := thingpedia.Builtin()
+	switch os.Args[1] {
+	case "check":
+		prog := parse(lib, argText(os.Args[2:]))
+		fmt.Println("ok:", prog)
+	case "canon":
+		prog := parse(lib, argText(os.Args[2:]))
+		fmt.Println(thingtalk.Canonicalize(prog, lib))
+	case "describe":
+		prog := parse(lib, argText(os.Args[2:]))
+		fmt.Println(thingtalk.Describe(prog, lib))
+	case "run":
+		fs := flag.NewFlagSet("run", flag.ExitOnError)
+		ticks := fs.Int("ticks", 1, "simulated timeline length")
+		fs.Parse(os.Args[2:])
+		prog := parse(lib, argText(fs.Args()))
+		exec := runtime.NewExecutor(lib)
+		runtime.RegisterAll(exec, lib, 42)
+		notifs, err := exec.Run(thingtalk.Canonicalize(prog, lib), *ticks)
+		if err != nil {
+			fatal(err)
+		}
+		for _, n := range notifs {
+			fmt.Printf("[t=%d] %s\n", n.Tick, n.Message)
+		}
+		for _, a := range exec.Actions {
+			fmt.Printf("[t=%d] executed %s\n", a.Tick, a.Selector)
+		}
+	case "library":
+		st := lib.Stats()
+		fmt.Printf("%d skills, %d functions (%d queries, %d actions), %d parameters, %d templates\n",
+			st.Skills, st.Functions, st.Queries, st.Actions, st.DistinctParams, st.Primitives)
+		for _, c := range lib.Classes() {
+			fmt.Printf("  @%s (%d functions)\n", c.Name, len(c.Functions))
+		}
+	default:
+		usage()
+	}
+}
+
+func argText(args []string) string {
+	if len(args) == 0 {
+		usage()
+	}
+	return strings.Join(args, " ")
+}
+
+func parse(lib *thingpedia.Library, src string) *thingtalk.Program {
+	prog, err := thingtalk.ParseProgram(src)
+	if err != nil {
+		fatal(err)
+	}
+	if err := thingtalk.Typecheck(prog, lib); err != nil {
+		fatal(err)
+	}
+	return prog
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thingtalk:", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: thingtalk check|canon|describe|run|library [program]")
+	os.Exit(2)
+}

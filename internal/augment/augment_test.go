@@ -1,0 +1,136 @@
+package augment
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/params"
+	"repro/internal/thingtalk"
+)
+
+func slottedExample() dataset.Example {
+	prog := &thingtalk.Program{
+		Stream: thingtalk.Now(),
+		Query: thingtalk.Invoke("com.thecatapi", "get",
+			thingtalk.In("count", thingtalk.SlotValue(thingtalk.NumberType{}, 1))),
+		Action: &thingtalk.Action{Invocation: &thingtalk.Invocation{
+			Class: "com.twitter", Function: "post",
+			In: []thingtalk.InputParam{{Name: "status", Value: func() thingtalk.Value {
+				v := thingtalk.SlotValue(thingtalk.StringType{}, 2)
+				v.SlotParam = "status"
+				return v
+			}()}},
+		}},
+	}
+	prog.Query.Invocation.In[0].Value.SlotParam = "count"
+	return dataset.Example{
+		Words:   []string{"get", "__slot_1", "cats", "and", "tweet", "__slot_2"},
+		Program: prog,
+		Group:   dataset.GroupSynthesized,
+	}
+}
+
+func TestInstantiateReplacesSlots(t *testing.T) {
+	e := slottedExample()
+	inst, err := Instantiate(&e, params.NewSampler(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := inst.Sentence()
+	if strings.Contains(s, "__slot_") {
+		t.Fatalf("slots left in sentence: %s", s)
+	}
+	if !strings.Contains(s, "NUMBER_0") {
+		t.Errorf("number should normalize to NUMBER_0: %s", s)
+	}
+	p := inst.Program.String()
+	if strings.Contains(p, "__slot_") {
+		t.Fatalf("slots left in program: %s", p)
+	}
+	if !strings.Contains(p, "NUMBER_0") {
+		t.Errorf("program should carry NUMBER_0: %s", p)
+	}
+	// The string parameter's words must appear in both sentence and program.
+	var status []string
+	for _, ip := range inst.Program.Action.Invocation.In {
+		status = ip.Value.Words
+	}
+	if len(status) == 0 || !strings.Contains(s, strings.Join(status, " ")) {
+		t.Errorf("copied string mismatch: sentence=%q value=%v", s, status)
+	}
+	// Original untouched.
+	if !strings.Contains(e.Sentence(), "__slot_1") {
+		t.Error("Instantiate mutated its input")
+	}
+}
+
+func TestInstantiateDeterministicPerSeed(t *testing.T) {
+	e := slottedExample()
+	a, _ := Instantiate(&e, params.NewSampler(), rand.New(rand.NewSource(5)))
+	b, _ := Instantiate(&e, params.NewSampler(), rand.New(rand.NewSource(5)))
+	if a.Sentence() != b.Sentence() {
+		t.Error("same seed should give same instantiation")
+	}
+}
+
+func TestExpandFactors(t *testing.T) {
+	e := slottedExample()
+	out := Expand([]dataset.Example{e}, ExpansionFactors{SynthesizedPrimitive: 5, Synthesized: 1}, params.NewSampler(), rand.New(rand.NewSource(2)))
+	// The example is compound (two functions) so factor Synthesized=1... it
+	// has two functions, so factor 1 applies.
+	if len(out) != 1 {
+		t.Fatalf("compound synthesized should expand once, got %d", len(out))
+	}
+	// Expansion multiplies only when values can differ; numbers normalize
+	// to NUMBER_0, so use the string-valued action as the primitive.
+	prim := e.Clone()
+	prim.Program.Query = nil
+	prim.Words = []string{"tweet", "__slot_2"}
+	out2 := Expand([]dataset.Example{prim}, ExpansionFactors{SynthesizedPrimitive: 5, Synthesized: 1}, params.NewSampler(), rand.New(rand.NewSource(3)))
+	if len(out2) < 3 {
+		t.Fatalf("primitive should expand several times, got %d", len(out2))
+	}
+}
+
+func TestPPDBVariantsPreserveSlotsAndProgram(t *testing.T) {
+	e := dataset.Example{
+		Words:   []string{"get", "a", "picture", "of", "NUMBER_0", "cats"},
+		Program: &thingtalk.Program{Stream: thingtalk.Now(), Query: thingtalk.Invoke("com.thecatapi", "get"), Action: thingtalk.Notify()},
+		Group:   dataset.GroupParaphrase,
+	}
+	vars := PPDBVariants(&e, 3, rand.New(rand.NewSource(4)))
+	if len(vars) == 0 {
+		t.Fatal("no PPDB variants")
+	}
+	for _, v := range vars {
+		if v.Sentence() == e.Sentence() {
+			t.Error("variant identical to original")
+		}
+		if !strings.Contains(v.Sentence(), "NUMBER_0") {
+			t.Error("placeholder destroyed by PPDB")
+		}
+		if v.Program.String() != e.Program.String() {
+			t.Error("PPDB changed the program")
+		}
+	}
+}
+
+func TestNormalizeSentence(t *testing.T) {
+	words := strings.Fields("set the volume to 11 and the other volume to 11 then 42 dollars $5")
+	norm, mapping := NormalizeSentence(words)
+	s := strings.Join(norm, " ")
+	if !strings.Contains(s, "NUMBER_0") || !strings.Contains(s, "NUMBER_1") {
+		t.Fatalf("numbers not normalized: %s", s)
+	}
+	if strings.Count(s, "NUMBER_0") != 2 {
+		t.Errorf("repeated literal should reuse its index: %s", s)
+	}
+	if !strings.Contains(s, "CURRENCY_0") {
+		t.Errorf("currency not normalized: %s", s)
+	}
+	if mapping["NUMBER_0"] != "11" || mapping["NUMBER_1"] != "42" {
+		t.Errorf("mapping wrong: %v", mapping)
+	}
+}

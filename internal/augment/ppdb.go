@@ -1,0 +1,149 @@
+package augment
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// PPDB-style augmentation (Section 3.3): meaning-preserving lexical
+// substitutions applied to paraphrase data. The table below plays the role
+// of the Paraphrase Database; substitutions never touch placeholders or
+// parameter values, so the program stays valid.
+
+var ppdbTable = map[string][]string{
+	"get":      {"fetch", "retrieve", "grab", "pull up"},
+	"show":     {"display", "present"},
+	"tell":     {"inform", "let"},
+	"send":     {"dispatch", "shoot"},
+	"post":     {"publish", "put up"},
+	"picture":  {"photo", "image", "pic"},
+	"photo":    {"picture", "pic"},
+	"message":  {"note", "text"},
+	"when":     {"whenever", "every time", "as soon as"},
+	"new":      {"fresh", "latest"},
+	"latest":   {"newest", "most recent"},
+	"every":    {"each"},
+	"notify":   {"ping", "alert"},
+	"me":       {},
+	"make":     {"create"},
+	"create":   {"make", "set up"},
+	"delete":   {"remove", "erase"},
+	"remove":   {"delete", "take off"},
+	"find":     {"locate", "look for", "search for"},
+	"search":   {"look"},
+	"start":    {"begin", "kick off"},
+	"stop":     {"halt", "end"},
+	"turn":     {"switch", "flip"},
+	"play":     {"put on", "start playing"},
+	"add":      {"append", "put"},
+	"check":    {"look at", "inspect"},
+	"change":   {"modify", "alter"},
+	"changes":  {"is different", "updates"},
+	"big":      {"large", "huge"},
+	"bigger":   {"larger"},
+	"small":    {"little", "tiny"},
+	"quick":    {"fast", "speedy"},
+	"funny":    {"hilarious", "amusing"},
+	"house":    {"home"},
+	"folder":   {"directory"},
+	"file":     {"document"},
+	"song":     {"track", "tune"},
+	"music":    {"tunes", "audio"},
+	"weather":  {"forecast"},
+	"articles": {"stories", "pieces"},
+	"posts":    {"updates", "entries"},
+	"emails":   {"mail", "messages"},
+	"car":      {"ride", "vehicle"},
+	"want":     {"need", "would like"},
+	"about":    {"regarding", "on"},
+	"below":    {"under", "beneath"},
+	"above":    {"over", "beyond"},
+	"before":   {"prior to"},
+	"after":    {"following"},
+	"receive":  {"get"},
+	"buy":      {"purchase"},
+	"morning":  {"am"},
+	"evening":  {"night"},
+}
+
+// PPDBVariants produces up to max augmented copies of an example, each
+// substituting one or two table words; the original is not included.
+func PPDBVariants(e *dataset.Example, maxVariants int, rng *rand.Rand) []dataset.Example {
+	// Find substitutable positions.
+	type sub struct {
+		pos     int
+		choices []string
+	}
+	var subs []sub
+	for i, w := range e.Words {
+		if strings.HasPrefix(w, "__slot_") || isPlaceholderToken(w) {
+			continue
+		}
+		if choices := ppdbTable[w]; len(choices) > 0 {
+			subs = append(subs, sub{pos: i, choices: choices})
+		}
+	}
+	if len(subs) == 0 {
+		return nil
+	}
+	var out []dataset.Example
+	seen := map[string]bool{e.Sentence(): true}
+	attempts := maxVariants * 3
+	for a := 0; a < attempts && len(out) < maxVariants; a++ {
+		v := e.Clone()
+		n := 1 + rng.Intn(2)
+		for k := 0; k < n; k++ {
+			s := subs[rng.Intn(len(subs))]
+			repl := s.choices[rng.Intn(len(s.choices))]
+			words := append([]string(nil), v.Words[:s.pos]...)
+			words = append(words, strings.Fields(repl)...)
+			words = append(words, v.Words[s.pos+1:]...)
+			if len(strings.Fields(repl)) != 1 {
+				// Multi-word replacement shifts positions; apply only one.
+				v.Words = words
+				break
+			}
+			v.Words = words
+		}
+		key := v.Sentence()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, v)
+	}
+	return out
+}
+
+func isPlaceholderToken(w string) bool {
+	i := strings.LastIndexByte(w, '_')
+	if i <= 0 || i == len(w)-1 {
+		return false
+	}
+	switch w[:i] {
+	case "NUMBER", "DATE", "TIME", "LOCATION", "CURRENCY", "DURATION":
+		for _, c := range w[i+1:] {
+			if c < '0' || c > '9' {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// AugmentParaphrases applies PPDB augmentation to every paraphrase example
+// in the list, returning the originals plus variants.
+func AugmentParaphrases(examples []dataset.Example, variantsPer int, rng *rand.Rand) []dataset.Example {
+	out := make([]dataset.Example, 0, len(examples)*2)
+	for i := range examples {
+		out = append(out, examples[i])
+		if examples[i].Group != dataset.GroupParaphrase {
+			continue
+		}
+		out = append(out, PPDBVariants(&examples[i], variantsPer, rng)...)
+	}
+	return out
+}

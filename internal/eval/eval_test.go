@@ -1,0 +1,94 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/thingtalk"
+)
+
+// canned decoder returns fixed token sequences per sentence.
+type canned map[string][]string
+
+func (c canned) Parse(words []string) []string { return c[strings.Join(words, " ")] }
+
+func schemas() thingtalk.SchemaMap {
+	m := thingtalk.SchemaMap{}
+	m.Add(&thingtalk.FunctionSchema{Class: "a.b", Name: "q", Kind: thingtalk.KindQuery, List: true,
+		Params: []thingtalk.ParamSpec{{Name: "x", Dir: thingtalk.DirOut, Type: thingtalk.NumberType{}},
+			{Name: "text", Dir: thingtalk.DirOut, Type: thingtalk.StringType{}}}})
+	m.Add(&thingtalk.FunctionSchema{Class: "a.b", Name: "q2", Kind: thingtalk.KindQuery,
+		Params: []thingtalk.ParamSpec{{Name: "y", Dir: thingtalk.DirOut, Type: thingtalk.NumberType{}}}})
+	m.Add(&thingtalk.FunctionSchema{Class: "c.d", Name: "act", Kind: thingtalk.KindAction,
+		Params: []thingtalk.ParamSpec{{Name: "msg", Dir: thingtalk.DirInOpt, Type: thingtalk.StringType{}}}})
+	return m
+}
+
+func example(src, sentence string) dataset.Example {
+	p, err := thingtalk.ParseProgram(src)
+	if err != nil {
+		panic(err)
+	}
+	return dataset.Example{Words: strings.Fields(sentence), Program: p}
+}
+
+func TestEvaluateLadder(t *testing.T) {
+	sch := schemas()
+	gold := `now => @a.b.q => notify`
+	cases := []struct {
+		name   string
+		out    string
+		expect func(Report) bool
+	}{
+		{"exact", `now => @a.b.q => notify`, func(r Report) bool { return r.Correct == 1 && r.SyntaxOK == 1 }},
+		{"param order irrelevant", `now => @a.b.q => notify ;`, func(r Report) bool { return r.Correct == 1 }},
+		{"syntax error", `now => => notify`, func(r Report) bool { return r.Correct == 0 && r.SyntaxOK == 0 }},
+		{"type error", `now => @a.b.nosuch => notify`, func(r Report) bool { return r.SyntaxOK == 0 }},
+		{"wrong function same shape", `now => @a.b.q2 => notify`, func(r Report) bool {
+			return r.Correct == 0 && r.SyntaxOK == 1 && r.PrimCompoundOK == 1 && r.SkillsOK == 1 && r.FunctionsOK == 0
+		}},
+		{"wrong compoundness", `now => @a.b.q => @c.d.act`, func(r Report) bool {
+			return r.PrimCompoundOK == 0 && r.SyntaxOK == 1
+		}},
+	}
+	for _, c := range cases {
+		dec := canned{"s": strings.Fields(c.out)}
+		rep := Evaluate(dec, []dataset.Example{example(gold, "s")}, sch)
+		if !c.expect(rep) {
+			t.Errorf("%s: unexpected report %+v", c.name, rep)
+		}
+	}
+}
+
+func TestEvaluateAltAnnotations(t *testing.T) {
+	sch := schemas()
+	e := example(`now => @a.b.q => notify`, "s")
+	alt, _ := thingtalk.ParseProgram(`now => @a.b.q2 => notify`)
+	e.Alt = []*thingtalk.Program{alt}
+	dec := canned{"s": strings.Fields(`now => @a.b.q2 => notify`)}
+	rep := Evaluate(dec, []dataset.Example{e}, sch)
+	if rep.Correct != 1 {
+		t.Error("alternative annotation should be accepted")
+	}
+}
+
+func TestEvaluateParamValueError(t *testing.T) {
+	sch := schemas()
+	e := example(`now => @a.b.q => @c.d.act param:msg = " hello world "`, "s")
+	dec := canned{"s": strings.Fields(`now => @a.b.q => @c.d.act param:msg = " goodbye world "`)}
+	rep := Evaluate(dec, []dataset.Example{e}, sch)
+	if rep.ParamValueError != 1 || rep.Correct != 0 {
+		t.Errorf("expected a parameter-value error: %+v", rep)
+	}
+}
+
+func TestMeanRange(t *testing.T) {
+	m, hr := MeanRange([]float64{60, 70, 65})
+	if m != 65 || hr != 5 {
+		t.Errorf("MeanRange = %v ± %v", m, hr)
+	}
+	if m, hr := MeanRange(nil); m != 0 || hr != 0 {
+		t.Error("empty input should be zero")
+	}
+}

@@ -1,0 +1,226 @@
+// Package evaldata simulates the realistic evaluation data of Section 5.1.
+// The paper collects developer data (Almond's training interface) and
+// cheatsheet data (crowdworkers who saw a function cheatsheet, then wrote
+// commands from memory); both are distribution-shifted away from the
+// synthesized/paraphrased training set. This package reproduces that shift
+// with a user-phrasing rewriter whose lexicon and sentence forms are
+// deliberately disjoint from both the templates and the simulated
+// crowdworkers (see DESIGN.md, Substitutions).
+package evaldata
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// Kind selects the simulated collection protocol.
+type Kind int
+
+// Evaluation data kinds.
+const (
+	// Developer data: written by people who know the system; closest to
+	// the template language (the paper's easiest realistic set).
+	Developer Kind = iota
+	// Cheatsheet data: users writing commands from memory; strong shift.
+	Cheatsheet
+)
+
+// Build derives a realistic evaluation set from synthesized seed examples
+// (still slot-marked; instantiate afterwards). Each seed yields one
+// rewritten sentence.
+func Build(kind Kind, seeds []dataset.Example, seed int64) []dataset.Example {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]dataset.Example, 0, len(seeds))
+	for i := range seeds {
+		e := seeds[i].Clone()
+		switch kind {
+		case Developer:
+			e.Words = rewriteDeveloper(e.Words, rng)
+		case Cheatsheet:
+			e.Words = rewriteUser(e.Words, rng)
+		}
+		e.Group = dataset.GroupEval
+		if !slotsPreserved(seeds[i].Words, e.Words) {
+			// Never lose parameters when rewriting.
+			e.Words = append([]string(nil), seeds[i].Words...)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func slotsPreserved(src, dst []string) bool {
+	count := func(ws []string) int {
+		n := 0
+		for _, w := range ws {
+			if strings.HasPrefix(w, "__slot_") {
+				n++
+			}
+		}
+		return n
+	}
+	return count(src) == count(dst)
+}
+
+// rewriteDeveloper makes light edits: developers phrase commands close to
+// the canonical templates.
+func rewriteDeveloper(words []string, rng *rand.Rand) []string {
+	out := applyLexicon(words, devTable, rng, 1)
+	if rng.Intn(4) == 0 {
+		out = append([]string{"please"}, out...)
+	}
+	return out
+}
+
+// rewriteUser applies the heavier cheatsheet-style shift: a distinct
+// lexicon, question forms, aggressive function-word dropping and occasional
+// double substitution.
+func rewriteUser(words []string, rng *rand.Rand) []string {
+	out := applyLexicon(words, userTable, rng, 2+rng.Intn(2))
+	out = reshape(out, rng)
+	if rng.Intn(3) == 0 {
+		out = dropSmallWords(out, rng)
+	}
+	return out
+}
+
+// applyLexicon substitutes up to n table words.
+func applyLexicon(words []string, table map[string][]string, rng *rand.Rand, n int) []string {
+	out := append([]string(nil), words...)
+	for k := 0; k < n; k++ {
+		idxs := rng.Perm(len(out))
+		for _, i := range idxs {
+			choices := table[out[i]]
+			if len(choices) == 0 {
+				continue
+			}
+			repl := strings.Fields(choices[rng.Intn(len(choices))])
+			next := append([]string(nil), out[:i]...)
+			next = append(next, repl...)
+			next = append(next, out[i+1:]...)
+			out = next
+			break
+		}
+	}
+	return out
+}
+
+// reshape converts imperatives into the interrogative and desire forms real
+// users type.
+func reshape(words []string, rng *rand.Rand) []string {
+	joined := strings.Join(words, " ")
+	switch {
+	case strings.HasPrefix(joined, "get ") || strings.HasPrefix(joined, "show me "):
+		rest := words[1:]
+		if strings.HasPrefix(joined, "show me ") {
+			rest = words[2:]
+		}
+		switch rng.Intn(4) {
+		case 0:
+			return append([]string{"what", "are"}, rest...)
+		case 1:
+			return append([]string{"i", "wanna", "see"}, rest...)
+		case 2:
+			return append([]string{"do", "i", "have"}, rest...)
+		default:
+			return append([]string{"pull", "up"}, rest...)
+		}
+	case strings.HasPrefix(joined, "notify me when "):
+		rest := words[3:]
+		switch rng.Intn(3) {
+		case 0:
+			return append([]string{"keep", "an", "eye", "on", "things", "and", "tell", "me", "when"}, rest...)
+		case 1:
+			return append([]string{"i", "need", "to", "know", "when"}, rest...)
+		default:
+			return append([]string{"heads", "up", "when"}, rest...)
+		}
+	}
+	return words
+}
+
+func dropSmallWords(words []string, rng *rand.Rand) []string {
+	out := make([]string, 0, len(words))
+	for _, w := range words {
+		if (w == "the" || w == "a" || w == "," || w == "my") && rng.Intn(2) == 0 {
+			continue
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return words
+	}
+	return out
+}
+
+// devTable is the developers' lexicon: small, canonical-ish edits.
+var devTable = map[string][]string{
+	"get":     {"retrieve", "get me"},
+	"show":    {"show"},
+	"when":    {"once", "when"},
+	"notify":  {"notify"},
+	"every":   {"every"},
+	"picture": {"picture"},
+	"tweet":   {"tweet"},
+	"changes": {"changes"},
+	"and":     {"and"},
+}
+
+// userTable is the cheatsheet users' lexicon — deliberately disjoint from
+// the paraphrase-worker table where possible, so the cheatsheet set measures
+// generalization beyond the training distribution.
+var userTable = map[string][]string{
+	"get":         {"lemme see", "bring up", "i need", "gimme"},
+	"show":        {"open up", "bring up"},
+	"list":        {"what are all", "run through"},
+	"tell":        {"keep", "fill"},
+	"notify":      {"buzz", "hit up", "give a shout to"},
+	"when":        {"right when", "immediately after", "any time"},
+	"changes":     {"moves", "shifts", "looks different"},
+	"send":        {"forward", "pass along"},
+	"post":        {"throw up", "drop"},
+	"picture":     {"shot", "picture"},
+	"pictures":    {"shots"},
+	"tweet":       {"say on twitter"},
+	"tweets":      {"stuff on twitter"},
+	"email":       {"electronic mail", "gmail"},
+	"emails":      {"my mail"},
+	"message":     {"dm", "ping"},
+	"messages":    {"pings", "dms"},
+	"file":        {"thing", "item"},
+	"files":       {"stuff", "things"},
+	"folder":      {"folder"},
+	"song":        {"number", "record"},
+	"songs":       {"records", "bangers"},
+	"play":        {"blast", "spin", "crank up"},
+	"music":       {"some music"},
+	"weather":     {"conditions outside", "sky situation"},
+	"temperature": {"how hot it is", "degrees"},
+	"articles":    {"write ups", "coverage"},
+	"video":       {"footage"},
+	"videos":      {"footage"},
+	"new":         {"brand new", "incoming"},
+	"latest":      {"freshest", "last"},
+	"every":       {"once per", "all"},
+	"find":        {"hunt down", "track down"},
+	"make":        {"whip up", "spin up"},
+	"turn":        {"crank", "toggle"},
+	"add":         {"toss", "drop"},
+	"remind":      {"bug", "poke"},
+	"lights":      {"lighting", "the lights"},
+	"delete":      {"wipe", "nuke"},
+	"start":       {"get going with"},
+	"stop":        {"cut"},
+	"check":       {"see about"},
+	"house":       {"crib", "apartment"},
+	"door":        {"front door"},
+	"upload":      {"throw"},
+	"posts":       {"activity"},
+	"channel":     {"feed"},
+	"greater":     {"over"},
+	"less":        {"under"},
+	"bigger":      {"heavier"},
+	"morning":     {"early am"},
+}

@@ -1,0 +1,61 @@
+package evaldata
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/thingtalk"
+)
+
+func seeds(n int) []dataset.Example {
+	prog, _ := thingtalk.ParseProgram(`now => @a.b.q => notify`)
+	var out []dataset.Example
+	for i := 0; i < n; i++ {
+		out = append(out, dataset.Example{
+			Words:   strings.Fields("get my new pictures of __slot_1"),
+			Program: prog.Clone(),
+		})
+	}
+	return out
+}
+
+func TestBuildPreservesSlotsAndPrograms(t *testing.T) {
+	for _, kind := range []Kind{Developer, Cheatsheet} {
+		out := Build(kind, seeds(100), 1)
+		if len(out) != 100 {
+			t.Fatal("lost examples")
+		}
+		for i := range out {
+			if strings.Count(out[i].Sentence(), "__slot_1") != 1 {
+				t.Fatalf("slot lost: %s", out[i].Sentence())
+			}
+			if out[i].Group != dataset.GroupEval {
+				t.Error("group not set")
+			}
+		}
+	}
+}
+
+func TestCheatsheetShiftsDistribution(t *testing.T) {
+	src := seeds(200)
+	dev := Build(Developer, src, 2)
+	user := Build(Cheatsheet, src, 2)
+	devChanged, userChanged := 0, 0
+	for i := range src {
+		if dev[i].Sentence() != src[i].Sentence() {
+			devChanged++
+		}
+		if user[i].Sentence() != src[i].Sentence() {
+			userChanged++
+		}
+	}
+	if userChanged <= devChanged {
+		t.Errorf("cheatsheet rewrites (%d) should shift more than developer rewrites (%d)", userChanged, devChanged)
+	}
+	// The user lexicon must introduce words the templates never produce.
+	vocab := dataset.Vocab(user)
+	if !vocab["lemme"] && !vocab["gimme"] && !vocab["wanna"] && !vocab["crank"] && !vocab["freshest"] && !vocab["incoming"] {
+		t.Error("no held-out user vocabulary found in cheatsheet data")
+	}
+}

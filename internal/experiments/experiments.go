@@ -1,0 +1,261 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sections 5 and 6). Each function returns the same rows/series
+// the paper reports; absolute numbers depend on the Scale (the substrate is
+// a CPU simulator, not the authors' V100 testbed), but the shapes — who
+// wins, by roughly what factor — are the reproduction target. See
+// EXPERIMENTS.md for recorded paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/genie"
+	"repro/internal/nltemplate"
+	"repro/internal/synthesis"
+	"repro/internal/thingpedia"
+)
+
+// Fig7Result is the training-set characteristics pie of Fig. 7.
+type Fig7Result struct {
+	Chars dataset.Characteristics
+}
+
+// Fig7 classifies the combined (synthesized + paraphrase) training set.
+func Fig7(scale genie.Scale, seed int64) Fig7Result {
+	d := genie.BuildData(thingpedia.Builtin(), nltemplate.DefaultOptions, scale, seed)
+	rng := rand.New(rand.NewSource(seed))
+	train := d.TrainingExamples(genie.StrategyGenie, rng)
+	return Fig7Result{Chars: dataset.Classify(train)}
+}
+
+// Print writes the figure like the paper's legend.
+func (r Fig7Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Fig 7 — characteristics of the ThingTalk training set")
+	f := r.Chars.Fractions()
+	order := []string{"primitive", "primitive+filters", "compound", "compound+param-pass", "compound+filters"}
+	for _, k := range order {
+		fmt.Fprintf(w, "  %-22s %5.1f%%\n", k, f[k])
+	}
+	fmt.Fprintf(w, "  total examples: %d\n", r.Chars.Total)
+}
+
+// Fig8Cell is one bar of Fig. 8 (mean ± half-range over seeds).
+type Fig8Cell struct {
+	Mean, HalfRange float64
+}
+
+// Fig8Result holds accuracy per strategy per evaluation set.
+type Fig8Result struct {
+	Sets       []string
+	Strategies []string
+	Cells      map[string]map[string]Fig8Cell // strategy -> set -> cell
+}
+
+// Fig8 compares the three training strategies on the four evaluation sets.
+func Fig8(scale genie.Scale, baseSeed int64) Fig8Result {
+	strategies := []genie.Strategy{genie.StrategySynthesizedOnly, genie.StrategyParaphraseOnly, genie.StrategyGenie}
+	res := Fig8Result{
+		Sets:       []string{"Paraphrase", "Validation", "Cheatsheet", "IFTTT"},
+		Strategies: []string{"Synthesized Only", "Paraphrase Only", "Genie"},
+		Cells:      map[string]map[string]Fig8Cell{},
+	}
+	perStrategy := map[string]map[string][]float64{}
+	for _, seed := range scale.Seeds {
+		d := genie.BuildData(thingpedia.Builtin(), nltemplate.DefaultOptions, scale, baseSeed)
+		for si, s := range strategies {
+			p := d.Train(genie.TrainOptions{Strategy: s, Topt: genie.CanonicalTargets, Model: scale.Model, Seed: seed})
+			name := res.Strategies[si]
+			if perStrategy[name] == nil {
+				perStrategy[name] = map[string][]float64{}
+			}
+			perStrategy[name]["Paraphrase"] = append(perStrategy[name]["Paraphrase"], d.Evaluate(p, d.ParaTest).ProgramAccuracy())
+			perStrategy[name]["Validation"] = append(perStrategy[name]["Validation"], d.Evaluate(p, d.Validation).ProgramAccuracy())
+			perStrategy[name]["Cheatsheet"] = append(perStrategy[name]["Cheatsheet"], d.Evaluate(p, d.Cheatsheet).ProgramAccuracy())
+			perStrategy[name]["IFTTT"] = append(perStrategy[name]["IFTTT"], d.Evaluate(p, d.IFTTT).ProgramAccuracy())
+		}
+	}
+	for name, sets := range perStrategy {
+		res.Cells[name] = map[string]Fig8Cell{}
+		for set, vals := range sets {
+			m, hr := eval.MeanRange(vals)
+			res.Cells[name][set] = Fig8Cell{Mean: m, HalfRange: hr}
+		}
+	}
+	return res
+}
+
+// Print renders the Fig. 8 bars as a table.
+func (r Fig8Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Fig 8 — program accuracy by training strategy")
+	fmt.Fprintf(w, "  %-18s", "strategy")
+	for _, s := range r.Sets {
+		fmt.Fprintf(w, " %14s", s)
+	}
+	fmt.Fprintln(w)
+	for _, name := range r.Strategies {
+		fmt.Fprintf(w, "  %-18s", name)
+		for _, set := range r.Sets {
+			c := r.Cells[name][set]
+			fmt.Fprintf(w, "  %5.1f ± %-5.1f", c.Mean, c.HalfRange)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Table3Row is one ablation row.
+type Table3Row struct {
+	Name       string
+	Paraphrase Fig8Cell
+	Validation Fig8Cell
+	NewProgram Fig8Cell
+}
+
+// Table3Result is the ablation study.
+type Table3Result struct{ Rows []Table3Row }
+
+// Table3 removes one feature at a time from Genie/ThingTalk.
+func Table3(scale genie.Scale, baseSeed int64) Table3Result {
+	d := genie.BuildData(thingpedia.Builtin(), nltemplate.DefaultOptions, scale, baseSeed)
+	type cfg struct {
+		name    string
+		topt    genie.TargetOptions
+		noLM    bool
+		noParam bool
+	}
+	cfgs := []cfg{
+		{name: "Genie", topt: genie.CanonicalTargets},
+		{name: "- canonicalization", topt: genie.TargetOptions{TypeAnnotations: true, ShuffleParams: true}},
+		{name: "- keyword param.", topt: genie.TargetOptions{Positional: true}},
+		{name: "- type annotations", topt: genie.TargetOptions{}},
+		{name: "- param. expansion", topt: genie.CanonicalTargets, noParam: true},
+		{name: "- decoder LM", topt: genie.CanonicalTargets, noLM: true},
+	}
+	var rows []Table3Row
+	for _, c := range cfgs {
+		var para, val, newp []float64
+		for _, seed := range scale.Seeds {
+			dd := d
+			if c.noParam {
+				copyD := *d
+				copyD.Scale.Factors.ParaphraseWithString = 1
+				copyD.Scale.Factors.Paraphrase = 1
+				copyD.Scale.Factors.SynthesizedPrimitive = 1
+				copyD.Scale.Factors.Synthesized = 1
+				dd = &copyD
+			}
+			mcfg := scale.Model
+			if c.noLM {
+				mcfg.PretrainLM = false
+			}
+			p := dd.Train(genie.TrainOptions{Strategy: genie.StrategyGenie, Topt: c.topt, Model: mcfg, Seed: seed})
+			para = append(para, dd.Evaluate(p, dd.ParaTest).ProgramAccuracy())
+			val = append(val, dd.Evaluate(p, dd.Validation).ProgramAccuracy())
+			newp = append(newp, dd.Evaluate(p, dd.NewProgramSubset()).ProgramAccuracy())
+		}
+		row := Table3Row{Name: c.name}
+		row.Paraphrase.Mean, row.Paraphrase.HalfRange = eval.MeanRange(para)
+		row.Validation.Mean, row.Validation.HalfRange = eval.MeanRange(val)
+		row.NewProgram.Mean, row.NewProgram.HalfRange = eval.MeanRange(newp)
+		rows = append(rows, row)
+	}
+	return Table3Result{Rows: rows}
+}
+
+// Print renders Table 3.
+func (r Table3Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "Table 3 — ablation study (program accuracy)")
+	fmt.Fprintf(w, "  %-22s %14s %14s %14s\n", "model", "Paraphrase", "Validation", "New Program")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-22s  %5.1f ± %-5.1f  %5.1f ± %-5.1f  %5.1f ± %-5.1f\n",
+			row.Name,
+			row.Paraphrase.Mean, row.Paraphrase.HalfRange,
+			row.Validation.Mean, row.Validation.HalfRange,
+			row.NewProgram.Mean, row.NewProgram.HalfRange)
+	}
+}
+
+// StatsResult carries the Section 5.2 data statistics.
+type StatsResult struct {
+	Library        thingpedia.Stats
+	Synth          synthesis.Stats
+	Paraphrases    int
+	Discarded      int
+	Novelty        dataset.NoveltyStats
+	TrainExamples  int
+	TrainPrograms  int
+	TrainCombos    int
+	VocabSynth     int
+	VocabPara      int
+	VocabAugmented int
+}
+
+// Stats reproduces the §5.2 dataset-scale numbers (at the given Scale).
+func Stats(scale genie.Scale, seed int64) StatsResult {
+	lib := thingpedia.Builtin()
+	d := genie.BuildData(lib, nltemplate.DefaultOptions, scale, seed)
+	rng := rand.New(rand.NewSource(seed))
+	train := d.TrainingExamples(genie.StrategyGenie, rng)
+
+	rawExamples := make([]synthesis.Example, len(d.Synth))
+	for i := range d.Synth {
+		rawExamples[i] = synthesis.Example{Words: d.Synth[i].Words, Program: d.Synth[i].Program, Depth: d.Synth[i].Depth}
+	}
+	res := StatsResult{
+		Library:       lib.Stats(),
+		Synth:         synthesis.Summarize(rawExamples),
+		Paraphrases:   len(d.Paraphrases),
+		Discarded:     d.Discarded,
+		Novelty:       d.ParaNovelty,
+		TrainExamples: len(train),
+		TrainPrograms: dataset.DistinctPrograms(train),
+		TrainCombos:   dataset.DistinctCombos(train),
+		VocabSynth:    len(dataset.Vocab(d.Synth)),
+		VocabPara:     len(dataset.Vocab(append(append([]dataset.Example{}, d.Synth...), d.Paraphrases...))),
+	}
+	res.VocabAugmented = len(dataset.Vocab(train))
+	return res
+}
+
+// Print renders the statistics like §5.2's prose.
+func (r StatsResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "§5.2 — data statistics")
+	fmt.Fprintf(w, "  library: %d skills, %d functions (%d queries / %d actions), %d distinct parameters\n",
+		r.Library.Skills, r.Library.Functions, r.Library.Queries, r.Library.Actions, r.Library.DistinctParams)
+	fmt.Fprintf(w, "  primitive templates: %d (%.1f per function)\n", r.Library.Primitives, r.Library.PerFunction)
+	fmt.Fprintf(w, "  synthesized: %d sentences, %d distinct programs, %d function combinations\n",
+		r.Synth.Sentences, r.Synth.DistinctPrograms, r.Synth.FunctionPairs)
+	fmt.Fprintf(w, "  paraphrases: %d collected, %d discarded by quality heuristics\n", r.Paraphrases, r.Discarded)
+	fmt.Fprintf(w, "  paraphrase novelty: %.0f%% new words, %.0f%% new bigrams per paraphrase (paper: 38%% / 65%%)\n",
+		r.Novelty.NewWordRate, r.Novelty.NewBigramRate)
+	fmt.Fprintf(w, "  training set: %d sentences, %d distinct programs, %d combinations\n",
+		r.TrainExamples, r.TrainPrograms, r.TrainCombos)
+	fmt.Fprintf(w, "  vocabulary growth: %d (synthesized) -> %d (+paraphrases) -> %d (+augmentation)\n",
+		r.VocabSynth, r.VocabPara, r.VocabAugmented)
+}
+
+// ErrorsResult is the §5.5 error-analysis ladder.
+type ErrorsResult struct {
+	Report eval.Report
+}
+
+// Errors trains the Genie model and buckets its validation errors.
+func Errors(scale genie.Scale, seed int64) ErrorsResult {
+	d := genie.BuildData(thingpedia.Builtin(), nltemplate.DefaultOptions, scale, seed)
+	p := d.Train(genie.TrainOptions{Strategy: genie.StrategyGenie, Topt: genie.CanonicalTargets, Model: scale.Model, Seed: seed})
+	return ErrorsResult{Report: d.Evaluate(p, d.Validation)}
+}
+
+// Print renders the ladder like §5.5's prose.
+func (r ErrorsResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "§5.5 — error analysis on the validation set")
+	fmt.Fprintf(w, "  syntactically correct and type-correct: %.0f%% (paper: 96%%)\n", r.Report.SyntaxRate())
+	fmt.Fprintf(w, "  primitive-vs-compound identified:       %.0f%% (paper: 91%%)\n", r.Report.PrimCompoundRate())
+	fmt.Fprintf(w, "  correct skills:                         %.0f%% (paper: 87%%)\n", r.Report.SkillRate())
+	fmt.Fprintf(w, "  correct functions:                      %.0f%% (paper: 82%%)\n", r.Report.FunctionAccuracy())
+	fmt.Fprintf(w, "  full program accuracy:                  %.0f%%\n", r.Report.ProgramAccuracy())
+	fmt.Fprintf(w, "  parameter-value copy errors:            %.1f%% (paper: <1%%)\n", r.Report.ParamValueErrorRate())
+}

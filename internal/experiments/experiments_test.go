@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/genie"
+)
+
+// Non-training experiments run at unit scale in tests; the training-heavy
+// ones (Fig 8, Table 3, Fig 9, Errors, Limitation) are exercised by the
+// benchmark harness and cmd/genie.
+
+func TestFig7(t *testing.T) {
+	res := Fig7(genie.Unit, 1)
+	f := res.Chars.Fractions()
+	if res.Chars.Total == 0 {
+		t.Fatal("empty training set")
+	}
+	// Shape check: primitives dominate, all five buckets present (Fig 7:
+	// 48/20/15/5/13).
+	if f["primitive"] < f["compound+param-pass"] {
+		t.Errorf("primitives should outnumber param-passing compounds: %v", f)
+	}
+	for k, v := range f {
+		if v < 0 || v > 100 {
+			t.Errorf("bucket %s out of range: %v", k, v)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty print")
+	}
+}
+
+func TestStats(t *testing.T) {
+	res := Stats(genie.Unit, 1)
+	if res.Synth.Sentences == 0 || res.Synth.DistinctPrograms == 0 {
+		t.Fatal("no synthesis stats")
+	}
+	// §5.2 shape: vocabulary grows at each stage.
+	if !(res.VocabSynth < res.VocabPara && res.VocabPara < res.VocabAugmented) {
+		t.Errorf("vocabulary should grow through the pipeline: %d -> %d -> %d",
+			res.VocabSynth, res.VocabPara, res.VocabAugmented)
+	}
+	if res.Novelty.NewWordRate <= 0 || res.Novelty.NewBigramRate <= res.Novelty.NewWordRate {
+		t.Errorf("paraphrase novelty shape wrong: %+v", res.Novelty)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty print")
+	}
+}
+
+func TestIFTTTCleanupExperiment(t *testing.T) {
+	res := IFTTTCleanup(genie.Unit, 1)
+	if res.Descriptions == 0 {
+		t.Fatal("no descriptions generated")
+	}
+	for _, k := range []string{"second-person", "blank", "ui-text"} {
+		if res.RuleCounts[k] == 0 {
+			t.Errorf("rule %q never fired", k)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty print")
+	}
+}

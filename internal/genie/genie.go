@@ -1,0 +1,262 @@
+// Package genie orchestrates the full pipeline of Fig. 2: template-driven
+// synthesis, (simulated) crowdsourced paraphrasing, parameter replacement
+// and augmentation, ThingTalk-LM pretraining, parser training, and
+// evaluation on paraphrase and realistic data. It is the programmatic API
+// behind cmd/genie, the examples, and the experiment harness.
+package genie
+
+import (
+	"math/rand"
+
+	"repro/internal/augment"
+	"repro/internal/dataset"
+	"repro/internal/evaldata"
+	"repro/internal/ifttt"
+	"repro/internal/model"
+	"repro/internal/nltemplate"
+	"repro/internal/params"
+	"repro/internal/paraphrase"
+	"repro/internal/synthesis"
+	"repro/internal/thingpedia"
+)
+
+// Scale bundles every size knob of the pipeline. The paper runs at
+// 100,000 samples per rule and 3.6M training sentences on a V100; the
+// presets below trade size for CPU time while preserving the pipeline
+// shape.
+type Scale struct {
+	Name          string
+	SynthTarget   int // synthesis samples per rule at depth 2
+	MaxDepth      int
+	ParaphraseMax int // synthesized sentences sent to (simulated) workers
+	Factors       augment.ExpansionFactors
+	PPDBVariants  int
+	TrainCap      int // cap on instantiated training examples
+	EvalN         int // examples per evaluation set
+	HeldOutFrac   float64
+	Model         model.Config
+	Seeds         []int64
+}
+
+// Unit is the test-suite scale: seconds per trained model.
+var Unit = Scale{
+	Name: "unit", SynthTarget: 24, MaxDepth: 4, ParaphraseMax: 150,
+	Factors:      augment.ExpansionFactors{ParaphraseWithString: 3, Paraphrase: 2, SynthesizedPrimitive: 2, Synthesized: 1},
+	PPDBVariants: 1, TrainCap: 1500, EvalN: 60, HeldOutFrac: 0.3,
+	Model: model.Config{
+		EmbedDim: 32, HiddenDim: 48, LR: 5e-3, Dropout: 0.05, Epochs: 6,
+		EvalEvery: 100000, Patience: 0, PointerGen: true, PretrainLM: true,
+		LMSteps: 300, MaxDecodeLen: 48, MinVocabCount: 4,
+	},
+	Seeds: []int64{1},
+}
+
+// Small is the benchmark scale: about a minute per trained model.
+var Small = Scale{
+	Name: "small", SynthTarget: 60, MaxDepth: 5, ParaphraseMax: 400,
+	Factors:      augment.ExpansionFactors{ParaphraseWithString: 6, Paraphrase: 3, SynthesizedPrimitive: 2, Synthesized: 1},
+	PPDBVariants: 1, TrainCap: 4000, EvalN: 150, HeldOutFrac: 0.3,
+	Model: model.Config{
+		EmbedDim: 40, HiddenDim: 56, LR: 3e-3, Dropout: 0.1, Epochs: 3,
+		EvalEvery: 100000, Patience: 0, PointerGen: true, PretrainLM: true,
+		LMSteps: 1000, MaxDecodeLen: 56, MinVocabCount: 3,
+	},
+	Seeds: []int64{1, 2, 3},
+}
+
+// Full is the reported-experiment scale (tens of minutes per model on one
+// CPU).
+var Full = Scale{
+	Name: "full", SynthTarget: 200, MaxDepth: 5, ParaphraseMax: 1500,
+	Factors:      augment.PaperFactors,
+	PPDBVariants: 2, TrainCap: 20000, EvalN: 340, HeldOutFrac: 0.3,
+	Model: model.Config{
+		EmbedDim: 48, HiddenDim: 64, LR: 2e-3, Dropout: 0.1, Epochs: 4,
+		EvalEvery: 4000, Patience: 4, PointerGen: true, PretrainLM: true,
+		LMSteps: 4000, MaxDecodeLen: 64, MinVocabCount: 2,
+	},
+	Seeds: []int64{1, 2, 3},
+}
+
+// ScaleByName resolves a preset.
+func ScaleByName(name string) (Scale, bool) {
+	switch name {
+	case "unit":
+		return Unit, true
+	case "small":
+		return Small, true
+	case "full":
+		return Full, true
+	}
+	return Scale{}, false
+}
+
+// Data is the output of the data-acquisition pipeline, before per-strategy
+// instantiation.
+type Data struct {
+	Lib   *thingpedia.Library
+	Scale Scale
+
+	// Slot-marked sets.
+	Synth       []dataset.Example
+	Paraphrases []dataset.Example
+	ParaNovelty dataset.NoveltyStats
+	Discarded   int
+
+	// HeldOutCombos are function combinations excluded from all training
+	// data; paraphrases over them form the compositionality test set
+	// (Section 5.2).
+	HeldOutCombos map[string]bool
+
+	// Instantiated evaluation sets (identical across strategies).
+	ParaTest   []dataset.Example
+	Validation []dataset.Example
+	Cheatsheet []dataset.Example
+	IFTTT      []dataset.Example
+
+	sampler *params.Sampler
+}
+
+// BuildData runs synthesis, paraphrasing and evaluation-set construction.
+func BuildData(lib *thingpedia.Library, gopt nltemplate.Options, scale Scale, seed int64) *Data {
+	g := nltemplate.StandardGrammar(lib, gopt)
+	return BuildDataWithGrammar(lib, g, scale, seed)
+}
+
+// BuildDataWithGrammar is BuildData with a caller-supplied grammar (used by
+// the case studies and ablations that alter the rule set).
+func BuildDataWithGrammar(lib *thingpedia.Library, g *nltemplate.Grammar, scale Scale, seed int64) *Data {
+	return buildData(lib, g, scale, seed, "")
+}
+
+// BuildDataWithGrammarFlag restricts synthesis to rules carrying the flag
+// (the Wang-et-al "basic" construct subset of the §5.2 limitation
+// experiment).
+func BuildDataWithGrammarFlag(lib *thingpedia.Library, g *nltemplate.Grammar, scale Scale, seed int64, flag string) *Data {
+	return buildData(lib, g, scale, seed, flag)
+}
+
+// InstantiateExample exposes parameter replacement with the pipeline's
+// shared sampler.
+func InstantiateExample(d *Data, e *dataset.Example, rng *rand.Rand) (dataset.Example, bool) {
+	inst, err := augment.Instantiate(e, d.sampler, rng)
+	return inst, err == nil
+}
+
+func buildData(lib *thingpedia.Library, g *nltemplate.Grammar, scale Scale, seed int64, flag string) *Data {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Data{Lib: lib, Scale: scale, sampler: params.NewSampler()}
+
+	// 1. Synthesis (Section 3.1).
+	raw := synthesis.Synthesize(g, synthesis.Config{
+		TargetPerRule: scale.SynthTarget,
+		MaxDepth:      scale.MaxDepth,
+		Seed:          seed,
+		Schemas:       lib,
+		Flag:          flag,
+	})
+	d.Synth = make([]dataset.Example, len(raw))
+	for i := range raw {
+		d.Synth[i] = dataset.Example{
+			Words:   raw[i].Words,
+			Program: raw[i].Program,
+			Group:   dataset.GroupSynthesized,
+			Depth:   raw[i].Depth,
+		}
+	}
+
+	// 2. Paraphrasing (Section 3.2).
+	selected := paraphrase.SelectForParaphrase(d.Synth, lib, scale.ParaphraseMax, rng)
+	res := paraphrase.Simulate(selected, paraphrase.Config{Seed: seed + 1})
+	d.Paraphrases = res.Paraphrases
+	d.ParaNovelty = dataset.Novelty(res.Pairs)
+	d.Discarded = res.Discarded
+
+	// 3. Held-out function combinations for the compositionality test.
+	combos := map[string]bool{}
+	for i := range d.Paraphrases {
+		if d.Paraphrases[i].Program.IsCompound() {
+			combos[dataset.FunctionComboKey(d.Paraphrases[i].Program)] = true
+		}
+	}
+	var comboList []string
+	for c := range combos {
+		comboList = append(comboList, c)
+	}
+	sortStrings(comboList)
+	rng.Shuffle(len(comboList), func(i, j int) { comboList[i], comboList[j] = comboList[j], comboList[i] })
+	d.HeldOutCombos = map[string]bool{}
+	for i, c := range comboList {
+		if float64(i) < scale.HeldOutFrac*float64(len(comboList)) {
+			d.HeldOutCombos[c] = true
+		}
+	}
+
+	// 4. Paraphrase test set: paraphrases over held-out combinations,
+	// sampled across combinations rather than taking a prefix.
+	evalRng := rand.New(rand.NewSource(seed + 2))
+	order := evalRng.Perm(len(d.Paraphrases))
+	for _, i := range order {
+		e := &d.Paraphrases[i]
+		if !d.HeldOutCombos[dataset.FunctionComboKey(e.Program)] {
+			continue
+		}
+		if inst, err := augment.Instantiate(e, d.sampler, evalRng); err == nil {
+			d.ParaTest = append(d.ParaTest, inst)
+		}
+		if len(d.ParaTest) >= scale.EvalN {
+			break
+		}
+	}
+
+	// 5. Realistic evaluation sets (Section 5.1).
+	seeds := sampleSeeds(d.Synth, scale.EvalN, rand.New(rand.NewSource(seed+3)))
+	d.Validation = instantiateAll(evaldata.Build(evaldata.Developer, seeds, seed+4), d.sampler, evalRng)
+	seeds2 := sampleSeeds(d.Synth, scale.EvalN, rand.New(rand.NewSource(seed+5)))
+	d.Cheatsheet = instantiateAll(evaldata.Build(evaldata.Cheatsheet, seeds2, seed+6), d.sampler, evalRng)
+	compound := filterExamples(d.Synth, func(e *dataset.Example) bool { return e.Program.IsCompound() })
+	seeds3 := sampleSeeds(compound, scale.EvalN/2, rand.New(rand.NewSource(seed+7)))
+	d.IFTTT = instantiateAll(ifttt.Clean(ifttt.Generate(seeds3, seed+8)), d.sampler, evalRng)
+	return d
+}
+
+// sampleSeeds draws n distinct synthesized examples.
+func sampleSeeds(pool []dataset.Example, n int, rng *rand.Rand) []dataset.Example {
+	idx := rng.Perm(len(pool))
+	if n > len(idx) {
+		n = len(idx)
+	}
+	out := make([]dataset.Example, 0, n)
+	for _, i := range idx[:n] {
+		out = append(out, pool[i])
+	}
+	return out
+}
+
+func instantiateAll(examples []dataset.Example, sampler *params.Sampler, rng *rand.Rand) []dataset.Example {
+	out := make([]dataset.Example, 0, len(examples))
+	for i := range examples {
+		if inst, err := augment.Instantiate(&examples[i], sampler, rng); err == nil {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+func filterExamples(examples []dataset.Example, keep func(*dataset.Example) bool) []dataset.Example {
+	var out []dataset.Example
+	for i := range examples {
+		if keep(&examples[i]) {
+			out = append(out, examples[i])
+		}
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package genie
+
+import (
+	"math/rand"
+
+	"repro/internal/augment"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/model"
+	"repro/internal/thingtalk"
+)
+
+// Strategy is a training-data recipe (Section 5.3 / Fig. 8 and the Fig. 9
+// Baseline).
+type Strategy int
+
+// Training strategies.
+const (
+	// StrategyGenie trains on synthesized plus paraphrase data with full
+	// augmentation — the paper's contribution.
+	StrategyGenie Strategy = iota
+	// StrategySynthesizedOnly trains on synthesized data alone.
+	StrategySynthesizedOnly
+	// StrategyParaphraseOnly trains on paraphrase data alone (with
+	// augmentation), the traditional methodology.
+	StrategyParaphraseOnly
+	// StrategyBaseline is the Wang-et-al baseline of Section 6: paraphrase
+	// data only, no PPDB augmentation, no parameter expansion.
+	StrategyBaseline
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyGenie:
+		return "genie"
+	case StrategySynthesizedOnly:
+		return "synthesized-only"
+	case StrategyParaphraseOnly:
+		return "paraphrase-only"
+	case StrategyBaseline:
+		return "baseline"
+	}
+	return "invalid"
+}
+
+// TargetOptions control program serialization for the Table 3 ablations.
+type TargetOptions struct {
+	// TypeAnnotations annotates parameter tokens with their types
+	// (canonical; disabling is the "- type annotations" row).
+	TypeAnnotations bool
+	// Positional replaces keyword parameters ("- keyword param." row).
+	Positional bool
+	// ShuffleParams randomizes keyword-parameter order per training
+	// example ("- canonicalization" row; evaluation still canonicalizes).
+	ShuffleParams bool
+}
+
+// CanonicalTargets is the default serialization.
+var CanonicalTargets = TargetOptions{TypeAnnotations: true}
+
+// TrainingExamples instantiates the training set for a strategy. Held-out
+// combinations never enter training.
+func (d *Data) TrainingExamples(s Strategy, rng *rand.Rand) []dataset.Example {
+	factors := d.Scale.Factors
+	ppdb := d.Scale.PPDBVariants
+	var sources []dataset.Example
+	switch s {
+	case StrategyGenie:
+		sources = append(sources, d.Synth...)
+		sources = append(sources, d.Paraphrases...)
+	case StrategySynthesizedOnly:
+		sources = append(sources, d.Synth...)
+	case StrategyParaphraseOnly:
+		sources = append(sources, d.Paraphrases...)
+	case StrategyBaseline:
+		sources = append(sources, d.Paraphrases...)
+		factors = augment.ExpansionFactors{ParaphraseWithString: 1, Paraphrase: 1, SynthesizedPrimitive: 1, Synthesized: 1}
+		ppdb = 0
+	}
+	sources = filterExamples(sources, func(e *dataset.Example) bool {
+		return !d.HeldOutCombos[dataset.FunctionComboKey(e.Program)]
+	})
+	train := augment.Expand(sources, factors, d.sampler, rng)
+	if ppdb > 0 {
+		train = augment.AugmentParaphrases(train, ppdb, rng)
+	}
+	rng.Shuffle(len(train), func(i, j int) { train[i], train[j] = train[j], train[i] })
+	if d.Scale.TrainCap > 0 && len(train) > d.Scale.TrainCap {
+		train = train[:d.Scale.TrainCap]
+	}
+	return train
+}
+
+// ToPairs serializes examples into model training pairs under the given
+// target options.
+func ToPairs(examples []dataset.Example, topt TargetOptions, schemas thingtalk.SchemaSource, rng *rand.Rand) []model.Pair {
+	opt := thingtalk.EncodeOptions{
+		TypeAnnotations: topt.TypeAnnotations,
+		Positional:      topt.Positional,
+		Schemas:         schemas,
+	}
+	out := make([]model.Pair, 0, len(examples))
+	for i := range examples {
+		prog := examples[i].Program
+		if topt.ShuffleParams {
+			prog = prog.Clone()
+			shuffleParams(prog, rng)
+		}
+		out = append(out, model.Pair{
+			Src: examples[i].Words,
+			Tgt: prog.Encode(opt),
+		})
+	}
+	return out
+}
+
+// shuffleParams randomizes the keyword-parameter order of every invocation
+// (the -canonicalization ablation).
+func shuffleParams(p *thingtalk.Program, rng *rand.Rand) {
+	for _, inv := range p.Invocations() {
+		rng.Shuffle(len(inv.In), func(i, j int) { inv.In[i], inv.In[j] = inv.In[j], inv.In[i] })
+	}
+}
+
+// TrainedParser is a parser plus the serialization it was trained with.
+type TrainedParser struct {
+	Parser *model.Parser
+	Topt   TargetOptions
+}
+
+// Parse implements eval.Decoder.
+func (t *TrainedParser) Parse(words []string) []string { return t.Parser.Parse(words) }
+
+// TrainOptions bundle the per-run knobs of Train.
+type TrainOptions struct {
+	Strategy Strategy
+	Topt     TargetOptions
+	Model    model.Config
+	Seed     int64
+}
+
+// Train builds the training set for a strategy and trains a parser; the
+// ThingTalk LM pre-training corpus is the synthesized portion of the
+// training set (Section 4.2).
+func (d *Data) Train(opt TrainOptions) *TrainedParser {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	trainSet := d.TrainingExamples(opt.Strategy, rng)
+	pairs := ToPairs(trainSet, opt.Topt, d.Lib, rng)
+
+	var lm [][]string
+	if opt.Model.PretrainLM {
+		for i := range trainSet {
+			if trainSet[i].Group == dataset.GroupSynthesized {
+				lm = append(lm, pairs[i].Tgt)
+			}
+		}
+	}
+	// Validation pairs for early stopping come from the validation set.
+	valPairs := ToPairs(d.Validation, opt.Topt, d.Lib, rng)
+
+	mcfg := opt.Model
+	mcfg.Seed = opt.Seed
+	parser := model.Train(pairs, valPairs, lm, mcfg)
+	return &TrainedParser{Parser: parser, Topt: opt.Topt}
+}
+
+// Evaluate scores a trained parser on an evaluation set.
+func (d *Data) Evaluate(p *TrainedParser, examples []dataset.Example) eval.Report {
+	return eval.Evaluate(p, examples, d.Lib)
+}
+
+// NewProgramSubset returns the validation examples whose function
+// combinations never appear in training (the Table 3 "New Program" column).
+func (d *Data) NewProgramSubset() []dataset.Example {
+	return filterExamples(d.Validation, func(e *dataset.Example) bool {
+		return d.HeldOutCombos[dataset.FunctionComboKey(e.Program)]
+	})
+}

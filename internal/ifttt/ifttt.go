@@ -1,0 +1,126 @@
+// Package ifttt simulates the IFTTT evaluation corpus of Section 5.1: applet
+// descriptions written by rule authors (high-level, under-specified, often
+// second-person) and the Table 2 cleanup rules that adapt them into
+// first-person commands a virtual assistant can be expected to interpret.
+package ifttt
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// RawDescription is a simulated applet description before cleanup, paired
+// with the example it describes.
+type RawDescription struct {
+	Words   []string
+	Example dataset.Example
+	// Artifacts records which description artifacts were injected, so
+	// tests can verify each cleanup rule fires.
+	Artifacts []string
+}
+
+// Generate turns synthesized compound seeds into IFTTT-style descriptions:
+// second-person pronouns, "___" placeholders, missing device names, UI
+// boilerplate and under-specified parameters.
+func Generate(seeds []dataset.Example, seed int64) []RawDescription {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]RawDescription, 0, len(seeds))
+	for i := range seeds {
+		e := seeds[i].Clone()
+		e.Group = dataset.GroupEval
+		words := append([]string(nil), e.Words...)
+		var artifacts []string
+
+		// Second person: my -> your.
+		if idx := indexOf(words, "my"); idx >= 0 && rng.Intn(2) == 0 {
+			words[idx] = "your"
+			artifacts = append(artifacts, "second-person")
+		}
+		// Placeholder blanks: replace one slot with ___ (the Table 2
+		// "Replace placeholders with specific values" case inverts this).
+		for j, w := range words {
+			if strings.HasPrefix(w, "__slot_") && rng.Intn(3) == 0 {
+				words[j] = "___:" + w // blank remembering its slot
+				artifacts = append(artifacts, "blank")
+				break
+			}
+		}
+		// UI boilerplate.
+		if rng.Intn(3) == 0 {
+			words = append(words, "with", "this", "button")
+			artifacts = append(artifacts, "ui-text")
+		}
+		// Under-specified person: "message my partner" style.
+		if idx := indexOf(words, "saying"); idx > 0 && rng.Intn(4) == 0 {
+			// Drop the message content entirely.
+			for j := idx; j < len(words); j++ {
+				if strings.HasPrefix(words[j], "__slot_") {
+					words[j] = "___:" + words[j]
+					artifacts = append(artifacts, "under-specified")
+					break
+				}
+			}
+		}
+		out = append(out, RawDescription{Words: words, Example: e, Artifacts: artifacts})
+	}
+	return out
+}
+
+// Clean applies the Table 2 cleanup rules and returns command-shaped
+// evaluation examples:
+//
+//  1. second-person pronouns become first-person;
+//  2. "___" placeholders are filled with specific values (here: restored
+//     to their parameter slots, later instantiated with real values);
+//  3. the device name is appended when the command would otherwise be
+//     ambiguous (handled upstream: our seeds keep the device wording);
+//  4. UI-related explanations are removed;
+//  5. under-specified parameters are replaced with real values (same
+//     mechanism as rule 2).
+func Clean(raw []RawDescription) []dataset.Example {
+	out := make([]dataset.Example, 0, len(raw))
+	for i := range raw {
+		words := append([]string(nil), raw[i].Words...)
+		cleaned := make([]string, 0, len(words))
+		for j := 0; j < len(words); j++ {
+			w := words[j]
+			switch {
+			case w == "your":
+				cleaned = append(cleaned, "my")
+			case strings.HasPrefix(w, "___:"):
+				cleaned = append(cleaned, strings.TrimPrefix(w, "___:"))
+			case w == "with" && j+2 < len(words) && words[j+1] == "this" && words[j+2] == "button":
+				j += 2
+			default:
+				cleaned = append(cleaned, w)
+			}
+		}
+		e := raw[i].Example.Clone()
+		e.Words = cleaned
+		out = append(out, e)
+	}
+	return out
+}
+
+// CleanupRuleCounts reports how many descriptions each Table 2 rule applied
+// to, keyed by artifact name.
+func CleanupRuleCounts(raw []RawDescription) map[string]int {
+	out := map[string]int{}
+	for i := range raw {
+		for _, a := range raw[i].Artifacts {
+			out[a]++
+		}
+	}
+	return out
+}
+
+func indexOf(words []string, w string) int {
+	for i, x := range words {
+		if x == w {
+			return i
+		}
+	}
+	return -1
+}

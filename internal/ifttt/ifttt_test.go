@@ -1,0 +1,58 @@
+package ifttt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/thingtalk"
+)
+
+func seedExamples(n int) []dataset.Example {
+	prog, err := thingtalk.ParseProgram(`monitor ( @a.b.q ) => @c.d.act param:msg = param:text`)
+	if err != nil {
+		panic(err)
+	}
+	var out []dataset.Example
+	for i := 0; i < n; i++ {
+		out = append(out, dataset.Example{
+			Words:   strings.Fields("when my feed changes , post __slot_1 saying __slot_2"),
+			Program: prog.Clone(),
+		})
+	}
+	return out
+}
+
+func TestGenerateInjectsArtifacts(t *testing.T) {
+	raw := Generate(seedExamples(200), 1)
+	counts := CleanupRuleCounts(raw)
+	for _, k := range []string{"second-person", "blank", "ui-text"} {
+		if counts[k] == 0 {
+			t.Errorf("artifact %q never injected: %v", k, counts)
+		}
+	}
+}
+
+func TestCleanUndoesEveryRule(t *testing.T) {
+	raw := Generate(seedExamples(300), 2)
+	cleaned := Clean(raw)
+	if len(cleaned) != len(raw) {
+		t.Fatal("examples lost in cleanup")
+	}
+	for i := range cleaned {
+		s := cleaned[i].Sentence()
+		if strings.Contains(s, "your") {
+			t.Errorf("second-person survived: %s", s)
+		}
+		if strings.Contains(s, "___") {
+			t.Errorf("blank survived: %s", s)
+		}
+		if strings.Contains(s, "with this button") {
+			t.Errorf("ui text survived: %s", s)
+		}
+		// Slots restored so parameters can be instantiated.
+		if strings.Count(s, "__slot_") != 2 {
+			t.Errorf("slots not restored: %s", s)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package model
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/nn"
+)
+
+// Parse greedily decodes the program token sequence for a sentence. Tokens
+// may be copied verbatim from the input via the pointer mechanism, so the
+// output can contain words outside the target vocabulary (unquoted free-form
+// parameters).
+func (p *Parser) Parse(words []string) []string {
+	g := nn.NewGraph(false)
+	srcIds := p.src.Encode(words)
+	H, final := p.encode(g, srcIds)
+	st := p.initDecode(g, final)
+	prev := BosID
+	var out []string
+	maxLen := p.cfg.MaxDecodeLen
+	if maxLen <= 0 {
+		maxLen = 64
+	}
+	for t := 0; t < maxLen; t++ {
+		pv, alpha, gate, next := p.step(g, st, prev, H)
+		tok := p.bestToken(pv, alpha, gate, words)
+		if tok == EosToken {
+			break
+		}
+		out = append(out, tok)
+		st = next
+		prev = p.tgt.ID(tok)
+	}
+	return out
+}
+
+// bestToken mixes the generation and copy distributions and returns the
+// argmax token.
+func (p *Parser) bestToken(pv, alpha, gate *nn.Tensor, words []string) string {
+	g := gate.W[0]
+	if !p.cfg.PointerGen {
+		g = 1
+	}
+	bestTok := EosToken
+	bestP := math.Inf(-1)
+	// Generation path over the vocabulary (skip <unk> and <s>).
+	for id := 2; id < p.tgt.Size(); id++ {
+		prob := g * pv.W[id]
+		if copyMass := p.copyMass(alpha, words, p.tgt.Token(id)); copyMass > 0 {
+			prob += (1 - g) * copyMass
+		}
+		if prob > bestP {
+			bestP = prob
+			bestTok = p.tgt.Token(id)
+		}
+	}
+	if !p.cfg.PointerGen {
+		return bestTok
+	}
+	// Copy path for out-of-vocabulary source tokens.
+	seen := map[string]bool{}
+	for i, w := range words {
+		if p.tgt.Has(w) || seen[w] {
+			continue
+		}
+		seen[w] = true
+		prob := (1 - g) * p.copyMassAt(alpha, words, w, i)
+		if prob > bestP {
+			bestP = prob
+			bestTok = w
+		}
+	}
+	return bestTok
+}
+
+func (p *Parser) copyMass(alpha *nn.Tensor, words []string, tok string) float64 {
+	var m float64
+	for i, w := range words {
+		if w == tok {
+			m += alpha.W[i]
+		}
+	}
+	return m
+}
+
+func (p *Parser) copyMassAt(alpha *nn.Tensor, words []string, tok string, from int) float64 {
+	var m float64
+	for i := from; i < len(words); i++ {
+		if words[i] == tok {
+			m += alpha.W[i]
+		}
+	}
+	return m
+}
+
+// beamItem is one hypothesis during beam decoding.
+type beamItem struct {
+	tokens  []string
+	logProb float64
+	st      decodeState
+	prev    int
+	done    bool
+}
+
+// ParseBeam decodes with a fixed-width beam and returns the best complete
+// hypothesis (falling back to greedy behavior at width 1).
+func (p *Parser) ParseBeam(words []string, width int) []string {
+	if width <= 1 {
+		return p.Parse(words)
+	}
+	g := nn.NewGraph(false)
+	srcIds := p.src.Encode(words)
+	H, final := p.encode(g, srcIds)
+	beam := []beamItem{{st: p.initDecode(g, final), prev: BosID}}
+	maxLen := p.cfg.MaxDecodeLen
+	if maxLen <= 0 {
+		maxLen = 64
+	}
+	for t := 0; t < maxLen; t++ {
+		var candidates []beamItem
+		allDone := true
+		for _, item := range beam {
+			if item.done {
+				candidates = append(candidates, item)
+				continue
+			}
+			allDone = false
+			pv, alpha, gate, next := p.step(g, item.st, item.prev, H)
+			for _, cand := range p.topTokens(pv, alpha, gate, words, width) {
+				ni := beamItem{
+					tokens:  append(append([]string(nil), item.tokens...), cand.tok),
+					logProb: item.logProb + math.Log(cand.p+1e-12),
+					st:      next,
+					prev:    p.tgt.ID(cand.tok),
+				}
+				if cand.tok == EosToken {
+					ni.done = true
+					ni.tokens = ni.tokens[:len(ni.tokens)-1]
+				}
+				candidates = append(candidates, ni)
+			}
+		}
+		if allDone {
+			break
+		}
+		sort.SliceStable(candidates, func(i, j int) bool { return candidates[i].logProb > candidates[j].logProb })
+		if len(candidates) > width {
+			candidates = candidates[:width]
+		}
+		beam = candidates
+	}
+	best := beam[0]
+	for _, item := range beam {
+		if item.done && !best.done {
+			best = item
+			continue
+		}
+		if item.done == best.done && item.logProb > best.logProb {
+			best = item
+		}
+	}
+	return best.tokens
+}
+
+type scoredToken struct {
+	tok string
+	p   float64
+}
+
+func (p *Parser) topTokens(pv, alpha, gate *nn.Tensor, words []string, k int) []scoredToken {
+	g := gate.W[0]
+	if !p.cfg.PointerGen {
+		g = 1
+	}
+	var all []scoredToken
+	for id := 2; id < p.tgt.Size(); id++ {
+		tok := p.tgt.Token(id)
+		prob := g * pv.W[id]
+		if cm := p.copyMass(alpha, words, tok); cm > 0 {
+			prob += (1 - g) * cm
+		}
+		all = append(all, scoredToken{tok: tok, p: prob})
+	}
+	if p.cfg.PointerGen {
+		seen := map[string]bool{}
+		for i, w := range words {
+			if p.tgt.Has(w) || seen[w] {
+				continue
+			}
+			seen[w] = true
+			all = append(all, scoredToken{tok: w, p: (1 - g) * p.copyMassAt(alpha, words, w, i)})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].p > all[j].p })
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}

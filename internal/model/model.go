@@ -1,0 +1,229 @@
+package model
+
+import (
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// Config holds the hyperparameters of the parser (Section 4.3, scaled for
+// CPU training).
+type Config struct {
+	EmbedDim  int
+	HiddenDim int
+	LR        float64
+	Dropout   float64
+	// Epochs and MaxSteps bound training (whichever is hit first; MaxSteps
+	// 0 means unbounded).
+	Epochs   int
+	MaxSteps int
+	// EvalEvery steps, validation loss is measured for early stopping;
+	// Patience evaluations without improvement stop training.
+	EvalEvery int
+	Patience  int
+	// PointerGen enables the mixed pointer-generator output (disabling it
+	// leaves pure vocabulary generation; free-form parameters then cannot
+	// be copied).
+	PointerGen bool
+	// PretrainLM pre-trains the decoder as a ThingTalk language model on
+	// the provided program token sequences before parser training
+	// (Section 4.2).
+	PretrainLM bool
+	LMSteps    int
+	// MaxDecodeLen bounds greedy decoding.
+	MaxDecodeLen int
+	// MinVocabCount is the threshold for target vocabulary membership;
+	// rarer tokens must be copied.
+	MinVocabCount int
+	Seed          int64
+}
+
+// DefaultConfig is the configuration used by the experiment harness at test
+// scale.
+var DefaultConfig = Config{
+	EmbedDim:      48,
+	HiddenDim:     64,
+	LR:            2e-3,
+	Dropout:       0.1,
+	Epochs:        4,
+	EvalEvery:     2000,
+	Patience:      4,
+	PointerGen:    true,
+	PretrainLM:    true,
+	LMSteps:       3000,
+	MaxDecodeLen:  64,
+	MinVocabCount: 2,
+}
+
+// Pair is one training example: a tokenized sentence and the target program
+// token sequence.
+type Pair struct {
+	Src []string
+	Tgt []string
+}
+
+// Parser is the trained semantic parser.
+type Parser struct {
+	cfg Config
+	src *Vocab
+	tgt *Vocab
+
+	encEmb *nn.Embedding
+	fwd    *nn.LSTMCell
+	bwd    *nn.LSTMCell
+
+	decEmb  *nn.Embedding
+	dec     *nn.LSTMCell
+	initLin *nn.Linear // enc final states -> dec initial hidden
+	attnLin *nn.Linear // dec hidden -> enc space (2h)
+	combLin *nn.Linear // [h; ctx] -> h (the attentional h-tilde)
+	outLin  *nn.Linear // h-tilde -> target vocab
+	gateLin *nn.Linear // h-tilde -> pointer/generator gate
+
+	rng *rand.Rand
+}
+
+func newParser(cfg Config, src, tgt *Vocab) *Parser {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	e, h := cfg.EmbedDim, cfg.HiddenDim
+	return &Parser{
+		cfg:     cfg,
+		src:     src,
+		tgt:     tgt,
+		encEmb:  nn.NewEmbedding(src.Size(), e, rng),
+		fwd:     nn.NewLSTMCell(e, h, rng),
+		bwd:     nn.NewLSTMCell(e, h, rng),
+		decEmb:  nn.NewEmbedding(tgt.Size(), e, rng),
+		dec:     nn.NewLSTMCell(e+2*h, h, rng),
+		initLin: nn.NewLinear(2*h, h, rng),
+		attnLin: nn.NewLinear(h, 2*h, rng),
+		combLin: nn.NewLinear(3*h, h, rng),
+		outLin:  nn.NewLinear(h, tgt.Size(), rng),
+		gateLin: nn.NewLinear(h, 1, rng),
+		rng:     rng,
+	}
+}
+
+// Params returns all trainable tensors.
+func (p *Parser) Params() []*nn.Tensor {
+	var out []*nn.Tensor
+	out = append(out, p.encEmb.Params()...)
+	out = append(out, p.fwd.Params()...)
+	out = append(out, p.bwd.Params()...)
+	out = append(out, p.decParams()...)
+	return out
+}
+
+// decParams are the parameters shared with the pre-trained language model.
+func (p *Parser) decParams() []*nn.Tensor {
+	var out []*nn.Tensor
+	out = append(out, p.decEmb.Params()...)
+	out = append(out, p.dec.Params()...)
+	out = append(out, p.initLin.Params()...)
+	out = append(out, p.attnLin.Params()...)
+	out = append(out, p.combLin.Params()...)
+	out = append(out, p.outLin.Params()...)
+	out = append(out, p.gateLin.Params()...)
+	return out
+}
+
+// encode runs the bidirectional encoder, returning the memory matrix
+// (len×2h) and the concatenated final states (1×2h).
+func (p *Parser) encode(g *nn.Graph, srcIds []int) (H *nn.Tensor, final *nn.Tensor) {
+	n := len(srcIds)
+	embs := make([]*nn.Tensor, n)
+	for i, id := range srcIds {
+		embs[i] = g.Dropout(p.encEmb.Lookup(g, id), p.cfg.Dropout, p.rng)
+	}
+	fh, fc := p.fwd.InitState()
+	fhs := make([]*nn.Tensor, n)
+	for i := 0; i < n; i++ {
+		fh, fc = p.fwd.Step(g, embs[i], fh, fc)
+		fhs[i] = fh
+	}
+	bh, bc := p.bwd.InitState()
+	bhs := make([]*nn.Tensor, n)
+	for i := n - 1; i >= 0; i-- {
+		bh, bc = p.bwd.Step(g, embs[i], bh, bc)
+		bhs[i] = bh
+	}
+	rows := make([]*nn.Tensor, n)
+	for i := 0; i < n; i++ {
+		rows[i] = g.ConcatRow(fhs[i], bhs[i])
+	}
+	H = g.RowsToMatrix(rows)
+	final = g.ConcatRow(fh, bh)
+	return H, final
+}
+
+// decodeState carries the decoder recurrence.
+type decodeState struct {
+	h, c *nn.Tensor
+	ctx  *nn.Tensor
+}
+
+func (p *Parser) initDecode(g *nn.Graph, final *nn.Tensor) decodeState {
+	h := g.Tanh(p.initLin.Apply(g, final))
+	_, c := p.dec.InitState()
+	ctx := nn.NewTensor(1, 2*p.cfg.HiddenDim)
+	return decodeState{h: h, c: c, ctx: ctx}
+}
+
+// step advances the decoder one token: prev is the previous target token id.
+// It returns the vocabulary distribution, the attention weights, the
+// pointer gate, and the next state.
+func (p *Parser) step(g *nn.Graph, st decodeState, prev int, H *nn.Tensor) (pv, alpha, gate *nn.Tensor, next decodeState) {
+	emb := p.decEmb.Lookup(g, prev)
+	x := g.ConcatRow(emb, st.ctx)
+	h, c := p.dec.Step(g, x, st.h, st.c)
+	q := p.attnLin.Apply(g, h)
+	scores := g.AttendDot(q, H)
+	alpha = g.SoftmaxRow(scores)
+	ctx := g.WeightedSumRows(alpha, H)
+	htilde := g.Tanh(p.combLin.Apply(g, g.ConcatRow(h, ctx)))
+	htilde = g.Dropout(htilde, p.cfg.Dropout, p.rng)
+	pv = g.SoftmaxRow(p.outLin.Apply(g, htilde))
+	gate = g.Sigmoid(p.gateLin.Apply(g, htilde))
+	return pv, alpha, gate, decodeState{h: h, c: c, ctx: ctx}
+}
+
+// loss computes the teacher-forced loss of one pair.
+func (p *Parser) loss(g *nn.Graph, pair *Pair) float64 {
+	srcIds := p.src.Encode(pair.Src)
+	H, final := p.encode(g, srcIds)
+	st := p.initDecode(g, final)
+	prev := BosID
+	total := 0.0
+	target := append(append([]string(nil), pair.Tgt...), EosToken)
+	for _, tok := range target {
+		pv, alpha, gate, next := p.step(g, st, prev, H)
+		vocabIdx := -1
+		if p.tgt.Has(tok) {
+			vocabIdx = p.tgt.ID(tok)
+		}
+		if p.cfg.PointerGen {
+			mask := make([]bool, len(pair.Src))
+			for i, s := range pair.Src {
+				mask[i] = s == tok
+			}
+			total += g.NLLPointerMix(pv, alpha, gate, mask, vocabIdx)
+		} else {
+			idx := vocabIdx
+			if idx < 0 {
+				idx = UnkID
+			}
+			total += g.NLLPointerMix(pv, alpha, onesGate(), nil, idx)
+		}
+		st = next
+		prev = p.tgt.ID(tok)
+	}
+	return total / float64(len(target))
+}
+
+// onesGate returns a constant gate of 1 (pure generation); it has no
+// gradient path, which is exactly the -pointer ablation.
+func onesGate() *nn.Tensor {
+	t := nn.NewTensor(1, 1)
+	t.W[0] = 1
+	return t
+}

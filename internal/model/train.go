@@ -1,0 +1,171 @@
+package model
+
+import (
+	"math/rand"
+
+	"repro/internal/nn"
+)
+
+// Train builds vocabularies, optionally pre-trains the decoder language
+// model on lmPrograms (synthesized program token sequences), then trains the
+// parser with teacher forcing, Adam, and early stopping on validation loss.
+func Train(train, val []Pair, lmPrograms [][]string, cfg Config) *Parser {
+	if cfg.EmbedDim == 0 {
+		cfg = mergeDefaults(cfg)
+	}
+	srcSeqs := make([][]string, len(train))
+	tgtSeqs := make([][]string, len(train))
+	for i := range train {
+		srcSeqs[i] = train[i].Src
+		tgtSeqs[i] = train[i].Tgt
+	}
+	// The decoder vocabulary also covers the LM corpus so pre-training and
+	// fine-tuning share token ids.
+	tgtSeqs = append(tgtSeqs, lmPrograms...)
+	src := BuildVocab(srcSeqs, 1)
+	tgt := BuildVocab(tgtSeqs, cfg.MinVocabCount)
+	p := newParser(cfg, src, tgt)
+
+	if cfg.PretrainLM && len(lmPrograms) > 0 {
+		p.pretrainLM(lmPrograms)
+	}
+	p.fit(train, val)
+	return p
+}
+
+func mergeDefaults(cfg Config) Config {
+	d := DefaultConfig
+	d.Seed = cfg.Seed
+	return d
+}
+
+// pretrainLM trains the decoder as a ThingTalk language model: next-token
+// prediction over synthesized programs, with zeroed attention context. The
+// decoder embedding, LSTM and output projection carry over to parsing
+// (Section 4.2).
+func (p *Parser) pretrainLM(programs [][]string) {
+	opt := nn.NewAdam(p.cfg.LR)
+	params := p.decParams()
+	rng := rand.New(rand.NewSource(p.cfg.Seed + 101))
+	steps := p.cfg.LMSteps
+	for s := 0; s < steps; s++ {
+		prog := programs[rng.Intn(len(programs))]
+		g := nn.NewGraph(true)
+		_, c := p.dec.InitState()
+		h := nn.NewTensor(1, p.cfg.HiddenDim)
+		ctx := nn.NewTensor(1, 2*p.cfg.HiddenDim)
+		st := decodeState{h: h, c: c, ctx: ctx}
+		prev := BosID
+		target := append(append([]string(nil), prog...), EosToken)
+		for _, tok := range target {
+			emb := p.decEmb.Lookup(g, prev)
+			x := g.ConcatRow(emb, st.ctx)
+			hh, cc := p.dec.Step(g, x, st.h, st.c)
+			htilde := g.Tanh(p.combLin.Apply(g, g.ConcatRow(hh, st.ctx)))
+			pv := g.SoftmaxRow(p.outLin.Apply(g, htilde))
+			idx := p.tgt.ID(tok)
+			g.NLLPointerMix(pv, nil, onesGate(), nil, idx)
+			st = decodeState{h: hh, c: cc, ctx: st.ctx}
+			prev = idx
+		}
+		g.Backward()
+		opt.Step(params)
+	}
+}
+
+// fit runs teacher-forced training with early stopping.
+func (p *Parser) fit(train, val []Pair) {
+	opt := nn.NewAdam(p.cfg.LR)
+	params := p.Params()
+	rng := rand.New(rand.NewSource(p.cfg.Seed + 202))
+
+	bestLoss := 1e18
+	var best [][]float64
+	evalEvery := p.cfg.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = 2000
+	}
+	badEvals := 0
+	step := 0
+	order := rng.Perm(len(train))
+
+	snapshot := func() {
+		best = best[:0]
+		for _, t := range params {
+			best = append(best, append([]float64(nil), t.W...))
+		}
+	}
+	restore := func() {
+		if best == nil {
+			return
+		}
+		for i, t := range params {
+			copy(t.W, best[i])
+		}
+	}
+
+	for epoch := 0; epoch < max(1, p.cfg.Epochs); epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			g := nn.NewGraph(true)
+			p.loss(g, &train[idx])
+			g.Backward()
+			opt.Step(params)
+			step++
+			if p.cfg.MaxSteps > 0 && step >= p.cfg.MaxSteps {
+				restoreIfBetter(p, val, bestLoss, restore)
+				return
+			}
+			if len(val) > 0 && step%evalEvery == 0 {
+				vl := p.valLoss(val)
+				if vl < bestLoss {
+					bestLoss = vl
+					badEvals = 0
+					snapshot()
+				} else {
+					badEvals++
+					if p.cfg.Patience > 0 && badEvals >= p.cfg.Patience {
+						restore()
+						return
+					}
+				}
+			}
+		}
+	}
+	if len(val) > 0 {
+		vl := p.valLoss(val)
+		if vl >= bestLoss {
+			restore()
+		}
+	}
+}
+
+func restoreIfBetter(p *Parser, val []Pair, bestLoss float64, restore func()) {
+	if len(val) == 0 {
+		return
+	}
+	if p.valLoss(val) >= bestLoss {
+		restore()
+	}
+}
+
+// valLoss measures teacher-forced loss on (a sample of) the validation set.
+func (p *Parser) valLoss(val []Pair) float64 {
+	n := len(val)
+	if n > 200 {
+		n = 200
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		g := nn.NewGraph(false)
+		total += p.loss(g, &val[i])
+	}
+	return total / float64(n)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

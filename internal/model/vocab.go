@@ -1,0 +1,94 @@
+// Package model implements Genie's neural semantic parser (Section 4): a
+// sequence-to-sequence network with a BiLSTM encoder, an attentive LSTM
+// decoder with input feeding, and the mixed pointer–generator output layer
+// that copies free-form parameter words from the input sentence. The decoder
+// can be initialized from a ThingTalk language model pre-trained on
+// synthesized programs (Section 4.2).
+//
+// This is the scaled-down CPU substitute for MQAN/decaNLP documented in
+// DESIGN.md: the coattention transformer stack is replaced by a single
+// BiLSTM, but the components the paper's ablations attribute wins to — the
+// pointer-generator, the pre-trained decoder LM, and the data strategy — are
+// retained.
+package model
+
+import "sort"
+
+// Reserved vocabulary entries.
+const (
+	UnkToken = "<unk>"
+	BosToken = "<s>"
+	EosToken = "</s>"
+)
+
+// Reserved ids.
+const (
+	UnkID = 0
+	BosID = 1
+	EosID = 2
+)
+
+// Vocab maps tokens to dense ids.
+type Vocab struct {
+	tokens []string
+	index  map[string]int
+}
+
+// BuildVocab collects tokens appearing at least minCount times.
+func BuildVocab(sequences [][]string, minCount int) *Vocab {
+	counts := map[string]int{}
+	for _, seq := range sequences {
+		for _, tok := range seq {
+			counts[tok]++
+		}
+	}
+	var keep []string
+	for tok, n := range counts {
+		if n >= minCount {
+			keep = append(keep, tok)
+		}
+	}
+	sort.Strings(keep)
+	v := &Vocab{
+		tokens: append([]string{UnkToken, BosToken, EosToken}, keep...),
+		index:  make(map[string]int, len(keep)+3),
+	}
+	for i, tok := range v.tokens {
+		v.index[tok] = i
+	}
+	return v
+}
+
+// Size returns the vocabulary size.
+func (v *Vocab) Size() int { return len(v.tokens) }
+
+// ID returns the id of a token, or UnkID.
+func (v *Vocab) ID(tok string) int {
+	if id, ok := v.index[tok]; ok {
+		return id
+	}
+	return UnkID
+}
+
+// Has reports whether the token is in vocabulary.
+func (v *Vocab) Has(tok string) bool {
+	_, ok := v.index[tok]
+	return ok
+}
+
+// Token returns the token of an id.
+func (v *Vocab) Token(id int) string {
+	if id < 0 || id >= len(v.tokens) {
+		return UnkToken
+	}
+	return v.tokens[id]
+}
+
+// Encode maps a sequence to ids.
+func (v *Vocab) Encode(seq []string) []int {
+	out := make([]int, len(seq))
+	for i, tok := range seq {
+		out[i] = v.ID(tok)
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package nltemplate
+
+import (
+	"sort"
+
+	"repro/internal/thingtalk"
+)
+
+// Parameter-passing binding. A ref hole (VSlot named __ref) is bound to an
+// output parameter of the producing clause:
+//
+//  1. an output with the same name and an assignable type (the paper's
+//     convention: "we encourage developers to use the same naming
+//     conventions so the same parameter names are used for similar
+//     purposes");
+//  2. otherwise the unique output with exactly the hole's type;
+//  3. otherwise the unique output with an assignable string-like type.
+//
+// If no binding or an ambiguous binding results, the combination is ⊥.
+
+// findRefHole locates the single ref hole in an action, returning its
+// parameter name and type, or ok=false when none (or several) exist.
+func findActionRef(a *thingtalk.Action) (param string, typ thingtalk.Type, ok bool) {
+	count := 0
+	walkAction(a, func(v *thingtalk.Value, name string) error {
+		if v.Kind == thingtalk.VSlot && v.Name == refMarker {
+			count++
+			param, typ = name, v.SlotType
+		}
+		return nil
+	})
+	return param, typ, count == 1
+}
+
+// chooseBinding picks the output parameter a hole binds to, per the priority
+// rules above.
+func chooseBinding(holeParam string, holeType thingtalk.Type, env map[string]thingtalk.Type) (string, bool) {
+	if holeType == nil {
+		return "", false
+	}
+	if t, ok := env[holeParam]; ok && bindAssignable(t, holeType) {
+		return holeParam, true
+	}
+	names := make([]string, 0, len(env))
+	for n := range env {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var exact, loose []string
+	for _, n := range names {
+		t := env[n]
+		if t.Equal(holeType) {
+			exact = append(exact, n)
+		} else if bindAssignable(t, holeType) {
+			loose = append(loose, n)
+		}
+	}
+	if len(exact) == 1 {
+		return exact[0], true
+	}
+	if len(exact) == 0 && len(loose) == 1 {
+		return loose[0], true
+	}
+	return "", false
+}
+
+func bindAssignable(src, dst thingtalk.Type) bool {
+	if src.Equal(dst) {
+		return true
+	}
+	return thingtalk.IsStringLike(src) && thingtalk.IsStringLike(dst)
+}
+
+// bindActionRef rewrites the cloned action's ref hole into a VVarRef bound
+// against env; returns nil on binding failure.
+func bindActionRef(a *thingtalk.Action, env map[string]thingtalk.Type) *thingtalk.Action {
+	param, typ, ok := findActionRef(a)
+	if !ok {
+		return nil
+	}
+	out, ok := chooseBinding(param, typ, env)
+	if !ok {
+		return nil
+	}
+	walkAction(a, func(v *thingtalk.Value, name string) error {
+		if v.Kind == thingtalk.VSlot && v.Name == refMarker {
+			*v = thingtalk.VarRefValue(out)
+		}
+		return nil
+	})
+	return a
+}
+
+// bindQueryRef converts a cloned query-with-hole into a join: the hole's
+// input parameter is removed from its invocation and passed through the
+// join's "on" clause from the producing query's matching output.
+//
+//	now => producer join holder on holeParam = out => ...
+func bindQueryRef(holder *thingtalk.Query, producer *thingtalk.Query, env map[string]thingtalk.Type) *thingtalk.Query {
+	// Locate the hole.
+	holeParam, holeType := "", thingtalk.Type(nil)
+	count := 0
+	walkQuery(holder, func(v *thingtalk.Value, name string) error {
+		if v.Kind == thingtalk.VSlot && v.Name == refMarker {
+			count++
+			holeParam, holeType = name, v.SlotType
+		}
+		return nil
+	})
+	if count != 1 {
+		return nil
+	}
+	out, ok := chooseBinding(holeParam, holeType, env)
+	if !ok {
+		return nil
+	}
+	if !removeInputParam(holder, holeParam) {
+		return nil
+	}
+	return thingtalk.Join(producer, holder, thingtalk.In(holeParam, thingtalk.VarRefValue(out)))
+}
+
+// removeInputParam deletes the in-parameter carrying the ref hole from the
+// query's invocation; it reports whether exactly one was removed.
+func removeInputParam(q *thingtalk.Query, param string) bool {
+	switch q.Kind {
+	case thingtalk.QueryInvocation:
+		for i := range q.Invocation.In {
+			ip := q.Invocation.In[i]
+			if ip.Name == param && ip.Value.Kind == thingtalk.VSlot && ip.Value.Name == refMarker {
+				q.Invocation.In = append(q.Invocation.In[:i], q.Invocation.In[i+1:]...)
+				return true
+			}
+		}
+		return false
+	case thingtalk.QueryFilter, thingtalk.QueryAggregate:
+		return removeInputParam(q.Inner, param)
+	case thingtalk.QueryJoin:
+		return removeInputParam(q.Right, param) || removeInputParam(q.Inner, param)
+	}
+	return false
+}
+
+// hasRefHole reports whether the fragment still contains an unbound hole
+// (such fragments must not escape into final programs).
+func hasRefHole(value any) bool {
+	found := false
+	check := func(v *thingtalk.Value, _ string) error {
+		if v.Kind == thingtalk.VSlot && v.Name == refMarker {
+			found = true
+		}
+		return nil
+	}
+	switch x := value.(type) {
+	case *thingtalk.Query:
+		walkQuery(x, check)
+	case *thingtalk.Stream:
+		walkStream(x, check)
+	case *thingtalk.Action:
+		walkAction(x, check)
+	case *thingtalk.Program:
+		if x.Stream != nil {
+			walkStream(x.Stream, check)
+		}
+		if x.Query != nil {
+			walkQuery(x.Query, check)
+		}
+		walkAction(x.Action, check)
+	}
+	return found
+}

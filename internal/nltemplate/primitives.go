@@ -1,0 +1,338 @@
+package nltemplate
+
+import (
+	"strings"
+
+	"repro/internal/thingpedia"
+	"repro/internal/thingtalk"
+)
+
+// refMarker is the slot name marking a parameter-passing hole; construct
+// templates bind it to an output parameter of the other clause.
+const refMarker = "__ref"
+
+// AddPrimitiveRules expands every primitive template of the library into
+// grammar rules. Placeholders become typed constant non-terminals; for
+// string-like placeholders, additional variants are generated for parameter
+// passing:
+//
+//   - action/query verb phrases get "ref" variants where the placeholder is
+//     spoken as a coreference ("post it on facebook", "translate it") and
+//     the code carries a hole bound by a construct template — this is how
+//     Fig. 1's "get a cat picture and post it on facebook" is synthesized;
+//   - query phrases additionally get positional join variants where the
+//     placeholder position is filled by another query noun phrase ("the
+//     translation of <nyt headlines>"), compiling to a join with parameter
+//     passing.
+func AddPrimitiveRules(g *Grammar, lib *thingpedia.Library) {
+	for _, p := range lib.Primitives("") {
+		addPrimitive(g, p, lib)
+	}
+}
+
+func addPrimitive(g *Grammar, p *thingpedia.Primitive, lib *thingpedia.Library) {
+	lhs := map[thingpedia.PrimitiveCategory]string{
+		thingpedia.CatNP:  CatNP,
+		thingpedia.CatQVP: CatQVP,
+		thingpedia.CatWP:  CatWP,
+		thingpedia.CatAVP: CatAVP,
+	}[p.Category]
+
+	rhs, order := primitiveRHS(p, "", nil)
+	g.Add(&Rule{
+		LHS:   lhs,
+		RHS:   rhs,
+		Apply: primitiveApply(p, order, ""),
+		Flags: p.Flags,
+		Name:  "prim:" + strings.Join(p.Utterance, " "),
+	})
+
+	for _, arg := range p.Args {
+		if !thingtalk.IsStringLike(arg.Type) {
+			continue
+		}
+		switch p.Category {
+		case thingpedia.CatAVP, thingpedia.CatQVP:
+			// Coreference variants: "post it on facebook".
+			refLHS := CatAVPRef
+			if p.Category == thingpedia.CatQVP {
+				refLHS = CatNPRef
+			}
+			for _, phrase := range refPhrases(p, arg.Name) {
+				rhs, order := primitiveRHS(p, arg.Name, strings.Fields(phrase))
+				g.Add(&Rule{
+					LHS:   refLHS,
+					RHS:   rhs,
+					Apply: primitiveApply(p, order, arg.Name),
+					Flags: p.Flags,
+					Name:  "primref:" + strings.Join(p.Utterance, " ") + ":" + arg.Name,
+				})
+			}
+		}
+		if p.Category == thingpedia.CatNP || p.Category == thingpedia.CatQVP {
+			// Positional join variant: the placeholder position is another
+			// noun phrase.
+			rhs, order := primitiveRHS(p, arg.Name, nil)
+			g.Add(&Rule{
+				LHS:   lhs,
+				RHS:   rhs,
+				Apply: primitiveJoinApply(p, order, arg.Name, lib),
+				Flags: p.Flags,
+				Name:  "primjoin:" + strings.Join(p.Utterance, " ") + ":" + arg.Name,
+			})
+		}
+	}
+}
+
+// primitiveRHS converts the utterance into rule symbols. refArg, when
+// non-empty, is the placeholder receiving special treatment: spoken as
+// refPhrase when non-nil, or as an np non-terminal when refPhrase is nil.
+// The returned order lists placeholder names in non-terminal position order
+// (with refArg included when it maps to a non-terminal).
+func primitiveRHS(p *thingpedia.Primitive, refArg string, refPhrase []string) ([]Symbol, []string) {
+	var rhs []Symbol
+	var order []string
+	pendingLit := []string{}
+	flush := func() {
+		if len(pendingLit) > 0 {
+			rhs = append(rhs, Lit(strings.Join(pendingLit, " ")))
+			pendingLit = pendingLit[:0]
+		}
+	}
+	for _, tok := range p.Utterance {
+		if len(tok) > 1 && tok[0] == '$' {
+			name := tok[1:]
+			if name == refArg {
+				if refPhrase != nil {
+					pendingLit = append(pendingLit, refPhrase...)
+					continue
+				}
+				flush()
+				rhs = append(rhs, NT(CatNP))
+				order = append(order, name)
+				continue
+			}
+			arg, _ := p.Arg(name)
+			flush()
+			rhs = append(rhs, NT(ConstCategory(arg.Type)))
+			order = append(order, name)
+			continue
+		}
+		pendingLit = append(pendingLit, tok)
+	}
+	flush()
+	return rhs, order
+}
+
+// primitiveJoinApply builds the semantic function of a positional join
+// variant: the refArg child is a producer query; the template's fragment
+// becomes the right side of a join with the hole passed through "on".
+func primitiveJoinApply(p *thingpedia.Primitive, order []string, refArg string, lib *thingpedia.Library) SemanticFn {
+	return func(children []*Derivation) any {
+		var producer *thingtalk.Query
+		ids := map[string]int{}
+		for i, name := range order {
+			if name == refArg {
+				q, ok := children[i].Value.(*thingtalk.Query)
+				if !ok {
+					return nil
+				}
+				producer = q
+				continue
+			}
+			v, ok := children[i].Value.(thingtalk.Value)
+			if !ok || v.Kind != thingtalk.VSlot {
+				return nil
+			}
+			ids[name] = v.SlotID
+		}
+		if producer == nil || hasRefHole(producer) {
+			return nil
+		}
+		holder := p.Query.Clone()
+		walkQuery(holder, func(v *thingtalk.Value, _ string) error {
+			if v.Kind != thingtalk.VSlot || v.Name == "" {
+				return nil
+			}
+			if v.Name == refArg {
+				v.Name = refMarker
+				return nil
+			}
+			if id, ok := ids[v.Name]; ok {
+				v.SlotID = id
+				v.Name = ""
+			}
+			return nil
+		})
+		prod := producer.Clone()
+		env, err := thingtalk.TypecheckQuery(prod, lib)
+		if err != nil {
+			return nil
+		}
+		joined := bindQueryRef(holder, prod, env)
+		if joined == nil {
+			return nil
+		}
+		return joined
+	}
+}
+
+// primitiveApply clones the template's code fragment and fills its slots:
+// placeholders listed in order receive the children's slot IDs; refArg (if
+// any) becomes a parameter-passing hole.
+func primitiveApply(p *thingpedia.Primitive, order []string, refArg string) SemanticFn {
+	return func(children []*Derivation) any {
+		ids := map[string]int{}
+		for i, name := range order {
+			v, ok := children[i].Value.(thingtalk.Value)
+			if !ok || v.Kind != thingtalk.VSlot {
+				return nil
+			}
+			ids[name] = v.SlotID
+		}
+		fill := func(v *thingtalk.Value, _ string) error {
+			if v.Kind != thingtalk.VSlot || v.Name == "" {
+				return nil
+			}
+			if v.Name == refArg {
+				v.Name = refMarker
+				return nil
+			}
+			if id, ok := ids[v.Name]; ok {
+				v.SlotID = id
+				v.Name = ""
+			}
+			return nil
+		}
+		switch {
+		case p.Query != nil:
+			q := p.Query.Clone()
+			walkQuery(q, fill)
+			return q
+		case p.Stream != nil:
+			s := p.Stream.Clone()
+			walkStream(s, fill)
+			return s
+		case p.Action != nil:
+			a := p.Action.Clone()
+			walkAction(a, fill)
+			return a
+		}
+		return nil
+	}
+}
+
+// refPhrases returns the coreference phrases used to speak a placeholder
+// that receives parameter passing.
+func refPhrases(p *thingpedia.Primitive, argName string) []string {
+	noun := refNoun(p, argName)
+	if noun == "" {
+		return []string{"it"}
+	}
+	return []string{"it", "the " + noun}
+}
+
+// refNoun derives a noun for the hole from the parameter the placeholder
+// fills (picture_url -> picture, tweet_id -> tweet, message -> message).
+func refNoun(p *thingpedia.Primitive, argName string) string {
+	param := ""
+	find := func(v *thingtalk.Value, slotParam string) error {
+		if v.Kind == thingtalk.VSlot && v.Name == argName {
+			param = v.SlotParam
+		}
+		return nil
+	}
+	switch {
+	case p.Query != nil:
+		walkQuery(p.Query, find)
+	case p.Stream != nil:
+		walkStream(p.Stream, find)
+	case p.Action != nil:
+		walkAction(p.Action, find)
+	}
+	if param == "" {
+		return ""
+	}
+	words := strings.Split(param, "_")
+	// Trim suffixes that are not nouns users would say.
+	for len(words) > 1 {
+		switch words[len(words)-1] {
+		case "url", "id", "name", "text":
+			words = words[:len(words)-1]
+			continue
+		}
+		break
+	}
+	return strings.Join(words, " ")
+}
+
+// --- shared AST walkers (mutating) -------------------------------------------
+
+func walkQuery(q *thingtalk.Query, f func(*thingtalk.Value, string) error) {
+	if q == nil {
+		return
+	}
+	switch q.Kind {
+	case thingtalk.QueryInvocation:
+		walkInvocation(q.Invocation, f)
+	case thingtalk.QueryFilter:
+		walkQuery(q.Inner, f)
+		walkPredicate(q.Predicate, f)
+	case thingtalk.QueryJoin:
+		walkQuery(q.Inner, f)
+		walkQuery(q.Right, f)
+		for i := range q.JoinParams {
+			f(&q.JoinParams[i].Value, q.JoinParams[i].Name)
+		}
+	case thingtalk.QueryAggregate:
+		walkQuery(q.Inner, f)
+	}
+}
+
+func walkStream(s *thingtalk.Stream, f func(*thingtalk.Value, string) error) {
+	if s == nil {
+		return
+	}
+	switch s.Kind {
+	case thingtalk.StreamTimer:
+		f(&s.Base, "base")
+		f(&s.Interval, "interval")
+	case thingtalk.StreamAtTimer:
+		f(&s.Time, "time")
+	case thingtalk.StreamMonitor:
+		walkQuery(s.Monitor, f)
+	case thingtalk.StreamEdge:
+		walkStream(s.Inner, f)
+		walkPredicate(s.Predicate, f)
+	}
+}
+
+func walkAction(a *thingtalk.Action, f func(*thingtalk.Value, string) error) {
+	if a == nil || a.Invocation == nil {
+		return
+	}
+	walkInvocation(a.Invocation, f)
+}
+
+func walkInvocation(inv *thingtalk.Invocation, f func(*thingtalk.Value, string) error) {
+	for i := range inv.In {
+		f(&inv.In[i].Value, inv.In[i].Name)
+	}
+}
+
+func walkPredicate(p *thingtalk.Predicate, f func(*thingtalk.Value, string) error) {
+	if p == nil {
+		return
+	}
+	switch p.Kind {
+	case thingtalk.PredAtom:
+		f(&p.Value, p.Param)
+	case thingtalk.PredNot, thingtalk.PredAnd, thingtalk.PredOr:
+		for _, ch := range p.Children {
+			walkPredicate(ch, f)
+		}
+	case thingtalk.PredExternal:
+		walkInvocation(p.External, f)
+		walkPredicate(p.InnerPred, f)
+	}
+}

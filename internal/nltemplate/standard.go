@@ -1,0 +1,603 @@
+package nltemplate
+
+import (
+	"strings"
+
+	"repro/internal/thingpedia"
+	"repro/internal/thingtalk"
+)
+
+// Options configure the standard grammar.
+type Options struct {
+	// Aggregates enables the TT+A extension rules of Section 6.3.
+	Aggregates bool
+	// GenericFilters enables the generated per-function predicate rules
+	// (in addition to filters written directly in primitive templates).
+	GenericFilters bool
+	// MaxFilterParams caps how many output parameters per function get
+	// generated predicate rules (0 means all).
+	MaxFilterParams int
+}
+
+// DefaultOptions is the configuration used for the main ThingTalk
+// experiments.
+var DefaultOptions = Options{GenericFilters: true, MaxFilterParams: 4}
+
+// StandardGrammar builds the full synthesis grammar for a skill library: the
+// construct templates of the ThingTalk language (Section 3.1) plus the
+// expansion of every primitive template. The rule inventory mirrors the
+// paper's: constructs for primitive commands, compound commands, timers,
+// filters and parameter passing.
+func StandardGrammar(lib *thingpedia.Library, opt Options) *Grammar {
+	g := NewGrammar()
+	AddPrimitiveRules(g, lib)
+	AddConstructRules(g, lib)
+	if opt.GenericFilters {
+		AddFilterRules(g, lib, opt.MaxFilterParams)
+	}
+	if opt.Aggregates {
+		AddAggregateRules(g, lib)
+	}
+	return g
+}
+
+// AddConstructRules installs the hand-written construct templates.
+func AddConstructRules(g *Grammar, lib *thingpedia.Library) {
+	b := builder{g: g, lib: lib}
+
+	// --- Primitive commands: now => q => notify -------------------------
+	for _, prefix := range []string{
+		"get", "show me", "list", "find", "search for", "tell me",
+		"give me", "display", "what is", "i want to see",
+	} {
+		p := prefix
+		flags := []string(nil)
+		if p == "get" {
+			flags = []string{"basic"}
+		}
+		b.rule("cmd:get-np:"+p, CatCommand, []Symbol{Lit(p), NT(CatNP)}, func(c []*Derivation) any {
+			return b.queryProgram(thingtalk.Now(), queryOf(c[0]), thingtalk.Notify())
+		}, flags...)
+	}
+	b.rule("cmd:enumerate", CatCommand, []Symbol{Lit("enumerate"), NT(CatNP)}, func(c []*Derivation) any {
+		q := queryOf(c[0])
+		if q == nil || !b.isList(q) {
+			return nil
+		}
+		return b.program(thingtalk.Now(), q, thingtalk.Notify())
+	})
+
+	// --- Query verb phrases as commands ---------------------------------
+	for _, wrap := range []struct{ pre, post string }{
+		{"", ""}, {"please", ""}, {"", "please"}, {"can you", ""}, {"could you please", ""},
+	} {
+		w := wrap
+		name := "cmd:qvp:" + w.pre + "/" + w.post
+		rhs := wrapRHS(w.pre, NT(CatQVP), w.post)
+		flags := []string(nil)
+		if w.pre == "" && w.post == "" {
+			flags = []string{"basic"}
+		}
+		b.rule(name, CatCommand, rhs, func(c []*Derivation) any {
+			return b.queryProgram(thingtalk.Now(), queryOf(c[0]), thingtalk.Notify())
+		}, flags...)
+	}
+
+	// --- Action commands: now => a ---------------------------------------
+	for _, wrap := range []struct{ pre, post string }{
+		{"", ""}, {"please", ""}, {"", "please"}, {"i want to", ""},
+		{"can you", ""}, {"i need you to", ""},
+	} {
+		w := wrap
+		rhs := wrapRHS(w.pre, NT(CatAVP), w.post)
+		flags := []string(nil)
+		if w.pre == "" && w.post == "" {
+			flags = []string{"basic"}
+		}
+		b.rule("cmd:avp:"+w.pre+"/"+w.post, CatCommand, rhs, func(c []*Derivation) any {
+			return b.program(thingtalk.Now(), nil, actionOf(c[0]))
+		}, flags...)
+	}
+
+	// --- Monitors as when-phrases ----------------------------------------
+	for _, phr := range []struct {
+		name string
+		rhs  []Symbol
+	}{
+		{"wp:when-np-changes", []Symbol{Lit("when"), NT(CatNP), Lit("changes")}},
+		{"wp:when-new-np", []Symbol{Lit("when there are new"), NT(CatNP)}},
+		{"wp:when-np-updates", []Symbol{Lit("when"), NT(CatNP), Lit("is updated")}},
+	} {
+		b.rule(phr.name, CatWP, phr.rhs, func(c []*Derivation) any {
+			q := queryOf(c[0])
+			if q == nil || !b.isMonitorable(q) {
+				return nil
+			}
+			return thingtalk.Monitor(q)
+		})
+	}
+
+	// --- Notification commands: s => notify -------------------------------
+	for _, prefix := range []string{"notify me", "alert me", "let me know", "send me a message"} {
+		p := prefix
+		flags := []string(nil)
+		if p == "notify me" {
+			flags = []string{"basic"}
+		}
+		b.rule("cmd:notify:"+p, CatCommand, []Symbol{Lit(p), NT(CatWP)}, func(c []*Derivation) any {
+			return b.program(streamOf(c[0]), nil, thingtalk.Notify())
+		}, flags...)
+		b.rule("cmd:notify-rev:"+p, CatCommand, []Symbol{NT(CatWP), Lit(", " + p)}, func(c []*Derivation) any {
+			return b.program(streamOf(c[0]), nil, thingtalk.Notify())
+		})
+	}
+
+	// --- Monitor + get: s => q => notify ----------------------------------
+	b.rule("cmd:wp-get-np", CatCommand, []Symbol{NT(CatWP), Lit(", get"), NT(CatNP)}, func(c []*Derivation) any {
+		return b.queryProgram(streamOf(c[0]), queryOf(c[1]), thingtalk.Notify())
+	}, "basic")
+	b.rule("cmd:wp-show-np", CatCommand, []Symbol{NT(CatWP), Lit(", show me"), NT(CatNP)}, func(c []*Derivation) any {
+		return b.queryProgram(streamOf(c[0]), queryOf(c[1]), thingtalk.Notify())
+	})
+	b.rule("cmd:get-np-wp", CatCommand, []Symbol{Lit("get"), NT(CatNP), NT(CatWP)}, func(c []*Derivation) any {
+		return b.queryProgram(streamOf(c[1]), queryOf(c[0]), thingtalk.Notify())
+	})
+
+	// --- When-do compound commands: s => a --------------------------------
+	// The two common orders of Section 3.1 ("when it rains, remind me ..."
+	// and "remind me ... when it rains").
+	b.rule("cmd:wp-avp", CatCommand, []Symbol{NT(CatWP), Lit(","), NT(CatAVP)}, func(c []*Derivation) any {
+		return b.program(streamOf(c[0]), nil, actionOf(c[1]))
+	}, "basic")
+	b.rule("cmd:avp-wp", CatCommand, []Symbol{NT(CatAVP), NT(CatWP)}, func(c []*Derivation) any {
+		return b.program(streamOf(c[1]), nil, actionOf(c[0]))
+	})
+
+	// When-do with parameter passing from the monitored query's outputs.
+	b.rule("cmd:wp-avpref", CatCommand, []Symbol{NT(CatWP), Lit(","), NT(CatAVPRef)}, func(c []*Derivation) any {
+		s := streamOf(c[0])
+		a := actionOf(c[1])
+		if s == nil || a == nil {
+			return nil
+		}
+		env, err := thingtalk.TypecheckStream(s, b.lib)
+		if err != nil || len(env) == 0 {
+			return nil
+		}
+		if bound := bindActionRef(a, env); bound != nil {
+			return b.program(s, nil, bound)
+		}
+		return nil
+	}, "basic")
+	b.rule("cmd:avpref-wp", CatCommand, []Symbol{NT(CatAVPRef), NT(CatWP)}, func(c []*Derivation) any {
+		s := streamOf(c[1])
+		a := actionOf(c[0])
+		if s == nil || a == nil {
+			return nil
+		}
+		env, err := thingtalk.TypecheckStream(s, b.lib)
+		if err != nil || len(env) == 0 {
+			return nil
+		}
+		if bound := bindActionRef(a, env); bound != nil {
+			return b.program(s, nil, bound)
+		}
+		return nil
+	})
+
+	// --- Get-do compound commands: now => q => a --------------------------
+	for _, conj := range []string{"and then", "and"} {
+		cj := conj
+		flags := []string(nil)
+		if cj == "and then" {
+			flags = []string{"basic"}
+		}
+		b.rule("cmd:get-np-then-avpref:"+cj, CatCommand,
+			[]Symbol{Lit("get"), NT(CatNP), Lit(cj), NT(CatAVPRef)}, func(c []*Derivation) any {
+				q := queryOf(c[0])
+				a := actionOf(c[1])
+				if q == nil || a == nil {
+					return nil
+				}
+				env, err := thingtalk.TypecheckQuery(q, b.lib)
+				if err != nil {
+					return nil
+				}
+				if bound := bindActionRef(a, env); bound != nil {
+					return b.queryProgram(thingtalk.Now(), q, bound)
+				}
+				return nil
+			}, flags...)
+	}
+	b.rule("cmd:get-np-then-avp", CatCommand,
+		[]Symbol{Lit("get"), NT(CatNP), Lit("and then"), NT(CatAVP)}, func(c []*Derivation) any {
+			return b.queryProgram(thingtalk.Now(), queryOf(c[0]), actionOf(c[1]))
+		})
+
+	// --- Timers -----------------------------------------------------------
+	interval := ConstCategory(thingtalk.MeasureType{Unit: "ms"})
+	tod := ConstCategory(thingtalk.TimeType{})
+	b.rule("cmd:timer-avp", CatCommand, []Symbol{NT(CatAVP), Lit("every"), NT(interval)}, func(c []*Derivation) any {
+		iv, ok := c[1].Value.(thingtalk.Value)
+		if !ok {
+			return nil
+		}
+		return b.program(thingtalk.Timer(thingtalk.DateValue("now"), iv), nil, actionOf(c[0]))
+	}, "basic")
+	b.rule("cmd:timer-get", CatCommand, []Symbol{Lit("get"), NT(CatNP), Lit("every"), NT(interval)}, func(c []*Derivation) any {
+		iv, ok := c[1].Value.(thingtalk.Value)
+		if !ok {
+			return nil
+		}
+		return b.queryProgram(thingtalk.Timer(thingtalk.DateValue("now"), iv), queryOf(c[0]), thingtalk.Notify())
+	})
+	b.rule("cmd:attimer-avp", CatCommand, []Symbol{Lit("every day at"), NT(tod), Lit(","), NT(CatAVP)}, func(c []*Derivation) any {
+		tv, ok := c[0].Value.(thingtalk.Value)
+		if !ok {
+			return nil
+		}
+		return b.program(thingtalk.AtTimer(tv), nil, actionOf(c[1]))
+	})
+	b.rule("cmd:avp-attimer", CatCommand, []Symbol{NT(CatAVP), Lit("every day at"), NT(tod)}, func(c []*Derivation) any {
+		tv, ok := c[1].Value.(thingtalk.Value)
+		if !ok {
+			return nil
+		}
+		return b.program(thingtalk.AtTimer(tv), nil, actionOf(c[0]))
+	})
+	b.rule("cmd:attimer-get", CatCommand, []Symbol{Lit("every day at"), NT(tod), Lit(", get"), NT(CatNP)}, func(c []*Derivation) any {
+		tv, ok := c[0].Value.(thingtalk.Value)
+		if !ok {
+			return nil
+		}
+		return b.queryProgram(thingtalk.AtTimer(tv), queryOf(c[1]), thingtalk.Notify())
+	})
+
+	// --- Filters ----------------------------------------------------------
+	// np := np having pred (Section 3.1's intermediate-derivation example).
+	for _, link := range []string{"", "that are", "having"} {
+		lk := link
+		rhs := []Symbol{NT(CatNP)}
+		if lk != "" {
+			rhs = append(rhs, Lit(lk))
+		}
+		rhs = append(rhs, NT(CatPred))
+		b.rule("np:filter:"+lk, CatNP, rhs, func(c []*Derivation) any {
+			return b.attachFilter(c[0], c[1])
+		})
+	}
+	// The combined lower-depth template of Section 3.1: "get np having pred
+	// and then avp" as a single rule.
+	b.rule("cmd:get-filter-then", CatCommand,
+		[]Symbol{Lit("get"), NT(CatNP), NT(CatPred), Lit("and then"), NT(CatAVP)}, func(c []*Derivation) any {
+			q, ok := b.attachFilter(c[0], c[1]).(*thingtalk.Query)
+			if !ok || q == nil {
+				return nil
+			}
+			return b.queryProgram(thingtalk.Now(), q, actionOf(c[2]))
+		})
+	// wp := when np pred (monitor a filtered query).
+	b.rule("wp:when-np-pred", CatWP, []Symbol{Lit("when"), NT(CatNP), NT(CatPred)}, func(c []*Derivation) any {
+		q, ok := b.attachFilter(c[0], c[1]).(*thingtalk.Query)
+		if !ok || q == nil || !b.isMonitorable(q) {
+			return nil
+		}
+		return thingtalk.Monitor(q)
+	})
+
+	// --- Query join via verb-phrase coreference ---------------------------
+	// "get <np> and translate it": join with parameter passing.
+	b.rule("cmd:get-np-then-npref", CatCommand,
+		[]Symbol{Lit("get"), NT(CatNP), Lit("and"), NT(CatNPRef)}, func(c []*Derivation) any {
+			prod := queryOf(c[0])
+			holder := queryOf(c[1])
+			if prod == nil || holder == nil || hasRefHole(prod) {
+				return nil
+			}
+			env, err := thingtalk.TypecheckQuery(prod, b.lib)
+			if err != nil {
+				return nil
+			}
+			joined := bindQueryRef(holder, prod, env)
+			if joined == nil {
+				return nil
+			}
+			return b.queryProgram(thingtalk.Now(), joined, thingtalk.Notify())
+		})
+}
+
+// wrapRHS builds [pre] sym [post] skipping empty wrappers.
+func wrapRHS(pre string, sym Symbol, post string) []Symbol {
+	var rhs []Symbol
+	if pre != "" {
+		rhs = append(rhs, Lit(pre))
+	}
+	rhs = append(rhs, sym)
+	if post != "" {
+		rhs = append(rhs, Lit(post))
+	}
+	return rhs
+}
+
+// builder carries the library through rule construction.
+type builder struct {
+	g   *Grammar
+	lib *thingpedia.Library
+}
+
+func (b *builder) rule(name, lhs string, rhs []Symbol, apply SemanticFn, flags ...string) {
+	// Every construct rule carries the "standard" flag so that restricted
+	// synthesis runs (e.g. the Wang-et-al baseline, which uses the "basic"
+	// subset) can exclude the richer constructs; primitive templates stay
+	// unflagged and participate in every run.
+	flags = append(flags, "standard")
+	b.g.Add(&Rule{LHS: lhs, RHS: rhs, Apply: apply, Flags: flags, Name: name})
+}
+
+// program assembles and validates a complete program; it returns nil (⊥)
+// when the combination does not typecheck.
+func (b *builder) program(s *thingtalk.Stream, q *thingtalk.Query, a *thingtalk.Action) any {
+	if s == nil || a == nil {
+		return nil
+	}
+	prog := &thingtalk.Program{Stream: s.Clone(), Query: q.Clone(), Action: a.Clone()}
+	if hasRefHole(prog) {
+		return nil
+	}
+	if err := thingtalk.Typecheck(prog, b.lib); err != nil {
+		return nil
+	}
+	return prog
+}
+
+// queryProgram is program but requires a non-nil query clause.
+func (b *builder) queryProgram(s *thingtalk.Stream, q *thingtalk.Query, a *thingtalk.Action) any {
+	if q == nil {
+		return nil
+	}
+	return b.program(s, q, a)
+}
+
+// attachFilter wraps the np's query with the predicate when the predicate's
+// function matches the query's right-most invocation.
+func (b *builder) attachFilter(np *Derivation, pred *Derivation) any {
+	q := queryOf(np)
+	p, ok := pred.Value.(*Pred)
+	if q == nil || !ok {
+		return nil
+	}
+	if q.Kind == thingtalk.QueryAggregate {
+		return nil
+	}
+	if rightmostSelector(q) != p.Selector {
+		return nil
+	}
+	return thingtalk.Filter(q.Clone(), p.Predicate.Clone())
+}
+
+func (b *builder) isMonitorable(q *thingtalk.Query) bool {
+	for _, inv := range queryInvocations(q) {
+		sch, ok := b.lib.Schema(inv.Class, inv.Function)
+		if !ok || !sch.Monitor {
+			return false
+		}
+	}
+	return true
+}
+
+func (b *builder) isList(q *thingtalk.Query) bool {
+	if q.Kind == thingtalk.QueryAggregate {
+		return false
+	}
+	for _, inv := range queryInvocations(q) {
+		sch, ok := b.lib.Schema(inv.Class, inv.Function)
+		if ok && sch.List {
+			return true
+		}
+	}
+	return false
+}
+
+// queryOf extracts a query value from a derivation.
+func queryOf(d *Derivation) *thingtalk.Query {
+	q, _ := d.Value.(*thingtalk.Query)
+	return q
+}
+
+func streamOf(d *Derivation) *thingtalk.Stream {
+	s, _ := d.Value.(*thingtalk.Stream)
+	return s
+}
+
+func actionOf(d *Derivation) *thingtalk.Action {
+	a, _ := d.Value.(*thingtalk.Action)
+	return a
+}
+
+// rightmostSelector returns the selector of the query's right-most
+// invocation (the function a filter attaches to).
+func rightmostSelector(q *thingtalk.Query) string {
+	invs := queryInvocations(q)
+	if len(invs) == 0 {
+		return ""
+	}
+	return invs[len(invs)-1].Selector()
+}
+
+func queryInvocations(q *thingtalk.Query) []*thingtalk.Invocation {
+	prog := &thingtalk.Program{Stream: thingtalk.Now(), Query: q, Action: thingtalk.Notify()}
+	return prog.Invocations()
+}
+
+// --- Generated filter rules ---------------------------------------------------
+
+// AddFilterRules generates predicate-phrase rules for every query function's
+// output parameters: equality, ordering, string and array containment. These
+// provide broad (if clunky) filter coverage beyond the filters written in
+// primitive templates, exactly the role of the 68 hand-written filter
+// construct templates in the paper.
+func AddFilterRules(g *Grammar, lib *thingpedia.Library, maxParams int) {
+	for _, f := range lib.Functions() {
+		if f.Kind != thingtalk.KindQuery {
+			continue
+		}
+		n := 0
+		for _, ps := range f.OutParams() {
+			if maxParams > 0 && n >= maxParams {
+				break
+			}
+			n++
+			addParamFilters(g, f, ps)
+		}
+	}
+}
+
+func addParamFilters(g *Grammar, f *thingtalk.FunctionSchema, ps thingtalk.ParamSpec) {
+	sel := f.Selector()
+	noun := strings.ReplaceAll(ps.Name, "_", " ")
+	add := func(name, phrase, op string, valueType thingtalk.Type) {
+		cc := ConstCategory(valueType)
+		g.Add(&Rule{
+			LHS:  CatPred,
+			RHS:  []Symbol{Lit(phrase), NT(cc)},
+			Name: "pred:" + sel + ":" + name,
+			Apply: func(c []*Derivation) any {
+				v, ok := c[0].Value.(thingtalk.Value)
+				if !ok {
+					return nil
+				}
+				return &Pred{Selector: sel, Predicate: thingtalk.Atom(ps.Name, op, v)}
+			},
+		})
+	}
+	switch t := ps.Type.(type) {
+	case thingtalk.StringType, thingtalk.PathNameType, thingtalk.URLType, thingtalk.EntityType:
+		add(ps.Name+":eq", "with "+noun+" equal to", thingtalk.OpEq, ps.Type)
+		add(ps.Name+":substr", "with "+noun+" containing", thingtalk.OpSubstr, thingtalk.StringType{})
+		add(ps.Name+":starts", "whose "+noun+" starts with", thingtalk.OpStartsWith, thingtalk.StringType{})
+	case thingtalk.NumberType:
+		add(ps.Name+":gt", "with "+noun+" greater than", thingtalk.OpGt, ps.Type)
+		add(ps.Name+":lt", "with "+noun+" less than", thingtalk.OpLt, ps.Type)
+		add(ps.Name+":ge", "with "+noun+" at least", thingtalk.OpGe, ps.Type)
+	case thingtalk.MeasureType, thingtalk.CurrencyType:
+		add(ps.Name+":gt", "with "+noun+" above", thingtalk.OpGt, ps.Type)
+		add(ps.Name+":lt", "with "+noun+" below", thingtalk.OpLt, ps.Type)
+	case thingtalk.DateType:
+		add(ps.Name+":after", "with "+noun+" after", thingtalk.OpGt, ps.Type)
+		add(ps.Name+":before", "with "+noun+" before", thingtalk.OpLt, ps.Type)
+	case thingtalk.BoolType:
+		for _, v := range []bool{true, false} {
+			val := thingtalk.BoolValue(v)
+			phrase := "with " + noun
+			if !v {
+				phrase = "without " + noun
+			}
+			vv := val
+			g.Add(&Rule{
+				LHS:  CatPred,
+				RHS:  []Symbol{Lit(phrase)},
+				Name: "pred:" + sel + ":" + ps.Name + ":" + phrase,
+				Apply: func(c []*Derivation) any {
+					return &Pred{Selector: sel, Predicate: thingtalk.Atom(ps.Name, thingtalk.OpEq, vv)}
+				},
+			})
+		}
+	case thingtalk.EnumType:
+		for _, member := range t.Values {
+			m := member
+			g.Add(&Rule{
+				LHS:  CatPred,
+				RHS:  []Symbol{Lit("with " + noun + " " + strings.ReplaceAll(m, "_", " "))},
+				Name: "pred:" + sel + ":" + ps.Name + ":" + m,
+				Apply: func(c []*Derivation) any {
+					return &Pred{Selector: sel, Predicate: thingtalk.Atom(ps.Name, thingtalk.OpEq, thingtalk.EnumValue(m))}
+				},
+			})
+		}
+	case thingtalk.ArrayType:
+		if thingtalk.IsStringLike(t.Elem) {
+			add(ps.Name+":contains", "with "+noun+" including", thingtalk.OpContains, t.Elem)
+		}
+	}
+}
+
+// --- Aggregation rules (TT+A) -------------------------------------------------
+
+// AddAggregateRules generates the TT+A extension rules of Section 6.3: the
+// six construct templates for min/max/sum/avg over numeric outputs and count
+// over list queries.
+func AddAggregateRules(g *Grammar, lib *thingpedia.Library) {
+	// count is function-agnostic.
+	for _, phrase := range []string{"the number of", "how many"} {
+		ph := phrase
+		g.Add(&Rule{
+			LHS:  CatNP,
+			RHS:  []Symbol{Lit(ph), NT(CatNP)},
+			Name: "agg:count:" + ph,
+			Apply: func(c []*Derivation) any {
+				q := queryOf(c[0])
+				if q == nil || q.Kind == thingtalk.QueryAggregate || !isListQuery(q, lib) {
+					return nil
+				}
+				return thingtalk.Aggregate("count", "", q.Clone())
+			},
+			Flags: []string{"aggregate"},
+		})
+	}
+	ops := []struct{ op, phrase string }{
+		{"sum", "the total %s of"},
+		{"avg", "the average %s of"},
+		{"max", "the highest %s of"},
+		{"min", "the lowest %s of"},
+	}
+	for _, f := range lib.Functions() {
+		if f.Kind != thingtalk.KindQuery || !f.List {
+			continue
+		}
+		sel := f.Selector()
+		for _, ps := range f.OutParams() {
+			if !isNumeric(ps.Type) {
+				continue
+			}
+			noun := strings.ReplaceAll(ps.Name, "_", " ")
+			for _, o := range ops {
+				op := o.op
+				param := ps.Name
+				g.Add(&Rule{
+					LHS:  CatNP,
+					RHS:  []Symbol{Lit(strings.ReplaceAll(o.phrase, "%s", noun)), NT(CatNP)},
+					Name: "agg:" + op + ":" + sel + ":" + param,
+					Apply: func(c []*Derivation) any {
+						q := queryOf(c[0])
+						if q == nil || q.Kind == thingtalk.QueryAggregate {
+							return nil
+						}
+						if rightmostSelector(q) != sel {
+							return nil
+						}
+						return thingtalk.Aggregate(op, param, q.Clone())
+					},
+					Flags: []string{"aggregate"},
+				})
+			}
+		}
+	}
+}
+
+func isListQuery(q *thingtalk.Query, lib *thingpedia.Library) bool {
+	for _, inv := range queryInvocations(q) {
+		sch, ok := lib.Schema(inv.Class, inv.Function)
+		if ok && sch.List {
+			return true
+		}
+	}
+	return false
+}
+
+func isNumeric(t thingtalk.Type) bool {
+	switch t.(type) {
+	case thingtalk.NumberType, thingtalk.MeasureType, thingtalk.CurrencyType:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+package nn
+
+import "math/rand"
+
+// Linear is a fully connected layer y = x·W + b.
+type Linear struct {
+	W *Tensor // in×out
+	B *Tensor // 1×out
+}
+
+// NewLinear allocates a layer with Xavier initialization.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	return &Linear{W: NewRandom(in, out, rng), B: NewTensor(1, out)}
+}
+
+// Apply computes the layer output for a 1×in input.
+func (l *Linear) Apply(g *Graph, x *Tensor) *Tensor {
+	return g.Add(g.MatMul(x, l.W), l.B)
+}
+
+// Params returns the trainable tensors.
+func (l *Linear) Params() []*Tensor { return []*Tensor{l.W, l.B} }
+
+// LSTMCell is a standard LSTM with combined gate weights: for input x (1×in)
+// and state (h, c) (1×hidden each), gates = x·Wx + h·Wh + b laid out as
+// [input | forget | output | candidate].
+type LSTMCell struct {
+	Wx     *Tensor // in×4h
+	Wh     *Tensor // h×4h
+	B      *Tensor // 1×4h
+	Hidden int
+}
+
+// NewLSTMCell allocates a cell; the forget-gate bias starts at 1 for stable
+// early training.
+func NewLSTMCell(in, hidden int, rng *rand.Rand) *LSTMCell {
+	c := &LSTMCell{
+		Wx:     NewRandom(in, 4*hidden, rng),
+		Wh:     NewRandom(hidden, 4*hidden, rng),
+		B:      NewTensor(1, 4*hidden),
+		Hidden: hidden,
+	}
+	for j := hidden; j < 2*hidden; j++ {
+		c.B.W[j] = 1
+	}
+	return c
+}
+
+// Step advances the cell one timestep.
+func (l *LSTMCell) Step(g *Graph, x, h, c *Tensor) (hNext, cNext *Tensor) {
+	gates := g.Add(g.Add(g.MatMul(x, l.Wx), g.MatMul(h, l.Wh)), l.B)
+	H := l.Hidden
+	slice := func(from int) *Tensor { return g.sliceRow(gates, from*H, (from+1)*H) }
+	i := g.Sigmoid(slice(0))
+	f := g.Sigmoid(slice(1))
+	o := g.Sigmoid(slice(2))
+	cand := g.Tanh(slice(3))
+	cNext = g.Add(g.Mul(f, c), g.Mul(i, cand))
+	hNext = g.Mul(o, g.Tanh(cNext))
+	return hNext, cNext
+}
+
+// InitState returns fresh zero state tensors.
+func (l *LSTMCell) InitState() (h, c *Tensor) {
+	return NewTensor(1, l.Hidden), NewTensor(1, l.Hidden)
+}
+
+// Params returns the trainable tensors.
+func (l *LSTMCell) Params() []*Tensor { return []*Tensor{l.Wx, l.Wh, l.B} }
+
+// sliceRow views columns [from, to) of a row vector as a new tensor sharing
+// gradients.
+func (g *Graph) sliceRow(a *Tensor, from, to int) *Tensor {
+	out := NewTensor(1, to-from)
+	copy(out.W, a.W[from:to])
+	g.push(func() {
+		for i := range out.DW {
+			a.DW[from+i] += out.DW[i]
+		}
+	})
+	return out
+}
+
+// Embedding is a trainable token-embedding table.
+type Embedding struct {
+	Table *Tensor // vocab×dim
+}
+
+// NewEmbedding allocates an embedding table.
+func NewEmbedding(vocab, dim int, rng *rand.Rand) *Embedding {
+	return &Embedding{Table: NewRandom(vocab, dim, rng)}
+}
+
+// Lookup returns the embedding row of a token.
+func (e *Embedding) Lookup(g *Graph, idx int) *Tensor { return g.LookupRow(e.Table, idx) }
+
+// Params returns the trainable tensors.
+func (e *Embedding) Params() []*Tensor { return []*Tensor{e.Table} }

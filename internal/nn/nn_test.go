@@ -1,0 +1,221 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// numericalGrad estimates d(loss)/d(param[i]) with central differences.
+func numericalGrad(param *Tensor, i int, loss func() float64) float64 {
+	const h = 1e-5
+	orig := param.W[i]
+	param.W[i] = orig + h
+	up := loss()
+	param.W[i] = orig - h
+	down := loss()
+	param.W[i] = orig
+	return (up - down) / (2 * h)
+}
+
+// sumLoss runs f in a fresh graph and returns the scalar sum of the output;
+// used as a simple differentiable objective.
+func checkGradients(t *testing.T, params []*Tensor, forward func(g *Graph) *Tensor) {
+	t.Helper()
+	loss := func() float64 {
+		g := NewGraph(false)
+		out := forward(g)
+		var s float64
+		for i, v := range out.W {
+			s += v * float64(i+1) // weighted so gradients differ per element
+		}
+		return s
+	}
+	// Analytic gradients.
+	g := NewGraph(true)
+	out := forward(g)
+	for i := range out.DW {
+		out.DW[i] = float64(i + 1)
+	}
+	g.Backward()
+	for pi, p := range params {
+		for i := range p.W {
+			want := numericalGrad(p, i, loss)
+			got := p.DW[i]
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Fatalf("param %d elem %d: analytic %g, numeric %g", pi, i, got, want)
+			}
+		}
+		p.ZeroGrad()
+	}
+}
+
+func TestMatMulGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewRandom(3, 4, rng)
+	b := NewRandom(4, 2, rng)
+	checkGradients(t, []*Tensor{a, b}, func(g *Graph) *Tensor { return g.MatMul(a, b) })
+}
+
+func TestElementwiseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewRandom(2, 3, rng)
+	b := NewRandom(2, 3, rng)
+	checkGradients(t, []*Tensor{a, b}, func(g *Graph) *Tensor { return g.Add(a, b) })
+	checkGradients(t, []*Tensor{a, b}, func(g *Graph) *Tensor { return g.Mul(a, b) })
+	checkGradients(t, []*Tensor{a}, func(g *Graph) *Tensor { return g.Tanh(a) })
+	checkGradients(t, []*Tensor{a}, func(g *Graph) *Tensor { return g.Sigmoid(a) })
+}
+
+func TestConcatLookupSliceGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := NewRandom(1, 3, rng)
+	b := NewRandom(1, 2, rng)
+	checkGradients(t, []*Tensor{a, b}, func(g *Graph) *Tensor { return g.ConcatRow(a, b) })
+	emb := NewRandom(5, 4, rng)
+	checkGradients(t, []*Tensor{emb}, func(g *Graph) *Tensor { return g.LookupRow(emb, 2) })
+	c := NewRandom(1, 6, rng)
+	checkGradients(t, []*Tensor{c}, func(g *Graph) *Tensor { return g.sliceRow(c, 1, 4) })
+}
+
+func TestSoftmaxAttentionGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := NewRandom(1, 5, rng)
+	checkGradients(t, []*Tensor{a}, func(g *Graph) *Tensor { return g.SoftmaxRow(a) })
+	q := NewRandom(1, 4, rng)
+	H := NewRandom(3, 4, rng)
+	checkGradients(t, []*Tensor{q, H}, func(g *Graph) *Tensor { return g.AttendDot(q, H) })
+	alpha := NewRandom(1, 3, rng)
+	checkGradients(t, []*Tensor{alpha, H}, func(g *Graph) *Tensor { return g.WeightedSumRows(alpha, H) })
+}
+
+func TestLSTMCellGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cell := NewLSTMCell(3, 4, rng)
+	x := NewRandom(1, 3, rng)
+	params := append([]*Tensor{x}, cell.Params()...)
+	checkGradients(t, params, func(g *Graph) *Tensor {
+		h, c := cell.InitState()
+		h1, c1 := cell.Step(g, x, h, c)
+		h2, _ := cell.Step(g, x, h1, c1)
+		return h2
+	})
+}
+
+func TestPointerMixGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// Build softmaxed distributions from raw scores so gradients are
+	// meaningful.
+	scoresV := NewRandom(1, 4, rng)
+	scoresA := NewRandom(1, 3, rng)
+	gateRaw := NewRandom(1, 1, rng)
+	mask := []bool{true, false, true}
+
+	loss := func() float64 {
+		g := NewGraph(false)
+		pv := g.SoftmaxRow(scoresV)
+		al := g.SoftmaxRow(scoresA)
+		gate := g.Sigmoid(gateRaw)
+		return g.NLLPointerMix(pv, al, gate, mask, 2)
+	}
+	g := NewGraph(true)
+	pv := g.SoftmaxRow(scoresV)
+	al := g.SoftmaxRow(scoresA)
+	gate := g.Sigmoid(gateRaw)
+	g.NLLPointerMix(pv, al, gate, mask, 2)
+	g.Backward()
+	for _, p := range []*Tensor{scoresV, scoresA, gateRaw} {
+		for i := range p.W {
+			want := numericalGrad(p, i, loss)
+			got := p.DW[i]
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Fatalf("pointer mix grad mismatch: analytic %g numeric %g", got, want)
+			}
+		}
+	}
+	// OOV target: only the copy path contributes.
+	g2 := NewGraph(true)
+	pv2 := g2.SoftmaxRow(scoresV)
+	al2 := g2.SoftmaxRow(scoresA)
+	gate2 := g2.Sigmoid(gateRaw)
+	l := g2.NLLPointerMix(pv2, al2, gate2, mask, -1)
+	if math.IsNaN(l) || math.IsInf(l, 0) {
+		t.Fatal("OOV pointer loss not finite")
+	}
+}
+
+func TestQuickSoftmaxIsDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func() bool {
+		n := 1 + rng.Intn(10)
+		a := NewRandom(1, n, rng)
+		g := NewGraph(false)
+		p := g.SoftmaxRow(a)
+		var sum float64
+		for _, v := range p.W {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdamConvergesOnToyProblem(t *testing.T) {
+	// Fit y = 2x - 3 with a single linear unit.
+	rng := rand.New(rand.NewSource(8))
+	lin := NewLinear(1, 1, rng)
+	opt := NewAdam(0.05)
+	var lastLoss float64
+	for step := 0; step < 400; step++ {
+		x := rng.Float64()*4 - 2
+		target := 2*x - 3
+		g := NewGraph(true)
+		in := NewTensor(1, 1)
+		in.W[0] = x
+		out := lin.Apply(g, in)
+		diff := out.W[0] - target
+		lastLoss = diff * diff
+		out.DW[0] = 2 * diff
+		g.Backward()
+		opt.Step(lin.Params())
+	}
+	if lastLoss > 1e-2 {
+		t.Errorf("Adam failed to fit a line: final loss %g, W=%g b=%g", lastLoss, lin.W.W[0], lin.B.W[0])
+	}
+}
+
+func TestGradientClipping(t *testing.T) {
+	p := NewTensor(1, 2)
+	p.DW[0], p.DW[1] = 30, 40 // norm 50
+	opt := NewAdam(0.1)
+	opt.Clip = 5
+	before := [2]float64{p.DW[0], p.DW[1]}
+	opt.Step([]*Tensor{p})
+	_ = before
+	// After the step gradients are cleared; verify the update magnitude is
+	// bounded (clipped direction preserved).
+	if math.Abs(p.W[0]) > 0.2 || math.Abs(p.W[1]) > 0.2 {
+		t.Errorf("clipped update too large: %v", p.W)
+	}
+	if p.DW[0] != 0 || p.DW[1] != 0 {
+		t.Error("gradients not cleared after step")
+	}
+}
+
+func TestDropoutInferenceIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := NewRandom(1, 8, rng)
+	g := NewGraph(false)
+	out := g.Dropout(a, 0.5, rng)
+	for i := range a.W {
+		if out.W[i] != a.W[i] {
+			t.Fatal("dropout should be identity at inference")
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MatMul returns a·b.
+func (g *Graph) MatMul(a, b *Tensor) *Tensor {
+	if a.Cols != b.Rows {
+		panic("nn: matmul shape mismatch")
+	}
+	out := NewTensor(a.Rows, b.Cols)
+	n, m, p := a.Rows, a.Cols, b.Cols
+	for i := 0; i < n; i++ {
+		arow := a.W[i*m : (i+1)*m]
+		orow := out.W[i*p : (i+1)*p]
+		for k := 0; k < m; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.W[k*p : (k+1)*p]
+			for j := 0; j < p; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	g.push(func() {
+		for i := 0; i < n; i++ {
+			arow := a.W[i*m : (i+1)*m]
+			adrow := a.DW[i*m : (i+1)*m]
+			odrow := out.DW[i*p : (i+1)*p]
+			for k := 0; k < m; k++ {
+				brow := b.W[k*p : (k+1)*p]
+				bdrow := b.DW[k*p : (k+1)*p]
+				var acc float64
+				av := arow[k]
+				for j := 0; j < p; j++ {
+					od := odrow[j]
+					acc += od * brow[j]
+					bdrow[j] += od * av
+				}
+				adrow[k] += acc
+			}
+		}
+	})
+	return out
+}
+
+// Add returns a+b (same shape).
+func (g *Graph) Add(a, b *Tensor) *Tensor {
+	sameShape(a, b)
+	out := NewTensor(a.Rows, a.Cols)
+	for i := range out.W {
+		out.W[i] = a.W[i] + b.W[i]
+	}
+	g.push(func() {
+		for i := range out.DW {
+			a.DW[i] += out.DW[i]
+			b.DW[i] += out.DW[i]
+		}
+	})
+	return out
+}
+
+// Mul returns the elementwise product.
+func (g *Graph) Mul(a, b *Tensor) *Tensor {
+	sameShape(a, b)
+	out := NewTensor(a.Rows, a.Cols)
+	for i := range out.W {
+		out.W[i] = a.W[i] * b.W[i]
+	}
+	g.push(func() {
+		for i := range out.DW {
+			a.DW[i] += out.DW[i] * b.W[i]
+			b.DW[i] += out.DW[i] * a.W[i]
+		}
+	})
+	return out
+}
+
+// Tanh applies tanh elementwise.
+func (g *Graph) Tanh(a *Tensor) *Tensor {
+	out := NewTensor(a.Rows, a.Cols)
+	for i := range out.W {
+		out.W[i] = math.Tanh(a.W[i])
+	}
+	g.push(func() {
+		for i := range out.DW {
+			a.DW[i] += out.DW[i] * (1 - out.W[i]*out.W[i])
+		}
+	})
+	return out
+}
+
+// Sigmoid applies the logistic function elementwise.
+func (g *Graph) Sigmoid(a *Tensor) *Tensor {
+	out := NewTensor(a.Rows, a.Cols)
+	for i := range out.W {
+		out.W[i] = 1 / (1 + math.Exp(-a.W[i]))
+	}
+	g.push(func() {
+		for i := range out.DW {
+			a.DW[i] += out.DW[i] * out.W[i] * (1 - out.W[i])
+		}
+	})
+	return out
+}
+
+// ConcatRow concatenates row vectors (all 1×n_i) into one row vector.
+func (g *Graph) ConcatRow(parts ...*Tensor) *Tensor {
+	total := 0
+	for _, p := range parts {
+		if p.Rows != 1 {
+			panic("nn: ConcatRow requires row vectors")
+		}
+		total += p.Cols
+	}
+	out := NewTensor(1, total)
+	off := 0
+	for _, p := range parts {
+		copy(out.W[off:], p.W)
+		off += p.Cols
+	}
+	g.push(func() {
+		off := 0
+		for _, p := range parts {
+			for i := range p.W {
+				p.DW[i] += out.DW[off+i]
+			}
+			off += p.Cols
+		}
+	})
+	return out
+}
+
+// LookupRow selects row idx of an embedding matrix as a 1×Cols tensor.
+func (g *Graph) LookupRow(emb *Tensor, idx int) *Tensor {
+	out := NewTensor(1, emb.Cols)
+	copy(out.W, emb.W[idx*emb.Cols:(idx+1)*emb.Cols])
+	g.push(func() {
+		base := idx * emb.Cols
+		for i := range out.DW {
+			emb.DW[base+i] += out.DW[i]
+		}
+	})
+	return out
+}
+
+// Dropout zeroes elements with probability rate (training only), scaling
+// the survivors by 1/(1-rate).
+func (g *Graph) Dropout(a *Tensor, rate float64, rng *rand.Rand) *Tensor {
+	if rate <= 0 || !g.NeedsGrad {
+		return a
+	}
+	out := NewTensor(a.Rows, a.Cols)
+	mask := make([]float64, len(a.W))
+	scale := 1 / (1 - rate)
+	for i := range a.W {
+		if rng.Float64() >= rate {
+			mask[i] = scale
+		}
+		out.W[i] = a.W[i] * mask[i]
+	}
+	g.push(func() {
+		for i := range out.DW {
+			a.DW[i] += out.DW[i] * mask[i]
+		}
+	})
+	return out
+}
+
+// RowsToMatrix stacks 1×n rows into an m×n matrix that shares gradients with
+// the rows.
+func (g *Graph) RowsToMatrix(rows []*Tensor) *Tensor {
+	if len(rows) == 0 {
+		panic("nn: empty row stack")
+	}
+	n := rows[0].Cols
+	out := NewTensor(len(rows), n)
+	for i, r := range rows {
+		copy(out.W[i*n:], r.W)
+	}
+	g.push(func() {
+		for i, r := range rows {
+			for j := 0; j < n; j++ {
+				r.DW[j] += out.DW[i*n+j]
+			}
+		}
+	})
+	return out
+}
+
+// SoftmaxRow computes softmax over a 1×n tensor.
+func (g *Graph) SoftmaxRow(a *Tensor) *Tensor {
+	out := NewTensor(1, a.Cols)
+	maxV := math.Inf(-1)
+	for _, v := range a.W {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for i, v := range a.W {
+		e := math.Exp(v - maxV)
+		out.W[i] = e
+		sum += e
+	}
+	for i := range out.W {
+		out.W[i] /= sum
+	}
+	g.push(func() {
+		var dot float64
+		for i := range out.W {
+			dot += out.W[i] * out.DW[i]
+		}
+		for i := range a.W {
+			a.DW[i] += out.W[i] * (out.DW[i] - dot)
+		}
+	})
+	return out
+}
+
+// AttendDot computes scores = q · Hᵀ for a query 1×h and memory m×h,
+// returning a 1×m row.
+func (g *Graph) AttendDot(q, H *Tensor) *Tensor {
+	if q.Cols != H.Cols || q.Rows != 1 {
+		panic("nn: AttendDot shape mismatch")
+	}
+	out := NewTensor(1, H.Rows)
+	for i := 0; i < H.Rows; i++ {
+		var s float64
+		hrow := H.W[i*H.Cols : (i+1)*H.Cols]
+		for j, qv := range q.W {
+			s += qv * hrow[j]
+		}
+		out.W[i] = s
+	}
+	g.push(func() {
+		for i := 0; i < H.Rows; i++ {
+			od := out.DW[i]
+			if od == 0 {
+				continue
+			}
+			hrow := H.W[i*H.Cols : (i+1)*H.Cols]
+			hdrow := H.DW[i*H.Cols : (i+1)*H.Cols]
+			for j, qv := range q.W {
+				q.DW[j] += od * hrow[j]
+				hdrow[j] += od * qv
+			}
+		}
+	})
+	return out
+}
+
+// WeightedSumRows computes α·H for weights 1×m and memory m×h, returning a
+// 1×h context vector.
+func (g *Graph) WeightedSumRows(alpha, H *Tensor) *Tensor {
+	if alpha.Cols != H.Rows {
+		panic("nn: WeightedSumRows shape mismatch")
+	}
+	out := NewTensor(1, H.Cols)
+	for i := 0; i < H.Rows; i++ {
+		a := alpha.W[i]
+		if a == 0 {
+			continue
+		}
+		hrow := H.W[i*H.Cols : (i+1)*H.Cols]
+		for j := range out.W {
+			out.W[j] += a * hrow[j]
+		}
+	}
+	g.push(func() {
+		for i := 0; i < H.Rows; i++ {
+			hrow := H.W[i*H.Cols : (i+1)*H.Cols]
+			hdrow := H.DW[i*H.Cols : (i+1)*H.Cols]
+			var acc float64
+			a := alpha.W[i]
+			for j := range out.DW {
+				od := out.DW[j]
+				acc += od * hrow[j]
+				hdrow[j] += od * a
+			}
+			alpha.DW[i] += acc
+		}
+	})
+	return out
+}
+
+// NLLPointerMix computes the mixed pointer–generator loss of Section 4.1:
+//
+//	p(tok) = g·P_vocab(tok) + (1−g)·Σ_{i: src_i = tok} α_i
+//
+// pvocab is the 1×V vocabulary distribution, alpha the 1×S attention over
+// the source, pgen a 1×1 gate, copyMask[i] true where source position i
+// holds the target token, and vocabIdx the target's vocabulary index (−1
+// when out of vocabulary, forcing a pure copy). It returns −log p and wires
+// gradients into pvocab, alpha and pgen.
+func (g *Graph) NLLPointerMix(pvocab, alpha, pgen *Tensor, copyMask []bool, vocabIdx int) float64 {
+	gate := pgen.W[0]
+	var pv, pc float64
+	if vocabIdx >= 0 {
+		pv = pvocab.W[vocabIdx]
+	}
+	for i, m := range copyMask {
+		if m {
+			pc += alpha.W[i]
+		}
+	}
+	p := gate*pv + (1-gate)*pc
+	const eps = 1e-9
+	loss := -math.Log(p + eps)
+	g.push(func() {
+		dp := -1 / (p + eps)
+		if vocabIdx >= 0 {
+			pvocab.DW[vocabIdx] += dp * gate
+		}
+		for i, m := range copyMask {
+			if m {
+				alpha.DW[i] += dp * (1 - gate)
+			}
+		}
+		pgen.DW[0] += dp * (pv - pc)
+	})
+	return loss
+}
+
+func sameShape(a, b *Tensor) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("nn: shape mismatch")
+	}
+}

@@ -1,0 +1,91 @@
+// Package nn is a pure-Go neural-network substrate: a tape-based reverse-
+// mode autograd over dense matrices, LSTM cells, attention primitives, and
+// the Adam optimizer. It is the foundation of the scaled-down MQAN semantic
+// parser (Section 4 of the paper) in package model.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major matrix with a gradient buffer. Row vectors are
+// 1×n tensors.
+type Tensor struct {
+	W    []float64
+	DW   []float64
+	Rows int
+	Cols int
+}
+
+// NewTensor allocates a zero tensor.
+func NewTensor(rows, cols int) *Tensor {
+	return &Tensor{
+		W:    make([]float64, rows*cols),
+		DW:   make([]float64, rows*cols),
+		Rows: rows,
+		Cols: cols,
+	}
+}
+
+// NewRandom allocates a tensor with Xavier-uniform initialization.
+func NewRandom(rows, cols int, rng *rand.Rand) *Tensor {
+	t := NewTensor(rows, cols)
+	scale := math.Sqrt(6.0 / float64(rows+cols))
+	for i := range t.W {
+		t.W[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return t
+}
+
+// At returns element (r, c).
+func (t *Tensor) At(r, c int) float64 { return t.W[r*t.Cols+c] }
+
+// Set assigns element (r, c).
+func (t *Tensor) Set(r, c int, v float64) { t.W[r*t.Cols+c] = v }
+
+// ZeroGrad clears the gradient buffer.
+func (t *Tensor) ZeroGrad() {
+	for i := range t.DW {
+		t.DW[i] = 0
+	}
+}
+
+// Size returns the number of elements.
+func (t *Tensor) Size() int { return len(t.W) }
+
+// Row returns a view copied into a fresh 1×Cols tensor (no gradient link);
+// used for read-only inspection.
+func (t *Tensor) Row(r int) []float64 { return t.W[r*t.Cols : (r+1)*t.Cols] }
+
+func (t *Tensor) String() string { return fmt.Sprintf("Tensor(%dx%d)", t.Rows, t.Cols) }
+
+// Graph is the autograd tape. Operations append their backward closures;
+// Backward runs them in reverse. A graph built with NeedsGrad=false skips
+// closure recording (inference mode).
+type Graph struct {
+	NeedsGrad bool
+	tape      []func()
+}
+
+// NewGraph returns a tape that records gradients.
+func NewGraph(needsGrad bool) *Graph { return &Graph{NeedsGrad: needsGrad} }
+
+func (g *Graph) push(f func()) {
+	if g.NeedsGrad {
+		g.tape = append(g.tape, f)
+	}
+}
+
+// Backward runs the tape in reverse order. The caller seeds the gradient of
+// the loss tensor (typically via the loss ops, which do it themselves).
+func (g *Graph) Backward() {
+	for i := len(g.tape) - 1; i >= 0; i-- {
+		g.tape[i]()
+	}
+	g.tape = g.tape[:0]
+}
+
+// Ops returns the current tape length (diagnostics).
+func (g *Graph) Ops() int { return len(g.tape) }

@@ -1,0 +1,259 @@
+package params
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Word banks. Phrases are generated from small templates over word banks,
+// which yields tens of thousands of distinct values compositionally — the
+// role the paper's scraped corpora (SMS, news, YouTube titles, song names,
+// Enron emails, one-billion-word benchmark, ...) play.
+
+var firstNames = []string{
+	"alice", "bob", "carol", "david", "emma", "frank", "grace", "henry",
+	"irene", "jack", "karen", "liam", "maria", "nathan", "olivia", "peter",
+	"quinn", "rachel", "sam", "tina", "umar", "vera", "walter", "xena",
+	"yusuf", "zoe", "amir", "bella", "carlos", "diana", "elena", "felix",
+	"gina", "hugo", "ines", "jorge", "kate", "leo", "mona", "nina",
+}
+
+var lastNames = []string{
+	"smith", "johnson", "lee", "garcia", "chen", "patel", "kim", "nguyen",
+	"brown", "davis", "miller", "wilson", "moore", "taylor", "anderson",
+	"thomas", "jackson", "white", "harris", "martin", "thompson", "young",
+	"walker", "hall", "allen", "king", "wright", "scott", "torres", "hill",
+}
+
+func usernames(rng *rand.Rand) string {
+	f := firstNames[rng.Intn(len(firstNames))]
+	l := lastNames[rng.Intn(len(lastNames))]
+	switch rng.Intn(3) {
+	case 0:
+		return f + l
+	case 1:
+		return f + "_" + l
+	default:
+		return f + l[:1]
+	}
+}
+
+var mailDomains = []string{"gmail.com", "yahoo.com", "outlook.com", "stanford.edu", "example.com"}
+
+var contacts = []string{
+	"mom", "dad", "grandma", "my brother", "my sister", "my roommate",
+	"my boss", "my wife", "my husband", "alice", "bob", "the babysitter",
+	"my landlord", "the plumber", "coach",
+}
+
+var topics = []string{
+	"cats", "dogs", "politics", "basketball", "cooking", "machine learning",
+	"climate", "travel", "photography", "gardening", "bitcoin", "football",
+	"music", "movies", "space", "startups", "fashion", "history", "chess",
+	"poetry", "yoga", "hiking", "baking", "robots", "elections", "soccer",
+	"tennis", "art", "science", "vaccines", "housing", "taxes", "wildfires",
+}
+
+var hashtags = []string{
+	"#tbt", "#nofilter", "#blessed", "#foodie", "#fitness", "#travel",
+	"#mondaymotivation", "#love", "#photooftheday", "#gamedev", "#ai",
+	"#startup", "#pldi", "#goodvibes", "#sunset", "#caturday",
+}
+
+var shortNames = []string{
+	"general", "random", "engineering", "design", "support", "family",
+	"work", "school", "books", "gaming", "fitness", "recipes", "deals",
+	"announcements", "standup", "oncall", "memes", "jazz", "red", "blue",
+	"green", "purple", "orange", "warm white", "espn", "cnn", "hbo",
+	"discovery", "dance", "chill", "focus", "workout", "roadtrip",
+}
+
+var repos = []string{
+	"genie-toolkit", "almond-server", "thingpedia-common", "linux",
+	"kubernetes", "tensorflow", "react", "rust-lang/rust", "golang/go",
+	"my-website", "dotfiles", "course-project",
+}
+
+var fileNames = []string{
+	"report.pdf", "budget.xlsx", "notes.txt", "resume.docx", "photo.jpg",
+	"presentation.pptx", "thesis.tex", "invoice.pdf", "recipe.md",
+	"homework.doc", "taxes_2018.pdf", "vacation.png", "backup.zip",
+	"meeting_minutes.txt", "draft.docx", "schedule.ics",
+}
+
+var folders = []string{
+	"documents", "photos", "work", "school", "projects", "music",
+	"downloads", "shared", "archive", "taxes",
+}
+
+var domains = []string{
+	"example.com", "photos.app", "cdn.media.net", "images.pets.org",
+	"files.work.io", "static.news.site",
+}
+
+var urlPaths = []string{
+	"a1b2c3", "kitten42", "xyz789", "report-final", "img_0042",
+	"v/watch123", "p/post9", "d/doc77",
+}
+
+var languages = []string{
+	"spanish", "french", "german", "italian", "chinese", "japanese",
+	"korean", "portuguese", "russian", "arabic", "hindi", "dutch",
+}
+
+var stocks = []string{
+	"aapl", "goog", "msft", "amzn", "tsla", "nflx", "nvda", "crm",
+	"intc", "ibm", "orcl", "amd",
+}
+
+var devices = []string{
+	"kitchen speaker", "living room tv", "bedroom echo", "laptop",
+	"phone", "office speaker", "car stereo",
+}
+
+var teams = []string{
+	"warriors", "lakers", "sharks", "giants", "forty niners", "raiders",
+	"dodgers", "celtics", "patriots", "yankees", "red sox", "cardinal",
+}
+
+// Phrase templates: %A adjective, %N noun, %V verb phrase, %P person.
+type phraseTemplate struct {
+	pattern string
+}
+
+var adjectives = []string{
+	"funny", "quick", "important", "secret", "final", "urgent", "happy",
+	"lazy", "broken", "new", "old", "awesome", "terrible", "quiet",
+	"loud", "monthly", "weekly", "crazy", "lovely", "midnight", "golden",
+	"electric", "lonely", "wild", "summer", "winter", "neon", "velvet",
+}
+
+var nouns = []string{
+	"meeting", "project", "dinner", "report", "party", "deadline",
+	"vacation", "grocery list", "workout", "recipe", "garden", "budget",
+	"homework", "presentation", "interview", "road trip", "wedding",
+	"birthday", "game night", "cat", "dog", "heart", "river", "city",
+	"dream", "storm", "fire", "mountain", "ocean", "road", "night",
+}
+
+var verbPhrases = []string{
+	"call the dentist", "buy milk", "water the plants", "pay rent",
+	"pick up the kids", "submit the report", "book flights",
+	"renew my passport", "take out the trash", "feed the cat",
+	"charge my phone", "email the professor", "review the pull request",
+	"practice piano", "stretch", "drink water",
+}
+
+var messageTemplates = []phraseTemplate{
+	{"running late for the %N"},
+	{"do not forget the %A %N"},
+	{"see you at the %N"},
+	{"the %N is %A"},
+	{"remember to %V"},
+	{"%V before noon"},
+	{"on my way home"},
+	{"dinner is ready"},
+	{"great job on the %A %N"},
+	{"can we talk about the %N"},
+	{"happy birthday"},
+	{"meeting moved to tomorrow"},
+	{"the %A %N starts soon"},
+	{"i will be out on friday"},
+}
+
+var titleTemplates = []phraseTemplate{
+	{"%A %N"},
+	{"the %A %N"},
+	{"%N notes"},
+	{"%N plan"},
+	{"my %A %N"},
+	{"%N ideas"},
+	{"q3 %N review"},
+	{"%A %N checklist"},
+}
+
+var songTemplates = []phraseTemplate{
+	{"%A %N"},
+	{"the %A %N"},
+	{"%N on fire"},
+	{"dancing in the %N"},
+	{"%A love"},
+	{"shake it off"},
+	{"wake me up inside"},
+	{"%N boulevard"},
+	{"tears of a %N"},
+	{"%A nights"},
+}
+
+var artistTemplates = []phraseTemplate{
+	{"the %A %Ns"},
+	{"%P and the %Ns"},
+	{"dj %A %N"},
+	{"taylor swift"},
+	{"evanescence"},
+	{"the %N brothers"},
+	{"%A %P"},
+	{"little %N machine"},
+}
+
+var albumTemplates = []phraseTemplate{
+	{"%A %N"},
+	{"songs of the %N"},
+	{"the %A sessions"},
+	{"%N tapes"},
+	{"live at the %N"},
+}
+
+var playlistTemplates = []phraseTemplate{
+	{"%A vibes"},
+	{"%N mix"},
+	{"dance dance revolution"},
+	{"%A %N jams"},
+	{"morning %N"},
+	{"gym %N"},
+}
+
+// phrase instantiates a random template from the bank.
+func phrase(rng *rand.Rand, bank []phraseTemplate) []string {
+	t := bank[rng.Intn(len(bank))].pattern
+	out := make([]string, 0, 6)
+	for _, tok := range strings.Fields(t) {
+		switch {
+		case strings.Contains(tok, "%A"):
+			out = append(out, strings.ReplaceAll(tok, "%A", adjectives[rng.Intn(len(adjectives))]))
+		case strings.Contains(tok, "%Ns"):
+			out = append(out, strings.Fields(strings.ReplaceAll(tok, "%Ns", nouns[rng.Intn(len(nouns))]+"s"))...)
+		case strings.Contains(tok, "%N"):
+			out = append(out, strings.Fields(strings.ReplaceAll(tok, "%N", nouns[rng.Intn(len(nouns))]))...)
+		case strings.Contains(tok, "%V"):
+			out = append(out, strings.Fields(verbPhrases[rng.Intn(len(verbPhrases))])...)
+		case strings.Contains(tok, "%P"):
+			out = append(out, firstNames[rng.Intn(len(firstNames))])
+		default:
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// countPhrases estimates the distinct phrases a bank can produce.
+func countPhrases(bank []phraseTemplate) int {
+	total := 0
+	for _, t := range bank {
+		n := 1
+		for _, tok := range strings.Fields(t.pattern) {
+			switch {
+			case strings.Contains(tok, "%A"):
+				n *= len(adjectives)
+			case strings.Contains(tok, "%N"):
+				n *= len(nouns)
+			case strings.Contains(tok, "%V"):
+				n *= len(verbPhrases)
+			case strings.Contains(tok, "%P"):
+				n *= len(firstNames)
+			}
+		}
+		total += n
+	}
+	return total
+}

@@ -1,0 +1,219 @@
+// Package params provides the parameter-value datasets of Section 3.3. The
+// paper ships 49 parameter lists and named-entity gazettes (7.8 million
+// distinct values scraped from the Web); this package substitutes
+// deterministic compositional generators with the same role: enough value
+// diversity that the model cannot overfit specific strings, with realistic
+// token statistics, keyed by parameter type and name.
+package params
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/thingtalk"
+)
+
+// Sample is one concrete parameter value: the words that appear in the
+// sentence and the value that appears in the program. For number-like
+// parameters both sides are a normalized placeholder such as NUMBER_0,
+// mirroring the rule-based argument identifier of Section 2.1 (string
+// parameters stay as copyable words).
+type Sample struct {
+	Words []string
+	Value thingtalk.Value
+}
+
+// Sampler draws parameter values by type and parameter name.
+type Sampler struct{}
+
+// NewSampler returns a Sampler; all randomness comes from the rng passed to
+// Draw, so a single Sampler is safely shared.
+func NewSampler() *Sampler { return &Sampler{} }
+
+// PlaceholderRequest marks values that the caller must index (NUMBER_k ...);
+// Draw returns the placeholder prefix in Value.Name, e.g. "NUMBER".
+func (s *Sampler) Draw(rng *rand.Rand, t thingtalk.Type, param string) Sample {
+	switch t := t.(type) {
+	case thingtalk.StringType:
+		return s.drawString(rng, param)
+	case thingtalk.PathNameType:
+		return wordsSample(s.drawPath(rng))
+	case thingtalk.URLType:
+		return wordsSample(s.drawURL(rng))
+	case thingtalk.EntityType:
+		return wordsSample(s.drawEntity(rng, t.Kind, param))
+	case thingtalk.NumberType:
+		return placeholderSample("NUMBER")
+	case thingtalk.CurrencyType:
+		return placeholderSample("CURRENCY")
+	case thingtalk.DateType:
+		if rng.Intn(2) == 0 {
+			name := thingtalk.NamedDates[1+rng.Intn(len(thingtalk.NamedDates)-1)]
+			return Sample{
+				Words: strings.Fields("the " + strings.ReplaceAll(name, "_", " ")),
+				Value: thingtalk.DateValue(name),
+			}
+		}
+		return placeholderSample("DATE")
+	case thingtalk.TimeType:
+		if rng.Intn(3) == 0 {
+			name := thingtalk.NamedTimes[rng.Intn(len(thingtalk.NamedTimes))]
+			return Sample{Words: []string{name}, Value: thingtalk.TimeValue(name)}
+		}
+		return placeholderSample("TIME")
+	case thingtalk.LocationType:
+		if rng.Intn(2) == 0 {
+			name := thingtalk.NamedLocations[rng.Intn(len(thingtalk.NamedLocations))]
+			return Sample{Words: []string{name}, Value: thingtalk.LocationValue(name)}
+		}
+		return placeholderSample("LOCATION")
+	case thingtalk.MeasureType:
+		return s.drawMeasure(rng, t.Unit)
+	case thingtalk.EnumType:
+		member := t.Values[rng.Intn(len(t.Values))]
+		return Sample{
+			Words: strings.Fields(strings.ReplaceAll(member, "_", " ")),
+			Value: thingtalk.EnumValue(member),
+		}
+	case thingtalk.BoolType:
+		b := rng.Intn(2) == 0
+		w := "true"
+		if !b {
+			w = "false"
+		}
+		return Sample{Words: []string{w}, Value: thingtalk.BoolValue(b)}
+	}
+	return wordsSample([]string{"thing"})
+}
+
+func wordsSample(words []string) Sample {
+	return Sample{Words: words, Value: thingtalk.StringValue(words...)}
+}
+
+func placeholderSample(prefix string) Sample {
+	return Sample{Value: thingtalk.Value{Kind: thingtalk.VPlaceholder, Name: prefix}}
+}
+
+// drawMeasure produces a magnitude placeholder plus a spoken unit; the
+// program side carries the unit token so the model learns to map unit words
+// to unit tokens without arithmetic.
+func (s *Sampler) drawMeasure(rng *rand.Rand, baseUnit string) Sample {
+	units := measureUnits[baseUnit]
+	if len(units) == 0 {
+		units = []spokenUnit{{unit: baseUnit, words: baseUnit}}
+	}
+	u := units[rng.Intn(len(units))]
+	return Sample{
+		Words: append([]string{"NUMBER_?"}, strings.Fields(u.words)...),
+		Value: thingtalk.Value{
+			Kind:     thingtalk.VMeasure,
+			Measures: []thingtalk.MeasureTerm{{Placeholder: "NUMBER_?", Unit: u.unit}},
+		},
+	}
+}
+
+type spokenUnit struct {
+	unit  string
+	words string
+}
+
+var measureUnits = map[string][]spokenUnit{
+	"byte": {{"KB", "kilobytes"}, {"MB", "megabytes"}, {"GB", "gigabytes"}, {"byte", "bytes"}},
+	"ms":   {{"s", "seconds"}, {"min", "minutes"}, {"h", "hours"}, {"day", "days"}, {"week", "weeks"}},
+	"m":    {{"m", "meters"}, {"km", "kilometers"}, {"mi", "miles"}, {"ft", "feet"}},
+	"C":    {{"C", "degrees celsius"}, {"F", "degrees fahrenheit"}, {"C", "degrees"}},
+	"kg":   {{"kg", "kilograms"}, {"lb", "pounds"}},
+	"mps":  {{"mph", "miles per hour"}, {"kmph", "kilometers per hour"}},
+	"bpm":  {{"bpm", "bpm"}, {"bpm", "beats per minute"}},
+	"kcal": {{"kcal", "calories"}},
+	"usd":  {{"usd", "dollars"}, {"eur", "euros"}},
+}
+
+// drawString picks a free-form phrase whose flavor matches the parameter
+// name (message-like, query-like, title-like, tag-like or channel-like).
+func (s *Sampler) drawString(rng *rand.Rand, param string) Sample {
+	switch {
+	case containsAny(param, "message", "body", "status", "content", "caption", "text", "snippet"):
+		return wordsSample(phrase(rng, messageTemplates))
+	case containsAny(param, "hashtag"):
+		return wordsSample([]string{hashtags[rng.Intn(len(hashtags))]})
+	case containsAny(param, "query", "tag", "ingredient", "cuisine", "topic"):
+		return wordsSample([]string{topics[rng.Intn(len(topics))]})
+	case containsAny(param, "title", "subject", "name", "recipe"):
+		return wordsSample(phrase(rng, titleTemplates))
+	case containsAny(param, "channel", "subreddit", "project", "notebook", "label", "playlist", "section", "route", "template", "color"):
+		return wordsSample([]string{shortNames[rng.Intn(len(shortNames))]})
+	case containsAny(param, "repo"):
+		return wordsSample([]string{repos[rng.Intn(len(repos))]})
+	}
+	return wordsSample(phrase(rng, titleTemplates))
+}
+
+func (s *Sampler) drawPath(rng *rand.Rand) []string {
+	name := fileNames[rng.Intn(len(fileNames))]
+	if rng.Intn(2) == 0 {
+		return []string{"/" + folders[rng.Intn(len(folders))] + "/" + name}
+	}
+	return []string{name}
+}
+
+func (s *Sampler) drawURL(rng *rand.Rand) []string {
+	return []string{fmt.Sprintf("%s/%s", domains[rng.Intn(len(domains))], urlPaths[rng.Intn(len(urlPaths))])}
+}
+
+// drawEntity draws a named entity by kind; unknown kinds fall back to short
+// titles.
+func (s *Sampler) drawEntity(rng *rand.Rand, kind, param string) []string {
+	switch kind {
+	case "tt:username":
+		return []string{usernames(rng)}
+	case "tt:email_address":
+		return []string{usernames(rng) + "@" + mailDomains[rng.Intn(len(mailDomains))]}
+	case "tt:phone_number", "tt:person":
+		return []string{contacts[rng.Intn(len(contacts))]}
+	case "tt:iso_lang_code":
+		return []string{languages[rng.Intn(len(languages))]}
+	case "tt:stock_id":
+		return []string{stocks[rng.Intn(len(stocks))]}
+	case "com.spotify:song":
+		return phrase(rng, songTemplates)
+	case "com.spotify:artist":
+		return phrase(rng, artistTemplates)
+	case "com.spotify:album":
+		return phrase(rng, albumTemplates)
+	case "com.spotify:playlist":
+		return phrase(rng, playlistTemplates)
+	case "com.spotify:device":
+		return []string{devices[rng.Intn(len(devices))]}
+	case "com.youtube:channel":
+		return []string{shortNames[rng.Intn(len(shortNames))] + "tv"}
+	case "com.espn:team":
+		return strings.Fields(teams[rng.Intn(len(teams))])
+	case "com.twitter:id", "com.thecatapi:image_id":
+		return phrase(rng, titleTemplates)
+	}
+	return phrase(rng, titleTemplates)
+}
+
+func containsAny(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if strings.Contains(s, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// EstimatedDistinctValues reports the approximate size of the value space
+// (the paper's corpora hold 7.8M values; ours is compositional).
+func EstimatedDistinctValues() int {
+	n := len(topics) + len(hashtags) + len(shortNames) + len(repos) +
+		len(fileNames)*(len(folders)+1) + len(domains)*len(urlPaths) +
+		len(contacts) + len(languages) + len(stocks) + len(devices) + len(teams)
+	n += len(firstNames) * len(lastNames) * 3 // usernames
+	n += countPhrases(messageTemplates) + countPhrases(titleTemplates) +
+		countPhrases(songTemplates) + countPhrases(artistTemplates) +
+		countPhrases(albumTemplates) + countPhrases(playlistTemplates)
+	return n
+}

@@ -1,0 +1,85 @@
+package params
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/thingtalk"
+)
+
+func TestDrawTypesAreConsistent(t *testing.T) {
+	s := NewSampler()
+	rng := rand.New(rand.NewSource(1))
+	types := []thingtalk.Type{
+		thingtalk.StringType{}, thingtalk.PathNameType{}, thingtalk.URLType{},
+		thingtalk.NumberType{}, thingtalk.BoolType{}, thingtalk.DateType{},
+		thingtalk.TimeType{}, thingtalk.LocationType{}, thingtalk.CurrencyType{},
+		thingtalk.MeasureType{Unit: "byte"}, thingtalk.MeasureType{Unit: "C"},
+		thingtalk.EnumType{Values: []string{"on", "off"}},
+		thingtalk.EntityType{Kind: "com.spotify:song"},
+		thingtalk.EntityType{Kind: "tt:username"},
+	}
+	f := func() bool {
+		typ := types[rng.Intn(len(types))]
+		sample := s.Draw(rng, typ, "message")
+		switch typ.(type) {
+		case thingtalk.EnumType:
+			return sample.Value.Kind == thingtalk.VEnum
+		case thingtalk.NumberType, thingtalk.CurrencyType:
+			return sample.Value.Kind == thingtalk.VPlaceholder
+		case thingtalk.MeasureType:
+			return sample.Value.Kind == thingtalk.VMeasure && len(sample.Words) >= 2
+		case thingtalk.BoolType:
+			return sample.Value.Kind == thingtalk.VBool
+		case thingtalk.StringType, thingtalk.PathNameType, thingtalk.URLType, thingtalk.EntityType:
+			return sample.Value.Kind == thingtalk.VString && len(sample.Words) > 0
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueDiversity(t *testing.T) {
+	s := NewSampler()
+	rng := rand.New(rand.NewSource(2))
+	distinct := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		sample := s.Draw(rng, thingtalk.StringType{}, "message")
+		distinct[sampleKey(sample)] = true
+	}
+	if len(distinct) < 100 {
+		t.Errorf("message values not diverse enough: %d distinct in 500 draws", len(distinct))
+	}
+}
+
+func sampleKey(s Sample) string {
+	out := ""
+	for _, w := range s.Words {
+		out += w + " "
+	}
+	return out
+}
+
+func TestEstimatedDistinctValues(t *testing.T) {
+	n := EstimatedDistinctValues()
+	if n < 10000 {
+		t.Errorf("value space too small to prevent overfitting: %d", n)
+	}
+	t.Logf("estimated distinct parameter values: %d", n)
+}
+
+func TestParamNameRouting(t *testing.T) {
+	s := NewSampler()
+	rng := rand.New(rand.NewSource(3))
+	hash := s.Draw(rng, thingtalk.StringType{}, "hashtag")
+	if len(hash.Words) != 1 || hash.Words[0][0] != '#' {
+		t.Errorf("hashtag should be a #token: %v", hash.Words)
+	}
+	repo := s.Draw(rng, thingtalk.StringType{}, "repo")
+	if len(repo.Words) != 1 {
+		t.Errorf("repo should be one token: %v", repo.Words)
+	}
+}

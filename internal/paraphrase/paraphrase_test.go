@@ -1,0 +1,85 @@
+package paraphrase
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/thingpedia"
+	"repro/internal/thingtalk"
+)
+
+func srcExample() dataset.Example {
+	return dataset.Example{
+		Words: strings.Fields("get a picture of __slot_1 and post it on facebook when it rains"),
+		Program: &thingtalk.Program{Stream: thingtalk.Now(),
+			Query:  thingtalk.Invoke("com.thecatapi", "get"),
+			Action: thingtalk.Notify()},
+		Group: dataset.GroupSynthesized,
+	}
+}
+
+func TestSimulateProducesVariety(t *testing.T) {
+	res := Simulate([]dataset.Example{srcExample()}, Config{Seed: 1})
+	if len(res.Paraphrases) == 0 {
+		t.Fatal("no paraphrases")
+	}
+	distinct := map[string]bool{}
+	for _, p := range res.Paraphrases {
+		if p.Group != dataset.GroupParaphrase {
+			t.Error("wrong group")
+		}
+		distinct[p.Sentence()] = true
+	}
+	if len(distinct) < 3 {
+		t.Errorf("too little variety: %d distinct", len(distinct))
+	}
+}
+
+func TestAcceptableHeuristics(t *testing.T) {
+	src := strings.Fields("post __slot_1 on twitter")
+	cases := []struct {
+		name string
+		para []string
+		want bool
+	}{
+		{"good", strings.Fields("share __slot_1 with my twitter followers"), true},
+		{"identical", src, false},
+		{"dropped slot", strings.Fields("post something on twitter"), false},
+		{"too short", strings.Fields("__slot_1"), false},
+		{"empty", nil, false},
+		{"way too long", strings.Fields(strings.Repeat("very ", 30) + "__slot_1"), false},
+	}
+	for _, c := range cases {
+		if got := Acceptable(src, c.para); got != c.want {
+			t.Errorf("%s: Acceptable=%v want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestErrorsAreMostlyFiltered(t *testing.T) {
+	res := Simulate([]dataset.Example{srcExample()}, Config{Seed: 3, ErrorRate: 1.0})
+	// With 100% error injection almost everything should be discarded.
+	if res.Discarded == 0 {
+		t.Error("quality heuristics never fired")
+	}
+	for _, p := range res.Paraphrases {
+		if !Acceptable(srcExample().Words, p.Words) {
+			t.Error("unacceptable paraphrase kept")
+		}
+	}
+}
+
+func TestSelectForParaphrasePrefersEasyCompounds(t *testing.T) {
+	lib := thingpedia.Builtin()
+	prim := srcExample()
+	compoundEasy := srcExample()
+	compoundEasy.Program = &thingtalk.Program{Stream: thingtalk.Now(),
+		Query:  thingtalk.Invoke("com.thecatapi", "get"),
+		Action: thingtalk.Do("com.twitter", "post", thingtalk.In("status", thingtalk.StringValue("x")))}
+	sel := SelectForParaphrase([]dataset.Example{prim, compoundEasy}, lib, 10, rand.New(rand.NewSource(1)))
+	if len(sel) != 2 {
+		t.Fatalf("expected both selected, got %d", len(sel))
+	}
+}

@@ -1,0 +1,194 @@
+package runtime
+
+import (
+	"fmt"
+
+	"repro/internal/thingtalk"
+)
+
+// aggregate implements the TT+A operators over result rows.
+func aggregate(q *thingtalk.Query, rows []Row) ([]Row, error) {
+	if q.AggOp == "count" {
+		return []Row{{"count": thingtalk.NumberValue(float64(len(rows)))}}, nil
+	}
+	var nums []float64
+	var unit string
+	for _, row := range rows {
+		v, ok := row[q.AggParam]
+		if !ok {
+			return nil, fmt.Errorf("runtime: aggregate over missing output %q", q.AggParam)
+		}
+		n, u, ok := numeric(v)
+		if !ok {
+			return nil, fmt.Errorf("runtime: aggregate over non-numeric %q", q.AggParam)
+		}
+		nums = append(nums, n)
+		unit = u
+	}
+	if len(nums) == 0 {
+		return nil, nil
+	}
+	var out float64
+	switch q.AggOp {
+	case "sum":
+		for _, n := range nums {
+			out += n
+		}
+	case "avg":
+		for _, n := range nums {
+			out += n
+		}
+		out /= float64(len(nums))
+	case "max":
+		out = nums[0]
+		for _, n := range nums {
+			if n > out {
+				out = n
+			}
+		}
+	case "min":
+		out = nums[0]
+		for _, n := range nums {
+			if n < out {
+				out = n
+			}
+		}
+	default:
+		return nil, fmt.Errorf("runtime: unknown aggregation %q", q.AggOp)
+	}
+	var v thingtalk.Value
+	if unit != "" {
+		v = thingtalk.MeasureValue(out, unit)
+	} else {
+		v = thingtalk.NumberValue(out)
+	}
+	return []Row{{q.AggParam: v}}, nil
+}
+
+// numeric extracts a comparable magnitude (measures normalize to their base
+// unit).
+func numeric(v thingtalk.Value) (float64, string, bool) {
+	switch v.Kind {
+	case thingtalk.VNumber:
+		return v.Num, "", true
+	case thingtalk.VMeasure:
+		var total float64
+		base := ""
+		for _, m := range v.Measures {
+			n, ok := thingtalk.ConvertUnit(m.Num, m.Unit)
+			if !ok {
+				return 0, "", false
+			}
+			total += n
+			base = thingtalk.BaseUnit(m.Unit)
+		}
+		return total, base, true
+	}
+	return 0, "", false
+}
+
+// compareValues implements the predicate operators over runtime values.
+func compareValues(left thingtalk.Value, op string, right thingtalk.Value) (bool, error) {
+	switch op {
+	case thingtalk.OpEq:
+		return valuesEqual(left, right), nil
+	case thingtalk.OpGt, thingtalk.OpLt, thingtalk.OpGe, thingtalk.OpLe:
+		ln, _, lok := numeric(left)
+		rn, _, rok := numeric(right)
+		if !lok || !rok {
+			// Dates compare by named-edge ordering index.
+			li, lok2 := dateIndex(left)
+			ri, rok2 := dateIndex(right)
+			if !lok2 || !rok2 {
+				return false, fmt.Errorf("runtime: cannot order %s and %s", left, right)
+			}
+			ln, rn = float64(li), float64(ri)
+		}
+		switch op {
+		case thingtalk.OpGt:
+			return ln > rn, nil
+		case thingtalk.OpLt:
+			return ln < rn, nil
+		case thingtalk.OpGe:
+			return ln >= rn, nil
+		default:
+			return ln <= rn, nil
+		}
+	case thingtalk.OpSubstr:
+		return containsWords(left, right), nil
+	case thingtalk.OpStartsWith:
+		return hasAffix(left, right, true), nil
+	case thingtalk.OpEndsWith:
+		return hasAffix(left, right, false), nil
+	case thingtalk.OpContains:
+		// Arrays are represented as VString word lists in the simulator;
+		// containment is word containment.
+		return containsWords(left, right), nil
+	}
+	return false, fmt.Errorf("runtime: unknown operator %q", op)
+}
+
+func valuesEqual(a, b thingtalk.Value) bool {
+	if a.Kind == thingtalk.VMeasure || b.Kind == thingtalk.VMeasure {
+		an, au, aok := numeric(a)
+		bn, bu, bok := numeric(b)
+		return aok && bok && au == bu && an == bn
+	}
+	return a.Equal(b)
+}
+
+func dateIndex(v thingtalk.Value) (int, bool) {
+	if v.Kind != thingtalk.VDate {
+		return 0, false
+	}
+	for i, n := range thingtalk.NamedDates {
+		if n == v.Name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func containsWords(haystack, needle thingtalk.Value) bool {
+	if haystack.Kind != thingtalk.VString || needle.Kind != thingtalk.VString {
+		return false
+	}
+	h := " " + join(haystack.Words) + " "
+	n := " " + join(needle.Words) + " "
+	return len(n) <= len(h) && indexString(h, n) >= 0
+}
+
+func hasAffix(s, affix thingtalk.Value, prefix bool) bool {
+	if s.Kind != thingtalk.VString || affix.Kind != thingtalk.VString {
+		return false
+	}
+	h := join(s.Words)
+	n := join(affix.Words)
+	if len(n) > len(h) {
+		return false
+	}
+	if prefix {
+		return h[:len(n)] == n
+	}
+	return h[len(h)-len(n):] == n
+}
+
+func join(words []string) string {
+	out := ""
+	for i, w := range words {
+		if i > 0 {
+			out += " "
+		}
+		out += w
+	}
+	return out
+}
+
+func indexString(h, n string) int {
+	for i := 0; i+len(n) <= len(h); i++ {
+		if h[i:i+len(n)] == n {
+			return i
+		}
+	}
+	return -1
+}

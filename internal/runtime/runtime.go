@@ -1,0 +1,417 @@
+// Package runtime executes canonical ThingTalk programs (Fig. 1 of the
+// paper: VAPL code is directly executable by the assistant). Services are
+// simulated: each skill exposes deterministic synthetic data that changes
+// over a discrete timeline, which exercises monitors, edge filters, timers,
+// filters, joins with parameter passing, implicit list traversal,
+// aggregation and actions exactly as the real Thingpedia runtime would.
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/thingtalk"
+)
+
+// Row is one result record: output parameter name to value.
+type Row map[string]thingtalk.Value
+
+// Service simulates one skill.
+type Service interface {
+	// Query returns the current results of a query function at a tick.
+	Query(fn string, in Row, tick int) ([]Row, error)
+	// Do performs an action.
+	Do(fn string, in Row, tick int) error
+}
+
+// Notification is one delivery to the user.
+type Notification struct {
+	Tick    int
+	Values  Row
+	Message string
+}
+
+// ActionLog records an executed action.
+type ActionLog struct {
+	Tick     int
+	Selector string
+	In       Row
+}
+
+// Executor runs programs against registered services.
+type Executor struct {
+	schemas  thingtalk.SchemaSource
+	services map[string]Service
+
+	Notifications []Notification
+	Actions       []ActionLog
+}
+
+// NewExecutor returns an executor over a schema source.
+func NewExecutor(schemas thingtalk.SchemaSource) *Executor {
+	return &Executor{schemas: schemas, services: map[string]Service{}}
+}
+
+// Register installs the service for a class.
+func (e *Executor) Register(class string, s Service) { e.services[class] = s }
+
+// Run executes a program over ticks timeline steps (a "now" program runs
+// once regardless). It returns the notifications produced.
+func (e *Executor) Run(p *thingtalk.Program, ticks int) ([]Notification, error) {
+	if err := thingtalk.Typecheck(p, e.schemas); err != nil {
+		return nil, err
+	}
+	start := len(e.Notifications)
+	switch p.Stream.Kind {
+	case thingtalk.StreamNow:
+		if err := e.fire(p, Row{}, 0); err != nil {
+			return nil, err
+		}
+	case thingtalk.StreamTimer, thingtalk.StreamAtTimer:
+		interval := 1
+		if p.Stream.Kind == thingtalk.StreamTimer {
+			if iv, ok := intervalTicks(p.Stream.Interval); ok {
+				interval = iv
+			}
+		}
+		for t := 0; t < ticks; t += interval {
+			if err := e.fire(p, Row{}, t); err != nil {
+				return nil, err
+			}
+		}
+	case thingtalk.StreamMonitor, thingtalk.StreamEdge:
+		if err := e.runMonitored(p, ticks); err != nil {
+			return nil, err
+		}
+	}
+	return e.Notifications[start:], nil
+}
+
+// intervalTicks maps a timer interval to ticks: one tick per hour of
+// simulated time, minimum 1.
+func intervalTicks(v thingtalk.Value) (int, bool) {
+	if v.Kind != thingtalk.VMeasure || len(v.Measures) == 0 {
+		return 0, false
+	}
+	var total float64
+	for _, m := range v.Measures {
+		ms, ok := thingtalk.ConvertUnit(m.Num, m.Unit)
+		if !ok {
+			return 0, false
+		}
+		total += ms
+	}
+	ticks := int(total / 3600e3)
+	if ticks < 1 {
+		ticks = 1
+	}
+	return ticks, true
+}
+
+// runMonitored polls the monitored query each tick, firing on changes (and,
+// for edge streams, on false→true transitions of the predicate).
+func (e *Executor) runMonitored(p *thingtalk.Program, ticks int) error {
+	inner := p.Stream
+	var edgePreds []*thingtalk.Predicate
+	for inner.Kind == thingtalk.StreamEdge {
+		edgePreds = append(edgePreds, inner.Predicate)
+		inner = inner.Inner
+	}
+	if inner.Kind != thingtalk.StreamMonitor {
+		return fmt.Errorf("runtime: unsupported stream")
+	}
+	seen := map[string]bool{}
+	prevEdge := false
+	for t := 0; t < ticks; t++ {
+		rows, err := e.query(inner.Monitor, Row{}, t)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			key := rowKey(row, inner.MonitorOn)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if t == 0 && len(edgePreds) == 0 {
+				// Monitors report changes, not the initial state.
+				continue
+			}
+			edgeOK := true
+			for _, pred := range edgePreds {
+				v, err := e.evalPred(pred, row, t)
+				if err != nil {
+					return err
+				}
+				if !v {
+					edgeOK = false
+				}
+			}
+			if len(edgePreds) > 0 {
+				// Edge semantics: fire on false→true transitions; the
+				// predicate is assumed previously false for the first value.
+				if !edgeOK || prevEdge {
+					prevEdge = edgeOK
+					continue
+				}
+				prevEdge = edgeOK
+			}
+			if err := e.fire(p, row, t); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fire evaluates the query clause (if any) under the stream's bindings and
+// performs the action for each result row.
+func (e *Executor) fire(p *thingtalk.Program, streamRow Row, tick int) error {
+	rows := []Row{streamRow}
+	if p.Query != nil {
+		var err error
+		rows, err = e.queryWithEnv(p.Query, streamRow, tick)
+		if err != nil {
+			return err
+		}
+	}
+	for _, row := range rows {
+		merged := mergeRows(streamRow, row)
+		if p.Action.Notify {
+			e.Notifications = append(e.Notifications, Notification{
+				Tick:    tick,
+				Values:  merged,
+				Message: formatRow(merged),
+			})
+			continue
+		}
+		inv := p.Action.Invocation
+		in, err := e.resolveInputs(inv, merged, tick)
+		if err != nil {
+			return err
+		}
+		svc, ok := e.services[inv.Class]
+		if !ok {
+			return fmt.Errorf("runtime: no service for %s", inv.Class)
+		}
+		if err := svc.Do(inv.Function, in, tick); err != nil {
+			return err
+		}
+		e.Actions = append(e.Actions, ActionLog{Tick: tick, Selector: inv.Selector(), In: in})
+	}
+	return nil
+}
+
+// queryWithEnv evaluates q where env supplies upstream outputs for
+// parameter passing.
+func (e *Executor) queryWithEnv(q *thingtalk.Query, env Row, tick int) ([]Row, error) {
+	return e.query(q, env, tick)
+}
+
+func (e *Executor) query(q *thingtalk.Query, env Row, tick int) ([]Row, error) {
+	switch q.Kind {
+	case thingtalk.QueryInvocation:
+		inv := q.Invocation
+		in, err := e.resolveInputs(inv, env, tick)
+		if err != nil {
+			return nil, err
+		}
+		svc, ok := e.services[inv.Class]
+		if !ok {
+			return nil, fmt.Errorf("runtime: no service for %s", inv.Class)
+		}
+		return svc.Query(inv.Function, in, tick)
+	case thingtalk.QueryFilter:
+		rows, err := e.query(q.Inner, env, tick)
+		if err != nil {
+			return nil, err
+		}
+		var out []Row
+		for _, row := range rows {
+			ok, err := e.evalPred(q.Predicate, row, tick)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, row)
+			}
+		}
+		return out, nil
+	case thingtalk.QueryJoin:
+		left, err := e.query(q.Inner, env, tick)
+		if err != nil {
+			return nil, err
+		}
+		var out []Row
+		for _, lrow := range left {
+			renv := mergeRows(env, lrow)
+			right := q.Right
+			// Apply join parameter passing by extending the right query's
+			// environment.
+			rrows, err := e.queryJoinRight(right, q.JoinParams, renv, tick)
+			if err != nil {
+				return nil, err
+			}
+			for _, rrow := range rrows {
+				out = append(out, mergeRows(lrow, rrow))
+			}
+		}
+		return out, nil
+	case thingtalk.QueryAggregate:
+		rows, err := e.query(q.Inner, env, tick)
+		if err != nil {
+			return nil, err
+		}
+		return aggregate(q, rows)
+	}
+	return nil, fmt.Errorf("runtime: invalid query")
+}
+
+// queryJoinRight injects the join's on-assignments into the right-most
+// invocation of the right operand.
+func (e *Executor) queryJoinRight(q *thingtalk.Query, on []thingtalk.InputParam, env Row, tick int) ([]Row, error) {
+	if len(on) == 0 {
+		return e.query(q, env, tick)
+	}
+	clone := q.Clone()
+	target := rightmostInvocation(clone)
+	if target == nil {
+		return nil, fmt.Errorf("runtime: join without target")
+	}
+	target.In = append(target.In, on...)
+	return e.query(clone, env, tick)
+}
+
+func rightmostInvocation(q *thingtalk.Query) *thingtalk.Invocation {
+	switch q.Kind {
+	case thingtalk.QueryInvocation:
+		return q.Invocation
+	case thingtalk.QueryFilter, thingtalk.QueryAggregate:
+		return rightmostInvocation(q.Inner)
+	case thingtalk.QueryJoin:
+		return rightmostInvocation(q.Right)
+	}
+	return nil
+}
+
+// resolveInputs materializes an invocation's inputs, resolving parameter
+// passing against env.
+func (e *Executor) resolveInputs(inv *thingtalk.Invocation, env Row, tick int) (Row, error) {
+	in := Row{}
+	for _, ip := range inv.In {
+		if ip.Value.Kind == thingtalk.VVarRef {
+			v, ok := env[ip.Value.Name]
+			if !ok {
+				return nil, fmt.Errorf("runtime: unbound parameter %q", ip.Value.Name)
+			}
+			in[ip.Name] = v
+			continue
+		}
+		in[ip.Name] = ip.Value
+	}
+	return in, nil
+}
+
+func (e *Executor) evalPred(p *thingtalk.Predicate, row Row, tick int) (bool, error) {
+	switch p.Kind {
+	case thingtalk.PredTrue:
+		return true, nil
+	case thingtalk.PredFalse:
+		return false, nil
+	case thingtalk.PredNot:
+		v, err := e.evalPred(p.Children[0], row, tick)
+		return !v, err
+	case thingtalk.PredAnd:
+		for _, ch := range p.Children {
+			v, err := e.evalPred(ch, row, tick)
+			if err != nil || !v {
+				return false, err
+			}
+		}
+		return true, nil
+	case thingtalk.PredOr:
+		for _, ch := range p.Children {
+			v, err := e.evalPred(ch, row, tick)
+			if err != nil {
+				return false, err
+			}
+			if v {
+				return true, nil
+			}
+		}
+		return false, nil
+	case thingtalk.PredAtom:
+		v, ok := row[p.Param]
+		if !ok {
+			return false, fmt.Errorf("runtime: filter on missing output %q", p.Param)
+		}
+		return compareValues(v, p.Op, p.Value)
+	case thingtalk.PredExternal:
+		rows, err := e.query(&thingtalk.Query{Kind: thingtalk.QueryInvocation, Invocation: p.External}, row, tick)
+		if err != nil {
+			return false, err
+		}
+		for _, r := range rows {
+			ok, err := e.evalPred(p.InnerPred, r, tick)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	return false, fmt.Errorf("runtime: invalid predicate")
+}
+
+func mergeRows(a, b Row) Row {
+	out := Row{}
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+func rowKey(row Row, only []string) string {
+	keys := make([]string, 0, len(row))
+	if len(only) > 0 {
+		keys = only
+	} else {
+		for k := range row {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+	}
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s;", k, row[k].String())
+	}
+	return b.String()
+}
+
+func formatRow(row Row) string {
+	keys := make([]string, 0, len(row))
+	for k := range row {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s: %s", k, describeValue(row[k])))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func describeValue(v thingtalk.Value) string {
+	switch v.Kind {
+	case thingtalk.VString:
+		return strings.Join(v.Words, " ")
+	default:
+		return v.String()
+	}
+}

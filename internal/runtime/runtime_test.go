@@ -1,0 +1,179 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/thingpedia"
+	"repro/internal/thingtalk"
+)
+
+func newExec(t testing.TB) *Executor {
+	t.Helper()
+	lib := thingpedia.Builtin()
+	e := NewExecutor(lib)
+	RegisterAll(e, lib, 42)
+	return e
+}
+
+func run(t *testing.T, e *Executor, src string, ticks int) []Notification {
+	t.Helper()
+	prog, err := thingtalk.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	notifs, err := e.Run(prog, ticks)
+	if err != nil {
+		t.Fatalf("Run(%q): %v", src, err)
+	}
+	return notifs
+}
+
+func TestRunFig1(t *testing.T) {
+	// Get a cat picture and post it on Facebook with caption "funny cat".
+	e := newExec(t)
+	prog, err := thingtalk.ParseProgram(
+		`now => @com.thecatapi.get => @com.facebook.post_picture param:caption = " funny cat " param:picture_url = param:picture_url`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(prog, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Actions) == 0 {
+		t.Fatal("no action executed")
+	}
+	act := e.Actions[0]
+	if act.Selector != "@com.facebook.post_picture" {
+		t.Errorf("wrong action: %s", act.Selector)
+	}
+	if _, ok := act.In["picture_url"]; !ok {
+		t.Error("parameter passing failed: no picture_url")
+	}
+	if cap := act.In["caption"]; cap.Kind != thingtalk.VString || len(cap.Words) != 2 {
+		t.Errorf("caption wrong: %+v", cap)
+	}
+}
+
+func TestRunNowQueryNotify(t *testing.T) {
+	e := newExec(t)
+	notifs := run(t, e, `now => @com.dropbox.list_folder => notify`, 1)
+	if len(notifs) != 3 { // list query returns 3 rows
+		t.Fatalf("expected 3 notifications, got %d", len(notifs))
+	}
+	if _, ok := notifs[0].Values["file_name"]; !ok {
+		t.Error("missing output parameter")
+	}
+}
+
+func TestRunFilter(t *testing.T) {
+	e := newExec(t)
+	all := run(t, e, `now => @com.dropbox.list_folder => notify`, 1)
+	some := run(t, e, `now => @com.dropbox.list_folder filter param:file_size > 50 unit:byte => notify`, 1)
+	if len(some) >= len(all) {
+		t.Skipf("filter did not restrict (%d vs %d); data dependent", len(some), len(all))
+	}
+}
+
+func TestRunMonitorFiresOnChanges(t *testing.T) {
+	e := newExec(t)
+	notifs := run(t, e, `monitor ( @org.thingpedia.weather.current ) => notify`, 5)
+	if len(notifs) == 0 {
+		t.Fatal("monitor never fired despite changing data")
+	}
+	for _, n := range notifs {
+		if n.Tick == 0 {
+			t.Error("monitor should not fire on the initial state")
+		}
+	}
+}
+
+func TestRunTimer(t *testing.T) {
+	e := newExec(t)
+	notifs := run(t, e, `timer base = date:now interval = 1 unit:h => @com.thecatapi.get => notify`, 4)
+	if len(notifs) != 4*3 {
+		t.Fatalf("timer with 1h interval over 4 ticks should fire 4 times x 3 rows, got %d", len(notifs))
+	}
+}
+
+func TestRunJoinParamPassing(t *testing.T) {
+	e := newExec(t)
+	notifs := run(t, e, `now => @com.nytimes.get_front_page join @com.yandex.translate on param:text = param:title => notify`, 1)
+	if len(notifs) == 0 {
+		t.Fatal("join produced nothing")
+	}
+	if _, ok := notifs[0].Values["translated_text"]; !ok {
+		t.Error("join output missing right-side parameter")
+	}
+	if _, ok := notifs[0].Values["title"]; !ok {
+		t.Error("join output missing left-side parameter")
+	}
+}
+
+func TestRunAggregate(t *testing.T) {
+	e := newExec(t)
+	notifs := run(t, e, `now => agg sum param:file_size of ( @com.dropbox.list_folder ) => notify`, 1)
+	if len(notifs) != 1 {
+		t.Fatalf("aggregation should produce one row, got %d", len(notifs))
+	}
+	v := notifs[0].Values["file_size"]
+	if v.Kind != thingtalk.VMeasure {
+		t.Errorf("sum of measures should be a measure: %+v", v)
+	}
+	count := run(t, e, `now => agg count of ( @com.dropbox.list_folder ) => notify`, 1)
+	if len(count) != 1 || count[0].Values["count"].Num != 3 {
+		t.Errorf("count wrong: %+v", count)
+	}
+}
+
+func TestRunEdgeFilter(t *testing.T) {
+	e := newExec(t)
+	notifs := run(t, e, `edge ( monitor ( @org.thingpedia.weather.current ) ) on param:temperature > 0 unit:C => notify`, 6)
+	// Edge fires on false->true transitions only; consecutive trues are
+	// suppressed.
+	for i := 1; i < len(notifs); i++ {
+		if notifs[i].Tick == notifs[i-1].Tick {
+			t.Error("edge fired twice in one tick")
+		}
+	}
+}
+
+func TestRunSemanticsPreservedByCanonicalization(t *testing.T) {
+	lib := thingpedia.Builtin()
+	srcs := []string{
+		`now => @com.dropbox.list_folder filter param:is_folder == false and param:file_size > 10 unit:byte => notify`,
+		`now => ( @com.dropbox.list_folder filter param:file_size > 10 unit:byte ) filter param:is_folder == false => notify`,
+	}
+	var outs []string
+	for _, src := range srcs {
+		e := NewExecutor(lib)
+		RegisterAll(e, lib, 7)
+		prog, err := thingtalk.ParseProgram(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		canon := thingtalk.Canonicalize(prog, lib)
+		notifs, err := e.Run(canon, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var msgs string
+		for _, n := range notifs {
+			msgs += n.Message + "\n"
+		}
+		outs = append(outs, msgs)
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("canonicalization changed execution results:\n%s\nvs\n%s", outs[0], outs[1])
+	}
+}
+
+func TestRunRejectsIllTyped(t *testing.T) {
+	e := newExec(t)
+	prog, err := thingtalk.ParseProgram(`now => @com.nosuch.fn => notify`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(prog, 1); err == nil {
+		t.Error("ill-typed program should not execute")
+	}
+}

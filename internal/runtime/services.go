@@ -1,0 +1,119 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/thingpedia"
+	"repro/internal/thingtalk"
+)
+
+// SimService simulates any class of the skill library with deterministic
+// synthetic data: each query returns rows derived from (class, function,
+// tick, row index) so that monitorable queries genuinely change over time.
+type SimService struct {
+	class *thingpedia.Class
+	seed  int64
+	// RowsPerQuery controls list sizes.
+	RowsPerQuery int
+}
+
+// NewSimService builds a simulator for one class.
+func NewSimService(c *thingpedia.Class, seed int64) *SimService {
+	return &SimService{class: c, seed: seed, RowsPerQuery: 3}
+}
+
+// RegisterAll installs simulators for every class in the library.
+func RegisterAll(e *Executor, lib *thingpedia.Library, seed int64) {
+	for _, c := range lib.Classes() {
+		e.Register(c.Name, NewSimService(c, seed))
+	}
+}
+
+// Query implements Service.
+func (s *SimService) Query(fn string, in Row, tick int) ([]Row, error) {
+	sch, ok := s.class.Function(fn)
+	if !ok || sch.Kind != thingtalk.KindQuery {
+		return nil, fmt.Errorf("runtime: %s has no query %q", s.class.Name, fn)
+	}
+	n := 1
+	if sch.List {
+		n = s.RowsPerQuery
+	}
+	rows := make([]Row, 0, n)
+	for i := 0; i < n; i++ {
+		// Monitorable functions evolve with the tick; static ones do not.
+		epoch := 0
+		if sch.Monitor {
+			epoch = tick
+		}
+		rng := rand.New(rand.NewSource(s.seed + hash(s.class.Name+fn) + int64(epoch*977+i)))
+		row := Row{}
+		for _, ps := range sch.OutParams() {
+			row[ps.Name] = synthValue(rng, ps.Type, ps.Name, epoch, i)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Do implements Service.
+func (s *SimService) Do(fn string, in Row, tick int) error {
+	sch, ok := s.class.Function(fn)
+	if !ok || sch.Kind != thingtalk.KindAction {
+		return fmt.Errorf("runtime: %s has no action %q", s.class.Name, fn)
+	}
+	for _, ps := range sch.Params {
+		if ps.Dir == thingtalk.DirInReq {
+			if _, ok := in[ps.Name]; !ok {
+				return fmt.Errorf("runtime: %s.%s missing %q", s.class.Name, fn, ps.Name)
+			}
+		}
+	}
+	return nil
+}
+
+var simWords = []string{
+	"report", "kitten", "sunset", "deploy", "budget", "meeting", "storm",
+	"release", "garden", "song", "photo", "memo", "quake", "launch",
+}
+
+func synthValue(rng *rand.Rand, t thingtalk.Type, param string, epoch, i int) thingtalk.Value {
+	switch t := t.(type) {
+	case thingtalk.StringType, thingtalk.PathNameType, thingtalk.URLType, thingtalk.EntityType:
+		w1 := simWords[rng.Intn(len(simWords))]
+		w2 := simWords[rng.Intn(len(simWords))]
+		return thingtalk.StringValue(w1, w2, fmt.Sprintf("%d", epoch*10+i))
+	case thingtalk.NumberType:
+		return thingtalk.NumberValue(float64(rng.Intn(100)))
+	case thingtalk.BoolType:
+		return thingtalk.BoolValue(rng.Intn(2) == 0)
+	case thingtalk.DateType:
+		return thingtalk.DateValue(thingtalk.NamedDates[rng.Intn(len(thingtalk.NamedDates))])
+	case thingtalk.TimeType:
+		return thingtalk.TimeValue(thingtalk.NamedTimes[rng.Intn(len(thingtalk.NamedTimes))])
+	case thingtalk.LocationType:
+		return thingtalk.LocationValue(thingtalk.NamedLocations[rng.Intn(len(thingtalk.NamedLocations))])
+	case thingtalk.MeasureType:
+		return thingtalk.MeasureValue(float64(1+rng.Intn(100)), t.Unit)
+	case thingtalk.CurrencyType:
+		return thingtalk.MeasureValue(float64(1+rng.Intn(500)), "usd")
+	case thingtalk.EnumType:
+		return thingtalk.EnumValue(t.Values[rng.Intn(len(t.Values))])
+	case thingtalk.ArrayType:
+		return thingtalk.StringValue(simWords[rng.Intn(len(simWords))])
+	}
+	return thingtalk.NumberValue(0)
+}
+
+func hash(s string) int64 {
+	var h int64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= int64(s[i])
+		h *= 1099511628211
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}

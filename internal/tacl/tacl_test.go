@@ -1,0 +1,73 @@
+package tacl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/params"
+	"repro/internal/thingpedia"
+)
+
+func TestPolicyTokensRoundTrip(t *testing.T) {
+	lib := thingpedia.Builtin()
+	examples := Synthesize(lib, 12, 3, 1)
+	if len(examples) < 20 {
+		t.Fatalf("too few policies: %d", len(examples))
+	}
+	rng := rand.New(rand.NewSource(3))
+	sampler := params.NewSampler()
+	for i := range examples {
+		inst, ok := Instantiate(&examples[i], sampler, rng)
+		if !ok {
+			t.Fatalf("instantiation failed for %s", examples[i].Sentence())
+		}
+		toks := inst.Policy.Tokens()
+		parsed, err := ParsePolicy(toks, lib)
+		if err != nil {
+			t.Fatalf("policy does not round trip: %v\n%s", err, strings.Join(toks, " "))
+		}
+		if parsed.Source != inst.Policy.Source {
+			t.Fatalf("source lost: %q vs %q", parsed.Source, inst.Policy.Source)
+		}
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	lib := thingpedia.Builtin()
+	bads := [][]string{
+		nil,
+		strings.Fields(`now => @com.thecatapi.get => notify`),
+		strings.Fields(`param:source == " " : now => @com.thecatapi.get => notify`),
+		strings.Fields(`param:source == " mom " : monitor ( @com.twitter.timeline ) => notify`), // not primitive
+		strings.Fields(`param:source == " mom " : now => @com.nosuch.fn => notify`),
+	}
+	for i, toks := range bads {
+		if _, err := ParsePolicy(toks, lib); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestBuildDataset(t *testing.T) {
+	lib := thingpedia.Builtin()
+	d := Build(lib, 12, 3, 80, 2, 1)
+	if len(d.Train) == 0 || len(d.ParaTest) == 0 || len(d.Cheatsheet) == 0 {
+		t.Fatalf("dataset empty: train=%d paraTest=%d cheat=%d", len(d.Train), len(d.ParaTest), len(d.Cheatsheet))
+	}
+	if len(d.TrainBase) >= len(d.Train) {
+		t.Errorf("baseline (%d) should be smaller than genie training set (%d)", len(d.TrainBase), len(d.Train))
+	}
+	// Instantiated examples carry no slots.
+	for _, e := range d.Train {
+		if strings.Contains(e.Sentence(), "__slot_") {
+			t.Fatalf("uninstantiated policy: %s", e.Sentence())
+		}
+	}
+	pairs := ToPairs(d.Train[:3])
+	for _, p := range pairs {
+		if p.Tgt[0] != "param:source" {
+			t.Errorf("target should start with the source predicate: %v", p.Tgt[:4])
+		}
+	}
+}

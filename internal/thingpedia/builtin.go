@@ -1,0 +1,36 @@
+package thingpedia
+
+import "sync"
+
+// Builtin returns the built-in simulated Thingpedia library: 40+ skills
+// modeled after the deployment the paper evaluates (Section 5: 44 skills,
+// 131 functions, 178 distinct parameters), each with developer-supplied
+// primitive templates in the Table 1 style.
+//
+// The library is parsed once and shared; callers must treat it as read-only
+// (synthesis clones every fragment before instantiating it).
+func Builtin() *Library {
+	builtinOnce.Do(func() {
+		builtinLib = MustParseLibrary(
+			builtinSocial,
+			builtinComms,
+			builtinMedia,
+			builtinNews,
+			builtinIoT,
+			builtinProductivity,
+			builtinLife,
+			builtinSpotify,
+			builtinExtra,
+		)
+	})
+	return builtinLib
+}
+
+var (
+	builtinOnce sync.Once
+	builtinLib  *Library
+)
+
+// SpotifyOnly returns a library holding just the Section 6.1 Spotify skill,
+// for the music case study.
+func SpotifyOnly() *Library { return MustParseLibrary(builtinSpotify) }

@@ -1,0 +1,85 @@
+package thingpedia
+
+// Communication skills: Gmail, Slack, SMS, Telegram.
+
+const builtinComms = `
+class @com.gmail easy {
+  monitorable list query inbox(out sender : Entity(tt:email_address),
+                               out subject : String,
+                               out snippet : String,
+                               out labels : Array(String),
+                               out date : Date) "emails in my inbox";
+  action send_email(in req to : Entity(tt:email_address),
+                    in req subject : String,
+                    in opt message : String) "send an email";
+  action reply(in req message : String) "reply to the latest email";
+}
+
+templates {
+  np "emails in my inbox" := @com.gmail.inbox ;
+  np "my gmail inbox" := @com.gmail.inbox ;
+  np "emails from $x" (x : Entity(tt:email_address)) := @com.gmail.inbox filter param:sender == $x ;
+  np "emails with subject containing $x" (x : String) := @com.gmail.inbox filter param:subject substr $x ;
+  np "emails labeled $x" (x : String) := @com.gmail.inbox filter param:labels contains $x ;
+  np "emails i received since the start of the week" := @com.gmail.inbox filter param:date > date:start_of_week ;
+  wp "when i receive an email" := monitor ( @com.gmail.inbox ) ;
+  wp "when i get an email from $x" (x : Entity(tt:email_address)) := monitor ( @com.gmail.inbox filter param:sender == $x ) ;
+  wp "when an email labeled $x arrives" (x : String) := monitor ( @com.gmail.inbox filter param:labels contains $x ) ;
+  vp "send an email to $x with subject $y" (x : Entity(tt:email_address), y : String) := @com.gmail.send_email param:to = $x param:subject = $y ;
+  vp "email $x about $y" (x : Entity(tt:email_address), y : String) := @com.gmail.send_email param:to = $x param:subject = $y ;
+  vp "send an email to $x with subject $y saying $z" (x : Entity(tt:email_address), y : String, z : String) := @com.gmail.send_email param:to = $x param:subject = $y param:message = $z ;
+  vp "reply $x to the last email" (x : String) := @com.gmail.reply param:message = $x ;
+}
+
+class @com.slack easy {
+  monitorable list query channel_history(in req channel : String,
+                                         out sender : Entity(tt:username),
+                                         out message : String) "messages in a slack channel";
+  action send(in req channel : String, in req message : String) "send a slack message";
+  action set_status(in req status : String) "set my slack status";
+}
+
+templates {
+  np "messages in the slack channel $x" (x : String) := @com.slack.channel_history param:channel = $x ;
+  np "the slack history of $x" (x : String) := @com.slack.channel_history param:channel = $x ;
+  np "slack messages from $y in $x" (x : String, y : Entity(tt:username)) := @com.slack.channel_history param:channel = $x filter param:sender == $y ;
+  wp "when somebody posts in the slack channel $x" (x : String) := monitor ( @com.slack.channel_history param:channel = $x ) ;
+  wp "when there is a new message in $x on slack" (x : String) := monitor ( @com.slack.channel_history param:channel = $x ) ;
+  vp "send $y to the slack channel $x" (x : String, y : String) := @com.slack.send param:channel = $x param:message = $y ;
+  vp "post $y in $x on slack" (x : String, y : String) := @com.slack.send param:channel = $x param:message = $y ;
+  vp "let the team know $y on slack channel $x" (x : String, y : String) := @com.slack.send param:channel = $x param:message = $y ;
+  vp "set my slack status to $x" (x : String) := @com.slack.set_status param:status = $x ;
+}
+
+class @org.thingpedia.builtin.sms {
+  monitorable list query inbox(out sender : Entity(tt:phone_number),
+                               out body : String) "text messages i received";
+  action send(in req to : Entity(tt:phone_number), in req body : String) "send a text message";
+}
+
+templates {
+  np "my text messages" := @org.thingpedia.builtin.sms.inbox ;
+  np "sms messages i received" := @org.thingpedia.builtin.sms.inbox ;
+  np "text messages from $x" (x : Entity(tt:phone_number)) := @org.thingpedia.builtin.sms.inbox filter param:sender == $x ;
+  wp "when i receive a text" := monitor ( @org.thingpedia.builtin.sms.inbox ) ;
+  wp "when $x texts me" (x : Entity(tt:phone_number)) := monitor ( @org.thingpedia.builtin.sms.inbox filter param:sender == $x ) ;
+  vp "text $x saying $y" (x : Entity(tt:phone_number), y : String) := @org.thingpedia.builtin.sms.send param:to = $x param:body = $y ;
+  vp "send a text to $x saying $y" (x : Entity(tt:phone_number), y : String) := @org.thingpedia.builtin.sms.send param:to = $x param:body = $y ;
+  vp "message $x $y" (x : Entity(tt:phone_number), y : String) := @org.thingpedia.builtin.sms.send param:to = $x param:body = $y ;
+}
+
+class @com.telegram {
+  monitorable list query messages(out sender : Entity(tt:username),
+                                  out message : String) "telegram messages i received";
+  action send(in req to : Entity(tt:username), in req message : String) "send a telegram message";
+}
+
+templates {
+  np "my telegram messages" := @com.telegram.messages ;
+  np "telegram messages from $x" (x : Entity(tt:username)) := @com.telegram.messages filter param:sender == $x ;
+  wp "when i get a telegram" := monitor ( @com.telegram.messages ) ;
+  wp "when $x messages me on telegram" (x : Entity(tt:username)) := monitor ( @com.telegram.messages filter param:sender == $x ) ;
+  vp "send a telegram to $x saying $y" (x : Entity(tt:username), y : String) := @com.telegram.send param:to = $x param:message = $y ;
+  vp "telegram $y to $x" (x : Entity(tt:username), y : String) := @com.telegram.send param:to = $x param:message = $y ;
+}
+`

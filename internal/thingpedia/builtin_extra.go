@@ -1,0 +1,198 @@
+package thingpedia
+
+// Supplementary primitive templates for the built-in classes, raising the
+// per-function template density toward the paper's 8.5 average (Section 5.2
+// reports 1119 primitive templates over 131 functions). Additional phrasing
+// variety here directly widens the synthesized distribution.
+
+const builtinExtra = `
+templates {
+  // Twitter.
+  np "what people are tweeting" := @com.twitter.timeline ;
+  np "the latest tweets" := @com.twitter.timeline ;
+  np "tweets that mention $x" (x : String) := @com.twitter.timeline filter param:text substr $x ;
+  np "everything $x has tweeted" (x : Entity(tt:username)) := @com.twitter.timeline filter param:author == $x ;
+  wp "when anybody i follow posts on twitter" := monitor ( @com.twitter.timeline ) ;
+  wp "when a tweet mentions $x" (x : String) := monitor ( @com.twitter.timeline filter param:text substr $x ) ;
+  np "recent tweets about $x" (x : String) := @com.twitter.search param:query = $x ;
+  vp "look for $x on twitter" (x : String) := @com.twitter.search param:query = $x ;
+  np "the tweets i have written" := @com.twitter.my_tweets ;
+  wp "when i post a tweet" := monitor ( @com.twitter.my_tweets ) ;
+  vp "say $x on twitter" (x : String) := @com.twitter.post param:status = $x ;
+  vp "put $x on my twitter" (x : String) := @com.twitter.post param:status = $x ;
+  vp "share the photo $x on twitter" (x : URL) := @com.twitter.post_picture param:picture_url = $x ;
+  vp "retweet the tweet $x" (x : Entity(com.twitter:id)) := @com.twitter.retweet param:tweet_id = $x ;
+  vp "start following $x" (x : Entity(tt:username)) := @com.twitter.follow param:user_name = $x ;
+  vp "message $x on twitter saying $y" (x : Entity(tt:username), y : String) := @com.twitter.send_direct_message param:to = $x param:message = $y ;
+
+  // Facebook / Instagram.
+  np "what my friends are posting on facebook" := @com.facebook.feed ;
+  np "the latest facebook posts" := @com.facebook.feed ;
+  wp "when my facebook feed updates" := monitor ( @com.facebook.feed ) ;
+  vp "tell facebook $x" (x : String) := @com.facebook.post param:status = $x ;
+  vp "write $x on my facebook wall" (x : String) := @com.facebook.post param:status = $x ;
+  vp "share the photo $x on facebook saying $y" (x : URL, y : String) := @com.facebook.post_picture param:caption = $y param:picture_url = $x ;
+  np "my latest instagram uploads" := @com.instagram.my_pictures ;
+  wp "when my instagram gets a new picture" := monitor ( @com.instagram.my_pictures ) ;
+  vp "put the photo $x on instagram" (x : URL) := @com.instagram.upload_picture param:picture_url = $x ;
+
+  // Reddit / LinkedIn.
+  np "what is trending on reddit" := @com.reddit.frontpage ;
+  np "top reddit posts in $x" (x : String) := @com.reddit.frontpage param:subreddit = $x ;
+  wp "when something hits the front page of reddit" := monitor ( @com.reddit.frontpage ) ;
+  vp "share the link $x on reddit with title $y" (x : URL, y : String) := @com.reddit.submit param:link = $x param:title = $y ;
+  np "what my linkedin profile says" := @com.linkedin.profile ;
+  vp "tell my linkedin network $x" (x : String) := @com.linkedin.share param:status = $x ;
+
+  // Gmail / Slack / SMS / Telegram.
+  np "my unread mail" := @com.gmail.inbox ;
+  np "the most recent emails" := @com.gmail.inbox ;
+  np "mail from $x" (x : Entity(tt:email_address)) := @com.gmail.inbox filter param:sender == $x ;
+  np "emails about $x" (x : String) := @com.gmail.inbox filter param:subject substr $x ;
+  wp "when new mail arrives" := monitor ( @com.gmail.inbox ) ;
+  wp "when $x emails me" (x : Entity(tt:email_address)) := monitor ( @com.gmail.inbox filter param:sender == $x ) ;
+  vp "write to $x about $y" (x : Entity(tt:email_address), y : String) := @com.gmail.send_email param:to = $x param:subject = $y ;
+  vp "shoot an email to $x titled $y" (x : Entity(tt:email_address), y : String) := @com.gmail.send_email param:to = $x param:subject = $y ;
+  np "what people said in $x on slack" (x : String) := @com.slack.channel_history param:channel = $x ;
+  wp "when the $x slack channel gets a message" (x : String) := monitor ( @com.slack.channel_history param:channel = $x ) ;
+  vp "tell the $x channel $y" (x : String, y : String) := @com.slack.send param:channel = $x param:message = $y ;
+  vp "update my slack status to say $x" (x : String) := @com.slack.set_status param:status = $x ;
+  np "my latest texts" := @org.thingpedia.builtin.sms.inbox ;
+  wp "when a text message comes in" := monitor ( @org.thingpedia.builtin.sms.inbox ) ;
+  vp "shoot a text to $x that says $y" (x : Entity(tt:phone_number), y : String) := @org.thingpedia.builtin.sms.send param:to = $x param:body = $y ;
+  vp "forward $y to $x on telegram" (x : Entity(tt:username), y : String) := @com.telegram.send param:to = $x param:message = $y ;
+
+  // Media.
+  np "videos about $x on youtube" (x : String) := @com.youtube.search_videos param:query = $x ;
+  vp "look up $x videos" (x : String) := @com.youtube.search_videos param:query = $x ;
+  wp "when my subscriptions post new videos" := monitor ( @com.youtube.subscriptions ) ;
+  vp "save $y to the playlist $x" (x : String, y : URL) := @com.youtube.add_to_playlist param:playlist = $x param:video_url = $y ;
+  np "a picture of a cat" := @com.thecatapi.get ;
+  np "some kitties" := @com.thecatapi.get ;
+  np "the newest xkcd strip" := @com.xkcd.comic ;
+  wp "when there is a fresh xkcd" := monitor ( @com.xkcd.comic ) ;
+  np "a gif about $x" (x : String) := @com.giphy.get param:tag = $x ;
+  np "the space picture of the day" := @gov.nasa.apod ;
+  wp "when nasa publishes the daily picture" := monitor ( @gov.nasa.apod ) ;
+
+  // News / search / weather / finance.
+  np "what the new york times is reporting" := @com.nytimes.get_front_page ;
+  wp "when the nyt posts breaking news" := monitor ( @com.nytimes.get_front_page ) ;
+  np "today's washington post stories" := @com.washingtonpost.get_article ;
+  np "the wall street journal front page" := @com.wsj.headlines ;
+  wp "when the wsj publishes something" := monitor ( @com.wsj.headlines ) ;
+  np "search results for $x" (x : String) := @com.bing.web_search param:query = $x ;
+  vp "google $x for me" (x : String) := @com.bing.web_search param:query = $x ;
+  np "photos matching $x" (x : String) := @com.bing.image_search param:query = $x ;
+  np "$x translated" (x : String) := @com.yandex.translate param:text = $x ;
+  vp "say $x in $y" (x : String, y : Entity(tt:iso_lang_code)) := @com.yandex.translate param:target_language = $y param:text = $x ;
+  np "today's forecast" := @org.thingpedia.weather.current ;
+  np "how hot it is outside" := @org.thingpedia.weather.current ;
+  wp "when the weather turns cloudy" := monitor ( @org.thingpedia.weather.current filter param:status == enum:cloudy ) ;
+  np "when the sun rises" := @org.thingpedia.weather.sunrise ;
+  np "how $x is trading" (x : Entity(tt:stock_id)) := @com.yahoo.finance.get_stock_quote param:symbol = $x ;
+  wp "when $x stock updates" (x : Entity(tt:stock_id)) := monitor ( @com.yahoo.finance.get_stock_quote param:symbol = $x ) ;
+  np "what bitcoin is worth" := @com.coinbase.get_price param:currency = enum:btc ;
+  np "the current air quality index" := @us.epa.airquality.aqi ;
+
+  // IoT.
+  np "whether my lights are on" := @com.hue.state ;
+  vp "shut off the lights" := @com.hue.set_power param:power = enum:off ;
+  vp "lights $x" (x : Enum(on,off)) := @com.hue.set_power param:power = $x ;
+  vp "brighten the lights to $x" (x : Number) := @com.hue.set_brightness param:brightness = $x ;
+  vp "turn my lights $x colored" (x : String) := @com.hue.set_color param:color = $x ;
+  np "the thermostat temperature" := @com.nest.thermostat.get_temperature ;
+  vp "make it $x degrees inside" (x : Measure(C)) := @com.nest.thermostat.set_target_temperature param:value = $x ;
+  wp "when the camera sees someone" := monitor ( @com.nest.camera.current_event filter param:person_detected == true ) ;
+  vp "switch the camera $x" (x : Enum(on,off)) := @com.nest.camera.set_streaming param:streaming = $x ;
+  np "what channel the tv is on" := @com.lg.tv.get_channel ;
+  vp "switch the tv to $x" (x : String) := @com.lg.tv.set_channel param:channel = $x ;
+  vp "mute the tv" := @com.lg.tv.set_volume param:volume = 0 ;
+  vp "power off the television" := @com.lg.tv.turn_off ;
+  wp "when the roomba docks" := monitor ( @com.irobot.status filter param:state == enum:docked ) ;
+  vp "have the roomba clean up" := @com.irobot.start_cleaning ;
+  np "whether the front door is locked" := @com.august.lock.state ;
+  wp "when the door gets unlocked" := monitor ( @com.august.lock.state filter param:locked == false ) ;
+  vp "secure the door" := @com.august.lock.lock ;
+  np "how many steps i took" := @com.fitbit.steps ;
+  np "my distance walked" := @com.fitbit.steps ;
+  wp "when i hit my step goal of $x" (x : Number) := edge ( monitor ( @com.fitbit.steps ) ) on param:steps >= $x ;
+  np "my current heart rate" := @com.fitbit.heartrate ;
+  np "what the scale says" := @com.bodytrace.scale.get_weight ;
+  wp "when i step on the scale" := monitor ( @com.bodytrace.scale.get_weight ) ;
+
+  // Productivity.
+  np "how full my dropbox is" := @com.dropbox.get_space_usage ;
+  np "everything in my dropbox" := @com.dropbox.list_folder ;
+  np "the newest files in my dropbox" := @com.dropbox.list_folder param:order_by = enum:modified_time_decreasing ;
+  np "what is inside $x on dropbox" (x : PathName) := @com.dropbox.list_folder param:folder_name = $x ;
+  wp "when my dropbox files change" := monitor ( @com.dropbox.list_folder ) ;
+  np "a share link for $x" (x : PathName) := @com.dropbox.open param:file_name = $x ;
+  vp "get me a link to $x" (x : PathName) := @com.dropbox.open param:file_name = $x ;
+  vp "rename $x to $y" (x : PathName, y : PathName) := @com.dropbox.move param:new_name = $y param:old_name = $x ;
+  vp "trash the file $x" (x : PathName) := @com.dropbox.delete_file param:file_name = $x ;
+  np "everything in my google drive" := @com.google.drive.list_files ;
+  wp "when somebody shares a file to my drive" := monitor ( @com.google.drive.list_files ) on new param:file_name ;
+  vp "start a new document called $x" (x : PathName) := @com.google.drive.create_file param:file_name = $x ;
+  np "open issues on $x" (x : String) := @com.github.issues param:repo = $x ;
+  np "recent activity in $x" (x : String) := @com.github.commits param:repo = $x ;
+  wp "when $x gets a new issue" (x : String) := monitor ( @com.github.issues param:repo = $x ) ;
+  wp "when code lands in $x" (x : String) := monitor ( @com.github.commits param:repo = $x ) ;
+  vp "report a bug on $x called $y" (x : String, y : String) := @com.github.open_issue param:repo = $x param:title = $y ;
+  np "what i still have to do" := @com.todoist.list_tasks ;
+  np "my tasks for the $x project" (x : String) := @com.todoist.list_tasks param:project = $x ;
+  wp "when a task gets added" := monitor ( @com.todoist.list_tasks ) on new param:content ;
+  vp "put $x on my list" (x : String) := @com.todoist.add_task param:content = $x ;
+  vp "note that i must $x" (x : String) := @com.todoist.add_task param:content = $x ;
+  vp "check off $x" (x : String) := @com.todoist.complete_task param:content = $x ;
+  np "what is on my schedule" := @com.google.calendar.list_events ;
+  np "my next appointments" := @com.google.calendar.list_events ;
+  wp "when a meeting is scheduled" := monitor ( @com.google.calendar.list_events ) on new param:title ;
+  vp "put $x on the calendar" (x : String) := @com.google.calendar.create_event param:title = $x ;
+  np "my saved notes" := @com.evernote.list_notes ;
+  vp "jot down $x" (x : String) := @com.evernote.create_note param:title = $x ;
+  vp "add $y to the note called $x" (x : String, y : String) := @com.evernote.append_to_note param:content = $y param:title = $x ;
+
+  // Life.
+  np "how much an uber costs from $x to $y" (x : Location, y : Location) := @com.uber.price_estimate param:end = $y param:start = $x ;
+  vp "get me an uber from $x to $y" (x : Location, y : Location) := @com.uber.request param:end = $y param:start = $x ;
+  np "when the next $x bus comes" (x : String) := @org.thingpedia.transit.next_bus param:route = $x ;
+  np "good $x places to eat" (x : String) := @com.yelp.restaurants param:cuisine = $x ;
+  np "well rated restaurants" := @com.yelp.restaurants filter param:rating > 4 ;
+  np "what i can make with $x" (x : String) := @com.food2fork.recipes param:ingredient = $x ;
+  np "how the $x game is going" (x : Entity(com.espn:team)) := @com.espn.team_score param:team = $x ;
+  wp "when the $x finish playing" (x : Entity(com.espn:team)) := monitor ( @com.espn.team_score param:team = $x filter param:is_playing == false ) ;
+  np "my remaining battery" := @org.thingpedia.builtin.battery.level ;
+  wp "when my phone needs charging" := edge ( monitor ( @org.thingpedia.builtin.battery.level ) ) on param:battery_level < 15 ;
+
+  // Spotify.
+  np "the track playing right now" := @com.spotify.get_currently_playing ;
+  np "what song this is" := @com.spotify.get_currently_playing ;
+  np "everything i saved on spotify" := @com.spotify.get_my_songs ;
+  np "my library songs with tempo above $x" (x : Measure(bpm)) := @com.spotify.get_my_songs filter param:tempo > $x ;
+  np "the songs i play the most" := @com.spotify.get_top_tracks ;
+  np "who i listen to most" := @com.spotify.get_top_artists ;
+  np "facts about the song $x" (x : Entity(com.spotify:song)) := @com.spotify.get_song param:song = $x ;
+  np "who made the album $x" (x : Entity(com.spotify:album)) := @com.spotify.get_album param:album = $x ;
+  np "all my playlists" := @com.spotify.get_playlists ;
+  np "what is on the playlist $x" (x : Entity(com.spotify:playlist)) := @com.spotify.get_playlist_tracks param:playlist = $x ;
+  wp "when new music comes out" := monitor ( @com.spotify.get_new_releases ) ;
+  np "music like $x" (x : Entity(com.spotify:artist)) := @com.spotify.get_recommendations param:seed_artist = $x ;
+  np "what i played earlier" := @com.spotify.get_recently_played ;
+  vp "start the song $x" (x : Entity(com.spotify:song)) := @com.spotify.play_song param:song = $x ;
+  vp "blast $x by $y" (x : Entity(com.spotify:song), y : Entity(com.spotify:artist)) := @com.spotify.play_song param:artist = $y param:song = $x ;
+  vp "put on music by $x" (x : Entity(com.spotify:artist)) := @com.spotify.play_artist param:artist = $x ;
+  vp "start the playlist $x" (x : Entity(com.spotify:playlist)) := @com.spotify.play_playlist param:playlist = $x ;
+  vp "hold the music" := @com.spotify.pause ;
+  vp "unpause" := @com.spotify.resume ;
+  vp "next song please" := @com.spotify.next_track ;
+  vp "previous song" := @com.spotify.previous_track ;
+  vp "volume to $x percent" (x : Number) := @com.spotify.set_volume param:volume = $x ;
+  vp "shuffle $x" (x : Enum(on,off)) := @com.spotify.set_shuffle param:shuffle = $x ;
+  vp "stick $y onto playlist $x" (x : Entity(com.spotify:playlist), y : Entity(com.spotify:song)) := @com.spotify.add_song_to_playlist param:playlist = $x param:song = $y ;
+  vp "start a playlist named $x" (x : String) := @com.spotify.create_playlist param:name = $x ;
+  vp "heart the song $x" (x : Entity(com.spotify:song)) := @com.spotify.save_song param:song = $x ;
+  vp "drop $x from my songs" (x : Entity(com.spotify:song)) := @com.spotify.remove_song param:song = $x ;
+  vp "send the music to the $x" (x : Entity(com.spotify:device)) := @com.spotify.transfer_playback param:device = $x ;
+}
+`

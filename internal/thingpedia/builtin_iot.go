@@ -1,0 +1,146 @@
+package thingpedia
+
+// IoT skills: lights, thermostat, security camera, TV, vacuum, door lock,
+// fitness devices.
+
+const builtinIoT = `
+class @com.hue easy {
+  monitorable query state(out power : Enum(on,off),
+                          out brightness : Number,
+                          out color : String) "the state of my light bulbs";
+  action set_power(in req power : Enum(on,off)) "turn my lights on or off";
+  action set_brightness(in req brightness : Number) "set light brightness";
+  action set_color(in req color : String) "change the light color";
+  action color_loop() "make the lights cycle colors";
+}
+
+templates {
+  np "the state of my lights" := @com.hue.state ;
+  np "my hue light settings" := @com.hue.state ;
+  wp "when my lights change" := monitor ( @com.hue.state ) ;
+  wp "when my lights turn on" := monitor ( @com.hue.state filter param:power == enum:on ) ;
+  vp "turn $x my lights" (x : Enum(on,off)) := @com.hue.set_power param:power = $x ;
+  vp "switch my hue lights $x" (x : Enum(on,off)) := @com.hue.set_power param:power = $x ;
+  vp "set my lights to $x percent" (x : Number) := @com.hue.set_brightness param:brightness = $x ;
+  vp "dim the lights to $x" (x : Number) := @com.hue.set_brightness param:brightness = $x ;
+  vp "make my lights $x" (x : String) := @com.hue.set_color param:color = $x ;
+  vp "change the light color to $x" (x : String) := @com.hue.set_color param:color = $x ;
+  vp "make my hue lights color loop" := @com.hue.color_loop ;
+  vp "cycle the light colors" := @com.hue.color_loop ;
+}
+
+class @com.nest.thermostat easy {
+  monitorable query get_temperature(out value : Measure(C),
+                                    out humidity : Number,
+                                    out mode : Enum(heat,cool,off)) "the thermostat reading";
+  action set_target_temperature(in req value : Measure(C)) "set the thermostat";
+  action set_mode(in req mode : Enum(heat,cool,off)) "set the thermostat mode";
+}
+
+templates {
+  np "the temperature inside" := @com.nest.thermostat.get_temperature ;
+  np "my thermostat reading" := @com.nest.thermostat.get_temperature ;
+  np "the thermostat setting" := @com.nest.thermostat.get_temperature ;
+  wp "when the temperature inside changes" := monitor ( @com.nest.thermostat.get_temperature ) ;
+  vp "set the temperature to $x" (x : Measure(C)) := @com.nest.thermostat.set_target_temperature param:value = $x ;
+  vp "set my thermostat to $x" (x : Measure(C)) := @com.nest.thermostat.set_target_temperature param:value = $x ;
+  vp "set the thermostat to $x mode" (x : Enum(heat,cool,off)) := @com.nest.thermostat.set_mode param:mode = $x ;
+  vp "switch the hvac to $x" (x : Enum(heat,cool,off)) := @com.nest.thermostat.set_mode param:mode = $x ;
+}
+
+class @com.nest.camera {
+  monitorable query current_event(out motion : Boolean,
+                                  out person_detected : Boolean,
+                                  out picture_url : URL) "security camera events";
+  action set_streaming(in req streaming : Enum(on,off)) "turn the camera on or off";
+}
+
+templates {
+  np "my security camera feed" := @com.nest.camera.current_event ;
+  np "the latest security camera event" := @com.nest.camera.current_event ;
+  wp "when my camera detects motion" := monitor ( @com.nest.camera.current_event filter param:motion == true ) ;
+  wp "when somebody is at the door" := monitor ( @com.nest.camera.current_event filter param:person_detected == true ) ;
+  vp "turn the security camera $x" (x : Enum(on,off)) := @com.nest.camera.set_streaming param:streaming = $x ;
+}
+
+class @com.lg.tv {
+  monitorable query get_channel(out channel : String,
+                                out volume : Number) "what is on my tv";
+  action set_channel(in req channel : String) "change the tv channel";
+  action set_volume(in req volume : Number) "set the tv volume";
+  action turn_off() "turn off the tv";
+}
+
+templates {
+  np "the channel my tv is on" := @com.lg.tv.get_channel ;
+  np "what is playing on my tv" := @com.lg.tv.get_channel ;
+  wp "when somebody changes the tv channel" := monitor ( @com.lg.tv.get_channel ) ;
+  vp "change the tv to $x" (x : String) := @com.lg.tv.set_channel param:channel = $x ;
+  vp "put $x on the tv" (x : String) := @com.lg.tv.set_channel param:channel = $x ;
+  vp "set the tv volume to $x" (x : Number) := @com.lg.tv.set_volume param:volume = $x ;
+  vp "turn the tv volume to $x" (x : Number) := @com.lg.tv.set_volume param:volume = $x ;
+  vp "turn off the tv" := @com.lg.tv.turn_off ;
+  vp "shut the television down" := @com.lg.tv.turn_off ;
+}
+
+class @com.irobot {
+  monitorable query status(out state : Enum(cleaning,docked,stuck),
+                           out battery : Number) "what my roomba is doing";
+  action start_cleaning() "start the roomba";
+  action dock() "send the roomba home";
+}
+
+templates {
+  np "my roomba's status" := @com.irobot.status ;
+  np "what my roomba is doing" := @com.irobot.status ;
+  wp "when my roomba gets stuck" := monitor ( @com.irobot.status filter param:state == enum:stuck ) ;
+  wp "when the roomba finishes cleaning" := monitor ( @com.irobot.status filter param:state == enum:docked ) ;
+  vp "start the roomba" := @com.irobot.start_cleaning ;
+  vp "vacuum the house" := @com.irobot.start_cleaning ;
+  vp "send the roomba back to its dock" := @com.irobot.dock ;
+}
+
+class @com.august.lock {
+  monitorable query state(out locked : Boolean) "whether my door is locked";
+  action lock() "lock the door";
+  action unlock() "unlock the door";
+}
+
+templates {
+  np "the state of my door lock" := @com.august.lock.state ;
+  np "whether my door is locked" := @com.august.lock.state ;
+  wp "when my door unlocks" := monitor ( @com.august.lock.state filter param:locked == false ) ;
+  wp "when someone locks the door" := monitor ( @com.august.lock.state filter param:locked == true ) ;
+  vp "lock the door" := @com.august.lock.lock ;
+  vp "lock my front door" := @com.august.lock.lock ;
+  vp "unlock the door" := @com.august.lock.unlock ;
+}
+
+class @com.fitbit {
+  monitorable query steps(out steps : Number,
+                          out distance : Measure(m),
+                          out calories : Measure(kcal)) "my step count";
+  monitorable query heartrate(out bpm : Measure(bpm)) "my heart rate";
+}
+
+templates {
+  np "my step count" := @com.fitbit.steps ;
+  np "how far i walked today" := @com.fitbit.steps ;
+  np "the calories i burned" := @com.fitbit.steps ;
+  wp "when i reach $x steps" (x : Number) := edge ( monitor ( @com.fitbit.steps ) ) on param:steps >= $x ;
+  wp "when my step count updates" := monitor ( @com.fitbit.steps ) ;
+  np "my heart rate" := @com.fitbit.heartrate ;
+  wp "when my heart rate goes above $x" (x : Measure(bpm)) := edge ( monitor ( @com.fitbit.heartrate ) ) on param:bpm > $x ;
+}
+
+class @com.bodytrace.scale {
+  monitorable query get_weight(out weight : Measure(kg)) "my weight from the smart scale";
+}
+
+templates {
+  np "my weight" := @com.bodytrace.scale.get_weight ;
+  np "the reading from my scale" := @com.bodytrace.scale.get_weight ;
+  wp "when i weigh myself" := monitor ( @com.bodytrace.scale.get_weight ) ;
+  wp "when my weight drops below $x" (x : Measure(kg)) := edge ( monitor ( @com.bodytrace.scale.get_weight ) ) on param:weight < $x ;
+}
+`

@@ -1,0 +1,89 @@
+package thingpedia
+
+// Everyday-life skills: ride hailing, transit, restaurants, recipes,
+// parking, sports scores.
+
+const builtinLife = `
+class @com.uber {
+  query price_estimate(in req start : Location,
+                       in req end : Location,
+                       out low_estimate : Currency,
+                       out high_estimate : Currency,
+                       out duration : Measure(ms)) "an uber price estimate";
+  action request(in req start : Location, in req end : Location) "request an uber";
+}
+
+templates {
+  np "an uber estimate from $x to $y" (x : Location, y : Location) := @com.uber.price_estimate param:end = $y param:start = $x ;
+  np "the cost of an uber from $x to $y" (x : Location, y : Location) := @com.uber.price_estimate param:end = $y param:start = $x ;
+  vp "request an uber from $x to $y" (x : Location, y : Location) := @com.uber.request param:end = $y param:start = $x ;
+  vp "call me a ride from $x to $y" (x : Location, y : Location) := @com.uber.request param:end = $y param:start = $x ;
+}
+
+class @org.thingpedia.transit {
+  monitorable list query next_bus(in req route : String,
+                                  out arrival_time : Date,
+                                  out minutes_away : Number) "the next bus arrival";
+}
+
+templates {
+  np "the next $x bus" (x : String) := @org.thingpedia.transit.next_bus param:route = $x ;
+  np "when the $x bus arrives" (x : String) := @org.thingpedia.transit.next_bus param:route = $x ;
+  wp "when the $x bus is close" (x : String) := edge ( monitor ( @org.thingpedia.transit.next_bus param:route = $x ) ) on param:minutes_away < 5 ;
+}
+
+class @com.yelp {
+  list query restaurants(in opt cuisine : String,
+                         in opt near : Location,
+                         out restaurant_name : String,
+                         out rating : Number,
+                         out price_range : Number) "restaurants nearby";
+}
+
+templates {
+  np "restaurants nearby" := @com.yelp.restaurants ;
+  np "$x restaurants" (x : String) := @com.yelp.restaurants param:cuisine = $x ;
+  np "$x restaurants near $y" (x : String, y : Location) := @com.yelp.restaurants param:cuisine = $x param:near = $y ;
+  np "restaurants rated above $x" (x : Number) := @com.yelp.restaurants filter param:rating > $x ;
+  vp "find me a $x restaurant" (x : String) := @com.yelp.restaurants param:cuisine = $x ;
+}
+
+class @com.food2fork {
+  list query recipes(in req ingredient : String,
+                     out recipe_name : String,
+                     out recipe_url : URL) "recipes using an ingredient";
+}
+
+templates {
+  np "recipes with $x" (x : String) := @com.food2fork.recipes param:ingredient = $x ;
+  np "something to cook with $x" (x : String) := @com.food2fork.recipes param:ingredient = $x ;
+  vp "find a recipe using $x" (x : String) := @com.food2fork.recipes param:ingredient = $x ;
+}
+
+class @com.espn {
+  monitorable query team_score(in req team : Entity(com.espn:team),
+                               out score : String,
+                               out is_playing : Boolean,
+                               out won : Boolean) "the latest score for a team";
+}
+
+templates {
+  np "the score of the $x game" (x : Entity(com.espn:team)) := @com.espn.team_score param:team = $x ;
+  np "how the $x are doing" (x : Entity(com.espn:team)) := @com.espn.team_score param:team = $x ;
+  wp "when the $x game ends" (x : Entity(com.espn:team)) := monitor ( @com.espn.team_score param:team = $x filter param:is_playing == false ) ;
+  wp "when the $x win" (x : Entity(com.espn:team)) := monitor ( @com.espn.team_score param:team = $x filter param:won == true ) ;
+  wp "when the $x score changes" (x : Entity(com.espn:team)) := monitor ( @com.espn.team_score param:team = $x ) on new param:score ;
+}
+
+class @org.thingpedia.builtin.battery {
+  monitorable query level(out battery_level : Number,
+                          out charging : Boolean) "my phone battery level";
+}
+
+templates {
+  np "my battery level" := @org.thingpedia.builtin.battery.level ;
+  np "how much battery i have left" := @org.thingpedia.builtin.battery.level ;
+  wp "when my battery is low" := edge ( monitor ( @org.thingpedia.builtin.battery.level ) ) on param:battery_level < 20 ;
+  wp "when my phone is charged" := edge ( monitor ( @org.thingpedia.builtin.battery.level ) ) on param:battery_level >= 100 ;
+}
+`

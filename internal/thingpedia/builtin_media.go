@@ -1,0 +1,104 @@
+package thingpedia
+
+// Media skills: YouTube, the cat API, XKCD, Giphy, Imgflip, NASA.
+
+const builtinMedia = `
+class @com.youtube easy {
+  monitorable list query search_videos(in req query : String,
+                                       out video_title : String,
+                                       out video_url : URL,
+                                       out channel : Entity(com.youtube:channel)) "youtube videos matching a search";
+  monitorable list query subscriptions(out channel : Entity(com.youtube:channel),
+                                       out video_title : String,
+                                       out video_url : URL) "new videos from my subscriptions";
+  action add_to_playlist(in req playlist : String, in req video_url : URL) "add a video to a playlist";
+}
+
+templates {
+  np "youtube videos about $x" (x : String) := @com.youtube.search_videos param:query = $x ;
+  np "videos matching $x on youtube" (x : String) := @com.youtube.search_videos param:query = $x ;
+  vp "search youtube for $x" (x : String) := @com.youtube.search_videos param:query = $x ;
+  wp "when there is a new youtube video about $x" (x : String) := monitor ( @com.youtube.search_videos param:query = $x ) ;
+  np "videos from my youtube subscriptions" := @com.youtube.subscriptions ;
+  np "new videos from channels i follow" := @com.youtube.subscriptions ;
+  wp "when a channel i subscribe to uploads a video" := monitor ( @com.youtube.subscriptions ) ;
+  wp "when $x uploads a video" (x : Entity(com.youtube:channel)) := monitor ( @com.youtube.subscriptions filter param:channel == $x ) ;
+  vp "add $y to my youtube playlist $x" (x : String, y : URL) := @com.youtube.add_to_playlist param:playlist = $x param:video_url = $y ;
+  vp "save the video $y to playlist $x" (x : String, y : URL) := @com.youtube.add_to_playlist param:playlist = $x param:video_url = $y ;
+}
+
+class @com.thecatapi easy {
+  list query get(in opt count : Number,
+                 out picture_url : URL,
+                 out image_id : Entity(com.thecatapi:image_id)) "a cat picture";
+}
+
+templates {
+  np "a cat picture" := @com.thecatapi.get ;
+  np "a random cat photo" := @com.thecatapi.get ;
+  np "cute cat pictures" := @com.thecatapi.get ;
+  np "$x cat pictures" (x : Number) := @com.thecatapi.get param:count = $x ;
+  vp "get a cat picture" := @com.thecatapi.get ;
+  vp "show me cats" := @com.thecatapi.get ;
+}
+
+class @com.xkcd easy {
+  monitorable query comic(in opt number : Number,
+                          out title : String,
+                          out picture_url : URL,
+                          out link : URL) "an xkcd comic";
+}
+
+templates {
+  np "the latest xkcd comic" := @com.xkcd.comic ;
+  np "today's xkcd" := @com.xkcd.comic ;
+  np "xkcd number $x" (x : Number) := @com.xkcd.comic param:number = $x ;
+  wp "when a new xkcd comes out" := monitor ( @com.xkcd.comic ) ;
+  wp "when xkcd is updated" := monitor ( @com.xkcd.comic ) ;
+}
+
+class @com.giphy {
+  list query get(in opt tag : String,
+                 out picture_url : URL) "a random gif";
+}
+
+templates {
+  np "a random gif" := @com.giphy.get ;
+  np "a gif of $x" (x : String) := @com.giphy.get param:tag = $x ;
+  np "a $x gif from giphy" (x : String) := @com.giphy.get param:tag = $x ;
+  vp "find me a gif about $x" (x : String) := @com.giphy.get param:tag = $x ;
+}
+
+class @com.imgflip {
+  query generate(in req template : String,
+                 in req top_text : String,
+                 in req bottom_text : String,
+                 out picture_url : URL) "a generated meme";
+  list query list_templates(out template : String) "available meme templates";
+}
+
+templates {
+  np "a $x meme saying $y on top and $z below" (x : String, y : String, z : String) := @com.imgflip.generate param:template = $x param:top_text = $y param:bottom_text = $z ;
+  vp "make a $x meme with $y and $z" (x : String, y : String, z : String) := @com.imgflip.generate param:template = $x param:top_text = $y param:bottom_text = $z ;
+  np "meme templates on imgflip" := @com.imgflip.list_templates ;
+  np "the list of meme templates" := @com.imgflip.list_templates ;
+}
+
+class @gov.nasa {
+  monitorable query apod(out title : String,
+                         out picture_url : URL,
+                         out description : String) "nasa's astronomy picture of the day";
+  query asteroid(out name : String,
+                 out distance : Measure(m),
+                 out velocity : Measure(mps)) "the closest asteroid today";
+}
+
+templates {
+  np "nasa's astronomy picture of the day" := @gov.nasa.apod ;
+  np "the nasa picture of the day" := @gov.nasa.apod ;
+  np "today's space picture" := @gov.nasa.apod ;
+  wp "when nasa posts a new picture of the day" := monitor ( @gov.nasa.apod ) ;
+  np "the asteroid closest to earth" := @gov.nasa.asteroid ;
+  np "today's closest asteroid" := @gov.nasa.asteroid ;
+}
+`

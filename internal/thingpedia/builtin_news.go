@@ -1,0 +1,139 @@
+package thingpedia
+
+// News, search, weather and finance skills.
+
+const builtinNews = `
+class @com.nytimes easy {
+  monitorable list query get_front_page(out title : String,
+                                        out link : URL,
+                                        out updated : Date) "articles on the new york times front page";
+}
+
+templates {
+  np "articles on the new york times front page" := @com.nytimes.get_front_page ;
+  np "new york times headlines" := @com.nytimes.get_front_page ;
+  np "the nyt front page" := @com.nytimes.get_front_page ;
+  np "new york times articles about $x" (x : String) := @com.nytimes.get_front_page filter param:title substr $x ;
+  wp "when the new york times publishes a new article" := monitor ( @com.nytimes.get_front_page ) ;
+  wp "when there is breaking news in the new york times" := monitor ( @com.nytimes.get_front_page ) ;
+}
+
+class @com.washingtonpost {
+  monitorable list query get_article(in opt section : Enum(politics,opinions,local,sports,national,world,business,lifestyle),
+                                     out title : String,
+                                     out link : URL) "washington post articles";
+}
+
+templates {
+  np "washington post articles" := @com.washingtonpost.get_article ;
+  np "headlines from the washington post" := @com.washingtonpost.get_article ;
+  np "washington post $x articles" (x : Enum(politics,opinions,local,sports,national,world,business,lifestyle)) := @com.washingtonpost.get_article param:section = $x ;
+  wp "when the washington post publishes an article" := monitor ( @com.washingtonpost.get_article ) ;
+  wp "when there is washington post news about $x" (x : String) := monitor ( @com.washingtonpost.get_article filter param:title substr $x ) ;
+}
+
+class @com.wsj {
+  monitorable list query headlines(out title : String,
+                                   out link : URL) "wall street journal headlines";
+}
+
+templates {
+  np "wall street journal headlines" := @com.wsj.headlines ;
+  np "news from the wsj" := @com.wsj.headlines ;
+  np "wsj stories about $x" (x : String) := @com.wsj.headlines filter param:title substr $x ;
+  wp "when the wall street journal reports news" := monitor ( @com.wsj.headlines ) ;
+}
+
+class @com.bing {
+  list query web_search(in req query : String,
+                        out title : String,
+                        out description : String,
+                        out link : URL) "web search results";
+  list query image_search(in req query : String,
+                          out title : String,
+                          out picture_url : URL) "image search results";
+}
+
+templates {
+  np "websites matching $x" (x : String) := @com.bing.web_search param:query = $x ;
+  np "bing results for $x" (x : String) := @com.bing.web_search param:query = $x ;
+  vp "search the web for $x" (x : String) := @com.bing.web_search param:query = $x ;
+  vp "look up $x on bing" (x : String) := @com.bing.web_search param:query = $x ;
+  np "pictures of $x" (x : String) := @com.bing.image_search param:query = $x ;
+  np "images matching $x" (x : String) := @com.bing.image_search param:query = $x ;
+  vp "search images of $x" (x : String) := @com.bing.image_search param:query = $x ;
+}
+
+class @com.yandex {
+  query translate(in req text : String,
+                  in opt target_language : Entity(tt:iso_lang_code),
+                  out translated_text : String) "the translation";
+}
+
+templates {
+  np "the translation of $x" (x : String) := @com.yandex.translate param:text = $x ;
+  np "the translation of $x to $y" (x : String, y : Entity(tt:iso_lang_code)) := @com.yandex.translate param:target_language = $y param:text = $x ;
+  vp "translate $x" (x : String) := @com.yandex.translate param:text = $x ;
+  vp "translate $x to $y" (x : String, y : Entity(tt:iso_lang_code)) := @com.yandex.translate param:target_language = $y param:text = $x ;
+}
+
+class @org.thingpedia.weather easy {
+  monitorable query current(in opt location : Location,
+                            out temperature : Measure(C),
+                            out humidity : Number,
+                            out wind_speed : Measure(mps),
+                            out status : Enum(sunny,cloudy,raining,snowing,windy)) "the current weather";
+  monitorable query sunrise(in opt location : Location,
+                            out sunrise_time : Time,
+                            out sunset_time : Time) "sunrise and sunset times";
+}
+
+templates {
+  np "the current weather" := @org.thingpedia.weather.current ;
+  np "the weather at $x" (x : Location) := @org.thingpedia.weather.current param:location = $x ;
+  np "the temperature outside" := @org.thingpedia.weather.current ;
+  wp "when the weather changes" := monitor ( @org.thingpedia.weather.current ) ;
+  wp "when it starts raining" := monitor ( @org.thingpedia.weather.current filter param:status == enum:raining ) ;
+  wp "when it rains" := monitor ( @org.thingpedia.weather.current filter param:status == enum:raining ) ;
+  wp "when it snows at $x" (x : Location) := monitor ( @org.thingpedia.weather.current param:location = $x filter param:status == enum:snowing ) ;
+  np "sunrise and sunset times" := @org.thingpedia.weather.sunrise ;
+  np "the sunrise time at $x" (x : Location) := @org.thingpedia.weather.sunrise param:location = $x ;
+}
+
+class @com.yahoo.finance {
+  monitorable query get_stock_quote(in req symbol : Entity(tt:stock_id),
+                                    out price : Currency,
+                                    out change : Number) "a stock quote";
+}
+
+templates {
+  np "the stock price of $x" (x : Entity(tt:stock_id)) := @com.yahoo.finance.get_stock_quote param:symbol = $x ;
+  np "a quote for $x" (x : Entity(tt:stock_id)) := @com.yahoo.finance.get_stock_quote param:symbol = $x ;
+  wp "when the price of $x changes" (x : Entity(tt:stock_id)) := monitor ( @com.yahoo.finance.get_stock_quote param:symbol = $x ) ;
+  wp "when $x stock moves" (x : Entity(tt:stock_id)) := monitor ( @com.yahoo.finance.get_stock_quote param:symbol = $x ) on new param:price ;
+}
+
+class @com.coinbase {
+  monitorable query get_price(in opt currency : Enum(btc,eth,ltc),
+                              out price : Currency) "a cryptocurrency price";
+}
+
+templates {
+  np "the bitcoin price" := @com.coinbase.get_price param:currency = enum:btc ;
+  np "the price of $x" (x : Enum(btc,eth,ltc)) := @com.coinbase.get_price param:currency = $x ;
+  wp "when the $x price changes" (x : Enum(btc,eth,ltc)) := monitor ( @com.coinbase.get_price param:currency = $x ) ;
+}
+
+class @us.epa.airquality {
+  monitorable query aqi(in opt location : Location,
+                        out index : Number,
+                        out category : Enum(good,moderate,unhealthy,hazardous)) "the air quality index";
+}
+
+templates {
+  np "the air quality" := @us.epa.airquality.aqi ;
+  np "the air quality index at $x" (x : Location) := @us.epa.airquality.aqi param:location = $x ;
+  wp "when the air becomes unhealthy" := monitor ( @us.epa.airquality.aqi filter param:category == enum:unhealthy ) ;
+  wp "when the air quality changes" := monitor ( @us.epa.airquality.aqi ) ;
+}
+`

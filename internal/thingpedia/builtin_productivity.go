@@ -1,0 +1,156 @@
+package thingpedia
+
+// Productivity skills: Dropbox, Google Drive, GitHub, Todoist, calendar,
+// notes.
+
+const builtinProductivity = `
+class @com.dropbox easy {
+  monitorable query get_space_usage(out used_space : Measure(byte),
+                                    out total_space : Measure(byte)) "my dropbox space usage";
+  monitorable list query list_folder(in opt folder_name : PathName,
+                                     in opt order_by : Enum(modified_time_decreasing,modified_time_increasing),
+                                     out file_name : PathName,
+                                     out is_folder : Boolean,
+                                     out modified_time : Date,
+                                     out file_size : Measure(byte)) "files in my dropbox";
+  query open(in req file_name : PathName,
+             out download_url : URL) "a temporary dropbox link";
+  action move(in req old_name : PathName, in req new_name : PathName) "move a dropbox file";
+  action delete_file(in req file_name : PathName) "delete a dropbox file";
+}
+
+templates {
+  np "my dropbox space usage" := @com.dropbox.get_space_usage ;
+  np "how much dropbox space i am using" := @com.dropbox.get_space_usage ;
+  wp "when my dropbox usage changes" := monitor ( @com.dropbox.get_space_usage ) ;
+  np "my dropbox files" := @com.dropbox.list_folder ;
+  np "files in my dropbox" := @com.dropbox.list_folder ;
+  np "my dropbox files that changed most recently" := @com.dropbox.list_folder param:order_by = enum:modified_time_decreasing ;
+  np "my dropbox files that changed this week" := @com.dropbox.list_folder param:order_by = enum:modified_time_decreasing filter param:modified_time > date:start_of_week ;
+  np "files in my dropbox folder $x" (x : PathName) := @com.dropbox.list_folder param:folder_name = $x ;
+  np "dropbox files bigger than $x" (x : Measure(byte)) := @com.dropbox.list_folder filter param:file_size > $x ;
+  np "folders in my dropbox" := @com.dropbox.list_folder filter param:is_folder == true ;
+  wp "when i modify a file in dropbox" := monitor ( @com.dropbox.list_folder ) ;
+  wp "when i create a file in dropbox" := monitor ( @com.dropbox.list_folder ) on new param:file_name ;
+  wp "when files change in my dropbox folder $x" (x : PathName) := monitor ( @com.dropbox.list_folder param:folder_name = $x ) ;
+  np "the download url of $x" (x : PathName) := @com.dropbox.open param:file_name = $x ;
+  np "a temporary link to $x" (x : PathName) := @com.dropbox.open param:file_name = $x ;
+  vp "open $x" (x : PathName) := @com.dropbox.open param:file_name = $x ;
+  vp "download $x" (x : PathName) := @com.dropbox.open param:file_name = $x ;
+  vp "move $x to $y in dropbox" (x : PathName, y : PathName) := @com.dropbox.move param:new_name = $y param:old_name = $x ;
+  vp "rename the dropbox file $x to $y" (x : PathName, y : PathName) := @com.dropbox.move param:new_name = $y param:old_name = $x ;
+  vp "delete $x from dropbox" (x : PathName) := @com.dropbox.delete_file param:file_name = $x ;
+  vp "remove the dropbox file $x" (x : PathName) := @com.dropbox.delete_file param:file_name = $x ;
+}
+
+class @com.google.drive {
+  monitorable list query list_files(in opt order_by : Enum(name,created_time,modified_time),
+                                    out file_name : PathName,
+                                    out file_size : Measure(byte),
+                                    out created_time : Date) "files in my google drive";
+  action create_file(in req file_name : PathName) "create a google drive file";
+}
+
+templates {
+  np "files in my google drive" := @com.google.drive.list_files ;
+  np "my google drive documents" := @com.google.drive.list_files ;
+  np "my newest google drive files" := @com.google.drive.list_files param:order_by = enum:created_time ;
+  np "google drive files created since the start of the month" := @com.google.drive.list_files filter param:created_time > date:start_of_month ;
+  wp "when a file is added to my google drive" := monitor ( @com.google.drive.list_files ) on new param:file_name ;
+  wp "when my google drive changes" := monitor ( @com.google.drive.list_files ) ;
+  vp "create a new google drive file named $x" (x : PathName) := @com.google.drive.create_file param:file_name = $x ;
+  vp "make a drive document called $x" (x : PathName) := @com.google.drive.create_file param:file_name = $x ;
+}
+
+class @com.github easy {
+  monitorable list query issues(in opt repo : String,
+                                out title : String,
+                                out author : Entity(tt:username),
+                                out number : Number) "github issues";
+  monitorable list query commits(in opt repo : String,
+                                 out message : String,
+                                 out author : Entity(tt:username)) "commits in a repository";
+  action open_issue(in req repo : String, in req title : String, in opt body : String) "open a github issue";
+  action star(in req repo : String) "star a repository";
+}
+
+templates {
+  np "issues in the $x repository" (x : String) := @com.github.issues param:repo = $x ;
+  np "github issues on $x" (x : String) := @com.github.issues param:repo = $x ;
+  np "open github issues" := @com.github.issues ;
+  np "github issues opened by $x" (x : Entity(tt:username)) := @com.github.issues filter param:author == $x ;
+  wp "when an issue is opened on $x" (x : String) := monitor ( @com.github.issues param:repo = $x ) ;
+  wp "when somebody files a github issue" := monitor ( @com.github.issues ) ;
+  np "commits to $x" (x : String) := @com.github.commits param:repo = $x ;
+  np "the latest commits" := @com.github.commits ;
+  wp "when somebody pushes to $x" (x : String) := monitor ( @com.github.commits param:repo = $x ) ;
+  wp "when $x commits code" (x : Entity(tt:username)) := monitor ( @com.github.commits filter param:author == $x ) ;
+  vp "open an issue on $x titled $y" (x : String, y : String) := @com.github.open_issue param:repo = $x param:title = $y ;
+  vp "file a github issue on $x about $y" (x : String, y : String) := @com.github.open_issue param:repo = $x param:title = $y ;
+  vp "star the $x repository" (x : String) := @com.github.star param:repo = $x ;
+  vp "star $x on github" (x : String) := @com.github.star param:repo = $x ;
+}
+
+class @com.todoist {
+  monitorable list query list_tasks(in opt project : String,
+                                    out content : String,
+                                    out due_date : Date,
+                                    out priority : Number) "my todo list";
+  action add_task(in req content : String, in opt due_date : Date) "add a task";
+  action complete_task(in req content : String) "complete a task";
+}
+
+templates {
+  np "tasks on my todo list" := @com.todoist.list_tasks ;
+  np "my todoist tasks" := @com.todoist.list_tasks ;
+  np "tasks in my $x project" (x : String) := @com.todoist.list_tasks param:project = $x ;
+  np "tasks due before the end of the day" := @com.todoist.list_tasks filter param:due_date < date:end_of_day ;
+  np "my high priority tasks" := @com.todoist.list_tasks filter param:priority >= 3 ;
+  wp "when i add a task" := monitor ( @com.todoist.list_tasks ) on new param:content ;
+  wp "when my todo list changes" := monitor ( @com.todoist.list_tasks ) ;
+  vp "add $x to my todo list" (x : String) := @com.todoist.add_task param:content = $x ;
+  vp "remind me to $x" (x : String) := @com.todoist.add_task param:content = $x ;
+  vp "add a task $x due $y" (x : String, y : Date) := @com.todoist.add_task param:content = $x param:due_date = $y ;
+  vp "mark $x as done" (x : String) := @com.todoist.complete_task param:content = $x ;
+  vp "complete the task $x" (x : String) := @com.todoist.complete_task param:content = $x ;
+}
+
+class @com.google.calendar {
+  monitorable list query list_events(out title : String,
+                                     out start_time : Date,
+                                     out end_time : Date,
+                                     out location : Location) "events on my calendar";
+  action create_event(in req title : String, in opt start_time : Date) "create a calendar event";
+}
+
+templates {
+  np "events on my calendar" := @com.google.calendar.list_events ;
+  np "my upcoming appointments" := @com.google.calendar.list_events ;
+  np "calendar events before the end of the day" := @com.google.calendar.list_events filter param:start_time < date:end_of_day ;
+  np "my meetings this week" := @com.google.calendar.list_events filter param:start_time < date:end_of_week ;
+  wp "when an event is added to my calendar" := monitor ( @com.google.calendar.list_events ) on new param:title ;
+  wp "when my calendar changes" := monitor ( @com.google.calendar.list_events ) ;
+  vp "add $x to my calendar" (x : String) := @com.google.calendar.create_event param:title = $x ;
+  vp "schedule $x" (x : String) := @com.google.calendar.create_event param:title = $x ;
+  vp "create an event $x starting $y" (x : String, y : Date) := @com.google.calendar.create_event param:start_time = $y param:title = $x ;
+}
+
+class @com.evernote {
+  monitorable list query list_notes(in opt notebook : String,
+                                    out title : String,
+                                    out content : String) "my notes";
+  action create_note(in req title : String, in opt content : String) "create a note";
+  action append_to_note(in req title : String, in req content : String) "append to a note";
+}
+
+templates {
+  np "my evernote notes" := @com.evernote.list_notes ;
+  np "notes in my $x notebook" (x : String) := @com.evernote.list_notes param:notebook = $x ;
+  np "notes mentioning $x" (x : String) := @com.evernote.list_notes filter param:content substr $x ;
+  wp "when i take a note" := monitor ( @com.evernote.list_notes ) on new param:title ;
+  vp "make a note titled $x" (x : String) := @com.evernote.create_note param:title = $x ;
+  vp "write down $x" (x : String) := @com.evernote.create_note param:title = $x ;
+  vp "create a note $x saying $y" (x : String, y : String) := @com.evernote.create_note param:content = $y param:title = $x ;
+  vp "append $y to my note $x" (x : String, y : String) := @com.evernote.append_to_note param:content = $y param:title = $x ;
+}
+`

@@ -1,0 +1,138 @@
+package thingpedia
+
+// Social-network skills: Twitter, Facebook, Instagram, Reddit, LinkedIn.
+
+const builtinSocial = `
+class @com.twitter easy {
+  monitorable list query timeline(out author : Entity(tt:username),
+                                  out text : String,
+                                  out hashtags : Array(String),
+                                  out tweet_id : Entity(com.twitter:id)) "tweets from people i follow";
+  monitorable list query search(in req query : String,
+                                out author : Entity(tt:username),
+                                out text : String,
+                                out tweet_id : Entity(com.twitter:id)) "tweets matching a search";
+  monitorable list query my_tweets(out text : String,
+                                   out hashtags : Array(String),
+                                   out tweet_id : Entity(com.twitter:id)) "my tweets";
+  monitorable list query direct_messages(out sender : Entity(tt:username),
+                                         out message : String) "direct messages i received";
+  action post(in req status : String) "tweet";
+  action post_picture(in req picture_url : URL, in opt caption : String) "tweet a picture";
+  action retweet(in req tweet_id : Entity(com.twitter:id)) "retweet";
+  action follow(in req user_name : Entity(tt:username)) "follow someone on twitter";
+  action send_direct_message(in req to : Entity(tt:username), in req message : String) "send a twitter dm";
+}
+
+templates {
+  np "tweets in my timeline" := @com.twitter.timeline ;
+  np "tweets from people i follow" := @com.twitter.timeline ;
+  np "my twitter timeline" := @com.twitter.timeline ;
+  np "tweets by $x" (x : Entity(tt:username)) := @com.twitter.timeline filter param:author == $x ;
+  np "tweets with hashtag $x" (x : String) := @com.twitter.timeline filter param:hashtags contains $x ;
+  np "tweets mentioning $x" (x : String) := @com.twitter.timeline filter param:text substr $x ;
+  wp "when someone i follow tweets" := monitor ( @com.twitter.timeline ) ;
+  wp "when $x tweets" (x : Entity(tt:username)) := monitor ( @com.twitter.timeline filter param:author == $x ) ;
+  wp "when there is a tweet with hashtag $x" (x : String) := monitor ( @com.twitter.timeline filter param:hashtags contains $x ) ;
+  np "tweets about $x" (x : String) := @com.twitter.search param:query = $x ;
+  np "twitter search results for $x" (x : String) := @com.twitter.search param:query = $x ;
+  vp "search twitter for $x" (x : String) := @com.twitter.search param:query = $x ;
+  wp "when somebody tweets about $x" (x : String) := monitor ( @com.twitter.search param:query = $x ) ;
+  np "my tweets" := @com.twitter.my_tweets ;
+  np "tweets i posted" := @com.twitter.my_tweets ;
+  wp "when i tweet" := monitor ( @com.twitter.my_tweets ) ;
+  np "my twitter direct messages" := @com.twitter.direct_messages ;
+  np "twitter dms i received" := @com.twitter.direct_messages ;
+  wp "when i receive a twitter dm" := monitor ( @com.twitter.direct_messages ) ;
+  wp "when $x sends me a direct message" (x : Entity(tt:username)) := monitor ( @com.twitter.direct_messages filter param:sender == $x ) ;
+  vp "tweet $x" (x : String) := @com.twitter.post param:status = $x ;
+  vp "post $x on twitter" (x : String) := @com.twitter.post param:status = $x ;
+  vp "share $x with my twitter followers" (x : String) := @com.twitter.post param:status = $x ;
+  vp "post the picture $x on twitter" (x : URL) := @com.twitter.post_picture param:picture_url = $x ;
+  vp "tweet the picture $x" (x : URL) := @com.twitter.post_picture param:picture_url = $x ;
+  vp "tweet $x with caption $y" (x : URL, y : String) := @com.twitter.post_picture param:picture_url = $x param:caption = $y ;
+  vp "retweet $x" (x : Entity(com.twitter:id)) := @com.twitter.retweet param:tweet_id = $x ;
+  
+  vp "follow $x on twitter" (x : Entity(tt:username)) := @com.twitter.follow param:user_name = $x ;
+  vp "send a twitter dm to $x saying $y" (x : Entity(tt:username), y : String) := @com.twitter.send_direct_message param:to = $x param:message = $y ;
+  vp "dm $y to $x on twitter" (x : Entity(tt:username), y : String) := @com.twitter.send_direct_message param:to = $x param:message = $y ;
+}
+
+class @com.facebook easy {
+  monitorable list query feed(out author : Entity(tt:username),
+                              out message : String,
+                              out link : URL) "posts in my facebook feed";
+  action post(in req status : String) "post on facebook";
+  action post_picture(in req picture_url : URL, in opt caption : String) "post a picture on facebook";
+}
+
+templates {
+  np "posts in my facebook feed" := @com.facebook.feed ;
+  np "my facebook news feed" := @com.facebook.feed ;
+  np "facebook posts by $x" (x : Entity(tt:username)) := @com.facebook.feed filter param:author == $x ;
+  np "facebook posts mentioning $x" (x : String) := @com.facebook.feed filter param:message substr $x ;
+  wp "when somebody posts on facebook" := monitor ( @com.facebook.feed ) ;
+  wp "when $x posts on facebook" (x : Entity(tt:username)) := monitor ( @com.facebook.feed filter param:author == $x ) ;
+  vp "post $x on facebook" (x : String) := @com.facebook.post param:status = $x ;
+  vp "update my facebook status to $x" (x : String) := @com.facebook.post param:status = $x ;
+  vp "share $x on facebook" (x : String) := @com.facebook.post param:status = $x ;
+  vp "put the picture $x on facebook" (x : URL) := @com.facebook.post_picture param:picture_url = $x ;
+  vp "post the picture $x on facebook" (x : URL) := @com.facebook.post_picture param:picture_url = $x ;
+  vp "post $x on facebook with caption $y" (x : URL, y : String) := @com.facebook.post_picture param:picture_url = $x param:caption = $y ;
+}
+
+class @com.instagram easy {
+  monitorable list query my_pictures(out picture_url : URL,
+                                     out caption : String,
+                                     out hashtags : Array(String)) "my instagram pictures";
+  action upload_picture(in req picture_url : URL, in opt caption : String) "upload a picture to instagram";
+}
+
+templates {
+  np "my instagram pictures" := @com.instagram.my_pictures ;
+  np "photos i posted on instagram" := @com.instagram.my_pictures ;
+  np "my instagram posts with hashtag $x" (x : String) := @com.instagram.my_pictures filter param:hashtags contains $x ;
+  np "instagram pictures with caption containing $x" (x : String) := @com.instagram.my_pictures filter param:caption substr $x ;
+  wp "when i post on instagram" := monitor ( @com.instagram.my_pictures ) ;
+  wp "when i upload a new instagram photo" := monitor ( @com.instagram.my_pictures ) ;
+  vp "upload $x to instagram" (x : URL) := @com.instagram.upload_picture param:picture_url = $x ;
+  vp "post the picture $x on instagram" (x : URL) := @com.instagram.upload_picture param:picture_url = $x ;
+  vp "post $x on instagram with caption $y" (x : URL, y : String) := @com.instagram.upload_picture param:picture_url = $x param:caption = $y ;
+}
+
+class @com.reddit {
+  monitorable list query frontpage(in opt subreddit : String,
+                                   out title : String,
+                                   out link : URL,
+                                   out score : Number) "posts on the reddit front page";
+  action submit(in req title : String, in req link : URL) "submit a link to reddit";
+}
+
+templates {
+  np "posts on reddit" := @com.reddit.frontpage ;
+  np "the reddit front page" := @com.reddit.frontpage ;
+  np "posts on the $x subreddit" (x : String) := @com.reddit.frontpage param:subreddit = $x ;
+  np "reddit posts with more than $x upvotes" (x : Number) := @com.reddit.frontpage filter param:score > $x ;
+  np "reddit posts about $x" (x : String) := @com.reddit.frontpage filter param:title substr $x ;
+  wp "when a post reaches the reddit front page" := monitor ( @com.reddit.frontpage ) ;
+  wp "when there is a new post on the $x subreddit" (x : String) := monitor ( @com.reddit.frontpage param:subreddit = $x ) ;
+  vp "submit $x to reddit as $y" (x : URL, y : String) := @com.reddit.submit param:link = $x param:title = $y ;
+  vp "post the link $x on reddit titled $y" (x : URL, y : String) := @com.reddit.submit param:link = $x param:title = $y ;
+}
+
+class @com.linkedin {
+  monitorable query profile(out headline : String,
+                            out industry : String,
+                            out profile_picture : URL) "my linkedin profile";
+  action share(in req status : String) "share on linkedin";
+}
+
+templates {
+  np "my linkedin profile" := @com.linkedin.profile ;
+  np "my linkedin headline" := @com.linkedin.profile ;
+  wp "when i update my linkedin profile" := monitor ( @com.linkedin.profile ) ;
+  wp "when my linkedin headline changes" := monitor ( @com.linkedin.profile ) on new param:headline ;
+  vp "share $x on linkedin" (x : String) := @com.linkedin.share param:status = $x ;
+  vp "post $x to my linkedin network" (x : String) := @com.linkedin.share param:status = $x ;
+}
+`

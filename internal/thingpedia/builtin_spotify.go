@@ -1,0 +1,147 @@
+package thingpedia
+
+// The comprehensive Spotify skill of Section 6.1: 15 queries and 17 actions.
+// Songs and artists are quote-free string-like parameters; the parser must
+// learn to distinguish "play shake it off" (a song) from "play taylor swift"
+// (an artist) from the parameter value itself.
+
+const builtinSpotify = `
+class @com.spotify easy {
+  monitorable query get_currently_playing(out song : Entity(com.spotify:song),
+                                          out artist : Entity(com.spotify:artist),
+                                          out album : Entity(com.spotify:album)) "the song that is playing";
+  list query get_my_songs(out song : Entity(com.spotify:song),
+                          out artist : Entity(com.spotify:artist),
+                          out tempo : Measure(bpm),
+                          out energy : Number,
+                          out popularity : Number) "songs in my library";
+  list query get_top_tracks(out song : Entity(com.spotify:song),
+                            out artist : Entity(com.spotify:artist)) "my most played songs";
+  list query get_top_artists(out artist : Entity(com.spotify:artist),
+                             out genre : String) "my most played artists";
+  list query get_song(in req song : Entity(com.spotify:song),
+                      out artist : Entity(com.spotify:artist),
+                      out album : Entity(com.spotify:album),
+                      out tempo : Measure(bpm),
+                      out duration : Measure(ms)) "information about a song";
+  list query get_artist(in req artist : Entity(com.spotify:artist),
+                        out genre : String,
+                        out followers : Number) "information about an artist";
+  list query get_album(in req album : Entity(com.spotify:album),
+                       out artist : Entity(com.spotify:artist),
+                       out song : Entity(com.spotify:song)) "songs on an album";
+  list query get_playlists(out playlist : Entity(com.spotify:playlist),
+                           out song_count : Number) "my playlists";
+  list query get_playlist_tracks(in req playlist : Entity(com.spotify:playlist),
+                                 out song : Entity(com.spotify:song),
+                                 out artist : Entity(com.spotify:artist)) "songs in a playlist";
+  monitorable list query get_new_releases(out album : Entity(com.spotify:album),
+                                          out artist : Entity(com.spotify:artist)) "newly released albums";
+  list query get_recommendations(in opt seed_artist : Entity(com.spotify:artist),
+                                 out song : Entity(com.spotify:song),
+                                 out artist : Entity(com.spotify:artist)) "recommended songs";
+  monitorable list query get_recently_played(out song : Entity(com.spotify:song),
+                                             out artist : Entity(com.spotify:artist)) "songs i listened to recently";
+  list query get_devices(out device : Entity(com.spotify:device),
+                         out is_active : Boolean) "my spotify devices";
+  query get_volume(out volume : Number) "the playback volume";
+  query get_shuffle_state(out shuffle : Boolean,
+                          out repeat : Enum(off,track,context)) "the shuffle and repeat state";
+
+  action play_song(in req song : Entity(com.spotify:song),
+                   in opt artist : Entity(com.spotify:artist)) "play a song";
+  action play_artist(in req artist : Entity(com.spotify:artist)) "play songs by an artist";
+  action play_album(in req album : Entity(com.spotify:album)) "play an album";
+  action play_playlist(in req playlist : Entity(com.spotify:playlist)) "play a playlist";
+  action pause() "pause the music";
+  action resume() "resume the music";
+  action next_track() "skip to the next song";
+  action previous_track() "go back to the previous song";
+  action set_volume(in req volume : Number) "set the playback volume";
+  action set_shuffle(in req shuffle : Enum(on,off)) "turn shuffle on or off";
+  action set_repeat(in req repeat : Enum(off,track,context)) "set the repeat mode";
+  action add_song_to_playlist(in req playlist : Entity(com.spotify:playlist),
+                              in req song : Entity(com.spotify:song)) "add a song to a playlist";
+  action create_playlist(in req name : String) "create a playlist";
+  action save_song(in req song : Entity(com.spotify:song)) "save a song to my library";
+  action remove_song(in req song : Entity(com.spotify:song)) "remove a song from my library";
+  action follow_artist(in req artist : Entity(com.spotify:artist)) "follow an artist";
+  action transfer_playback(in req device : Entity(com.spotify:device)) "move playback to another device";
+}
+
+templates {
+  np "the song that is playing" := @com.spotify.get_currently_playing ;
+  np "what i am listening to" := @com.spotify.get_currently_playing ;
+  np "the current song" := @com.spotify.get_currently_playing ;
+  wp "when the song changes" := monitor ( @com.spotify.get_currently_playing ) ;
+  wp "when a song by $x comes on" (x : Entity(com.spotify:artist)) := monitor ( @com.spotify.get_currently_playing filter param:artist == $x ) ;
+  np "songs in my spotify library" := @com.spotify.get_my_songs ;
+  np "my saved songs" := @com.spotify.get_my_songs ;
+  np "my songs faster than $x" (x : Measure(bpm)) := @com.spotify.get_my_songs filter param:tempo > $x ;
+  np "my songs by $x" (x : Entity(com.spotify:artist)) := @com.spotify.get_my_songs filter param:artist == $x ;
+  np "high energy songs in my library" := @com.spotify.get_my_songs filter param:energy > 80 ;
+  np "my most played songs" := @com.spotify.get_top_tracks ;
+  np "my top tracks on spotify" := @com.spotify.get_top_tracks ;
+  np "my favorite artists" := @com.spotify.get_top_artists ;
+  np "the artists i listen to most" := @com.spotify.get_top_artists ;
+  np "information about the song $x" (x : Entity(com.spotify:song)) := @com.spotify.get_song param:song = $x ;
+  np "the tempo of $x" (x : Entity(com.spotify:song)) := @com.spotify.get_song param:song = $x ;
+  np "details on the artist $x" (x : Entity(com.spotify:artist)) := @com.spotify.get_artist param:artist = $x ;
+  np "the genre of $x" (x : Entity(com.spotify:artist)) := @com.spotify.get_artist param:artist = $x ;
+  np "songs on the album $x" (x : Entity(com.spotify:album)) := @com.spotify.get_album param:album = $x ;
+  np "the track list of $x" (x : Entity(com.spotify:album)) := @com.spotify.get_album param:album = $x ;
+  np "my spotify playlists" := @com.spotify.get_playlists ;
+  np "the playlists i created" := @com.spotify.get_playlists ;
+  np "songs in my playlist $x" (x : Entity(com.spotify:playlist)) := @com.spotify.get_playlist_tracks param:playlist = $x ;
+  np "tracks on the playlist $x" (x : Entity(com.spotify:playlist)) := @com.spotify.get_playlist_tracks param:playlist = $x ;
+  np "new album releases" := @com.spotify.get_new_releases ;
+  np "albums that just came out" := @com.spotify.get_new_releases ;
+  wp "when a new album drops" := monitor ( @com.spotify.get_new_releases ) ;
+  wp "when $x releases an album" (x : Entity(com.spotify:artist)) := monitor ( @com.spotify.get_new_releases filter param:artist == $x ) ;
+  np "song recommendations" := @com.spotify.get_recommendations ;
+  np "songs similar to $x" (x : Entity(com.spotify:artist)) := @com.spotify.get_recommendations param:seed_artist = $x ;
+  np "songs i listened to recently" := @com.spotify.get_recently_played ;
+  np "my listening history" := @com.spotify.get_recently_played ;
+  wp "when i finish a song" := monitor ( @com.spotify.get_recently_played ) ;
+  np "my spotify devices" := @com.spotify.get_devices ;
+  np "devices i can play music on" := @com.spotify.get_devices ;
+  np "the spotify volume" := @com.spotify.get_volume ;
+  np "how loud the music is" := @com.spotify.get_volume ;
+  np "the shuffle setting" := @com.spotify.get_shuffle_state ;
+
+  vp "play $x" (x : Entity(com.spotify:song)) := @com.spotify.play_song param:song = $x ;
+  vp "play the song $x" (x : Entity(com.spotify:song)) := @com.spotify.play_song param:song = $x ;
+  vp "put on $x" (x : Entity(com.spotify:song)) := @com.spotify.play_song param:song = $x ;
+  vp "play $x by $y" (x : Entity(com.spotify:song), y : Entity(com.spotify:artist)) := @com.spotify.play_song param:artist = $y param:song = $x ;
+  vp "play $x" (x : Entity(com.spotify:artist)) := @com.spotify.play_artist param:artist = $x ;
+  vp "play songs by $x" (x : Entity(com.spotify:artist)) := @com.spotify.play_artist param:artist = $x ;
+  vp "put on some $x" (x : Entity(com.spotify:artist)) := @com.spotify.play_artist param:artist = $x ;
+  vp "play the album $x" (x : Entity(com.spotify:album)) := @com.spotify.play_album param:album = $x ;
+  vp "listen to the album $x" (x : Entity(com.spotify:album)) := @com.spotify.play_album param:album = $x ;
+  vp "play my playlist $x" (x : Entity(com.spotify:playlist)) := @com.spotify.play_playlist param:playlist = $x ;
+  vp "shuffle the playlist $x" (x : Entity(com.spotify:playlist)) := @com.spotify.play_playlist param:playlist = $x ;
+  vp "pause the music" := @com.spotify.pause ;
+  vp "stop playing" := @com.spotify.pause ;
+  vp "resume the music" := @com.spotify.resume ;
+  vp "keep playing" := @com.spotify.resume ;
+  vp "skip this song" := @com.spotify.next_track ;
+  vp "play the next track" := @com.spotify.next_track ;
+  vp "go back a song" := @com.spotify.previous_track ;
+  vp "play the previous track" := @com.spotify.previous_track ;
+  vp "set the volume to $x" (x : Number) := @com.spotify.set_volume param:volume = $x ;
+  vp "turn the music to $x percent" (x : Number) := @com.spotify.set_volume param:volume = $x ;
+  vp "turn shuffle $x" (x : Enum(on,off)) := @com.spotify.set_shuffle param:shuffle = $x ;
+  vp "set repeat to $x" (x : Enum(off,track,context)) := @com.spotify.set_repeat param:repeat = $x ;
+  vp "add $y to the playlist $x" (x : Entity(com.spotify:playlist), y : Entity(com.spotify:song)) := @com.spotify.add_song_to_playlist param:playlist = $x param:song = $y ;
+  vp "put the song $y on my $x playlist" (x : Entity(com.spotify:playlist), y : Entity(com.spotify:song)) := @com.spotify.add_song_to_playlist param:playlist = $x param:song = $y ;
+  vp "create a playlist called $x" (x : String) := @com.spotify.create_playlist param:name = $x ;
+  vp "make a new playlist named $x" (x : String) := @com.spotify.create_playlist param:name = $x ;
+  vp "save $x to my library" (x : Entity(com.spotify:song)) := @com.spotify.save_song param:song = $x ;
+  vp "like the song $x" (x : Entity(com.spotify:song)) := @com.spotify.save_song param:song = $x ;
+  vp "remove $x from my library" (x : Entity(com.spotify:song)) := @com.spotify.remove_song param:song = $x ;
+  vp "unlike $x" (x : Entity(com.spotify:song)) := @com.spotify.remove_song param:song = $x ;
+  vp "follow $x on spotify" (x : Entity(com.spotify:artist)) := @com.spotify.follow_artist param:artist = $x ;
+  vp "move the music to $x" (x : Entity(com.spotify:device)) := @com.spotify.transfer_playback param:device = $x ;
+  vp "play on my $x" (x : Entity(com.spotify:device)) := @com.spotify.transfer_playback param:device = $x ;
+}
+`

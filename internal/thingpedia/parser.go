@@ -1,0 +1,519 @@
+package thingpedia
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/thingtalk"
+)
+
+// The class-definition DSL follows the grammar of Fig. 3, extended with the
+// primitive-template syntax of Section 3.1:
+//
+//	file      := (class | templates)*
+//	class     := "class" "@"cn ["extends" "@"cn]* ["easy"] "{" fn* "}"
+//	fn        := ["monitorable"] ["list"] ("query"|"action") name
+//	             "(" [param ("," param)*] ")" [canonical-string] ";"
+//	param     := ("in" "req" | "in" "opt" | "out") name ":" type
+//	templates := "templates" "{" template* "}"
+//	template  := cat ["[" flag ("," flag)* "]"] utterance
+//	             ["(" arg ("," arg)* ")"] ":=" code ";"
+//	cat       := "np" | "vp" | "wp"
+//	arg       := name ":" type
+//
+// The template code is ThingTalk canonical syntax with $name placeholders;
+// "vp" resolves to a query verb phrase or an action verb phrase depending on
+// the kind of the invoked function. Line comments start with "//".
+
+// ParseLibrary parses one or more DSL sources into a library.
+func ParseLibrary(sources ...string) (*Library, error) {
+	lib := NewLibrary()
+	for i, src := range sources {
+		if err := parseInto(lib, src); err != nil {
+			return nil, fmt.Errorf("thingpedia: source %d: %w", i, err)
+		}
+	}
+	return lib, nil
+}
+
+// MustParseLibrary is ParseLibrary, panicking on error; for static built-in
+// definitions only.
+func MustParseLibrary(sources ...string) *Library {
+	lib, err := ParseLibrary(sources...)
+	if err != nil {
+		panic(err)
+	}
+	return lib
+}
+
+func parseInto(lib *Library, src string) error {
+	s := &scanner{src: src}
+	for {
+		s.skipSpace()
+		if s.eof() {
+			return nil
+		}
+		word := s.word()
+		switch word {
+		case "class":
+			if err := parseClass(lib, s); err != nil {
+				return err
+			}
+		case "templates":
+			if err := parseTemplates(lib, s); err != nil {
+				return err
+			}
+		default:
+			return s.errf("expected 'class' or 'templates', got %q", word)
+		}
+	}
+}
+
+func parseClass(lib *Library, s *scanner) error {
+	s.skipSpace()
+	name := s.word()
+	if !strings.HasPrefix(name, "@") {
+		return s.errf("expected class name @..., got %q", name)
+	}
+	c := &Class{Name: name[1:]}
+	for {
+		s.skipSpace()
+		switch {
+		case s.peekWord("extends"):
+			s.word()
+			s.skipSpace()
+			ext := s.word()
+			if !strings.HasPrefix(ext, "@") {
+				return s.errf("expected @class after extends, got %q", ext)
+			}
+			c.Extends = append(c.Extends, ext[1:])
+		case s.peekWord("easy"):
+			s.word()
+			c.Easy = true
+		default:
+			goto body
+		}
+	}
+body:
+	if err := s.expect('{'); err != nil {
+		return err
+	}
+	for {
+		s.skipSpace()
+		if s.peekByte() == '}' {
+			s.next()
+			break
+		}
+		f, err := parseFunction(c.Name, s)
+		if err != nil {
+			return err
+		}
+		c.Functions = append(c.Functions, f)
+	}
+	return lib.AddClass(c)
+}
+
+func parseFunction(class string, s *scanner) (*thingtalk.FunctionSchema, error) {
+	f := &thingtalk.FunctionSchema{Class: class}
+	for {
+		s.skipSpace()
+		w := s.word()
+		switch w {
+		case "monitorable":
+			f.Monitor = true
+		case "list":
+			f.List = true
+		case "query":
+			f.Kind = thingtalk.KindQuery
+			goto name
+		case "action":
+			f.Kind = thingtalk.KindAction
+			goto name
+		default:
+			return nil, s.errf("expected function kind, got %q", w)
+		}
+	}
+name:
+	s.skipSpace()
+	f.Name = s.word()
+	if f.Name == "" {
+		return nil, s.errf("expected function name")
+	}
+	if err := s.expect('('); err != nil {
+		return nil, err
+	}
+	s.skipSpace()
+	if s.peekByte() != ')' {
+		for {
+			p, err := parseParam(s)
+			if err != nil {
+				return nil, err
+			}
+			f.Params = append(f.Params, p)
+			s.skipSpace()
+			if s.peekByte() == ',' {
+				s.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := s.expect(')'); err != nil {
+		return nil, err
+	}
+	s.skipSpace()
+	if s.peekByte() == '"' {
+		canon, err := s.quoted()
+		if err != nil {
+			return nil, err
+		}
+		f.Canonical = canon
+	}
+	if err := s.expect(';'); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func parseParam(s *scanner) (thingtalk.ParamSpec, error) {
+	var p thingtalk.ParamSpec
+	s.skipSpace()
+	switch w := s.word(); w {
+	case "in":
+		s.skipSpace()
+		switch m := s.word(); m {
+		case "req":
+			p.Dir = thingtalk.DirInReq
+		case "opt":
+			p.Dir = thingtalk.DirInOpt
+		default:
+			return p, s.errf("expected req or opt after in, got %q", m)
+		}
+	case "out":
+		p.Dir = thingtalk.DirOut
+	default:
+		return p, s.errf("expected in/out, got %q", w)
+	}
+	s.skipSpace()
+	p.Name = s.word()
+	if p.Name == "" {
+		return p, s.errf("expected parameter name")
+	}
+	if err := s.expect(':'); err != nil {
+		return p, err
+	}
+	s.skipSpace()
+	typeSrc := s.typeWord()
+	t, err := thingtalk.ParseType(typeSrc)
+	if err != nil {
+		return p, s.errf("%v", err)
+	}
+	p.Type = t
+	return p, nil
+}
+
+func parseTemplates(lib *Library, s *scanner) error {
+	if err := s.expect('{'); err != nil {
+		return err
+	}
+	for {
+		s.skipSpace()
+		if s.peekByte() == '}' {
+			s.next()
+			return nil
+		}
+		if err := parseTemplate(lib, s); err != nil {
+			return err
+		}
+	}
+}
+
+func parseTemplate(lib *Library, s *scanner) error {
+	s.skipSpace()
+	cat := s.word()
+	if cat != "np" && cat != "vp" && cat != "wp" {
+		return s.errf("expected template category np/vp/wp, got %q", cat)
+	}
+	var flags []string
+	s.skipSpace()
+	if s.peekByte() == '[' {
+		s.next()
+		for {
+			s.skipSpace()
+			flags = append(flags, s.word())
+			s.skipSpace()
+			if s.peekByte() == ',' {
+				s.next()
+				continue
+			}
+			break
+		}
+		if err := s.expect(']'); err != nil {
+			return err
+		}
+	}
+	s.skipSpace()
+	utt, err := s.quoted()
+	if err != nil {
+		return err
+	}
+	utterance := strings.Fields(utt)
+	if len(utterance) == 0 {
+		return s.errf("empty utterance")
+	}
+	var args []Placeholder
+	s.skipSpace()
+	if s.peekByte() == '(' {
+		s.next()
+		for {
+			s.skipSpace()
+			name := s.word()
+			if err := s.expect(':'); err != nil {
+				return err
+			}
+			s.skipSpace()
+			t, err := thingtalk.ParseType(s.typeWord())
+			if err != nil {
+				return s.errf("%v", err)
+			}
+			args = append(args, Placeholder{Name: name, Type: t})
+			s.skipSpace()
+			if s.peekByte() == ',' {
+				s.next()
+				continue
+			}
+			break
+		}
+		if err := s.expect(')'); err != nil {
+			return err
+		}
+	}
+	s.skipSpace()
+	if !strings.HasPrefix(s.src[s.pos:], ":=") {
+		return s.errf("expected := in template")
+	}
+	s.pos += 2
+	code := s.until(';')
+	if code == "" {
+		return s.errf("empty template code")
+	}
+	prim, err := buildPrimitive(lib, cat, flags, utterance, args, code)
+	if err != nil {
+		return err
+	}
+	return lib.AddPrimitive(prim)
+}
+
+// buildPrimitive parses the ThingTalk code fragment and classifies the
+// template into its final grammar category.
+func buildPrimitive(lib *Library, cat string, flags []string, utterance []string, args []Placeholder, code string) (*Primitive, error) {
+	toks, err := thingtalk.Tokenize(code)
+	if err != nil {
+		return nil, err
+	}
+	tp := thingtalk.NewParser(toks, thingtalk.ParseOptions{})
+	prim := &Primitive{Utterance: utterance, Args: args, Flags: flags}
+	switch cat {
+	case "wp":
+		st, err := tp.Stream()
+		if err != nil {
+			return nil, err
+		}
+		if !tp.AtEnd() {
+			return nil, fmt.Errorf("thingpedia: trailing tokens in template code %q", code)
+		}
+		prim.Category = CatWP
+		prim.Stream = st
+		prim.Class = fragmentClass(st.Monitor, nil, nil, st)
+	case "np", "vp":
+		q, err := tp.Query()
+		if err != nil {
+			return nil, err
+		}
+		if !tp.AtEnd() {
+			return nil, fmt.Errorf("thingpedia: trailing tokens in template code %q", code)
+		}
+		// A vp whose function is an action becomes an action verb phrase.
+		if cat == "vp" && q.Kind == thingtalk.QueryInvocation {
+			if sch, ok := lib.Schema(q.Invocation.Class, q.Invocation.Function); ok && sch.Kind == thingtalk.KindAction {
+				prim.Category = CatAVP
+				prim.Action = &thingtalk.Action{Invocation: q.Invocation}
+				prim.Class = q.Invocation.Class
+				return prim, nil
+			}
+		}
+		if cat == "np" {
+			prim.Category = CatNP
+		} else {
+			prim.Category = CatQVP
+		}
+		prim.Query = q
+		prim.Class = fragmentClass(q, nil, nil, nil)
+	default:
+		return nil, fmt.Errorf("thingpedia: unknown template category %q", cat)
+	}
+	return prim, nil
+}
+
+// fragmentClass returns the class of the first invocation in the fragment.
+func fragmentClass(q *thingtalk.Query, a *thingtalk.Action, inv *thingtalk.Invocation, s *thingtalk.Stream) string {
+	prog := &thingtalk.Program{Stream: thingtalk.Now(), Action: thingtalk.Notify()}
+	if q != nil {
+		prog.Query = q
+	}
+	if s != nil {
+		prog.Stream = s
+	}
+	if a != nil {
+		prog.Action = a
+	}
+	if inv != nil {
+		prog.Action = &thingtalk.Action{Invocation: inv}
+	}
+	invs := prog.Invocations()
+	if len(invs) == 0 {
+		return ""
+	}
+	return invs[0].Class
+}
+
+// --- Scanner ------------------------------------------------------------------
+
+type scanner struct {
+	src string
+	pos int
+}
+
+func (s *scanner) eof() bool { return s.pos >= len(s.src) }
+
+func (s *scanner) peekByte() byte {
+	if s.eof() {
+		return 0
+	}
+	return s.src[s.pos]
+}
+
+func (s *scanner) next() byte {
+	c := s.peekByte()
+	s.pos++
+	return c
+}
+
+func (s *scanner) skipSpace() {
+	for !s.eof() {
+		c := s.src[s.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			s.pos++
+			continue
+		}
+		if c == '/' && s.pos+1 < len(s.src) && s.src[s.pos+1] == '/' {
+			for !s.eof() && s.src[s.pos] != '\n' {
+				s.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isWordByte(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	case c == '_' || c == '.' || c == '@' || c == '-':
+		return true
+	}
+	return false
+}
+
+func (s *scanner) word() string {
+	s.skipSpace()
+	start := s.pos
+	for !s.eof() && isWordByte(s.src[s.pos]) {
+		s.pos++
+	}
+	return s.src[start:s.pos]
+}
+
+// peekWord reports whether the next word equals w without consuming it.
+func (s *scanner) peekWord(w string) bool {
+	save := s.pos
+	got := s.word()
+	s.pos = save
+	return got == w
+}
+
+// typeWord reads a type spelling: a word optionally followed immediately by
+// a balanced parenthesized argument (Measure(byte), Enum(a,b),
+// Array(Entity(tt:x))). The ':' inside entity kinds is included.
+func (s *scanner) typeWord() string {
+	start := s.pos
+	for !s.eof() && (isWordByte(s.src[s.pos]) || s.src[s.pos] == ':') {
+		s.pos++
+	}
+	if s.peekByte() == '(' {
+		depth := 0
+		for !s.eof() {
+			c := s.src[s.pos]
+			s.pos++
+			if c == '(' {
+				depth++
+			} else if c == ')' {
+				depth--
+				if depth == 0 {
+					break
+				}
+			}
+		}
+	}
+	return s.src[start:s.pos]
+}
+
+func (s *scanner) quoted() (string, error) {
+	if s.peekByte() != '"' {
+		return "", s.errf("expected quoted string")
+	}
+	s.pos++
+	end := strings.IndexByte(s.src[s.pos:], '"')
+	if end < 0 {
+		return "", s.errf("unterminated string")
+	}
+	out := s.src[s.pos : s.pos+end]
+	s.pos += end + 1
+	return out, nil
+}
+
+// until returns the text up to (not including) the next occurrence of stop,
+// consuming the stop byte.
+func (s *scanner) until(stop byte) string {
+	end := strings.IndexByte(s.src[s.pos:], stop)
+	if end < 0 {
+		out := strings.TrimSpace(s.src[s.pos:])
+		s.pos = len(s.src)
+		return out
+	}
+	out := strings.TrimSpace(s.src[s.pos : s.pos+end])
+	s.pos += end + 1
+	return out
+}
+
+func (s *scanner) expect(c byte) error {
+	s.skipSpace()
+	if s.peekByte() != c {
+		return s.errf("expected %q, got %q", string(c), string(s.peekByte()))
+	}
+	s.pos++
+	return nil
+}
+
+func (s *scanner) errf(format string, args ...any) error {
+	line := 1 + strings.Count(s.src[:min(s.pos, len(s.src))], "\n")
+	return fmt.Errorf("line %d: "+format, append([]any{line}, args...)...)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,537 @@
+package thingtalk
+
+import "strings"
+
+// Program is the single ThingTalk construct (Fig. 5):
+//
+//	s => q? => a;
+//
+// The stream clause drives evaluation as a continuous stream of events, the
+// optional query clause retrieves data when events occur, and the action
+// clause performs the program's effect.
+type Program struct {
+	Stream *Stream
+	Query  *Query // optional
+	Action *Action
+}
+
+// StreamKind discriminates stream forms.
+type StreamKind int
+
+// Stream kinds.
+const (
+	// StreamNow triggers the program once, immediately.
+	StreamNow StreamKind = iota
+	// StreamTimer triggers repeatedly with a fixed interval.
+	StreamTimer
+	// StreamAtTimer triggers at a given time of day.
+	StreamAtTimer
+	// StreamMonitor triggers whenever a query's result changes.
+	StreamMonitor
+	// StreamEdge filters an inner stream, triggering when a predicate
+	// transitions from false to true.
+	StreamEdge
+)
+
+// Stream is the event source of a program.
+type Stream struct {
+	Kind StreamKind
+
+	// Timer fields.
+	Base     Value
+	Interval Value
+	// AtTimer field.
+	Time Value
+	// Monitor fields. MonitorOn optionally restricts change detection to
+	// specific output parameters ("monitor q on new file_name").
+	Monitor   *Query
+	MonitorOn []string
+	// Edge fields.
+	Inner     *Stream
+	Predicate *Predicate
+}
+
+// QueryKind discriminates query forms.
+type QueryKind int
+
+// Query kinds.
+const (
+	// QueryInvocation is a direct call of a query function.
+	QueryInvocation QueryKind = iota
+	// QueryFilter restricts a query's results with a boolean predicate.
+	QueryFilter
+	// QueryJoin is the cross product of two queries, optionally with
+	// parameter passing.
+	QueryJoin
+	// QueryAggregate computes min/max/sum/avg/count over a query's results
+	// (the TT+A extension of Section 6.3).
+	QueryAggregate
+)
+
+// Query retrieves data and has no side effects.
+type Query struct {
+	Kind QueryKind
+
+	// Invocation for QueryInvocation.
+	Invocation *Invocation
+	// Inner for QueryFilter and QueryAggregate; Inner and Right for
+	// QueryJoin.
+	Inner *Query
+	Right *Query
+	// Predicate for QueryFilter.
+	Predicate *Predicate
+	// JoinParams for QueryJoin: in-parameter-of-Right = out-parameter-of-
+	// Inner assignments.
+	JoinParams []InputParam
+	// AggOp (max, min, sum, avg, count) and AggParam for QueryAggregate.
+	// AggParam is empty for count.
+	AggOp    string
+	AggParam string
+}
+
+// AggregateOps are the operators of the TT+A extension.
+var AggregateOps = []string{"max", "min", "sum", "avg", "count"}
+
+// Action performs the program's effect: either the builtin notify, which
+// presents results to the user, or an action function with side effects.
+type Action struct {
+	Notify     bool
+	Invocation *Invocation
+}
+
+// Invocation is a call of a library function with keyword input parameters.
+type Invocation struct {
+	Class    string // e.g. com.dropbox
+	Function string // e.g. list_folder
+	In       []InputParam
+}
+
+// InputParam is a keyword argument: a constant value or a parameter-passing
+// reference (VVarRef) to an output of an earlier function.
+type InputParam struct {
+	Name  string
+	Value Value
+	// Type is the declared parameter type, filled in by the typechecker.
+	// When present, token encoding annotates the parameter with it
+	// (Section 2.3: "we annotate each parameter with its type").
+	Type Type
+}
+
+// Selector returns the @class.function spelling of the invocation.
+func (inv *Invocation) Selector() string {
+	return "@" + inv.Class + "." + inv.Function
+}
+
+// PredKind discriminates predicate forms.
+type PredKind int
+
+// Predicate kinds.
+const (
+	// PredTrue is the constant true.
+	PredTrue PredKind = iota
+	// PredFalse is the constant false.
+	PredFalse
+	// PredNot negates a predicate.
+	PredNot
+	// PredAnd is an n-ary conjunction.
+	PredAnd
+	// PredOr is an n-ary disjunction.
+	PredOr
+	// PredAtom compares an output parameter with a value.
+	PredAtom
+	// PredExternal is a predicated query function invocation:
+	// f [ip = v]* { p }.
+	PredExternal
+)
+
+// Predicate is a boolean expression over output parameters (Fig. 5).
+type Predicate struct {
+	Kind     PredKind
+	Children []*Predicate // Not (1 child), And/Or (n children)
+
+	// Atom fields. ParamType is filled in by the typechecker.
+	Param     string
+	Op        string
+	Value     Value
+	ParamType Type
+
+	// External fields.
+	External  *Invocation
+	InnerPred *Predicate
+}
+
+// Comparison and containment operators.
+const (
+	OpEq         = "=="
+	OpGt         = ">"
+	OpLt         = "<"
+	OpGe         = ">="
+	OpLe         = "<="
+	OpContains   = "contains"    // array containment
+	OpSubstr     = "substr"      // string containment
+	OpStartsWith = "starts_with" //
+	OpEndsWith   = "ends_with"   //
+)
+
+// Operators lists every predicate operator in canonical order.
+var Operators = []string{OpEq, OpGt, OpLt, OpGe, OpLe, OpContains, OpSubstr, OpStartsWith, OpEndsWith}
+
+// IsOperator reports whether s is a predicate operator.
+func IsOperator(s string) bool { return containsString(Operators, s) }
+
+// negatedOp returns the complementary operator if one exists, so that
+// canonicalization can eliminate negations around order comparisons.
+func negatedOp(op string) (string, bool) {
+	switch op {
+	case OpGt:
+		return OpLe, true
+	case OpLt:
+		return OpGe, true
+	case OpGe:
+		return OpLt, true
+	case OpLe:
+		return OpGt, true
+	}
+	return "", false
+}
+
+// --- Constructors -----------------------------------------------------------
+
+// Now returns the degenerate stream that triggers once immediately.
+func Now() *Stream { return &Stream{Kind: StreamNow} }
+
+// Monitor returns a stream that watches q for changes.
+func Monitor(q *Query, onNew ...string) *Stream {
+	return &Stream{Kind: StreamMonitor, Monitor: q, MonitorOn: onNew}
+}
+
+// Timer returns a repeating timer stream.
+func Timer(base, interval Value) *Stream {
+	return &Stream{Kind: StreamTimer, Base: base, Interval: interval}
+}
+
+// AtTimer returns a time-of-day timer stream.
+func AtTimer(t Value) *Stream { return &Stream{Kind: StreamAtTimer, Time: t} }
+
+// Edge wraps a stream with an edge filter.
+func Edge(inner *Stream, p *Predicate) *Stream {
+	return &Stream{Kind: StreamEdge, Inner: inner, Predicate: p}
+}
+
+// Invoke returns a query wrapping a function invocation.
+func Invoke(class, fn string, in ...InputParam) *Query {
+	return &Query{Kind: QueryInvocation, Invocation: &Invocation{Class: class, Function: fn, In: in}}
+}
+
+// Filter wraps a query with a predicate.
+func Filter(q *Query, p *Predicate) *Query {
+	return &Query{Kind: QueryFilter, Inner: q, Predicate: p}
+}
+
+// Join combines two queries, optionally with parameter passing.
+func Join(left, right *Query, on ...InputParam) *Query {
+	return &Query{Kind: QueryJoin, Inner: left, Right: right, JoinParams: on}
+}
+
+// Aggregate wraps a query with a TT+A aggregation.
+func Aggregate(op, param string, q *Query) *Query {
+	return &Query{Kind: QueryAggregate, AggOp: op, AggParam: param, Inner: q}
+}
+
+// Notify returns the builtin notify action.
+func Notify() *Action { return &Action{Notify: true} }
+
+// Do returns an action invoking a library function.
+func Do(class, fn string, in ...InputParam) *Action {
+	return &Action{Invocation: &Invocation{Class: class, Function: fn, In: in}}
+}
+
+// Atom returns an atomic comparison predicate.
+func Atom(param, op string, v Value) *Predicate {
+	return &Predicate{Kind: PredAtom, Param: param, Op: op, Value: v}
+}
+
+// And returns an n-ary conjunction.
+func And(ps ...*Predicate) *Predicate { return &Predicate{Kind: PredAnd, Children: ps} }
+
+// Or returns an n-ary disjunction.
+func Or(ps ...*Predicate) *Predicate { return &Predicate{Kind: PredOr, Children: ps} }
+
+// Not negates a predicate.
+func Not(p *Predicate) *Predicate { return &Predicate{Kind: PredNot, Children: []*Predicate{p}} }
+
+// True returns the constant true predicate.
+func True() *Predicate { return &Predicate{Kind: PredTrue} }
+
+// False returns the constant false predicate.
+func False() *Predicate { return &Predicate{Kind: PredFalse} }
+
+// In builds an InputParam.
+func In(name string, v Value) InputParam { return InputParam{Name: name, Value: v} }
+
+// --- Deep copies ------------------------------------------------------------
+//
+// Synthesis reuses derivation fragments across many programs; every composer
+// clones before mutating.
+
+// Clone returns a deep copy of the program.
+func (p *Program) Clone() *Program {
+	if p == nil {
+		return nil
+	}
+	return &Program{Stream: p.Stream.Clone(), Query: p.Query.Clone(), Action: p.Action.Clone()}
+}
+
+// Clone returns a deep copy of the stream.
+func (s *Stream) Clone() *Stream {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.Monitor = s.Monitor.Clone()
+	c.Inner = s.Inner.Clone()
+	c.Predicate = s.Predicate.Clone()
+	c.MonitorOn = append([]string(nil), s.MonitorOn...)
+	return &c
+}
+
+// Clone returns a deep copy of the query.
+func (q *Query) Clone() *Query {
+	if q == nil {
+		return nil
+	}
+	c := *q
+	c.Invocation = q.Invocation.Clone()
+	c.Inner = q.Inner.Clone()
+	c.Right = q.Right.Clone()
+	c.Predicate = q.Predicate.Clone()
+	c.JoinParams = cloneInputParams(q.JoinParams)
+	return &c
+}
+
+// Clone returns a deep copy of the action.
+func (a *Action) Clone() *Action {
+	if a == nil {
+		return nil
+	}
+	return &Action{Notify: a.Notify, Invocation: a.Invocation.Clone()}
+}
+
+// Clone returns a deep copy of the invocation.
+func (inv *Invocation) Clone() *Invocation {
+	if inv == nil {
+		return nil
+	}
+	return &Invocation{Class: inv.Class, Function: inv.Function, In: cloneInputParams(inv.In)}
+}
+
+// Clone returns a deep copy of the predicate.
+func (p *Predicate) Clone() *Predicate {
+	if p == nil {
+		return nil
+	}
+	c := *p
+	if p.Children != nil {
+		c.Children = make([]*Predicate, len(p.Children))
+		for i, ch := range p.Children {
+			c.Children[i] = ch.Clone()
+		}
+	}
+	c.External = p.External.Clone()
+	c.InnerPred = p.InnerPred.Clone()
+	c.Value = cloneValue(p.Value)
+	return &c
+}
+
+func cloneInputParams(in []InputParam) []InputParam {
+	if in == nil {
+		return nil
+	}
+	out := make([]InputParam, len(in))
+	for i, ip := range in {
+		out[i] = InputParam{Name: ip.Name, Value: cloneValue(ip.Value), Type: ip.Type}
+	}
+	return out
+}
+
+func cloneValue(v Value) Value {
+	c := v
+	c.Words = append([]string(nil), v.Words...)
+	c.Measures = append([]MeasureTerm(nil), v.Measures...)
+	return c
+}
+
+// --- Traversal --------------------------------------------------------------
+
+// Invocations returns every function invocation in the program, left to
+// right: stream first, then query, then action. Invocations inside external
+// predicates are included after their host.
+func (p *Program) Invocations() []*Invocation {
+	var out []*Invocation
+	if p.Stream != nil {
+		out = append(out, p.Stream.invocations()...)
+	}
+	if p.Query != nil {
+		out = append(out, p.Query.invocations()...)
+	}
+	if p.Action != nil && p.Action.Invocation != nil {
+		out = append(out, p.Action.Invocation)
+	}
+	return out
+}
+
+func (s *Stream) invocations() []*Invocation {
+	if s == nil {
+		return nil
+	}
+	switch s.Kind {
+	case StreamMonitor:
+		return s.Monitor.invocations()
+	case StreamEdge:
+		out := s.Inner.invocations()
+		out = append(out, s.Predicate.invocations()...)
+		return out
+	}
+	return nil
+}
+
+func (q *Query) invocations() []*Invocation {
+	if q == nil {
+		return nil
+	}
+	switch q.Kind {
+	case QueryInvocation:
+		return []*Invocation{q.Invocation}
+	case QueryFilter:
+		out := q.Inner.invocations()
+		out = append(out, q.Predicate.invocations()...)
+		return out
+	case QueryJoin:
+		out := q.Inner.invocations()
+		return append(out, q.Right.invocations()...)
+	case QueryAggregate:
+		return q.Inner.invocations()
+	}
+	return nil
+}
+
+func (p *Predicate) invocations() []*Invocation {
+	if p == nil {
+		return nil
+	}
+	var out []*Invocation
+	switch p.Kind {
+	case PredNot, PredAnd, PredOr:
+		for _, ch := range p.Children {
+			out = append(out, ch.invocations()...)
+		}
+	case PredExternal:
+		out = append(out, p.External)
+		out = append(out, p.InnerPred.invocations()...)
+	}
+	return out
+}
+
+// Functions returns the distinct @class.function selectors used by the
+// program, in order of first use.
+func (p *Program) Functions() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, inv := range p.Invocations() {
+		sel := inv.Selector()
+		if !seen[sel] {
+			seen[sel] = true
+			out = append(out, sel)
+		}
+	}
+	return out
+}
+
+// Skills returns the distinct class names used by the program, in order of
+// first use.
+func (p *Program) Skills() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, inv := range p.Invocations() {
+		if !seen[inv.Class] {
+			seen[inv.Class] = true
+			out = append(out, inv.Class)
+		}
+	}
+	return out
+}
+
+// IsCompound reports whether the program uses two or more functions
+// (Section 5.2's primitive/compound split counts functions, not clauses).
+func (p *Program) IsCompound() bool { return len(p.Invocations()) >= 2 }
+
+// HasFilter reports whether the program contains any filter or edge
+// predicate.
+func (p *Program) HasFilter() bool {
+	if p.Stream != nil && p.Stream.hasFilter() {
+		return true
+	}
+	return p.Query.hasFilter()
+}
+
+func (s *Stream) hasFilter() bool {
+	if s == nil {
+		return false
+	}
+	switch s.Kind {
+	case StreamEdge:
+		return true
+	case StreamMonitor:
+		return s.Monitor.hasFilter()
+	}
+	return false
+}
+
+func (q *Query) hasFilter() bool {
+	if q == nil {
+		return false
+	}
+	switch q.Kind {
+	case QueryFilter:
+		return true
+	case QueryJoin:
+		return q.Inner.hasFilter() || q.Right.hasFilter()
+	case QueryAggregate:
+		return q.Inner.hasFilter()
+	}
+	return false
+}
+
+// HasParamPassing reports whether any input parameter is a VVarRef.
+func (p *Program) HasParamPassing() bool {
+	for _, inv := range p.Invocations() {
+		for _, ip := range inv.In {
+			if ip.Value.Kind == VVarRef {
+				return true
+			}
+		}
+	}
+	if p.Query != nil && p.Query.hasJoinPassing() {
+		return true
+	}
+	return false
+}
+
+func (q *Query) hasJoinPassing() bool {
+	if q == nil {
+		return false
+	}
+	switch q.Kind {
+	case QueryJoin:
+		if len(q.JoinParams) > 0 {
+			return true
+		}
+		return q.Inner.hasJoinPassing() || q.Right.hasJoinPassing()
+	case QueryFilter, QueryAggregate:
+		return q.Inner.hasJoinPassing()
+	}
+	return false
+}
+
+// String renders the program in canonical surface syntax.
+func (p *Program) String() string { return strings.Join(p.Tokens(), " ") }

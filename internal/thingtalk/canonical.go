@@ -1,0 +1,507 @@
+package thingtalk
+
+import (
+	"sort"
+	"strings"
+)
+
+// Canonicalize returns the canonical form of a program (Section 2.4).
+// Canonicalization is the property that makes neural output checkable by
+// exact match: semantically equivalent programs have one spelling.
+//
+// The transformation rules:
+//   - input parameters are listed in alphabetical order;
+//   - nested filter applications collapse into a single conjunction;
+//   - boolean predicates are simplified, converted to conjunctive normal
+//     form, deduplicated (with absorption), and sorted;
+//   - joins without parameter passing are commutative and are ordered
+//     lexically;
+//   - each filter clause moves to the left-most function that defines all
+//     the output parameters it references (requires schemas; skipped when
+//     schemas is nil).
+//
+// The input program is not modified; the result is a fresh tree.
+func Canonicalize(p *Program, schemas SchemaSource) *Program {
+	c := canonicalizer{schemas: schemas}
+	out := p.Clone()
+	out.Stream = c.stream(out.Stream)
+	if out.Query != nil {
+		out.Query = c.query(out.Query)
+	}
+	if out.Action != nil && out.Action.Invocation != nil {
+		c.invocation(out.Action.Invocation)
+	}
+	return out
+}
+
+// SameProgram reports whether two programs have identical canonical forms.
+func SameProgram(a, b *Program, schemas SchemaSource) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	ca := strings.Join(Canonicalize(a, schemas).Tokens(), " ")
+	cb := strings.Join(Canonicalize(b, schemas).Tokens(), " ")
+	return ca == cb
+}
+
+type canonicalizer struct {
+	schemas SchemaSource
+}
+
+func (c canonicalizer) stream(s *Stream) *Stream {
+	if s == nil {
+		return nil
+	}
+	switch s.Kind {
+	case StreamMonitor:
+		s.Monitor = c.query(s.Monitor)
+		sort.Strings(s.MonitorOn)
+	case StreamEdge:
+		s.Inner = c.stream(s.Inner)
+		s.Predicate = c.normalizePredicate(s.Predicate)
+	}
+	return s
+}
+
+func (c canonicalizer) query(q *Query) *Query {
+	if q == nil {
+		return nil
+	}
+	switch q.Kind {
+	case QueryInvocation:
+		c.invocation(q.Invocation)
+		return q
+	case QueryFilter:
+		inner := c.query(q.Inner)
+		// Collapse nested filters into one conjunction.
+		pred := q.Predicate
+		for inner.Kind == QueryFilter {
+			pred = And(inner.Predicate, pred)
+			inner = inner.Inner
+		}
+		pred = c.normalizePredicate(pred)
+		if pred.Kind == PredTrue {
+			return inner
+		}
+		// Push CNF clauses to the left-most operand that defines all the
+		// referenced output parameters.
+		if c.schemas != nil && inner.Kind == QueryJoin {
+			var remaining []*Predicate
+			for _, clause := range splitConjuncts(pred) {
+				if !c.pushClause(inner, clause) {
+					remaining = append(remaining, clause)
+				}
+			}
+			if len(remaining) == 0 {
+				return c.query(inner)
+			}
+			pred = c.normalizePredicate(conjoin(remaining))
+			inner = c.query(inner)
+		}
+		return &Query{Kind: QueryFilter, Inner: inner, Predicate: pred}
+	case QueryJoin:
+		q.Inner = c.query(q.Inner)
+		q.Right = c.query(q.Right)
+		sortInputParams(q.JoinParams)
+		if len(q.JoinParams) == 0 && !queryUsesVarRefs(q.Right) {
+			// Commutative: order operands lexically.
+			li := strings.Join(q.Inner.encodeForOrder(), " ")
+			ri := strings.Join(q.Right.encodeForOrder(), " ")
+			if ri < li && !queryUsesVarRefs(q.Inner) {
+				q.Inner, q.Right = q.Right, q.Inner
+			}
+		}
+		return q
+	case QueryAggregate:
+		q.Inner = c.query(q.Inner)
+		return q
+	}
+	return q
+}
+
+// encodeForOrder renders the query for lexical comparison.
+func (q *Query) encodeForOrder() []string {
+	var e encoder
+	e.opt = EncodeOptions{}
+	e.query(q, false)
+	return e.out
+}
+
+func queryUsesVarRefs(q *Query) bool {
+	if q == nil {
+		return false
+	}
+	for _, inv := range q.invocations() {
+		for _, ip := range inv.In {
+			if ip.Value.Kind == VVarRef {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pushClause attempts to move one CNF clause into an operand of a join tree;
+// it reports whether the clause was placed.
+func (c canonicalizer) pushClause(q *Query, clause *Predicate) bool {
+	if q.Kind != QueryJoin {
+		return false
+	}
+	params := clauseParams(clause)
+	if len(params) == 0 {
+		return false
+	}
+	if c.coveredBy(q.Inner, params) {
+		q.Inner = c.attachClause(q.Inner, clause)
+		return true
+	}
+	if c.coveredBy(q.Right, params) {
+		q.Right = c.attachClause(q.Right, clause)
+		return true
+	}
+	return false
+}
+
+// attachClause conjoins clause onto q as a filter (merging with an existing
+// one); the result is re-canonicalized by the caller.
+func (c canonicalizer) attachClause(q *Query, clause *Predicate) *Query {
+	if q.Kind == QueryJoin && c.pushClause(q, clause) {
+		return q
+	}
+	if q.Kind == QueryFilter {
+		q.Predicate = And(q.Predicate, clause)
+		return q
+	}
+	return &Query{Kind: QueryFilter, Inner: q, Predicate: clause}
+}
+
+// coveredBy reports whether every parameter in params is an output of q.
+func (c canonicalizer) coveredBy(q *Query, params []string) bool {
+	outs := c.outNames(q)
+	for _, p := range params {
+		if !outs[p] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c canonicalizer) outNames(q *Query) map[string]bool {
+	outs := map[string]bool{}
+	for _, inv := range q.invocations() {
+		sch, ok := c.schemas.Schema(inv.Class, inv.Function)
+		if !ok {
+			continue
+		}
+		for _, ps := range sch.OutParams() {
+			outs[ps.Name] = true
+		}
+	}
+	if q.Kind == QueryAggregate {
+		outs = map[string]bool{}
+		if q.AggOp == "count" {
+			outs["count"] = true
+		} else {
+			outs[q.AggParam] = true
+		}
+	}
+	return outs
+}
+
+// clauseParams returns the output parameters referenced by a CNF clause.
+func clauseParams(p *Predicate) []string {
+	seen := map[string]bool{}
+	var out []string
+	var walk func(*Predicate)
+	walk = func(p *Predicate) {
+		if p == nil {
+			return
+		}
+		switch p.Kind {
+		case PredAtom:
+			if !seen[p.Param] {
+				seen[p.Param] = true
+				out = append(out, p.Param)
+			}
+		case PredExternal:
+			// External predicates reference their own function's outputs
+			// internally; they have no free parameters of the host query.
+		default:
+			for _, ch := range p.Children {
+				walk(ch)
+			}
+		}
+	}
+	walk(p)
+	return out
+}
+
+func (c canonicalizer) invocation(inv *Invocation) {
+	if inv == nil {
+		return
+	}
+	sortInputParams(inv.In)
+}
+
+func sortInputParams(in []InputParam) {
+	sort.SliceStable(in, func(i, j int) bool { return in[i].Name < in[j].Name })
+}
+
+// --- Predicate normalization -------------------------------------------------
+
+// normalizePredicate simplifies p, converts it to conjunctive normal form,
+// and orders clauses and atoms deterministically.
+func (c canonicalizer) normalizePredicate(p *Predicate) *Predicate {
+	if p == nil {
+		return True()
+	}
+	p = c.toNNF(p, false)
+	clauses := cnf(p)
+	clauses = normalizeClauses(clauses)
+	switch {
+	case clauses == nil:
+		return True()
+	case len(clauses) == 0:
+		return False()
+	}
+	conj := make([]*Predicate, 0, len(clauses))
+	for _, cl := range clauses {
+		if len(cl) == 1 {
+			conj = append(conj, cl[0])
+		} else {
+			conj = append(conj, Or(cl...))
+		}
+	}
+	if len(conj) == 1 {
+		return conj[0]
+	}
+	return And(conj...)
+}
+
+// toNNF pushes negations onto atoms, eliminating double negation and using
+// complementary comparison operators where available. neg indicates whether
+// the current subtree is under an odd number of negations.
+func (c canonicalizer) toNNF(p *Predicate, neg bool) *Predicate {
+	switch p.Kind {
+	case PredTrue:
+		if neg {
+			return False()
+		}
+		return True()
+	case PredFalse:
+		if neg {
+			return True()
+		}
+		return False()
+	case PredNot:
+		return c.toNNF(p.Children[0], !neg)
+	case PredAnd, PredOr:
+		children := make([]*Predicate, len(p.Children))
+		for i, ch := range p.Children {
+			children[i] = c.toNNF(ch, neg)
+		}
+		kind := p.Kind
+		if neg { // De Morgan
+			if kind == PredAnd {
+				kind = PredOr
+			} else {
+				kind = PredAnd
+			}
+		}
+		return &Predicate{Kind: kind, Children: children}
+	case PredAtom:
+		if !neg {
+			return p
+		}
+		if flipped, ok := negatedOp(p.Op); ok {
+			q := p.Clone()
+			q.Op = flipped
+			return q
+		}
+		return Not(p)
+	case PredExternal:
+		q := p.Clone()
+		q.InnerPred = c.normalizePredicate(q.InnerPred)
+		if neg {
+			return Not(q)
+		}
+		return q
+	}
+	return p
+}
+
+// cnf converts an NNF predicate into a list of clauses (each clause a list
+// of literals). nil means "true" (no constraints); an empty clause means
+// "false".
+func cnf(p *Predicate) [][]*Predicate {
+	switch p.Kind {
+	case PredTrue:
+		return nil
+	case PredFalse:
+		return [][]*Predicate{{}}
+	case PredAnd:
+		var out [][]*Predicate
+		for _, ch := range p.Children {
+			out = append(out, cnf(ch)...)
+		}
+		return out
+	case PredOr:
+		// Distribute: the cross product of the children's clause sets.
+		acc := [][]*Predicate{{}}
+		for _, ch := range p.Children {
+			chClauses := cnf(ch)
+			if chClauses == nil { // true short-circuits the disjunction
+				return nil
+			}
+			var next [][]*Predicate
+			for _, a := range acc {
+				for _, b := range chClauses {
+					merged := make([]*Predicate, 0, len(a)+len(b))
+					merged = append(merged, a...)
+					merged = append(merged, b...)
+					next = append(next, merged)
+				}
+			}
+			acc = next
+		}
+		return acc
+	default:
+		return [][]*Predicate{{p}}
+	}
+}
+
+// normalizeClauses sorts and deduplicates literals and clauses, removes
+// tautological clauses, and applies absorption. Returning nil means true;
+// returning an empty non-nil slice means false.
+func normalizeClauses(clauses [][]*Predicate) [][]*Predicate {
+	if clauses == nil {
+		return nil
+	}
+	type keyed struct {
+		key   string
+		atoms []*Predicate
+		keys  map[string]bool
+	}
+	var kept []keyed
+	hasFalse := false
+	for _, cl := range clauses {
+		if len(cl) == 0 {
+			hasFalse = true
+			break
+		}
+		// Dedup literals and detect tautologies (x or not x).
+		keys := map[string]bool{}
+		var atoms []*Predicate
+		taut := false
+		for _, lit := range cl {
+			k := litKey(lit)
+			if keys[k] {
+				continue
+			}
+			if keys[complementKey(lit)] {
+				taut = true
+				break
+			}
+			keys[k] = true
+			atoms = append(atoms, lit)
+		}
+		if taut {
+			continue
+		}
+		sort.Slice(atoms, func(i, j int) bool { return litKey(atoms[i]) < litKey(atoms[j]) })
+		allKeys := make([]string, len(atoms))
+		for i, a := range atoms {
+			allKeys[i] = litKey(a)
+		}
+		kept = append(kept, keyed{key: strings.Join(allKeys, "|"), atoms: atoms, keys: keys})
+	}
+	if hasFalse {
+		return [][]*Predicate{}
+	}
+	if len(kept) == 0 {
+		return nil // all clauses were tautologies: true
+	}
+	// Dedup clauses.
+	sort.Slice(kept, func(i, j int) bool {
+		if len(kept[i].atoms) != len(kept[j].atoms) {
+			return len(kept[i].atoms) < len(kept[j].atoms)
+		}
+		return kept[i].key < kept[j].key
+	})
+	var uniq []keyed
+	seen := map[string]bool{}
+	for _, k := range kept {
+		if !seen[k.key] {
+			seen[k.key] = true
+			uniq = append(uniq, k)
+		}
+	}
+	// Absorption: a clause that is a superset of another clause is redundant.
+	var out [][]*Predicate
+	for i, k := range uniq {
+		absorbed := false
+		for j, smaller := range uniq {
+			if i == j || len(smaller.atoms) >= len(k.atoms) {
+				continue
+			}
+			subset := true
+			for key := range smaller.keys {
+				if !k.keys[key] {
+					subset = false
+					break
+				}
+			}
+			if subset {
+				absorbed = true
+				break
+			}
+		}
+		if !absorbed {
+			out = append(out, k.atoms)
+		}
+	}
+	return out
+}
+
+// litKey is a deterministic key for a CNF literal.
+func litKey(p *Predicate) string {
+	var e encoder
+	e.opt = EncodeOptions{}
+	e.predicate(p, false)
+	return strings.Join(e.out, " ")
+}
+
+// complementKey returns the key of the literal's direct negation, for
+// tautology detection.
+func complementKey(p *Predicate) string {
+	switch p.Kind {
+	case PredNot:
+		return litKey(p.Children[0])
+	case PredAtom:
+		if flipped, ok := negatedOp(p.Op); ok {
+			q := *p
+			q.Op = flipped
+			return litKey(&q)
+		}
+		return litKey(Not(p))
+	default:
+		return litKey(Not(p))
+	}
+}
+
+func splitConjuncts(p *Predicate) []*Predicate {
+	if p.Kind == PredAnd {
+		return p.Children
+	}
+	return []*Predicate{p}
+}
+
+func conjoin(ps []*Predicate) *Predicate {
+	switch len(ps) {
+	case 0:
+		return True()
+	case 1:
+		return ps[0]
+	}
+	return And(ps...)
+}

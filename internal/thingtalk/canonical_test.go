@@ -1,0 +1,210 @@
+package thingtalk
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func canon(t *testing.T, src string) string {
+	t.Helper()
+	prog := mustParse(src)
+	return strings.Join(Canonicalize(prog, testSchemas()).Encode(EncodeOptions{}), " ")
+}
+
+func TestCanonicalSortsInputParams(t *testing.T) {
+	a := canon(t, `now => @com.thecatapi.get => @com.facebook.post_picture param:picture_url = param:picture_url param:caption = " hi "`)
+	b := canon(t, `now => @com.thecatapi.get => @com.facebook.post_picture param:caption = " hi " param:picture_url = param:picture_url`)
+	if a != b {
+		t.Errorf("parameter order should not matter:\n a: %s\n b: %s", a, b)
+	}
+	if !strings.Contains(a, `param:caption = " hi " param:picture_url`) {
+		t.Errorf("parameters not alphabetical: %s", a)
+	}
+}
+
+func TestCanonicalMergesNestedFilters(t *testing.T) {
+	a := canon(t, `now => ( @com.dropbox.list_folder filter param:file_size > 1 unit:MB ) filter param:is_folder == false => notify`)
+	b := canon(t, `now => @com.dropbox.list_folder filter param:file_size > 1 unit:MB and param:is_folder == false => notify`)
+	if a != b {
+		t.Errorf("nested filters should merge:\n a: %s\n b: %s", a, b)
+	}
+}
+
+func TestCanonicalOrdersCommutativeJoin(t *testing.T) {
+	a := canon(t, `now => @com.thecatapi.get join @com.dropbox.list_folder => notify`)
+	b := canon(t, `now => @com.dropbox.list_folder join @com.thecatapi.get => notify`)
+	if a != b {
+		t.Errorf("commutative join should canonicalize to one order:\n a: %s\n b: %s", a, b)
+	}
+}
+
+func TestCanonicalKeepsJoinWithPassing(t *testing.T) {
+	src := `now => @com.nytimes.get_front_page join @com.yandex.translate on param:text = param:title => notify`
+	got := canon(t, src)
+	if !strings.HasPrefix(got, "now => @com.nytimes.get_front_page join") {
+		t.Errorf("join with parameter passing must not be reordered: %s", got)
+	}
+}
+
+func TestCanonicalBooleanSimplification(t *testing.T) {
+	// x and x -> x
+	a := canon(t, `now => @com.dropbox.list_folder filter param:is_folder == true and param:is_folder == true => notify`)
+	b := canon(t, `now => @com.dropbox.list_folder filter param:is_folder == true => notify`)
+	if a != b {
+		t.Errorf("duplicate conjuncts should collapse:\n a: %s\n b: %s", a, b)
+	}
+	// not(not x) -> x
+	c := canon(t, `now => @com.dropbox.list_folder filter not not param:is_folder == true => notify`)
+	if c != b {
+		t.Errorf("double negation should cancel:\n c: %s\n b: %s", c, b)
+	}
+	// not (x > v) -> x <= v
+	d := canon(t, `now => @com.dropbox.list_folder filter not param:file_size > 1 unit:MB => notify`)
+	if !strings.Contains(d, "param:file_size <= 1 unit:MB") {
+		t.Errorf("negated comparison should flip operator: %s", d)
+	}
+	// true conjunct disappears.
+	e := canon(t, `now => @com.dropbox.list_folder filter true and param:is_folder == true => notify`)
+	if e != b {
+		t.Errorf("true conjunct should vanish:\n e: %s\n b: %s", e, b)
+	}
+	// Filter true disappears entirely.
+	f := canon(t, `now => @com.dropbox.list_folder filter true => notify`)
+	g := canon(t, `now => @com.dropbox.list_folder => notify`)
+	if f != g {
+		t.Errorf("filter true should be dropped:\n f: %s\n g: %s", f, g)
+	}
+}
+
+func TestCanonicalCNF(t *testing.T) {
+	// a or (b and c) -> (a or b) and (a or c)
+	a := canon(t, `now => @com.dropbox.list_folder filter param:is_folder == true or ( param:file_size > 1 unit:MB and param:file_name starts_with " x " ) => notify`)
+	if strings.Count(a, " and ") != 1 || strings.Count(a, " or ") != 2 {
+		t.Errorf("expected CNF with 2 clauses: %s", a)
+	}
+	// Commuted disjuncts canonicalize identically.
+	b := canon(t, `now => @com.dropbox.list_folder filter ( param:file_name starts_with " x " and param:file_size > 1 unit:MB ) or param:is_folder == true => notify`)
+	if a != b {
+		t.Errorf("commuted predicate should canonicalize identically:\n a: %s\n b: %s", a, b)
+	}
+}
+
+func TestCanonicalTautologyAndContradiction(t *testing.T) {
+	// x or not x -> true -> filter dropped.
+	a := canon(t, `now => @com.dropbox.list_folder filter param:file_size > 1 unit:MB or not param:file_size > 1 unit:MB => notify`)
+	b := canon(t, `now => @com.dropbox.list_folder => notify`)
+	if a != b {
+		t.Errorf("tautology should drop filter:\n a: %s\n b: %s", a, b)
+	}
+	// Absorption: a and (a or b) -> a.
+	c := canon(t, `now => @com.dropbox.list_folder filter param:is_folder == true and ( param:is_folder == true or param:file_size > 1 unit:MB ) => notify`)
+	d := canon(t, `now => @com.dropbox.list_folder filter param:is_folder == true => notify`)
+	if c != d {
+		t.Errorf("absorption failed:\n c: %s\n d: %s", c, d)
+	}
+}
+
+func TestCanonicalFilterPushdown(t *testing.T) {
+	// The filter references only list_folder outputs, so it moves onto the
+	// left-most function that defines them.
+	a := canon(t, `now => ( @com.dropbox.list_folder join @com.thecatapi.get ) filter param:file_size > 1 unit:MB => notify`)
+	b := canon(t, `now => ( @com.dropbox.list_folder filter param:file_size > 1 unit:MB ) join @com.thecatapi.get => notify`)
+	if a != b {
+		t.Errorf("filter should push into join operand:\n a: %s\n b: %s", a, b)
+	}
+}
+
+func TestCanonicalIdempotent(t *testing.T) {
+	schemas := testSchemas()
+	rng := rand.New(rand.NewSource(99))
+	f := func() bool {
+		prog := genProgram(rng)
+		if err := Typecheck(prog, schemas); err != nil {
+			return true // generator invariant checked elsewhere
+		}
+		once := Canonicalize(prog, schemas)
+		twice := Canonicalize(once, schemas)
+		a := strings.Join(once.Tokens(), " ")
+		b := strings.Join(twice.Tokens(), " ")
+		if a != b {
+			t.Logf("not idempotent:\n 1: %s\n 2: %s", a, b)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalPreservesTypechecking(t *testing.T) {
+	schemas := testSchemas()
+	rng := rand.New(rand.NewSource(123))
+	f := func() bool {
+		prog := genProgram(rng)
+		if err := Typecheck(prog, schemas); err != nil {
+			return true
+		}
+		c := Canonicalize(prog, schemas)
+		if err := Typecheck(c, schemas); err != nil {
+			t.Logf("canonical form fails typecheck: %v\nfrom: %s\n  to: %s", err, prog, c)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalDoesNotMutateInput(t *testing.T) {
+	src := `now => @com.facebook.post_picture param:picture_url = " x " param:caption = " hi "`
+	prog := mustParse(src)
+	before := strings.Join(prog.Encode(EncodeOptions{}), " ")
+	Canonicalize(prog, testSchemas())
+	after := strings.Join(prog.Encode(EncodeOptions{}), " ")
+	if before != after {
+		t.Errorf("Canonicalize mutated its input:\nbefore: %s\n after: %s", before, after)
+	}
+}
+
+func TestCanonicalRoundTripsThroughParser(t *testing.T) {
+	schemas := testSchemas()
+	rng := rand.New(rand.NewSource(77))
+	f := func() bool {
+		prog := genProgram(rng)
+		if err := Typecheck(prog, schemas); err != nil {
+			return true
+		}
+		c := Canonicalize(prog, schemas)
+		toks := c.Tokens()
+		parsed, err := ParseTokens(toks, ParseOptions{})
+		if err != nil {
+			t.Logf("canonical form unparseable: %v\n%s", err, strings.Join(toks, " "))
+			return false
+		}
+		if !SameProgram(c, parsed, schemas) {
+			t.Logf("canonical round trip changed program:\n a: %s\n b: %s", c, parsed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameProgram(t *testing.T) {
+	schemas := testSchemas()
+	a := mustParse(`now => @com.facebook.post_picture param:picture_url = " x " param:caption = " hi "`)
+	b := mustParse(`now => @com.facebook.post_picture param:caption = " hi " param:picture_url = " x "`)
+	if !SameProgram(a, b, schemas) {
+		t.Error("programs differing only in parameter order should compare equal")
+	}
+	c := mustParse(`now => @com.facebook.post_picture param:caption = " bye " param:picture_url = " x "`)
+	if SameProgram(a, c, schemas) {
+		t.Error("different captions should not compare equal")
+	}
+}

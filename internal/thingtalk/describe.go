@@ -1,0 +1,224 @@
+package thingtalk
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Describe renders a program as a canonical natural-language sentence so the
+// assistant can confirm a parsed command before executing it (Section 1.1:
+// "The VAPL code can also be converted back into a canonical natural
+// language sentence to confirm the program before execution").
+//
+// The description uses the library's canonical function names when schemas
+// is non-nil and falls back to selector spellings otherwise.
+func Describe(p *Program, schemas SchemaSource) string {
+	d := describer{schemas: schemas}
+	return d.program(p)
+}
+
+type describer struct {
+	schemas SchemaSource
+}
+
+func (d describer) program(p *Program) string {
+	action := d.action(p.Action, p.Query)
+	switch p.Stream.Kind {
+	case StreamNow:
+		return action
+	default:
+		return fmt.Sprintf("%s %s", action, d.stream(p.Stream))
+	}
+}
+
+func (d describer) stream(s *Stream) string {
+	switch s.Kind {
+	case StreamNow:
+		return "now"
+	case StreamTimer:
+		return fmt.Sprintf("every %s", d.value(s.Interval))
+	case StreamAtTimer:
+		return fmt.Sprintf("every day at %s", d.value(s.Time))
+	case StreamMonitor:
+		base := fmt.Sprintf("when %s change", d.query(s.Monitor))
+		if len(s.MonitorOn) > 0 {
+			base = fmt.Sprintf("when there are new %s in %s",
+				strings.Join(humanizeAll(s.MonitorOn), " and "), d.query(s.Monitor))
+		}
+		return base
+	case StreamEdge:
+		return fmt.Sprintf("%s and %s", d.stream(s.Inner), d.predicate(s.Predicate))
+	}
+	return "<invalid stream>"
+}
+
+func (d describer) query(q *Query) string {
+	switch q.Kind {
+	case QueryInvocation:
+		return d.invocation(q.Invocation)
+	case QueryFilter:
+		return fmt.Sprintf("%s if %s", d.query(q.Inner), d.predicate(q.Predicate))
+	case QueryJoin:
+		s := fmt.Sprintf("%s combined with %s", d.query(q.Inner), d.query(q.Right))
+		if len(q.JoinParams) > 0 {
+			var parts []string
+			for _, ip := range q.JoinParams {
+				parts = append(parts, fmt.Sprintf("the %s set to the %s",
+					humanize(ip.Name), humanize(ip.Value.Name)))
+			}
+			s += " with " + strings.Join(parts, " and ")
+		}
+		return s
+	case QueryAggregate:
+		if q.AggOp == "count" {
+			return fmt.Sprintf("the number of %s", d.query(q.Inner))
+		}
+		opNames := map[string]string{"max": "maximum", "min": "minimum", "sum": "total", "avg": "average"}
+		return fmt.Sprintf("the %s %s of %s", opNames[q.AggOp], humanize(q.AggParam), d.query(q.Inner))
+	}
+	return "<invalid query>"
+}
+
+func (d describer) action(a *Action, q *Query) string {
+	if a.Notify {
+		if q == nil {
+			return "notify me"
+		}
+		return fmt.Sprintf("get %s and notify me", d.query(q))
+	}
+	act := d.invocation(a.Invocation)
+	if q == nil {
+		return act
+	}
+	return fmt.Sprintf("get %s and then %s", d.query(q), act)
+}
+
+func (d describer) invocation(inv *Invocation) string {
+	name := strings.ReplaceAll(inv.Function, "_", " ")
+	if d.schemas != nil {
+		if sch, ok := d.schemas.Schema(inv.Class, inv.Function); ok && sch.Canonical != "" {
+			name = sch.Canonical
+		}
+	}
+	s := fmt.Sprintf("%s on %s", name, classDisplay(inv.Class))
+	for _, ip := range inv.In {
+		s += fmt.Sprintf(" with %s %s", humanize(ip.Name), d.value(ip.Value))
+	}
+	return s
+}
+
+func (d describer) predicate(p *Predicate) string {
+	switch p.Kind {
+	case PredTrue:
+		return "always"
+	case PredFalse:
+		return "never"
+	case PredNot:
+		return "not " + d.predicate(p.Children[0])
+	case PredAnd:
+		return joinClauses(d.describeAll(p.Children), " and ")
+	case PredOr:
+		return joinClauses(d.describeAll(p.Children), " or ")
+	case PredAtom:
+		return fmt.Sprintf("the %s %s %s", humanize(p.Param), opNL(p.Op), d.value(p.Value))
+	case PredExternal:
+		return fmt.Sprintf("%s matches %s", d.invocation(p.External), d.predicate(p.InnerPred))
+	}
+	return "<invalid predicate>"
+}
+
+func (d describer) describeAll(ps []*Predicate) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = d.predicate(p)
+	}
+	return out
+}
+
+func (d describer) value(v Value) string {
+	switch v.Kind {
+	case VString:
+		return strings.Join(v.Words, " ")
+	case VNumber:
+		return formatNumber(v.Num)
+	case VBool:
+		if v.Bool {
+			return "yes"
+		}
+		return "no"
+	case VMeasure:
+		var parts []string
+		for _, m := range v.Measures {
+			if m.Placeholder != "" {
+				parts = append(parts, fmt.Sprintf("%s %s", m.Placeholder, m.Unit))
+			} else {
+				parts = append(parts, fmt.Sprintf("%s %s", formatNumber(m.Num), m.Unit))
+			}
+		}
+		return strings.Join(parts, " and ")
+	case VEnum:
+		return strings.ReplaceAll(v.Name, "_", " ")
+	case VDate:
+		return strings.ReplaceAll(v.Name, "_", " ")
+	case VTime:
+		return v.Name
+	case VLocation:
+		if v.Name == "current" {
+			return "my current location"
+		}
+		return v.Name
+	case VPlaceholder:
+		return v.Name
+	case VVarRef:
+		return "the " + humanize(v.Name)
+	case VSlot:
+		return fmt.Sprintf("<%s>", v.SlotType)
+	}
+	return "<invalid value>"
+}
+
+func opNL(op string) string {
+	switch op {
+	case OpEq:
+		return "is"
+	case OpGt:
+		return "is greater than"
+	case OpLt:
+		return "is less than"
+	case OpGe:
+		return "is at least"
+	case OpLe:
+		return "is at most"
+	case OpContains:
+		return "contain"
+	case OpSubstr:
+		return "contains"
+	case OpStartsWith:
+		return "starts with"
+	case OpEndsWith:
+		return "ends with"
+	}
+	return op
+}
+
+func humanize(param string) string { return strings.ReplaceAll(param, "_", " ") }
+
+func humanizeAll(params []string) []string {
+	out := make([]string, len(params))
+	for i, p := range params {
+		out[i] = humanize(p)
+	}
+	return out
+}
+
+// classDisplay turns com.dropbox into "dropbox" for descriptions.
+func classDisplay(class string) string {
+	parts := strings.Split(class, ".")
+	last := parts[len(parts)-1]
+	if last == "builtin" && len(parts) > 1 {
+		last = parts[len(parts)-2]
+	}
+	return last
+}
+
+func joinClauses(parts []string, sep string) string { return strings.Join(parts, sep) }

@@ -1,0 +1,69 @@
+package thingtalk
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDescribePrimitive(t *testing.T) {
+	schemas := testSchemas()
+	prog := mustParse(`now => @com.thecatapi.get => notify`)
+	got := Describe(prog, schemas)
+	if !strings.Contains(got, "a cat picture") || !strings.Contains(got, "notify me") {
+		t.Errorf("Describe = %q", got)
+	}
+}
+
+func TestDescribeCompound(t *testing.T) {
+	schemas := testSchemas()
+	prog := mustParse(`monitor ( @com.twitter.timeline filter param:author == " pldi " ) => @com.twitter.retweet param:tweet_id = param:tweet_id`)
+	got := Describe(prog, schemas)
+	for _, want := range []string{"retweet", "when", "tweets in my timeline", "author is pldi", "the tweet id"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Describe = %q, missing %q", got, want)
+		}
+	}
+}
+
+func TestDescribeTimerAndEdge(t *testing.T) {
+	schemas := testSchemas()
+	prog := mustParse(`timer base = date:now interval = 1 unit:h => @com.thecatapi.get => notify`)
+	if got := Describe(prog, schemas); !strings.Contains(got, "every 1 h") {
+		t.Errorf("Describe = %q", got)
+	}
+	prog2 := mustParse(`edge ( monitor ( @org.thingpedia.weather.current ) ) on param:temperature < 60 unit:F => notify`)
+	got2 := Describe(prog2, schemas)
+	if !strings.Contains(got2, "temperature is less than 60 F") {
+		t.Errorf("Describe = %q", got2)
+	}
+}
+
+func TestDescribeAggregate(t *testing.T) {
+	schemas := testSchemas()
+	prog := mustParse(`now => agg sum param:file_size of ( @com.dropbox.list_folder ) => notify`)
+	got := Describe(prog, schemas)
+	if !strings.Contains(got, "the total file size of files in my dropbox") {
+		t.Errorf("Describe = %q", got)
+	}
+	prog2 := mustParse(`now => agg count of ( @com.dropbox.list_folder ) => notify`)
+	if got := Describe(prog2, schemas); !strings.Contains(got, "the number of") {
+		t.Errorf("Describe = %q", got)
+	}
+}
+
+func TestDescribeWithoutSchemas(t *testing.T) {
+	prog := mustParse(`now => @com.dropbox.list_folder => notify`)
+	got := Describe(prog, nil)
+	if !strings.Contains(got, "list folder") {
+		t.Errorf("fallback description should use the function name: %q", got)
+	}
+}
+
+func TestDescribeValues(t *testing.T) {
+	schemas := testSchemas()
+	prog := mustParse(`now => @com.dropbox.list_folder filter param:modified_time > date:start_of_week and param:is_folder == false => notify`)
+	got := Describe(prog, schemas)
+	if !strings.Contains(got, "start of week") || !strings.Contains(got, "is no") {
+		t.Errorf("Describe = %q", got)
+	}
+}

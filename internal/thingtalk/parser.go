@@ -1,0 +1,622 @@
+package thingtalk
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Recursive-descent parser for the canonical token stream. Because the
+// encoder and the lexer agree on the token format, the parser accepts both
+// human-written program text and raw neural-network output.
+
+// ParseOptions control parsing.
+type ParseOptions struct {
+	// Schemas enables positional-parameter syntax (the Table 3 ablation)
+	// and is required to map positions back to names.
+	Schemas SchemaSource
+}
+
+// ParseProgram parses program text in canonical surface syntax.
+func ParseProgram(src string) (*Program, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	return ParseTokens(toks, ParseOptions{})
+}
+
+// ParseTokens parses a canonical token sequence into a Program.
+func ParseTokens(toks []string, opt ParseOptions) (*Program, error) {
+	p := NewParser(toks, opt)
+	prog, err := p.Program()
+	if err != nil {
+		return nil, err
+	}
+	if !p.AtEnd() {
+		return nil, fmt.Errorf("thingtalk: trailing tokens after program: %q", strings.Join(p.rest(), " "))
+	}
+	return prog, nil
+}
+
+// Parser is a cursor over a token sequence. It is exported so that language
+// extensions (such as the TACL policy language) can reuse the ThingTalk
+// sub-grammars.
+type Parser struct {
+	toks []string
+	pos  int
+	opt  ParseOptions
+}
+
+// NewParser returns a parser over toks.
+func NewParser(toks []string, opt ParseOptions) *Parser {
+	return &Parser{toks: toks, opt: opt}
+}
+
+// AtEnd reports whether all tokens have been consumed (a trailing ";" is
+// ignored).
+func (p *Parser) AtEnd() bool {
+	for p.pos < len(p.toks) && p.toks[p.pos] == ";" {
+		p.pos++
+	}
+	return p.pos >= len(p.toks)
+}
+
+func (p *Parser) rest() []string { return p.toks[p.pos:] }
+
+// Peek returns the token at offset n from the cursor without consuming it,
+// or "" past the end.
+func (p *Parser) Peek(n int) string {
+	if p.pos+n < len(p.toks) {
+		return p.toks[p.pos+n]
+	}
+	return ""
+}
+
+func (p *Parser) next() string {
+	t := p.Peek(0)
+	if t != "" {
+		p.pos++
+	}
+	return t
+}
+
+// Expect consumes the next token, failing unless it equals want.
+func (p *Parser) Expect(want string) error {
+	got := p.next()
+	if got != want {
+		return fmt.Errorf("thingtalk: expected %q, got %q at token %d", want, got, p.pos-1)
+	}
+	return nil
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("thingtalk: "+format+" (at token %d)", append(args, p.pos)...)
+}
+
+// Program parses s => q? => a.
+func (p *Parser) Program() (*Program, error) {
+	s, err := p.Stream()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Expect("=>"); err != nil {
+		return nil, err
+	}
+	q, err := p.queryOrAction()
+	if err != nil {
+		return nil, err
+	}
+	if p.Peek(0) == "=>" {
+		p.pos++
+		a, err := p.Action()
+		if err != nil {
+			return nil, err
+		}
+		return &Program{Stream: s, Query: q, Action: a}, nil
+	}
+	// The clause we parsed must be the action: a plain invocation of an
+	// action function, or notify.
+	if q == nil {
+		return &Program{Stream: s, Action: Notify()}, nil
+	}
+	if q.Kind != QueryInvocation {
+		return nil, p.errf("expected => before action")
+	}
+	return &Program{Stream: s, Action: &Action{Invocation: q.Invocation}}, nil
+}
+
+// queryOrAction parses either a query or the tokens of an action; "notify"
+// yields (nil, nil) and the caller interprets it.
+func (p *Parser) queryOrAction() (*Query, error) {
+	if p.Peek(0) == "notify" {
+		p.pos++
+		return nil, nil
+	}
+	return p.Query()
+}
+
+// Stream parses a stream clause.
+func (p *Parser) Stream() (*Stream, error) {
+	switch p.Peek(0) {
+	case "now":
+		p.pos++
+		return Now(), nil
+	case "timer":
+		p.pos++
+		if err := p.Expect("base"); err != nil {
+			return nil, err
+		}
+		if err := p.Expect("="); err != nil {
+			return nil, err
+		}
+		base, err := p.Value()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Expect("interval"); err != nil {
+			return nil, err
+		}
+		if err := p.Expect("="); err != nil {
+			return nil, err
+		}
+		iv, err := p.Value()
+		if err != nil {
+			return nil, err
+		}
+		return Timer(base, iv), nil
+	case "attimer":
+		p.pos++
+		if err := p.Expect("time"); err != nil {
+			return nil, err
+		}
+		if err := p.Expect("="); err != nil {
+			return nil, err
+		}
+		t, err := p.Value()
+		if err != nil {
+			return nil, err
+		}
+		return AtTimer(t), nil
+	case "monitor":
+		p.pos++
+		if err := p.Expect("("); err != nil {
+			return nil, err
+		}
+		q, err := p.Query()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Expect(")"); err != nil {
+			return nil, err
+		}
+		s := Monitor(q)
+		if p.Peek(0) == "on" && p.Peek(1) == "new" {
+			p.pos += 2
+			for strings.HasPrefix(p.Peek(0), "param:") && p.Peek(1) != "=" {
+				name, _, err := ParseParamToken(p.next())
+				if err != nil {
+					return nil, err
+				}
+				s.MonitorOn = append(s.MonitorOn, name)
+			}
+			if len(s.MonitorOn) == 0 {
+				return nil, p.errf("expected parameter after 'on new'")
+			}
+		}
+		return s, nil
+	case "edge":
+		p.pos++
+		if err := p.Expect("("); err != nil {
+			return nil, err
+		}
+		inner, err := p.Stream()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Expect(")"); err != nil {
+			return nil, err
+		}
+		if err := p.Expect("on"); err != nil {
+			return nil, err
+		}
+		pred, err := p.Predicate()
+		if err != nil {
+			return nil, err
+		}
+		return Edge(inner, pred), nil
+	}
+	return nil, p.errf("expected stream, got %q", p.Peek(0))
+}
+
+// Query parses a query with postfix filter/join operators.
+func (p *Parser) Query() (*Query, error) {
+	q, err := p.primaryQuery()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.Peek(0) {
+		case "filter":
+			p.pos++
+			pred, err := p.Predicate()
+			if err != nil {
+				return nil, err
+			}
+			q = Filter(q, pred)
+		case "join":
+			p.pos++
+			right, err := p.primaryQuery()
+			if err != nil {
+				return nil, err
+			}
+			j := Join(q, right)
+			if p.Peek(0) == "on" && p.Peek(1) != "new" {
+				p.pos++
+				on, err := p.inputParams()
+				if err != nil {
+					return nil, err
+				}
+				if len(on) == 0 {
+					return nil, p.errf("expected parameter passing after join 'on'")
+				}
+				j.JoinParams = on
+			}
+			q = j
+		default:
+			return q, nil
+		}
+	}
+}
+
+func (p *Parser) primaryQuery() (*Query, error) {
+	switch {
+	case p.Peek(0) == "(":
+		p.pos++
+		q, err := p.Query()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Expect(")"); err != nil {
+			return nil, err
+		}
+		return q, nil
+	case p.Peek(0) == "agg":
+		p.pos++
+		op := p.next()
+		if !containsString(AggregateOps, op) {
+			return nil, p.errf("unknown aggregation operator %q", op)
+		}
+		param := ""
+		if strings.HasPrefix(p.Peek(0), "param:") {
+			name, _, err := ParseParamToken(p.next())
+			if err != nil {
+				return nil, err
+			}
+			param = name
+		}
+		if op != "count" && param == "" {
+			return nil, p.errf("aggregation %q requires a parameter", op)
+		}
+		if op == "count" && param != "" {
+			return nil, p.errf("count takes no parameter")
+		}
+		if err := p.Expect("of"); err != nil {
+			return nil, err
+		}
+		if err := p.Expect("("); err != nil {
+			return nil, err
+		}
+		inner, err := p.Query()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Expect(")"); err != nil {
+			return nil, err
+		}
+		return Aggregate(op, param, inner), nil
+	case strings.HasPrefix(p.Peek(0), "@"):
+		inv, err := p.Invocation()
+		if err != nil {
+			return nil, err
+		}
+		return &Query{Kind: QueryInvocation, Invocation: inv}, nil
+	}
+	return nil, p.errf("expected query, got %q", p.Peek(0))
+}
+
+// Action parses the action clause.
+func (p *Parser) Action() (*Action, error) {
+	if p.Peek(0) == "notify" {
+		p.pos++
+		return Notify(), nil
+	}
+	inv, err := p.Invocation()
+	if err != nil {
+		return nil, err
+	}
+	return &Action{Invocation: inv}, nil
+}
+
+// Invocation parses @class.fn followed by keyword (or positional) input
+// parameters.
+func (p *Parser) Invocation() (*Invocation, error) {
+	sel := p.next()
+	class, fn, err := SelectorParts(sel)
+	if err != nil {
+		return nil, err
+	}
+	inv := &Invocation{Class: class, Function: fn}
+	if p.Peek(0) == "(" && p.opt.Schemas != nil {
+		// Positional syntax.
+		sch, ok := p.opt.Schemas.Schema(class, fn)
+		if !ok {
+			return nil, p.errf("unknown function %s for positional parameters", sel)
+		}
+		p.pos++
+		ins := sch.InParams()
+		idx := 0
+		for p.Peek(0) != ")" {
+			if idx > 0 {
+				if err := p.Expect(","); err != nil {
+					return nil, err
+				}
+			}
+			if idx >= len(ins) {
+				return nil, p.errf("too many positional parameters for %s", sel)
+			}
+			if p.Peek(0) == "_" {
+				p.pos++
+			} else {
+				v, err := p.Value()
+				if err != nil {
+					return nil, err
+				}
+				inv.In = append(inv.In, InputParam{Name: ins[idx].Name, Value: v, Type: ins[idx].Type})
+			}
+			idx++
+		}
+		p.pos++ // ')'
+		return inv, nil
+	}
+	in, err := p.inputParams()
+	if err != nil {
+		return nil, err
+	}
+	inv.In = in
+	return inv, nil
+}
+
+// inputParams parses zero or more "param:name[:Type] = value".
+func (p *Parser) inputParams() ([]InputParam, error) {
+	var out []InputParam
+	for strings.HasPrefix(p.Peek(0), "param:") && p.Peek(1) == "=" {
+		name, typ, err := ParseParamToken(p.next())
+		if err != nil {
+			return nil, err
+		}
+		p.pos++ // '='
+		v, err := p.Value()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, InputParam{Name: name, Value: v, Type: typ})
+	}
+	return out, nil
+}
+
+// Predicate parses a boolean expression with standard precedence
+// (not > and > or).
+func (p *Parser) Predicate() (*Predicate, error) {
+	return p.orExpr()
+}
+
+func (p *Parser) orExpr() (*Predicate, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.Peek(0) != "or" {
+		return left, nil
+	}
+	children := []*Predicate{left}
+	for p.Peek(0) == "or" {
+		p.pos++
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	return Or(children...), nil
+}
+
+func (p *Parser) andExpr() (*Predicate, error) {
+	left, err := p.unaryPred()
+	if err != nil {
+		return nil, err
+	}
+	if p.Peek(0) != "and" {
+		return left, nil
+	}
+	children := []*Predicate{left}
+	for p.Peek(0) == "and" {
+		p.pos++
+		right, err := p.unaryPred()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	return And(children...), nil
+}
+
+func (p *Parser) unaryPred() (*Predicate, error) {
+	switch {
+	case p.Peek(0) == "true":
+		p.pos++
+		return True(), nil
+	case p.Peek(0) == "false":
+		p.pos++
+		return False(), nil
+	case p.Peek(0) == "not":
+		p.pos++
+		inner, err := p.unaryPred()
+		if err != nil {
+			return nil, err
+		}
+		return Not(inner), nil
+	case p.Peek(0) == "(":
+		p.pos++
+		inner, err := p.Predicate()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Expect(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case strings.HasPrefix(p.Peek(0), "@"):
+		inv, err := p.Invocation()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Expect("{"); err != nil {
+			return nil, err
+		}
+		inner, err := p.Predicate()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Expect("}"); err != nil {
+			return nil, err
+		}
+		return &Predicate{Kind: PredExternal, External: inv, InnerPred: inner}, nil
+	case strings.HasPrefix(p.Peek(0), "param:"):
+		name, typ, err := ParseParamToken(p.next())
+		if err != nil {
+			return nil, err
+		}
+		op := p.next()
+		if !IsOperator(op) {
+			return nil, p.errf("unknown operator %q", op)
+		}
+		v, err := p.Value()
+		if err != nil {
+			return nil, err
+		}
+		a := Atom(name, op, v)
+		a.ParamType = typ
+		return a, nil
+	}
+	return nil, p.errf("expected predicate, got %q", p.Peek(0))
+}
+
+// Value parses one constant or parameter reference.
+func (p *Parser) Value() (Value, error) {
+	tok := p.Peek(0)
+	switch {
+	case tok == `"`:
+		p.pos++
+		var words []string
+		for p.Peek(0) != `"` {
+			if p.Peek(0) == "" {
+				return Value{}, p.errf("unterminated string value")
+			}
+			words = append(words, p.next())
+		}
+		p.pos++
+		return StringValue(words...), nil
+	case tok == "true":
+		p.pos++
+		return BoolValue(true), nil
+	case tok == "false":
+		p.pos++
+		return BoolValue(false), nil
+	case strings.HasPrefix(tok, "enum:"):
+		p.pos++
+		return EnumValue(tok[len("enum:"):]), nil
+	case strings.HasPrefix(tok, "date:"):
+		p.pos++
+		name := tok[len("date:"):]
+		if !IsNamedDate(name) {
+			return Value{}, p.errf("unknown date edge %q", name)
+		}
+		return DateValue(name), nil
+	case strings.HasPrefix(tok, "time:"):
+		p.pos++
+		name := tok[len("time:"):]
+		if !IsNamedTime(name) {
+			return Value{}, p.errf("unknown time name %q", name)
+		}
+		return TimeValue(name), nil
+	case strings.HasPrefix(tok, "location:"):
+		p.pos++
+		name := tok[len("location:"):]
+		if !IsNamedLocation(name) {
+			return Value{}, p.errf("unknown location name %q", name)
+		}
+		return LocationValue(name), nil
+	case strings.HasPrefix(tok, "param:"):
+		p.pos++
+		name, _, err := ParseParamToken(tok)
+		if err != nil {
+			return Value{}, err
+		}
+		return VarRefValue(name), nil
+	case strings.HasPrefix(tok, "$") && len(tok) > 1:
+		// Named placeholder from a primitive template; the template loader
+		// resolves its type from the declaration list.
+		p.pos++
+		return Value{Kind: VSlot, Name: tok[1:]}, nil
+	}
+	// Placeholder or numeric literal, possibly a measure.
+	if _, isPH := PlaceholderKind(tok); isPH {
+		p.pos++
+		if strings.HasPrefix(p.Peek(0), "unit:") {
+			return p.measure(MeasureTerm{Placeholder: tok, Unit: p.next()[len("unit:"):]})
+		}
+		return PlaceholderValue(tok), nil
+	}
+	if n, err := strconv.ParseFloat(tok, 64); err == nil {
+		p.pos++
+		if strings.HasPrefix(p.Peek(0), "unit:") {
+			return p.measure(MeasureTerm{Num: n, Unit: p.next()[len("unit:"):]})
+		}
+		return NumberValue(n), nil
+	}
+	return Value{}, p.errf("expected value, got %q", tok)
+}
+
+// measure parses the remaining additive terms of a measure value.
+func (p *Parser) measure(first MeasureTerm) (Value, error) {
+	if _, ok := UnitDimension(first.Unit); !ok {
+		return Value{}, p.errf("unknown unit %q", first.Unit)
+	}
+	v := Value{Kind: VMeasure, Measures: []MeasureTerm{first}}
+	for p.Peek(0) == "+" {
+		p.pos++
+		t := p.next()
+		term := MeasureTerm{}
+		if _, isPH := PlaceholderKind(t); isPH {
+			term.Placeholder = t
+		} else if n, err := strconv.ParseFloat(t, 64); err == nil {
+			term.Num = n
+		} else {
+			return Value{}, p.errf("expected measure magnitude, got %q", t)
+		}
+		u := p.next()
+		if !strings.HasPrefix(u, "unit:") {
+			return Value{}, p.errf("expected unit, got %q", u)
+		}
+		term.Unit = u[len("unit:"):]
+		if _, ok := UnitDimension(term.Unit); !ok {
+			return Value{}, p.errf("unknown unit %q", term.Unit)
+		}
+		if BaseUnit(term.Unit) != BaseUnit(first.Unit) {
+			return Value{}, p.errf("mixed dimensions in measure: %q and %q", first.Unit, term.Unit)
+		}
+		v.Measures = append(v.Measures, term)
+	}
+	return v, nil
+}

@@ -1,0 +1,210 @@
+package thingtalk
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Canonical examples from the paper, translated to the canonical token
+// syntax of this implementation.
+var paperExamples = []string{
+	// Fig 1: get a cat picture and post it on Facebook.
+	`now => @com.thecatapi.get => @com.facebook.post_picture param:caption = " funny cat " param:picture_url = param:picture_url`,
+	// Section 2.3: retweet PLDI.
+	`monitor ( @com.twitter.timeline filter param:author == " pldi " ) => @com.twitter.retweet param:tweet_id = param:tweet_id`,
+	// Section 2.3: emails from Alice (adapted to the Twitter schema).
+	`now => @com.twitter.timeline filter param:author == " alice " => notify`,
+	// Section 2.3: translate NYT titles.
+	`now => @com.nytimes.get_front_page join @com.yandex.translate on param:text = param:title => notify`,
+	// Section 2.3: edge filter on temperature.
+	`edge ( monitor ( @org.thingpedia.weather.current ) ) on param:temperature < 60 unit:F => notify`,
+	// Timers.
+	`timer base = date:now interval = 1 unit:h => @com.thecatapi.get => notify`,
+	`attimer time = TIME_0 => @com.twitter.post param:status = " good morning "`,
+	// Monitor on new.
+	`monitor ( @com.dropbox.list_folder ) on new param:file_name => @com.twitter.post param:status = " new file "`,
+	// TT+A aggregation (Section 6.3): total size of a folder.
+	`now => agg sum param:file_size of ( @com.dropbox.list_folder ) => notify`,
+	`now => agg count of ( @com.dropbox.list_folder ) => notify`,
+	// Compound predicate.
+	`now => @com.dropbox.list_folder filter param:file_size > 10 unit:MB and ( param:is_folder == false or param:modified_time > date:start_of_week ) => notify`,
+	// External predicate.
+	`now => @com.twitter.timeline filter @org.thingpedia.weather.current { param:temperature > 30 unit:C } => notify`,
+	// Placeholders.
+	`now => @com.thecatapi.get param:count = NUMBER_0 => notify`,
+	// Composed measure (6 ft 3 in).
+	`now => @com.dropbox.list_folder filter param:file_size > 6 unit:GB + 300 unit:MB => notify`,
+	// Array containment.
+	`now => @com.twitter.timeline filter param:hashtags contains " pldi " => notify`,
+	// String operators.
+	`now => @com.dropbox.list_folder filter param:file_name starts_with " report " => notify`,
+}
+
+func TestParsePaperExamples(t *testing.T) {
+	for _, src := range paperExamples {
+		prog, err := ParseProgram(src)
+		if err != nil {
+			t.Fatalf("ParseProgram(%q): %v", src, err)
+		}
+		if got := strings.Join(prog.Tokens(), " "); got != src {
+			t.Errorf("round trip mismatch:\n in: %s\nout: %s", src, got)
+		}
+	}
+}
+
+func TestParseProgramMissingQuery(t *testing.T) {
+	prog := mustParse(`now => @com.dropbox.move param:new_name = " b " param:old_name = " a "`)
+	if prog.Query != nil {
+		t.Error("expected no query clause")
+	}
+	if prog.Action.Notify || prog.Action.Invocation == nil {
+		t.Error("expected action invocation")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`now`,
+		`now =>`,
+		`now => notify extra`,
+		`=> notify`,
+		`now => @bad => notify`,
+		`now => @com.thecatapi.get param:count = => notify`,
+		`now => @com.thecatapi.get filter => notify`,
+		`now => @com.thecatapi.get filter param:count ?? 3 => notify`,
+		`monitor @com.thecatapi.get => notify`, // missing parens
+		`now => @com.thecatapi.get param:count = " unterminated => notify`,
+		`now => agg total param:x of ( @com.dropbox.list_folder ) => notify`,
+		`now => agg sum of ( @com.dropbox.list_folder ) => notify`,
+		`now => agg count param:x of ( @com.dropbox.list_folder ) => notify`,
+		`now => @com.thecatapi.get param:count = 3 unit:floops => notify`,
+		`now => @com.thecatapi.get param:count = 3 unit:MB + 4 unit:h => notify`,
+		`now => @com.dropbox.list_folder filter param:modified_time > date:someday => notify`,
+		`edge ( now ) on true => notify`, // parses but edge needs monitor: that's typecheck; grammar allows it
+	}
+	for _, src := range cases[:len(cases)-1] {
+		if _, err := ParseProgram(src); err == nil {
+			t.Errorf("ParseProgram(%q) should fail", src)
+		}
+	}
+}
+
+func TestParsePredicatePrecedence(t *testing.T) {
+	prog := mustParse(`now => @com.dropbox.list_folder filter param:is_folder == true or param:is_folder == false and param:file_size > 1 unit:KB => notify`)
+	pred := prog.Query.Predicate
+	if pred.Kind != PredOr {
+		t.Fatalf("top-level should be Or, got %d", pred.Kind)
+	}
+	if pred.Children[1].Kind != PredAnd {
+		t.Fatalf("and should bind tighter than or")
+	}
+}
+
+func TestParseNotPredicate(t *testing.T) {
+	prog := mustParse(`now => @com.twitter.timeline filter not param:text substr " spam " => notify`)
+	pred := prog.Query.Predicate
+	if pred.Kind != PredNot || pred.Children[0].Kind != PredAtom {
+		t.Fatal("expected not(atom)")
+	}
+}
+
+func TestParseJoinAssociativity(t *testing.T) {
+	prog := mustParse(`now => @com.nytimes.get_front_page join @com.thecatapi.get join @com.dropbox.list_folder => notify`)
+	q := prog.Query
+	if q.Kind != QueryJoin || q.Inner.Kind != QueryJoin {
+		t.Fatal("join should be left-associative")
+	}
+}
+
+func TestParseTypeAnnotatedParams(t *testing.T) {
+	src := `now => @com.thecatapi.get param:count:Number = 3 => notify`
+	prog := mustParse(src)
+	ip := prog.Query.Invocation.In[0]
+	if ip.Type == nil || !ip.Type.Equal(NumberType{}) {
+		t.Fatalf("annotation not parsed: %+v", ip)
+	}
+	if got := strings.Join(prog.Tokens(), " "); got != src {
+		t.Errorf("annotated round trip mismatch: %s", got)
+	}
+}
+
+func TestTokenizeQuotedStrings(t *testing.T) {
+	toks, err := Tokenize(`@com.twitter.post param:status = "hello  world"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"@com.twitter.post", "param:status", "=", `"`, "hello", "world", `"`}
+	if len(toks) != len(want) {
+		t.Fatalf("got %v", toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("token %d: got %q want %q", i, toks[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeRejectsUnterminatedString(t *testing.T) {
+	if _, err := Tokenize(`now => "oops`); err == nil {
+		t.Error("unterminated string should fail tokenization")
+	}
+}
+
+func TestEncodeParseFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func() bool {
+		prog := genProgram(rng)
+		toks := prog.Encode(EncodeOptions{})
+		parsed, err := ParseTokens(toks, ParseOptions{})
+		if err != nil {
+			t.Logf("parse(%s): %v", strings.Join(toks, " "), err)
+			return false
+		}
+		again := parsed.Encode(EncodeOptions{})
+		if strings.Join(toks, " ") != strings.Join(again, " ") {
+			t.Logf("fixpoint mismatch:\n a: %s\n b: %s", strings.Join(toks, " "), strings.Join(again, " "))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPositionalEncodeDecode(t *testing.T) {
+	schemas := testSchemas()
+	src := `now => @com.thecatapi.get param:count = 3 => @com.facebook.post_picture param:caption = " hi " param:picture_url = param:picture_url`
+	prog := mustParse(src)
+	if err := Typecheck(prog, schemas); err != nil {
+		t.Fatal(err)
+	}
+	opt := EncodeOptions{Positional: true, Schemas: schemas}
+	toks := prog.Encode(opt)
+	joined := strings.Join(toks, " ")
+	if !strings.Contains(joined, "(") || strings.Contains(joined, "param:count") {
+		t.Fatalf("positional encoding should not mention parameter names: %s", joined)
+	}
+	parsed, err := ParseTokens(toks, ParseOptions{Schemas: schemas})
+	if err != nil {
+		t.Fatalf("parse positional: %v\ntokens: %s", err, joined)
+	}
+	if !SameProgram(prog, parsed, schemas) {
+		t.Errorf("positional round trip changed program:\n in: %s\nout: %s", prog, parsed)
+	}
+}
+
+func TestSelectorParts(t *testing.T) {
+	class, fn, err := SelectorParts("@com.yandex.translate.translate")
+	if err != nil || class != "com.yandex.translate" || fn != "translate" {
+		t.Errorf("got %q %q %v", class, fn, err)
+	}
+	for _, bad := range []string{"com.foo.bar", "@", "@nofunction", "@trailing."} {
+		if _, _, err := SelectorParts(bad); err == nil {
+			t.Errorf("SelectorParts(%q) should fail", bad)
+		}
+	}
+}

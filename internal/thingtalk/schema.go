@@ -1,0 +1,156 @@
+package thingtalk
+
+import "fmt"
+
+// Function signatures (Fig. 3). The skill library (package thingpedia)
+// provides these; the typechecker, the positional encoder, and the runtime
+// consume them through the SchemaSource interface.
+
+// ParamDir is the direction of a declared parameter.
+type ParamDir int
+
+// Parameter directions.
+const (
+	// DirInReq is a required input.
+	DirInReq ParamDir = iota
+	// DirInOpt is an optional input.
+	DirInOpt
+	// DirOut is an output.
+	DirOut
+)
+
+func (d ParamDir) String() string {
+	switch d {
+	case DirInReq:
+		return "in req"
+	case DirInOpt:
+		return "in opt"
+	case DirOut:
+		return "out"
+	}
+	return "invalid"
+}
+
+// FunctionKind distinguishes queries from actions. The original ThingTalk
+// had a third kind (triggers); the revised language collapses triggers and
+// retrievals into monitorable queries (Section 2.2).
+type FunctionKind int
+
+// Function kinds.
+const (
+	// KindQuery retrieves data and has no side effects.
+	KindQuery FunctionKind = iota
+	// KindAction has side effects and returns no data.
+	KindAction
+)
+
+func (k FunctionKind) String() string {
+	if k == KindAction {
+		return "action"
+	}
+	return "query"
+}
+
+// ParamSpec declares one parameter of a function.
+type ParamSpec struct {
+	Name string
+	Type Type
+	Dir  ParamDir
+}
+
+// FunctionSchema is the complete signature of a library function.
+type FunctionSchema struct {
+	Class     string
+	Name      string
+	Kind      FunctionKind
+	Monitor   bool // monitorable query
+	List      bool // returns a list of results
+	Params    []ParamSpec
+	Canonical string // short natural-language name, e.g. "list folder"
+}
+
+// Selector returns the @class.function spelling.
+func (f *FunctionSchema) Selector() string { return "@" + f.Class + "." + f.Name }
+
+// Param returns the declared parameter named name.
+func (f *FunctionSchema) Param(name string) (ParamSpec, bool) {
+	for _, p := range f.Params {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return ParamSpec{}, false
+}
+
+// InParams returns the declared input parameters in declaration order.
+func (f *FunctionSchema) InParams() []ParamSpec {
+	var out []ParamSpec
+	for _, p := range f.Params {
+		if p.Dir != DirOut {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// OutParams returns the declared output parameters in declaration order.
+func (f *FunctionSchema) OutParams() []ParamSpec {
+	var out []ParamSpec
+	for _, p := range f.Params {
+		if p.Dir == DirOut {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SchemaSource resolves function signatures. The zero SchemaMap is usable.
+type SchemaSource interface {
+	// Schema returns the signature of @class.function.
+	Schema(class, function string) (*FunctionSchema, bool)
+}
+
+// SchemaMap is an in-memory SchemaSource keyed by selector.
+type SchemaMap map[string]*FunctionSchema
+
+// Schema implements SchemaSource.
+func (m SchemaMap) Schema(class, function string) (*FunctionSchema, bool) {
+	f, ok := m["@"+class+"."+function]
+	return f, ok
+}
+
+// Add registers a schema, replacing any previous entry.
+func (m SchemaMap) Add(f *FunctionSchema) { m[f.Selector()] = f }
+
+// Validate checks internal consistency of a schema: actions must not declare
+// outputs, queries must declare at least one output, and parameter names
+// must be unique.
+func (f *FunctionSchema) Validate() error {
+	seen := map[string]bool{}
+	outs := 0
+	for _, p := range f.Params {
+		if seen[p.Name] {
+			return fmt.Errorf("thingtalk: %s: duplicate parameter %q", f.Selector(), p.Name)
+		}
+		seen[p.Name] = true
+		if p.Type == nil {
+			return fmt.Errorf("thingtalk: %s: parameter %q has no type", f.Selector(), p.Name)
+		}
+		if p.Dir == DirOut {
+			outs++
+		}
+	}
+	if f.Kind == KindAction {
+		if outs > 0 {
+			return fmt.Errorf("thingtalk: %s: action declares output parameters", f.Selector())
+		}
+		if f.Monitor || f.List {
+			return fmt.Errorf("thingtalk: %s: action cannot be monitorable or list", f.Selector())
+		}
+		return nil
+	}
+	if outs == 0 {
+		return fmt.Errorf("thingtalk: %s: query declares no output parameters", f.Selector())
+	}
+	return nil
+}

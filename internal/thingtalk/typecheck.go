@@ -1,0 +1,509 @@
+package thingtalk
+
+import (
+	"fmt"
+)
+
+// Typecheck verifies a program against a skill library and annotates the AST
+// with resolved parameter types (used by the annotated token encoding).
+//
+// The checks implement Section 2 of the paper:
+//   - every invoked function exists with the right kind for its position
+//     (queries in stream/query clauses, actions in the action clause);
+//   - monitored queries are monitorable;
+//   - required inputs are present, unknown or duplicated parameters are
+//     rejected, and every value is compatible with the declared type;
+//   - parameter passing references resolve to an output parameter of an
+//     earlier function with a compatible type (right-most instance wins);
+//   - filter atoms name output parameters of the filtered query and use an
+//     operator legal for the parameter's type;
+//   - aggregations apply numeric operators to numeric parameters and count
+//     to list queries.
+func Typecheck(p *Program, schemas SchemaSource) error {
+	tc := &typechecker{schemas: schemas}
+	return tc.program(p)
+}
+
+type typechecker struct {
+	schemas SchemaSource
+}
+
+// TypecheckQuery typechecks a stand-alone query fragment (as produced by a
+// primitive template) and returns its output environment as a name→type map.
+func TypecheckQuery(q *Query, schemas SchemaSource) (map[string]Type, error) {
+	tc := &typechecker{schemas: schemas}
+	env, err := tc.query(q, outEnv{}, nil)
+	return env, err
+}
+
+// TypecheckStream typechecks a stand-alone stream fragment.
+func TypecheckStream(s *Stream, schemas SchemaSource) (map[string]Type, error) {
+	tc := &typechecker{schemas: schemas}
+	env, err := tc.stream(s)
+	return env, err
+}
+
+// TypecheckAction typechecks a stand-alone action fragment; env lists the
+// output parameters available for parameter passing (nil for none).
+func TypecheckAction(a *Action, schemas SchemaSource, env map[string]Type) error {
+	tc := &typechecker{schemas: schemas}
+	return tc.action(a, outEnv(env))
+}
+
+// outEnv maps output parameter names to their types; later (right-most)
+// definitions shadow earlier ones.
+type outEnv map[string]Type
+
+func (env outEnv) extend(other outEnv) outEnv {
+	merged := make(outEnv, len(env)+len(other))
+	for k, v := range env {
+		merged[k] = v
+	}
+	for k, v := range other {
+		merged[k] = v
+	}
+	return merged
+}
+
+func (tc *typechecker) program(p *Program) error {
+	if p.Stream == nil {
+		return fmt.Errorf("thingtalk: program has no stream clause")
+	}
+	if p.Action == nil {
+		return fmt.Errorf("thingtalk: program has no action clause")
+	}
+	streamEnv, err := tc.stream(p.Stream)
+	if err != nil {
+		return err
+	}
+	env := streamEnv
+	if p.Query != nil {
+		queryEnv, err := tc.query(p.Query, streamEnv, nil)
+		if err != nil {
+			return err
+		}
+		env = env.extend(queryEnv)
+	}
+	return tc.action(p.Action, env)
+}
+
+func (tc *typechecker) stream(s *Stream) (outEnv, error) {
+	switch s.Kind {
+	case StreamNow:
+		return outEnv{}, nil
+	case StreamTimer:
+		if err := tc.valueOfType(s.Base, DateType{}, "timer base"); err != nil {
+			return nil, err
+		}
+		if err := tc.valueOfType(s.Interval, MeasureType{Unit: "ms"}, "timer interval"); err != nil {
+			return nil, err
+		}
+		return outEnv{}, nil
+	case StreamAtTimer:
+		if err := tc.valueOfType(s.Time, TimeType{}, "attimer time"); err != nil {
+			return nil, err
+		}
+		return outEnv{}, nil
+	case StreamMonitor:
+		env, err := tc.query(s.Monitor, outEnv{}, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := tc.requireMonitorable(s.Monitor); err != nil {
+			return nil, err
+		}
+		for _, name := range s.MonitorOn {
+			if _, ok := env[name]; !ok {
+				return nil, fmt.Errorf("thingtalk: monitor on new %q: no such output parameter", name)
+			}
+		}
+		return env, nil
+	case StreamEdge:
+		env, err := tc.stream(s.Inner)
+		if err != nil {
+			return nil, err
+		}
+		if s.Inner.Kind != StreamMonitor && s.Inner.Kind != StreamEdge {
+			return nil, fmt.Errorf("thingtalk: edge filter requires a monitored stream")
+		}
+		if err := tc.predicate(s.Predicate, env); err != nil {
+			return nil, err
+		}
+		return env, nil
+	}
+	return nil, fmt.Errorf("thingtalk: invalid stream kind %d", s.Kind)
+}
+
+func (tc *typechecker) requireMonitorable(q *Query) error {
+	for _, inv := range q.invocations() {
+		sch, ok := tc.schemas.Schema(inv.Class, inv.Function)
+		if !ok {
+			return fmt.Errorf("thingtalk: unknown function %s", inv.Selector())
+		}
+		if sch.Kind == KindQuery && !sch.Monitor {
+			return fmt.Errorf("thingtalk: %s is not monitorable", inv.Selector())
+		}
+	}
+	return nil
+}
+
+// query typechecks q given the outputs visible from the stream, and returns
+// q's own output environment. provided names parameters of q's right-most
+// invocation that are supplied externally by an enclosing join's "on" clause
+// (they count toward required-parameter checking).
+func (tc *typechecker) query(q *Query, incoming outEnv, provided map[string]bool) (outEnv, error) {
+	switch q.Kind {
+	case QueryInvocation:
+		sch, err := tc.invocationProvided(q.Invocation, KindQuery, incoming, provided)
+		if err != nil {
+			return nil, err
+		}
+		env := outEnv{}
+		for _, ps := range sch.OutParams() {
+			env[ps.Name] = ps.Type
+		}
+		return env, nil
+	case QueryFilter:
+		env, err := tc.query(q.Inner, incoming, provided)
+		if err != nil {
+			return nil, err
+		}
+		if err := tc.predicate(q.Predicate, env); err != nil {
+			return nil, err
+		}
+		return env, nil
+	case QueryJoin:
+		left, err := tc.query(q.Inner, incoming, nil)
+		if err != nil {
+			return nil, err
+		}
+		// The right operand sees the left's outputs (plus the stream's) for
+		// parameter passing; the join's "on" assignments satisfy required
+		// inputs of the right-most function.
+		rightIncoming := incoming.extend(left)
+		rightProvided := map[string]bool{}
+		for name := range provided {
+			rightProvided[name] = true
+		}
+		for _, ip := range q.JoinParams {
+			rightProvided[ip.Name] = true
+		}
+		right, err := tc.query(q.Right, rightIncoming, rightProvided)
+		if err != nil {
+			return nil, err
+		}
+		for i := range q.JoinParams {
+			ip := &q.JoinParams[i]
+			sch, ok := tc.rightmostSchema(q.Right)
+			if !ok {
+				return nil, fmt.Errorf("thingtalk: join target function not found")
+			}
+			ps, ok := sch.Param(ip.Name)
+			if !ok || ps.Dir == DirOut {
+				return nil, fmt.Errorf("thingtalk: join on: %s has no input parameter %q", sch.Selector(), ip.Name)
+			}
+			if ip.Value.Kind != VVarRef {
+				return nil, fmt.Errorf("thingtalk: join on %q: value must be a parameter reference", ip.Name)
+			}
+			srcType, ok := rightIncoming[ip.Value.Name]
+			if !ok {
+				return nil, fmt.Errorf("thingtalk: join on %q: no output parameter %q in scope", ip.Name, ip.Value.Name)
+			}
+			if !assignable(srcType, ps.Type) {
+				return nil, fmt.Errorf("thingtalk: join on %q: cannot pass %s to %s", ip.Name, srcType, ps.Type)
+			}
+			ip.Type = ps.Type
+		}
+		return left.extend(right), nil
+	case QueryAggregate:
+		env, err := tc.query(q.Inner, incoming, provided)
+		if err != nil {
+			return nil, err
+		}
+		if !containsString(AggregateOps, q.AggOp) {
+			return nil, fmt.Errorf("thingtalk: unknown aggregation %q", q.AggOp)
+		}
+		if q.AggOp == "count" {
+			if q.AggParam != "" {
+				return nil, fmt.Errorf("thingtalk: count takes no parameter")
+			}
+			if !tc.isListQuery(q.Inner) {
+				return nil, fmt.Errorf("thingtalk: count requires a list query")
+			}
+			return outEnv{"count": NumberType{}}, nil
+		}
+		t, ok := env[q.AggParam]
+		if !ok {
+			return nil, fmt.Errorf("thingtalk: aggregation over unknown parameter %q", q.AggParam)
+		}
+		if !isNumericType(t) {
+			return nil, fmt.Errorf("thingtalk: aggregation %s over non-numeric parameter %q (%s)", q.AggOp, q.AggParam, t)
+		}
+		if !tc.isListQuery(q.Inner) {
+			return nil, fmt.Errorf("thingtalk: aggregation requires a list query")
+		}
+		return outEnv{q.AggParam: t}, nil
+	}
+	return nil, fmt.Errorf("thingtalk: invalid query kind %d", q.Kind)
+}
+
+// rightmostSchema returns the schema of the right-most invocation of q (the
+// function that receives join parameter passing).
+func (tc *typechecker) rightmostSchema(q *Query) (*FunctionSchema, bool) {
+	invs := q.invocations()
+	if len(invs) == 0 {
+		return nil, false
+	}
+	last := invs[len(invs)-1]
+	return tc.schemas.Schema(last.Class, last.Function)
+}
+
+func (tc *typechecker) isListQuery(q *Query) bool {
+	for _, inv := range q.invocations() {
+		sch, ok := tc.schemas.Schema(inv.Class, inv.Function)
+		if ok && sch.Kind == KindQuery && sch.List {
+			return true
+		}
+	}
+	return false
+}
+
+func (tc *typechecker) action(a *Action, env outEnv) error {
+	if a.Notify {
+		if a.Invocation != nil {
+			return fmt.Errorf("thingtalk: notify action with invocation")
+		}
+		return nil
+	}
+	if a.Invocation == nil {
+		return fmt.Errorf("thingtalk: action has no invocation")
+	}
+	_, err := tc.invocation(a.Invocation, KindAction, env)
+	return err
+}
+
+// invocation typechecks one function call. env provides the output
+// parameters available for parameter passing.
+func (tc *typechecker) invocation(inv *Invocation, want FunctionKind, env outEnv) (*FunctionSchema, error) {
+	return tc.invocationProvided(inv, want, env, nil)
+}
+
+// invocationProvided is invocation with a set of parameter names supplied
+// externally (by a join's "on" clause), which count as present for the
+// required-parameter check.
+func (tc *typechecker) invocationProvided(inv *Invocation, want FunctionKind, env outEnv, provided map[string]bool) (*FunctionSchema, error) {
+	sch, ok := tc.schemas.Schema(inv.Class, inv.Function)
+	if !ok {
+		return nil, fmt.Errorf("thingtalk: unknown function %s", inv.Selector())
+	}
+	if sch.Kind != want {
+		return nil, fmt.Errorf("thingtalk: %s is a %s, used as a %s", inv.Selector(), sch.Kind, want)
+	}
+	seen := map[string]bool{}
+	for i := range inv.In {
+		ip := &inv.In[i]
+		if seen[ip.Name] {
+			return nil, fmt.Errorf("thingtalk: %s: duplicate input parameter %q", inv.Selector(), ip.Name)
+		}
+		seen[ip.Name] = true
+		ps, ok := sch.Param(ip.Name)
+		if !ok {
+			return nil, fmt.Errorf("thingtalk: %s has no parameter %q", inv.Selector(), ip.Name)
+		}
+		if ps.Dir == DirOut {
+			return nil, fmt.Errorf("thingtalk: %s: cannot assign output parameter %q", inv.Selector(), ip.Name)
+		}
+		if ip.Value.Kind == VVarRef {
+			srcType, ok := env[ip.Value.Name]
+			if !ok {
+				return nil, fmt.Errorf("thingtalk: %s: no output parameter %q in scope", inv.Selector(), ip.Value.Name)
+			}
+			if !assignable(srcType, ps.Type) {
+				return nil, fmt.Errorf("thingtalk: %s: cannot pass %s (%s) to %q (%s)",
+					inv.Selector(), ip.Value.Name, srcType, ip.Name, ps.Type)
+			}
+		} else if err := tc.valueOfType(ip.Value, ps.Type, inv.Selector()+"."+ip.Name); err != nil {
+			return nil, err
+		}
+		ip.Type = ps.Type
+	}
+	for _, ps := range sch.Params {
+		if ps.Dir == DirInReq && !seen[ps.Name] && !provided[ps.Name] {
+			return nil, fmt.Errorf("thingtalk: %s: missing required parameter %q", inv.Selector(), ps.Name)
+		}
+	}
+	return sch, nil
+}
+
+// predicate typechecks a boolean expression whose atoms reference output
+// parameters from env.
+func (tc *typechecker) predicate(p *Predicate, env outEnv) error {
+	switch p.Kind {
+	case PredTrue, PredFalse:
+		return nil
+	case PredNot:
+		return tc.predicate(p.Children[0], env)
+	case PredAnd, PredOr:
+		if len(p.Children) < 2 {
+			return fmt.Errorf("thingtalk: %d-ary boolean connective", len(p.Children))
+		}
+		for _, ch := range p.Children {
+			if err := tc.predicate(ch, env); err != nil {
+				return err
+			}
+		}
+		return nil
+	case PredAtom:
+		t, ok := env[p.Param]
+		if !ok {
+			return fmt.Errorf("thingtalk: filter on unknown parameter %q", p.Param)
+		}
+		if err := checkOperator(p.Op, t, p.Value); err != nil {
+			return fmt.Errorf("thingtalk: filter %s: %w", p.Param, err)
+		}
+		p.ParamType = t
+		return nil
+	case PredExternal:
+		sch, err := tc.invocation(p.External, KindQuery, env)
+		if err != nil {
+			return err
+		}
+		innerEnv := outEnv{}
+		for _, ps := range sch.OutParams() {
+			innerEnv[ps.Name] = ps.Type
+		}
+		return tc.predicate(p.InnerPred, innerEnv)
+	}
+	return fmt.Errorf("thingtalk: invalid predicate kind %d", p.Kind)
+}
+
+// checkOperator verifies op applies to a parameter of type t compared with v.
+func checkOperator(op string, t Type, v Value) error {
+	switch op {
+	case OpEq:
+		if !valueCompatible(v, t) {
+			return fmt.Errorf("value %s is not a %s", v, t)
+		}
+		return nil
+	case OpGt, OpLt, OpGe, OpLe:
+		if !IsComparable(t) {
+			return fmt.Errorf("type %s does not support %s", t, op)
+		}
+		if !valueCompatible(v, t) {
+			return fmt.Errorf("value %s is not a %s", v, t)
+		}
+		return nil
+	case OpContains:
+		at, ok := t.(ArrayType)
+		if !ok {
+			return fmt.Errorf("contains requires an array parameter, got %s", t)
+		}
+		if !valueCompatible(v, at.Elem) {
+			return fmt.Errorf("value %s is not a %s", v, at.Elem)
+		}
+		return nil
+	case OpSubstr, OpStartsWith, OpEndsWith:
+		if !IsStringLike(t) {
+			return fmt.Errorf("%s requires a string-like parameter, got %s", op, t)
+		}
+		if v.Kind != VString && v.Kind != VSlot {
+			return fmt.Errorf("%s requires a string value", op)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown operator %q", op)
+}
+
+func (tc *typechecker) valueOfType(v Value, t Type, context string) error {
+	if !valueCompatible(v, t) {
+		return fmt.Errorf("thingtalk: %s: value %s is not a %s", context, v, t)
+	}
+	return nil
+}
+
+// assignable reports whether an output of type src may be passed to an input
+// of type dst.
+func assignable(src, dst Type) bool {
+	if src.Equal(dst) {
+		return true
+	}
+	// String-like outputs can flow into String inputs (e.g. a tweet's text
+	// into a message body) and vice versa for free-form inputs.
+	if IsStringLike(src) && IsStringLike(dst) {
+		return true
+	}
+	if _, ok := src.(StringType); ok {
+		return IsStringLike(dst)
+	}
+	if _, ok := dst.(StringType); ok {
+		return IsStringLike(src)
+	}
+	return false
+}
+
+// valueCompatible reports whether constant v may inhabit declared type t.
+func valueCompatible(v Value, t Type) bool {
+	if v.Kind == VSlot {
+		if v.SlotType == nil {
+			return false
+		}
+		return v.SlotType.Equal(t) || (IsStringLike(t) && IsStringLike(v.SlotType))
+	}
+	switch t := t.(type) {
+	case StringType, PathNameType, URLType, EntityType:
+		return v.Kind == VString
+	case NumberType:
+		return v.Kind == VNumber || isPlaceholderOf(v, "NUMBER")
+	case BoolType:
+		return v.Kind == VBool
+	case DateType:
+		return v.Kind == VDate || isPlaceholderOf(v, "DATE")
+	case TimeType:
+		return v.Kind == VTime || isPlaceholderOf(v, "TIME")
+	case LocationType:
+		return v.Kind == VLocation || isPlaceholderOf(v, "LOCATION")
+	case CurrencyType:
+		if isPlaceholderOf(v, "CURRENCY") {
+			return true
+		}
+		return v.Kind == VMeasure && len(v.Measures) > 0 && BaseUnit(v.Measures[0].Unit) == "usd"
+	case MeasureType:
+		if v.Kind != VMeasure || len(v.Measures) == 0 {
+			if t.Unit == "ms" && isPlaceholderOf(v, "DURATION") {
+				return true
+			}
+			return false
+		}
+		for _, m := range v.Measures {
+			if BaseUnit(m.Unit) != t.Unit {
+				return false
+			}
+		}
+		return true
+	case EnumType:
+		return v.Kind == VEnum && t.HasEnumValue(v.Name)
+	case ArrayType:
+		// Array constants are not part of the constant language; arrays are
+		// only produced by functions.
+		return false
+	}
+	return false
+}
+
+func isPlaceholderOf(v Value, prefix string) bool {
+	if v.Kind != VPlaceholder {
+		return false
+	}
+	if _, ok := PlaceholderKind(v.Name); !ok {
+		return false
+	}
+	return len(v.Name) > len(prefix) && v.Name[:len(prefix)] == prefix
+}
+
+func isNumericType(t Type) bool {
+	switch t.(type) {
+	case NumberType, MeasureType, CurrencyType:
+		return true
+	}
+	return false
+}

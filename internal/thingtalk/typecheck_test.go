@@ -1,0 +1,174 @@
+package thingtalk
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypecheckAcceptsPaperExamples(t *testing.T) {
+	schemas := testSchemas()
+	for _, src := range paperExamples {
+		prog := mustParse(src)
+		if err := Typecheck(prog, schemas); err != nil {
+			t.Errorf("Typecheck(%q): %v", src, err)
+		}
+	}
+}
+
+func TestTypecheckAnnotatesTypes(t *testing.T) {
+	schemas := testSchemas()
+	prog := mustParse(`now => @com.thecatapi.get param:count = 3 => notify`)
+	if err := Typecheck(prog, schemas); err != nil {
+		t.Fatal(err)
+	}
+	ip := prog.Query.Invocation.In[0]
+	if ip.Type == nil || !ip.Type.Equal(NumberType{}) {
+		t.Fatalf("type not annotated: %+v", ip)
+	}
+	toks := strings.Join(prog.Tokens(), " ")
+	if !strings.Contains(toks, "param:count:Number") {
+		t.Errorf("annotated encoding missing type: %s", toks)
+	}
+}
+
+func TestTypecheckRejections(t *testing.T) {
+	schemas := testSchemas()
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown function", `now => @com.nosuch.fn => notify`},
+		{"action as query", `now => @com.twitter.retweet param:tweet_id = " x " => notify`},
+		{"query as action", `now => @com.thecatapi.get => @com.dropbox.list_folder`},
+		{"missing required", `now => @com.dropbox.open => notify`},
+		{"unknown param", `now => @com.thecatapi.get param:nope = 3 => notify`},
+		{"assign out param", `now => @com.thecatapi.get param:picture_url = " x " => notify`},
+		{"duplicate param", `now => @com.thecatapi.get param:count = 1 param:count = 2 => notify`},
+		{"wrong value type", `now => @com.thecatapi.get param:count = " three " => notify`},
+		{"wrong measure dim", `now => @com.dropbox.list_folder filter param:file_size > 3 unit:h => notify`},
+		{"bad enum member", `now => @com.dropbox.list_folder param:order_by = enum:alphabetical => notify`},
+		{"monitor unmonitorable", `monitor ( @com.thecatapi.get ) => notify`},
+		{"filter unknown param", `now => @com.thecatapi.get filter param:nope == 3 => notify`},
+		{"order op on string", `now => @com.twitter.timeline filter param:text > " a " => notify`},
+		{"contains on scalar", `now => @com.twitter.timeline filter param:text contains " a " => notify`},
+		{"substr on number", `now => @com.thecatapi.get filter param:image_id > 3 => notify`},
+		{"varref unknown", `now => @com.thecatapi.get => @com.facebook.post_picture param:picture_url = param:nope`},
+		{"varref type clash", `monitor ( @org.thingpedia.weather.current ) => @com.facebook.post_picture param:picture_url = param:temperature`},
+		{"edge without monitor", `edge ( now ) on true => notify`},
+		{"monitor on new unknown", `monitor ( @com.dropbox.list_folder ) on new param:nope => notify`},
+		{"agg non-numeric", `now => agg sum param:file_name of ( @com.dropbox.list_folder ) => notify`},
+		{"agg unknown param", `now => agg sum param:nope of ( @com.dropbox.list_folder ) => notify`},
+		{"agg non-list", `now => agg count of ( @org.thingpedia.weather.current ) => notify`},
+		{"join on non-input", `now => @com.nytimes.get_front_page join @com.yandex.translate on param:translated_text = param:title => notify`},
+		{"join on unknown src", `now => @com.nytimes.get_front_page join @com.yandex.translate on param:text = param:nope => notify`},
+	}
+	for _, c := range cases {
+		prog, err := ParseProgram(c.src)
+		if err != nil {
+			t.Fatalf("%s: parse error: %v", c.name, err)
+		}
+		if err := Typecheck(prog, schemas); err == nil {
+			t.Errorf("%s: Typecheck(%q) should fail", c.name, c.src)
+		}
+	}
+}
+
+func TestTypecheckParamPassingStringLike(t *testing.T) {
+	schemas := testSchemas()
+	// URL output into URL input: exact.
+	ok := `now => @com.thecatapi.get => @com.facebook.post_picture param:picture_url = param:picture_url`
+	prog := mustParse(ok)
+	if err := Typecheck(prog, schemas); err != nil {
+		t.Errorf("url->url passing should typecheck: %v", err)
+	}
+	// String-like widening: tweet text (String) into translate text (String).
+	ok2 := `monitor ( @com.twitter.timeline ) => @com.twitter.post param:status = param:text`
+	if err := Typecheck(mustParse(ok2), schemas); err != nil {
+		t.Errorf("string->string passing should typecheck: %v", err)
+	}
+}
+
+func TestTypecheckRightmostWins(t *testing.T) {
+	schemas := testSchemas()
+	// Both timeline and translate output string-likes; "text" refers to the
+	// right-most producer. translate has out translated_text and in text, so
+	// "text" resolves to timeline's output even after the join.
+	src := `now => @com.twitter.timeline join @com.yandex.translate on param:text = param:text => @com.twitter.post param:status = param:translated_text`
+	if err := Typecheck(mustParse(src), schemas); err != nil {
+		t.Errorf("join passing should typecheck: %v", err)
+	}
+}
+
+func TestTypecheckExternalPredicate(t *testing.T) {
+	schemas := testSchemas()
+	src := `now => @com.twitter.timeline filter @org.thingpedia.weather.current { param:temperature > 25 unit:C } => notify`
+	if err := Typecheck(mustParse(src), schemas); err != nil {
+		t.Errorf("external predicate should typecheck: %v", err)
+	}
+	// Inner predicate sees only the external function's outputs.
+	bad := `now => @com.twitter.timeline filter @org.thingpedia.weather.current { param:text == " x " } => notify`
+	if err := Typecheck(mustParse(bad), schemas); err == nil {
+		t.Error("external predicate should not see host outputs")
+	}
+}
+
+func TestTypecheckSlots(t *testing.T) {
+	schemas := testSchemas()
+	prog := &Program{
+		Stream: Now(),
+		Query:  Invoke("com.thecatapi", "get", In("count", SlotValue(NumberType{}, 0))),
+		Action: Notify(),
+	}
+	if err := Typecheck(prog, schemas); err != nil {
+		t.Errorf("matching slot should typecheck: %v", err)
+	}
+	bad := &Program{
+		Stream: Now(),
+		Query:  Invoke("com.thecatapi", "get", In("count", SlotValue(StringType{}, 0))),
+		Action: Notify(),
+	}
+	if err := Typecheck(bad, schemas); err == nil {
+		t.Error("mismatched slot should fail")
+	}
+}
+
+func TestQuickGeneratedProgramsTypecheck(t *testing.T) {
+	schemas := testSchemas()
+	rng := rand.New(rand.NewSource(11))
+	f := func() bool {
+		prog := genProgram(rng)
+		if err := Typecheck(prog, schemas); err != nil {
+			t.Logf("generated program failed typecheck: %v\n%s", err, prog)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	good := &FunctionSchema{
+		Class: "a", Name: "q", Kind: KindQuery,
+		Params: []ParamSpec{{Name: "x", Dir: DirOut, Type: StringType{}}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid schema rejected: %v", err)
+	}
+	bads := []*FunctionSchema{
+		{Class: "a", Name: "q", Kind: KindQuery, Params: []ParamSpec{
+			{Name: "x", Dir: DirOut, Type: StringType{}}, {Name: "x", Dir: DirOut, Type: StringType{}}}},
+		{Class: "a", Name: "q", Kind: KindQuery, Params: []ParamSpec{{Name: "x", Dir: DirInReq, Type: StringType{}}}},
+		{Class: "a", Name: "a", Kind: KindAction, Params: []ParamSpec{{Name: "x", Dir: DirOut, Type: StringType{}}}},
+		{Class: "a", Name: "a", Kind: KindAction, Monitor: true},
+		{Class: "a", Name: "q", Kind: KindQuery, Params: []ParamSpec{{Name: "x", Dir: DirOut}}},
+	}
+	for i, b := range bads {
+		if err := b.Validate(); err == nil {
+			t.Errorf("invalid schema %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package thingtalk implements the ThingTalk virtual-assistant programming
+// language (VAPL) described in "Genie: A Generator of Natural Language
+// Semantic Parsers for Virtual Assistant Commands" (PLDI 2019), Section 2.
+//
+// The package provides the type system, the abstract syntax tree for the
+// single ThingTalk construct (stream => query => action), a lexer and parser
+// for the canonical surface syntax, a typechecker driven by function
+// signatures, the canonicalizer of Section 2.4, and the token codec used to
+// exchange programs with the neural semantic parser.
+package thingtalk
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is a ThingTalk parameter type (Fig. 3 of the paper).
+//
+// ThingTalk is strongly and statically typed; values carry enough structure
+// that a neural parser never has to normalize units or perform arithmetic.
+type Type interface {
+	// String returns the canonical spelling of the type, as used in class
+	// definitions and in annotated NN tokens.
+	String() string
+	// Equal reports whether two types are identical.
+	Equal(Type) bool
+}
+
+// Primitive types. Each is a distinct named type so that a type switch can
+// discriminate them.
+type (
+	// StringType is free-form text.
+	StringType struct{}
+	// NumberType is a dimensionless number.
+	NumberType struct{}
+	// BoolType is a boolean.
+	BoolType struct{}
+	// DateType is a point in time (absolute or a named edge such as
+	// start_of_week).
+	DateType struct{}
+	// TimeType is a time of day.
+	TimeType struct{}
+	// PathNameType is a file-system path.
+	PathNameType struct{}
+	// URLType is a web address.
+	URLType struct{}
+	// LocationType is a geographic location.
+	LocationType struct{}
+	// CurrencyType is an amount of money with a currency unit.
+	CurrencyType struct{}
+)
+
+// MeasureType is a number with a physical unit; the Unit field is the
+// canonical base unit of the dimension (for example "byte" or "ms"). Values
+// of a measure type may use any unit of the same dimension, and may compose
+// additively ("6 feet 3 inches").
+type MeasureType struct{ Unit string }
+
+// EnumType is a closed set of named values.
+type EnumType struct{ Values []string }
+
+// EntityType is an opaque named entity (for example tt:username); entities
+// are recalled by display name in natural language and resolved by a
+// knowledge-base lookup after parsing.
+type EntityType struct{ Kind string }
+
+// ArrayType is the only compound type in ThingTalk.
+type ArrayType struct{ Elem Type }
+
+func (StringType) String() string   { return "String" }
+func (NumberType) String() string   { return "Number" }
+func (BoolType) String() string     { return "Boolean" }
+func (DateType) String() string     { return "Date" }
+func (TimeType) String() string     { return "Time" }
+func (PathNameType) String() string { return "PathName" }
+func (URLType) String() string      { return "URL" }
+func (LocationType) String() string { return "Location" }
+func (CurrencyType) String() string { return "Currency" }
+func (t MeasureType) String() string {
+	return fmt.Sprintf("Measure(%s)", t.Unit)
+}
+func (t EnumType) String() string {
+	return fmt.Sprintf("Enum(%s)", strings.Join(t.Values, ","))
+}
+func (t EntityType) String() string { return fmt.Sprintf("Entity(%s)", t.Kind) }
+func (t ArrayType) String() string  { return fmt.Sprintf("Array(%s)", t.Elem) }
+
+func (StringType) Equal(o Type) bool   { _, ok := o.(StringType); return ok }
+func (NumberType) Equal(o Type) bool   { _, ok := o.(NumberType); return ok }
+func (BoolType) Equal(o Type) bool     { _, ok := o.(BoolType); return ok }
+func (DateType) Equal(o Type) bool     { _, ok := o.(DateType); return ok }
+func (TimeType) Equal(o Type) bool     { _, ok := o.(TimeType); return ok }
+func (PathNameType) Equal(o Type) bool { _, ok := o.(PathNameType); return ok }
+func (URLType) Equal(o Type) bool      { _, ok := o.(URLType); return ok }
+func (LocationType) Equal(o Type) bool { _, ok := o.(LocationType); return ok }
+func (CurrencyType) Equal(o Type) bool { _, ok := o.(CurrencyType); return ok }
+
+func (t MeasureType) Equal(o Type) bool {
+	m, ok := o.(MeasureType)
+	return ok && m.Unit == t.Unit
+}
+
+func (t EnumType) Equal(o Type) bool {
+	e, ok := o.(EnumType)
+	if !ok || len(e.Values) != len(t.Values) {
+		return false
+	}
+	a := append([]string(nil), t.Values...)
+	b := append([]string(nil), e.Values...)
+	sort.Strings(a)
+	sort.Strings(b)
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (t EntityType) Equal(o Type) bool {
+	e, ok := o.(EntityType)
+	return ok && e.Kind == t.Kind
+}
+
+func (t ArrayType) Equal(o Type) bool {
+	a, ok := o.(ArrayType)
+	return ok && a.Elem.Equal(t.Elem)
+}
+
+// HasEnumValue reports whether v is one of the enum's values.
+func (t EnumType) HasEnumValue(v string) bool {
+	for _, x := range t.Values {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseType parses the canonical spelling of a type, as produced by
+// Type.String. It accepts the grammar of Fig. 3:
+//
+//	t := String | Number | Boolean | Date | Time | PathName | URL |
+//	     Location | Currency | Measure(u) | Enum(v,...) | Entity(et) |
+//	     Array(t)
+func ParseType(s string) (Type, error) {
+	s = strings.TrimSpace(s)
+	switch s {
+	case "String":
+		return StringType{}, nil
+	case "Number":
+		return NumberType{}, nil
+	case "Boolean":
+		return BoolType{}, nil
+	case "Date":
+		return DateType{}, nil
+	case "Time":
+		return TimeType{}, nil
+	case "PathName":
+		return PathNameType{}, nil
+	case "URL":
+		return URLType{}, nil
+	case "Location":
+		return LocationType{}, nil
+	case "Currency":
+		return CurrencyType{}, nil
+	}
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("thingtalk: invalid type %q", s)
+	}
+	head, arg := s[:open], s[open+1:len(s)-1]
+	switch head {
+	case "Measure":
+		if _, ok := UnitDimension(arg); !ok {
+			return nil, fmt.Errorf("thingtalk: unknown unit %q in %q", arg, s)
+		}
+		return MeasureType{Unit: BaseUnit(arg)}, nil
+	case "Enum":
+		parts := strings.Split(arg, ",")
+		values := make([]string, 0, len(parts))
+		for _, p := range parts {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				return nil, fmt.Errorf("thingtalk: empty enum value in %q", s)
+			}
+			values = append(values, p)
+		}
+		if len(values) == 0 {
+			return nil, fmt.Errorf("thingtalk: empty enum in %q", s)
+		}
+		return EnumType{Values: values}, nil
+	case "Entity":
+		if arg == "" {
+			return nil, fmt.Errorf("thingtalk: empty entity kind in %q", s)
+		}
+		return EntityType{Kind: arg}, nil
+	case "Array":
+		elem, err := ParseType(arg)
+		if err != nil {
+			return nil, err
+		}
+		return ArrayType{Elem: elem}, nil
+	}
+	return nil, fmt.Errorf("thingtalk: invalid type %q", s)
+}
+
+// IsStringLike reports whether values of t are represented as free-form word
+// sequences in sentences and programs (and therefore flow through the
+// pointer-generator copy mechanism of the parser).
+func IsStringLike(t Type) bool {
+	switch t.(type) {
+	case StringType, PathNameType, URLType, EntityType:
+		return true
+	}
+	return false
+}
+
+// IsComparable reports whether values of t support the ordering operators
+// (> and <).
+func IsComparable(t Type) bool {
+	switch t.(type) {
+	case NumberType, DateType, TimeType, MeasureType, CurrencyType:
+		return true
+	}
+	return false
+}
