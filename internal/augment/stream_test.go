@@ -1,0 +1,125 @@
+package augment
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/nltemplate"
+	"repro/internal/params"
+	"repro/internal/synthesis"
+	"repro/internal/thingpedia"
+)
+
+// streamSources synthesizes a small slot-marked input set for the expansion
+// pipeline, marking half of it as paraphrase data so PPDB augmentation runs.
+func streamSources(t testing.TB, n int) []dataset.Example {
+	t.Helper()
+	lib := thingpedia.Builtin()
+	g := nltemplate.StandardGrammar(lib, nltemplate.DefaultOptions)
+	raw := synthesis.Synthesize(g, synthesis.Config{TargetPerRule: 20, MaxDepth: 4, Seed: 9, Schemas: lib})
+	if len(raw) < n {
+		t.Fatalf("not enough synthesized examples: %d < %d", len(raw), n)
+	}
+	out := make([]dataset.Example, n)
+	for i := 0; i < n; i++ {
+		out[i] = dataset.Example{
+			Words:   raw[i].Words,
+			Program: raw[i].Program,
+			Group:   dataset.GroupSynthesized,
+			Depth:   raw[i].Depth,
+		}
+		if i%2 == 1 {
+			out[i].Group = dataset.GroupParaphrase
+		}
+	}
+	return out
+}
+
+func feed(ctx context.Context, examples []dataset.Example) <-chan dataset.Example {
+	ch := make(chan dataset.Example)
+	go func() {
+		defer close(ch)
+		for i := range examples {
+			select {
+			case ch <- examples[i]:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+func runExpandStream(t testing.TB, src []dataset.Example, workers int) []dataset.Example {
+	t.Helper()
+	ctx := context.Background()
+	out := ExpandStream(ctx, feed(ctx, src), params.NewSampler(), StreamConfig{
+		Factors:      ExpansionFactors{ParaphraseWithString: 3, Paraphrase: 2, SynthesizedPrimitive: 2, Synthesized: 1},
+		PPDBVariants: 2,
+		Seed:         5,
+		Workers:      workers,
+	})
+	return dataset.Collect(ctx, out, 0)
+}
+
+// TestExpandStreamDeterministicAcrossWorkers asserts the expansion stage
+// emits the identical example sequence for any worker count: per-example
+// RNGs derive from the input index, and the collector restores input order.
+func TestExpandStreamDeterministicAcrossWorkers(t *testing.T) {
+	src := streamSources(t, 120)
+	seq := runExpandStream(t, src, 1)
+	par := runExpandStream(t, src, 4)
+	if len(seq) == 0 {
+		t.Fatal("expansion emitted nothing")
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("worker count changed output size: workers=1 %d vs workers=4 %d", len(seq), len(par))
+	}
+	for i := range seq {
+		a := seq[i].Sentence() + "|" + seq[i].Program.String()
+		b := par[i].Sentence() + "|" + par[i].Program.String()
+		if a != b {
+			t.Fatalf("output %d differs:\n workers=1: %s\n workers=4: %s", i, a, b)
+		}
+	}
+	// Expansion must actually expand and leave no slot markers behind.
+	if len(seq) <= len(src) {
+		t.Errorf("expected expansion to grow the set: %d in, %d out", len(src), len(seq))
+	}
+	for i := range seq {
+		for _, w := range seq[i].Words {
+			if len(w) >= 7 && w[:7] == "__slot_" {
+				t.Fatalf("unreplaced slot in %q", seq[i].Sentence())
+			}
+		}
+	}
+}
+
+// TestExpandStreamCancellation asserts cancelling the context closes the
+// output channel early.
+func TestExpandStreamCancellation(t *testing.T) {
+	src := streamSources(t, 200)
+	ctx, cancel := context.WithCancel(context.Background())
+	out := ExpandStream(ctx, feed(ctx, src), params.NewSampler(), StreamConfig{
+		Factors: PaperFactors, PPDBVariants: 2, Seed: 5, Workers: 2,
+	})
+	for range 5 {
+		if _, ok := <-out; !ok {
+			t.Fatal("stream closed before cancellation")
+		}
+	}
+	cancel()
+	timeout := time.After(10 * time.Second)
+	for {
+		select {
+		case _, ok := <-out:
+			if !ok {
+				return
+			}
+		case <-timeout:
+			t.Fatal("stream did not close after cancellation")
+		}
+	}
+}

@@ -5,6 +5,7 @@
 package dataset
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -73,6 +74,32 @@ func (e *Example) Clone() Example {
 		Alt:     alt,
 		Group:   e.Group,
 		Depth:   e.Depth,
+	}
+}
+
+// Collect drains a streaming pipeline stage into a slice, stopping after
+// max examples (0 = no cap) or when ctx is cancelled. It is the bridge from
+// the bounded-channel pipeline (synthesis.SynthesizeStream,
+// augment.ExpandStream) back to the slice-based APIs. Returning early —
+// because max was reached or ctx fired — leaves the producer goroutines
+// parked on their bounded channels until ctx is cancelled, so callers that
+// may stop before the stream drains must own a cancelable context and
+// cancel it afterwards (as cmd/genie pipeline does).
+func Collect(ctx context.Context, ch <-chan Example, max int) []Example {
+	var out []Example
+	for {
+		select {
+		case e, ok := <-ch:
+			if !ok {
+				return out
+			}
+			out = append(out, e)
+			if max > 0 && len(out) >= max {
+				return out
+			}
+		case <-ctx.Done():
+			return out
+		}
 	}
 }
 

@@ -65,9 +65,14 @@ func slotsPreserved(src, dst []string) bool {
 }
 
 // rewriteDeveloper makes light edits: developers phrase commands close to
-// the canonical templates.
+// the canonical templates, so roughly half the sentences pass through with
+// at most a politeness marker (the cheatsheet rewriter, by contrast, always
+// shifts the phrasing).
 func rewriteDeveloper(words []string, rng *rand.Rand) []string {
-	out := applyLexicon(words, devTable, rng, 1)
+	out := append([]string(nil), words...)
+	if rng.Intn(2) == 0 {
+		out = applyLexicon(out, devTable, rng, 1)
+	}
 	if rng.Intn(4) == 0 {
 		out = append([]string{"please"}, out...)
 	}

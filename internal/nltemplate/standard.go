@@ -154,17 +154,22 @@ func AddConstructRules(g *Grammar, lib *thingpedia.Library) {
 	})
 
 	// When-do with parameter passing from the monitored query's outputs.
+	// Semantic functions must never mutate their children: derivations are
+	// pooled and shared across samples (and, with Workers > 1, across
+	// goroutines), so typechecking and ref-hole binding — both of which
+	// write into the AST — always operate on clones.
 	b.rule("cmd:wp-avpref", CatCommand, []Symbol{NT(CatWP), Lit(","), NT(CatAVPRef)}, func(c []*Derivation) any {
 		s := streamOf(c[0])
 		a := actionOf(c[1])
 		if s == nil || a == nil {
 			return nil
 		}
+		s = s.Clone()
 		env, err := thingtalk.TypecheckStream(s, b.lib)
 		if err != nil || len(env) == 0 {
 			return nil
 		}
-		if bound := bindActionRef(a, env); bound != nil {
+		if bound := bindActionRef(a.Clone(), env); bound != nil {
 			return b.program(s, nil, bound)
 		}
 		return nil
@@ -175,11 +180,12 @@ func AddConstructRules(g *Grammar, lib *thingpedia.Library) {
 		if s == nil || a == nil {
 			return nil
 		}
+		s = s.Clone()
 		env, err := thingtalk.TypecheckStream(s, b.lib)
 		if err != nil || len(env) == 0 {
 			return nil
 		}
-		if bound := bindActionRef(a, env); bound != nil {
+		if bound := bindActionRef(a.Clone(), env); bound != nil {
 			return b.program(s, nil, bound)
 		}
 		return nil
@@ -199,11 +205,12 @@ func AddConstructRules(g *Grammar, lib *thingpedia.Library) {
 				if q == nil || a == nil {
 					return nil
 				}
+				q = q.Clone()
 				env, err := thingtalk.TypecheckQuery(q, b.lib)
 				if err != nil {
 					return nil
 				}
-				if bound := bindActionRef(a, env); bound != nil {
+				if bound := bindActionRef(a.Clone(), env); bound != nil {
 					return b.queryProgram(thingtalk.Now(), q, bound)
 				}
 				return nil
@@ -294,11 +301,12 @@ func AddConstructRules(g *Grammar, lib *thingpedia.Library) {
 			if prod == nil || holder == nil || hasRefHole(prod) {
 				return nil
 			}
+			prod = prod.Clone()
 			env, err := thingtalk.TypecheckQuery(prod, b.lib)
 			if err != nil {
 				return nil
 			}
-			joined := bindQueryRef(holder, prod, env)
+			joined := bindQueryRef(holder.Clone(), prod, env)
 			if joined == nil {
 				return nil
 			}

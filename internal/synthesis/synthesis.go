@@ -4,10 +4,25 @@
 // construct template. The target size is configurable and the number of
 // derivations decreases exponentially with increasing depth — many low-depth
 // programs provide breadth, fewer high-depth programs add variance.
+//
+// The sampler is organized as a sequence of depth waves. Within a wave every
+// grammar category is an independent task: it reads only the frozen pools of
+// shallower derivations and writes only its own category, so the tasks of a
+// wave run concurrently on Config.Workers goroutines (0 = GOMAXPROCS). Each
+// task draws from an RNG seeded deterministically from (Config.Seed, depth,
+// category) and task results merge back in grammar-registration order, so
+// the output is identical — same examples, same order — for every worker
+// count, including Workers=1.
+//
+// Two APIs expose the result: Synthesize materializes the full example
+// slice, while SynthesizeStream emits examples on a bounded channel as each
+// wave completes, letting downstream stages (paraphrase augmentation,
+// parameter replacement) overlap with synthesis instead of waiting for the
+// whole set.
 package synthesis
 
 import (
-	"math/rand"
+	"context"
 	"strings"
 
 	"repro/internal/nltemplate"
@@ -25,12 +40,17 @@ type Config struct {
 	// Flag restricts synthesis to rules carrying the flag (rules without
 	// flags always participate). Empty selects everything.
 	Flag string
-	// Seed makes the run deterministic.
+	// Seed makes the run deterministic: for a fixed seed the output is
+	// identical regardless of Workers.
 	Seed int64
 	// Schemas canonicalizes the produced programs.
 	Schemas thingtalk.SchemaSource
 	// MaxCommands caps the number of produced examples (0 = no cap).
 	MaxCommands int
+	// Workers is the number of sampling goroutines per depth wave
+	// (0 = GOMAXPROCS, 1 = fully sequential). The sampled examples do not
+	// depend on the worker count.
+	Workers int
 }
 
 // DefaultConfig is a small-scale configuration suitable for tests.
@@ -56,8 +76,34 @@ func (e *Example) Sentence() string { return strings.Join(e.Words, " ") }
 // complete commands.
 func Synthesize(g *nltemplate.Grammar, cfg Config) []Example {
 	s := newSampler(g, cfg)
-	s.run()
-	return s.commands
+	var out []Example
+	s.run(nil, func(e Example) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// SynthesizeStream runs the sampler concurrently and emits complete commands
+// on a bounded channel as each depth wave finishes. The channel is closed
+// when synthesis completes, the context is cancelled, or MaxCommands is
+// reached. For a fixed seed the stream carries exactly the examples
+// Synthesize returns, in the same order, for any Workers setting.
+func SynthesizeStream(ctx context.Context, g *nltemplate.Grammar, cfg Config) <-chan Example {
+	out := make(chan Example, streamBuffer)
+	go func() {
+		defer close(out)
+		s := newSampler(g, cfg)
+		s.run(ctx, func(e Example) bool {
+			select {
+			case out <- e:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		})
+	}()
+	return out
 }
 
 // SynthesizeCategory runs the sampler and returns the raw derivations of an
@@ -65,224 +111,8 @@ func Synthesize(g *nltemplate.Grammar, cfg Config) []Example {
 // use it to collect values that are not ThingTalk programs.
 func SynthesizeCategory(g *nltemplate.Grammar, cfg Config, category string) []*nltemplate.Derivation {
 	s := newSampler(g, cfg)
-	s.run()
+	s.run(nil, nil)
 	return s.pools[category]
-}
-
-type sampler struct {
-	g   *nltemplate.Grammar
-	cfg Config
-	rng *rand.Rand
-
-	pools map[string][]*nltemplate.Derivation
-	seen  map[string]map[string]bool
-	// rulesByCat lists the eligible rules per category in deterministic
-	// order.
-	rulesByCat map[string][]*nltemplate.Rule
-	cats       []string
-
-	slotCounter int
-	commands    []Example
-}
-
-func newSampler(g *nltemplate.Grammar, cfg Config) *sampler {
-	if cfg.TargetPerRule <= 0 {
-		cfg.TargetPerRule = DefaultConfig.TargetPerRule
-	}
-	if cfg.MaxDepth <= 0 {
-		cfg.MaxDepth = DefaultConfig.MaxDepth
-	}
-	s := &sampler{
-		g:          g,
-		cfg:        cfg,
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		pools:      map[string][]*nltemplate.Derivation{},
-		seen:       map[string]map[string]bool{},
-		rulesByCat: map[string][]*nltemplate.Rule{},
-	}
-	for _, cat := range g.Categories() {
-		var rules []*nltemplate.Rule
-		for _, r := range g.Rules(cat) {
-			if cfg.Flag == "" || r.HasFlag(cfg.Flag) {
-				rules = append(rules, r)
-			}
-		}
-		if len(rules) > 0 {
-			s.rulesByCat[cat] = rules
-			s.cats = append(s.cats, cat)
-		}
-	}
-	return s
-}
-
-func (s *sampler) run() {
-	for depth := 1; depth <= s.cfg.MaxDepth; depth++ {
-		for _, cat := range s.cats {
-			for _, rule := range s.rulesByCat[cat] {
-				s.sampleRule(cat, rule, depth)
-			}
-		}
-		if s.cfg.MaxCommands > 0 && len(s.commands) >= s.cfg.MaxCommands {
-			break
-		}
-	}
-}
-
-// target returns the per-rule sample budget at a depth: exponentially
-// decreasing, as in the paper.
-func (s *sampler) target(depth int) int {
-	t := s.cfg.TargetPerRule >> uint(depth-2)
-	if t < 1 {
-		t = 1
-	}
-	return t
-}
-
-// sampleRule draws derivations for one rule whose result lands at the given
-// depth (i.e. whose deepest child has depth-1).
-func (s *sampler) sampleRule(cat string, rule *nltemplate.Rule, depth int) {
-	nts := rule.NonTerminals()
-	// Split non-terminals into generators (constants, always depth 1) and
-	// pool references.
-	poolCats := make([]string, 0, len(nts))
-	for _, i := range nts {
-		ntCat := rule.RHS[i].NonTerm
-		if _, isConst := nltemplate.IsConstCategory(ntCat); !isConst {
-			poolCats = append(poolCats, ntCat)
-		}
-	}
-	if len(poolCats) == 0 {
-		// Leaf rule: exactly one shape; derives at depth 1 only.
-		if depth != 1 {
-			return
-		}
-		s.derive(cat, rule, depth, 1)
-		return
-	}
-	if depth == 1 {
-		return // rules with children cannot land at depth 1
-	}
-	// All referenced pools must be non-empty.
-	for _, pc := range poolCats {
-		if len(s.pools[pc]) == 0 {
-			return
-		}
-	}
-	target := s.target(depth)
-	s.derive(cat, rule, depth, target)
-}
-
-// derive makes up to target attempts*overdraw draws of children for the
-// rule, keeping successful, novel derivations.
-func (s *sampler) derive(cat string, rule *nltemplate.Rule, depth, target int) {
-	nts := rule.NonTerminals()
-	attempts := target * 4
-	kept := 0
-	for a := 0; a < attempts && kept < target; a++ {
-		children := make([]*nltemplate.Derivation, 0, len(nts))
-		maxChildDepth := 0
-		ok := true
-		for _, i := range nts {
-			ntCat := rule.RHS[i].NonTerm
-			if t, isConst := nltemplate.IsConstCategory(ntCat); isConst {
-				children = append(children, s.freshSlot(t))
-				continue
-			}
-			pool := s.pools[ntCat]
-			// Only children strictly shallower than the target depth.
-			d := s.pickShallower(pool, depth)
-			if d == nil {
-				ok = false
-				break
-			}
-			children = append(children, d)
-			if d.Depth > maxChildDepth {
-				maxChildDepth = d.Depth
-			}
-		}
-		if !ok {
-			break
-		}
-		// Novel depth requires the deepest child at depth-1 (otherwise the
-		// same derivation was already reachable at a lower depth).
-		if len(children) > 0 && containsPoolChild(rule, nts) && maxChildDepth != depth-1 {
-			continue
-		}
-		d := nltemplate.Derive(rule, children)
-		if d == nil {
-			continue
-		}
-		if s.keep(cat, rule, d) {
-			kept++
-		}
-	}
-}
-
-func containsPoolChild(rule *nltemplate.Rule, nts []int) bool {
-	for _, i := range nts {
-		if _, isConst := nltemplate.IsConstCategory(rule.RHS[i].NonTerm); !isConst {
-			return true
-		}
-	}
-	return false
-}
-
-// pickShallower draws a uniform random pool element of depth < depth.
-func (s *sampler) pickShallower(pool []*nltemplate.Derivation, depth int) *nltemplate.Derivation {
-	// Pools are appended in depth order, so all eligible elements form a
-	// prefix; find its length with a linear scan from the end of the
-	// eligible region (pools per depth are contiguous).
-	hi := len(pool)
-	for hi > 0 && pool[hi-1].Depth >= depth {
-		hi--
-	}
-	if hi == 0 {
-		return nil
-	}
-	return pool[s.rng.Intn(hi)]
-}
-
-// freshSlot mints a new typed constant slot derivation.
-func (s *sampler) freshSlot(t thingtalk.Type) *nltemplate.Derivation {
-	s.slotCounter++
-	v := thingtalk.SlotValue(t, s.slotCounter)
-	return &nltemplate.Derivation{
-		Words: v.Tokens(),
-		Value: v,
-		Depth: 1,
-	}
-}
-
-// keep deduplicates and stores a derivation; command derivations are also
-// canonicalized and collected as output examples.
-func (s *sampler) keep(cat string, rule *nltemplate.Rule, d *nltemplate.Derivation) bool {
-	key := d.Sentence() + " ||| " + valueKey(d.Value)
-	byCat := s.seen[cat]
-	if byCat == nil {
-		byCat = map[string]bool{}
-		s.seen[cat] = byCat
-	}
-	if byCat[key] {
-		return false
-	}
-	byCat[key] = true
-	s.pools[cat] = append(s.pools[cat], d)
-	if cat == nltemplate.CatCommand {
-		prog, ok := d.Value.(*thingtalk.Program)
-		if !ok {
-			return false
-		}
-		if s.cfg.Schemas != nil {
-			prog = thingtalk.Canonicalize(prog, s.cfg.Schemas)
-		}
-		s.commands = append(s.commands, Example{
-			Words:   d.Words,
-			Program: prog,
-			Depth:   d.Depth,
-			Rule:    rule.Name,
-		})
-	}
-	return true
 }
 
 // valueKey renders a derivation value for deduplication.

@@ -1,8 +1,11 @@
 package synthesis
 
 import (
+	"context"
+	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/nltemplate"
 	"repro/internal/thingpedia"
@@ -157,6 +160,101 @@ func TestAggregateSynthesis(t *testing.T) {
 	}
 	if aggs == 0 {
 		t.Error("no aggregation commands synthesized")
+	}
+}
+
+func exampleKeys(examples []Example) []string {
+	out := make([]string, len(examples))
+	for i := range examples {
+		out[i] = examples[i].Sentence() + " ||| " + examples[i].Program.String()
+	}
+	return out
+}
+
+// TestSynthesizeWorkersDeterministic asserts that sequential and parallel
+// sampling produce the same example multiset (in fact the same sequence) for
+// a fixed seed: the per-(depth, category) RNG streams and the deterministic
+// merge make output independent of the worker count.
+func TestSynthesizeWorkersDeterministic(t *testing.T) {
+	g, lib := buildGrammar(t, nltemplate.DefaultOptions)
+	seq := Synthesize(g, Config{TargetPerRule: 24, MaxDepth: 4, Seed: 11, Schemas: lib, Workers: 1})
+	par := Synthesize(g, Config{TargetPerRule: 24, MaxDepth: 4, Seed: 11, Schemas: lib, Workers: 4})
+	if len(seq) == 0 {
+		t.Fatal("empty synthesis")
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("worker count changed output size: workers=1 %d vs workers=4 %d", len(seq), len(par))
+	}
+	a, b := exampleKeys(seq), exampleKeys(par)
+	// Multiset equality (the contract)...
+	as, bs := append([]string(nil), a...), append([]string(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			t.Fatalf("multiset mismatch at %d:\n workers=1: %s\n workers=4: %s", i, as[i], bs[i])
+		}
+	}
+	// ...and the stronger sequence equality the merge guarantees.
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("order mismatch at %d:\n workers=1: %s\n workers=4: %s", i, a[i], b[i])
+			break
+		}
+	}
+}
+
+// TestSynthesizeStreamMatchesSlice asserts the streaming API carries exactly
+// the examples the slice API returns, in order.
+func TestSynthesizeStreamMatchesSlice(t *testing.T) {
+	g, lib := buildGrammar(t, nltemplate.DefaultOptions)
+	cfg := Config{TargetPerRule: 20, MaxDepth: 4, Seed: 4, Schemas: lib, Workers: 3}
+	want := Synthesize(g, cfg)
+	var got []Example
+	for e := range SynthesizeStream(context.Background(), g, cfg) {
+		got = append(got, e)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream size %d != slice size %d", len(got), len(want))
+	}
+	a, b := exampleKeys(want), exampleKeys(got)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stream example %d differs:\n slice:  %s\n stream: %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSynthesizeStreamCancellation asserts that cancelling the context stops
+// the stream: the channel closes without delivering the full set.
+func TestSynthesizeStreamCancellation(t *testing.T) {
+	g, lib := buildGrammar(t, nltemplate.DefaultOptions)
+	cfg := Config{TargetPerRule: 64, MaxDepth: 5, Seed: 1, Schemas: lib}
+	full := Synthesize(g, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := SynthesizeStream(ctx, g, cfg)
+	got := 0
+	for range 5 {
+		if _, ok := <-ch; !ok {
+			t.Fatal("stream closed before cancellation")
+		}
+		got++
+	}
+	cancel()
+	timeout := time.After(10 * time.Second)
+	for {
+		select {
+		case _, ok := <-ch:
+			if !ok {
+				if got >= len(full) {
+					t.Fatalf("cancellation delivered the full set (%d examples)", got)
+				}
+				return
+			}
+			got++
+		case <-timeout:
+			t.Fatal("stream did not close after cancellation")
+		}
 	}
 }
 
