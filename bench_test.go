@@ -170,16 +170,43 @@ func BenchmarkTypecheckAndCanonicalize(b *testing.B) {
 	}
 }
 
-func BenchmarkTrainingStep(b *testing.B) {
-	pairs := []model.Pair{{
+// benchTrainCfg is the shared config of the two training benchmarks below.
+var benchTrainCfg = model.Config{EmbedDim: 32, HiddenDim: 48, LR: 1e-3, Epochs: 1,
+	EvalEvery: 1 << 30, PointerGen: true, MaxDecodeLen: 16, MinVocabCount: 1, Seed: 1}
+
+func benchTrainPair() model.Pair {
+	return model.Pair{
 		Src: []string{"post", "hello", "world", "on", "twitter"},
 		Tgt: []string{"now", "=>", "@com.twitter.post", "param:status", "=", `"`, "hello", "world", `"`},
-	}}
-	cfg := model.Config{EmbedDim: 32, HiddenDim: 48, LR: 1e-3, Epochs: 1,
-		EvalEvery: 1 << 30, PointerGen: true, MaxDecodeLen: 16, MinVocabCount: 1, Seed: 1}
+	}
+}
+
+// BenchmarkTrainingStep measures the steady-state pointer-generator training
+// step: vocabularies, parser, graph and arena are built once, then each
+// iteration is one forward/backward/Adam update. With the typed tape and
+// tensor arena this is (near) allocation-free; the pre-arena substrate
+// allocated two slices plus a closure for every op of every token.
+func BenchmarkTrainingStep(b *testing.B) {
+	pair := benchTrainPair()
+	tr := model.NewTrainer([]model.Pair{pair}, nil, benchTrainCfg)
+	tr.Step(&pair) // warm the arena, tape and scratch buffers
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		model.Train(pairs, nil, nil, cfg)
+		tr.Step(&pair)
+	}
+}
+
+// BenchmarkTrainModel measures a whole model.Train call on one pair (vocab
+// build, parser init, one epoch) — the shape of the pre-PR
+// BenchmarkTrainingStep, kept for apples-to-apples comparison with the
+// numbers recorded in EXPERIMENTS.md.
+func BenchmarkTrainModel(b *testing.B) {
+	pairs := []model.Pair{benchTrainPair()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Train(pairs, nil, nil, benchTrainCfg)
 	}
 }
 
@@ -237,6 +264,45 @@ func BenchmarkSynthesizePipeline(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkFig8Workers measures the parallel experiment harness end to end:
+// the Fig8 strategy comparison (6 independent training runs at a reduced
+// scale) at Workers=1 vs Workers=NumCPU. The result rows are bit-identical
+// across worker counts — TestFig8ParallelDeterminism asserts it — so the
+// ratio of the two legs is the training harness's parallel speedup on this
+// machine.
+func BenchmarkFig8Workers(b *testing.B) {
+	scale := genie.Unit
+	scale.SynthTarget = 12
+	scale.MaxDepth = 3
+	scale.ParaphraseMax = 80
+	scale.TrainCap = 150
+	scale.EvalN = 20
+	scale.Seeds = []int64{1, 2}
+	scale.Model = model.Config{
+		EmbedDim: 16, HiddenDim: 24, LR: 5e-3, Epochs: 1,
+		EvalEvery: 1 << 30, PointerGen: true, PretrainLM: false,
+		MaxDecodeLen: 24, MinVocabCount: 3,
+	}
+	workersList := []int{1}
+	if n := goruntime.NumCPU(); n > 1 {
+		workersList = append(workersList, n)
+	} else {
+		fmt.Println("single-CPU runner: skipping the workers=NumCPU leg (no speedup measurable)")
+	}
+	for _, workers := range workersList {
+		scale.Workers = workers
+		sc := scale
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := experiments.Fig8(sc, 1)
+				if len(res.Cells) == 0 {
+					b.Fatal("empty Fig8 result")
+				}
+			}
+		})
 	}
 }
 

@@ -5,6 +5,7 @@
 //	genie synthesize [-scale unit|small|full] [-n 10]
 //	genie pipeline [-scale unit|small|full] [-n 20] [-workers N]
 //	genie experiment fig7|fig8|table3|fig9|stats|errors|limitation|ifttt [-scale ...] [-seed N]
+//	    [-workers N] [-cpuprofile cpu.out] [-memprofile mem.out]
 //	genie experiment all [-scale ...]
 //
 // synthesize materializes the synthesized set and prints samples; pipeline
@@ -18,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	goruntime "runtime"
+	"runtime/pprof"
 
 	"repro/internal/dataset"
 	"repro/internal/experiments"
@@ -46,7 +49,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: genie synthesize|pipeline|experiment [args]")
 	fmt.Fprintln(os.Stderr, "  genie synthesize -scale unit -n 10")
 	fmt.Fprintln(os.Stderr, "  genie pipeline -scale unit -n 20 -workers 0   (0 = all CPUs)")
-	fmt.Fprintln(os.Stderr, "  genie experiment fig7|fig8|table3|fig9|stats|errors|limitation|ifttt|all -scale unit -seed 1")
+	fmt.Fprintln(os.Stderr, "  genie experiment fig7|fig8|table3|fig9|stats|errors|limitation|ifttt|all -scale unit -seed 1 \\")
+	fmt.Fprintln(os.Stderr, "       [-workers 0] [-cpuprofile cpu.out] [-memprofile mem.out]")
 	os.Exit(2)
 }
 
@@ -112,8 +116,40 @@ func cmdExperiment(args []string) {
 	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
 	scaleName := scaleFlag(fs)
 	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "concurrent training runs (0 = all CPUs); results are identical for any value")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Parse(args[1:])
 	scale := resolveScale(*scaleName)
+	scale.Workers = *workers
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "genie: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "genie: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "genie: %v\n", err)
+				return
+			}
+			defer f.Close()
+			goruntime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "genie: %v\n", err)
+			}
+		}()
+	}
 
 	run := func(name string) {
 		switch name {

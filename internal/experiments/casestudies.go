@@ -65,33 +65,49 @@ func fig9Aggregates(scale genie.Scale, baseSeed int64) Fig9Row {
 
 func runStrategyPair(name string, scale genie.Scale, d *genie.Data, testSet []dataset.Example) Fig9Row {
 	row := Fig9Row{Case: name}
+	// Each (seed, strategy) training run is independent; fan out over
+	// scale.Workers and merge in job order.
+	strategies := []genie.Strategy{genie.StrategyBaseline, genie.StrategyGenie}
+	accs := make([]float64, 2*len(scale.Seeds))
+	runJobs(scale.Workers, len(accs), func(i int) {
+		seed := scale.Seeds[i/2]
+		p := d.Train(genie.TrainOptions{Strategy: strategies[i%2], Topt: genie.CanonicalTargets, Model: scale.Model, Seed: seed})
+		accs[i] = d.Evaluate(p, testSet).ProgramAccuracy()
+	})
 	var base, gen []float64
-	for _, seed := range scale.Seeds {
-		pb := d.Train(genie.TrainOptions{Strategy: genie.StrategyBaseline, Topt: genie.CanonicalTargets, Model: scale.Model, Seed: seed})
-		base = append(base, d.Evaluate(pb, testSet).ProgramAccuracy())
-		pg := d.Train(genie.TrainOptions{Strategy: genie.StrategyGenie, Topt: genie.CanonicalTargets, Model: scale.Model, Seed: seed})
-		gen = append(gen, d.Evaluate(pg, testSet).ProgramAccuracy())
+	for si := range scale.Seeds {
+		base = append(base, accs[2*si])
+		gen = append(gen, accs[2*si+1])
 	}
 	row.Baseline.Mean, row.Baseline.HalfRange = eval.MeanRange(base)
 	row.Genie.Mean, row.Genie.HalfRange = eval.MeanRange(gen)
 	return row
 }
 
-// fig9TACL: the access-control language of Section 6.2.
+// fig9TACL: the access-control language of Section 6.2. The dataset depends
+// only on baseSeed, so it is built once; the per-(seed, variant) training
+// runs fan out like runStrategyPair's.
 func fig9TACL(scale genie.Scale, baseSeed int64) Fig9Row {
 	lib := thingpedia.Builtin()
 	row := Fig9Row{Case: "TACL"}
-	var base, gen []float64
-	for _, seed := range scale.Seeds {
-		d := tacl.Build(lib, scale.SynthTarget, 3, scale.ParaphraseMax, 3, baseSeed)
+	d := tacl.Build(lib, scale.SynthTarget, 3, scale.ParaphraseMax, 3, baseSeed)
+	accs := make([]float64, 2*len(scale.Seeds))
+	runJobs(scale.Workers, len(accs), func(i int) {
 		mcfg := scale.Model
-		mcfg.Seed = seed
-		// Baseline: paraphrases only, single instantiation.
-		pb := trainTACL(d.TrainBase, d.ParaTest, mcfg)
-		base = append(base, tacl.Evaluate(pb, d.Cheatsheet, lib))
-		// Genie: synthesized + expanded paraphrases.
-		pg := trainTACL(d.Train, d.ParaTest, mcfg)
-		gen = append(gen, tacl.Evaluate(pg, d.Cheatsheet, lib))
+		mcfg.Seed = scale.Seeds[i/2]
+		// Even jobs: baseline (paraphrases only, single instantiation);
+		// odd jobs: Genie (synthesized + expanded paraphrases).
+		train := d.TrainBase
+		if i%2 == 1 {
+			train = d.Train
+		}
+		p := trainTACL(train, d.ParaTest, mcfg)
+		accs[i] = tacl.Evaluate(p, d.Cheatsheet, lib)
+	})
+	var base, gen []float64
+	for si := range scale.Seeds {
+		base = append(base, accs[2*si])
+		gen = append(gen, accs[2*si+1])
 	}
 	row.Baseline.Mean, row.Baseline.HalfRange = eval.MeanRange(base)
 	row.Genie.Mean, row.Genie.HalfRange = eval.MeanRange(gen)

@@ -56,6 +56,9 @@ type Fig8Result struct {
 }
 
 // Fig8 compares the three training strategies on the four evaluation sets.
+// The data build depends only on baseSeed, so it is built once and shared;
+// the independent (strategy, seed) training runs fan out over scale.Workers
+// and are merged in job order (bit-identical for any worker count).
 func Fig8(scale genie.Scale, baseSeed int64) Fig8Result {
 	strategies := []genie.Strategy{genie.StrategySynthesizedOnly, genie.StrategyParaphraseOnly, genie.StrategyGenie}
 	res := Fig8Result{
@@ -63,19 +66,38 @@ func Fig8(scale genie.Scale, baseSeed int64) Fig8Result {
 		Strategies: []string{"Synthesized Only", "Paraphrase Only", "Genie"},
 		Cells:      map[string]map[string]Fig8Cell{},
 	}
-	perStrategy := map[string]map[string][]float64{}
+	d := genie.BuildData(thingpedia.Builtin(), nltemplate.DefaultOptions, scale, baseSeed)
+
+	type job struct {
+		si   int
+		seed int64
+	}
+	var jobs []job
 	for _, seed := range scale.Seeds {
-		d := genie.BuildData(thingpedia.Builtin(), nltemplate.DefaultOptions, scale, baseSeed)
-		for si, s := range strategies {
-			p := d.Train(genie.TrainOptions{Strategy: s, Topt: genie.CanonicalTargets, Model: scale.Model, Seed: seed})
-			name := res.Strategies[si]
-			if perStrategy[name] == nil {
-				perStrategy[name] = map[string][]float64{}
-			}
-			perStrategy[name]["Paraphrase"] = append(perStrategy[name]["Paraphrase"], d.Evaluate(p, d.ParaTest).ProgramAccuracy())
-			perStrategy[name]["Validation"] = append(perStrategy[name]["Validation"], d.Evaluate(p, d.Validation).ProgramAccuracy())
-			perStrategy[name]["Cheatsheet"] = append(perStrategy[name]["Cheatsheet"], d.Evaluate(p, d.Cheatsheet).ProgramAccuracy())
-			perStrategy[name]["IFTTT"] = append(perStrategy[name]["IFTTT"], d.Evaluate(p, d.IFTTT).ProgramAccuracy())
+		for si := range strategies {
+			jobs = append(jobs, job{si: si, seed: seed})
+		}
+	}
+	accs := make([][4]float64, len(jobs))
+	runJobs(scale.Workers, len(jobs), func(i int) {
+		j := jobs[i]
+		p := d.Train(genie.TrainOptions{Strategy: strategies[j.si], Topt: genie.CanonicalTargets, Model: scale.Model, Seed: j.seed})
+		accs[i] = [4]float64{
+			d.Evaluate(p, d.ParaTest).ProgramAccuracy(),
+			d.Evaluate(p, d.Validation).ProgramAccuracy(),
+			d.Evaluate(p, d.Cheatsheet).ProgramAccuracy(),
+			d.Evaluate(p, d.IFTTT).ProgramAccuracy(),
+		}
+	})
+
+	perStrategy := map[string]map[string][]float64{}
+	for i, j := range jobs {
+		name := res.Strategies[j.si]
+		if perStrategy[name] == nil {
+			perStrategy[name] = map[string][]float64{}
+		}
+		for k, set := range res.Sets {
+			perStrategy[name][set] = append(perStrategy[name][set], accs[i][k])
 		}
 	}
 	for name, sets := range perStrategy {
@@ -134,27 +156,41 @@ func Table3(scale genie.Scale, baseSeed int64) Table3Result {
 		{name: "- param. expansion", topt: genie.CanonicalTargets, noParam: true},
 		{name: "- decoder LM", topt: genie.CanonicalTargets, noLM: true},
 	}
+	// The (ablation, seed) training runs are independent: fan them out over
+	// scale.Workers and merge in job order.
+	nSeeds := len(scale.Seeds)
+	accs := make([][3]float64, len(cfgs)*nSeeds)
+	runJobs(scale.Workers, len(accs), func(i int) {
+		c := cfgs[i/nSeeds]
+		seed := scale.Seeds[i%nSeeds]
+		dd := d
+		if c.noParam {
+			copyD := *d
+			copyD.Scale.Factors.ParaphraseWithString = 1
+			copyD.Scale.Factors.Paraphrase = 1
+			copyD.Scale.Factors.SynthesizedPrimitive = 1
+			copyD.Scale.Factors.Synthesized = 1
+			dd = &copyD
+		}
+		mcfg := scale.Model
+		if c.noLM {
+			mcfg.PretrainLM = false
+		}
+		p := dd.Train(genie.TrainOptions{Strategy: genie.StrategyGenie, Topt: c.topt, Model: mcfg, Seed: seed})
+		accs[i] = [3]float64{
+			dd.Evaluate(p, dd.ParaTest).ProgramAccuracy(),
+			dd.Evaluate(p, dd.Validation).ProgramAccuracy(),
+			dd.Evaluate(p, dd.NewProgramSubset()).ProgramAccuracy(),
+		}
+	})
 	var rows []Table3Row
-	for _, c := range cfgs {
+	for ci, c := range cfgs {
 		var para, val, newp []float64
-		for _, seed := range scale.Seeds {
-			dd := d
-			if c.noParam {
-				copyD := *d
-				copyD.Scale.Factors.ParaphraseWithString = 1
-				copyD.Scale.Factors.Paraphrase = 1
-				copyD.Scale.Factors.SynthesizedPrimitive = 1
-				copyD.Scale.Factors.Synthesized = 1
-				dd = &copyD
-			}
-			mcfg := scale.Model
-			if c.noLM {
-				mcfg.PretrainLM = false
-			}
-			p := dd.Train(genie.TrainOptions{Strategy: genie.StrategyGenie, Topt: c.topt, Model: mcfg, Seed: seed})
-			para = append(para, dd.Evaluate(p, dd.ParaTest).ProgramAccuracy())
-			val = append(val, dd.Evaluate(p, dd.Validation).ProgramAccuracy())
-			newp = append(newp, dd.Evaluate(p, dd.NewProgramSubset()).ProgramAccuracy())
+		for si := range scale.Seeds {
+			a := accs[ci*nSeeds+si]
+			para = append(para, a[0])
+			val = append(val, a[1])
+			newp = append(newp, a[2])
 		}
 		row := Table3Row{Name: c.name}
 		row.Paraphrase.Mean, row.Paraphrase.HalfRange = eval.MeanRange(para)

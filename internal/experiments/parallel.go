@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// runJobs executes n independent jobs over a bounded worker pool; workers<=0
+// means GOMAXPROCS (the same contract as synthesis.Config.Workers). Each job
+// writes only to its own index of a pre-sized result slice and draws all
+// randomness from its own explicitly seeded source, so results are merged in
+// job order and the output is bit-identical for any worker count — the same
+// determinism contract the synthesis pipeline established.
+func runJobs(workers, n int, job func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/genie"
+	"repro/internal/model"
+)
+
+// tinyScale is a deliberately small preset: big enough that every pipeline
+// stage produces data, small enough that training a model takes well under a
+// second even with -race.
+func tinyScale(workers int) genie.Scale {
+	s := genie.Unit
+	s.SynthTarget = 12
+	s.MaxDepth = 3
+	s.ParaphraseMax = 80
+	s.TrainCap = 150
+	s.EvalN = 20
+	s.Seeds = []int64{1, 2}
+	s.Workers = workers
+	s.Model = model.Config{
+		EmbedDim: 16, HiddenDim: 24, LR: 5e-3, Epochs: 1,
+		EvalEvery: 1 << 30, PointerGen: true, PretrainLM: false,
+		MaxDecodeLen: 24, MinVocabCount: 3,
+	}
+	return s
+}
+
+// TestFig8ParallelDeterminism asserts the parallel-training determinism
+// contract: the Fig8 harness produces bit-identical results for Workers=1
+// and Workers=4 (run with -race in CI to also catch data races in the shared
+// genie.Data).
+func TestFig8ParallelDeterminism(t *testing.T) {
+	seq := Fig8(tinyScale(1), 1)
+	par := Fig8(tinyScale(4), 1)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("Fig8 differs between Workers=1 and Workers=4:\nseq: %+v\npar: %+v", seq.Cells, par.Cells)
+	}
+}
+
+// TestTable3ParallelDeterminism covers the Table3 merge arithmetic
+// (ci*nSeeds+si) the same way.
+func TestTable3ParallelDeterminism(t *testing.T) {
+	seq := Table3(tinyScale(1), 1)
+	par := Table3(tinyScale(4), 1)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("Table3 differs between Workers=1 and Workers=4:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestFig9TACLParallelDeterminism covers the even-baseline/odd-genie job
+// interleave shared by fig9TACL and runStrategyPair.
+func TestFig9TACLParallelDeterminism(t *testing.T) {
+	seq := fig9TACL(tinyScale(1), 1)
+	par := fig9TACL(tinyScale(4), 1)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("fig9TACL differs between Workers=1 and Workers=4:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestRunJobsCoversAllIndicesOnce checks the pool's scheduling invariants
+// directly: every job index runs exactly once at any worker count.
+func TestRunJobsCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		const n = 37
+		var counts [n]atomic.Int32
+		runJobs(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}

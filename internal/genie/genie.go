@@ -36,6 +36,12 @@ type Scale struct {
 	HeldOutFrac   float64
 	Model         model.Config
 	Seeds         []int64
+	// Workers bounds the experiment harness's concurrent training runs: the
+	// independent (strategy, seed) jobs of Fig8/Table3/Fig9 fan out over a
+	// pool of this size (0 = GOMAXPROCS, mirroring synthesis.Config.Workers).
+	// Results are merged in job order, so output is bit-identical for any
+	// worker count.
+	Workers int
 }
 
 // Unit is the test-suite scale: seconds per trained model.

@@ -80,7 +80,32 @@ type Parser struct {
 	outLin  *nn.Linear // h-tilde -> target vocab
 	gateLin *nn.Linear // h-tilde -> pointer/generator gate
 
-	rng *rand.Rand
+	rng  *rand.Rand
+	scr  scratch
+	valG *nn.Graph // lazily built inference graph reused across valLoss calls
+}
+
+// scratch holds per-step buffers reused across training steps so that a
+// steady-state step performs no slice allocation. A Parser is therefore not
+// safe for concurrent training or decoding; the parallel experiment harness
+// gives each job its own Parser.
+type scratch struct {
+	srcIds  []int
+	embs    []*nn.Tensor
+	fhs     []*nn.Tensor
+	bhs     []*nn.Tensor
+	rows    []*nn.Tensor
+	target  []string
+	maskBuf []bool
+}
+
+// grow returns a length-n tensor slice backed by *buf, growing it as needed.
+func grow(buf *[]*nn.Tensor, n int) []*nn.Tensor {
+	if cap(*buf) < n {
+		*buf = make([]*nn.Tensor, n, n+n/2)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 func newParser(cfg Config, src, tgt *Vocab) *Parser {
@@ -128,26 +153,29 @@ func (p *Parser) decParams() []*nn.Tensor {
 }
 
 // encode runs the bidirectional encoder, returning the memory matrix
-// (len×2h) and the concatenated final states (1×2h).
+// (len×2h) and the concatenated final states (1×2h). The per-position
+// tensor slices come from the parser's scratch and are valid until the next
+// encode call (the graph's tape only retains the rows slice until
+// Backward/Reset, which always precedes the next step).
 func (p *Parser) encode(g *nn.Graph, srcIds []int) (H *nn.Tensor, final *nn.Tensor) {
 	n := len(srcIds)
-	embs := make([]*nn.Tensor, n)
+	embs := grow(&p.scr.embs, n)
 	for i, id := range srcIds {
 		embs[i] = g.Dropout(p.encEmb.Lookup(g, id), p.cfg.Dropout, p.rng)
 	}
-	fh, fc := p.fwd.InitState()
-	fhs := make([]*nn.Tensor, n)
+	fh, fc := p.fwd.ZeroState(g)
+	fhs := grow(&p.scr.fhs, n)
 	for i := 0; i < n; i++ {
 		fh, fc = p.fwd.Step(g, embs[i], fh, fc)
 		fhs[i] = fh
 	}
-	bh, bc := p.bwd.InitState()
-	bhs := make([]*nn.Tensor, n)
+	bh, bc := p.bwd.ZeroState(g)
+	bhs := grow(&p.scr.bhs, n)
 	for i := n - 1; i >= 0; i-- {
 		bh, bc = p.bwd.Step(g, embs[i], bh, bc)
 		bhs[i] = bh
 	}
-	rows := make([]*nn.Tensor, n)
+	rows := grow(&p.scr.rows, n)
 	for i := 0; i < n; i++ {
 		rows[i] = g.ConcatRow(fhs[i], bhs[i])
 	}
@@ -164,8 +192,8 @@ type decodeState struct {
 
 func (p *Parser) initDecode(g *nn.Graph, final *nn.Tensor) decodeState {
 	h := g.Tanh(p.initLin.Apply(g, final))
-	_, c := p.dec.InitState()
-	ctx := nn.NewTensor(1, 2*p.cfg.HiddenDim)
+	_, c := p.dec.ZeroState(g)
+	ctx := g.NewTensor(1, 2*p.cfg.HiddenDim)
 	return decodeState{h: h, c: c, ctx: ctx}
 }
 
@@ -177,9 +205,8 @@ func (p *Parser) step(g *nn.Graph, st decodeState, prev int, H *nn.Tensor) (pv, 
 	x := g.ConcatRow(emb, st.ctx)
 	h, c := p.dec.Step(g, x, st.h, st.c)
 	q := p.attnLin.Apply(g, h)
-	scores := g.AttendDot(q, H)
-	alpha = g.SoftmaxRow(scores)
-	ctx := g.WeightedSumRows(alpha, H)
+	var ctx *nn.Tensor
+	alpha, ctx = g.AttendSoftmaxContext(q, H)
 	htilde := g.Tanh(p.combLin.Apply(g, g.ConcatRow(h, ctx)))
 	htilde = g.Dropout(htilde, p.cfg.Dropout, p.rng)
 	pv = g.SoftmaxRow(p.outLin.Apply(g, htilde))
@@ -187,14 +214,22 @@ func (p *Parser) step(g *nn.Graph, st decodeState, prev int, H *nn.Tensor) (pv, 
 	return pv, alpha, gate, decodeState{h: h, c: c, ctx: ctx}
 }
 
-// loss computes the teacher-forced loss of one pair.
+// loss computes the teacher-forced loss of one pair. All per-step slices
+// (source ids, target tokens, per-token copy masks) come from the parser's
+// scratch so a steady-state training step allocates nothing.
 func (p *Parser) loss(g *nn.Graph, pair *Pair) float64 {
-	srcIds := p.src.Encode(pair.Src)
-	H, final := p.encode(g, srcIds)
+	p.scr.srcIds = p.src.EncodeInto(p.scr.srcIds[:0], pair.Src)
+	H, final := p.encode(g, p.scr.srcIds)
 	st := p.initDecode(g, final)
 	prev := BosID
 	total := 0.0
-	target := append(append([]string(nil), pair.Tgt...), EosToken)
+	target := append(p.scr.target[:0], pair.Tgt...)
+	target = append(target, EosToken)
+	p.scr.target = target
+	// maskBuf backs one copy mask per target token; the tape retains each
+	// sub-slice until Backward, so they share one growing buffer rather than
+	// one allocation per token.
+	mb := p.scr.maskBuf[:0]
 	for _, tok := range target {
 		pv, alpha, gate, next := p.step(g, st, prev, H)
 		vocabIdx := -1
@@ -202,28 +237,30 @@ func (p *Parser) loss(g *nn.Graph, pair *Pair) float64 {
 			vocabIdx = p.tgt.ID(tok)
 		}
 		if p.cfg.PointerGen {
-			mask := make([]bool, len(pair.Src))
-			for i, s := range pair.Src {
-				mask[i] = s == tok
+			start := len(mb)
+			for _, s := range pair.Src {
+				mb = append(mb, s == tok)
 			}
+			mask := mb[start:len(mb):len(mb)]
 			total += g.NLLPointerMix(pv, alpha, gate, mask, vocabIdx)
 		} else {
 			idx := vocabIdx
 			if idx < 0 {
 				idx = UnkID
 			}
-			total += g.NLLPointerMix(pv, alpha, onesGate(), nil, idx)
+			total += g.NLLPointerMix(pv, alpha, onesGate(g), nil, idx)
 		}
 		st = next
 		prev = p.tgt.ID(tok)
 	}
+	p.scr.maskBuf = mb
 	return total / float64(len(target))
 }
 
 // onesGate returns a constant gate of 1 (pure generation); it has no
-// gradient path, which is exactly the -pointer ablation.
-func onesGate() *nn.Tensor {
-	t := nn.NewTensor(1, 1)
+// parameter behind it, which is exactly the -pointer ablation.
+func onesGate(g *nn.Graph) *nn.Tensor {
+	t := g.NewTensor(1, 1)
 	t.W[0] = 1
 	return t
 }

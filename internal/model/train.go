@@ -10,6 +10,17 @@ import (
 // model on lmPrograms (synthesized program token sequences), then trains the
 // parser with teacher forcing, Adam, and early stopping on validation loss.
 func Train(train, val []Pair, lmPrograms [][]string, cfg Config) *Parser {
+	p := buildParser(train, lmPrograms, cfg)
+	if p.cfg.PretrainLM && len(lmPrograms) > 0 {
+		p.pretrainLM(lmPrograms)
+	}
+	p.fit(train, val)
+	return p
+}
+
+// buildParser constructs the vocabularies and an untrained parser (shared by
+// Train and NewTrainer).
+func buildParser(train []Pair, lmPrograms [][]string, cfg Config) *Parser {
 	if cfg.EmbedDim == 0 {
 		cfg = mergeDefaults(cfg)
 	}
@@ -24,13 +35,7 @@ func Train(train, val []Pair, lmPrograms [][]string, cfg Config) *Parser {
 	tgtSeqs = append(tgtSeqs, lmPrograms...)
 	src := BuildVocab(srcSeqs, 1)
 	tgt := BuildVocab(tgtSeqs, cfg.MinVocabCount)
-	p := newParser(cfg, src, tgt)
-
-	if cfg.PretrainLM && len(lmPrograms) > 0 {
-		p.pretrainLM(lmPrograms)
-	}
-	p.fit(train, val)
-	return p
+	return newParser(cfg, src, tgt)
 }
 
 func mergeDefaults(cfg Config) Config {
@@ -38,6 +43,42 @@ func mergeDefaults(cfg Config) Config {
 	d.Seed = cfg.Seed
 	return d
 }
+
+// Trainer exposes single-step teacher-forced training over a persistent
+// arena graph: benchmarks and profiling drive Step directly to measure the
+// steady state (near-zero allocations once the arena and scratch buffers are
+// warm). It performs no shuffling, evaluation or early stopping — that
+// orchestration stays in Train.
+type Trainer struct {
+	p      *Parser
+	g      *nn.Graph
+	opt    *nn.Adam
+	params []*nn.Tensor
+}
+
+// NewTrainer builds the vocabularies and an untrained parser ready for
+// stepwise training.
+func NewTrainer(train []Pair, lmPrograms [][]string, cfg Config) *Trainer {
+	p := buildParser(train, lmPrograms, cfg)
+	return &Trainer{
+		p:      p,
+		g:      nn.NewGraphArena(true, nn.NewArena()),
+		opt:    nn.NewAdam(p.cfg.LR),
+		params: p.Params(),
+	}
+}
+
+// Step runs one forward/backward/update on the pair and returns its loss.
+func (t *Trainer) Step(pair *Pair) float64 {
+	t.g.Reset()
+	l := t.p.loss(t.g, pair)
+	t.g.Backward()
+	t.opt.Step(t.params)
+	return l
+}
+
+// Parser returns the underlying (partially trained) parser.
+func (t *Trainer) Parser() *Parser { return t.p }
 
 // pretrainLM trains the decoder as a ThingTalk language model: next-token
 // prediction over synthesized programs, with zeroed attention context. The
@@ -47,16 +88,19 @@ func (p *Parser) pretrainLM(programs [][]string) {
 	opt := nn.NewAdam(p.cfg.LR)
 	params := p.decParams()
 	rng := rand.New(rand.NewSource(p.cfg.Seed + 101))
+	g := nn.NewGraphArena(true, nn.NewArena())
 	steps := p.cfg.LMSteps
 	for s := 0; s < steps; s++ {
 		prog := programs[rng.Intn(len(programs))]
-		g := nn.NewGraph(true)
-		_, c := p.dec.InitState()
-		h := nn.NewTensor(1, p.cfg.HiddenDim)
-		ctx := nn.NewTensor(1, 2*p.cfg.HiddenDim)
+		g.Reset()
+		_, c := p.dec.ZeroState(g)
+		h := g.NewTensor(1, p.cfg.HiddenDim)
+		ctx := g.NewTensor(1, 2*p.cfg.HiddenDim)
 		st := decodeState{h: h, c: c, ctx: ctx}
 		prev := BosID
-		target := append(append([]string(nil), prog...), EosToken)
+		target := append(p.scr.target[:0], prog...)
+		target = append(target, EosToken)
+		p.scr.target = target
 		for _, tok := range target {
 			emb := p.decEmb.Lookup(g, prev)
 			x := g.ConcatRow(emb, st.ctx)
@@ -64,7 +108,7 @@ func (p *Parser) pretrainLM(programs [][]string) {
 			htilde := g.Tanh(p.combLin.Apply(g, g.ConcatRow(hh, st.ctx)))
 			pv := g.SoftmaxRow(p.outLin.Apply(g, htilde))
 			idx := p.tgt.ID(tok)
-			g.NLLPointerMix(pv, nil, onesGate(), nil, idx)
+			g.NLLPointerMix(pv, nil, onesGate(g), nil, idx)
 			st = decodeState{h: hh, c: cc, ctx: st.ctx}
 			prev = idx
 		}
@@ -73,11 +117,14 @@ func (p *Parser) pretrainLM(programs [][]string) {
 	}
 }
 
-// fit runs teacher-forced training with early stopping.
+// fit runs teacher-forced training with early stopping. All intermediate
+// tensors of a step live in one arena recycled by Reset, so the steady-state
+// step is allocation-free.
 func (p *Parser) fit(train, val []Pair) {
 	opt := nn.NewAdam(p.cfg.LR)
 	params := p.Params()
 	rng := rand.New(rand.NewSource(p.cfg.Seed + 202))
+	g := nn.NewGraphArena(true, nn.NewArena())
 
 	bestLoss := 1e18
 	var best [][]float64
@@ -107,7 +154,7 @@ func (p *Parser) fit(train, val []Pair) {
 	for epoch := 0; epoch < max(1, p.cfg.Epochs); epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		for _, idx := range order {
-			g := nn.NewGraph(true)
+			g.Reset()
 			p.loss(g, &train[idx])
 			g.Backward()
 			opt.Step(params)
@@ -156,9 +203,12 @@ func (p *Parser) valLoss(val []Pair) float64 {
 		n = 200
 	}
 	total := 0.0
+	if p.valG == nil {
+		p.valG = nn.NewGraphArena(false, nn.NewArena())
+	}
 	for i := 0; i < n; i++ {
-		g := nn.NewGraph(false)
-		total += p.loss(g, &val[i])
+		p.valG.Reset()
+		total += p.loss(p.valG, &val[i])
 	}
 	return total / float64(n)
 }

@@ -86,9 +86,14 @@ func (v *Vocab) Token(id int) string {
 
 // Encode maps a sequence to ids.
 func (v *Vocab) Encode(seq []string) []int {
-	out := make([]int, len(seq))
-	for i, tok := range seq {
-		out[i] = v.ID(tok)
+	return v.EncodeInto(make([]int, 0, len(seq)), seq)
+}
+
+// EncodeInto appends the ids of seq to dst and returns it; training loops
+// pass a reused scratch slice to avoid per-step allocation.
+func (v *Vocab) EncodeInto(dst []int, seq []string) []int {
+	for _, tok := range seq {
+		dst = append(dst, v.ID(tok))
 	}
-	return out
+	return dst
 }

@@ -1,0 +1,90 @@
+package nn
+
+// Arena is a size-bucketed freelist of intermediate tensors. A graph built
+// with NewGraphArena draws every intermediate from its arena; Graph.Reset
+// (called between training steps) returns them all to the freelist, so after
+// the first step of a given shape the steady state performs no heap
+// allocation. Cold allocations carve float buffers out of large slabs and
+// tensor structs out of chunks, so even the first step allocates far less
+// than per-tensor `make` calls.
+//
+// Lifetime rules:
+//   - Tensors obtained from an arena graph are valid only until the next
+//     Reset; never retain them across steps.
+//   - Parameters (weights the optimizer updates) must stay heap-owned — an
+//     arena must never hand out a tensor that outlives a Reset.
+//   - An Arena is not safe for concurrent use; give each training goroutine
+//     its own (the parallel experiment harness trains one model per job, so
+//     each model.Train call owns one arena).
+type Arena struct {
+	free map[int][]*Tensor // recycled tensors by element count
+	live []*Tensor         // handed out since the last Reset
+
+	structs []Tensor  // current struct chunk
+	si      int       // next free struct in the chunk
+	floats  []float64 // current float slab
+	fi      int       // next free float in the slab
+}
+
+const (
+	arenaSlabFloats  = 1 << 15 // 256 KiB of float64 per slab
+	arenaStructChunk = 256
+)
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{free: make(map[int][]*Tensor)}
+}
+
+// Get returns a zeroed rows×cols tensor, recycling one of the same size if
+// available.
+func (a *Arena) Get(rows, cols int) *Tensor {
+	n := rows * cols
+	if l := a.free[n]; len(l) > 0 {
+		t := l[len(l)-1]
+		a.free[n] = l[:len(l)-1]
+		t.Rows, t.Cols = rows, cols
+		clear(t.W)
+		clear(t.DW)
+		a.live = append(a.live, t)
+		return t
+	}
+	if a.si == len(a.structs) {
+		a.structs = make([]Tensor, arenaStructChunk)
+		a.si = 0
+	}
+	t := &a.structs[a.si]
+	a.si++
+	t.W = a.allocFloats(n)
+	t.DW = a.allocFloats(n)
+	t.Rows, t.Cols = rows, cols
+	a.live = append(a.live, t)
+	return t
+}
+
+func (a *Arena) allocFloats(n int) []float64 {
+	if a.fi+n > len(a.floats) {
+		size := arenaSlabFloats
+		if n > size {
+			size = n
+		}
+		a.floats = make([]float64, size)
+		a.fi = 0
+	}
+	s := a.floats[a.fi : a.fi+n : a.fi+n]
+	a.fi += n
+	return s
+}
+
+// Reset returns every live tensor to the freelist. All tensors handed out
+// since the previous Reset become invalid.
+func (a *Arena) Reset() {
+	for _, t := range a.live {
+		n := len(t.W)
+		a.free[n] = append(a.free[n], t)
+	}
+	a.live = a.live[:0]
+}
+
+// Live reports how many tensors are currently handed out (diagnostics).
+func (a *Arena) Live() int { return len(a.live) }

@@ -13,9 +13,10 @@ func NewLinear(in, out int, rng *rand.Rand) *Linear {
 	return &Linear{W: NewRandom(in, out, rng), B: NewTensor(1, out)}
 }
 
-// Apply computes the layer output for a 1×in input.
+// Apply computes the layer output for a 1×in input with the fused
+// AffineRow kernel (numerically identical to Add(MatMul(x, W), B)).
 func (l *Linear) Apply(g *Graph, x *Tensor) *Tensor {
-	return g.Add(g.MatMul(x, l.W), l.B)
+	return g.AffineRow(x, l.W, l.B)
 }
 
 // Params returns the trainable tensors.
@@ -46,38 +47,35 @@ func NewLSTMCell(in, hidden int, rng *rand.Rand) *LSTMCell {
 	return c
 }
 
-// Step advances the cell one timestep.
+// Step advances the cell one timestep with the fused kernel: both gate
+// matmuls, bias, activations and state update in one pass and one tape
+// record (numerically identical to the chained MatMul/Add/Sigmoid/Tanh/Mul
+// composition).
 func (l *LSTMCell) Step(g *Graph, x, h, c *Tensor) (hNext, cNext *Tensor) {
-	gates := g.Add(g.Add(g.MatMul(x, l.Wx), g.MatMul(h, l.Wh)), l.B)
-	H := l.Hidden
-	slice := func(from int) *Tensor { return g.sliceRow(gates, from*H, (from+1)*H) }
-	i := g.Sigmoid(slice(0))
-	f := g.Sigmoid(slice(1))
-	o := g.Sigmoid(slice(2))
-	cand := g.Tanh(slice(3))
-	cNext = g.Add(g.Mul(f, c), g.Mul(i, cand))
-	hNext = g.Mul(o, g.Tanh(cNext))
-	return hNext, cNext
+	return g.lstmStep(l, x, h, c)
 }
 
-// InitState returns fresh zero state tensors.
+// InitState returns fresh zero state tensors on the heap.
 func (l *LSTMCell) InitState() (h, c *Tensor) {
 	return NewTensor(1, l.Hidden), NewTensor(1, l.Hidden)
+}
+
+// ZeroState returns zero state tensors owned by the graph (arena-recycled
+// when the graph has one); preferred inside training loops.
+func (l *LSTMCell) ZeroState(g *Graph) (h, c *Tensor) {
+	return g.NewTensor(1, l.Hidden), g.NewTensor(1, l.Hidden)
 }
 
 // Params returns the trainable tensors.
 func (l *LSTMCell) Params() []*Tensor { return []*Tensor{l.Wx, l.Wh, l.B} }
 
 // sliceRow views columns [from, to) of a row vector as a new tensor sharing
-// gradients.
+// gradients (kept as the unfused building block the LSTM kernel is verified
+// against).
 func (g *Graph) sliceRow(a *Tensor, from, to int) *Tensor {
-	out := NewTensor(1, to-from)
+	out := g.NewTensor(1, to-from)
 	copy(out.W, a.W[from:to])
-	g.push(func() {
-		for i := range out.DW {
-			a.DW[from+i] += out.DW[i]
-		}
-	})
+	g.push(tapeOp{kind: opSliceRow, a: a, idx: from, idx2: to, out: out})
 	return out
 }
 

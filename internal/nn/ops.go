@@ -5,110 +5,108 @@ import (
 	"math/rand"
 )
 
-// MatMul returns a·b.
+// matMulBlock is the cache tile edge for the general (multi-row) MatMul
+// path: 64×64 float64 tiles of b fit comfortably in L1/L2 alongside the
+// corresponding rows of a and out.
+const matMulBlock = 64
+
+// MatMul returns a·b. The dominant model case — a a single row — runs a
+// tight fused accumulation over b's rows; the general matrix-matrix case is
+// blocked over (k, j) tiles for cache locality.
 func (g *Graph) MatMul(a, b *Tensor) *Tensor {
 	if a.Cols != b.Rows {
 		panic("nn: matmul shape mismatch")
 	}
-	out := NewTensor(a.Rows, b.Cols)
+	out := g.NewTensor(a.Rows, b.Cols)
 	n, m, p := a.Rows, a.Cols, b.Cols
-	for i := 0; i < n; i++ {
-		arow := a.W[i*m : (i+1)*m]
-		orow := out.W[i*p : (i+1)*p]
-		for k := 0; k < m; k++ {
-			av := arow[k]
-			if av == 0 {
-				continue
-			}
-			brow := b.W[k*p : (k+1)*p]
-			for j := 0; j < p; j++ {
-				orow[j] += av * brow[j]
+	if n == 1 {
+		rowMatMulInto(a.W, b, out.W)
+	} else {
+		for j0 := 0; j0 < p; j0 += matMulBlock {
+			j1 := min(j0+matMulBlock, p)
+			for k0 := 0; k0 < m; k0 += matMulBlock {
+				k1 := min(k0+matMulBlock, m)
+				for i := 0; i < n; i++ {
+					arow := a.W[i*m : (i+1)*m]
+					orow := out.W[i*p : (i+1)*p]
+					for k := k0; k < k1; k++ {
+						av := arow[k]
+						if av == 0 {
+							continue
+						}
+						brow := b.W[k*p : (k+1)*p]
+						for j := j0; j < j1; j++ {
+							orow[j] += av * brow[j]
+						}
+					}
+				}
 			}
 		}
 	}
-	g.push(func() {
-		for i := 0; i < n; i++ {
-			arow := a.W[i*m : (i+1)*m]
-			adrow := a.DW[i*m : (i+1)*m]
-			odrow := out.DW[i*p : (i+1)*p]
-			for k := 0; k < m; k++ {
-				brow := b.W[k*p : (k+1)*p]
-				bdrow := b.DW[k*p : (k+1)*p]
-				var acc float64
-				av := arow[k]
-				for j := 0; j < p; j++ {
-					od := odrow[j]
-					acc += od * brow[j]
-					bdrow[j] += od * av
-				}
-				adrow[k] += acc
-			}
-		}
-	})
+	g.push(tapeOp{kind: opMatMul, a: a, b: b, out: out})
 	return out
+}
+
+// rowMatMulInto accumulates x·W into dst for a row vector x (len in) and W
+// (in×len(dst)).
+func rowMatMulInto(x []float64, w *Tensor, dst []float64) {
+	p := w.Cols
+	for k, av := range x {
+		if av == 0 {
+			continue
+		}
+		wrow := w.W[k*p : (k+1)*p]
+		for j := range dst {
+			dst[j] += av * wrow[j]
+		}
+	}
 }
 
 // Add returns a+b (same shape).
 func (g *Graph) Add(a, b *Tensor) *Tensor {
 	sameShape(a, b)
-	out := NewTensor(a.Rows, a.Cols)
+	out := g.NewTensor(a.Rows, a.Cols)
 	for i := range out.W {
 		out.W[i] = a.W[i] + b.W[i]
 	}
-	g.push(func() {
-		for i := range out.DW {
-			a.DW[i] += out.DW[i]
-			b.DW[i] += out.DW[i]
-		}
-	})
+	g.push(tapeOp{kind: opAdd, a: a, b: b, out: out})
 	return out
 }
 
 // Mul returns the elementwise product.
 func (g *Graph) Mul(a, b *Tensor) *Tensor {
 	sameShape(a, b)
-	out := NewTensor(a.Rows, a.Cols)
+	out := g.NewTensor(a.Rows, a.Cols)
 	for i := range out.W {
 		out.W[i] = a.W[i] * b.W[i]
 	}
-	g.push(func() {
-		for i := range out.DW {
-			a.DW[i] += out.DW[i] * b.W[i]
-			b.DW[i] += out.DW[i] * a.W[i]
-		}
-	})
+	g.push(tapeOp{kind: opMul, a: a, b: b, out: out})
 	return out
 }
 
 // Tanh applies tanh elementwise.
 func (g *Graph) Tanh(a *Tensor) *Tensor {
-	out := NewTensor(a.Rows, a.Cols)
+	out := g.NewTensor(a.Rows, a.Cols)
 	for i := range out.W {
 		out.W[i] = math.Tanh(a.W[i])
 	}
-	g.push(func() {
-		for i := range out.DW {
-			a.DW[i] += out.DW[i] * (1 - out.W[i]*out.W[i])
-		}
-	})
+	g.push(tapeOp{kind: opTanh, a: a, out: out})
 	return out
 }
 
 // Sigmoid applies the logistic function elementwise.
 func (g *Graph) Sigmoid(a *Tensor) *Tensor {
-	out := NewTensor(a.Rows, a.Cols)
+	out := g.NewTensor(a.Rows, a.Cols)
 	for i := range out.W {
 		out.W[i] = 1 / (1 + math.Exp(-a.W[i]))
 	}
-	g.push(func() {
-		for i := range out.DW {
-			a.DW[i] += out.DW[i] * out.W[i] * (1 - out.W[i])
-		}
-	})
+	g.push(tapeOp{kind: opSigmoid, a: a, out: out})
 	return out
 }
 
-// ConcatRow concatenates row vectors (all 1×n_i) into one row vector.
+// ConcatRow concatenates row vectors (all 1×n_i) into one row vector. The
+// two-part case (every model call site) is recorded without retaining the
+// argument slice, so the variadic slice stays on the caller's stack.
 func (g *Graph) ConcatRow(parts ...*Tensor) *Tensor {
 	total := 0
 	for _, p := range parts {
@@ -117,34 +115,25 @@ func (g *Graph) ConcatRow(parts ...*Tensor) *Tensor {
 		}
 		total += p.Cols
 	}
-	out := NewTensor(1, total)
+	out := g.NewTensor(1, total)
 	off := 0
 	for _, p := range parts {
 		copy(out.W[off:], p.W)
 		off += p.Cols
 	}
-	g.push(func() {
-		off := 0
-		for _, p := range parts {
-			for i := range p.W {
-				p.DW[i] += out.DW[off+i]
-			}
-			off += p.Cols
-		}
-	})
+	if len(parts) == 2 {
+		g.push(tapeOp{kind: opConcatRow2, a: parts[0], b: parts[1], out: out})
+	} else {
+		g.push(tapeOp{kind: opConcatRowN, list: append([]*Tensor(nil), parts...), out: out})
+	}
 	return out
 }
 
 // LookupRow selects row idx of an embedding matrix as a 1×Cols tensor.
 func (g *Graph) LookupRow(emb *Tensor, idx int) *Tensor {
-	out := NewTensor(1, emb.Cols)
+	out := g.NewTensor(1, emb.Cols)
 	copy(out.W, emb.W[idx*emb.Cols:(idx+1)*emb.Cols])
-	g.push(func() {
-		base := idx * emb.Cols
-		for i := range out.DW {
-			emb.DW[base+i] += out.DW[i]
-		}
-	})
+	g.push(tapeOp{kind: opLookupRow, a: emb, idx: idx, out: out})
 	return out
 }
 
@@ -154,8 +143,9 @@ func (g *Graph) Dropout(a *Tensor, rate float64, rng *rand.Rand) *Tensor {
 	if rate <= 0 || !g.NeedsGrad {
 		return a
 	}
-	out := NewTensor(a.Rows, a.Cols)
-	mask := make([]float64, len(a.W))
+	out := g.NewTensor(a.Rows, a.Cols)
+	maskT := g.NewTensor(a.Rows, a.Cols)
+	mask := maskT.W
 	scale := 1 / (1 - rate)
 	for i := range a.W {
 		if rng.Float64() >= rate {
@@ -163,63 +153,50 @@ func (g *Graph) Dropout(a *Tensor, rate float64, rng *rand.Rand) *Tensor {
 		}
 		out.W[i] = a.W[i] * mask[i]
 	}
-	g.push(func() {
-		for i := range out.DW {
-			a.DW[i] += out.DW[i] * mask[i]
-		}
-	})
+	g.push(tapeOp{kind: opDropout, a: a, aux: maskT, out: out})
 	return out
 }
 
 // RowsToMatrix stacks 1×n rows into an m×n matrix that shares gradients with
-// the rows.
+// the rows. The rows slice is retained until Backward/Reset; callers reusing
+// a scratch slice must not overwrite it before then.
 func (g *Graph) RowsToMatrix(rows []*Tensor) *Tensor {
 	if len(rows) == 0 {
 		panic("nn: empty row stack")
 	}
 	n := rows[0].Cols
-	out := NewTensor(len(rows), n)
+	out := g.NewTensor(len(rows), n)
 	for i, r := range rows {
 		copy(out.W[i*n:], r.W)
 	}
-	g.push(func() {
-		for i, r := range rows {
-			for j := 0; j < n; j++ {
-				r.DW[j] += out.DW[i*n+j]
-			}
-		}
-	})
+	g.push(tapeOp{kind: opRowsToMatrix, list: rows, out: out})
 	return out
 }
 
 // SoftmaxRow computes softmax over a 1×n tensor.
 func (g *Graph) SoftmaxRow(a *Tensor) *Tensor {
-	out := NewTensor(1, a.Cols)
+	out := g.NewTensor(1, a.Cols)
+	softmaxInto(a.W, out.W)
+	g.push(tapeOp{kind: opSoftmaxRow, a: a, out: out})
+	return out
+}
+
+func softmaxInto(src, dst []float64) {
 	maxV := math.Inf(-1)
-	for _, v := range a.W {
+	for _, v := range src {
 		if v > maxV {
 			maxV = v
 		}
 	}
 	var sum float64
-	for i, v := range a.W {
+	for i, v := range src {
 		e := math.Exp(v - maxV)
-		out.W[i] = e
+		dst[i] = e
 		sum += e
 	}
-	for i := range out.W {
-		out.W[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
-	g.push(func() {
-		var dot float64
-		for i := range out.W {
-			dot += out.W[i] * out.DW[i]
-		}
-		for i := range a.W {
-			a.DW[i] += out.W[i] * (out.DW[i] - dot)
-		}
-	})
-	return out
 }
 
 // AttendDot computes scores = q · Hᵀ for a query 1×h and memory m×h,
@@ -228,30 +205,21 @@ func (g *Graph) AttendDot(q, H *Tensor) *Tensor {
 	if q.Cols != H.Cols || q.Rows != 1 {
 		panic("nn: AttendDot shape mismatch")
 	}
-	out := NewTensor(1, H.Rows)
+	out := g.NewTensor(1, H.Rows)
+	attendDotInto(q.W, H, out.W)
+	g.push(tapeOp{kind: opAttendDot, a: q, b: H, out: out})
+	return out
+}
+
+func attendDotInto(q []float64, H *Tensor, dst []float64) {
 	for i := 0; i < H.Rows; i++ {
 		var s float64
 		hrow := H.W[i*H.Cols : (i+1)*H.Cols]
-		for j, qv := range q.W {
+		for j, qv := range q {
 			s += qv * hrow[j]
 		}
-		out.W[i] = s
+		dst[i] = s
 	}
-	g.push(func() {
-		for i := 0; i < H.Rows; i++ {
-			od := out.DW[i]
-			if od == 0 {
-				continue
-			}
-			hrow := H.W[i*H.Cols : (i+1)*H.Cols]
-			hdrow := H.DW[i*H.Cols : (i+1)*H.Cols]
-			for j, qv := range q.W {
-				q.DW[j] += od * hrow[j]
-				hdrow[j] += od * qv
-			}
-		}
-	})
-	return out
 }
 
 // WeightedSumRows computes α·H for weights 1×m and memory m×h, returning a
@@ -260,32 +228,23 @@ func (g *Graph) WeightedSumRows(alpha, H *Tensor) *Tensor {
 	if alpha.Cols != H.Rows {
 		panic("nn: WeightedSumRows shape mismatch")
 	}
-	out := NewTensor(1, H.Cols)
+	out := g.NewTensor(1, H.Cols)
+	weightedSumInto(alpha.W, H, out.W)
+	g.push(tapeOp{kind: opWeightedSumRows, a: alpha, b: H, out: out})
+	return out
+}
+
+func weightedSumInto(alpha []float64, H *Tensor, dst []float64) {
 	for i := 0; i < H.Rows; i++ {
-		a := alpha.W[i]
+		a := alpha[i]
 		if a == 0 {
 			continue
 		}
 		hrow := H.W[i*H.Cols : (i+1)*H.Cols]
-		for j := range out.W {
-			out.W[j] += a * hrow[j]
+		for j := range dst {
+			dst[j] += a * hrow[j]
 		}
 	}
-	g.push(func() {
-		for i := 0; i < H.Rows; i++ {
-			hrow := H.W[i*H.Cols : (i+1)*H.Cols]
-			hdrow := H.DW[i*H.Cols : (i+1)*H.Cols]
-			var acc float64
-			a := alpha.W[i]
-			for j := range out.DW {
-				od := out.DW[j]
-				acc += od * hrow[j]
-				hdrow[j] += od * a
-			}
-			alpha.DW[i] += acc
-		}
-	})
-	return out
 }
 
 // NLLPointerMix computes the mixed pointer–generator loss of Section 4.1:
@@ -296,7 +255,9 @@ func (g *Graph) WeightedSumRows(alpha, H *Tensor) *Tensor {
 // the source, pgen a 1×1 gate, copyMask[i] true where source position i
 // holds the target token, and vocabIdx the target's vocabulary index (−1
 // when out of vocabulary, forcing a pure copy). It returns −log p and wires
-// gradients into pvocab, alpha and pgen.
+// gradients into pvocab, alpha and pgen. The copyMask slice is retained
+// until Backward/Reset; per-token masks must be distinct buffers within one
+// step.
 func (g *Graph) NLLPointerMix(pvocab, alpha, pgen *Tensor, copyMask []bool, vocabIdx int) float64 {
 	gate := pgen.W[0]
 	var pv, pc float64
@@ -311,18 +272,7 @@ func (g *Graph) NLLPointerMix(pvocab, alpha, pgen *Tensor, copyMask []bool, voca
 	p := gate*pv + (1-gate)*pc
 	const eps = 1e-9
 	loss := -math.Log(p + eps)
-	g.push(func() {
-		dp := -1 / (p + eps)
-		if vocabIdx >= 0 {
-			pvocab.DW[vocabIdx] += dp * gate
-		}
-		for i, m := range copyMask {
-			if m {
-				alpha.DW[i] += dp * (1 - gate)
-			}
-		}
-		pgen.DW[0] += dp * (pv - pc)
-	})
+	g.push(tapeOp{kind: opNLLPointerMix, a: pvocab, b: alpha, c: pgen, mask: copyMask, idx: vocabIdx, fval: p})
 	return loss
 }
 

@@ -55,37 +55,8 @@ func (t *Tensor) ZeroGrad() {
 // Size returns the number of elements.
 func (t *Tensor) Size() int { return len(t.W) }
 
-// Row returns a view copied into a fresh 1×Cols tensor (no gradient link);
-// used for read-only inspection.
+// Row returns row r of the value buffer as a shared slice view into W (no
+// copy, no gradient link); used for read-only inspection.
 func (t *Tensor) Row(r int) []float64 { return t.W[r*t.Cols : (r+1)*t.Cols] }
 
 func (t *Tensor) String() string { return fmt.Sprintf("Tensor(%dx%d)", t.Rows, t.Cols) }
-
-// Graph is the autograd tape. Operations append their backward closures;
-// Backward runs them in reverse. A graph built with NeedsGrad=false skips
-// closure recording (inference mode).
-type Graph struct {
-	NeedsGrad bool
-	tape      []func()
-}
-
-// NewGraph returns a tape that records gradients.
-func NewGraph(needsGrad bool) *Graph { return &Graph{NeedsGrad: needsGrad} }
-
-func (g *Graph) push(f func()) {
-	if g.NeedsGrad {
-		g.tape = append(g.tape, f)
-	}
-}
-
-// Backward runs the tape in reverse order. The caller seeds the gradient of
-// the loss tensor (typically via the loss ops, which do it themselves).
-func (g *Graph) Backward() {
-	for i := len(g.tape) - 1; i >= 0; i-- {
-		g.tape[i]()
-	}
-	g.tape = g.tape[:0]
-}
-
-// Ops returns the current tape length (diagnostics).
-func (g *Graph) Ops() int { return len(g.tape) }
