@@ -16,6 +16,8 @@ import (
 	"math/rand"
 	"os"
 	goruntime "runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/dataset"
@@ -302,6 +304,69 @@ func BenchmarkFig8Workers(b *testing.B) {
 					b.Fatal("empty Fig8 result")
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkParseThroughput measures trained-parser decoding at Workers=1 vs
+// Workers=NumCPU over one shared parser. Decoding draws all per-call state
+// from pooled arena-backed contexts, so the parallel leg must scale with
+// cores (>1.5x on a multi-core runner) and the steady state must be
+// near-zero allocs/op — the returned token slice is the only allocation.
+// The ratio of the two legs is the inference-side parallel speedup.
+func BenchmarkParseThroughput(b *testing.B) {
+	values := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot"}
+	verbs := []string{"post", "send", "note"}
+	var pairs []model.Pair
+	for _, v := range values {
+		for _, vb := range verbs {
+			pairs = append(pairs, model.Pair{
+				Src: []string{vb, v, "now"},
+				Tgt: []string{"now", "=>", "@svc." + vb, "param:text", "=", `"`, v, `"`},
+			})
+		}
+	}
+	cfg := benchTrainCfg
+	cfg.Epochs = 3
+	p := model.Train(pairs, nil, nil, cfg)
+	sentences := make([][]string, len(pairs))
+	for i := range pairs {
+		sentences[i] = pairs[i].Src
+	}
+	for _, s := range sentences {
+		p.Parse(s) // warm the graph pool and scratch buffers
+	}
+
+	workersList := []int{1}
+	if n := goruntime.NumCPU(); n > 1 {
+		workersList = append(workersList, n)
+	} else {
+		fmt.Println("single-CPU runner: skipping the workers=NumCPU leg (no speedup measurable)")
+	}
+	for _, workers := range workersList {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= b.N {
+							return
+						}
+						if out := p.Parse(sentences[i%len(sentences)]); len(out) == 0 {
+							b.Error("empty decode")
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
 		})
 	}
 }

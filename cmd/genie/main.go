@@ -1,4 +1,5 @@
-// Command genie runs the Genie pipeline and the paper's experiments.
+// Command genie runs the Genie pipeline, the paper's experiments, and the
+// parser-serving layer.
 //
 // Usage:
 //
@@ -7,11 +8,18 @@
 //	genie experiment fig7|fig8|table3|fig9|stats|errors|limitation|ifttt [-scale ...] [-seed N]
 //	    [-workers N] [-cpuprofile cpu.out] [-memprofile mem.out]
 //	genie experiment all [-scale ...]
+//	genie train [-scale ...] [-seed N] [-strategy genie] [-maxsteps N] [-lmsteps N] -out parser.snap
+//	genie serve (-snapshot parser.snap | -train) [-cache DIR] [-addr :8080]
+//	    [-batch 8] [-wait 2ms] [-serve-workers N] [-beam 1]
 //
 // synthesize materializes the synthesized set and prints samples; pipeline
 // streams the concurrent synthesis→augmentation→parameter-replacement
 // pipeline and prints training-ready examples as they are produced,
-// cancelling the upstream stages once -n examples have been emitted.
+// cancelling the upstream stages once -n examples have been emitted. train
+// runs the full data pipeline plus parser training and writes a versioned
+// binary snapshot; serve loads a snapshot (or trains, optionally through the
+// checksum-keyed snapshot cache) and answers POST /parse with micro-batched
+// decoding.
 package main
 
 import (
@@ -40,17 +48,24 @@ func main() {
 		cmdPipeline(os.Args[2:])
 	case "experiment":
 		cmdExperiment(os.Args[2:])
+	case "train":
+		cmdTrain(os.Args[2:])
+	case "serve":
+		cmdServe(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: genie synthesize|pipeline|experiment [args]")
+	fmt.Fprintln(os.Stderr, "usage: genie synthesize|pipeline|experiment|train|serve [args]")
 	fmt.Fprintln(os.Stderr, "  genie synthesize -scale unit -n 10")
 	fmt.Fprintln(os.Stderr, "  genie pipeline -scale unit -n 20 -workers 0   (0 = all CPUs)")
 	fmt.Fprintln(os.Stderr, "  genie experiment fig7|fig8|table3|fig9|stats|errors|limitation|ifttt|all -scale unit -seed 1 \\")
 	fmt.Fprintln(os.Stderr, "       [-workers 0] [-cpuprofile cpu.out] [-memprofile mem.out]")
+	fmt.Fprintln(os.Stderr, "  genie train -scale unit -seed 1 -out parser.snap [-strategy genie] [-maxsteps N] [-lmsteps N]")
+	fmt.Fprintln(os.Stderr, "  genie serve -snapshot parser.snap -addr :8080 [-batch 8] [-wait 2ms] [-serve-workers 0] [-beam 1]")
+	fmt.Fprintln(os.Stderr, "  genie serve -train -cache /var/cache/genie -scale unit   (train once per library checksum)")
 	os.Exit(2)
 }
 

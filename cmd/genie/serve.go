@@ -1,0 +1,158 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/genie"
+	"repro/internal/model"
+	"repro/internal/nltemplate"
+	"repro/internal/serve"
+	"repro/internal/thingpedia"
+)
+
+func strategyByName(name string) (genie.Strategy, bool) {
+	for _, s := range []genie.Strategy{
+		genie.StrategyGenie, genie.StrategySynthesizedOnly,
+		genie.StrategyParaphraseOnly, genie.StrategyBaseline,
+	} {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// trainParser runs the full data pipeline and parser training for one
+// (scale, strategy, seed) recipe; maxSteps/lmSteps (-1 = keep preset) let
+// the CI smoke test cap the run.
+func trainParser(scale genie.Scale, strategy genie.Strategy, seed int64, maxSteps, lmSteps int) (*model.Parser, *genie.Data) {
+	lib := thingpedia.Builtin()
+	d := genie.BuildData(lib, nltemplate.DefaultOptions, scale, seed)
+	mcfg := scale.Model
+	if maxSteps > 0 {
+		mcfg.MaxSteps = maxSteps
+	}
+	if lmSteps >= 0 {
+		mcfg.LMSteps = lmSteps
+		if lmSteps == 0 {
+			mcfg.PretrainLM = false
+		}
+	}
+	tp := d.Train(genie.TrainOptions{Strategy: strategy, Topt: genie.CanonicalTargets, Model: mcfg, Seed: seed})
+	return tp.Parser, d
+}
+
+func cmdTrain(args []string) {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	scaleName := scaleFlag(fs)
+	seed := fs.Int64("seed", 1, "random seed")
+	strategyName := fs.String("strategy", "genie", "training strategy: genie, synthesized-only, paraphrase-only or baseline")
+	out := fs.String("out", "parser.snap", "snapshot output path")
+	maxSteps := fs.Int("maxsteps", 0, "cap on training steps (0 = scale preset)")
+	lmSteps := fs.Int("lmsteps", -1, "LM pre-training steps (-1 = scale preset, 0 = skip)")
+	doEval := fs.Bool("eval", true, "score the trained parser on the validation set")
+	fs.Parse(args)
+	scale := resolveScale(*scaleName)
+	strategy, ok := strategyByName(*strategyName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "genie: unknown strategy %q\n", *strategyName)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	parser, d := trainParser(scale, strategy, *seed, *maxSteps, *lmSteps)
+	fmt.Fprintf(os.Stderr, "genie: trained %s/%s seed=%d in %s\n", scale.Name, strategy, *seed, time.Since(start).Round(time.Millisecond))
+	if *doEval {
+		rep := eval.EvaluateParallel(parser, d.Validation, d.Lib, 0)
+		fmt.Fprintf(os.Stderr, "genie: validation program accuracy %.1f%% (function %.1f%%, %d examples)\n",
+			rep.ProgramAccuracy(), rep.FunctionAccuracy(), rep.Total)
+	}
+	if err := parser.SaveFile(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "genie: saving snapshot: %v\n", err)
+		os.Exit(1)
+	}
+	e, h := parser.Dims()
+	sv, tv := parser.VocabSizes()
+	fmt.Printf("saved %s (embed=%d hidden=%d src-vocab=%d tgt-vocab=%d)\n", *out, e, h, sv, tv)
+}
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	snapshot := fs.String("snapshot", "", "serve a trained snapshot (from genie train)")
+	doTrain := fs.Bool("train", false, "train on startup instead of loading a snapshot")
+	cacheDir := fs.String("cache", "", "snapshot-cache directory keyed by skill-library checksum (with -train)")
+	scaleName := scaleFlag(fs)
+	seed := fs.Int64("seed", 1, "random seed (with -train)")
+	strategyName := fs.String("strategy", "genie", "training strategy (with -train)")
+	maxSteps := fs.Int("maxsteps", 0, "cap on training steps (with -train; 0 = scale preset)")
+	lmSteps := fs.Int("lmsteps", -1, "LM pre-training steps (with -train; -1 = scale preset, 0 = skip)")
+	addr := fs.String("addr", ":8080", "listen address")
+	batch := fs.Int("batch", 8, "micro-batch size (gather up to this many requests)")
+	wait := fs.Duration("wait", 2*time.Millisecond, "micro-batch gather window")
+	workers := fs.Int("serve-workers", 0, "decode workers (0 = all CPUs)")
+	beam := fs.Int("beam", 1, "beam width (1 = greedy)")
+	fs.Parse(args)
+
+	var parser *model.Parser
+	switch {
+	case *snapshot != "":
+		var err error
+		parser, err = model.LoadFile(*snapshot)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "genie: loading snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "genie: loaded snapshot %s\n", *snapshot)
+	case *doTrain:
+		scale := resolveScale(*scaleName)
+		strategy, ok := strategyByName(*strategyName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "genie: unknown strategy %q\n", *strategyName)
+			os.Exit(2)
+		}
+		lib := thingpedia.Builtin()
+		key := serve.Key(lib, scale.Name, strategy.String(),
+			fmt.Sprintf("seed=%d", *seed), fmt.Sprintf("maxsteps=%d", *maxSteps), fmt.Sprintf("lmsteps=%d", *lmSteps))
+		cache := serve.NewCache(*cacheDir)
+		start := time.Now()
+		p, hit, err := cache.GetOrTrain(key, func() (*model.Parser, error) {
+			p, _ := trainParser(scale, strategy, *seed, *maxSteps, *lmSteps)
+			return p, nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "genie: training: %v\n", err)
+			os.Exit(1)
+		}
+		parser = p
+		if hit {
+			fmt.Fprintf(os.Stderr, "genie: snapshot cache hit for library checksum (key %s…), skipped training\n", key[:12])
+		} else {
+			fmt.Fprintf(os.Stderr, "genie: trained %s/%s seed=%d in %s (cache key %s…)\n",
+				scale.Name, strategy, *seed, time.Since(start).Round(time.Millisecond), key[:12])
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "genie: serve needs -snapshot or -train")
+		os.Exit(2)
+	}
+
+	srv := serve.NewServer(parser, serve.Options{
+		MaxBatch: *batch,
+		MaxWait:  *wait,
+		Workers:  *workers,
+		Beam:     *beam,
+	})
+	defer srv.Close()
+	e, h := parser.Dims()
+	sv, tv := parser.VocabSizes()
+	fmt.Fprintf(os.Stderr, "genie: serving on %s (embed=%d hidden=%d src-vocab=%d tgt-vocab=%d batch=%d wait=%s beam=%d)\n",
+		*addr, e, h, sv, tv, *batch, *wait, *beam)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "genie: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -6,8 +6,11 @@
 package eval
 
 import (
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataset"
 	"repro/internal/thingpedia"
@@ -65,41 +68,81 @@ func pct(n, d int) float64 {
 func Evaluate(dec Decoder, examples []dataset.Example, schemas thingtalk.SchemaSource) Report {
 	var r Report
 	for i := range examples {
-		e := &examples[i]
-		r.Total++
-		toks := dec.Parse(e.Words)
-		pred, err := thingtalk.ParseTokens(toks, thingtalk.ParseOptions{Schemas: schemas})
-		if err != nil {
-			continue
-		}
-		if err := thingtalk.Typecheck(pred, schemas); err != nil {
-			continue
-		}
-		r.SyntaxOK++
-		pred = thingtalk.Canonicalize(pred, schemas)
-		gold := thingtalk.Canonicalize(e.Program, schemas)
-
-		if pred.IsCompound() == gold.IsCompound() {
-			r.PrimCompoundOK++
-		}
-		if sameStringSet(pred.Skills(), gold.Skills()) {
-			r.SkillsOK++
-		}
-		fnOK := sameStringSet(pred.Functions(), gold.Functions())
-		if fnOK {
-			r.FunctionsOK++
-		}
-
-		if matchesAny(pred, e, schemas) {
-			r.Correct++
-			continue
-		}
-		// Wrong result: is it only a parameter-value copy error?
-		if fnOK && shapeKey(pred, schemas) == shapeKey(gold, schemas) {
-			r.ParamValueError++
-		}
+		r.score(dec.Parse(examples[i].Words), &examples[i], schemas)
 	}
 	return r
+}
+
+// EvaluateParallel is Evaluate with the decode fan spread over workers
+// concurrent requests (0 = GOMAXPROCS). Predictions are collected by example
+// index and scored in order, so the Report is identical to Evaluate's for
+// any worker count. Pointing it at a serve.Batcher or serve.Client scores a
+// parser through the full batched serving path: the concurrent requests are
+// what lets the micro-batching loop form real batches.
+func EvaluateParallel(dec Decoder, examples []dataset.Example, schemas thingtalk.SchemaSource, workers int) Report {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(examples) {
+		workers = len(examples)
+	}
+	preds := make([][]string, len(examples))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(examples) {
+					return
+				}
+				preds[i] = dec.Parse(examples[i].Words)
+			}
+		}()
+	}
+	wg.Wait()
+	var r Report
+	for i := range examples {
+		r.score(preds[i], &examples[i], schemas)
+	}
+	return r
+}
+
+// score grades one prediction into the report.
+func (r *Report) score(toks []string, e *dataset.Example, schemas thingtalk.SchemaSource) {
+	r.Total++
+	pred, err := thingtalk.ParseTokens(toks, thingtalk.ParseOptions{Schemas: schemas})
+	if err != nil {
+		return
+	}
+	if err := thingtalk.Typecheck(pred, schemas); err != nil {
+		return
+	}
+	r.SyntaxOK++
+	pred = thingtalk.Canonicalize(pred, schemas)
+	gold := thingtalk.Canonicalize(e.Program, schemas)
+
+	if pred.IsCompound() == gold.IsCompound() {
+		r.PrimCompoundOK++
+	}
+	if sameStringSet(pred.Skills(), gold.Skills()) {
+		r.SkillsOK++
+	}
+	fnOK := sameStringSet(pred.Functions(), gold.Functions())
+	if fnOK {
+		r.FunctionsOK++
+	}
+
+	if matchesAny(pred, e, schemas) {
+		r.Correct++
+		return
+	}
+	// Wrong result: is it only a parameter-value copy error?
+	if fnOK && shapeKey(pred, schemas) == shapeKey(gold, schemas) {
+		r.ParamValueError++
+	}
 }
 
 // matchesAny compares the prediction against the gold program and all

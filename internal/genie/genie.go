@@ -7,6 +7,7 @@ package genie
 
 import (
 	"math/rand"
+	"sort"
 
 	"repro/internal/augment"
 	"repro/internal/dataset"
@@ -189,7 +190,7 @@ func buildData(lib *thingpedia.Library, g *nltemplate.Grammar, scale Scale, seed
 	for c := range combos {
 		comboList = append(comboList, c)
 	}
-	sortStrings(comboList)
+	sort.Strings(comboList)
 	rng.Shuffle(len(comboList), func(i, j int) { comboList[i], comboList[j] = comboList[j], comboList[i] })
 	d.HeldOutCombos = map[string]bool{}
 	for i, c := range comboList {
@@ -257,12 +258,4 @@ func filterExamples(examples []dataset.Example, keep func(*dataset.Example) bool
 		}
 	}
 	return out
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }

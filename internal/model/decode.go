@@ -3,25 +3,61 @@ package model
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/nn"
 )
 
+// inferGraphs pools arena-backed inference graphs across all parsers: arena
+// buckets are keyed by tensor size, so graphs recycle cleanly between models
+// of different dimensions.
+var inferGraphs = nn.NewGraphPool()
+
+// decodeCtx is the per-call state of one Parse/ParseBeam invocation: an
+// inference graph drawn from the shared pool plus every scratch buffer the
+// decode loop needs. Parse acquires one, decodes, and releases it, so a
+// single trained Parser serves any number of goroutines with near-zero
+// steady-state allocation. Nothing decode-time lives on the Parser itself.
+type decodeCtx struct {
+	g      *nn.Graph
+	enc    encBufs
+	srcIds []int
+	scored []scoredToken
+}
+
+var decodeCtxs = sync.Pool{New: func() any { return new(decodeCtx) }}
+
+func acquireDecodeCtx() *decodeCtx {
+	dc := decodeCtxs.Get().(*decodeCtx)
+	dc.g = inferGraphs.Get()
+	return dc
+}
+
+// release returns the graph (resetting its arena) and the scratch buffers to
+// their pools. Tensors produced during the call are invalid afterwards, so
+// callers must copy anything that outlives the decode before releasing.
+func (dc *decodeCtx) release() {
+	inferGraphs.Put(dc.g)
+	dc.g = nil
+	decodeCtxs.Put(dc)
+}
+
 // Parse greedily decodes the program token sequence for a sentence. Tokens
 // may be copied verbatim from the input via the pointer mechanism, so the
 // output can contain words outside the target vocabulary (unquoted free-form
-// parameters).
+// parameters). Parse is safe for concurrent use: all decode state lives in a
+// pooled per-call context, and the only steady-state allocation is the
+// returned token slice.
 func (p *Parser) Parse(words []string) []string {
-	g := nn.NewGraph(false)
-	srcIds := p.src.Encode(words)
-	H, final := p.encode(g, srcIds)
+	dc := acquireDecodeCtx()
+	defer dc.release()
+	g := dc.g
+	dc.srcIds = p.src.EncodeInto(dc.srcIds[:0], words)
+	H, final := p.encode(g, &dc.enc, dc.srcIds)
 	st := p.initDecode(g, final)
 	prev := BosID
-	var out []string
-	maxLen := p.cfg.MaxDecodeLen
-	if maxLen <= 0 {
-		maxLen = 64
-	}
+	out := make([]string, 0, 16)
+	maxLen := p.cfg.maxDecodeLen()
 	for t := 0; t < maxLen; t++ {
 		pv, alpha, gate, next := p.step(g, st, prev, H)
 		tok := p.bestToken(pv, alpha, gate, words)
@@ -59,12 +95,10 @@ func (p *Parser) bestToken(pv, alpha, gate *nn.Tensor, words []string) string {
 		return bestTok
 	}
 	// Copy path for out-of-vocabulary source tokens.
-	seen := map[string]bool{}
 	for i, w := range words {
-		if p.tgt.Has(w) || seen[w] {
+		if p.tgt.Has(w) || seenEarlier(words, i) {
 			continue
 		}
-		seen[w] = true
 		prob := (1 - g) * p.copyMassAt(alpha, words, w, i)
 		if prob > bestP {
 			bestP = prob
@@ -72,6 +106,17 @@ func (p *Parser) bestToken(pv, alpha, gate *nn.Tensor, words []string) string {
 		}
 	}
 	return bestTok
+}
+
+// seenEarlier reports whether words[i] already occurred before position i;
+// sentences are short, so the scan beats allocating a set per decode step.
+func seenEarlier(words []string, i int) bool {
+	for j := 0; j < i; j++ {
+		if words[j] == words[i] {
+			return true
+		}
+	}
+	return false
 }
 
 func (p *Parser) copyMass(alpha *nn.Tensor, words []string, tok string) float64 {
@@ -103,20 +148,54 @@ type beamItem struct {
 	done    bool
 }
 
+// score is the length-normalized log-probability used for both pruning and
+// final selection. logProb accumulates one factor per decoded token plus,
+// for finished hypotheses, the </s> factor; dividing by that count keeps
+// long programs competitive with short ones. Ranking by raw cumulative
+// log-probability systematically favored truncated programs — every extra
+// token can only lower the sum.
+func (it *beamItem) score() float64 {
+	n := len(it.tokens)
+	if it.done {
+		n++
+	}
+	if n == 0 {
+		return it.logProb
+	}
+	return it.logProb / float64(n)
+}
+
+// bestHypothesis returns the beam's winner: complete hypotheses beat
+// incomplete ones, ties broken by length-normalized score.
+func bestHypothesis(beam []beamItem) beamItem {
+	best := beam[0]
+	for _, item := range beam {
+		if item.done && !best.done {
+			best = item
+			continue
+		}
+		if item.done == best.done && item.score() > best.score() {
+			best = item
+		}
+	}
+	return best
+}
+
 // ParseBeam decodes with a fixed-width beam and returns the best complete
-// hypothesis (falling back to greedy behavior at width 1).
+// hypothesis (falling back to greedy behavior at width 1). Hypotheses are
+// pruned and selected by length-normalized log-probability. Like Parse, it
+// is safe for concurrent use.
 func (p *Parser) ParseBeam(words []string, width int) []string {
 	if width <= 1 {
 		return p.Parse(words)
 	}
-	g := nn.NewGraph(false)
-	srcIds := p.src.Encode(words)
-	H, final := p.encode(g, srcIds)
+	dc := acquireDecodeCtx()
+	defer dc.release()
+	g := dc.g
+	dc.srcIds = p.src.EncodeInto(dc.srcIds[:0], words)
+	H, final := p.encode(g, &dc.enc, dc.srcIds)
 	beam := []beamItem{{st: p.initDecode(g, final), prev: BosID}}
-	maxLen := p.cfg.MaxDecodeLen
-	if maxLen <= 0 {
-		maxLen = 64
-	}
+	maxLen := p.cfg.maxDecodeLen()
 	for t := 0; t < maxLen; t++ {
 		var candidates []beamItem
 		allDone := true
@@ -127,7 +206,7 @@ func (p *Parser) ParseBeam(words []string, width int) []string {
 			}
 			allDone = false
 			pv, alpha, gate, next := p.step(g, item.st, item.prev, H)
-			for _, cand := range p.topTokens(pv, alpha, gate, words, width) {
+			for _, cand := range p.topTokens(dc, pv, alpha, gate, words, width) {
 				ni := beamItem{
 					tokens:  append(append([]string(nil), item.tokens...), cand.tok),
 					logProb: item.logProb + math.Log(cand.p+1e-12),
@@ -144,23 +223,13 @@ func (p *Parser) ParseBeam(words []string, width int) []string {
 		if allDone {
 			break
 		}
-		sort.SliceStable(candidates, func(i, j int) bool { return candidates[i].logProb > candidates[j].logProb })
+		sort.SliceStable(candidates, func(i, j int) bool { return candidates[i].score() > candidates[j].score() })
 		if len(candidates) > width {
 			candidates = candidates[:width]
 		}
 		beam = candidates
 	}
-	best := beam[0]
-	for _, item := range beam {
-		if item.done && !best.done {
-			best = item
-			continue
-		}
-		if item.done == best.done && item.logProb > best.logProb {
-			best = item
-		}
-	}
-	return best.tokens
+	return bestHypothesis(beam).tokens
 }
 
 type scoredToken struct {
@@ -168,12 +237,15 @@ type scoredToken struct {
 	p   float64
 }
 
-func (p *Parser) topTokens(pv, alpha, gate *nn.Tensor, words []string, k int) []scoredToken {
+// topTokens returns the k most probable next tokens under the mixed
+// pointer–generator distribution; the backing slice comes from the decode
+// context and is valid until the next topTokens call on the same context.
+func (p *Parser) topTokens(dc *decodeCtx, pv, alpha, gate *nn.Tensor, words []string, k int) []scoredToken {
 	g := gate.W[0]
 	if !p.cfg.PointerGen {
 		g = 1
 	}
-	var all []scoredToken
+	all := dc.scored[:0]
 	for id := 2; id < p.tgt.Size(); id++ {
 		tok := p.tgt.Token(id)
 		prob := g * pv.W[id]
@@ -183,15 +255,14 @@ func (p *Parser) topTokens(pv, alpha, gate *nn.Tensor, words []string, k int) []
 		all = append(all, scoredToken{tok: tok, p: prob})
 	}
 	if p.cfg.PointerGen {
-		seen := map[string]bool{}
 		for i, w := range words {
-			if p.tgt.Has(w) || seen[w] {
+			if p.tgt.Has(w) || seenEarlier(words, i) {
 				continue
 			}
-			seen[w] = true
 			all = append(all, scoredToken{tok: w, p: (1 - g) * p.copyMassAt(alpha, words, w, i)})
 		}
 	}
+	dc.scored = all
 	sort.SliceStable(all, func(i, j int) bool { return all[i].p > all[j].p })
 	if len(all) > k {
 		all = all[:k]

@@ -1,0 +1,181 @@
+package model
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedToy trains one parser on the toy copy task, shared by the decode,
+// concurrency and snapshot tests (training is the expensive part; decoding
+// a shared parser is what those tests exercise).
+var sharedToy struct {
+	once sync.Once
+	p    *Parser
+}
+
+func trainedToyParser() *Parser {
+	sharedToy.once.Do(func() {
+		train, _ := toyPairs()
+		sharedToy.p = Train(train, nil, nil, testConfig(7))
+	})
+	return sharedToy.p
+}
+
+func joinTokens(toks []string) string { return strings.Join(toks, " ") }
+
+// TestConcurrentDecodeMatchesSequential is the regression test for the old
+// Parser.scr decode race: one trained parser is decoded from many goroutines
+// (greedy and beam) and every output must match the sequential decode
+// token-for-token. Run under -race in CI.
+func TestConcurrentDecodeMatchesSequential(t *testing.T) {
+	p := trainedToyParser()
+	train, val := toyPairs()
+	var sentences [][]string
+	for _, pr := range append(train, val...) {
+		sentences = append(sentences, pr.Src)
+	}
+
+	wantGreedy := make([]string, len(sentences))
+	wantBeam := make([]string, len(sentences))
+	nonEmpty := false
+	for i, s := range sentences {
+		wantGreedy[i] = joinTokens(p.Parse(s))
+		wantBeam[i] = joinTokens(p.ParseBeam(s, 3))
+		nonEmpty = nonEmpty || wantGreedy[i] != ""
+	}
+	if !nonEmpty {
+		t.Fatal("trained parser decodes nothing; test would be vacuous")
+	}
+
+	workers := runtime.GOMAXPROCS(0) * 2
+	if workers < 4 {
+		workers = 4
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Stagger the starting sentence so goroutines decode different
+			// inputs at the same time.
+			for rep := 0; rep < 3; rep++ {
+				for k := range sentences {
+					i := (k + w) % len(sentences)
+					if got := joinTokens(p.Parse(sentences[i])); got != wantGreedy[i] {
+						t.Errorf("worker %d: concurrent Parse(%v) = %q, sequential %q", w, sentences[i], got, wantGreedy[i])
+						return
+					}
+					if got := joinTokens(p.ParseBeam(sentences[i], 3)); got != wantBeam[i] {
+						t.Errorf("worker %d: concurrent ParseBeam(%v) = %q, sequential %q", w, sentences[i], got, wantBeam[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestParseSteadyStateAllocs checks the pooled decode path allocates (near)
+// nothing once warm — the returned token slice is the only per-call
+// allocation.
+func TestParseSteadyStateAllocs(t *testing.T) {
+	p := trainedToyParser()
+	src := []string{"tweet", "alpha", "now"}
+	p.Parse(src) // warm the graph pool, arena and scratch buffers
+	allocs := testing.AllocsPerRun(100, func() { p.Parse(src) })
+	if allocs > 4 {
+		t.Errorf("steady-state Parse allocates %.1f objects/op; want near-zero (result slice only)", allocs)
+	}
+}
+
+// TestBeamLengthNormalization is the regression test for the raw
+// cumulative-log-probability ranking: a truncated one-token hypothesis with
+// a high total (because it has fewer factors) used to beat the full program.
+// Length normalization must pick the full program, which matches greedy.
+func TestBeamLengthNormalization(t *testing.T) {
+	p := trainedToyParser()
+	train, _ := toyPairs()
+	src := train[0].Src
+	gold := p.Parse(src) // greedy decode of a fitted training example
+	if len(gold) < 3 {
+		t.Fatalf("greedy decode too short to exercise truncation: %v", gold)
+	}
+
+	// Truncated: 1 token + </s> = 2 factors totalling -0.5 (avg -0.25).
+	// Full: len(gold)+1 factors totalling -1.2 (avg better than -0.25, but
+	// the raw sum is lower simply because there are more factors).
+	truncated := beamItem{tokens: gold[:1], logProb: -0.5, done: true}
+	full := beamItem{tokens: gold, logProb: -1.2, done: true}
+	beam := []beamItem{truncated, full}
+
+	// The pre-fix ranking — raw cumulative log-probability — picks the
+	// truncated program because every extra token lowers the sum.
+	rawBest := beam[0]
+	for _, it := range beam {
+		if it.logProb > rawBest.logProb {
+			rawBest = it
+		}
+	}
+	if joinTokens(rawBest.tokens) != joinTokens(truncated.tokens) {
+		t.Fatal("test setup wrong: raw log-prob ranking should favor the truncated hypothesis")
+	}
+
+	// The fixed ranking normalizes by length and picks the full program.
+	best := bestHypothesis(beam)
+	if joinTokens(best.tokens) != joinTokens(gold) {
+		t.Errorf("length-normalized selection picked %v, want the full greedy program %v", best.tokens, gold)
+	}
+
+	// End to end: the fixed beam must not fall below greedy on fitted
+	// examples (truncation would make them differ).
+	for _, pr := range train[:6] {
+		greedy := joinTokens(p.Parse(pr.Src))
+		for _, width := range []int{2, 4} {
+			if got := joinTokens(p.ParseBeam(pr.Src, width)); len(got) < len(greedy) {
+				t.Errorf("ParseBeam(%v, %d) = %q truncates below greedy %q", pr.Src, width, got, greedy)
+			}
+		}
+	}
+}
+
+func TestBeamScoreNormalization(t *testing.T) {
+	it := beamItem{tokens: []string{"a", "b", "c"}, logProb: -3.0}
+	if got := it.score(); math.Abs(got-(-1.0)) > 1e-12 {
+		t.Errorf("in-flight score = %v, want -1.0 (3 factors)", got)
+	}
+	it.done = true // </s> adds a factor
+	if got := it.score(); math.Abs(got-(-0.75)) > 1e-12 {
+		t.Errorf("done score = %v, want -0.75 (4 factors)", got)
+	}
+	empty := beamItem{}
+	if got := empty.score(); got != 0 {
+		t.Errorf("empty hypothesis score = %v, want 0", got)
+	}
+}
+
+// TestMaxDecodeLen covers the shared fallback helper: Parse and ParseBeam
+// read the same bound, and an unset MaxDecodeLen falls back to
+// DefaultConfig's rather than a drifting literal.
+func TestMaxDecodeLen(t *testing.T) {
+	if got := (Config{}).maxDecodeLen(); got != DefaultConfig.MaxDecodeLen {
+		t.Errorf("zero config maxDecodeLen = %d, want DefaultConfig.MaxDecodeLen = %d", got, DefaultConfig.MaxDecodeLen)
+	}
+	if got := (Config{MaxDecodeLen: 7}).maxDecodeLen(); got != 7 {
+		t.Errorf("maxDecodeLen = %d, want 7", got)
+	}
+
+	// Behavior: a tiny bound truncates both decode paths identically.
+	q := *trainedToyParser()
+	q.cfg.MaxDecodeLen = 2
+	src := []string{"tweet", "alpha", "now"}
+	if out := q.Parse(src); len(out) > 2 {
+		t.Errorf("Parse ignored MaxDecodeLen=2: %v", out)
+	}
+	if out := q.ParseBeam(src, 3); len(out) > 2 {
+		t.Errorf("ParseBeam ignored MaxDecodeLen=2: %v", out)
+	}
+}

@@ -55,6 +55,16 @@ var DefaultConfig = Config{
 	MinVocabCount: 2,
 }
 
+// maxDecodeLen returns the decode-length bound: MaxDecodeLen when set, else
+// DefaultConfig's. Parse and ParseBeam both use it, so the fallback cannot
+// drift between the two decode paths.
+func (c Config) maxDecodeLen() int {
+	if c.MaxDecodeLen > 0 {
+		return c.MaxDecodeLen
+	}
+	return DefaultConfig.MaxDecodeLen
+}
+
 // Pair is one training example: a tokenized sentence and the target program
 // token sequence.
 type Pair struct {
@@ -86,17 +96,26 @@ type Parser struct {
 }
 
 // scratch holds per-step buffers reused across training steps so that a
-// steady-state step performs no slice allocation. A Parser is therefore not
-// safe for concurrent training or decoding; the parallel experiment harness
-// gives each job its own Parser.
+// steady-state step performs no slice allocation. It is owned by the single
+// training goroutine: a Parser is not safe for concurrent *training*, but
+// decoding never touches it — Parse/ParseBeam draw their state from pooled
+// per-call decode contexts (decode.go), so one trained Parser serves any
+// number of goroutines.
 type scratch struct {
+	enc     encBufs
 	srcIds  []int
-	embs    []*nn.Tensor
-	fhs     []*nn.Tensor
-	bhs     []*nn.Tensor
-	rows    []*nn.Tensor
 	target  []string
 	maskBuf []bool
+}
+
+// encBufs holds the per-position tensor slices of one encoder pass. Training
+// reuses the parser's copy (inside scratch); every decode call has its own
+// (inside its decodeCtx), which is what makes inference concurrency-safe.
+type encBufs struct {
+	embs []*nn.Tensor
+	fhs  []*nn.Tensor
+	bhs  []*nn.Tensor
+	rows []*nn.Tensor
 }
 
 // grow returns a length-n tensor slice backed by *buf, growing it as needed.
@@ -154,28 +173,28 @@ func (p *Parser) decParams() []*nn.Tensor {
 
 // encode runs the bidirectional encoder, returning the memory matrix
 // (len×2h) and the concatenated final states (1×2h). The per-position
-// tensor slices come from the parser's scratch and are valid until the next
-// encode call (the graph's tape only retains the rows slice until
-// Backward/Reset, which always precedes the next step).
-func (p *Parser) encode(g *nn.Graph, srcIds []int) (H *nn.Tensor, final *nn.Tensor) {
+// tensor slices come from the caller's encBufs and are valid until the next
+// encode call over the same bufs (the graph's tape only retains the rows
+// slice until Backward/Reset, which always precedes the next step).
+func (p *Parser) encode(g *nn.Graph, enc *encBufs, srcIds []int) (H *nn.Tensor, final *nn.Tensor) {
 	n := len(srcIds)
-	embs := grow(&p.scr.embs, n)
+	embs := grow(&enc.embs, n)
 	for i, id := range srcIds {
 		embs[i] = g.Dropout(p.encEmb.Lookup(g, id), p.cfg.Dropout, p.rng)
 	}
 	fh, fc := p.fwd.ZeroState(g)
-	fhs := grow(&p.scr.fhs, n)
+	fhs := grow(&enc.fhs, n)
 	for i := 0; i < n; i++ {
 		fh, fc = p.fwd.Step(g, embs[i], fh, fc)
 		fhs[i] = fh
 	}
 	bh, bc := p.bwd.ZeroState(g)
-	bhs := grow(&p.scr.bhs, n)
+	bhs := grow(&enc.bhs, n)
 	for i := n - 1; i >= 0; i-- {
 		bh, bc = p.bwd.Step(g, embs[i], bh, bc)
 		bhs[i] = bh
 	}
-	rows := grow(&p.scr.rows, n)
+	rows := grow(&enc.rows, n)
 	for i := 0; i < n; i++ {
 		rows[i] = g.ConcatRow(fhs[i], bhs[i])
 	}
@@ -219,7 +238,7 @@ func (p *Parser) step(g *nn.Graph, st decodeState, prev int, H *nn.Tensor) (pv, 
 // scratch so a steady-state training step allocates nothing.
 func (p *Parser) loss(g *nn.Graph, pair *Pair) float64 {
 	p.scr.srcIds = p.src.EncodeInto(p.scr.srcIds[:0], pair.Src)
-	H, final := p.encode(g, p.scr.srcIds)
+	H, final := p.encode(g, &p.scr.enc, p.scr.srcIds)
 	st := p.initDecode(g, final)
 	prev := BosID
 	total := 0.0

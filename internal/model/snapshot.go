@@ -1,0 +1,283 @@
+package model
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot format: a versioned little-endian binary stream holding the full
+// trained parser — config, both vocabularies, and every weight tensor in
+// Params() order. Weights are written as raw IEEE-754 bits, so a save/load
+// round trip is bit-identical and a loaded parser decodes exactly like the
+// one that was saved. The serving layer (internal/serve) builds its
+// skill-library cache on top of these snapshots.
+//
+//	magic   "GENIEPSR" (8 bytes)
+//	version uint32 (currently 1)
+//	config  fixed field order (ints as int64, floats as bits, bools as u8)
+//	vocabs  source then target: count, then length-prefixed tokens
+//	params  count, then per tensor: rows, cols, rows*cols float64 bits
+const (
+	snapshotMagic   = "GENIEPSR"
+	snapshotVersion = 1
+)
+
+// Save writes the parser snapshot to w.
+func (p *Parser) Save(w io.Writer) error {
+	bw := &binWriter{w: bufio.NewWriter(w)}
+	bw.bytes([]byte(snapshotMagic))
+	bw.u64(snapshotVersion)
+	writeConfig(bw, p.cfg)
+	writeVocab(bw, p.src)
+	writeVocab(bw, p.tgt)
+	params := p.Params()
+	bw.u64(uint64(len(params)))
+	for _, t := range params {
+		bw.u64(uint64(t.Rows))
+		bw.u64(uint64(t.Cols))
+		for _, v := range t.W {
+			bw.u64(math.Float64bits(v))
+		}
+	}
+	if bw.err != nil {
+		return bw.err
+	}
+	return bw.w.Flush()
+}
+
+// Load reads a snapshot written by Save and reconstructs the parser. The
+// loaded parser is immediately servable: Parse output is bit-identical to
+// the saved parser's.
+func Load(r io.Reader) (*Parser, error) {
+	br := &binReader{r: bufio.NewReader(r)}
+	magic := make([]byte, len(snapshotMagic))
+	br.bytes(magic)
+	if br.err != nil {
+		return nil, fmt.Errorf("model: reading snapshot header: %w", br.err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("model: not a parser snapshot (magic %q)", magic)
+	}
+	if v := br.u64(); v != snapshotVersion {
+		return nil, fmt.Errorf("model: unsupported snapshot version %d (want %d)", v, snapshotVersion)
+	}
+	cfg := readConfig(br)
+	src := readVocab(br)
+	tgt := readVocab(br)
+	if br.err != nil {
+		return nil, fmt.Errorf("model: reading snapshot: %w", br.err)
+	}
+	// Bound the dimensions before newParser sizes tensors off them: a
+	// corrupt stream with a valid header must fail cleanly, not allocate
+	// gigabytes or panic on a negative make.
+	const maxDim = 1 << 16
+	if cfg.EmbedDim <= 0 || cfg.EmbedDim > maxDim || cfg.HiddenDim <= 0 || cfg.HiddenDim > maxDim {
+		return nil, fmt.Errorf("model: implausible snapshot dimensions embed=%d hidden=%d", cfg.EmbedDim, cfg.HiddenDim)
+	}
+	if src.Size() < 3 || tgt.Size() < 3 { // <unk>, <s>, </s> at minimum
+		return nil, fmt.Errorf("model: snapshot vocabularies too small (%d src, %d tgt)", src.Size(), tgt.Size())
+	}
+	p := newParser(cfg, src, tgt)
+	params := p.Params()
+	if n := br.u64(); int(n) != len(params) {
+		return nil, fmt.Errorf("model: snapshot holds %d tensors, parser has %d", n, len(params))
+	}
+	for i, t := range params {
+		rows, cols := int(br.u64()), int(br.u64())
+		if br.err != nil {
+			return nil, fmt.Errorf("model: reading tensor %d: %w", i, br.err)
+		}
+		if rows != t.Rows || cols != t.Cols {
+			return nil, fmt.Errorf("model: tensor %d is %dx%d in snapshot, %dx%d in parser", i, rows, cols, t.Rows, t.Cols)
+		}
+		for j := range t.W {
+			t.W[j] = math.Float64frombits(br.u64())
+		}
+	}
+	if br.err != nil {
+		return nil, fmt.Errorf("model: reading snapshot weights: %w", br.err)
+	}
+	return p, nil
+}
+
+// SaveFile writes the snapshot atomically: to a temp file in the target
+// directory, then renamed into place, so a concurrent LoadFile never sees a
+// half-written snapshot.
+func (p *Parser) SaveFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := p.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadFile reads a snapshot from disk.
+func LoadFile(path string) (*Parser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func writeConfig(bw *binWriter, c Config) {
+	bw.i64(int64(c.EmbedDim))
+	bw.i64(int64(c.HiddenDim))
+	bw.f64(c.LR)
+	bw.f64(c.Dropout)
+	bw.i64(int64(c.Epochs))
+	bw.i64(int64(c.MaxSteps))
+	bw.i64(int64(c.EvalEvery))
+	bw.i64(int64(c.Patience))
+	bw.bool(c.PointerGen)
+	bw.bool(c.PretrainLM)
+	bw.i64(int64(c.LMSteps))
+	bw.i64(int64(c.MaxDecodeLen))
+	bw.i64(int64(c.MinVocabCount))
+	bw.i64(c.Seed)
+}
+
+func readConfig(br *binReader) Config {
+	var c Config
+	c.EmbedDim = int(br.i64())
+	c.HiddenDim = int(br.i64())
+	c.LR = br.f64()
+	c.Dropout = br.f64()
+	c.Epochs = int(br.i64())
+	c.MaxSteps = int(br.i64())
+	c.EvalEvery = int(br.i64())
+	c.Patience = int(br.i64())
+	c.PointerGen = br.bool()
+	c.PretrainLM = br.bool()
+	c.LMSteps = int(br.i64())
+	c.MaxDecodeLen = int(br.i64())
+	c.MinVocabCount = int(br.i64())
+	c.Seed = br.i64()
+	return c
+}
+
+func writeVocab(bw *binWriter, v *Vocab) {
+	bw.u64(uint64(len(v.tokens)))
+	for _, tok := range v.tokens {
+		bw.str(tok)
+	}
+}
+
+func readVocab(br *binReader) *Vocab {
+	n := br.u64()
+	if br.err != nil {
+		return newVocabFromTokens(nil)
+	}
+	const maxVocab = 1 << 24 // sanity bound against corrupt headers
+	if n > maxVocab {
+		br.err = fmt.Errorf("implausible vocabulary size %d", n)
+		return newVocabFromTokens(nil)
+	}
+	tokens := make([]string, n)
+	for i := range tokens {
+		tokens[i] = br.str()
+	}
+	return newVocabFromTokens(tokens)
+}
+
+// binWriter/binReader carry the first error so call sites stay linear.
+type binWriter struct {
+	w   *bufio.Writer
+	err error
+	buf [8]byte
+}
+
+func (b *binWriter) bytes(p []byte) {
+	if b.err != nil {
+		return
+	}
+	_, b.err = b.w.Write(p)
+}
+
+func (b *binWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(b.buf[:], v)
+	b.bytes(b.buf[:])
+}
+
+func (b *binWriter) i64(v int64)   { b.u64(uint64(v)) }
+func (b *binWriter) f64(v float64) { b.u64(math.Float64bits(v)) }
+
+func (b *binWriter) bool(v bool) {
+	if v {
+		b.bytes([]byte{1})
+	} else {
+		b.bytes([]byte{0})
+	}
+}
+
+func (b *binWriter) str(s string) {
+	b.u64(uint64(len(s)))
+	b.bytes([]byte(s))
+}
+
+type binReader struct {
+	r   *bufio.Reader
+	err error
+	buf [8]byte
+}
+
+func (b *binReader) bytes(p []byte) {
+	if b.err != nil {
+		return
+	}
+	_, b.err = io.ReadFull(b.r, p)
+}
+
+func (b *binReader) u64() uint64 {
+	b.bytes(b.buf[:])
+	if b.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b.buf[:])
+}
+
+func (b *binReader) i64() int64   { return int64(b.u64()) }
+func (b *binReader) f64() float64 { return math.Float64frombits(b.u64()) }
+
+func (b *binReader) bool() bool {
+	var one [1]byte
+	b.bytes(one[:])
+	return one[0] != 0
+}
+
+func (b *binReader) str() string {
+	n := b.u64()
+	if b.err != nil {
+		return ""
+	}
+	const maxToken = 1 << 20
+	if n > maxToken {
+		b.err = fmt.Errorf("implausible token length %d", n)
+		return ""
+	}
+	p := make([]byte, n)
+	b.bytes(p)
+	return string(p)
+}
+
+// Dims reports the embedding and hidden sizes (diagnostics and serving
+// logs).
+func (p *Parser) Dims() (embed, hidden int) { return p.cfg.EmbedDim, p.cfg.HiddenDim }
+
+// VocabSizes reports source and target vocabulary sizes.
+func (p *Parser) VocabSizes() (src, tgt int) { return p.src.Size(), p.tgt.Size() }

@@ -1,0 +1,96 @@
+package model
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTripBitIdentical(t *testing.T) {
+	p := trainedToyParser()
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	q, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+
+	// Weights: bit-identical, tensor by tensor.
+	pp, qp := p.Params(), q.Params()
+	if len(pp) != len(qp) {
+		t.Fatalf("param count changed: %d -> %d", len(pp), len(qp))
+	}
+	for i := range pp {
+		if pp[i].Rows != qp[i].Rows || pp[i].Cols != qp[i].Cols {
+			t.Fatalf("tensor %d shape changed: %dx%d -> %dx%d", i, pp[i].Rows, pp[i].Cols, qp[i].Rows, qp[i].Cols)
+		}
+		for j := range pp[i].W {
+			if pp[i].W[j] != qp[i].W[j] {
+				t.Fatalf("tensor %d element %d not bit-identical: %v != %v", i, j, pp[i].W[j], qp[i].W[j])
+			}
+		}
+	}
+	if p.cfg != q.cfg {
+		t.Errorf("config changed: %+v -> %+v", p.cfg, q.cfg)
+	}
+
+	// Decode: identical output token-for-token, greedy and beam.
+	train, val := toyPairs()
+	for _, pr := range append(train, val...) {
+		if a, b := strings.Join(p.Parse(pr.Src), " "), strings.Join(q.Parse(pr.Src), " "); a != b {
+			t.Fatalf("Parse(%v) differs after round trip: %q != %q", pr.Src, a, b)
+		}
+		if a, b := strings.Join(p.ParseBeam(pr.Src, 3), " "), strings.Join(q.ParseBeam(pr.Src, 3), " "); a != b {
+			t.Fatalf("ParseBeam(%v) differs after round trip: %q != %q", pr.Src, a, b)
+		}
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	p := trainedToyParser()
+	path := filepath.Join(t.TempDir(), "toy.parser")
+	if err := p.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	q, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	src := []string{"tweet", "alpha", "now"}
+	if a, b := strings.Join(p.Parse(src), " "), strings.Join(q.Parse(src), " "); a != b {
+		t.Errorf("file round trip decode differs: %q != %q", a, b)
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("NOTASNAPSHOT AT ALL"))); err == nil {
+		t.Error("Load accepted a non-snapshot stream")
+	}
+	// Right magic, wrong version.
+	var buf bytes.Buffer
+	buf.WriteString(snapshotMagic)
+	buf.Write([]byte{99, 0, 0, 0, 0, 0, 0, 0})
+	if _, err := Load(bytes.NewReader(buf.Bytes())); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("Load of wrong version: err = %v, want version error", err)
+	}
+	// Truncated stream.
+	p := trainedToyParser()
+	var full bytes.Buffer
+	if err := p.Save(&full); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(full.Bytes()[:full.Len()/2])); err == nil {
+		t.Error("Load accepted a truncated snapshot")
+	}
+	// Valid header but garbage config: must error cleanly, not allocate
+	// gigabytes off a corrupt dimension.
+	corrupt := append([]byte(nil), full.Bytes()...)
+	const cfgOff = len(snapshotMagic) + 8 // EmbedDim is the first config field
+	corrupt[cfgOff+3] = 0x40              // EmbedDim |= 1<<30
+	if _, err := Load(bytes.NewReader(corrupt)); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Errorf("Load of corrupt dimensions: err = %v, want implausible-dimension error", err)
+	}
+}

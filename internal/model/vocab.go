@@ -59,6 +59,20 @@ func BuildVocab(sequences [][]string, minCount int) *Vocab {
 	return v
 }
 
+// newVocabFromTokens rebuilds a vocabulary from its exact token list
+// (reserved entries included), preserving ids; snapshot loading depends on
+// the order being reproduced bit-for-bit.
+func newVocabFromTokens(tokens []string) *Vocab {
+	v := &Vocab{
+		tokens: tokens,
+		index:  make(map[string]int, len(tokens)),
+	}
+	for i, tok := range tokens {
+		v.index[tok] = i
+	}
+	return v
+}
+
 // Size returns the vocabulary size.
 func (v *Vocab) Size() int { return len(v.tokens) }
 

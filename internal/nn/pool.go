@@ -1,0 +1,34 @@
+package nn
+
+import "sync"
+
+// GraphPool is a sync.Pool of inference graphs (NeedsGrad=false), each backed
+// by its own Arena. Get hands out a graph ready for a forward pass; Put
+// resets it — recycling every intermediate tensor it produced — and returns
+// it to the pool. One pool makes a trained model servable from many
+// goroutines: each in-flight request holds a private graph, and once the
+// pooled arenas are warm, steady-state traffic performs no heap allocation.
+//
+// Lifetime rules follow Arena's: tensors obtained from a pooled graph are
+// valid only until the graph goes back via Put; never retain them across
+// requests. A single graph is still single-goroutine — the pool provides
+// exclusion by handing each goroutine its own.
+type GraphPool struct {
+	p sync.Pool
+}
+
+// NewGraphPool returns an empty pool; graphs are created on demand.
+func NewGraphPool() *GraphPool {
+	gp := &GraphPool{}
+	gp.p.New = func() any { return NewGraphArena(false, NewArena()) }
+	return gp
+}
+
+// Get returns an inference graph with an empty arena working set.
+func (gp *GraphPool) Get() *Graph { return gp.p.Get().(*Graph) }
+
+// Put resets g, invalidating every tensor it handed out, and recycles it.
+func (gp *GraphPool) Put(g *Graph) {
+	g.Reset()
+	gp.p.Put(g)
+}

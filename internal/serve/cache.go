@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/model"
+	"repro/internal/thingpedia"
+)
+
+// Key derives the snapshot-cache key for a skill library plus any extra
+// discriminators that change the trained parser (scale preset, training
+// strategy, seed, model config digest, ...). The library contributes its
+// content checksum, so an unchanged library — even re-parsed from source —
+// maps to the same key, while any skill/function/template edit changes it.
+func Key(lib *thingpedia.Library, extra ...string) string {
+	h := sha256.New()
+	writeLP := func(s string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	writeLP(lib.Checksum())
+	for _, e := range extra {
+		writeLP(e)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Cache keys trained parser snapshots by skill-library checksum (see Key).
+// Hits are served from memory, then from disk snapshots (model.LoadFile);
+// misses train once — concurrent requests for the same key share a single
+// training run — and persist the snapshot when a directory is configured.
+// Re-serving an unchanged Thingpedia library therefore never retrains.
+type Cache struct {
+	dir string // "" = memory-only
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	once  sync.Once
+	ready atomic.Bool // set once p/err are final; read before once.Do to classify hits
+	p     *model.Parser
+	err   error
+	disk  bool // resolved from a disk snapshot rather than training
+}
+
+// NewCache returns a cache; dir is the snapshot directory ("" keeps the
+// cache memory-only). The directory is created on first write.
+func NewCache(dir string) *Cache {
+	return &Cache{dir: dir, entries: map[string]*cacheEntry{}}
+}
+
+// GetOrTrain returns the parser for key, reporting whether it was a cache
+// hit — resolved from memory or a disk snapshot without this call training
+// or waiting on an in-flight training run. On a miss it invokes train —
+// once per key, no matter how many goroutines ask; concurrent callers for a
+// cold key share the run and all report a miss. Training errors are cached
+// too, so a failing recipe is not retried storm-style; use a new key (or a
+// new Cache) to retry.
+func (c *Cache) GetOrTrain(key string, train func() (*model.Parser, error)) (*model.Parser, bool, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	inMemory := ok && e.ready.Load() // resolved before this call started
+
+	e.once.Do(func() {
+		defer e.ready.Store(true)
+		if c.dir != "" {
+			if p, err := model.LoadFile(c.path(key)); err == nil {
+				e.p, e.disk = p, true
+				return
+			}
+		}
+		e.p, e.err = train()
+		if e.err == nil && c.dir != "" {
+			if err := os.MkdirAll(c.dir, 0o755); err == nil {
+				// Persisting is best-effort: a read-only disk degrades the
+				// cache to memory-only rather than failing the request.
+				_ = e.p.SaveFile(c.path(key))
+			}
+		}
+	})
+	if e.err != nil {
+		return nil, false, e.err
+	}
+	return e.p, e.disk || inMemory, nil
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".parser")
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a Server over HTTP. Its Parse method implements
+// eval.Decoder, so an evaluation harness can score a remote parser through
+// the full batched serving path.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for a server base URL (e.g.
+// "http://127.0.0.1:8080"). A trailing slash is trimmed.
+func NewClient(base string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// ParseRequestCtx sends one parse request and decodes the reply.
+func (c *Client) ParseRequestCtx(ctx context.Context, req ParseRequest) (ParseResponse, error) {
+	var resp ParseResponse
+	body, err := json.Marshal(req)
+	if err != nil {
+		return resp, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/parse", bytes.NewReader(body))
+	if err != nil {
+		return resp, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return resp, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
+		return resp, fmt.Errorf("serve: %s: %s", hresp.Status, strings.TrimSpace(string(msg)))
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		return resp, err
+	}
+	return resp, nil
+}
+
+// ParseSentence parses a raw sentence (server-side tokenization).
+func (c *Client) ParseSentence(ctx context.Context, sentence string) (ParseResponse, error) {
+	return c.ParseRequestCtx(ctx, ParseRequest{Sentence: sentence})
+}
+
+// ParseWords parses a pre-tokenized sentence.
+func (c *Client) ParseWords(ctx context.Context, words []string) ([]string, error) {
+	resp, err := c.ParseRequestCtx(ctx, ParseRequest{Words: words})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tokens, nil
+}
+
+// Parse implements eval.Decoder; transport errors decode to nil (scored as
+// wrong), keeping evaluation total-preserving.
+func (c *Client) Parse(words []string) []string {
+	out, err := c.ParseWords(context.Background(), words)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
+	var h HealthResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return h, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return h, fmt.Errorf("serve: %s", resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	return h, err
+}

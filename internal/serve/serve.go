@@ -1,0 +1,215 @@
+// Package serve is the parser-serving layer: it turns a trained
+// model.Parser — a pure function after training — into a long-lived service.
+// It provides request micro-batching over a decode worker pool (Batcher), an
+// HTTP JSON front end (Server) with a matching Client, and a trained-snapshot
+// cache keyed by the Thingpedia skill-library checksum (Cache), so
+// re-serving an unchanged library skips training entirely.
+//
+// The layer leans on two properties established in internal/model: decoding
+// is concurrency-safe (all decode state lives in pooled per-call contexts,
+// so one Parser serves every worker goroutine), and parsers round-trip
+// through versioned binary snapshots bit-identically (model.Save/Load).
+package serve
+
+import (
+	"context"
+	"errors"
+	goruntime "runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Parser is the decoding surface the serving layer needs; *model.Parser
+// implements it.
+type Parser interface {
+	Parse(words []string) []string
+	ParseBeam(words []string, width int) []string
+}
+
+// Options tune the serving layer.
+type Options struct {
+	// MaxBatch is the most requests gathered into one decode batch
+	// (default 8).
+	MaxBatch int
+	// MaxWait bounds how long the first request of a batch waits for
+	// company before the batch is dispatched anyway (default 2ms).
+	MaxWait time.Duration
+	// Workers is the decode worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// Beam is the beam width (<= 1 decodes greedily).
+	Beam int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 2 * time.Millisecond
+	}
+	if o.Workers <= 0 {
+		o.Workers = goruntime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// ErrClosed is returned for requests submitted after Close.
+var ErrClosed = errors.New("serve: batcher closed")
+
+type request struct {
+	words []string
+	reply chan []string
+}
+
+// Batcher gathers incoming parse requests into micro-batches — up to
+// MaxBatch requests or MaxWait, whichever comes first — and decodes each
+// batch on a fixed worker pool. Batching amortizes scheduling and keeps the
+// decode workers saturated under bursty traffic; because decoding is
+// concurrency-safe, all workers share the one trained parser.
+type Batcher struct {
+	opt    Options
+	parser Parser
+
+	in   chan request
+	jobs chan request
+	done chan struct{}
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	requests atomic.Int64
+	batches  atomic.Int64
+}
+
+// NewBatcher starts the gather loop and the worker pool.
+func NewBatcher(p Parser, opt Options) *Batcher {
+	opt = opt.withDefaults()
+	b := &Batcher{
+		opt:    opt,
+		parser: p,
+		in:     make(chan request),
+		jobs:   make(chan request, opt.MaxBatch),
+		done:   make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.gather()
+	for w := 0; w < opt.Workers; w++ {
+		b.wg.Add(1)
+		go b.worker()
+	}
+	return b
+}
+
+// gather is the micro-batching loop: the first request opens a batch and
+// starts the MaxWait timer; the batch is dispatched when full or when the
+// timer fires.
+func (b *Batcher) gather() {
+	defer b.wg.Done()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		var first request
+		select {
+		case first = <-b.in:
+		case <-b.done:
+			close(b.jobs)
+			return
+		}
+		batch := make([]request, 1, b.opt.MaxBatch)
+		batch[0] = first
+		timer.Reset(b.opt.MaxWait)
+	fill:
+		for len(batch) < b.opt.MaxBatch {
+			select {
+			case r := <-b.in:
+				batch = append(batch, r)
+			case <-timer.C:
+				break fill
+			case <-b.done:
+				break fill
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		b.batches.Add(1)
+		b.requests.Add(int64(len(batch)))
+		for _, r := range batch {
+			b.jobs <- r
+		}
+		select {
+		case <-b.done:
+			close(b.jobs)
+			return
+		default:
+		}
+	}
+}
+
+func (b *Batcher) worker() {
+	defer b.wg.Done()
+	for r := range b.jobs {
+		r.reply <- b.decode(r.words)
+	}
+}
+
+func (b *Batcher) decode(words []string) []string {
+	if b.opt.Beam > 1 {
+		return b.parser.ParseBeam(words, b.opt.Beam)
+	}
+	return b.parser.Parse(words)
+}
+
+// ParseCtx submits one sentence through the batching path and waits for its
+// program tokens.
+func (b *Batcher) ParseCtx(ctx context.Context, words []string) ([]string, error) {
+	r := request{words: words, reply: make(chan []string, 1)}
+	select {
+	case b.in <- r:
+	case <-b.done:
+		return nil, ErrClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case out := <-r.reply:
+		return out, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Parse implements eval.Decoder over the batched path, so eval.Evaluate and
+// eval.EvaluateParallel can score a served parser exactly like a local one.
+// A closed batcher decodes to nil (scored as wrong).
+func (b *Batcher) Parse(words []string) []string {
+	out, err := b.ParseCtx(context.Background(), words)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// Stats reports served traffic; Requests/Batches is the realized mean batch
+// size.
+type Stats struct {
+	Requests int64
+	Batches  int64
+}
+
+// Stats returns a snapshot of the batcher's counters.
+func (b *Batcher) Stats() Stats {
+	return Stats{Requests: b.requests.Load(), Batches: b.batches.Load()}
+}
+
+// Close drains the workers and rejects further requests.
+func (b *Batcher) Close() {
+	b.closeOnce.Do(func() { close(b.done) })
+	b.wg.Wait()
+}

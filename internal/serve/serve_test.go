@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+// toyParser trains one small pointer-generator parser shared by all serving
+// tests (training dominates; the tests exercise the serving path).
+var toy struct {
+	once sync.Once
+	p    *model.Parser
+}
+
+func toyTrainPairs() []model.Pair {
+	values := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot",
+		"golf", "hotel", "india", "juliet"}
+	verbs := []struct{ nl, fn string }{
+		{"tweet", "@twitter.post"},
+		{"email", "@gmail.send"},
+	}
+	var pairs []model.Pair
+	for _, v := range values {
+		for _, vb := range verbs {
+			pairs = append(pairs, model.Pair{
+				Src: []string{vb.nl, v, "now"},
+				Tgt: []string{"now", "=>", vb.fn, "param:text", "=", `"`, v, `"`},
+			})
+		}
+	}
+	return pairs
+}
+
+func toyConfig(seed int64) model.Config {
+	return model.Config{
+		EmbedDim: 24, HiddenDim: 32, LR: 5e-3, Epochs: 25,
+		EvalEvery: 100000, PointerGen: true, MaxDecodeLen: 16,
+		MinVocabCount: 4, Seed: seed,
+	}
+}
+
+func toyParser() *model.Parser {
+	toy.once.Do(func() {
+		toy.p = model.Train(toyTrainPairs(), nil, nil, toyConfig(1))
+	})
+	return toy.p
+}
+
+func testSentences() [][]string {
+	var out [][]string
+	for _, p := range toyTrainPairs() {
+		out = append(out, p.Src)
+	}
+	return out
+}
+
+func TestBatcherMatchesDirectDecode(t *testing.T) {
+	p := toyParser()
+	b := NewBatcher(p, Options{MaxBatch: 4, MaxWait: time.Millisecond})
+	defer b.Close()
+
+	sentences := testSentences()
+	want := make([]string, len(sentences))
+	for i, s := range sentences {
+		want[i] = strings.Join(p.Parse(s), " ")
+	}
+
+	var wg sync.WaitGroup
+	for rep := 0; rep < 5; rep++ {
+		for i := range sentences {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got, err := b.ParseCtx(context.Background(), sentences[i])
+				if err != nil {
+					t.Errorf("ParseCtx: %v", err)
+					return
+				}
+				if strings.Join(got, " ") != want[i] {
+					t.Errorf("batched decode of %v = %q, direct = %q", sentences[i], strings.Join(got, " "), want[i])
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+
+	st := b.Stats()
+	if st.Requests != int64(5*len(sentences)) {
+		t.Errorf("Stats.Requests = %d, want %d", st.Requests, 5*len(sentences))
+	}
+	if st.Batches <= 0 || st.Batches > st.Requests {
+		t.Errorf("implausible batch count: %+v", st)
+	}
+}
+
+// TestBatcherFormsBatches drives many concurrent requests through a batcher
+// with a generous gather window and checks that batching actually happened
+// (fewer batches than requests).
+func TestBatcherFormsBatches(t *testing.T) {
+	p := toyParser()
+	b := NewBatcher(p, Options{MaxBatch: 8, MaxWait: 25 * time.Millisecond, Workers: 2})
+	defer b.Close()
+	const n = 24
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Parse([]string{"tweet", "alpha", "now"})
+		}()
+	}
+	wg.Wait()
+	st := b.Stats()
+	if st.Requests != n {
+		t.Fatalf("Requests = %d, want %d", st.Requests, n)
+	}
+	if st.Batches >= st.Requests {
+		t.Errorf("no batching happened: %d batches for %d requests", st.Batches, st.Requests)
+	}
+}
+
+func TestBatcherClose(t *testing.T) {
+	b := NewBatcher(toyParser(), Options{})
+	b.Close()
+	if _, err := b.ParseCtx(context.Background(), []string{"tweet", "alpha", "now"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("ParseCtx after Close: err = %v, want ErrClosed", err)
+	}
+	b.Close() // idempotent
+}
+
+func TestBatcherContextCancel(t *testing.T) {
+	b := NewBatcher(toyParser(), Options{})
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.ParseCtx(ctx, []string{"tweet", "alpha", "now"}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled ParseCtx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestServerAndClientEndToEnd(t *testing.T) {
+	p := toyParser()
+	srv := NewServer(p, Options{MaxBatch: 4, MaxWait: time.Millisecond})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	ctx := context.Background()
+	words := []string{"tweet", "alpha", "now"}
+	want := strings.Join(p.Parse(words), " ")
+
+	// Pre-tokenized path.
+	got, err := c.ParseWords(ctx, words)
+	if err != nil {
+		t.Fatalf("ParseWords: %v", err)
+	}
+	if strings.Join(got, " ") != want {
+		t.Errorf("served decode = %q, direct = %q", strings.Join(got, " "), want)
+	}
+
+	// Raw-sentence path (server-side tokenization lowercases).
+	resp, err := c.ParseSentence(ctx, "Tweet alpha NOW")
+	if err != nil {
+		t.Fatalf("ParseSentence: %v", err)
+	}
+	if resp.Program != want {
+		t.Errorf("sentence decode = %q, want %q", resp.Program, want)
+	}
+	if len(resp.Tokens) == 0 {
+		t.Error("empty token list for a trained in-distribution sentence")
+	}
+
+	// eval.Decoder adapter.
+	if gotDec := strings.Join(c.Parse(words), " "); gotDec != want {
+		t.Errorf("Client.Parse = %q, want %q", gotDec, want)
+	}
+
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if !h.OK || h.Requests < 3 {
+		t.Errorf("unexpected health: %+v", h)
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	srv := NewServer(toyParser(), Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	if _, err := c.ParseSentence(context.Background(), "   "); err == nil {
+		t.Error("empty sentence should be rejected")
+	}
+	resp, err := ts.Client().Get(ts.URL + "/parse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Errorf("GET /parse status = %d, want 405", resp.StatusCode)
+	}
+}

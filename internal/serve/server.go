@@ -1,0 +1,113 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ParseRequest is the JSON body of POST /parse. Either a raw sentence
+// (whitespace-tokenized, lowercased) or a pre-tokenized word list.
+type ParseRequest struct {
+	Sentence string   `json:"sentence,omitempty"`
+	Words    []string `json:"words,omitempty"`
+}
+
+// ParseResponse is the JSON reply: the decoded ThingTalk program as a token
+// list and as one joined string, plus the server-side latency.
+type ParseResponse struct {
+	Tokens    []string `json:"tokens"`
+	Program   string   `json:"program"`
+	LatencyMS float64  `json:"latency_ms"`
+}
+
+// HealthResponse is the JSON reply of GET /healthz.
+type HealthResponse struct {
+	OK       bool  `json:"ok"`
+	Requests int64 `json:"requests"`
+	Batches  int64 `json:"batches"`
+}
+
+// Server is the HTTP front end over a Batcher.
+//
+//	POST /parse   {"sentence": "..."} or {"words": [...]} -> ParseResponse
+//	GET  /healthz -> HealthResponse
+type Server struct {
+	b   *Batcher
+	mux *http.ServeMux
+}
+
+// NewServer wraps a trained parser in a batching HTTP service.
+func NewServer(p Parser, opt Options) *Server {
+	s := &Server{b: NewBatcher(p, opt), mux: http.NewServeMux()}
+	s.mux.HandleFunc("/parse", s.handleParse)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+// Batcher exposes the underlying batcher (stats, direct eval.Decoder use).
+func (s *Server) Batcher() *Batcher { return s.b }
+
+// Handler returns the HTTP handler (for http.Server or httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close shuts the batching layer down.
+func (s *Server) Close() { s.b.Close() }
+
+// Tokenize is the server's sentence tokenization: lowercase, whitespace
+// split. It matches the pipeline's pre-tokenized training data closely
+// enough for serving and is exported so Client can mirror it.
+func Tokenize(sentence string) []string {
+	return strings.Fields(strings.ToLower(sentence))
+}
+
+func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req ParseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	words := req.Words
+	if len(words) == 0 {
+		words = Tokenize(req.Sentence)
+	}
+	if len(words) == 0 {
+		http.Error(w, "empty sentence", http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	toks, err := s.b.ParseCtx(r.Context(), words)
+	if err != nil {
+		status := http.StatusServiceUnavailable
+		if r.Context().Err() != nil {
+			status = http.StatusRequestTimeout
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	if toks == nil {
+		toks = []string{} // JSON [] rather than null
+	}
+	writeJSON(w, ParseResponse{
+		Tokens:    toks,
+		Program:   strings.Join(toks, " "),
+		LatencyMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	st := s.b.Stats()
+	writeJSON(w, HealthResponse{OK: true, Requests: st.Requests, Batches: st.Batches})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

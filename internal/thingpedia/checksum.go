@@ -1,0 +1,95 @@
+package thingpedia
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"sort"
+	"strings"
+)
+
+// Checksum returns a stable hex digest of the library's content: every
+// class (name, extends, easy flag), every function signature (selector,
+// kind, monitorability, list-ness, canonical name, parameters with types
+// and directions), and every primitive template (class, category, utterance,
+// placeholder declarations, flags). Two libraries that would synthesize the
+// same training data — and therefore train the same parser — hash equal;
+// adding, removing or editing a skill, function, parameter or template
+// changes the digest. The serving layer keys its trained-snapshot cache on
+// it, so re-serving an unchanged skill library skips training.
+//
+// Classes and functions are hashed in sorted order, making the digest
+// independent of registration order; primitive templates are sorted by
+// their serialized form.
+func (l *Library) Checksum() string {
+	h := sha256.New()
+
+	classes := l.Classes()
+	sort.Slice(classes, func(i, j int) bool { return classes[i].Name < classes[j].Name })
+	for _, c := range classes {
+		hashStr(h, "class", c.Name)
+		ext := append([]string(nil), c.Extends...)
+		sort.Strings(ext)
+		for _, e := range ext {
+			hashStr(h, "extends", e)
+		}
+		hashStr(h, "easy", fmt.Sprintf("%t", c.Easy))
+		var funcs []string
+		for _, f := range c.Functions {
+			var b strings.Builder
+			b.WriteString(f.Selector())
+			b.WriteByte('|')
+			b.WriteString(f.Kind.String())
+			fmt.Fprintf(&b, "|monitor=%t|list=%t|", f.Monitor, f.List)
+			b.WriteString(f.Canonical)
+			for _, p := range f.Params {
+				fmt.Fprintf(&b, "|%s:%s:%d", p.Name, p.Type, p.Dir)
+			}
+			funcs = append(funcs, b.String())
+		}
+		sort.Strings(funcs)
+		for _, s := range funcs {
+			hashStr(h, "fn", s)
+		}
+	}
+
+	prims := make([]string, 0, len(l.primitives))
+	for _, p := range l.primitives {
+		var b strings.Builder
+		b.WriteString(p.Class)
+		b.WriteByte('|')
+		b.WriteString(string(p.Category))
+		b.WriteByte('|')
+		b.WriteString(strings.Join(p.Utterance, " "))
+		for _, a := range p.Args {
+			fmt.Fprintf(&b, "|$%s:%s", a.Name, a.Type)
+		}
+		flags := append([]string(nil), p.Flags...)
+		sort.Strings(flags)
+		for _, f := range flags {
+			b.WriteByte('|')
+			b.WriteString(f)
+		}
+		prims = append(prims, b.String())
+	}
+	sort.Strings(prims)
+	for _, s := range prims {
+		hashStr(h, "prim", s)
+	}
+
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashStr writes a domain-separated, length-prefixed string so that field
+// boundaries cannot alias ("ab"+"c" vs "a"+"bc").
+func hashStr(h hash.Hash, domain, s string) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(domain)))
+	h.Write(n[:])
+	h.Write([]byte(domain))
+	binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+	h.Write(n[:])
+	h.Write([]byte(s))
+}

@@ -1,0 +1,67 @@
+package thingpedia
+
+import (
+	"testing"
+
+	"repro/internal/thingtalk"
+)
+
+func TestChecksumStableAcrossParses(t *testing.T) {
+	// SpotifyOnly parses fresh on every call, so this compares two distinct
+	// parses of the same sources.
+	if SpotifyOnly().Checksum() != SpotifyOnly().Checksum() {
+		t.Error("re-parsing the same library sources must not change the checksum")
+	}
+	if got := Builtin().Checksum(); len(got) != 64 {
+		t.Errorf("checksum %q is not a sha256 hex digest", got)
+	}
+}
+
+func TestChecksumTracksContent(t *testing.T) {
+	base := Builtin().Checksum()
+	if base == SpotifyOnly().Checksum() {
+		t.Error("different libraries must hash differently")
+	}
+
+	// Adding a class changes the digest (on a fresh parse — Builtin() is a
+	// shared read-only singleton).
+	lib := SpotifyOnly()
+	before := lib.Checksum()
+	if err := lib.AddClass(&Class{
+		Name: "zz.test",
+		Functions: []*thingtalk.FunctionSchema{{
+			Class: "zz.test", Name: "ping", Kind: thingtalk.KindAction,
+			Params: []thingtalk.ParamSpec{{Name: "msg", Dir: thingtalk.DirInReq, Type: thingtalk.StringType{}}},
+		}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if lib.Checksum() == before {
+		t.Error("adding a class must change the checksum")
+	}
+}
+
+func TestChecksumOrderIndependent(t *testing.T) {
+	mk := func(order []int) *Library {
+		classes := []*Class{
+			{Name: "a.one", Functions: []*thingtalk.FunctionSchema{{
+				Class: "a.one", Name: "q", Kind: thingtalk.KindQuery,
+				Params: []thingtalk.ParamSpec{{Name: "x", Dir: thingtalk.DirOut, Type: thingtalk.NumberType{}}},
+			}}},
+			{Name: "b.two", Functions: []*thingtalk.FunctionSchema{{
+				Class: "b.two", Name: "act", Kind: thingtalk.KindAction,
+				Params: []thingtalk.ParamSpec{{Name: "y", Dir: thingtalk.DirInReq, Type: thingtalk.StringType{}}},
+			}}},
+		}
+		lib := NewLibrary()
+		for _, i := range order {
+			if err := lib.AddClass(classes[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return lib
+	}
+	if mk([]int{0, 1}).Checksum() != mk([]int{1, 0}).Checksum() {
+		t.Error("class registration order must not affect the checksum")
+	}
+}

@@ -1,5 +1,7 @@
 package thingtalk
 
+import "sort"
+
 // Unit handling. ThingTalk measures can be written with any legal unit of a
 // dimension and composed additively ("6 feet 3 inches" = 6ft + 3in); the
 // runtime normalizes to the dimension's base unit. The neural parser never
@@ -106,14 +108,6 @@ func UnitsOf(base string) []string {
 			out = append(out, u)
 		}
 	}
-	sortStrings(out)
+	sort.Strings(out)
 	return out
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
