@@ -212,6 +212,123 @@ func BenchmarkTrainModel(b *testing.B) {
 	}
 }
 
+// benchBatchPairs builds a mixed-length training set for the minibatch
+// benchmarks: assistant-command sentences in the repo's benchmark convention
+// (BenchmarkTrainingStep's shape), with 4–7 source tokens and 8–11 program
+// tokens varied so batches exercise the padding and masking machinery.
+func benchBatchPairs() []model.Pair {
+	values := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel"}
+	verbs := []string{"post", "send", "note", "mail"}
+	filler := []string{"on", "my", "feed"}
+	var pairs []model.Pair
+	for i, v := range values {
+		for j, vb := range verbs {
+			src := append([]string{vb, v, "now"}, filler[:(i+j)%4]...)
+			tgt := []string{"now", "=>", "@svc." + vb, "param:text", "=", `"`, v, `"`}
+			if (i+j)%3 > 0 {
+				tgt = append(tgt, "param:when", "=", "enum:now")
+			}
+			pairs = append(pairs, model.Pair{Src: src, Tgt: tgt})
+		}
+	}
+	return pairs
+}
+
+// BenchmarkTrainStepBatched measures per-example training throughput of the
+// padded-minibatch path at B=1 vs B=16: each iteration is one full
+// forward/backward/Adam step over a minibatch, and the ns/example metric
+// divides by the batch width. The B=16 leg amortizes weight-matrix streaming
+// and per-op tape overhead over 16 rows (and, on a multi-core runner, splits
+// each kernel across cores); the ratio of the two legs' ns/example is the
+// minibatching speedup.
+func BenchmarkTrainStepBatched(b *testing.B) {
+	pairs := benchBatchPairs()
+	// B=1 is the pre-existing per-example Step path (the "before"); B=16
+	// pushes minibatches through StepBatch.
+	b.Run("B=1", func(b *testing.B) {
+		tr := model.NewTrainer(pairs, nil, benchTrainCfg)
+		tr.Step(&pairs[0]) // warm the arena, tape and scratch buffers
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Step(&pairs[i%len(pairs)])
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/example")
+	})
+	const bs = 16
+	b.Run("B=16", func(b *testing.B) {
+		tr := model.NewTrainer(pairs, nil, benchTrainCfg)
+		var batches [][]model.Pair
+		for lo := 0; lo+bs <= len(pairs); lo += bs {
+			batches = append(batches, pairs[lo:lo+bs])
+		}
+		tr.StepBatch(batches[0]) // warm the arena, tape and scratch buffers
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.StepBatch(batches[i%len(batches)])
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*bs), "ns/example")
+	})
+}
+
+// BenchmarkBatchedDecode measures the serving-side win of lockstep batched
+// decoding: a 16-sentence window decoded sequentially (16 Parse/ParseBeam
+// calls) vs as one ParseBatch/ParseBeamBatch call, greedy and at beam 4.
+// Outputs are token-identical (TestParseBatchParallelMatchesSequential);
+// only the per-sentence cost changes.
+func BenchmarkBatchedDecode(b *testing.B) {
+	pairs := benchBatchPairs()
+	cfg := benchTrainCfg
+	cfg.Epochs = 3
+	p := model.Train(pairs, nil, nil, cfg)
+	window := make([][]string, 16)
+	for i := range window {
+		window[i] = pairs[i%len(pairs)].Src
+	}
+	p.ParseBatch(window) // warm graph pools and scratch buffers
+	p.ParseBeamBatch(window, 4)
+
+	perSentence := func(b *testing.B) func() {
+		b.ReportAllocs()
+		b.ResetTimer()
+		return func() {
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(window)), "ns/sentence")
+		}
+	}
+	b.Run("greedy/sequential", func(b *testing.B) {
+		defer perSentence(b)()
+		for i := 0; i < b.N; i++ {
+			for _, s := range window {
+				p.Parse(s)
+			}
+		}
+	})
+	b.Run("greedy/batched", func(b *testing.B) {
+		defer perSentence(b)()
+		for i := 0; i < b.N; i++ {
+			p.ParseBatch(window)
+		}
+	})
+	b.Run("beam4/sequential", func(b *testing.B) {
+		defer perSentence(b)()
+		for i := 0; i < b.N; i++ {
+			for _, s := range window {
+				p.ParseBeam(s, 4)
+			}
+		}
+	})
+	b.Run("beam4/batched", func(b *testing.B) {
+		defer perSentence(b)()
+		for i := 0; i < b.N; i++ {
+			p.ParseBeamBatch(window, 4)
+		}
+	})
+}
+
 func BenchmarkRuntimeExecution(b *testing.B) {
 	lib := thingpedia.Builtin()
 	exec := runtime.NewExecutor(lib)

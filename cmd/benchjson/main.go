@@ -1,0 +1,161 @@
+// Command benchjson converts `go test -bench` output into a machine-readable
+// JSON record, and derives per-example speedups between benchmark legs whose
+// names differ only in a recognized axis (B=1 vs B=16, sequential vs
+// batched). CI uses it to publish the minibatching trajectory
+// (BENCH_PR4.json); it reads stdin or -in and writes stdout or -out.
+//
+//	go test -bench 'TrainStepBatched|BatchedDecode' -benchtime 20x . | benchjson -out BENCH_PR4.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: name, iteration count, and every reported
+// metric (ns/op, B/op, allocs/op plus custom ones like ns/example).
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Speedup relates two legs of one benchmark family on a shared metric.
+type Speedup struct {
+	Benchmark string  `json:"benchmark"`
+	Metric    string  `json:"metric"`
+	Base      string  `json:"base"`
+	Against   string  `json:"against"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// File is the emitted document.
+type File struct {
+	Note       string    `json:"note,omitempty"`
+	Benchmarks []Result  `json:"benchmarks"`
+	Speedups   []Speedup `json:"speedups,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// parse extracts benchmark results from go test -bench output.
+func parse(lines []string) []Result {
+	var out []Result
+	for _, line := range lines {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.Atoi(m[2])
+		r := Result{Name: m[1], Iterations: iters, Metrics: map[string]float64{}}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		if len(r.Metrics) > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// legPairs are the sub-benchmark leg names we derive speedups across: the
+// slow (base) leg first, the fast leg second.
+var legPairs = [][2]string{
+	{"/B=1", "/B=16"},
+	{"/sequential", "/batched"},
+}
+
+// speedups pairs legs of the same benchmark family and reports base/fast
+// ratios on the most specific shared per-item metric (ns/example or
+// ns/sentence when present, ns/op otherwise).
+func speedups(results []Result) []Speedup {
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	metricOf := func(r Result) string {
+		for _, m := range []string{"ns/example", "ns/sentence"} {
+			if _, ok := r.Metrics[m]; ok {
+				return m
+			}
+		}
+		return "ns/op"
+	}
+	var out []Speedup
+	for _, r := range results {
+		for _, lp := range legPairs {
+			if !strings.HasSuffix(r.Name, lp[0]) {
+				continue
+			}
+			fast, ok := byName[strings.TrimSuffix(r.Name, lp[0])+lp[1]]
+			if !ok {
+				continue
+			}
+			m := metricOf(r)
+			base, ok1 := r.Metrics[m]
+			against, ok2 := fast.Metrics[m]
+			if ok1 && ok2 && against > 0 {
+				out = append(out, Speedup{
+					Benchmark: strings.TrimPrefix(r.Name, "Benchmark"),
+					Metric:    m, Base: r.Name, Against: fast.Name,
+					Speedup: base / against,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func main() {
+	in := flag.String("in", "", "benchmark output file (default stdin)")
+	out := flag.String("out", "", "JSON output file (default stdout)")
+	note := flag.String("note", "", "free-form note recorded in the document")
+	flag.Parse()
+
+	src := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+	}
+	var lines []string
+	sc := bufio.NewScanner(src)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	results := parse(lines)
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found")
+		os.Exit(1)
+	}
+	doc := File{Note: *note, Benchmarks: results, Speedups: speedups(results)}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -8,7 +8,7 @@
 //	genie experiment fig7|fig8|table3|fig9|stats|errors|limitation|ifttt [-scale ...] [-seed N]
 //	    [-workers N] [-cpuprofile cpu.out] [-memprofile mem.out]
 //	genie experiment all [-scale ...]
-//	genie train [-scale ...] [-seed N] [-strategy genie] [-maxsteps N] [-lmsteps N] -out parser.snap
+//	genie train [-scale ...] [-seed N] [-strategy genie] [-maxsteps N] [-lmsteps N] [-batchsize B] -out parser.snap
 //	genie serve (-snapshot parser.snap | -train) [-cache DIR] [-addr :8080]
 //	    [-batch 8] [-wait 2ms] [-serve-workers N] [-beam 1]
 //
@@ -63,7 +63,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "  genie pipeline -scale unit -n 20 -workers 0   (0 = all CPUs)")
 	fmt.Fprintln(os.Stderr, "  genie experiment fig7|fig8|table3|fig9|stats|errors|limitation|ifttt|all -scale unit -seed 1 \\")
 	fmt.Fprintln(os.Stderr, "       [-workers 0] [-cpuprofile cpu.out] [-memprofile mem.out]")
-	fmt.Fprintln(os.Stderr, "  genie train -scale unit -seed 1 -out parser.snap [-strategy genie] [-maxsteps N] [-lmsteps N]")
+	fmt.Fprintln(os.Stderr, "  genie train -scale unit -seed 1 -out parser.snap [-strategy genie] [-maxsteps N] [-lmsteps N] [-batchsize B]")
 	fmt.Fprintln(os.Stderr, "  genie serve -snapshot parser.snap -addr :8080 [-batch 8] [-wait 2ms] [-serve-workers 0] [-beam 1]")
 	fmt.Fprintln(os.Stderr, "  genie serve -train -cache /var/cache/genie -scale unit   (train once per library checksum)")
 	os.Exit(2)

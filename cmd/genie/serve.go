@@ -29,8 +29,9 @@ func strategyByName(name string) (genie.Strategy, bool) {
 
 // trainParser runs the full data pipeline and parser training for one
 // (scale, strategy, seed) recipe; maxSteps/lmSteps (-1 = keep preset) let
-// the CI smoke test cap the run.
-func trainParser(scale genie.Scale, strategy genie.Strategy, seed int64, maxSteps, lmSteps int) (*model.Parser, *genie.Data) {
+// the CI smoke test cap the run, and batchSize > 1 trains on shuffled
+// minibatches through the batched kernels (0 = scale preset).
+func trainParser(scale genie.Scale, strategy genie.Strategy, seed int64, maxSteps, lmSteps, batchSize int) (*model.Parser, *genie.Data) {
 	lib := thingpedia.Builtin()
 	d := genie.BuildData(lib, nltemplate.DefaultOptions, scale, seed)
 	mcfg := scale.Model
@@ -42,6 +43,9 @@ func trainParser(scale genie.Scale, strategy genie.Strategy, seed int64, maxStep
 		if lmSteps == 0 {
 			mcfg.PretrainLM = false
 		}
+	}
+	if batchSize > 0 {
+		mcfg.BatchSize = batchSize
 	}
 	tp := d.Train(genie.TrainOptions{Strategy: strategy, Topt: genie.CanonicalTargets, Model: mcfg, Seed: seed})
 	return tp.Parser, d
@@ -55,6 +59,7 @@ func cmdTrain(args []string) {
 	out := fs.String("out", "parser.snap", "snapshot output path")
 	maxSteps := fs.Int("maxsteps", 0, "cap on training steps (0 = scale preset)")
 	lmSteps := fs.Int("lmsteps", -1, "LM pre-training steps (-1 = scale preset, 0 = skip)")
+	batchSize := fs.Int("batchsize", 0, "training minibatch size (0 = scale preset, 1 = per-example)")
 	doEval := fs.Bool("eval", true, "score the trained parser on the validation set")
 	fs.Parse(args)
 	scale := resolveScale(*scaleName)
@@ -65,10 +70,15 @@ func cmdTrain(args []string) {
 	}
 
 	start := time.Now()
-	parser, d := trainParser(scale, strategy, *seed, *maxSteps, *lmSteps)
+	parser, d := trainParser(scale, strategy, *seed, *maxSteps, *lmSteps, *batchSize)
 	fmt.Fprintf(os.Stderr, "genie: trained %s/%s seed=%d in %s\n", scale.Name, strategy, *seed, time.Since(start).Round(time.Millisecond))
 	if *doEval {
-		rep := eval.EvaluateParallel(parser, d.Validation, d.Lib, 0)
+		// Score through the full batched serving path: EvaluateParallel's
+		// concurrent requests keep every core busy while the Batcher decodes
+		// each gathered window as one lockstep batched forward.
+		bt := serve.NewBatcher(parser, serve.Options{MaxBatch: 16})
+		rep := eval.EvaluateParallel(bt, d.Validation, d.Lib, 0)
+		bt.Close()
 		fmt.Fprintf(os.Stderr, "genie: validation program accuracy %.1f%% (function %.1f%%, %d examples)\n",
 			rep.ProgramAccuracy(), rep.FunctionAccuracy(), rep.Total)
 	}
@@ -91,6 +101,7 @@ func cmdServe(args []string) {
 	strategyName := fs.String("strategy", "genie", "training strategy (with -train)")
 	maxSteps := fs.Int("maxsteps", 0, "cap on training steps (with -train; 0 = scale preset)")
 	lmSteps := fs.Int("lmsteps", -1, "LM pre-training steps (with -train; -1 = scale preset, 0 = skip)")
+	batchSize := fs.Int("batchsize", 0, "training minibatch size (with -train; 0 = scale preset)")
 	addr := fs.String("addr", ":8080", "listen address")
 	batch := fs.Int("batch", 8, "micro-batch size (gather up to this many requests)")
 	wait := fs.Duration("wait", 2*time.Millisecond, "micro-batch gather window")
@@ -117,11 +128,12 @@ func cmdServe(args []string) {
 		}
 		lib := thingpedia.Builtin()
 		key := serve.Key(lib, scale.Name, strategy.String(),
-			fmt.Sprintf("seed=%d", *seed), fmt.Sprintf("maxsteps=%d", *maxSteps), fmt.Sprintf("lmsteps=%d", *lmSteps))
+			fmt.Sprintf("seed=%d", *seed), fmt.Sprintf("maxsteps=%d", *maxSteps),
+			fmt.Sprintf("lmsteps=%d", *lmSteps), fmt.Sprintf("batchsize=%d", *batchSize))
 		cache := serve.NewCache(*cacheDir)
 		start := time.Now()
 		p, hit, err := cache.GetOrTrain(key, func() (*model.Parser, error) {
-			p, _ := trainParser(scale, strategy, *seed, *maxSteps, *lmSteps)
+			p, _ := trainParser(scale, strategy, *seed, *maxSteps, *lmSteps, *batchSize)
 			return p, nil
 		})
 		if err != nil {

@@ -110,6 +110,39 @@ func EvaluateParallel(dec Decoder, examples []dataset.Example, schemas thingtalk
 	return r
 }
 
+// BatchDecoder decodes a window of sentences in one batched call;
+// *model.Parser implements it (one batched forward per decode step).
+type BatchDecoder interface {
+	ParseBatch(sentences [][]string) [][]string
+}
+
+// EvaluateBatched is Evaluate with decoding done in windows of batch
+// sentences through the decoder's lockstep batched path (0 = 16). Unlike
+// EvaluateParallel — which needs concurrent requests so a serving batcher
+// can form batches — this drives the batched kernels directly, so a single
+// evaluation thread still gets matmul width B. Predictions are scored in
+// example order; the Report is identical to Evaluate's.
+func EvaluateBatched(dec BatchDecoder, examples []dataset.Example, schemas thingtalk.SchemaSource, batch int) Report {
+	if batch <= 0 {
+		batch = 16
+	}
+	preds := make([][]string, 0, len(examples))
+	window := make([][]string, 0, batch)
+	for start := 0; start < len(examples); start += batch {
+		end := min(start+batch, len(examples))
+		window = window[:0]
+		for i := start; i < end; i++ {
+			window = append(window, examples[i].Words)
+		}
+		preds = append(preds, dec.ParseBatch(window)...)
+	}
+	var r Report
+	for i := range examples {
+		r.score(preds[i], &examples[i], schemas)
+	}
+	return r
+}
+
 // score grades one prediction into the report.
 func (r *Report) score(toks []string, e *dataset.Example, schemas thingtalk.SchemaSource) {
 	r.Total++

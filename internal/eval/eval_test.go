@@ -126,6 +126,60 @@ func TestEvaluateParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// cannedBatch wraps canned with the batched-decoder surface, recording the
+// window widths it was handed.
+type cannedBatch struct {
+	c       canned
+	windows []int
+}
+
+func (cb *cannedBatch) ParseBatch(sentences [][]string) [][]string {
+	cb.windows = append(cb.windows, len(sentences))
+	out := make([][]string, len(sentences))
+	for i, s := range sentences {
+		out[i] = cb.c.Parse(s)
+	}
+	return out
+}
+
+func TestEvaluateBatchedMatchesSequential(t *testing.T) {
+	sch := schemas()
+	var examples []dataset.Example
+	dec := canned{}
+	outs := []string{
+		`now => @a.b.q => notify`,
+		`now => => notify`,
+		`now => @a.b.q2 => notify`,
+		`now => @a.b.q => @c.d.act`,
+		`now => @a.b.q => notify ;`,
+		`now => @a.b.q => notify`,
+		`now => @c.d.act`,
+	}
+	for i, out := range outs {
+		sentence := string(rune('a' + i))
+		examples = append(examples, example(`now => @a.b.q => notify`, sentence))
+		dec[sentence] = strings.Fields(out)
+	}
+	want := Evaluate(dec, examples, sch)
+	for _, batch := range []int{0, 1, 3, 16} {
+		cb := &cannedBatch{c: dec}
+		got := EvaluateBatched(cb, examples, sch, batch)
+		if got != want {
+			t.Errorf("EvaluateBatched(batch=%d) = %+v, Evaluate = %+v", batch, got, want)
+		}
+		wantWindow := batch
+		if batch <= 0 {
+			wantWindow = 16
+		}
+		if wantWindow > len(examples) {
+			wantWindow = len(examples)
+		}
+		if len(cb.windows) == 0 || cb.windows[0] != wantWindow {
+			t.Errorf("EvaluateBatched(batch=%d) windows = %v, first should be %d", batch, cb.windows, wantWindow)
+		}
+	}
+}
+
 func TestMeanRange(t *testing.T) {
 	m, hr := MeanRange([]float64{60, 70, 65})
 	if m != 65 || hr != 5 {

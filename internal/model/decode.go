@@ -49,6 +49,9 @@ func (dc *decodeCtx) release() {
 // pooled per-call context, and the only steady-state allocation is the
 // returned token slice.
 func (p *Parser) Parse(words []string) []string {
+	if len(words) == 0 {
+		return nil
+	}
 	dc := acquireDecodeCtx()
 	defer dc.release()
 	g := dc.g
@@ -60,7 +63,7 @@ func (p *Parser) Parse(words []string) []string {
 	maxLen := p.cfg.maxDecodeLen()
 	for t := 0; t < maxLen; t++ {
 		pv, alpha, gate, next := p.step(g, st, prev, H)
-		tok := p.bestToken(pv, alpha, gate, words)
+		tok := p.bestToken(pv.W, alpha.W, gate.W[0], words)
 		if tok == EosToken {
 			break
 		}
@@ -72,9 +75,11 @@ func (p *Parser) Parse(words []string) []string {
 }
 
 // bestToken mixes the generation and copy distributions and returns the
-// argmax token.
-func (p *Parser) bestToken(pv, alpha, gate *nn.Tensor, words []string) string {
-	g := gate.W[0]
+// argmax token. pv and alpha are one decoder step's vocabulary-distribution
+// and attention rows (raw slices, so the batched decoder can pass rows of
+// its stacked tensors); alpha covers at least len(words) positions.
+func (p *Parser) bestToken(pv, alpha []float64, gate float64, words []string) string {
+	g := gate
 	if !p.cfg.PointerGen {
 		g = 1
 	}
@@ -82,7 +87,7 @@ func (p *Parser) bestToken(pv, alpha, gate *nn.Tensor, words []string) string {
 	bestP := math.Inf(-1)
 	// Generation path over the vocabulary (skip <unk> and <s>).
 	for id := 2; id < p.tgt.Size(); id++ {
-		prob := g * pv.W[id]
+		prob := g * pv[id]
 		if copyMass := p.copyMass(alpha, words, p.tgt.Token(id)); copyMass > 0 {
 			prob += (1 - g) * copyMass
 		}
@@ -119,21 +124,21 @@ func seenEarlier(words []string, i int) bool {
 	return false
 }
 
-func (p *Parser) copyMass(alpha *nn.Tensor, words []string, tok string) float64 {
+func (p *Parser) copyMass(alpha []float64, words []string, tok string) float64 {
 	var m float64
 	for i, w := range words {
 		if w == tok {
-			m += alpha.W[i]
+			m += alpha[i]
 		}
 	}
 	return m
 }
 
-func (p *Parser) copyMassAt(alpha *nn.Tensor, words []string, tok string, from int) float64 {
+func (p *Parser) copyMassAt(alpha []float64, words []string, tok string, from int) float64 {
 	var m float64
 	for i := from; i < len(words); i++ {
 		if words[i] == tok {
-			m += alpha.W[i]
+			m += alpha[i]
 		}
 	}
 	return m
@@ -148,37 +153,48 @@ type beamItem struct {
 	done    bool
 }
 
-// score is the length-normalized log-probability used for both pruning and
-// final selection. logProb accumulates one factor per decoded token plus,
-// for finished hypotheses, the </s> factor; dividing by that count keeps
-// long programs competitive with short ones. Ranking by raw cumulative
-// log-probability systematically favored truncated programs — every extra
-// token can only lower the sum.
-func (it *beamItem) score() float64 {
-	n := len(it.tokens)
-	if it.done {
-		n++
+// lengthNormScore is the length-normalized log-probability used for both
+// pruning and final selection, shared by the sequential and batched beam.
+// logProb accumulates one factor per decoded token plus, for finished
+// hypotheses, the </s> factor; dividing by that count keeps long programs
+// competitive with short ones. Ranking by raw cumulative log-probability
+// systematically favored truncated programs — every extra token can only
+// lower the sum.
+func lengthNormScore(logProb float64, ntokens int, done bool) float64 {
+	if done {
+		ntokens++
 	}
-	if n == 0 {
-		return it.logProb
+	if ntokens == 0 {
+		return logProb
 	}
-	return it.logProb / float64(n)
+	return logProb / float64(ntokens)
 }
 
-// bestHypothesis returns the beam's winner: complete hypotheses beat
-// incomplete ones, ties broken by length-normalized score.
-func bestHypothesis(beam []beamItem) beamItem {
-	best := beam[0]
-	for _, item := range beam {
-		if item.done && !best.done {
-			best = item
+func (it *beamItem) score() float64 { return lengthNormScore(it.logProb, len(it.tokens), it.done) }
+
+// bestHypIndex returns the index of a beam's winner: complete hypotheses
+// beat incomplete ones, ties broken by length-normalized score. It is the
+// single selection rule shared by the sequential and batched beams, so the
+// ranking cannot drift between them.
+func bestHypIndex(n int, done func(int) bool, score func(int) float64) int {
+	best := 0
+	for i := 0; i < n; i++ {
+		if done(i) && !done(best) {
+			best = i
 			continue
 		}
-		if item.done == best.done && item.score() > best.score() {
-			best = item
+		if done(i) == done(best) && score(i) > score(best) {
+			best = i
 		}
 	}
 	return best
+}
+
+// bestHypothesis returns the beam's winner.
+func bestHypothesis(beam []beamItem) beamItem {
+	return beam[bestHypIndex(len(beam),
+		func(i int) bool { return beam[i].done },
+		func(i int) float64 { return beam[i].score() })]
 }
 
 // ParseBeam decodes with a fixed-width beam and returns the best complete
@@ -186,6 +202,9 @@ func bestHypothesis(beam []beamItem) beamItem {
 // pruned and selected by length-normalized log-probability. Like Parse, it
 // is safe for concurrent use.
 func (p *Parser) ParseBeam(words []string, width int) []string {
+	if len(words) == 0 {
+		return nil
+	}
 	if width <= 1 {
 		return p.Parse(words)
 	}
@@ -206,7 +225,7 @@ func (p *Parser) ParseBeam(words []string, width int) []string {
 			}
 			allDone = false
 			pv, alpha, gate, next := p.step(g, item.st, item.prev, H)
-			for _, cand := range p.topTokens(dc, pv, alpha, gate, words, width) {
+			for _, cand := range p.topTokens(&dc.scored, pv.W, alpha.W, gate.W[0], words, width) {
 				ni := beamItem{
 					tokens:  append(append([]string(nil), item.tokens...), cand.tok),
 					logProb: item.logProb + math.Log(cand.p+1e-12),
@@ -238,17 +257,18 @@ type scoredToken struct {
 }
 
 // topTokens returns the k most probable next tokens under the mixed
-// pointer–generator distribution; the backing slice comes from the decode
-// context and is valid until the next topTokens call on the same context.
-func (p *Parser) topTokens(dc *decodeCtx, pv, alpha, gate *nn.Tensor, words []string, k int) []scoredToken {
-	g := gate.W[0]
+// pointer–generator distribution. pv and alpha are one step's distribution
+// rows as in bestToken; the backing comes from *scored (a reusable decode-
+// context buffer) and is valid until the next call over the same buffer.
+func (p *Parser) topTokens(scored *[]scoredToken, pv, alpha []float64, gate float64, words []string, k int) []scoredToken {
+	g := gate
 	if !p.cfg.PointerGen {
 		g = 1
 	}
-	all := dc.scored[:0]
+	all := (*scored)[:0]
 	for id := 2; id < p.tgt.Size(); id++ {
 		tok := p.tgt.Token(id)
-		prob := g * pv.W[id]
+		prob := g * pv[id]
 		if cm := p.copyMass(alpha, words, tok); cm > 0 {
 			prob += (1 - g) * cm
 		}
@@ -262,7 +282,7 @@ func (p *Parser) topTokens(dc *decodeCtx, pv, alpha, gate *nn.Tensor, words []st
 			all = append(all, scoredToken{tok: w, p: (1 - g) * p.copyMassAt(alpha, words, w, i)})
 		}
 	}
-	dc.scored = all
+	*scored = all
 	sort.SliceStable(all, func(i, j int) bool { return all[i].p > all[j].p })
 	if len(all) > k {
 		all = all[:k]

@@ -1,0 +1,292 @@
+package model
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/nn"
+)
+
+// This file is the batched decode path: the serving layer's gathered window
+// of requests advances through one batched forward per decode step (every
+// live hypothesis is one row of the stacked tensors), so micro-batching buys
+// matmul width instead of just queueing. Per row the batched kernels are
+// numerically identical to the single-row ones, so ParseBatch emits exactly
+// Parse's tokens and ParseBeamBatch exactly ParseBeam's.
+
+// batchDecodeCtx is the pooled per-call state of one ParseBatch /
+// ParseBeamBatch invocation: an inference graph from the shared pool plus
+// the padded-encode and per-step row buffers. Like decodeCtx, nothing
+// decode-time lives on the Parser, so batched decoding is concurrency-safe
+// alongside the per-sentence paths.
+type batchDecodeCtx struct {
+	g      *nn.Graph
+	bufs   batchBufs
+	scored []scoredToken
+	prev   []int // per-row previous target token ids
+	blocks []int // per-row memory block (request) indices
+	srcIdx []int // per-row parent rows in the previous step's tensors
+	reqOf  []int // greedy path: per-row request indices
+}
+
+var batchDecodeCtxs = sync.Pool{New: func() any { return new(batchDecodeCtx) }}
+
+func acquireBatchDecodeCtx() *batchDecodeCtx {
+	dc := batchDecodeCtxs.Get().(*batchDecodeCtx)
+	dc.g = inferGraphs.Get()
+	return dc
+}
+
+// release returns the graph (resetting its arena) and the scratch buffers to
+// their pools; tensors produced during the call are invalid afterwards.
+func (dc *batchDecodeCtx) release() {
+	inferGraphs.Put(dc.g)
+	dc.g = nil
+	batchDecodeCtxs.Put(dc)
+}
+
+// gatherRows copies the selected rows of t into a fresh graph tensor. It is
+// decode-only (no gradient link): the batched decoders use it to carry the
+// surviving hypotheses' states into the next lockstep decode step.
+func gatherRows(g *nn.Graph, t *nn.Tensor, idx []int) *nn.Tensor {
+	out := g.NewTensor(len(idx), t.Cols)
+	for i, r := range idx {
+		copy(out.W[i*t.Cols:(i+1)*t.Cols], t.W[r*t.Cols:(r+1)*t.Cols])
+	}
+	return out
+}
+
+// decodeStepBatch runs one batched decoder step over R rows: embedding
+// lookup, input feeding, LSTM, attention over each row's memory block, and
+// the output projections. It is the batched form of step.
+func (p *Parser) decodeStepBatch(g *nn.Graph, H *nn.Tensor, lens, prev, blocks []int, h, c, ctx *nn.Tensor) (pv, alpha, gate, hN, cN, ctxN *nn.Tensor) {
+	emb := g.LookupRows(p.decEmb.Table, prev)
+	x := g.ConcatCols(emb, ctx)
+	hN, cN = p.dec.StepBatch(g, x, h, c, nil)
+	q := g.BatchedAffine(hN, p.attnLin.W, p.attnLin.B)
+	alpha, ctxN = g.AttendSoftmaxContextBatch(q, H, blocks, lens)
+	htilde := g.Tanh(g.BatchedAffine(g.ConcatCols(hN, ctxN), p.combLin.W, p.combLin.B))
+	pv = g.SoftmaxRows(g.BatchedAffine(htilde, p.outLin.W, p.outLin.B))
+	gate = g.Sigmoid(g.BatchedAffine(htilde, p.gateLin.W, p.gateLin.B))
+	return pv, alpha, gate, hN, cN, ctxN
+}
+
+// ParseBatch greedily decodes B sentences in lockstep: one batched forward
+// per decode step over the rows still running, instead of B independent
+// Parse calls. Rows that emit </s> drop out of the following steps' batch.
+// Outputs are token-identical to per-sentence Parse; like Parse, ParseBatch
+// is safe for concurrent use.
+func (p *Parser) ParseBatch(sentences [][]string) [][]string {
+	B := len(sentences)
+	outs := make([][]string, B)
+	if B == 0 {
+		return outs
+	}
+	dc := acquireBatchDecodeCtx()
+	defer dc.release()
+	g := dc.g
+	S := dc.bufs.prepareSrc(p.src, sentences)
+	if S == 0 {
+		return outs
+	}
+	H, final := p.encodeBatch(g, &dc.bufs, B, S)
+	hid := p.cfg.HiddenDim
+	h := g.Tanh(g.BatchedAffine(final, p.initLin.W, p.initLin.B))
+	c := g.NewTensor(B, hid)
+	ctx := g.NewTensor(B, 2*hid)
+
+	reqOf := grow(&dc.reqOf, B)
+	prev := grow(&dc.prev, B)
+	blocks := grow(&dc.blocks, B)
+	keep := grow(&dc.srcIdx, B)
+	R := 0
+	for b := 0; b < B; b++ {
+		if len(sentences[b]) == 0 {
+			continue // Parse returns nil for empty input; so does this row
+		}
+		reqOf[R] = b
+		prev[R] = BosID
+		blocks[R] = b
+		keep[R] = b
+		R++
+		outs[b] = make([]string, 0, 16)
+	}
+	if R == 0 {
+		return outs
+	}
+	if R < B {
+		h = gatherRows(g, h, keep[:R])
+		c = gatherRows(g, c, keep[:R])
+		ctx = gatherRows(g, ctx, keep[:R])
+	}
+	V := p.tgt.Size()
+	maxLen := p.cfg.maxDecodeLen()
+	for t := 0; t < maxLen && R > 0; t++ {
+		pv, alpha, gate, hN, cN, ctxN := p.decodeStepBatch(g, H, dc.bufs.lens, prev[:R], blocks[:R], h, c, ctx)
+		w := 0
+		for r := 0; r < R; r++ {
+			req := reqOf[r]
+			words := sentences[req]
+			tok := p.bestToken(pv.W[r*V:(r+1)*V], alpha.W[r*S:r*S+len(words)], gate.W[r], words)
+			if tok == EosToken {
+				continue
+			}
+			outs[req] = append(outs[req], tok)
+			reqOf[w] = req
+			prev[w] = p.tgt.ID(tok)
+			blocks[w] = req
+			keep[w] = r
+			w++
+		}
+		R = w
+		if R == 0 {
+			break
+		}
+		if R < hN.Rows {
+			h = gatherRows(g, hN, keep[:R])
+			c = gatherRows(g, cN, keep[:R])
+			ctx = gatherRows(g, ctxN, keep[:R])
+		} else { // no row finished this step: reuse the outputs as-is
+			h, c, ctx = hN, cN, ctxN
+		}
+	}
+	return outs
+}
+
+// batchHyp is one hypothesis of the batched beam: beamItem with the decoder
+// state replaced by a row index into the current step's stacked tensors.
+type batchHyp struct {
+	tokens  []string
+	logProb float64
+	prev    int
+	done    bool
+	row     int // row in the latest step's output tensors (-1 once done)
+}
+
+func (bh *batchHyp) score() float64 { return lengthNormScore(bh.logProb, len(bh.tokens), bh.done) }
+
+// bestBatchHypothesis applies the shared winner-selection rule
+// (bestHypIndex) to a batched beam.
+func bestBatchHypothesis(beam []batchHyp) batchHyp {
+	return beam[bestHypIndex(len(beam),
+		func(i int) bool { return beam[i].done },
+		func(i int) float64 { return beam[i].score() })]
+}
+
+// ParseBeamBatch beam-decodes B sentences in lockstep: at every decode step
+// all live hypotheses across all requests stack into one batched forward (a
+// request's beams share its memory block via the attention block mapping),
+// then each request expands and prunes its beam exactly as sequential
+// ParseBeam does — so the outputs are token-identical to per-sentence
+// ParseBeam calls. Width <= 1 falls back to the batched greedy path. Safe
+// for concurrent use.
+func (p *Parser) ParseBeamBatch(sentences [][]string, width int) [][]string {
+	if width <= 1 {
+		return p.ParseBatch(sentences)
+	}
+	B := len(sentences)
+	outs := make([][]string, B)
+	if B == 0 {
+		return outs
+	}
+	dc := acquireBatchDecodeCtx()
+	defer dc.release()
+	g := dc.g
+	S := dc.bufs.prepareSrc(p.src, sentences)
+	if S == 0 {
+		return outs
+	}
+	H, final := p.encodeBatch(g, &dc.bufs, B, S)
+	hid := p.cfg.HiddenDim
+	hPrev := g.Tanh(g.BatchedAffine(final, p.initLin.W, p.initLin.B))
+	cPrev := g.NewTensor(B, hid)
+	ctxPrev := g.NewTensor(B, 2*hid)
+
+	beams := make([][]batchHyp, B)
+	finished := make([]bool, B)
+	for b := range beams {
+		beams[b] = []batchHyp{{prev: BosID, row: b}}
+		if len(sentences[b]) == 0 {
+			finished[b] = true // ParseBeam returns nil for empty input
+		}
+	}
+	V := p.tgt.Size()
+	maxLen := p.cfg.maxDecodeLen()
+	for t := 0; t < maxLen; t++ {
+		// Assign a batch row to every live hypothesis; srcIdx records where
+		// its state lives in the previous step's tensors.
+		prev := dc.prev[:0]
+		blocks := dc.blocks[:0]
+		srcIdx := dc.srcIdx[:0]
+		for b := range beams {
+			if finished[b] {
+				continue
+			}
+			for hi := range beams[b] {
+				hyp := &beams[b][hi]
+				if hyp.done {
+					continue
+				}
+				srcIdx = append(srcIdx, hyp.row)
+				hyp.row = len(srcIdx) - 1
+				prev = append(prev, hyp.prev)
+				blocks = append(blocks, b)
+			}
+		}
+		dc.prev, dc.blocks, dc.srcIdx = prev, blocks, srcIdx
+		if len(srcIdx) == 0 {
+			break
+		}
+		hIn := gatherRows(g, hPrev, srcIdx)
+		cIn := gatherRows(g, cPrev, srcIdx)
+		ctxIn := gatherRows(g, ctxPrev, srcIdx)
+		pv, alpha, gate, hN, cN, ctxN := p.decodeStepBatch(g, H, dc.bufs.lens, prev, blocks, hIn, cIn, ctxIn)
+		hPrev, cPrev, ctxPrev = hN, cN, ctxN
+
+		// Expand and prune each request exactly as sequential ParseBeam does.
+		for b := range beams {
+			if finished[b] {
+				continue
+			}
+			words := sentences[b]
+			var candidates []batchHyp
+			allDone := true
+			for _, item := range beams[b] {
+				if item.done {
+					candidates = append(candidates, item)
+					continue
+				}
+				allDone = false
+				r := item.row
+				for _, cand := range p.topTokens(&dc.scored, pv.W[r*V:(r+1)*V], alpha.W[r*S:r*S+len(words)], gate.W[r], words, width) {
+					ni := batchHyp{
+						tokens:  append(append([]string(nil), item.tokens...), cand.tok),
+						logProb: item.logProb + math.Log(cand.p+1e-12),
+						prev:    p.tgt.ID(cand.tok),
+						row:     r,
+					}
+					if cand.tok == EosToken {
+						ni.done = true
+						ni.tokens = ni.tokens[:len(ni.tokens)-1]
+						ni.row = -1
+					}
+					candidates = append(candidates, ni)
+				}
+			}
+			if allDone {
+				finished[b] = true
+				continue
+			}
+			sort.SliceStable(candidates, func(i, j int) bool { return candidates[i].score() > candidates[j].score() })
+			if len(candidates) > width {
+				candidates = candidates[:width]
+			}
+			beams[b] = candidates
+		}
+	}
+	for b := range beams {
+		outs[b] = bestBatchHypothesis(beams[b]).tokens
+	}
+	return outs
+}

@@ -30,6 +30,11 @@ type Config struct {
 	// (Section 4.2).
 	PretrainLM bool
 	LMSteps    int
+	// BatchSize is the training minibatch width: fit and pretrainLM process
+	// shuffled minibatches of this many examples per optimizer step through
+	// the batched B×n kernels, padding each batch to its longest sequence.
+	// 0 or 1 keeps the original per-example path (identical trajectories).
+	BatchSize int
 	// MaxDecodeLen bounds greedy decoding.
 	MaxDecodeLen int
 	// MinVocabCount is the threshold for target vocabulary membership;
@@ -92,7 +97,8 @@ type Parser struct {
 
 	rng  *rand.Rand
 	scr  scratch
-	valG *nn.Graph // lazily built inference graph reused across valLoss calls
+	bscr batchScratch // batched-loss buffers (batch.go); training goroutine only
+	valG *nn.Graph    // lazily built inference graph reused across valLoss calls
 }
 
 // scratch holds per-step buffers reused across training steps so that a
@@ -118,10 +124,12 @@ type encBufs struct {
 	rows []*nn.Tensor
 }
 
-// grow returns a length-n tensor slice backed by *buf, growing it as needed.
-func grow(buf *[]*nn.Tensor, n int) []*nn.Tensor {
+// grow returns a length-n slice backed by *buf, growing it as needed; the
+// training and decode loops use it to position tape-retained slices out of
+// one reusable backing per step.
+func grow[T any](buf *[]T, n int) []T {
 	if cap(*buf) < n {
-		*buf = make([]*nn.Tensor, n, n+n/2)
+		*buf = make([]T, n, n+n/2)
 	}
 	*buf = (*buf)[:n]
 	return *buf
@@ -216,19 +224,35 @@ func (p *Parser) initDecode(g *nn.Graph, final *nn.Tensor) decodeState {
 	return decodeState{h: h, c: c, ctx: ctx}
 }
 
+// decCell advances the decoder LSTM over the previous target token with
+// input feeding: the recurrence shared by the parser step (which then
+// attends for a fresh context) and the LM pass (which keeps a zero context).
+func (p *Parser) decCell(g *nn.Graph, st decodeState, prev int) (h, c *nn.Tensor) {
+	emb := p.decEmb.Lookup(g, prev)
+	x := g.ConcatRow(emb, st.ctx)
+	return p.dec.Step(g, x, st.h, st.c)
+}
+
+// vocabDist computes the attentional h-tilde and the vocabulary distribution
+// from a decoder state and context — the output half of the decoder step,
+// shared by the parser step and the LM pass. rate is the dropout applied to
+// h-tilde (the LM pass trains without it).
+func (p *Parser) vocabDist(g *nn.Graph, h, ctx *nn.Tensor, rate float64) (htilde, pv *nn.Tensor) {
+	htilde = g.Tanh(p.combLin.Apply(g, g.ConcatRow(h, ctx)))
+	htilde = g.Dropout(htilde, rate, p.rng)
+	pv = g.SoftmaxRow(p.outLin.Apply(g, htilde))
+	return htilde, pv
+}
+
 // step advances the decoder one token: prev is the previous target token id.
 // It returns the vocabulary distribution, the attention weights, the
 // pointer gate, and the next state.
 func (p *Parser) step(g *nn.Graph, st decodeState, prev int, H *nn.Tensor) (pv, alpha, gate *nn.Tensor, next decodeState) {
-	emb := p.decEmb.Lookup(g, prev)
-	x := g.ConcatRow(emb, st.ctx)
-	h, c := p.dec.Step(g, x, st.h, st.c)
+	h, c := p.decCell(g, st, prev)
 	q := p.attnLin.Apply(g, h)
 	var ctx *nn.Tensor
 	alpha, ctx = g.AttendSoftmaxContext(q, H)
-	htilde := g.Tanh(p.combLin.Apply(g, g.ConcatRow(h, ctx)))
-	htilde = g.Dropout(htilde, p.cfg.Dropout, p.rng)
-	pv = g.SoftmaxRow(p.outLin.Apply(g, htilde))
+	htilde, pv := p.vocabDist(g, h, ctx, p.cfg.Dropout)
 	gate = g.Sigmoid(p.gateLin.Apply(g, htilde))
 	return pv, alpha, gate, decodeState{h: h, c: c, ctx: ctx}
 }

@@ -9,6 +9,8 @@ import (
 // Train builds vocabularies, optionally pre-trains the decoder language
 // model on lmPrograms (synthesized program token sequences), then trains the
 // parser with teacher forcing, Adam, and early stopping on validation loss.
+// With Config.BatchSize > 1, fit and the LM pre-training process shuffled
+// minibatches through the batched B×n kernels, one optimizer step per batch.
 func Train(train, val []Pair, lmPrograms [][]string, cfg Config) *Parser {
 	p := buildParser(train, lmPrograms, cfg)
 	if p.cfg.PretrainLM && len(lmPrograms) > 0 {
@@ -41,14 +43,15 @@ func buildParser(train []Pair, lmPrograms [][]string, cfg Config) *Parser {
 func mergeDefaults(cfg Config) Config {
 	d := DefaultConfig
 	d.Seed = cfg.Seed
+	d.BatchSize = cfg.BatchSize
 	return d
 }
 
 // Trainer exposes single-step teacher-forced training over a persistent
-// arena graph: benchmarks and profiling drive Step directly to measure the
-// steady state (near-zero allocations once the arena and scratch buffers are
-// warm). It performs no shuffling, evaluation or early stopping — that
-// orchestration stays in Train.
+// arena graph: benchmarks and profiling drive Step or StepBatch directly to
+// measure the steady state (near-zero allocations once the arena and scratch
+// buffers are warm). It performs no shuffling, evaluation or early stopping
+// — that orchestration stays in Train.
 type Trainer struct {
 	p      *Parser
 	g      *nn.Graph
@@ -77,19 +80,57 @@ func (t *Trainer) Step(pair *Pair) float64 {
 	return l
 }
 
+// StepBatch runs one forward/backward/update over a padded minibatch through
+// the batched B×n kernels and returns the mean per-example loss. Gradients
+// average over the batch, so a one-pair StepBatch performs the same update
+// as Step on that pair.
+func (t *Trainer) StepBatch(pairs []Pair) float64 {
+	t.g.Reset()
+	l := t.p.lossBatch(t.g, pairs)
+	t.g.Backward()
+	t.opt.Step(t.params)
+	return l
+}
+
 // Parser returns the underlying (partially trained) parser.
 func (t *Trainer) Parser() *Parser { return t.p }
 
 // pretrainLM trains the decoder as a ThingTalk language model: next-token
 // prediction over synthesized programs, with zeroed attention context. The
 // decoder embedding, LSTM and output projection carry over to parsing
-// (Section 4.2).
+// (Section 4.2). With BatchSize > 1 each of the LMSteps optimizer steps
+// processes one shuffled minibatch through lmLossBatch; otherwise one
+// sampled program per step, through the decoder-step helpers shared with
+// the parser loss.
 func (p *Parser) pretrainLM(programs [][]string) {
 	opt := nn.NewAdam(p.cfg.LR)
 	params := p.decParams()
 	rng := rand.New(rand.NewSource(p.cfg.Seed + 101))
 	g := nn.NewGraphArena(true, nn.NewArena())
 	steps := p.cfg.LMSteps
+
+	if bs := p.cfg.BatchSize; bs > 1 {
+		batch := make([][]string, 0, bs)
+		order := rng.Perm(len(programs))
+		pos := 0
+		for s := 0; s < steps; s++ {
+			batch = batch[:0]
+			for len(batch) < bs {
+				if pos == len(order) {
+					rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+					pos = 0
+				}
+				batch = append(batch, programs[order[pos]])
+				pos++
+			}
+			g.Reset()
+			p.lmLossBatch(g, batch)
+			g.Backward()
+			opt.Step(params)
+		}
+		return
+	}
+
 	for s := 0; s < steps; s++ {
 		prog := programs[rng.Intn(len(programs))]
 		g.Reset()
@@ -102,11 +143,8 @@ func (p *Parser) pretrainLM(programs [][]string) {
 		target = append(target, EosToken)
 		p.scr.target = target
 		for _, tok := range target {
-			emb := p.decEmb.Lookup(g, prev)
-			x := g.ConcatRow(emb, st.ctx)
-			hh, cc := p.dec.Step(g, x, st.h, st.c)
-			htilde := g.Tanh(p.combLin.Apply(g, g.ConcatRow(hh, st.ctx)))
-			pv := g.SoftmaxRow(p.outLin.Apply(g, htilde))
+			hh, cc := p.decCell(g, st, prev)
+			_, pv := p.vocabDist(g, hh, st.ctx, 0)
 			idx := p.tgt.ID(tok)
 			g.NLLPointerMix(pv, nil, onesGate(g), nil, idx)
 			st = decodeState{h: hh, c: cc, ctx: st.ctx}
@@ -119,7 +157,8 @@ func (p *Parser) pretrainLM(programs [][]string) {
 
 // fit runs teacher-forced training with early stopping. All intermediate
 // tensors of a step live in one arena recycled by Reset, so the steady-state
-// step is allocation-free.
+// step is allocation-free. With BatchSize > 1 each optimizer step (and so
+// each unit of MaxSteps/EvalEvery) covers one shuffled minibatch.
 func (p *Parser) fit(train, val []Pair) {
 	opt := nn.NewAdam(p.cfg.LR)
 	params := p.Params()
@@ -127,6 +166,8 @@ func (p *Parser) fit(train, val []Pair) {
 	g := nn.NewGraphArena(true, nn.NewArena())
 
 	bestLoss := 1e18
+	// best is allocated once at the first snapshot and copied into on every
+	// later improvement (the parameter shapes never change mid-training).
 	var best [][]float64
 	evalEvery := p.cfg.EvalEvery
 	if evalEvery <= 0 {
@@ -137,9 +178,14 @@ func (p *Parser) fit(train, val []Pair) {
 	order := rng.Perm(len(train))
 
 	snapshot := func() {
-		best = best[:0]
-		for _, t := range params {
-			best = append(best, append([]float64(nil), t.W...))
+		if best == nil {
+			best = make([][]float64, len(params))
+			for i, t := range params {
+				best[i] = make([]float64, len(t.W))
+			}
+		}
+		for i, t := range params {
+			copy(best[i], t.W)
 		}
 	}
 	restore := func() {
@@ -150,32 +196,62 @@ func (p *Parser) fit(train, val []Pair) {
 			copy(t.W, best[i])
 		}
 	}
+	// afterStep does the per-optimizer-step bookkeeping (step cap, periodic
+	// eval, early stopping) and reports whether training should stop.
+	afterStep := func() bool {
+		step++
+		if p.cfg.MaxSteps > 0 && step >= p.cfg.MaxSteps {
+			restoreIfBetter(p, val, bestLoss, restore)
+			return true
+		}
+		if len(val) > 0 && step%evalEvery == 0 {
+			vl := p.valLoss(val)
+			if vl < bestLoss {
+				bestLoss = vl
+				badEvals = 0
+				snapshot()
+			} else {
+				badEvals++
+				if p.cfg.Patience > 0 && badEvals >= p.cfg.Patience {
+					restore()
+					return true
+				}
+			}
+		}
+		return false
+	}
 
+	bs := max(1, p.cfg.BatchSize)
+	var batch []Pair
+	if bs > 1 {
+		batch = make([]Pair, 0, bs)
+	}
 	for epoch := 0; epoch < max(1, p.cfg.Epochs); epoch++ {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		for _, idx := range order {
+		if bs <= 1 {
+			for _, idx := range order {
+				g.Reset()
+				p.loss(g, &train[idx])
+				g.Backward()
+				opt.Step(params)
+				if afterStep() {
+					return
+				}
+			}
+			continue
+		}
+		for start := 0; start < len(order); start += bs {
+			end := min(start+bs, len(order))
+			batch = batch[:0]
+			for _, idx := range order[start:end] {
+				batch = append(batch, train[idx])
+			}
 			g.Reset()
-			p.loss(g, &train[idx])
+			p.lossBatch(g, batch)
 			g.Backward()
 			opt.Step(params)
-			step++
-			if p.cfg.MaxSteps > 0 && step >= p.cfg.MaxSteps {
-				restoreIfBetter(p, val, bestLoss, restore)
+			if afterStep() {
 				return
-			}
-			if len(val) > 0 && step%evalEvery == 0 {
-				vl := p.valLoss(val)
-				if vl < bestLoss {
-					bestLoss = vl
-					badEvals = 0
-					snapshot()
-				} else {
-					badEvals++
-					if p.cfg.Patience > 0 && badEvals >= p.cfg.Patience {
-						restore()
-						return
-					}
-				}
 			}
 		}
 	}
@@ -198,10 +274,7 @@ func restoreIfBetter(p *Parser, val []Pair, bestLoss float64, restore func()) {
 
 // valLoss measures teacher-forced loss on (a sample of) the validation set.
 func (p *Parser) valLoss(val []Pair) float64 {
-	n := len(val)
-	if n > 200 {
-		n = 200
-	}
+	n := min(len(val), 200)
 	total := 0.0
 	if p.valG == nil {
 		p.valG = nn.NewGraphArena(false, nn.NewArena())
@@ -211,11 +284,4 @@ func (p *Parser) valLoss(val []Pair) float64 {
 		total += p.loss(p.valG, &val[i])
 	}
 	return total / float64(n)
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

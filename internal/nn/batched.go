@@ -1,0 +1,671 @@
+package nn
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// This file holds the batched (B×n) kernels: the per-row fused kernels of
+// fused.go lifted to operate on B stacked rows in one forward pass and one
+// tape record. Every kernel accumulates, per row, exactly the same
+// floating-point expressions in the same order as B independent single-row
+// calls — so a batched loss matches the mean of per-example losses to
+// rounding, and the parity tests in batched_test.go can pin it tightly.
+//
+// Large kernels split their work across GOMAXPROCS goroutines: rows for the
+// forward passes, weight-matrix rows (the k dimension) for the matmul
+// backward. The partitions are disjoint and every accumulator keeps its
+// sequential order, so results are bitwise deterministic for any core count.
+// Below the parallelWorkMin flop estimate a kernel runs inline through the
+// same named chunk function, allocating nothing; only the parallel branch
+// pays a closure and WaitGroup per call.
+
+// nllEps matches the epsilon inside NLLPointerMix.
+const nllEps = 1e-9
+
+// parallelWorkMin is the approximate per-kernel flop count below which
+// forking goroutines costs more than it saves and the kernel runs inline.
+const parallelWorkMin = 1 << 16
+
+// useParallel reports whether a kernel over n chunks of approximately work
+// total flops should fork.
+func useParallel(n, work int) bool {
+	return n >= 2 && work >= parallelWorkMin && runtime.GOMAXPROCS(0) > 1
+}
+
+// parallelChunks splits [0, n) into one contiguous chunk per processor and
+// runs f(lo, hi) on each concurrently. Callers guarantee chunks touch
+// disjoint memory.
+func parallelChunks(n int, f func(lo, hi int)) {
+	chunks := runtime.GOMAXPROCS(0)
+	if chunks > n {
+		chunks = n
+	}
+	size := (n + chunks - 1) / chunks
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += size {
+		hi := min(lo+size, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// batchMatMulRows accumulates rows [lo, hi) of a·w into dst (a is row-major
+// rows×cols, flat), skipping rows where active is false (nil = all rows).
+// The blocked tile order matches rowMatMulInto's per-element accumulation
+// order (k ascending, zeros skipped), so each computed output row is bitwise
+// identical to a single-row call.
+func batchMatMulRows(a []float64, cols int, w *Tensor, dst []float64, active []bool, lo, hi int) {
+	p := w.Cols
+	for j0 := 0; j0 < p; j0 += matMulBlock {
+		j1 := min(j0+matMulBlock, p)
+		for k0 := 0; k0 < cols; k0 += matMulBlock {
+			k1 := min(k0+matMulBlock, cols)
+			for i := lo; i < hi; i++ {
+				if active != nil && !active[i] {
+					continue
+				}
+				arow := a[i*cols : (i+1)*cols]
+				orow := dst[i*p : (i+1)*p]
+				for k := k0; k < k1; k++ {
+					av := arow[k]
+					if av == 0 {
+						continue
+					}
+					wrow := w.W[k*p : (k+1)*p]
+					for j := j0; j < j1; j++ {
+						orow[j] += av * wrow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// batchMatMulInto accumulates a·w into dst for a row-major rows×cols batch;
+// rows where active is false are skipped (their output stays zero — the
+// batched LSTM never reads them for carried-through rows).
+func batchMatMulInto(a []float64, rows, cols int, w *Tensor, dst []float64, active []bool) {
+	if rows == 1 && active == nil {
+		rowMatMulInto(a, w, dst)
+		return
+	}
+	if useParallel(rows, rows*cols*w.Cols) {
+		parallelChunks(rows, func(lo, hi int) { batchMatMulRows(a, cols, w, dst, active, lo, hi) })
+		return
+	}
+	batchMatMulRows(a, cols, w, dst, active, 0, rows)
+}
+
+// backBatchMatMulK accumulates the gradients of out = a·w for weight rows
+// [klo, khi): each k owns w.DW row k and a.DW column k. The input-gradient
+// dot product runs over four accumulators to break the floating-point add
+// dependency chain. Weight gradients accumulate in exactly the order of B
+// sequential single-row backward passes (batch rows ascending per element —
+// bitwise identical); the input-gradient j-sum is reassociated by the
+// accumulators within ~1 ulp, which the kernel parity tests bound. Rows
+// where active is false are skipped: their dOut rows are zero, so they
+// contribute nothing.
+func backBatchMatMulK(a, w *Tensor, dOut []float64, active []bool, klo, khi int) {
+	B, in, n := a.Rows, a.Cols, w.Cols
+	for k := klo; k < khi; k++ {
+		wrow := w.W[k*n : (k+1)*n]
+		wdrow := w.DW[k*n : (k+1)*n]
+		for i := 0; i < B; i++ {
+			if active != nil && !active[i] {
+				continue
+			}
+			av := a.W[i*in+k]
+			od := dOut[i*n : (i+1)*n]
+			var a0, a1, a2, a3 float64
+			j := 0
+			for ; j+4 <= n; j += 4 {
+				d0, d1, d2, d3 := od[j], od[j+1], od[j+2], od[j+3]
+				a0 += d0 * wrow[j]
+				wdrow[j] += d0 * av
+				a1 += d1 * wrow[j+1]
+				wdrow[j+1] += d1 * av
+				a2 += d2 * wrow[j+2]
+				wdrow[j+2] += d2 * av
+				a3 += d3 * wrow[j+3]
+				wdrow[j+3] += d3 * av
+			}
+			for ; j < n; j++ {
+				d := od[j]
+				a0 += d * wrow[j]
+				wdrow[j] += d * av
+			}
+			a.DW[i*in+k] += (a0 + a1) + (a2 + a3)
+		}
+	}
+}
+
+func backBatchMatMul(a, w *Tensor, dOut []float64, active []bool) {
+	in := a.Cols
+	if useParallel(in, a.Rows*in*w.Cols) {
+		parallelChunks(in, func(klo, khi int) { backBatchMatMulK(a, w, dOut, active, klo, khi) })
+		return
+	}
+	backBatchMatMulK(a, w, dOut, active, 0, in)
+}
+
+// BatchedAffine computes x·W + b for a B×in batch in one pass: the batched
+// form of AffineRow, with the bias row broadcast over the batch.
+func (g *Graph) BatchedAffine(x, w, b *Tensor) *Tensor {
+	if x.Cols != w.Rows || b.Cols != w.Cols || b.Rows != 1 {
+		panic("nn: BatchedAffine shape mismatch")
+	}
+	out := g.NewTensor(x.Rows, w.Cols)
+	batchMatMulInto(x.W, x.Rows, x.Cols, w, out.W, nil)
+	n := w.Cols
+	for i := 0; i < x.Rows; i++ {
+		orow := out.W[i*n : (i+1)*n]
+		for j, bv := range b.W {
+			orow[j] += bv
+		}
+	}
+	g.push(tapeOp{kind: opAffineBatch, a: x, b: w, c: b, out: out})
+	return out
+}
+
+func backAffineBatch(x, w, b, out *Tensor) {
+	n := w.Cols
+	// Bias: broadcast backward, batch rows in ascending order.
+	for i := 0; i < x.Rows; i++ {
+		odrow := out.DW[i*n : (i+1)*n]
+		for j, d := range odrow {
+			b.DW[j] += d
+		}
+	}
+	backBatchMatMul(x, w, out.DW, nil)
+}
+
+// lstmBatchRows runs the activation and state-update stage of the batched
+// LSTM step for rows [lo, hi), after pre has been filled with x·Wx (pre.W)
+// and h·Wh (pre.DW). Inactive rows copy their state through.
+func lstmBatchRows(cell *LSTMCell, h, c, pre, acts, tc, hNext, cNext *Tensor, active []bool, lo, hi int) {
+	H := cell.Hidden
+	n := 4 * H
+	for bi := lo; bi < hi; bi++ {
+		if active != nil && !active[bi] {
+			copy(hNext.W[bi*H:(bi+1)*H], h.W[bi*H:(bi+1)*H])
+			copy(cNext.W[bi*H:(bi+1)*H], c.W[bi*H:(bi+1)*H])
+			continue
+		}
+		o := bi * n
+		for j := 0; j < n; j++ {
+			v := (pre.W[o+j] + pre.DW[o+j]) + cell.B.W[j]
+			if j < 3*H {
+				acts.W[o+j] = 1 / (1 + math.Exp(-v))
+			} else {
+				acts.W[o+j] = math.Tanh(v)
+			}
+		}
+		s := bi * H
+		for j := 0; j < H; j++ {
+			// Two statements, matching Add(Mul(f,c), Mul(i,cand)) rounding.
+			fc := acts.W[o+H+j] * c.W[s+j]
+			ic := acts.W[o+j] * acts.W[o+3*H+j]
+			cNext.W[s+j] = fc + ic
+			tc.W[s+j] = math.Tanh(cNext.W[s+j])
+			hNext.W[s+j] = acts.W[o+2*H+j] * tc.W[s+j]
+		}
+	}
+}
+
+// lstmStepBatch advances an LSTM cell one timestep for B stacked rows in one
+// fused pass: the batched form of lstmStep. Rows where active is false carry
+// their (h, c) state through unchanged — the padding scheme of the batched
+// encoder, where sequences shorter than the batch maximum stop stepping —
+// and contribute nothing to any gradient. A nil active means all rows step.
+// The active slice is retained until Backward/Reset.
+func (g *Graph) lstmStepBatch(cell *LSTMCell, x, h, c *Tensor, active []bool) (hNext, cNext *Tensor) {
+	B := x.Rows
+	H := cell.Hidden
+	n := 4 * H
+	if h.Rows != B || c.Rows != B || x.Cols != cell.Wx.Rows || h.Cols != H {
+		panic("nn: StepBatch shape mismatch")
+	}
+	// pre.W accumulates x·Wx; pre.DW doubles as scratch for h·Wh during the
+	// forward pass (this op's backward never reads pre), as in lstmStep.
+	pre := g.NewTensor(B, n)
+	batchMatMulInto(x.W, B, x.Cols, cell.Wx, pre.W, active)
+	batchMatMulInto(h.W, B, h.Cols, cell.Wh, pre.DW, active)
+	acts := g.NewTensor(B, n)
+	tc := g.NewTensor(B, H)
+	// Locals (not the named results) go into the closure: capturing a named
+	// result would box it at function entry even on the inline path.
+	hN := g.NewTensor(B, H)
+	cN := g.NewTensor(B, H)
+	if useParallel(B, B*n*8) {
+		parallelChunks(B, func(lo, hi int) { lstmBatchRows(cell, h, c, pre, acts, tc, hN, cN, active, lo, hi) })
+	} else {
+		lstmBatchRows(cell, h, c, pre, acts, tc, hN, cN, active, 0, B)
+	}
+	g.push(tapeOp{kind: opLSTMStepBatch, cell: cell, a: x, b: h, c: c,
+		out: hN, out2: cN, aux: acts, aux2: tc, mask: active})
+	return hN, cN
+}
+
+// lstmBatchGateGrads computes the pre-activation gate gradients of rows
+// [lo, hi) into acts.DW; inactive rows pass their state gradients straight
+// through and leave a zero gradient row so the weight and bias passes see no
+// contribution from them.
+func lstmBatchGateGrads(o *tapeOp, lo, hi int) {
+	cell := o.cell
+	h, cPrev := o.b, o.c
+	hNext, cNext := o.out, o.out2
+	acts, tc := o.aux, o.aux2
+	active := o.mask
+	H := cell.Hidden
+	n := 4 * H
+	dG := acts.DW
+	for bi := lo; bi < hi; bi++ {
+		o4 := bi * n
+		s := bi * H
+		if active != nil && !active[bi] {
+			for j := 0; j < n; j++ {
+				dG[o4+j] = 0
+			}
+			for j := 0; j < H; j++ {
+				h.DW[s+j] += hNext.DW[s+j]
+				cPrev.DW[s+j] += cNext.DW[s+j]
+			}
+			continue
+		}
+		for j := 0; j < H; j++ {
+			iv := acts.W[o4+j]
+			fv := acts.W[o4+H+j]
+			ov := acts.W[o4+2*H+j]
+			cv := acts.W[o4+3*H+j]
+			tcj := tc.W[s+j]
+			dh := hNext.DW[s+j]
+			dO := dh * tcj
+			dtc := dh * ov
+			cNext.DW[s+j] += dtc * (1 - tcj*tcj)
+			dc := cNext.DW[s+j]
+			dF := dc * cPrev.W[s+j]
+			cPrev.DW[s+j] += dc * fv
+			dI := dc * cv
+			dCand := dc * iv
+			dG[o4+j] = dI * iv * (1 - iv)
+			dG[o4+H+j] = dF * fv * (1 - fv)
+			dG[o4+2*H+j] = dO * ov * (1 - ov)
+			dG[o4+3*H+j] = dCand * (1 - cv*cv)
+		}
+	}
+}
+
+func backLSTMStepBatch(o *tapeOp) {
+	cell := o.cell
+	x, h := o.a, o.b
+	B := x.Rows
+	n := 4 * cell.Hidden
+	dG := o.aux.DW
+	if useParallel(B, B*n*8) {
+		parallelChunks(B, func(lo, hi int) { lstmBatchGateGrads(o, lo, hi) })
+	} else {
+		lstmBatchGateGrads(o, 0, B)
+	}
+	for bi := 0; bi < B; bi++ {
+		o4 := bi * n
+		for j := 0; j < n; j++ {
+			cell.B.DW[j] += dG[o4+j]
+		}
+	}
+	backBatchMatMul(h, cell.Wh, dG, o.mask)
+	backBatchMatMul(x, cell.Wx, dG, o.mask)
+}
+
+// attendDotSliceInto computes scores = q·hᵀ over a flat rows×cols memory
+// slice, matching attendDotInto's accumulation order.
+func attendDotSliceInto(q, h []float64, rows, cols int, dst []float64) {
+	for i := 0; i < rows; i++ {
+		var s float64
+		hrow := h[i*cols : (i+1)*cols]
+		for j, qv := range q {
+			s += qv * hrow[j]
+		}
+		dst[i] = s
+	}
+}
+
+// weightedSumSliceInto accumulates α·h over a flat rows×cols memory slice,
+// matching weightedSumInto's accumulation order.
+func weightedSumSliceInto(alpha, h []float64, rows, cols int, dst []float64) {
+	for i := 0; i < rows; i++ {
+		a := alpha[i]
+		if a == 0 {
+			continue
+		}
+		hrow := h[i*cols : (i+1)*cols]
+		for j := range dst {
+			dst[j] += a * hrow[j]
+		}
+	}
+}
+
+// attendBatchRows runs the masked attention forward for query rows [lo, hi).
+func attendBatchRows(q, H *Tensor, blocks, lens []int, S int, sc, alpha, ctx *Tensor, lo, hi int) {
+	d := q.Cols
+	for r := lo; r < hi; r++ {
+		m := r
+		if blocks != nil {
+			m = blocks[r]
+		}
+		L := lens[m]
+		mem := H.W[m*S*d : (m*S+L)*d]
+		attendDotSliceInto(q.W[r*d:(r+1)*d], mem, L, d, sc.W[r*S:r*S+L])
+		softmaxInto(sc.W[r*S:r*S+L], alpha.W[r*S:r*S+L])
+		weightedSumSliceInto(alpha.W[r*S:r*S+L], mem, L, d, ctx.W[r*d:(r+1)*d])
+	}
+}
+
+// AttendSoftmaxContextBatch is the batched attention kernel: queries q (R×d)
+// attend over a padded memory H ((M*S)×d, M blocks of S rows each), with
+// lens[m] giving block m's valid row count — scores, softmax and the context
+// sum all restrict to the valid prefix, so padding rows never receive
+// probability mass. blocks[r] names the memory block row r attends (beam
+// rows of one request share its block); nil means row r attends block r
+// (R == M), the training layout, and the only one supported on
+// gradient-recording graphs. Returns the attention weights alpha (R×S, zero
+// beyond the block's length) and the context ctx (R×d). The lens slice is
+// retained until Backward/Reset.
+func (g *Graph) AttendSoftmaxContextBatch(q, H *Tensor, blocks, lens []int) (alpha, ctx *Tensor) {
+	R, d := q.Rows, q.Cols
+	M := len(lens)
+	if H.Cols != d || M == 0 || H.Rows%M != 0 {
+		panic("nn: AttendSoftmaxContextBatch shape mismatch")
+	}
+	if blocks == nil && R != M {
+		panic("nn: AttendSoftmaxContextBatch needs blocks when R != len(lens)")
+	}
+	if g.NeedsGrad && blocks != nil {
+		panic("nn: AttendSoftmaxContextBatch blocks are inference-only")
+	}
+	S := H.Rows / M
+	// sc.W holds the raw scores; sc.DW is backward's score-gradient scratch.
+	// Locals (not the named results) go into the closure: capturing a named
+	// result would box it at function entry even on the inline path.
+	sc := g.NewTensor(R, S)
+	al := g.NewTensor(R, S)
+	cx := g.NewTensor(R, d)
+	if useParallel(R, R*S*d*2) {
+		parallelChunks(R, func(lo, hi int) { attendBatchRows(q, H, blocks, lens, S, sc, al, cx, lo, hi) })
+	} else {
+		attendBatchRows(q, H, blocks, lens, S, sc, al, cx, 0, R)
+	}
+	g.push(tapeOp{kind: opAttendBatch, a: q, b: H, out: cx, aux: al, aux2: sc, ints: lens})
+	return al, cx
+}
+
+// backAttendBatchRows runs the attention backward for rows [lo, hi). The
+// record-time identity block layout means row r owns memory rows
+// [r*S, r*S+lens[r]), so row chunks touch disjoint gradients.
+func backAttendBatchRows(o *tapeOp, lo, hi int) {
+	q, H := o.a, o.b
+	ctx, alpha, sc := o.out, o.aux, o.aux2
+	lens := o.ints
+	d := q.Cols
+	S := alpha.Cols
+	for r := lo; r < hi; r++ {
+		L := lens[r]
+		aW := alpha.W[r*S : r*S+L]
+		aDW := alpha.DW[r*S : r*S+L]
+		scDW := sc.DW[r*S : r*S+L]
+		ctxDW := ctx.DW[r*d : (r+1)*d]
+		qW := q.W[r*d : (r+1)*d]
+		qDW := q.DW[r*d : (r+1)*d]
+		base := r * S * d
+		// WeightedSumRows backward (ctx = alpha·H) over the valid prefix.
+		for i := 0; i < L; i++ {
+			hrow := H.W[base+i*d : base+(i+1)*d]
+			hdrow := H.DW[base+i*d : base+(i+1)*d]
+			var acc float64
+			a := aW[i]
+			for j, od := range ctxDW {
+				acc += od * hrow[j]
+				hdrow[j] += od * a
+			}
+			aDW[i] += acc
+		}
+		// SoftmaxRow backward (alpha = softmax(scores)).
+		var dot float64
+		for i := range aW {
+			dot += aW[i] * aDW[i]
+		}
+		for i := range aW {
+			scDW[i] += aW[i] * (aDW[i] - dot)
+		}
+		// AttendDot backward (scores = q·Hᵀ).
+		for i := 0; i < L; i++ {
+			od := scDW[i]
+			if od == 0 {
+				continue
+			}
+			hrow := H.W[base+i*d : base+(i+1)*d]
+			hdrow := H.DW[base+i*d : base+(i+1)*d]
+			for j, qv := range qW {
+				qDW[j] += od * hrow[j]
+				hdrow[j] += od * qv
+			}
+		}
+	}
+}
+
+func backAttendBatch(o *tapeOp) {
+	R := o.a.Rows
+	if useParallel(R, R*o.aux.Cols*o.a.Cols*4) {
+		parallelChunks(R, func(lo, hi int) { backAttendBatchRows(o, lo, hi) })
+		return
+	}
+	backAttendBatchRows(o, 0, R)
+}
+
+func softmaxRowsRange(a, out *Tensor, lo, hi int) {
+	n := a.Cols
+	for r := lo; r < hi; r++ {
+		softmaxInto(a.W[r*n:(r+1)*n], out.W[r*n:(r+1)*n])
+	}
+}
+
+// SoftmaxRows applies SoftmaxRow to every row of a B×n tensor.
+func (g *Graph) SoftmaxRows(a *Tensor) *Tensor {
+	out := g.NewTensor(a.Rows, a.Cols)
+	if useParallel(a.Rows, a.Rows*a.Cols*4) {
+		parallelChunks(a.Rows, func(lo, hi int) { softmaxRowsRange(a, out, lo, hi) })
+	} else {
+		softmaxRowsRange(a, out, 0, a.Rows)
+	}
+	g.push(tapeOp{kind: opSoftmaxRows, a: a, out: out})
+	return out
+}
+
+func backSoftmaxRowsRange(a, out *Tensor, lo, hi int) {
+	n := a.Cols
+	for r := lo; r < hi; r++ {
+		oW := out.W[r*n : (r+1)*n]
+		oDW := out.DW[r*n : (r+1)*n]
+		aDW := a.DW[r*n : (r+1)*n]
+		var dot float64
+		for i := range oW {
+			dot += oW[i] * oDW[i]
+		}
+		for i := range aDW {
+			aDW[i] += oW[i] * (oDW[i] - dot)
+		}
+	}
+}
+
+func backSoftmaxRows(a, out *Tensor) {
+	if useParallel(a.Rows, a.Rows*a.Cols*4) {
+		parallelChunks(a.Rows, func(lo, hi int) { backSoftmaxRowsRange(a, out, lo, hi) })
+		return
+	}
+	backSoftmaxRowsRange(a, out, 0, a.Rows)
+}
+
+// LookupRows stacks the embedding rows of ids into a len(ids)×dim batch; the
+// batched form of LookupRow. The ids slice is retained until Backward/Reset.
+func (g *Graph) LookupRows(emb *Tensor, ids []int) *Tensor {
+	d := emb.Cols
+	out := g.NewTensor(len(ids), d)
+	for i, id := range ids {
+		copy(out.W[i*d:(i+1)*d], emb.W[id*d:(id+1)*d])
+	}
+	g.push(tapeOp{kind: opLookupRows, a: emb, ints: ids, out: out})
+	return out
+}
+
+// ConcatCols concatenates two equal-height matrices along columns: the
+// batched form of the two-part ConcatRow.
+func (g *Graph) ConcatCols(a, b *Tensor) *Tensor {
+	if a.Rows != b.Rows {
+		panic("nn: ConcatCols row mismatch")
+	}
+	an, bn := a.Cols, b.Cols
+	out := g.NewTensor(a.Rows, an+bn)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.W[i*(an+bn):], a.W[i*an:(i+1)*an])
+		copy(out.W[i*(an+bn)+an:], b.W[i*bn:(i+1)*bn])
+	}
+	g.push(tapeOp{kind: opConcatCols2, a: a, b: b, out: out})
+	return out
+}
+
+func backConcatCols2(a, b, out *Tensor) {
+	an, bn := a.Cols, b.Cols
+	for i := 0; i < a.Rows; i++ {
+		orow := out.DW[i*(an+bn) : (i+1)*(an+bn)]
+		arow := a.DW[i*an : (i+1)*an]
+		brow := b.DW[i*bn : (i+1)*bn]
+		for j := range arow {
+			arow[j] += orow[j]
+		}
+		for j := range brow {
+			brow[j] += orow[an+j]
+		}
+	}
+}
+
+// PackMemoryBatch assembles the padded attention memory from per-position
+// batch rows: rows[i] is the B×d encoder output at source position i, and
+// the result is a (B*S)×d tensor (S = len(rows)) whose block b holds
+// sequence b's memory — row b*S+i copies rows[i]'s row b for i < lens[b],
+// and padding rows beyond a sequence's length stay zero. The rows and lens
+// slices are retained until Backward/Reset (the RowsToMatrix caveat).
+func (g *Graph) PackMemoryBatch(rows []*Tensor, lens []int) *Tensor {
+	S := len(rows)
+	if S == 0 {
+		panic("nn: empty memory pack")
+	}
+	B, d := rows[0].Rows, rows[0].Cols
+	out := g.NewTensor(B*S, d)
+	for i, r := range rows {
+		for b := 0; b < B; b++ {
+			if i < lens[b] {
+				copy(out.W[(b*S+i)*d:(b*S+i+1)*d], r.W[b*d:(b+1)*d])
+			}
+		}
+	}
+	g.push(tapeOp{kind: opPackMemory, list: rows, ints: lens, out: out})
+	return out
+}
+
+func backPackMemory(o *tapeOp) {
+	S := len(o.list)
+	lens := o.ints
+	B, d := o.list[0].Rows, o.list[0].Cols
+	for i, r := range o.list {
+		for b := 0; b < B; b++ {
+			if i >= lens[b] {
+				continue
+			}
+			orow := o.out.DW[(b*S+i)*d : (b*S+i+1)*d]
+			rrow := r.DW[b*d : (b+1)*d]
+			for j, dv := range orow {
+				rrow[j] += dv
+			}
+		}
+	}
+}
+
+// NLLPointerMixBatch is the batched pointer–generator loss: row b mixes the
+// vocabulary distribution pvocab (B×V), the attention weights alpha (B×S)
+// and the gate pgen (B×1) exactly as NLLPointerMix does for one row, with
+// copyMasks[b] and vocabIdx[b] giving row b's copy positions and target
+// vocabulary index. gradScale[b] scales row b's gradient — pass 1/B to
+// average the minibatch gradient over examples, and 0 to mark a padded row
+// (sequences shorter than the batch maximum), which is skipped entirely.
+// nll[b] receives row b's raw −log p (0 for skipped rows); the caller
+// weights those into the per-example means it reports. alpha and copyMasks
+// may be nil for pure generation. All slice arguments are retained until
+// Backward/Reset, so per-step calls need distinct backings.
+func (g *Graph) NLLPointerMixBatch(pvocab, alpha, pgen *Tensor, copyMasks [][]bool, vocabIdx []int, gradScale []float64, nll []float64) {
+	B := pvocab.Rows
+	// pt stashes the mixed probability of each row for backward.
+	pt := g.NewTensor(B, 1)
+	for b := 0; b < B; b++ {
+		nll[b] = 0
+		if gradScale[b] == 0 {
+			continue
+		}
+		gate := pgen.W[b]
+		var pv, pc float64
+		if vocabIdx[b] >= 0 {
+			pv = pvocab.W[b*pvocab.Cols+vocabIdx[b]]
+		}
+		if copyMasks != nil && copyMasks[b] != nil {
+			arow := alpha.W[b*alpha.Cols:]
+			for i, m := range copyMasks[b] {
+				if m {
+					pc += arow[i]
+				}
+			}
+		}
+		p := gate*pv + (1-gate)*pc
+		pt.W[b] = p
+		nll[b] = -math.Log(p + nllEps)
+	}
+	g.push(tapeOp{kind: opNLLPointerMixBatch, a: pvocab, b: alpha, c: pgen,
+		masks: copyMasks, ints: vocabIdx, fvals: gradScale, aux: pt})
+}
+
+func backNLLPointerMixBatch(o *tapeOp) {
+	pvocab, alpha, pgen, pt := o.a, o.b, o.c, o.aux
+	for b, w := range o.fvals {
+		if w == 0 {
+			continue
+		}
+		gate := pgen.W[b]
+		idx := o.ints[b]
+		var mask []bool
+		if o.masks != nil {
+			mask = o.masks[b]
+		}
+		var pv, pc float64
+		if idx >= 0 {
+			pv = pvocab.W[b*pvocab.Cols+idx]
+		}
+		for i, m := range mask {
+			if m {
+				pc += alpha.W[b*alpha.Cols+i]
+			}
+		}
+		dp := -w / (pt.W[b] + nllEps)
+		if idx >= 0 {
+			pvocab.DW[b*pvocab.Cols+idx] += dp * gate
+		}
+		for i, m := range mask {
+			if m {
+				alpha.DW[b*alpha.Cols+i] += dp * (1 - gate)
+			}
+		}
+		pgen.DW[b] += dp * (pv - pc)
+	}
+}

@@ -1,0 +1,463 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// stackRows copies B single-row tensors into one B×n batch tensor.
+func stackRows(rows []*Tensor) *Tensor {
+	n := rows[0].Cols
+	out := NewTensor(len(rows), n)
+	for i, r := range rows {
+		copy(out.W[i*n:(i+1)*n], r.W)
+	}
+	return out
+}
+
+// seedBatchGrad fills row i of a batch output gradient and the matching
+// single-row output gradient with the same per-element pattern.
+func seedBatchGrad(batch *Tensor, singles []*Tensor) {
+	n := batch.Cols
+	for i, s := range singles {
+		for j := 0; j < n; j++ {
+			v := float64(i*n+j) + 1
+			batch.DW[i*n+j] = v
+			s.DW[j] = v
+		}
+	}
+}
+
+// TestBatchedAffineMatchesRows checks forward values and all gradients of
+// the batched kernel against B independent AffineRow calls.
+func TestBatchedAffineMatchesRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	const B, in, n = 3, 5, 7
+	w := NewRandom(in, n, rng)
+	b := NewRandom(1, n, rng)
+	w2 := cloneParams([]*Tensor{w, b})
+	xs := make([]*Tensor, B)
+	for i := range xs {
+		xs[i] = NewRandom(1, in, rng)
+	}
+	x := stackRows(xs)
+
+	gb := NewGraph(true)
+	out := gb.BatchedAffine(x, w, b)
+
+	gs := NewGraph(true)
+	singles := make([]*Tensor, B)
+	for i := range xs {
+		singles[i] = gs.AffineRow(xs[i], w2[0], w2[1])
+	}
+	seedBatchGrad(out, singles)
+	gb.Backward()
+	gs.Backward()
+
+	for i := range xs {
+		assertClose(t, "out", out.W[i*n:(i+1)*n], singles[i].W)
+		assertClose(t, "dx", x.DW[i*in:(i+1)*in], xs[i].DW)
+	}
+	assertClose(t, "dW", w.DW, w2[0].DW)
+	assertClose(t, "db", b.DW, w2[1].DW)
+}
+
+func TestBatchedAffineGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	x := NewRandom(3, 4, rng)
+	w := NewRandom(4, 5, rng)
+	b := NewRandom(1, 5, rng)
+	checkGradients(t, []*Tensor{x, w, b}, func(g *Graph) *Tensor { return g.BatchedAffine(x, w, b) })
+}
+
+// TestLSTMStepBatchMatchesRows runs two batched timesteps (with one row
+// going inactive on the second) against per-row Step chains: active rows
+// must match the single-row kernel exactly, and the inactive row must carry
+// its state through with pass-through gradients and no weight contribution.
+func TestLSTMStepBatchMatchesRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	const B, in, H = 3, 4, 5
+	cell := NewLSTMCell(in, H, rng)
+	cl := cloneParams([]*Tensor{cell.Wx, cell.Wh, cell.B})
+	cell2 := &LSTMCell{Wx: cl[0], Wh: cl[1], B: cl[2], Hidden: H}
+	xs := make([]*Tensor, B)
+	for i := range xs {
+		xs[i] = NewRandom(1, in, rng)
+	}
+	x := stackRows(xs)
+	active := []bool{true, true, false} // row 2 stops after the first step
+
+	gb := NewGraph(true)
+	h0 := NewTensor(B, H)
+	c0 := NewTensor(B, H)
+	h1, c1 := cell.StepBatch(gb, x, h0, c0, nil)
+	h2, c2 := cell.StepBatch(gb, x, h1, c1, active)
+
+	gs := NewGraph(true)
+	singleH := make([]*Tensor, B)
+	singleC := make([]*Tensor, B)
+	x2 := cloneParams(xs)
+	for i := range xs {
+		h, c := cell2.InitState()
+		h, c = cell2.Step(gs, x2[i], h, c)
+		if active[i] {
+			h, c = cell2.Step(gs, x2[i], h, c)
+		}
+		singleH[i], singleC[i] = h, c
+	}
+	seedBatchGrad(h2, singleH)
+	seedBatchGrad(c2, singleC)
+	gb.Backward()
+	gs.Backward()
+
+	for i := range xs {
+		assertClose(t, "h", h2.W[i*H:(i+1)*H], singleH[i].W)
+		assertClose(t, "c", c2.W[i*H:(i+1)*H], singleC[i].W)
+		assertClose(t, "dx", x.DW[i*in:(i+1)*in], x2[i].DW)
+	}
+	assertClose(t, "dWx", cell.Wx.DW, cell2.Wx.DW)
+	assertClose(t, "dWh", cell.Wh.DW, cell2.Wh.DW)
+	assertClose(t, "dB", cell.B.DW, cell2.B.DW)
+}
+
+func TestLSTMStepBatchFiniteDifferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	cell := NewLSTMCell(3, 4, rng)
+	x := NewRandom(2, 3, rng)
+	active := []bool{true, false}
+	params := append([]*Tensor{x}, cell.Params()...)
+	checkGradients(t, params, func(g *Graph) *Tensor {
+		h := NewTensor(2, 4)
+		c := NewTensor(2, 4)
+		h, c = cell.StepBatch(g, x, h, c, nil)
+		h, _ = cell.StepBatch(g, x, h, c, active)
+		return h
+	})
+}
+
+// TestAttendBatchMatchesRows checks the batched masked attention against
+// per-sequence AttendSoftmaxContext calls over unpadded memories.
+func TestAttendBatchMatchesRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	const B, S, d = 3, 4, 5
+	lens := []int{4, 2, 3}
+	qs := make([]*Tensor, B)
+	mems := make([]*Tensor, B)
+	for i := range qs {
+		qs[i] = NewRandom(1, d, rng)
+		mems[i] = NewRandom(lens[i], d, rng)
+	}
+	q := stackRows(qs)
+	H := NewTensor(B*S, d)
+	for b := 0; b < B; b++ {
+		copy(H.W[b*S*d:(b*S+lens[b])*d], mems[b].W)
+	}
+
+	gb := NewGraph(true)
+	alpha, ctx := gb.AttendSoftmaxContextBatch(q, H, nil, lens)
+
+	gs := NewGraph(true)
+	q2 := cloneParams(qs)
+	singleA := make([]*Tensor, B)
+	singleC := make([]*Tensor, B)
+	mems2 := cloneParams(mems)
+	for i := range qs {
+		singleA[i], singleC[i] = gs.AttendSoftmaxContext(q2[i], mems2[i])
+	}
+	seedBatchGrad(ctx, singleC)
+	for i := range qs {
+		for j := 0; j < lens[i]; j++ {
+			v := float64(3*(i*S+j) + 2)
+			alpha.DW[i*S+j] = v
+			singleA[i].DW[j] = v
+		}
+	}
+	gb.Backward()
+	gs.Backward()
+
+	for i := range qs {
+		assertClose(t, "alpha", alpha.W[i*S:i*S+lens[i]], singleA[i].W)
+		assertClose(t, "ctx", ctx.W[i*d:(i+1)*d], singleC[i].W)
+		assertClose(t, "dq", q.DW[i*d:(i+1)*d], q2[i].DW)
+		assertClose(t, "dH", H.DW[i*S*d:(i*S+lens[i])*d], mems2[i].DW)
+		// Padding rows beyond the sequence length must stay untouched.
+		for j := lens[i] * d; j < S*d; j++ {
+			if H.DW[i*S*d+j] != 0 {
+				t.Fatalf("gradient leaked into padding row of block %d", i)
+			}
+		}
+		for j := lens[i]; j < S; j++ {
+			if alpha.W[i*S+j] != 0 {
+				t.Fatalf("attention mass leaked into padding of block %d", i)
+			}
+		}
+	}
+}
+
+func TestAttendBatchFiniteDifferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	const B, S, d = 2, 3, 4
+	lens := []int{3, 2}
+	q := NewRandom(B, d, rng)
+	H := NewRandom(B*S, d, rng)
+	// Zero the padding rows so the packed-memory invariant holds.
+	for b := 0; b < B; b++ {
+		for i := lens[b]; i < S; i++ {
+			for j := 0; j < d; j++ {
+				H.W[(b*S+i)*d+j] = 0
+			}
+		}
+	}
+	checkGradients(t, []*Tensor{q, H}, func(g *Graph) *Tensor {
+		_, ctx := g.AttendSoftmaxContextBatch(q, H, nil, lens)
+		return ctx
+	})
+}
+
+func TestSoftmaxRowsMatchesRowsAndGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	const B, n = 3, 6
+	rows := make([]*Tensor, B)
+	for i := range rows {
+		rows[i] = NewRandom(1, n, rng)
+	}
+	a := stackRows(rows)
+
+	gb := NewGraph(true)
+	out := gb.SoftmaxRows(a)
+	gs := NewGraph(true)
+	a2 := cloneParams(rows)
+	singles := make([]*Tensor, B)
+	for i := range rows {
+		singles[i] = gs.SoftmaxRow(a2[i])
+	}
+	seedBatchGrad(out, singles)
+	gb.Backward()
+	gs.Backward()
+	for i := range rows {
+		assertClose(t, "softmax", out.W[i*n:(i+1)*n], singles[i].W)
+		assertClose(t, "dsoftmax", a.DW[i*n:(i+1)*n], a2[i].DW)
+	}
+
+	b := NewRandom(3, 4, rng)
+	checkGradients(t, []*Tensor{b}, func(g *Graph) *Tensor { return g.SoftmaxRows(b) })
+}
+
+func TestLookupRowsConcatColsPackMemoryGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(38))
+	emb := NewRandom(5, 3, rng)
+	// Duplicate ids: gradients of a repeated row must accumulate.
+	checkGradients(t, []*Tensor{emb}, func(g *Graph) *Tensor {
+		return g.LookupRows(emb, []int{2, 0, 2})
+	})
+	a := NewRandom(2, 3, rng)
+	b := NewRandom(2, 4, rng)
+	checkGradients(t, []*Tensor{a, b}, func(g *Graph) *Tensor { return g.ConcatCols(a, b) })
+	r0 := NewRandom(2, 3, rng)
+	r1 := NewRandom(2, 3, rng)
+	checkGradients(t, []*Tensor{r0, r1}, func(g *Graph) *Tensor {
+		return g.PackMemoryBatch([]*Tensor{r0, r1}, []int{2, 1})
+	})
+}
+
+// TestNLLPointerMixBatchMatchesRows checks per-row losses and gradients
+// against independent single-row NLLPointerMix calls at gradScale 1, and
+// that a zero gradScale skips a row entirely.
+func TestNLLPointerMixBatchMatchesRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(39))
+	const B, V, S = 3, 5, 3
+	scoresV := make([]*Tensor, B)
+	scoresA := make([]*Tensor, B)
+	gateRaw := make([]*Tensor, B)
+	masks := [][]bool{{true, false, true}, {false, true, false}, nil}
+	idxs := []int{2, -1, 4}
+	for i := 0; i < B; i++ {
+		scoresV[i] = NewRandom(1, V, rng)
+		scoresA[i] = NewRandom(1, S, rng)
+		gateRaw[i] = NewRandom(1, 1, rng)
+	}
+	sv := stackRows(scoresV)
+	sa := stackRows(scoresA)
+	gr := stackRows(gateRaw)
+
+	gb := NewGraph(true)
+	pv := gb.SoftmaxRows(sv)
+	al := gb.SoftmaxRows(sa)
+	gate := gb.Sigmoid(gr)
+	scale := []float64{1, 1, 1}
+	nll := make([]float64, B)
+	gb.NLLPointerMixBatch(pv, al, gate, masks, idxs, scale, nll)
+	gb.Backward()
+
+	sv2, sa2, gr2 := cloneParams(scoresV), cloneParams(scoresA), cloneParams(gateRaw)
+	for i := 0; i < B; i++ {
+		gs := NewGraph(true)
+		pvi := gs.SoftmaxRow(sv2[i])
+		ali := gs.SoftmaxRow(sa2[i])
+		gi := gs.Sigmoid(gr2[i])
+		want := gs.NLLPointerMix(pvi, ali, gi, masks[i], idxs[i])
+		gs.Backward()
+		if math.Abs(nll[i]-want) > 1e-12*(1+math.Abs(want)) {
+			t.Fatalf("row %d: batched nll %g, single %g", i, nll[i], want)
+		}
+		assertClose(t, "dscoresV", sv.DW[i*V:(i+1)*V], sv2[i].DW)
+		assertClose(t, "dscoresA", sa.DW[i*S:(i+1)*S], sa2[i].DW)
+		assertClose(t, "dgate", gr.DW[i:i+1], gr2[i].DW)
+	}
+
+	// A padded row (scale 0) reports zero loss and receives zero gradient.
+	sv.ZeroGrad()
+	sa.ZeroGrad()
+	gr.ZeroGrad()
+	g0 := NewGraph(true)
+	pv0 := g0.SoftmaxRows(sv)
+	al0 := g0.SoftmaxRows(sa)
+	gate0 := g0.Sigmoid(gr)
+	g0.NLLPointerMixBatch(pv0, al0, gate0, masks, idxs, []float64{1, 0, 1}, nll)
+	if nll[1] != 0 {
+		t.Fatalf("padded row reported loss %g", nll[1])
+	}
+	g0.Backward()
+	for j := 0; j < S; j++ {
+		if sa.DW[S+j] != 0 {
+			t.Fatal("padded row received attention gradient")
+		}
+	}
+	if gr.DW[1] != 0 {
+		t.Fatal("padded row received gate gradient")
+	}
+}
+
+// TestNLLPointerMixBatchFiniteDifferences drives the batched pointer loss
+// through central differences on raw scores, batching gradient scales too.
+func TestNLLPointerMixBatchFiniteDifferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	const B, V, S = 2, 4, 3
+	scoresV := NewRandom(B, V, rng)
+	scoresA := NewRandom(B, S, rng)
+	gateRaw := NewRandom(B, 1, rng)
+	masks := [][]bool{{true, false, true}, {false, true, true}}
+	idxs := []int{1, 3}
+	scale := []float64{0.5, 0.25}
+	nll := make([]float64, B)
+
+	loss := func() float64 {
+		g := NewGraph(false)
+		pv := g.SoftmaxRows(scoresV)
+		al := g.SoftmaxRows(scoresA)
+		gate := g.Sigmoid(gateRaw)
+		g.NLLPointerMixBatch(pv, al, gate, masks, idxs, scale, nll)
+		var s float64
+		for b, v := range nll {
+			s += scale[b] * v
+		}
+		return s
+	}
+	g := NewGraph(true)
+	pv := g.SoftmaxRows(scoresV)
+	al := g.SoftmaxRows(scoresA)
+	gate := g.Sigmoid(gateRaw)
+	g.NLLPointerMixBatch(pv, al, gate, masks, idxs, scale, nll)
+	g.Backward()
+	for _, p := range []*Tensor{scoresV, scoresA, gateRaw} {
+		for i := range p.W {
+			want := numericalGrad(p, i, loss)
+			got := p.DW[i]
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Fatalf("batched pointer mix grad mismatch: analytic %g numeric %g", got, want)
+			}
+		}
+	}
+}
+
+// TestBatchedKernelsParallelMatchesInline pins the determinism claim of the
+// goroutine-split kernel paths: with GOMAXPROCS raised and dimensions above
+// parallelWorkMin, the chunked forward and backward passes must produce
+// bitwise-identical outputs and gradients to the inline (GOMAXPROCS=1)
+// execution of the same network.
+func TestBatchedKernelsParallelMatchesInline(t *testing.T) {
+	const B, in, H, S = 32, 64, 128, 40
+	rng := rand.New(rand.NewSource(42))
+	cell := NewLSTMCell(in, H, rng)
+	lin := NewLinear(H, 512, rng)
+	x := NewRandom(B, in, rng)
+	mem := NewRandom(B*S, H, rng)
+	lens := make([]int, B)
+	for b := range lens {
+		lens[b] = S - b%7 // mixed valid prefixes exercise the masking
+	}
+	active := make([]bool, B)
+	for b := range active {
+		active[b] = b%5 != 0
+	}
+	params := append([]*Tensor{x, mem, lin.W, lin.B}, cell.Params()...)
+
+	run := func() []float64 {
+		g := NewGraph(true)
+		h := NewTensor(B, H)
+		c := NewTensor(B, H)
+		h, c = cell.StepBatch(g, x, h, c, nil)
+		h, _ = cell.StepBatch(g, x, h, c, active)
+		alpha, ctx := g.AttendSoftmaxContextBatch(h, mem, nil, lens)
+		out := g.SoftmaxRows(g.BatchedAffine(ctx, lin.W, lin.B))
+		for i := range out.DW {
+			out.DW[i] = float64(i%13) + 1
+		}
+		for i := range alpha.DW {
+			alpha.DW[i] = float64(i % 7)
+		}
+		g.Backward()
+		res := append([]float64(nil), out.W...)
+		res = append(res, alpha.W...)
+		for _, p := range params {
+			res = append(res, p.DW...)
+			p.ZeroGrad()
+		}
+		return res
+	}
+
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	inline := run()
+	runtime.GOMAXPROCS(4) // forces the parallelChunks branches even on a 1-core host
+	parallel := run()
+	if len(inline) != len(parallel) {
+		t.Fatalf("result length mismatch: %d vs %d", len(inline), len(parallel))
+	}
+	for i := range inline {
+		if inline[i] != parallel[i] {
+			t.Fatalf("parallel kernel path diverges from inline at element %d: %g vs %g",
+				i, parallel[i], inline[i])
+		}
+	}
+}
+
+// TestBatchedKernelsArenaSteadyState asserts a warm batched
+// forward/backward/reset cycle allocates nothing, like the single-row path.
+func TestBatchedKernelsArenaSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	const B, in, H = 4, 6, 8
+	cell := NewLSTMCell(in, H, rng)
+	lin := NewLinear(H, in, rng)
+	x := NewRandom(B, in, rng)
+	g := NewGraphArena(true, NewArena())
+	step := func() {
+		g.Reset()
+		h := g.NewTensor(B, H)
+		c := g.NewTensor(B, H)
+		for i := 0; i < 3; i++ {
+			h, c = cell.StepBatch(g, x, h, c, nil)
+		}
+		out := g.SoftmaxRows(g.BatchedAffine(h, lin.W, lin.B))
+		for i := range out.DW {
+			out.DW[i] = 1
+		}
+		g.Backward()
+	}
+	step() // warm the arena and tape
+	if n := testing.AllocsPerRun(20, step); n > 0 {
+		t.Errorf("steady-state batched step allocates: %v allocs/run", n)
+	}
+}

@@ -22,6 +22,14 @@ const (
 	opAffineRow
 	opLSTMStep
 	opAttendSoftmaxContext
+	opAffineBatch
+	opLSTMStepBatch
+	opAttendBatch
+	opSoftmaxRows
+	opNLLPointerMixBatch
+	opLookupRows
+	opConcatCols2
+	opPackMemory
 )
 
 // tapeOp is one record of the typed tape: the operands, outputs and stashed
@@ -37,13 +45,20 @@ type tapeOp struct {
 	aux     *Tensor // stashed activations (LSTM gates, attention weights, dropout mask)
 	aux2    *Tensor // scratch (LSTM tanh(c), attention score gradients)
 
-	cell *LSTMCell // opLSTMStep
-	list []*Tensor // opConcatRowN parts / opRowsToMatrix rows
-	mask []bool    // opNLLPointerMix copy mask
+	cell *LSTMCell // opLSTMStep / opLSTMStepBatch
+	list []*Tensor // opConcatRowN parts / opRowsToMatrix rows / opPackMemory rows
+	mask []bool    // opNLLPointerMix copy mask / opLSTMStepBatch row-active mask
 
 	idx  int     // lookup row / slice from / target vocab index
 	idx2 int     // slice to
 	fval float64 // opNLLPointerMix mixed probability p
+
+	// Batched-kernel operands. Slices are retained until Backward/Reset, so
+	// callers must give every record a distinct backing (the model's batch
+	// scratch slices positions out of one growing buffer per step).
+	ints  []int     // opLookupRows ids / opAttendBatch+opPackMemory lens / opNLLPointerMixBatch vocab indices
+	fvals []float64 // opNLLPointerMixBatch per-row gradient scales
+	masks [][]bool  // opNLLPointerMixBatch per-row copy masks
 }
 
 // Graph is the autograd tape. Operations append typed records; Backward
@@ -195,6 +210,28 @@ func (g *Graph) backstep(o *tapeOp) {
 		backLSTMStep(o)
 	case opAttendSoftmaxContext:
 		backAttendSoftmaxContext(o)
+	case opAffineBatch:
+		backAffineBatch(o.a, o.b, o.c, o.out)
+	case opLSTMStepBatch:
+		backLSTMStepBatch(o)
+	case opAttendBatch:
+		backAttendBatch(o)
+	case opSoftmaxRows:
+		backSoftmaxRows(o.a, o.out)
+	case opNLLPointerMixBatch:
+		backNLLPointerMixBatch(o)
+	case opLookupRows:
+		for i, id := range o.ints {
+			base := id * o.a.Cols
+			orow := o.out.DW[i*o.out.Cols : (i+1)*o.out.Cols]
+			for j, d := range orow {
+				o.a.DW[base+j] += d
+			}
+		}
+	case opConcatCols2:
+		backConcatCols2(o.a, o.b, o.out)
+	case opPackMemory:
+		backPackMemory(o)
 	}
 }
 

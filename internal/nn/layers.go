@@ -55,6 +55,15 @@ func (l *LSTMCell) Step(g *Graph, x, h, c *Tensor) (hNext, cNext *Tensor) {
 	return g.lstmStep(l, x, h, c)
 }
 
+// StepBatch advances the cell one timestep for B stacked rows with the
+// batched fused kernel; per row it is numerically identical to Step. Rows
+// where active is false carry their state through unchanged and contribute
+// nothing to gradients (nil = all rows active); the active slice is retained
+// until Backward/Reset.
+func (l *LSTMCell) StepBatch(g *Graph, x, h, c *Tensor, active []bool) (hNext, cNext *Tensor) {
+	return g.lstmStepBatch(l, x, h, c, active)
+}
+
 // InitState returns fresh zero state tensors on the heap.
 func (l *LSTMCell) InitState() (h, c *Tensor) {
 	return NewTensor(1, l.Hidden), NewTensor(1, l.Hidden)

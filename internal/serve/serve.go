@@ -1,9 +1,12 @@
 // Package serve is the parser-serving layer: it turns a trained
 // model.Parser — a pure function after training — into a long-lived service.
-// It provides request micro-batching over a decode worker pool (Batcher), an
-// HTTP JSON front end (Server) with a matching Client, and a trained-snapshot
-// cache keyed by the Thingpedia skill-library checksum (Cache), so
-// re-serving an unchanged library skips training entirely.
+// It provides request micro-batching over a decode worker pool (Batcher),
+// where a gathered window decodes as one batched forward per decode step
+// (model.Parser.ParseBatch/ParseBeamBatch: all requests' hypotheses advance
+// in lockstep as rows of B×n tensors), an HTTP JSON front end (Server) with
+// a matching Client, and a trained-snapshot cache keyed by the Thingpedia
+// skill-library checksum (Cache), so re-serving an unchanged library skips
+// training entirely.
 //
 // The layer leans on two properties established in internal/model: decoding
 // is concurrency-safe (all decode state lives in pooled per-call contexts,
@@ -25,6 +28,17 @@ import (
 type Parser interface {
 	Parse(words []string) []string
 	ParseBeam(words []string, width int) []string
+}
+
+// BatchParser is the batched decoding surface; *model.Parser implements it.
+// When the Batcher's parser does, each gathered window decodes as one
+// batched forward per decode step — the window's sentences (or beams)
+// advance in lockstep as rows of stacked tensors — instead of fanning each
+// request to its own worker, so micro-batching buys matmul width on top of
+// queueing.
+type BatchParser interface {
+	ParseBatch(sentences [][]string) [][]string
+	ParseBeamBatch(sentences [][]string, width int) [][]string
 }
 
 // Options tune the serving layer.
@@ -64,15 +78,18 @@ type request struct {
 
 // Batcher gathers incoming parse requests into micro-batches — up to
 // MaxBatch requests or MaxWait, whichever comes first — and decodes each
-// batch on a fixed worker pool. Batching amortizes scheduling and keeps the
-// decode workers saturated under bursty traffic; because decoding is
-// concurrency-safe, all workers share the one trained parser.
+// batch on a fixed worker pool. When the parser supports batched decoding
+// (BatchParser, which *model.Parser does), a worker decodes its whole batch
+// in one lockstep batched call; otherwise it falls back to per-request
+// decoding. Because decoding is concurrency-safe, all workers share the one
+// trained parser, and distinct batches still decode concurrently.
 type Batcher struct {
 	opt    Options
 	parser Parser
+	bp     BatchParser // non-nil when parser supports batched decode
 
 	in   chan request
-	jobs chan request
+	jobs chan []request
 	done chan struct{}
 
 	closeOnce sync.Once
@@ -89,9 +106,10 @@ func NewBatcher(p Parser, opt Options) *Batcher {
 		opt:    opt,
 		parser: p,
 		in:     make(chan request),
-		jobs:   make(chan request, opt.MaxBatch),
+		jobs:   make(chan []request, max(opt.Workers, opt.MaxBatch)),
 		done:   make(chan struct{}),
 	}
+	b.bp, _ = p.(BatchParser)
 	b.wg.Add(1)
 	go b.gather()
 	for w := 0; w < opt.Workers; w++ {
@@ -140,8 +158,15 @@ func (b *Batcher) gather() {
 		}
 		b.batches.Add(1)
 		b.requests.Add(int64(len(batch)))
-		for _, r := range batch {
-			b.jobs <- r
+		if b.bp != nil {
+			b.jobs <- batch
+		} else {
+			// No batched decode surface: fan the window's requests across
+			// the worker pool as before, instead of serializing them on one
+			// worker.
+			for _, r := range batch {
+				b.jobs <- []request{r}
+			}
 		}
 		select {
 		case <-b.done:
@@ -154,8 +179,26 @@ func (b *Batcher) gather() {
 
 func (b *Batcher) worker() {
 	defer b.wg.Done()
-	for r := range b.jobs {
-		r.reply <- b.decode(r.words)
+	for batch := range b.jobs {
+		if b.bp != nil && len(batch) > 1 {
+			sentences := make([][]string, len(batch))
+			for i, r := range batch {
+				sentences[i] = r.words
+			}
+			var outs [][]string
+			if b.opt.Beam > 1 {
+				outs = b.bp.ParseBeamBatch(sentences, b.opt.Beam)
+			} else {
+				outs = b.bp.ParseBatch(sentences)
+			}
+			for i, r := range batch {
+				r.reply <- outs[i]
+			}
+			continue
+		}
+		for _, r := range batch {
+			r.reply <- b.decode(r.words)
+		}
 	}
 }
 

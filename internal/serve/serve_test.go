@@ -126,6 +126,127 @@ func TestBatcherFormsBatches(t *testing.T) {
 	}
 }
 
+// recordingBatchParser counts batched-decode calls and the widest window it
+// saw, delegating to the real parser.
+type recordingBatchParser struct {
+	p          *model.Parser
+	mu         sync.Mutex
+	batchCalls int
+	maxWindow  int
+}
+
+func (r *recordingBatchParser) Parse(words []string) []string { return r.p.Parse(words) }
+func (r *recordingBatchParser) ParseBeam(words []string, width int) []string {
+	return r.p.ParseBeam(words, width)
+}
+func (r *recordingBatchParser) ParseBatch(sentences [][]string) [][]string {
+	r.mu.Lock()
+	r.batchCalls++
+	if len(sentences) > r.maxWindow {
+		r.maxWindow = len(sentences)
+	}
+	r.mu.Unlock()
+	return r.p.ParseBatch(sentences)
+}
+func (r *recordingBatchParser) ParseBeamBatch(sentences [][]string, width int) [][]string {
+	r.mu.Lock()
+	r.batchCalls++
+	if len(sentences) > r.maxWindow {
+		r.maxWindow = len(sentences)
+	}
+	r.mu.Unlock()
+	return r.p.ParseBeamBatch(sentences, width)
+}
+
+// TestBatcherBatchedDecodeParity drives concurrent traffic through a
+// batcher whose gather window is wide enough to form real batches, checks
+// every reply against the sequential decode, and asserts the batched decode
+// path actually carried multi-request windows. Runs under -race in CI.
+func TestBatcherBatchedDecodeParity(t *testing.T) {
+	for _, beam := range []int{1, 3} {
+		rec := &recordingBatchParser{p: toyParser()}
+		b := NewBatcher(rec, Options{MaxBatch: 8, MaxWait: 25 * time.Millisecond, Workers: 2, Beam: beam})
+
+		sentences := testSentences()
+		want := make([]string, len(sentences))
+		for i, s := range sentences {
+			if beam > 1 {
+				want[i] = strings.Join(rec.p.ParseBeam(s, beam), " ")
+			} else {
+				want[i] = strings.Join(rec.p.Parse(s), " ")
+			}
+		}
+
+		var wg sync.WaitGroup
+		for rep := 0; rep < 3; rep++ {
+			for i := range sentences {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					got, err := b.ParseCtx(context.Background(), sentences[i])
+					if err != nil {
+						t.Errorf("beam=%d ParseCtx: %v", beam, err)
+						return
+					}
+					if strings.Join(got, " ") != want[i] {
+						t.Errorf("beam=%d batched decode of %v = %q, sequential = %q",
+							beam, sentences[i], strings.Join(got, " "), want[i])
+					}
+				}(i)
+			}
+		}
+		wg.Wait()
+		b.Close()
+
+		rec.mu.Lock()
+		calls, widest := rec.batchCalls, rec.maxWindow
+		rec.mu.Unlock()
+		if calls == 0 || widest < 2 {
+			t.Errorf("beam=%d: batched decode path unused (calls=%d, widest window=%d)", beam, calls, widest)
+		}
+	}
+}
+
+// plainParser is a Parser without the batched surface, covering the
+// Batcher's per-request fallback fan-out.
+type plainParser struct{ p *model.Parser }
+
+func (pp plainParser) Parse(words []string) []string { return pp.p.Parse(words) }
+func (pp plainParser) ParseBeam(words []string, width int) []string {
+	return pp.p.ParseBeam(words, width)
+}
+
+// TestBatcherFallbackWithoutBatchParser drives a window through a parser
+// that lacks ParseBatch: requests must still fan across the worker pool and
+// answer correctly.
+func TestBatcherFallbackWithoutBatchParser(t *testing.T) {
+	pp := plainParser{p: toyParser()}
+	b := NewBatcher(pp, Options{MaxBatch: 8, MaxWait: 20 * time.Millisecond, Workers: 4})
+	defer b.Close()
+	sentences := testSentences()
+	var wg sync.WaitGroup
+	for rep := 0; rep < 2; rep++ {
+		for i := range sentences {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got, err := b.ParseCtx(context.Background(), sentences[i])
+				if err != nil {
+					t.Errorf("ParseCtx: %v", err)
+					return
+				}
+				if want := strings.Join(pp.p.Parse(sentences[i]), " "); strings.Join(got, " ") != want {
+					t.Errorf("fallback decode of %v = %q, want %q", sentences[i], strings.Join(got, " "), want)
+				}
+			}(i)
+		}
+	}
+	wg.Wait()
+	if st := b.Stats(); st.Requests != int64(2*len(sentences)) {
+		t.Errorf("Stats.Requests = %d, want %d", st.Requests, 2*len(sentences))
+	}
+}
+
 func TestBatcherClose(t *testing.T) {
 	b := NewBatcher(toyParser(), Options{})
 	b.Close()

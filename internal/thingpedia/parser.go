@@ -510,10 +510,3 @@ func (s *scanner) errf(format string, args ...any) error {
 	line := 1 + strings.Count(s.src[:min(s.pos, len(s.src))], "\n")
 	return fmt.Errorf("line %d: "+format, append([]any{line}, args...)...)
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
