@@ -1,0 +1,94 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/model"
+	"repro/internal/serve"
+	"repro/internal/thingpedia"
+)
+
+// cmdFleet runs the multi-skill parser fleet: one trained parser per
+// <skill>.tt library in -libdir, each serving behind its own micro-batching
+// shard with bounded-queue admission control, hot-swapped when the watcher
+// sees the library's checksum change.
+func cmdFleet(args []string) {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	libdir := fs.String("libdir", "", "skill-library directory (one <skill>.tt per skill)")
+	watch := fs.Duration("watch", 2*time.Second, "library watch interval (0 disables hot reload)")
+	maxQueue := fs.Int("maxqueue", 0, "per-skill admission queue bound (0 = 8x batch, negative = unbounded)")
+	cacheDir := fs.String("cache", "", "snapshot-cache directory keyed by skill-library checksum")
+	scaleName := scaleFlag(fs)
+	seed := fs.Int64("seed", 1, "random seed")
+	strategyName := fs.String("strategy", "genie", "training strategy")
+	maxSteps := fs.Int("maxsteps", 0, "cap on training steps (0 = scale preset)")
+	lmSteps := fs.Int("lmsteps", -1, "LM pre-training steps (-1 = scale preset, 0 = skip)")
+	batchSize := fs.Int("batchsize", 0, "training minibatch size (0 = scale preset)")
+	bucket := fs.Bool("bucket", false, "length-bucket training minibatches (cuts padding waste)")
+	trainWorkers := fs.Int("train-workers", 1, "concurrent background training runs")
+	addr := fs.String("addr", ":8080", "listen address")
+	batch := fs.Int("batch", 8, "per-skill micro-batch size")
+	wait := fs.Duration("wait", 2*time.Millisecond, "micro-batch gather window")
+	workers := fs.Int("serve-workers", 0, "decode workers per skill (0 = all CPUs)")
+	beam := fs.Int("beam", 1, "beam width (1 = greedy)")
+	fs.Parse(args)
+	if *libdir == "" {
+		fmt.Fprintln(os.Stderr, "genie: fleet needs -libdir")
+		os.Exit(2)
+	}
+	scale := resolveScale(*scaleName)
+	strategy, ok := strategyByName(*strategyName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "genie: unknown strategy %q\n", *strategyName)
+		os.Exit(2)
+	}
+
+	var cache *serve.Cache
+	if *cacheDir != "" {
+		cache = serve.NewCache(*cacheDir)
+	}
+	cfg := fleet.Config{
+		LibDir: *libdir,
+		Watch:  *watch,
+		Serve: serve.Options{
+			MaxBatch: *batch,
+			MaxWait:  *wait,
+			Workers:  *workers,
+			Beam:     *beam,
+			MaxQueue: *maxQueue,
+		},
+		Train: func(name string, lib *thingpedia.Library) (*model.Parser, error) {
+			p, _ := trainParserLib(lib, scale, strategy, *seed, *maxSteps, *lmSteps, *batchSize, *bucket)
+			return p, nil
+		},
+		Cache: cache,
+		CacheExtra: []string{
+			scale.Name, strategy.String(),
+			fmt.Sprintf("seed=%d", *seed), fmt.Sprintf("maxsteps=%d", *maxSteps),
+			fmt.Sprintf("lmsteps=%d", *lmSteps), fmt.Sprintf("batchsize=%d", *batchSize),
+			fmt.Sprintf("bucket=%t", *bucket),
+		},
+		TrainWorkers: *trainWorkers,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "genie: "+format+"\n", a...)
+		},
+	}
+	reg, err := fleet.New(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genie: %v\n", err)
+		os.Exit(1)
+	}
+	srv := fleet.NewServer(reg)
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "genie: fleet serving %s on %s (watch=%s batch=%d wait=%s beam=%d maxqueue=%d)\n",
+		*libdir, *addr, *watch, *batch, *wait, *beam, *maxQueue)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "genie: %v\n", err)
+		os.Exit(1)
+	}
+}

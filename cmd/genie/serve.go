@@ -27,12 +27,18 @@ func strategyByName(name string) (genie.Strategy, bool) {
 	return 0, false
 }
 
-// trainParser runs the full data pipeline and parser training for one
-// (scale, strategy, seed) recipe; maxSteps/lmSteps (-1 = keep preset) let
-// the CI smoke test cap the run, and batchSize > 1 trains on shuffled
-// minibatches through the batched kernels (0 = scale preset).
-func trainParser(scale genie.Scale, strategy genie.Strategy, seed int64, maxSteps, lmSteps, batchSize int) (*model.Parser, *genie.Data) {
-	lib := thingpedia.Builtin()
+// trainParser runs the full data pipeline and parser training over the
+// built-in library for one (scale, strategy, seed) recipe.
+func trainParser(scale genie.Scale, strategy genie.Strategy, seed int64, maxSteps, lmSteps, batchSize int, bucket bool) (*model.Parser, *genie.Data) {
+	return trainParserLib(thingpedia.Builtin(), scale, strategy, seed, maxSteps, lmSteps, batchSize, bucket)
+}
+
+// trainParserLib is trainParser over an arbitrary skill library (the fleet
+// trains one parser per library file); maxSteps/lmSteps (-1 = keep preset)
+// let the CI smoke tests cap the run, batchSize > 1 trains on shuffled
+// minibatches through the batched kernels (0 = scale preset), and bucket
+// length-buckets those minibatches to cut padding waste.
+func trainParserLib(lib *thingpedia.Library, scale genie.Scale, strategy genie.Strategy, seed int64, maxSteps, lmSteps, batchSize int, bucket bool) (*model.Parser, *genie.Data) {
 	d := genie.BuildData(lib, nltemplate.DefaultOptions, scale, seed)
 	mcfg := scale.Model
 	if maxSteps > 0 {
@@ -47,6 +53,7 @@ func trainParser(scale genie.Scale, strategy genie.Strategy, seed int64, maxStep
 	if batchSize > 0 {
 		mcfg.BatchSize = batchSize
 	}
+	mcfg.BucketByLength = bucket
 	tp := d.Train(genie.TrainOptions{Strategy: strategy, Topt: genie.CanonicalTargets, Model: mcfg, Seed: seed})
 	return tp.Parser, d
 }
@@ -60,6 +67,7 @@ func cmdTrain(args []string) {
 	maxSteps := fs.Int("maxsteps", 0, "cap on training steps (0 = scale preset)")
 	lmSteps := fs.Int("lmsteps", -1, "LM pre-training steps (-1 = scale preset, 0 = skip)")
 	batchSize := fs.Int("batchsize", 0, "training minibatch size (0 = scale preset, 1 = per-example)")
+	bucket := fs.Bool("bucket", false, "length-bucket training minibatches (cuts padding waste; needs -batchsize > 1)")
 	doEval := fs.Bool("eval", true, "score the trained parser on the validation set")
 	fs.Parse(args)
 	scale := resolveScale(*scaleName)
@@ -70,7 +78,7 @@ func cmdTrain(args []string) {
 	}
 
 	start := time.Now()
-	parser, d := trainParser(scale, strategy, *seed, *maxSteps, *lmSteps, *batchSize)
+	parser, d := trainParser(scale, strategy, *seed, *maxSteps, *lmSteps, *batchSize, *bucket)
 	fmt.Fprintf(os.Stderr, "genie: trained %s/%s seed=%d in %s\n", scale.Name, strategy, *seed, time.Since(start).Round(time.Millisecond))
 	if *doEval {
 		// Score through the full batched serving path: EvaluateParallel's
@@ -102,6 +110,7 @@ func cmdServe(args []string) {
 	maxSteps := fs.Int("maxsteps", 0, "cap on training steps (with -train; 0 = scale preset)")
 	lmSteps := fs.Int("lmsteps", -1, "LM pre-training steps (with -train; -1 = scale preset, 0 = skip)")
 	batchSize := fs.Int("batchsize", 0, "training minibatch size (with -train; 0 = scale preset)")
+	bucket := fs.Bool("bucket", false, "length-bucket training minibatches (with -train)")
 	addr := fs.String("addr", ":8080", "listen address")
 	batch := fs.Int("batch", 8, "micro-batch size (gather up to this many requests)")
 	wait := fs.Duration("wait", 2*time.Millisecond, "micro-batch gather window")
@@ -129,11 +138,12 @@ func cmdServe(args []string) {
 		lib := thingpedia.Builtin()
 		key := serve.Key(lib, scale.Name, strategy.String(),
 			fmt.Sprintf("seed=%d", *seed), fmt.Sprintf("maxsteps=%d", *maxSteps),
-			fmt.Sprintf("lmsteps=%d", *lmSteps), fmt.Sprintf("batchsize=%d", *batchSize))
+			fmt.Sprintf("lmsteps=%d", *lmSteps), fmt.Sprintf("batchsize=%d", *batchSize),
+			fmt.Sprintf("bucket=%t", *bucket))
 		cache := serve.NewCache(*cacheDir)
 		start := time.Now()
 		p, hit, err := cache.GetOrTrain(key, func() (*model.Parser, error) {
-			p, _ := trainParser(scale, strategy, *seed, *maxSteps, *lmSteps, *batchSize)
+			p, _ := trainParser(scale, strategy, *seed, *maxSteps, *lmSteps, *batchSize, *bucket)
 			return p, nil
 		})
 		if err != nil {

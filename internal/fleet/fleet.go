@@ -1,0 +1,570 @@
+// Package fleet is the parser-fleet control plane: Genie's premise is that
+// every skill library generates its own semantic parser (one grammar, one
+// synthesized dataset, one trained model per library), and this package
+// manages a fleet of them behind one endpoint. A Registry scans a library
+// directory (one <skill>.tt DSL source per skill), trains or cache-loads a
+// parser per skill in the background, and serves each through its own
+// serve.Batcher shard; a watcher polls the directory and hot-swaps a
+// skill's shard when its library checksum changes, draining in-flight
+// requests on the old snapshot. The HTTP Server routes POST /parse by skill
+// — or, when no skill is named, scores the request against every ready
+// shard and answers with the best length-normalized hypothesis — and
+// exposes the fleet's live state on GET /skills and GET /metrics.
+//
+// Layering: internal/serve owns one parser's serving mechanics (micro-
+// batching, admission control, drain) and the wire types; this package owns
+// the many-parser concerns — lifecycle, routing, hot reload, observability.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/serve"
+	"repro/internal/thingpedia"
+)
+
+// TrainFunc produces a trained parser for one skill library; the registry
+// calls it in the background (through the snapshot cache when one is
+// configured) and recovers panics into errors, so a degenerate library
+// fails that skill rather than the fleet.
+type TrainFunc func(name string, lib *thingpedia.Library) (*model.Parser, error)
+
+// Config assembles a Registry.
+type Config struct {
+	// LibDir is the skill-library directory (one <skill>.tt per skill).
+	LibDir string
+	// Watch is the directory poll interval; 0 disables hot reload.
+	Watch time.Duration
+	// Serve configures each skill's Batcher shard (batch window, workers,
+	// beam, admission queue bound).
+	Serve serve.Options
+	// Train builds a parser for a (possibly changed) library. Required.
+	Train TrainFunc
+	// Cache, when set, keys trained snapshots by library checksum so an
+	// unchanged — or reverted — library never retrains.
+	Cache *serve.Cache
+	// CacheExtra are additional cache-key discriminators (scale, strategy,
+	// seed, ...) that change what Train produces.
+	CacheExtra []string
+	// TrainWorkers bounds concurrent background training runs (default 1:
+	// training is CPU-saturating, so queue rather than thrash).
+	TrainWorkers int
+	// Logf receives control-plane events (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+// Routing errors. The HTTP layer maps ErrUnknownSkill to 404 and
+// ErrNotReady to 503; serve.ErrOverloaded passes through as 429.
+var (
+	ErrUnknownSkill = errors.New("fleet: unknown skill")
+	ErrNotReady     = errors.New("fleet: skill has no ready parser")
+)
+
+// Status is a skill's lifecycle state as surfaced on /skills.
+const (
+	StatusTraining  = "training"  // first parser still building; not serving
+	StatusReady     = "ready"     // serving
+	StatusReloading = "reloading" // serving the old snapshot while the new one trains
+	StatusFailed    = "failed"    // no parser and the last build errored
+)
+
+// shard is one skill's immutable serving state: a trained parser behind its
+// own batcher. Hot reload swaps the whole shard pointer atomically; the old
+// shard's batcher then drains, so in-flight requests complete on the
+// snapshot they were admitted to.
+type shard struct {
+	parser     *model.Parser
+	batcher    *serve.Batcher
+	checksum   string
+	generation uint64
+}
+
+// skill is one entry of the registry.
+type skill struct {
+	name string
+
+	mu        sync.Mutex
+	path      string
+	entry     thingpedia.DirEntry // stat signal at the last (re)load
+	err       error               // last build error, if any
+	reloading bool                // a background build is in flight
+	removed   bool
+
+	shard atomic.Pointer[shard]
+
+	requests atomic.Int64
+	lat      latencyRing
+}
+
+// Registry manages the fleet: skill discovery, background training,
+// checksum-watch hot reload, and per-skill routing.
+type Registry struct {
+	cfg      Config
+	gen      atomic.Uint64 // fleet-wide snapshot generation counter
+	trainSem chan struct{}
+
+	mu     sync.RWMutex
+	skills map[string]*skill
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New scans cfg.LibDir, starts a background build for every discovered
+// skill, and — when cfg.Watch > 0 — starts the checksum watcher. It returns
+// once the fleet is managing (not once it is serving); use WaitReady to
+// block until every initial build resolved.
+func New(cfg Config) (*Registry, error) {
+	if cfg.Train == nil {
+		return nil, errors.New("fleet: Config.Train is required")
+	}
+	if cfg.TrainWorkers <= 0 {
+		cfg.TrainWorkers = 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	entries, err := thingpedia.ScanLibraryDir(cfg.LibDir)
+	if err != nil {
+		return nil, err
+	}
+	r := &Registry{
+		cfg:      cfg,
+		trainSem: make(chan struct{}, cfg.TrainWorkers),
+		skills:   map[string]*skill{},
+		stop:     make(chan struct{}),
+	}
+	for _, e := range entries {
+		r.addSkill(e)
+	}
+	if cfg.Watch > 0 {
+		r.wg.Add(1)
+		go r.watch()
+	}
+	return r, nil
+}
+
+// addSkill registers a discovered library and spawns its first build.
+// Callers must not hold r.mu.
+func (r *Registry) addSkill(e thingpedia.DirEntry) {
+	sk := &skill{name: e.Name, path: e.Path, entry: e, reloading: true}
+	r.mu.Lock()
+	r.skills[sk.name] = sk
+	r.mu.Unlock()
+	r.spawnReload(sk, e)
+}
+
+// spawnReload runs one build of sk in the background; sk.reloading must
+// already be true (set under sk.mu by the caller).
+func (r *Registry) spawnReload(sk *skill, e thingpedia.DirEntry) {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer func() {
+			sk.mu.Lock()
+			sk.reloading = false
+			sk.mu.Unlock()
+		}()
+		select {
+		case r.trainSem <- struct{}{}:
+			defer func() { <-r.trainSem }()
+		case <-r.stop:
+			return
+		}
+		r.reload(sk, e)
+	}()
+}
+
+// reload parses the skill's library, trains (or cache-loads) a parser for
+// its checksum, and atomically swaps it in. A build failure keeps the old
+// shard serving.
+func (r *Registry) reload(sk *skill, e thingpedia.DirEntry) {
+	lib, err := thingpedia.LoadLibraryFile(sk.path)
+	if err != nil {
+		r.buildFailed(sk, err)
+		return
+	}
+	sum := lib.Checksum()
+	if cur := sk.shard.Load(); cur != nil && cur.checksum == sum {
+		// Stat changed but content (by checksum) did not — e.g. touch(1) or
+		// a formatting-only edit the checksum canonicalizes away.
+		sk.mu.Lock()
+		sk.entry, sk.err = e, nil
+		sk.mu.Unlock()
+		return
+	}
+	r.cfg.Logf("fleet: %s: building parser for checksum %.12s", sk.name, sum)
+	start := time.Now()
+	parser, err := r.train(sk.name, lib)
+	if err != nil {
+		r.buildFailed(sk, err)
+		return
+	}
+	gen := r.gen.Add(1)
+	parser.SetMeta(model.SnapshotMeta{
+		LibraryChecksum: sum,
+		Generation:      gen,
+		Note:            "fleet:" + sk.name,
+	})
+	next := &shard{
+		parser:     parser,
+		batcher:    serve.NewBatcher(parser, r.cfg.Serve),
+		checksum:   sum,
+		generation: gen,
+	}
+	// The removed check and the swap share sk.mu with the watcher's
+	// removal (which also swaps under it), so a skill deleted while its
+	// build was in flight can never have the fresh shard — and its worker
+	// goroutines — swapped in after the drain.
+	sk.mu.Lock()
+	if sk.removed {
+		sk.mu.Unlock()
+		next.batcher.Close()
+		r.cfg.Logf("fleet: %s: removed during build, discarding generation %d", sk.name, gen)
+		return
+	}
+	old := sk.shard.Swap(next)
+	sk.entry, sk.err = e, nil
+	sk.mu.Unlock()
+	r.cfg.Logf("fleet: %s: generation %d live (checksum %.12s, built in %s)",
+		sk.name, gen, sum, time.Since(start).Round(time.Millisecond))
+	if old != nil {
+		// Drain in the background: requests admitted before the swap finish
+		// on the old snapshot; new requests already route to the new shard.
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			old.batcher.Close()
+		}()
+	}
+}
+
+func (r *Registry) buildFailed(sk *skill, err error) {
+	r.cfg.Logf("fleet: %s: build failed: %v", sk.name, err)
+	sk.mu.Lock()
+	sk.err = err
+	sk.mu.Unlock()
+}
+
+// train invokes the configured TrainFunc through the snapshot cache (when
+// present) and converts panics into errors.
+func (r *Registry) train(name string, lib *thingpedia.Library) (p *model.Parser, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			p, err = nil, fmt.Errorf("fleet: training %s panicked: %v", name, rec)
+		}
+	}()
+	if r.cfg.Cache != nil {
+		key := serve.Key(lib, append([]string{"fleet"}, r.cfg.CacheExtra...)...)
+		p, hit, err := r.cfg.Cache.GetOrTrain(key, func() (*model.Parser, error) {
+			return r.cfg.Train(name, lib)
+		})
+		if hit {
+			r.cfg.Logf("fleet: %s: snapshot cache hit (key %.12s), skipped training", name, key)
+		}
+		return p, err
+	}
+	return r.cfg.Train(name, lib)
+}
+
+// watch is the hot-reload loop: every cfg.Watch it re-scans the library
+// directory and reacts to added, changed and removed skills. Change
+// detection is two-stage — a cheap stat compare gates re-parsing, and the
+// parsed library's checksum gates retraining — so an idle tick costs one
+// ReadDir and an edit that does not change the checksum never retrains.
+func (r *Registry) watch() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.cfg.Watch)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		}
+		entries, err := thingpedia.ScanLibraryDir(r.cfg.LibDir)
+		if err != nil {
+			r.cfg.Logf("fleet: watch: %v", err)
+			continue
+		}
+		seen := map[string]bool{}
+		for _, e := range entries {
+			seen[e.Name] = true
+			r.mu.RLock()
+			sk := r.skills[e.Name]
+			r.mu.RUnlock()
+			if sk == nil {
+				r.cfg.Logf("fleet: %s: new skill library %s", e.Name, e.Path)
+				r.addSkill(e)
+				continue
+			}
+			sk.mu.Lock()
+			changed := e.Changed(sk.entry) && !sk.reloading
+			if changed {
+				sk.reloading = true
+			}
+			sk.mu.Unlock()
+			if changed {
+				r.spawnReload(sk, e)
+			}
+		}
+		// Removed libraries: stop routing, then drain.
+		r.mu.Lock()
+		var removed []*skill
+		for name, sk := range r.skills {
+			if !seen[name] {
+				delete(r.skills, name)
+				removed = append(removed, sk)
+			}
+		}
+		r.mu.Unlock()
+		for _, sk := range removed {
+			r.cfg.Logf("fleet: %s: library removed, draining", sk.name)
+			sk.mu.Lock()
+			sk.removed = true
+			sh := sk.shard.Swap(nil)
+			sk.mu.Unlock()
+			if sh != nil {
+				r.wg.Add(1)
+				go func() {
+					defer r.wg.Done()
+					sh.batcher.Close()
+				}()
+			}
+		}
+	}
+}
+
+// WaitReady blocks until no skill has a build in flight (every skill is
+// serving or failed), or ctx ends.
+func (r *Registry) WaitReady(ctx context.Context) error {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if !r.anyReloading() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-r.stop:
+			return ErrNotReady
+		case <-tick.C:
+		}
+	}
+}
+
+func (r *Registry) anyReloading() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, sk := range r.skills {
+		sk.mu.Lock()
+		rel := sk.reloading
+		sk.mu.Unlock()
+		if rel {
+			return true
+		}
+	}
+	return false
+}
+
+// Close stops the watcher and background builds, then drains every shard
+// (all admitted requests are answered before Close returns).
+func (r *Registry) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+	r.mu.Lock()
+	skills := make([]*skill, 0, len(r.skills))
+	for _, sk := range r.skills {
+		skills = append(skills, sk)
+	}
+	r.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, sk := range skills {
+		if sh := sk.shard.Swap(nil); sh != nil {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sh.batcher.Close()
+			}()
+		}
+	}
+	wg.Wait()
+}
+
+func (r *Registry) skill(name string) *skill {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.skills[name]
+}
+
+// readyShards snapshots the currently serving (skill, shard) pairs in
+// skill-name order.
+func (r *Registry) readyShards() []*skill {
+	r.mu.RLock()
+	out := make([]*skill, 0, len(r.skills))
+	for _, sk := range r.skills {
+		out = append(out, sk)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Parse routes one request to the named skill's shard. The returned
+// generation identifies the snapshot that answered.
+func (r *Registry) Parse(ctx context.Context, name string, words []string) (toks []string, generation uint64, err error) {
+	sk := r.skill(name)
+	if sk == nil {
+		return nil, 0, fmt.Errorf("%w: %q", ErrUnknownSkill, name)
+	}
+	sh := sk.shard.Load()
+	if sh == nil {
+		return nil, 0, fmt.Errorf("%w: %q", ErrNotReady, name)
+	}
+	sk.requests.Add(1)
+	start := time.Now()
+	toks, err = sh.batcher.ParseCtx(ctx, words)
+	if err != nil {
+		return nil, sh.generation, err
+	}
+	sk.lat.observe(float64(time.Since(start).Microseconds()) / 1000)
+	return toks, sh.generation, nil
+}
+
+// ParseAny is the fallback router for requests that do not name a skill: it
+// submits the sentence to every ready shard as a scored decode and answers
+// with the best length-normalized hypothesis (ties broken by skill name, so
+// routing is deterministic). Shards that shed or fail are skipped; if every
+// shard shed, the fleet as a whole is overloaded and ErrOverloaded
+// propagates.
+func (r *Registry) ParseAny(ctx context.Context, words []string) (skillName string, toks []string, score float64, generation uint64, err error) {
+	type answer struct {
+		name  string
+		toks  []string
+		score float64
+		gen   uint64
+		err   error
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		answers []answer
+	)
+	for _, sk := range r.readyShards() {
+		sh := sk.shard.Load()
+		if sh == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(sk *skill, sh *shard) {
+			defer wg.Done()
+			sk.requests.Add(1)
+			start := time.Now()
+			t, s, e := sh.batcher.ParseScoredCtx(ctx, words)
+			if e == nil {
+				sk.lat.observe(float64(time.Since(start).Microseconds()) / 1000)
+			}
+			mu.Lock()
+			answers = append(answers, answer{name: sk.name, toks: t, score: s, gen: sh.generation, err: e})
+			mu.Unlock()
+		}(sk, sh)
+	}
+	wg.Wait()
+	if len(answers) == 0 {
+		return "", nil, 0, 0, ErrNotReady
+	}
+	sort.Slice(answers, func(i, j int) bool { return answers[i].name < answers[j].name })
+	best := -1
+	allShed := true
+	for i := range answers {
+		if answers[i].err != nil {
+			if !errors.Is(answers[i].err, serve.ErrOverloaded) {
+				allShed = false
+			}
+			continue
+		}
+		allShed = false
+		if best < 0 || answers[i].score > answers[best].score {
+			best = i
+		}
+	}
+	if best < 0 {
+		if allShed {
+			return "", nil, 0, 0, serve.ErrOverloaded
+		}
+		return "", nil, 0, 0, answers[0].err
+	}
+	a := answers[best]
+	return a.name, a.toks, a.score, a.gen, nil
+}
+
+// ParseSkill implements eval.SkillDecoder: errors decode to nil (scored as
+// wrong), keeping fleet-level evaluation total-preserving.
+func (r *Registry) ParseSkill(skillName string, words []string) []string {
+	toks, _, err := r.Parse(context.Background(), skillName, words)
+	if err != nil {
+		return nil
+	}
+	return toks
+}
+
+// Skills reports every skill's lifecycle state, sorted by name.
+func (r *Registry) Skills() []serve.SkillInfo {
+	var out []serve.SkillInfo
+	for _, sk := range r.readyShards() {
+		sh := sk.shard.Load()
+		sk.mu.Lock()
+		info := serve.SkillInfo{Name: sk.name, Path: sk.path}
+		switch {
+		case sh != nil && sk.reloading:
+			info.Status = StatusReloading
+		case sh != nil:
+			info.Status = StatusReady
+		case sk.err != nil:
+			info.Status = StatusFailed
+		default:
+			info.Status = StatusTraining
+		}
+		if sk.err != nil {
+			info.Error = sk.err.Error()
+		}
+		sk.mu.Unlock()
+		if sh != nil {
+			info.Checksum = sh.checksum
+			info.Generation = sh.generation
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Metrics reports every skill's live serving metrics, sorted by name.
+func (r *Registry) Metrics() []serve.SkillMetrics {
+	var out []serve.SkillMetrics
+	for _, sk := range r.readyShards() {
+		m := serve.SkillMetrics{
+			Name:     sk.name,
+			Requests: sk.requests.Load(),
+		}
+		m.P50MS, m.P99MS = sk.lat.quantiles()
+		if sh := sk.shard.Load(); sh != nil {
+			st := sh.batcher.Stats()
+			m.Generation = sh.generation
+			m.Shed = st.Shed
+			m.QueueDepth = st.QueueDepth
+			m.Batches = st.Batches
+			m.BatchSizes = st.BatchSizes
+		}
+		out = append(out, m)
+	}
+	return out
+}

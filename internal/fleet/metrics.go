@@ -1,0 +1,48 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+)
+
+// latencyRing keeps the last ringSize request latencies per skill and
+// derives p50/p99 on demand. A bounded ring favors recency — exactly what a
+// hot-swap wants: after a new generation goes live, the window flushes to
+// the new snapshot's behavior within ringSize requests — and keeps the
+// memory and /metrics cost constant under heavy traffic.
+type latencyRing struct {
+	mu   sync.Mutex
+	buf  [ringSize]float64
+	n    int // total observations (buf holds min(n, ringSize))
+	next int
+}
+
+const ringSize = 1024
+
+func (l *latencyRing) observe(ms float64) {
+	l.mu.Lock()
+	l.buf[l.next] = ms
+	l.next = (l.next + 1) % ringSize
+	l.n++
+	l.mu.Unlock()
+}
+
+// quantiles returns the windowed p50 and p99 (0, 0 before any traffic).
+func (l *latencyRing) quantiles() (p50, p99 float64) {
+	l.mu.Lock()
+	n := min(l.n, ringSize)
+	window := make([]float64, n)
+	copy(window, l.buf[:n])
+	l.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Float64s(window)
+	return window[quantileIndex(n, 0.50)], window[quantileIndex(n, 0.99)]
+}
+
+// quantileIndex is the nearest-rank index of quantile q in n sorted values.
+func quantileIndex(n int, q float64) int {
+	i := int(q*float64(n-1) + 0.5)
+	return min(i, n-1)
+}

@@ -23,6 +23,7 @@ type decodeCtx struct {
 	enc    encBufs
 	srcIds []int
 	scored []scoredToken
+	ms     mixScorer
 }
 
 var decodeCtxs = sync.Pool{New: func() any { return new(decodeCtx) }}
@@ -52,6 +53,30 @@ func (p *Parser) Parse(words []string) []string {
 	if len(words) == 0 {
 		return nil
 	}
+	out, _ := p.parseGreedyScored(words)
+	return out
+}
+
+// ParseScored is Parse (width <= 1) or ParseBeam with the winning
+// hypothesis's length-normalized log-probability alongside its tokens. The
+// score is comparable across parsers trained on different libraries, which
+// is what the fleet router's fallback uses to pick a shard for a request
+// that does not name a skill. Like Parse, it is safe for concurrent use.
+func (p *Parser) ParseScored(words []string, width int) ([]string, float64) {
+	if len(words) == 0 {
+		return nil, math.Inf(-1)
+	}
+	if width <= 1 {
+		return p.parseGreedyScored(words)
+	}
+	best := p.beamDecode(words, width)
+	return best.tokens, best.score()
+}
+
+// parseGreedyScored is the greedy decode loop of Parse, accumulating each
+// emitted token's mixed probability into the hypothesis log-probability
+// (same per-token factors the beam scores with).
+func (p *Parser) parseGreedyScored(words []string) ([]string, float64) {
 	dc := acquireDecodeCtx()
 	defer dc.release()
 	g := dc.g
@@ -60,36 +85,117 @@ func (p *Parser) Parse(words []string) []string {
 	st := p.initDecode(g, final)
 	prev := BosID
 	out := make([]string, 0, 16)
+	logProb := 0.0
+	done := false
 	maxLen := p.cfg.maxDecodeLen()
 	for t := 0; t < maxLen; t++ {
 		pv, alpha, gate, next := p.step(g, st, prev, H)
-		tok := p.bestToken(pv.W, alpha.W, gate.W[0], words)
+		tok, prob := p.bestTokenScored(&dc.ms, pv.W, alpha.W, gate.W[0], words)
+		logProb += math.Log(prob + 1e-12)
 		if tok == EosToken {
+			done = true
 			break
 		}
 		out = append(out, tok)
 		st = next
 		prev = p.tgt.ID(tok)
 	}
-	return out
+	return out, lengthNormScore(logProb, len(out), done)
+}
+
+// mixSlot is one distinct source word of the sentence being decoded: its
+// target-vocabulary id (or -1 when it can only be produced by copying) and
+// the total attention mass over its source positions this step.
+type mixSlot struct {
+	word string
+	id   int32
+	mass float64
+}
+
+// mixScorer fuses the pointer-mix argmax: instead of rescanning the sentence
+// once per vocabulary entry (O(V·S) string compares per decode step, the
+// dominant cost at small vocabularies), prepare indexes the sentence's
+// distinct words once per step — total copy mass per word, accumulated in
+// source-position order exactly like the unfused scan — and marks their
+// vocabulary ids in a sparse id->slot table, so the vocabulary pass does one
+// O(1) lookup per entry and the whole mixed-distribution scan is O(V+S).
+// The scorer lives in the pooled decode contexts; mark stays all-zero
+// between prepare/release pairs, so a pooled context serves parsers of any
+// vocabulary size.
+type mixScorer struct {
+	mark  []int32 // target-vocab id -> slot index + 1
+	slots []mixSlot
+}
+
+// prepare indexes words and one step's attention row alpha. Call release
+// before the next prepare.
+func (ms *mixScorer) prepare(tgt *Vocab, words []string, alpha []float64) {
+	ms.slots = ms.slots[:0]
+	if len(ms.mark) < tgt.Size() {
+		ms.mark = make([]int32, tgt.Size())
+	}
+	for i, w := range words {
+		if id, ok := tgt.lookup(w); ok {
+			if s := ms.mark[id]; s != 0 {
+				ms.slots[s-1].mass += alpha[i]
+				continue
+			}
+			ms.slots = append(ms.slots, mixSlot{word: w, id: int32(id), mass: alpha[i]})
+			ms.mark[id] = int32(len(ms.slots))
+			continue
+		}
+		dup := false
+		for j := range ms.slots {
+			if ms.slots[j].id < 0 && ms.slots[j].word == w {
+				ms.slots[j].mass += alpha[i]
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			ms.slots = append(ms.slots, mixSlot{word: w, id: -1, mass: alpha[i]})
+		}
+	}
+}
+
+// release restores the all-zero mark invariant (touching only the entries
+// prepare set).
+func (ms *mixScorer) release() {
+	for i := range ms.slots {
+		if id := ms.slots[i].id; id >= 0 {
+			ms.mark[id] = 0
+		}
+	}
 }
 
 // bestToken mixes the generation and copy distributions and returns the
 // argmax token. pv and alpha are one decoder step's vocabulary-distribution
 // and attention rows (raw slices, so the batched decoder can pass rows of
 // its stacked tensors); alpha covers at least len(words) positions.
-func (p *Parser) bestToken(pv, alpha []float64, gate float64, words []string) string {
+func (p *Parser) bestToken(ms *mixScorer, pv, alpha []float64, gate float64, words []string) string {
+	tok, _ := p.bestTokenScored(ms, pv, alpha, gate, words)
+	return tok
+}
+
+// bestTokenScored is bestToken plus the winner's mixed probability.
+func (p *Parser) bestTokenScored(ms *mixScorer, pv, alpha []float64, gate float64, words []string) (string, float64) {
 	g := gate
 	if !p.cfg.PointerGen {
 		g = 1
 	}
+	ms.prepare(p.tgt, words, alpha)
+	defer ms.release()
 	bestTok := EosToken
 	bestP := math.Inf(-1)
-	// Generation path over the vocabulary (skip <unk> and <s>).
+	// Generation path over the vocabulary (skip <unk> and <s>), with the
+	// copy mass of in-vocabulary source words mixed in via the O(1) mark
+	// lookup.
 	for id := 2; id < p.tgt.Size(); id++ {
 		prob := g * pv[id]
-		if copyMass := p.copyMass(alpha, words, p.tgt.Token(id)); copyMass > 0 {
-			prob += (1 - g) * copyMass
+		if s := ms.mark[id]; s != 0 {
+			if m := ms.slots[s-1].mass; m > 0 {
+				prob += (1 - g) * m
+			}
 		}
 		if prob > bestP {
 			bestP = prob
@@ -97,51 +203,22 @@ func (p *Parser) bestToken(pv, alpha []float64, gate float64, words []string) st
 		}
 	}
 	if !p.cfg.PointerGen {
-		return bestTok
+		return bestTok, bestP
 	}
-	// Copy path for out-of-vocabulary source tokens.
-	for i, w := range words {
-		if p.tgt.Has(w) || seenEarlier(words, i) {
+	// Copy path for out-of-vocabulary source tokens (slots preserve first-
+	// occurrence order, matching the unfused scan).
+	for i := range ms.slots {
+		s := &ms.slots[i]
+		if s.id >= 0 {
 			continue
 		}
-		prob := (1 - g) * p.copyMassAt(alpha, words, w, i)
+		prob := (1 - g) * s.mass
 		if prob > bestP {
 			bestP = prob
-			bestTok = w
+			bestTok = s.word
 		}
 	}
-	return bestTok
-}
-
-// seenEarlier reports whether words[i] already occurred before position i;
-// sentences are short, so the scan beats allocating a set per decode step.
-func seenEarlier(words []string, i int) bool {
-	for j := 0; j < i; j++ {
-		if words[j] == words[i] {
-			return true
-		}
-	}
-	return false
-}
-
-func (p *Parser) copyMass(alpha []float64, words []string, tok string) float64 {
-	var m float64
-	for i, w := range words {
-		if w == tok {
-			m += alpha[i]
-		}
-	}
-	return m
-}
-
-func (p *Parser) copyMassAt(alpha []float64, words []string, tok string, from int) float64 {
-	var m float64
-	for i := from; i < len(words); i++ {
-		if words[i] == tok {
-			m += alpha[i]
-		}
-	}
-	return m
+	return bestTok, bestP
 }
 
 // beamItem is one hypothesis during beam decoding.
@@ -208,6 +285,13 @@ func (p *Parser) ParseBeam(words []string, width int) []string {
 	if width <= 1 {
 		return p.Parse(words)
 	}
+	return p.beamDecode(words, width).tokens
+}
+
+// beamDecode runs the beam search and returns the winning hypothesis
+// (tokens plus accumulated log-probability), shared by ParseBeam and
+// ParseScored.
+func (p *Parser) beamDecode(words []string, width int) beamItem {
 	dc := acquireDecodeCtx()
 	defer dc.release()
 	g := dc.g
@@ -225,7 +309,7 @@ func (p *Parser) ParseBeam(words []string, width int) []string {
 			}
 			allDone = false
 			pv, alpha, gate, next := p.step(g, item.st, item.prev, H)
-			for _, cand := range p.topTokens(&dc.scored, pv.W, alpha.W, gate.W[0], words, width) {
+			for _, cand := range p.topTokens(&dc.ms, &dc.scored, pv.W, alpha.W, gate.W[0], words, width) {
 				ni := beamItem{
 					tokens:  append(append([]string(nil), item.tokens...), cand.tok),
 					logProb: item.logProb + math.Log(cand.p+1e-12),
@@ -248,7 +332,7 @@ func (p *Parser) ParseBeam(words []string, width int) []string {
 		}
 		beam = candidates
 	}
-	return bestHypothesis(beam).tokens
+	return bestHypothesis(beam)
 }
 
 type scoredToken struct {
@@ -257,29 +341,34 @@ type scoredToken struct {
 }
 
 // topTokens returns the k most probable next tokens under the mixed
-// pointer–generator distribution. pv and alpha are one step's distribution
-// rows as in bestToken; the backing comes from *scored (a reusable decode-
-// context buffer) and is valid until the next call over the same buffer.
-func (p *Parser) topTokens(scored *[]scoredToken, pv, alpha []float64, gate float64, words []string, k int) []scoredToken {
+// pointer–generator distribution, through the same fused O(V+S) scan as
+// bestTokenScored. pv and alpha are one step's distribution rows as in
+// bestToken; the backing comes from *scored (a reusable decode-context
+// buffer) and is valid until the next call over the same buffer.
+func (p *Parser) topTokens(ms *mixScorer, scored *[]scoredToken, pv, alpha []float64, gate float64, words []string, k int) []scoredToken {
 	g := gate
 	if !p.cfg.PointerGen {
 		g = 1
 	}
+	ms.prepare(p.tgt, words, alpha)
+	defer ms.release()
 	all := (*scored)[:0]
 	for id := 2; id < p.tgt.Size(); id++ {
-		tok := p.tgt.Token(id)
 		prob := g * pv[id]
-		if cm := p.copyMass(alpha, words, tok); cm > 0 {
-			prob += (1 - g) * cm
+		if s := ms.mark[id]; s != 0 {
+			if m := ms.slots[s-1].mass; m > 0 {
+				prob += (1 - g) * m
+			}
 		}
-		all = append(all, scoredToken{tok: tok, p: prob})
+		all = append(all, scoredToken{tok: p.tgt.Token(id), p: prob})
 	}
 	if p.cfg.PointerGen {
-		for i, w := range words {
-			if p.tgt.Has(w) || seenEarlier(words, i) {
+		for i := range ms.slots {
+			s := &ms.slots[i]
+			if s.id >= 0 {
 				continue
 			}
-			all = append(all, scoredToken{tok: w, p: (1 - g) * p.copyMassAt(alpha, words, w, i)})
+			all = append(all, scoredToken{tok: s.word, p: (1 - g) * s.mass})
 		}
 	}
 	*scored = all

@@ -24,6 +24,7 @@ type batchDecodeCtx struct {
 	g      *nn.Graph
 	bufs   batchBufs
 	scored []scoredToken
+	ms     mixScorer
 	prev   []int // per-row previous target token ids
 	blocks []int // per-row memory block (request) indices
 	srcIdx []int // per-row parent rows in the previous step's tensors
@@ -128,7 +129,7 @@ func (p *Parser) ParseBatch(sentences [][]string) [][]string {
 		for r := 0; r < R; r++ {
 			req := reqOf[r]
 			words := sentences[req]
-			tok := p.bestToken(pv.W[r*V:(r+1)*V], alpha.W[r*S:r*S+len(words)], gate.W[r], words)
+			tok := p.bestToken(&dc.ms, pv.W[r*V:(r+1)*V], alpha.W[r*S:r*S+len(words)], gate.W[r], words)
 			if tok == EosToken {
 				continue
 			}
@@ -259,7 +260,7 @@ func (p *Parser) ParseBeamBatch(sentences [][]string, width int) [][]string {
 				}
 				allDone = false
 				r := item.row
-				for _, cand := range p.topTokens(&dc.scored, pv.W[r*V:(r+1)*V], alpha.W[r*S:r*S+len(words)], gate.W[r], words, width) {
+				for _, cand := range p.topTokens(&dc.ms, &dc.scored, pv.W[r*V:(r+1)*V], alpha.W[r*S:r*S+len(words)], gate.W[r], words, width) {
 					ni := batchHyp{
 						tokens:  append(append([]string(nil), item.tokens...), cand.tok),
 						logProb: item.logProb + math.Log(cand.p+1e-12),

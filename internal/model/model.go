@@ -35,6 +35,12 @@ type Config struct {
 	// the batched B×n kernels, padding each batch to its longest sequence.
 	// 0 or 1 keeps the original per-example path (identical trajectories).
 	BatchSize int
+	// BucketByLength sorts each epoch's shuffled examples by length before
+	// cutting minibatches (batch order reshuffled afterwards), so a batch
+	// pads to near-uniform sequence lengths and the padded B×n kernels waste
+	// far fewer rows on padding. Only consulted when BatchSize > 1; the B=1
+	// trajectory is untouched.
+	BucketByLength bool
 	// MaxDecodeLen bounds greedy decoding.
 	MaxDecodeLen int
 	// MinVocabCount is the threshold for target vocabulary membership;
@@ -99,6 +105,7 @@ type Parser struct {
 	scr  scratch
 	bscr batchScratch // batched-loss buffers (batch.go); training goroutine only
 	valG *nn.Graph    // lazily built inference graph reused across valLoss calls
+	meta SnapshotMeta // provenance stamped into snapshots (snapshot.go)
 }
 
 // scratch holds per-step buffers reused across training steps so that a

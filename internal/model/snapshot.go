@@ -18,14 +18,34 @@ import (
 // skill-library cache on top of these snapshots.
 //
 //	magic   "GENIEPSR" (8 bytes)
-//	version uint32 (currently 1)
-//	config  fixed field order (ints as int64, floats as bits, bools as u8)
+//	version uint64 (currently 2; version-1 streams still load)
+//	config  fixed field order (ints as int64, floats as bits, bools as u8);
+//	        version 2 appends BucketByLength
+//	meta    (version 2) library checksum, generation, note
 //	vocabs  source then target: count, then length-prefixed tokens
 //	params  count, then per tensor: rows, cols, rows*cols float64 bits
 const (
 	snapshotMagic   = "GENIEPSR"
-	snapshotVersion = 1
+	snapshotVersion = 2
 )
+
+// SnapshotMeta is the provenance block of a snapshot: which skill library
+// the parser was trained for (thingpedia.Library.Checksum), the fleet
+// generation that produced it, and a free-form note. The fleet control
+// plane stamps it before saving so a reloaded snapshot can be matched to
+// its library without retraining and surfaced in /skills.
+type SnapshotMeta struct {
+	LibraryChecksum string
+	Generation      uint64
+	Note            string
+}
+
+// Meta returns the snapshot provenance metadata (zero for parsers trained
+// locally or loaded from version-1 snapshots).
+func (p *Parser) Meta() SnapshotMeta { return p.meta }
+
+// SetMeta stamps the provenance metadata carried by subsequent Save calls.
+func (p *Parser) SetMeta(m SnapshotMeta) { p.meta = m }
 
 // Save writes the parser snapshot to w.
 func (p *Parser) Save(w io.Writer) error {
@@ -33,6 +53,9 @@ func (p *Parser) Save(w io.Writer) error {
 	bw.bytes([]byte(snapshotMagic))
 	bw.u64(snapshotVersion)
 	writeConfig(bw, p.cfg)
+	bw.str(p.meta.LibraryChecksum)
+	bw.u64(p.meta.Generation)
+	bw.str(p.meta.Note)
 	writeVocab(bw, p.src)
 	writeVocab(bw, p.tgt)
 	params := p.Params()
@@ -63,10 +86,17 @@ func Load(r io.Reader) (*Parser, error) {
 	if string(magic) != snapshotMagic {
 		return nil, fmt.Errorf("model: not a parser snapshot (magic %q)", magic)
 	}
-	if v := br.u64(); v != snapshotVersion {
-		return nil, fmt.Errorf("model: unsupported snapshot version %d (want %d)", v, snapshotVersion)
+	version := br.u64()
+	if version < 1 || version > snapshotVersion {
+		return nil, fmt.Errorf("model: unsupported snapshot version %d (want 1..%d)", version, snapshotVersion)
 	}
-	cfg := readConfig(br)
+	cfg := readConfig(br, version)
+	var meta SnapshotMeta
+	if version >= 2 {
+		meta.LibraryChecksum = br.str()
+		meta.Generation = br.u64()
+		meta.Note = br.str()
+	}
 	src := readVocab(br)
 	tgt := readVocab(br)
 	if br.err != nil {
@@ -83,6 +113,7 @@ func Load(r io.Reader) (*Parser, error) {
 		return nil, fmt.Errorf("model: snapshot vocabularies too small (%d src, %d tgt)", src.Size(), tgt.Size())
 	}
 	p := newParser(cfg, src, tgt)
+	p.meta = meta
 	params := p.Params()
 	if n := br.u64(); int(n) != len(params) {
 		return nil, fmt.Errorf("model: snapshot holds %d tensors, parser has %d", n, len(params))
@@ -150,9 +181,10 @@ func writeConfig(bw *binWriter, c Config) {
 	bw.i64(int64(c.MaxDecodeLen))
 	bw.i64(int64(c.MinVocabCount))
 	bw.i64(c.Seed)
+	bw.bool(c.BucketByLength)
 }
 
-func readConfig(br *binReader) Config {
+func readConfig(br *binReader, version uint64) Config {
 	var c Config
 	c.EmbedDim = int(br.i64())
 	c.HiddenDim = int(br.i64())
@@ -168,6 +200,9 @@ func readConfig(br *binReader) Config {
 	c.MaxDecodeLen = int(br.i64())
 	c.MinVocabCount = int(br.i64())
 	c.Seed = br.i64()
+	if version >= 2 {
+		c.BucketByLength = br.bool()
+	}
 	return c
 }
 

@@ -65,6 +65,52 @@ func TestSnapshotFileRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSnapshotMetaRoundTrip: the version-2 provenance block survives the
+// round trip, and a version-1 stream (no meta, no BucketByLength) still
+// loads with zero meta.
+func TestSnapshotMetaRoundTrip(t *testing.T) {
+	p := trainedToyParser()
+	defer p.SetMeta(SnapshotMeta{}) // shared parser: restore for other tests
+	meta := SnapshotMeta{LibraryChecksum: "abc123", Generation: 7, Note: "fleet:alpha"}
+	p.SetMeta(meta)
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	q, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Meta() != meta {
+		t.Errorf("meta round trip = %+v, want %+v", q.Meta(), meta)
+	}
+
+	// Hand-build a version-1 stream: v1 header + v1 config (no
+	// BucketByLength) + the vocab/params tail shared with v2.
+	v2 := buf.Bytes()
+	var v1 bytes.Buffer
+	v1.WriteString(snapshotMagic)
+	v1.Write([]byte{1, 0, 0, 0, 0, 0, 0, 0})
+	const cfgV1Len = 12*8 + 2 // 12 i64/f64 fields + 2 bools
+	cfgStart := len(snapshotMagic) + 8
+	v1.Write(v2[cfgStart : cfgStart+cfgV1Len])
+	// Skip v2's trailing BucketByLength byte and the meta block
+	// (str "abc123" + u64 + str "fleet:alpha"), then copy the rest.
+	tail := cfgStart + cfgV1Len + 1 + (8 + 6) + 8 + (8 + 11)
+	v1.Write(v2[tail:])
+	q1, err := Load(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatalf("loading version-1 stream: %v", err)
+	}
+	if q1.Meta() != (SnapshotMeta{}) {
+		t.Errorf("version-1 load carries meta: %+v", q1.Meta())
+	}
+	src := []string{"tweet", "alpha", "now"}
+	if a, b := strings.Join(p.Parse(src), " "), strings.Join(q1.Parse(src), " "); a != b {
+		t.Errorf("version-1 load decodes differently: %q != %q", a, b)
+	}
+}
+
 func TestSnapshotRejectsGarbage(t *testing.T) {
 	if _, err := Load(bytes.NewReader([]byte("NOTASNAPSHOT AT ALL"))); err == nil {
 		t.Error("Load accepted a non-snapshot stream")

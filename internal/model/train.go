@@ -2,6 +2,7 @@ package model
 
 import (
 	"math/rand"
+	"sort"
 
 	"repro/internal/nn"
 )
@@ -44,6 +45,7 @@ func mergeDefaults(cfg Config) Config {
 	d := DefaultConfig
 	d.Seed = cfg.Seed
 	d.BatchSize = cfg.BatchSize
+	d.BucketByLength = cfg.BucketByLength
 	return d
 }
 
@@ -223,6 +225,7 @@ func (p *Parser) fit(train, val []Pair) {
 
 	bs := max(1, p.cfg.BatchSize)
 	var batch []Pair
+	var starts []int
 	if bs > 1 {
 		batch = make([]Pair, 0, bs)
 	}
@@ -240,7 +243,8 @@ func (p *Parser) fit(train, val []Pair) {
 			}
 			continue
 		}
-		for start := 0; start < len(order); start += bs {
+		starts = batchStarts(starts[:0], train, order, bs, p.cfg.BucketByLength, rng)
+		for _, start := range starts {
 			end := min(start+bs, len(order))
 			batch = batch[:0]
 			for _, idx := range order[start:end] {
@@ -261,6 +265,54 @@ func (p *Parser) fit(train, val []Pair) {
 			restore()
 		}
 	}
+}
+
+// batchStarts returns this epoch's minibatch start offsets into order.
+// Without bucketing that is just 0, bs, 2bs, ... — the pre-existing
+// sequential cut. With bucketing, the shuffled order is first stably sorted
+// by example length (so equal-length examples keep their shuffled relative
+// order and batches pad to near-uniform lengths), then the batch *order* is
+// reshuffled so the optimizer still sees short and long batches interleaved
+// rather than a length curriculum.
+func batchStarts(starts []int, train []Pair, order []int, bs int, bucket bool, rng *rand.Rand) []int {
+	if bucket {
+		sort.SliceStable(order, func(i, j int) bool {
+			return pairLen(&train[order[i]]) < pairLen(&train[order[j]])
+		})
+	}
+	for start := 0; start < len(order); start += bs {
+		starts = append(starts, start)
+	}
+	if bucket {
+		rng.Shuffle(len(starts), func(i, j int) { starts[i], starts[j] = starts[j], starts[i] })
+	}
+	return starts
+}
+
+// pairLen is the bucketing key: a batch's padded cost grows with both its
+// longest source and its longest target, so examples sort by the sum.
+func pairLen(p *Pair) int { return len(p.Src) + len(p.Tgt) }
+
+// PaddingFraction reports the fraction of padded batch rows×positions that
+// are padding when order is cut into minibatches of bs (source and target
+// sides combined). It quantifies what BucketByLength saves; exported for
+// tests and EXPERIMENTS.md bookkeeping.
+func PaddingFraction(train []Pair, order []int, bs int) float64 {
+	padded, real := 0, 0
+	for start := 0; start < len(order); start += bs {
+		end := min(start+bs, len(order))
+		maxS, maxT := 0, 0
+		for _, idx := range order[start:end] {
+			maxS = max(maxS, len(train[idx].Src))
+			maxT = max(maxT, len(train[idx].Tgt)+1)
+			real += len(train[idx].Src) + len(train[idx].Tgt) + 1
+		}
+		padded += (end - start) * (maxS + maxT)
+	}
+	if padded == 0 {
+		return 0
+	}
+	return 1 - float64(real)/float64(padded)
 }
 
 func restoreIfBetter(p *Parser, val []Pair, bestLoss float64, restore func()) {

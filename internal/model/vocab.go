@@ -90,6 +90,13 @@ func (v *Vocab) Has(tok string) bool {
 	return ok
 }
 
+// lookup combines Has and ID in one map access (the decode scorer calls it
+// once per distinct source word per step).
+func (v *Vocab) lookup(tok string) (int, bool) {
+	id, ok := v.index[tok]
+	return id, ok
+}
+
 // Token returns the token of an id.
 func (v *Vocab) Token(id int) string {
 	if id < 0 || id >= len(v.tokens) {

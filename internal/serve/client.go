@@ -45,6 +45,13 @@ func (c *Client) ParseRequestCtx(ctx context.Context, req ParseRequest) (ParseRe
 		return resp, err
 	}
 	defer hresp.Body.Close()
+	if hresp.StatusCode == http.StatusTooManyRequests {
+		// Surface admission-control shedding as the sentinel the batcher
+		// itself returns, so callers can match errors.Is(err, ErrOverloaded)
+		// locally and remotely alike.
+		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
+		return resp, fmt.Errorf("serve: %s: %w", strings.TrimSpace(string(msg)), ErrOverloaded)
+	}
 	if hresp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
 		return resp, fmt.Errorf("serve: %s: %s", hresp.Status, strings.TrimSpace(string(msg)))
@@ -79,21 +86,55 @@ func (c *Client) Parse(words []string) []string {
 	return out
 }
 
-// Health fetches /healthz.
-func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
-	var h HealthResponse
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+// ParseSkillCtx parses a pre-tokenized sentence against one skill of a
+// fleet server (the router rejects unknown skills with 404).
+func (c *Client) ParseSkillCtx(ctx context.Context, skill string, words []string) (ParseResponse, error) {
+	return c.ParseRequestCtx(ctx, ParseRequest{Skill: skill, Words: words})
+}
+
+// ParseSkill implements eval.SkillDecoder against a fleet server; transport
+// errors decode to nil (scored as wrong), like Parse.
+func (c *Client) ParseSkill(skill string, words []string) []string {
+	resp, err := c.ParseSkillCtx(context.Background(), skill, words)
 	if err != nil {
-		return h, err
+		return nil
+	}
+	return resp.Tokens
+}
+
+// Skills fetches a fleet server's GET /skills.
+func (c *Client) Skills(ctx context.Context) (SkillsResponse, error) {
+	var out SkillsResponse
+	err := c.getJSON(ctx, "/skills", &out)
+	return out, err
+}
+
+// Metrics fetches a fleet server's GET /metrics.
+func (c *Client) Metrics(ctx context.Context) (MetricsResponse, error) {
+	var out MetricsResponse
+	err := c.getJSON(ctx, "/metrics", &out)
+	return out, err
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return h, err
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return h, fmt.Errorf("serve: %s", resp.Status)
+		return fmt.Errorf("serve: %s: %s", path, resp.Status)
 	}
-	err = json.NewDecoder(resp.Body).Decode(&h)
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
+	var h HealthResponse
+	err := c.getJSON(ctx, "/healthz", &h)
 	return h, err
 }

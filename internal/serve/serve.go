@@ -1,12 +1,15 @@
 // Package serve is the parser-serving layer: it turns a trained
 // model.Parser — a pure function after training — into a long-lived service.
-// It provides request micro-batching over a decode worker pool (Batcher),
-// where a gathered window decodes as one batched forward per decode step
+// It provides request micro-batching over a decode worker pool (Batcher)
+// with bounded-queue admission control and graceful drain, where a gathered
+// window decodes as one batched forward per decode step
 // (model.Parser.ParseBatch/ParseBeamBatch: all requests' hypotheses advance
 // in lockstep as rows of B×n tensors), an HTTP JSON front end (Server) with
 // a matching Client, and a trained-snapshot cache keyed by the Thingpedia
 // skill-library checksum (Cache), so re-serving an unchanged library skips
-// training entirely.
+// training entirely. The multi-skill fleet control plane (internal/fleet)
+// composes one Batcher per skill behind a router and speaks this package's
+// wire types.
 //
 // The layer leans on two properties established in internal/model: decoding
 // is concurrency-safe (all decode state lives in pooled per-call contexts,
@@ -41,6 +44,13 @@ type BatchParser interface {
 	ParseBeamBatch(sentences [][]string, width int) [][]string
 }
 
+// ScoredParser decodes with a hypothesis score; *model.Parser implements it
+// (length-normalized log-probability). The fleet router's fallback path
+// submits scored requests to every shard and keeps the best-scoring answer.
+type ScoredParser interface {
+	ParseScored(words []string, width int) ([]string, float64)
+}
+
 // Options tune the serving layer.
 type Options struct {
 	// MaxBatch is the most requests gathered into one decode batch
@@ -53,6 +63,12 @@ type Options struct {
 	Workers int
 	// Beam is the beam width (<= 1 decodes greedily).
 	Beam int
+	// MaxQueue bounds the number of admitted-but-unanswered requests
+	// (queued plus in decode). A request arriving at a full queue is shed
+	// immediately with ErrOverloaded instead of waiting — the HTTP layer
+	// maps that to 429 + Retry-After. 0 picks the default 8×MaxBatch
+	// (min 64); negative means unbounded.
+	MaxQueue int
 }
 
 func (o Options) withDefaults() Options {
@@ -65,15 +81,29 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = goruntime.GOMAXPROCS(0)
 	}
+	if o.MaxQueue == 0 {
+		o.MaxQueue = max(64, 8*o.MaxBatch)
+	}
 	return o
 }
 
 // ErrClosed is returned for requests submitted after Close.
 var ErrClosed = errors.New("serve: batcher closed")
 
+// ErrOverloaded is returned when the batcher's admission queue is full; the
+// request was shed without queueing (HTTP 429).
+var ErrOverloaded = errors.New("serve: queue full, request shed")
+
+// parseResult is one request's answer.
+type parseResult struct {
+	toks  []string
+	score float64
+}
+
 type request struct {
-	words []string
-	reply chan []string
+	words  []string
+	scored bool // decode through ScoredParser and report the hypothesis score
+	reply  chan parseResult
 }
 
 // Batcher gathers incoming parse requests into micro-batches — up to
@@ -83,33 +113,52 @@ type request struct {
 // in one lockstep batched call; otherwise it falls back to per-request
 // decoding. Because decoding is concurrency-safe, all workers share the one
 // trained parser, and distinct batches still decode concurrently.
+//
+// Admission is bounded: at most Options.MaxQueue requests may be in flight
+// (queued or decoding); beyond that ParseCtx sheds immediately with
+// ErrOverloaded so the gather loop never blocks behind a slow consumer.
+// Close drains: requests admitted before Close are decoded and answered on
+// the old parser before the workers exit, which is what lets the fleet
+// control plane hot-swap a shard without dropping in-flight requests.
 type Batcher struct {
 	opt    Options
 	parser Parser
-	bp     BatchParser // non-nil when parser supports batched decode
+	bp     BatchParser  // non-nil when parser supports batched decode
+	sp     ScoredParser // non-nil when parser supports scored decode
 
 	in   chan request
 	jobs chan []request
 	done chan struct{}
 
+	closeMu   sync.RWMutex // guards closed vs. in-flight submissions
+	closed    bool
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
 	requests atomic.Int64
 	batches  atomic.Int64
+	shed     atomic.Int64
+	depth    atomic.Int64
+	hist     []atomic.Int64 // batch-size histogram, index = size-1
 }
 
 // NewBatcher starts the gather loop and the worker pool.
 func NewBatcher(p Parser, opt Options) *Batcher {
 	opt = opt.withDefaults()
+	inCap := opt.MaxQueue
+	if inCap < 0 {
+		inCap = 0 // unbounded admission keeps the old unbuffered handoff
+	}
 	b := &Batcher{
 		opt:    opt,
 		parser: p,
-		in:     make(chan request),
+		in:     make(chan request, inCap),
 		jobs:   make(chan []request, max(opt.Workers, opt.MaxBatch)),
 		done:   make(chan struct{}),
+		hist:   make([]atomic.Int64, opt.MaxBatch),
 	}
 	b.bp, _ = p.(BatchParser)
+	b.sp, _ = p.(ScoredParser)
 	b.wg.Add(1)
 	go b.gather()
 	for w := 0; w < opt.Workers; w++ {
@@ -121,9 +170,12 @@ func NewBatcher(p Parser, opt Options) *Batcher {
 
 // gather is the micro-batching loop: the first request opens a batch and
 // starts the MaxWait timer; the batch is dispatched when full or when the
-// timer fires.
+// timer fires. When done closes, everything already admitted to the queue is
+// still dispatched (drained) before jobs closes, so no admitted request goes
+// unanswered.
 func (b *Batcher) gather() {
 	defer b.wg.Done()
+	defer close(b.jobs)
 	timer := time.NewTimer(0)
 	if !timer.Stop() {
 		<-timer.C
@@ -133,7 +185,7 @@ func (b *Batcher) gather() {
 		select {
 		case first = <-b.in:
 		case <-b.done:
-			close(b.jobs)
+			b.drain()
 			return
 		}
 		batch := make([]request, 1, b.opt.MaxBatch)
@@ -156,33 +208,72 @@ func (b *Batcher) gather() {
 			default:
 			}
 		}
-		b.batches.Add(1)
-		b.requests.Add(int64(len(batch)))
-		if b.bp != nil {
-			b.jobs <- batch
-		} else {
-			// No batched decode surface: fan the window's requests across
-			// the worker pool as before, instead of serializing them on one
-			// worker.
-			for _, r := range batch {
-				b.jobs <- []request{r}
-			}
-		}
+		b.dispatch(batch)
 		select {
 		case <-b.done:
-			close(b.jobs)
+			b.drain()
 			return
 		default:
 		}
 	}
 }
 
+// drain dispatches whatever is still queued after Close; no new requests
+// can arrive (Close flips closed under the write lock before closing done).
+func (b *Batcher) drain() {
+	for {
+		batch := make([]request, 0, b.opt.MaxBatch)
+		for len(batch) < b.opt.MaxBatch {
+			select {
+			case r := <-b.in:
+				batch = append(batch, r)
+				continue
+			default:
+			}
+			break
+		}
+		if len(batch) == 0 {
+			return
+		}
+		b.dispatch(batch)
+	}
+}
+
+func (b *Batcher) dispatch(batch []request) {
+	b.batches.Add(1)
+	b.requests.Add(int64(len(batch)))
+	if n := len(batch); n >= 1 && n <= len(b.hist) {
+		b.hist[n-1].Add(1)
+	}
+	if b.bp != nil {
+		b.jobs <- batch
+		return
+	}
+	// No batched decode surface: fan the window's requests across the
+	// worker pool as before, instead of serializing them on one worker.
+	for _, r := range batch {
+		b.jobs <- []request{r}
+	}
+}
+
 func (b *Batcher) worker() {
 	defer b.wg.Done()
 	for batch := range b.jobs {
-		if b.bp != nil && len(batch) > 1 {
-			sentences := make([][]string, len(batch))
-			for i, r := range batch {
+		// Scored requests decode per-request through ScoredParser;
+		// partition them to the tail so the plain prefix can still decode
+		// as one lockstep batched call.
+		plain := batch[:0]
+		var scored []request
+		for _, r := range batch {
+			if r.scored && b.sp != nil {
+				scored = append(scored, r)
+			} else {
+				plain = append(plain, r)
+			}
+		}
+		if b.bp != nil && len(plain) > 1 {
+			sentences := make([][]string, len(plain))
+			for i, r := range plain {
 				sentences[i] = r.words
 			}
 			var outs [][]string
@@ -191,15 +282,24 @@ func (b *Batcher) worker() {
 			} else {
 				outs = b.bp.ParseBatch(sentences)
 			}
-			for i, r := range batch {
-				r.reply <- outs[i]
+			for i, r := range plain {
+				b.reply(r, parseResult{toks: outs[i]})
 			}
-			continue
+		} else {
+			for _, r := range plain {
+				b.reply(r, parseResult{toks: b.decode(r.words)})
+			}
 		}
-		for _, r := range batch {
-			r.reply <- b.decode(r.words)
+		for _, r := range scored {
+			toks, score := b.sp.ParseScored(r.words, max(1, b.opt.Beam))
+			b.reply(r, parseResult{toks: toks, score: score})
 		}
 	}
+}
+
+func (b *Batcher) reply(r request, res parseResult) {
+	r.reply <- res
+	b.depth.Add(-1)
 }
 
 func (b *Batcher) decode(words []string) []string {
@@ -209,28 +309,74 @@ func (b *Batcher) decode(words []string) []string {
 	return b.parser.Parse(words)
 }
 
+// submit admits one request or reports why it cannot: ErrClosed after
+// Close, ErrOverloaded when MaxQueue requests are already in flight, the
+// context error if ctx ends while an unbounded submission is blocked. A
+// successful submit guarantees a reply (workers answer every admitted
+// request, including during drain).
+func (b *Batcher) submit(ctx context.Context, r request) error {
+	b.closeMu.RLock()
+	defer b.closeMu.RUnlock()
+	if b.closed {
+		return ErrClosed
+	}
+	if b.opt.MaxQueue > 0 {
+		if b.depth.Add(1) > int64(b.opt.MaxQueue) {
+			b.depth.Add(-1)
+			b.shed.Add(1)
+			return ErrOverloaded
+		}
+		// At most MaxQueue requests are admitted, and the channel holds
+		// that many, so this send cannot block.
+		b.in <- r
+		return nil
+	}
+	b.depth.Add(1)
+	select {
+	case b.in <- r:
+		return nil
+	case <-b.done:
+		b.depth.Add(-1)
+		return ErrClosed
+	case <-ctx.Done():
+		b.depth.Add(-1)
+		return ctx.Err()
+	}
+}
+
 // ParseCtx submits one sentence through the batching path and waits for its
 // program tokens.
 func (b *Batcher) ParseCtx(ctx context.Context, words []string) ([]string, error) {
-	r := request{words: words, reply: make(chan []string, 1)}
-	select {
-	case b.in <- r:
-	case <-b.done:
-		return nil, ErrClosed
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	res, err := b.do(ctx, request{words: words, reply: make(chan parseResult, 1)})
+	return res.toks, err
+}
+
+// ParseScoredCtx is ParseCtx plus the decoded hypothesis's
+// length-normalized score (see model.Parser.ParseScored); it requires a
+// parser with the ScoredParser surface, else the score is 0.
+func (b *Batcher) ParseScoredCtx(ctx context.Context, words []string) ([]string, float64, error) {
+	res, err := b.do(ctx, request{words: words, scored: true, reply: make(chan parseResult, 1)})
+	return res.toks, res.score, err
+}
+
+func (b *Batcher) do(ctx context.Context, r request) (parseResult, error) {
+	if err := ctx.Err(); err != nil {
+		return parseResult{}, err
+	}
+	if err := b.submit(ctx, r); err != nil {
+		return parseResult{}, err
 	}
 	select {
 	case out := <-r.reply:
 		return out, nil
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return parseResult{}, ctx.Err()
 	}
 }
 
 // Parse implements eval.Decoder over the batched path, so eval.Evaluate and
 // eval.EvaluateParallel can score a served parser exactly like a local one.
-// A closed batcher decodes to nil (scored as wrong).
+// A closed or overloaded batcher decodes to nil (scored as wrong).
 func (b *Batcher) Parse(words []string) []string {
 	out, err := b.ParseCtx(context.Background(), words)
 	if err != nil {
@@ -244,15 +390,39 @@ func (b *Batcher) Parse(words []string) []string {
 type Stats struct {
 	Requests int64
 	Batches  int64
+	// Shed counts requests rejected by admission control (queue full).
+	Shed int64
+	// QueueDepth is the current number of admitted, unanswered requests.
+	QueueDepth int64
+	// BatchSizes is the dispatch histogram: BatchSizes[i] batches carried
+	// i+1 requests.
+	BatchSizes []int64
 }
 
 // Stats returns a snapshot of the batcher's counters.
 func (b *Batcher) Stats() Stats {
-	return Stats{Requests: b.requests.Load(), Batches: b.batches.Load()}
+	hist := make([]int64, len(b.hist))
+	for i := range b.hist {
+		hist[i] = b.hist[i].Load()
+	}
+	return Stats{
+		Requests:   b.requests.Load(),
+		Batches:    b.batches.Load(),
+		Shed:       b.shed.Load(),
+		QueueDepth: b.depth.Load(),
+		BatchSizes: hist,
+	}
 }
 
-// Close drains the workers and rejects further requests.
+// Close rejects further requests, drains everything already admitted
+// (every in-flight request still gets its reply, decoded on this batcher's
+// parser), and waits for the workers to exit.
 func (b *Batcher) Close() {
-	b.closeOnce.Do(func() { close(b.done) })
+	b.closeOnce.Do(func() {
+		b.closeMu.Lock()
+		b.closed = true
+		b.closeMu.Unlock()
+		close(b.done)
+	})
 	b.wg.Wait()
 }

@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"errors"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -63,7 +66,9 @@ func testSentences() [][]string {
 
 func TestBatcherMatchesDirectDecode(t *testing.T) {
 	p := toyParser()
-	b := NewBatcher(p, Options{MaxBatch: 4, MaxWait: time.Millisecond})
+	// 5 waves × 20 sentences fire concurrently; raise the admission bound
+	// above that so this test exercises decode parity, not load shedding.
+	b := NewBatcher(p, Options{MaxBatch: 4, MaxWait: time.Millisecond, MaxQueue: 200})
 	defer b.Close()
 
 	sentences := testSentences()
@@ -247,6 +252,168 @@ func TestBatcherFallbackWithoutBatchParser(t *testing.T) {
 	}
 }
 
+// slowParser blocks each decode until released, so tests can hold requests
+// in flight deterministically.
+type slowParser struct {
+	release chan struct{} // each decode consumes one token
+	calls   atomic.Int64
+}
+
+func (s *slowParser) decodeOne() []string {
+	s.calls.Add(1)
+	<-s.release
+	return []string{"now", "=>", "notify"}
+}
+
+func (s *slowParser) Parse(words []string) []string { return s.decodeOne() }
+func (s *slowParser) ParseBeam(words []string, width int) []string {
+	return s.decodeOne()
+}
+
+// TestBatcherBackpressureSheds fills the admission queue against a blocked
+// decoder and checks the overflow request is shed immediately with
+// ErrOverloaded — the gather loop must never block behind a full queue —
+// and that draining the queue restores admission.
+func TestBatcherBackpressureSheds(t *testing.T) {
+	sp := &slowParser{release: make(chan struct{})}
+	b := NewBatcher(sp, Options{MaxBatch: 1, MaxWait: time.Millisecond, Workers: 1, MaxQueue: 2})
+	defer b.Close()
+	defer close(sp.release) // unblock any decode still waiting at teardown
+
+	ctx := context.Background()
+	words := []string{"tweet", "alpha", "now"}
+	type res struct {
+		toks []string
+		err  error
+	}
+	replies := make(chan res, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			toks, err := b.ParseCtx(ctx, words)
+			replies <- res{toks, err}
+		}()
+	}
+	// Wait until the queue is fully occupied (2 admitted, 1 decoding).
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Stats().QueueDepth < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: %+v", b.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	if _, err := b.ParseCtx(ctx, words); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflow request: err = %v, want ErrOverloaded", err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Errorf("shedding took %s; must be immediate", waited)
+	}
+	if st := b.Stats(); st.Shed != 1 {
+		t.Errorf("Stats.Shed = %d, want 1", st.Shed)
+	}
+
+	// Release the held decodes; both admitted requests must be answered.
+	sp.release <- struct{}{}
+	sp.release <- struct{}{}
+	for i := 0; i < 2; i++ {
+		r := <-replies
+		if r.err != nil {
+			t.Fatalf("admitted request errored: %v", r.err)
+		}
+		if len(r.toks) == 0 {
+			t.Fatalf("admitted request got empty reply")
+		}
+	}
+	// Queue drained: admission works again.
+	go func() { sp.release <- struct{}{} }()
+	if _, err := b.ParseCtx(ctx, words); err != nil {
+		t.Fatalf("post-drain request: %v", err)
+	}
+}
+
+// TestBatcherCloseDrainsAdmitted holds requests in the queue, closes the
+// batcher, and checks every admitted request still gets its reply (decoded
+// on the old parser) — the drain semantics hot reload relies on.
+func TestBatcherCloseDrainsAdmitted(t *testing.T) {
+	sp := &slowParser{release: make(chan struct{}, 16)}
+	b := NewBatcher(sp, Options{MaxBatch: 2, MaxWait: time.Millisecond, Workers: 1, MaxQueue: 16})
+	const n = 6
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = b.ParseCtx(context.Background(), []string{"tweet", "alpha", "now"})
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for b.Stats().QueueDepth < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("requests never queued: %+v", b.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < n; i++ {
+		sp.release <- struct{}{}
+	}
+	b.Close() // must drain all n admitted requests, then stop
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("admitted request %d dropped during Close: %v", i, err)
+		}
+	}
+	if _, err := b.ParseCtx(context.Background(), []string{"x"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-Close request: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestBatcherScoredPath checks ParseScoredCtx returns the parser's own
+// scored decode through the batching path.
+func TestBatcherScoredPath(t *testing.T) {
+	p := toyParser()
+	b := NewBatcher(p, Options{MaxBatch: 4, MaxWait: time.Millisecond})
+	defer b.Close()
+	words := []string{"tweet", "alpha", "now"}
+	wantToks, wantScore := p.ParseScored(words, 1)
+	toks, score, err := b.ParseScoredCtx(context.Background(), words)
+	if err != nil {
+		t.Fatalf("ParseScoredCtx: %v", err)
+	}
+	if strings.Join(toks, " ") != strings.Join(wantToks, " ") || score != wantScore {
+		t.Errorf("scored decode = (%q, %v), direct = (%q, %v)",
+			strings.Join(toks, " "), score, strings.Join(wantToks, " "), wantScore)
+	}
+}
+
+// TestBatcherBatchSizeHistogram drives traffic and checks the dispatch
+// histogram accounts for every batch.
+func TestBatcherBatchSizeHistogram(t *testing.T) {
+	b := NewBatcher(toyParser(), Options{MaxBatch: 8, MaxWait: 20 * time.Millisecond, Workers: 2})
+	defer b.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Parse([]string{"tweet", "alpha", "now"})
+		}()
+	}
+	wg.Wait()
+	st := b.Stats()
+	var total, weighted int64
+	for i, n := range st.BatchSizes {
+		total += n
+		weighted += int64(i+1) * n
+	}
+	if total != st.Batches || weighted != st.Requests {
+		t.Errorf("histogram inconsistent: %d batches / %d requests vs hist %d / %d (%v)",
+			st.Batches, st.Requests, total, weighted, st.BatchSizes)
+	}
+}
+
 func TestBatcherClose(t *testing.T) {
 	b := NewBatcher(toyParser(), Options{})
 	b.Close()
@@ -311,6 +478,54 @@ func TestServerAndClientEndToEnd(t *testing.T) {
 	if !h.OK || h.Requests < 3 {
 		t.Errorf("unexpected health: %+v", h)
 	}
+}
+
+// TestServerSheds429 drives the HTTP front end into admission-control
+// shedding and checks the 429 + Retry-After contract, plus the Client's
+// ErrOverloaded mapping.
+func TestServerSheds429(t *testing.T) {
+	sp := &slowParser{release: make(chan struct{}, 4)}
+	srv := NewServer(sp, Options{MaxBatch: 1, MaxWait: time.Millisecond, Workers: 1, MaxQueue: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+	defer close(sp.release)
+
+	// Occupy the single queue slot with a blocked request.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Batcher().ParseCtx(context.Background(), []string{"tweet", "alpha", "now"})
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Batcher().Stats().QueueDepth < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never occupied")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err := http.Post(ts.URL+"/parse", "application/json",
+		bytes.NewReader([]byte(`{"sentence":"tweet alpha now"}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("overloaded POST /parse status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 reply missing Retry-After")
+	}
+
+	// The Client surfaces the shed as ErrOverloaded.
+	c := NewClient(ts.URL)
+	if _, err := c.ParseSentence(context.Background(), "tweet alpha now"); !errors.Is(err, ErrOverloaded) {
+		t.Errorf("client error = %v, want ErrOverloaded", err)
+	}
+
+	sp.release <- struct{}{}
+	<-done
 }
 
 func TestServerRejectsBadRequests(t *testing.T) {

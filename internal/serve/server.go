@@ -2,24 +2,34 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strings"
 	"time"
 )
 
 // ParseRequest is the JSON body of POST /parse. Either a raw sentence
-// (whitespace-tokenized, lowercased) or a pre-tokenized word list.
+// (whitespace-tokenized, lowercased) or a pre-tokenized word list. Skill
+// addresses one shard of a multi-skill fleet (internal/fleet); a fleet
+// request without a skill is routed by the fallback scorer, and the
+// single-parser Server ignores the field.
 type ParseRequest struct {
+	Skill    string   `json:"skill,omitempty"`
 	Sentence string   `json:"sentence,omitempty"`
 	Words    []string `json:"words,omitempty"`
 }
 
 // ParseResponse is the JSON reply: the decoded ThingTalk program as a token
-// list and as one joined string, plus the server-side latency.
+// list and as one joined string, plus the server-side latency. A fleet
+// reply also names the skill that answered, its snapshot generation, and —
+// for scored fallback routing — the hypothesis's length-normalized score.
 type ParseResponse struct {
-	Tokens    []string `json:"tokens"`
-	Program   string   `json:"program"`
-	LatencyMS float64  `json:"latency_ms"`
+	Skill      string   `json:"skill,omitempty"`
+	Tokens     []string `json:"tokens"`
+	Program    string   `json:"program"`
+	Score      float64  `json:"score,omitempty"`
+	Generation uint64   `json:"generation,omitempty"`
+	LatencyMS  float64  `json:"latency_ms"`
 }
 
 // HealthResponse is the JSON reply of GET /healthz.
@@ -27,6 +37,41 @@ type HealthResponse struct {
 	OK       bool  `json:"ok"`
 	Requests int64 `json:"requests"`
 	Batches  int64 `json:"batches"`
+	// Skills is the number of ready skills (fleet servers only).
+	Skills int `json:"skills,omitempty"`
+}
+
+// SkillInfo describes one skill of a fleet (GET /skills).
+type SkillInfo struct {
+	Name       string `json:"name"`
+	Status     string `json:"status"` // training, ready, reloading, failed
+	Checksum   string `json:"checksum,omitempty"`
+	Generation uint64 `json:"generation"`
+	Error      string `json:"error,omitempty"`
+	Path       string `json:"path,omitempty"`
+}
+
+// SkillsResponse is the JSON reply of a fleet's GET /skills.
+type SkillsResponse struct {
+	Skills []SkillInfo `json:"skills"`
+}
+
+// SkillMetrics is one skill's live serving metrics (GET /metrics).
+type SkillMetrics struct {
+	Name       string  `json:"name"`
+	Generation uint64  `json:"generation"`
+	Requests   int64   `json:"requests"`
+	Shed       int64   `json:"shed"`
+	QueueDepth int64   `json:"queue_depth"`
+	Batches    int64   `json:"batches"`
+	BatchSizes []int64 `json:"batch_sizes,omitempty"`
+	P50MS      float64 `json:"p50_ms"`
+	P99MS      float64 `json:"p99_ms"`
+}
+
+// MetricsResponse is the JSON reply of a fleet's GET /metrics.
+type MetricsResponse struct {
+	Skills []SkillMetrics `json:"skills"`
 }
 
 // Server is the HTTP front end over a Batcher.
@@ -62,6 +107,31 @@ func Tokenize(sentence string) []string {
 	return strings.Fields(strings.ToLower(sentence))
 }
 
+// RequestWords extracts the tokenized sentence of a parse request (words
+// when given, else the tokenized sentence); shared by the single-parser and
+// fleet servers.
+func (r *ParseRequest) RequestWords() []string {
+	if len(r.Words) > 0 {
+		return r.Words
+	}
+	return Tokenize(r.Sentence)
+}
+
+// WriteParseError maps a serving error to its HTTP status: 429 with a
+// Retry-After for admission-control shedding, 408 for caller timeouts, 503
+// otherwise. Shared by the single-parser and fleet servers.
+func WriteParseError(w http.ResponseWriter, r *http.Request, err error) {
+	status := http.StatusServiceUnavailable
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		status = http.StatusTooManyRequests
+	case r.Context().Err() != nil:
+		status = http.StatusRequestTimeout
+	}
+	http.Error(w, err.Error(), status)
+}
+
 func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -72,10 +142,7 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	words := req.Words
-	if len(words) == 0 {
-		words = Tokenize(req.Sentence)
-	}
+	words := req.RequestWords()
 	if len(words) == 0 {
 		http.Error(w, "empty sentence", http.StatusBadRequest)
 		return
@@ -83,17 +150,13 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	toks, err := s.b.ParseCtx(r.Context(), words)
 	if err != nil {
-		status := http.StatusServiceUnavailable
-		if r.Context().Err() != nil {
-			status = http.StatusRequestTimeout
-		}
-		http.Error(w, err.Error(), status)
+		WriteParseError(w, r, err)
 		return
 	}
 	if toks == nil {
 		toks = []string{} // JSON [] rather than null
 	}
-	writeJSON(w, ParseResponse{
+	WriteJSON(w, ParseResponse{
 		Tokens:    toks,
 		Program:   strings.Join(toks, " "),
 		LatencyMS: float64(time.Since(start).Microseconds()) / 1000,
@@ -102,10 +165,11 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	st := s.b.Stats()
-	writeJSON(w, HealthResponse{OK: true, Requests: st.Requests, Batches: st.Batches})
+	WriteJSON(w, HealthResponse{OK: true, Requests: st.Requests, Batches: st.Batches})
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// WriteJSON writes v as a JSON response (shared with the fleet server).
+func WriteJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)

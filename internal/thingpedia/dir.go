@@ -1,0 +1,78 @@
+package thingpedia
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file is the on-disk face of the skill library: a library directory
+// holds one DSL source file per skill (<skill>.tt, the Fig. 3 grammar that
+// parser.go reads), and the fleet control plane (internal/fleet) scans and
+// watches it, keying each skill's trained snapshot by Library.Checksum().
+
+// LibraryExt is the extension of skill-library source files in a library
+// directory.
+const LibraryExt = ".tt"
+
+// DirEntry is one skill-library source discovered by ScanLibraryDir. Size
+// and ModTime are the cheap change signal: the watcher only re-parses (and
+// re-checksums) a file whose stat changed, so an idle fleet's watch tick
+// costs one ReadDir plus one Stat per skill.
+type DirEntry struct {
+	Name    string // skill name: file base without the .tt extension
+	Path    string
+	Size    int64
+	ModTime time.Time
+}
+
+// ScanLibraryDir lists the *.tt skill-library sources of dir, sorted by
+// skill name. Subdirectories and other files are ignored.
+func ScanLibraryDir(dir string) ([]DirEntry, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("thingpedia: scanning library dir: %w", err)
+	}
+	var out []DirEntry
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), LibraryExt) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			// The file vanished between ReadDir and Stat; the next scan
+			// will see the final state.
+			continue
+		}
+		out = append(out, DirEntry{
+			Name:    strings.TrimSuffix(e.Name(), LibraryExt),
+			Path:    filepath.Join(dir, e.Name()),
+			Size:    info.Size(),
+			ModTime: info.ModTime(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Changed reports whether the stat signal differs from prev (a new file
+// compared against the zero DirEntry is always changed).
+func (e DirEntry) Changed(prev DirEntry) bool {
+	return e.Size != prev.Size || !e.ModTime.Equal(prev.ModTime)
+}
+
+// LoadLibraryFile parses one skill-library source file.
+func LoadLibraryFile(path string) (*Library, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("thingpedia: reading %s: %w", path, err)
+	}
+	lib, err := ParseLibrary(string(src))
+	if err != nil {
+		return nil, fmt.Errorf("thingpedia: %s: %w", path, err)
+	}
+	return lib, nil
+}

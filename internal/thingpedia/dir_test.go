@@ -1,0 +1,85 @@
+package thingpedia
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const dirTestLib = `class @test.dir easy {
+  action ping(in req text : String) "ping";
+}
+templates {
+  vp "ping $x" (x : String) := @test.dir.ping param:text = $x ;
+}
+`
+
+func TestScanLibraryDir(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"beta.tt", "alpha.tt", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(dirTestLib), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub.tt"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ScanLibraryDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Name != "alpha" || entries[1].Name != "beta" {
+		t.Fatalf("entries = %+v, want alpha, beta", entries)
+	}
+	for _, e := range entries {
+		if e.Size != int64(len(dirTestLib)) || e.ModTime.IsZero() {
+			t.Errorf("entry %s missing stat signal: %+v", e.Name, e)
+		}
+	}
+	if entries[0].Changed(entries[0]) {
+		t.Error("entry reported changed against itself")
+	}
+	var zero DirEntry
+	if !entries[0].Changed(zero) {
+		t.Error("entry must report changed against the zero DirEntry")
+	}
+
+	if _, err := ScanLibraryDir(filepath.Join(dir, "nosuch")); err == nil {
+		t.Error("scanning a missing directory should error")
+	}
+}
+
+func TestLoadLibraryFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "skill.tt")
+	if err := os.WriteFile(path, []byte(dirTestLib), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lib, err := LoadLibraryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := lib.Class("test.dir"); !ok {
+		t.Error("parsed library missing its class")
+	}
+	if lib.Checksum() == "" {
+		t.Error("empty checksum")
+	}
+	// Content-identical reparse hashes equal (the hot-reload predicate).
+	lib2, err := LoadLibraryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Checksum() != lib2.Checksum() {
+		t.Error("re-parsed library checksum differs")
+	}
+
+	if _, err := LoadLibraryFile(filepath.Join(dir, "missing.tt")); err == nil {
+		t.Error("loading a missing file should error")
+	}
+	bad := filepath.Join(dir, "bad.tt")
+	os.WriteFile(bad, []byte("class @x {"), 0o644)
+	if _, err := LoadLibraryFile(bad); err == nil {
+		t.Error("loading an unparsable file should error")
+	}
+}
