@@ -36,6 +36,7 @@ func cmdFleet(args []string) {
 	wait := fs.Duration("wait", 2*time.Millisecond, "micro-batch gather window")
 	workers := fs.Int("serve-workers", 0, "decode workers per skill (0 = all CPUs)")
 	beam := fs.Int("beam", 1, "beam width (1 = greedy)")
+	adaptive := fs.Bool("adaptive", false, "confidence-routed decode: greedy first, escalate to -beam below each skill's calibrated threshold")
 	fs.Parse(args)
 	if *libdir == "" {
 		fmt.Fprintln(os.Stderr, "genie: fleet needs -libdir")
@@ -61,9 +62,13 @@ func cmdFleet(args []string) {
 			Workers:  *workers,
 			Beam:     *beam,
 			MaxQueue: *maxQueue,
+			Adaptive: *adaptive,
 		},
 		Train: func(name string, lib *thingpedia.Library) (*model.Parser, error) {
-			p, _ := trainParserLib(lib, scale, strategy, *seed, *maxSteps, *lmSteps, *batchSize, *bucket)
+			p, d := trainParserLib(lib, scale, strategy, *seed, *maxSteps, *lmSteps, *batchSize, *bucket)
+			if *adaptive && *beam > 1 {
+				calibrateParser(p, d, *beam)
+			}
 			return p, nil
 		},
 		Cache: cache,
@@ -72,6 +77,7 @@ func cmdFleet(args []string) {
 			fmt.Sprintf("seed=%d", *seed), fmt.Sprintf("maxsteps=%d", *maxSteps),
 			fmt.Sprintf("lmsteps=%d", *lmSteps), fmt.Sprintf("batchsize=%d", *batchSize),
 			fmt.Sprintf("bucket=%t", *bucket),
+			fmt.Sprintf("calibrate=%t:%d", *adaptive, *beam),
 		},
 		TrainWorkers: *trainWorkers,
 		Logf: func(format string, a ...any) {
@@ -85,8 +91,8 @@ func cmdFleet(args []string) {
 	}
 	srv := fleet.NewServer(reg)
 	defer srv.Close()
-	fmt.Fprintf(os.Stderr, "genie: fleet serving %s on %s (watch=%s batch=%d wait=%s beam=%d maxqueue=%d)\n",
-		*libdir, *addr, *watch, *batch, *wait, *beam, *maxQueue)
+	fmt.Fprintf(os.Stderr, "genie: fleet serving %s on %s (watch=%s batch=%d wait=%s beam=%d adaptive=%t maxqueue=%d)\n",
+		*libdir, *addr, *watch, *batch, *wait, *beam, *adaptive, *maxQueue)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fmt.Fprintf(os.Stderr, "genie: %v\n", err)
 		os.Exit(1)

@@ -8,20 +8,24 @@
 //	genie experiment fig7|fig8|table3|fig9|stats|errors|limitation|ifttt [-scale ...] [-seed N]
 //	    [-workers N] [-cpuprofile cpu.out] [-memprofile mem.out]
 //	genie experiment all [-scale ...]
-//	genie train [-scale ...] [-seed N] [-strategy genie] [-maxsteps N] [-lmsteps N] [-batchsize B] [-bucket] -out parser.snap
+//	genie train [-scale ...] [-seed N] [-strategy genie] [-maxsteps N] [-lmsteps N] [-batchsize B] [-bucket]
+//	    [-calibrate 4] -out parser.snap
 //	genie serve (-snapshot parser.snap | -train) [-cache DIR] [-addr :8080]
-//	    [-batch 8] [-wait 2ms] [-serve-workers N] [-beam 1]
+//	    [-batch 8] [-wait 2ms] [-serve-workers N] [-beam 1] [-adaptive]
 //	genie fleet -libdir DIR [-watch 2s] [-maxqueue 64] [-cache DIR] [-addr :8080]
-//	    [-scale unit] [-maxsteps N] [-batch 8] [-beam 1] [-train-workers 1]
+//	    [-scale unit] [-maxsteps N] [-batch 8] [-beam 1] [-adaptive] [-train-workers 1]
 //
 // synthesize materializes the synthesized set and prints samples; pipeline
 // streams the concurrent synthesis→augmentation→parameter-replacement
 // pipeline and prints training-ready examples as they are produced,
 // cancelling the upstream stages once -n examples have been emitted. train
-// runs the full data pipeline plus parser training and writes a versioned
-// binary snapshot; serve loads a snapshot (or trains, optionally through the
-// checksum-keyed snapshot cache) and answers POST /parse with micro-batched
-// decoding. fleet is the multi-skill control plane: one parser per <skill>.tt
+// runs the full data pipeline plus parser training, stamps the library's
+// grammar spec (constrained decoding) and a fitted confidence threshold
+// (-calibrate), and writes a versioned binary snapshot; serve loads a
+// snapshot (or trains, optionally through the checksum-keyed snapshot cache)
+// and answers POST /parse with micro-batched decoding — with -adaptive it
+// decodes greedily and escalates to the beam only below the snapshot's
+// calibrated confidence threshold. fleet is the multi-skill control plane: one parser per <skill>.tt
 // library in -libdir, trained in the background (through the checksum-keyed
 // cache when -cache is set), served behind per-skill micro-batching shards
 // with bounded-queue admission control (429 + Retry-After when full),
@@ -73,8 +77,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "  genie pipeline -scale unit -n 20 -workers 0   (0 = all CPUs)")
 	fmt.Fprintln(os.Stderr, "  genie experiment fig7|fig8|table3|fig9|stats|errors|limitation|ifttt|all -scale unit -seed 1 \\")
 	fmt.Fprintln(os.Stderr, "       [-workers 0] [-cpuprofile cpu.out] [-memprofile mem.out]")
-	fmt.Fprintln(os.Stderr, "  genie train -scale unit -seed 1 -out parser.snap [-strategy genie] [-maxsteps N] [-lmsteps N] [-batchsize B]")
-	fmt.Fprintln(os.Stderr, "  genie serve -snapshot parser.snap -addr :8080 [-batch 8] [-wait 2ms] [-serve-workers 0] [-beam 1]")
+	fmt.Fprintln(os.Stderr, "  genie train -scale unit -seed 1 -out parser.snap [-strategy genie] [-maxsteps N] [-lmsteps N] [-batchsize B] [-calibrate 4]")
+	fmt.Fprintln(os.Stderr, "  genie serve -snapshot parser.snap -addr :8080 [-batch 8] [-wait 2ms] [-serve-workers 0] [-beam 4] [-adaptive]")
 	fmt.Fprintln(os.Stderr, "  genie serve -train -cache /var/cache/genie -scale unit   (train once per library checksum)")
 	fmt.Fprintln(os.Stderr, "  genie fleet -libdir examples/fleet/skills -watch 2s -maxqueue 64   (one hot-swappable parser per skill)")
 	os.Exit(2)

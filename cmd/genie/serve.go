@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/eval"
 	"repro/internal/genie"
+	"repro/internal/grammar"
 	"repro/internal/model"
 	"repro/internal/nltemplate"
 	"repro/internal/serve"
@@ -55,7 +56,21 @@ func trainParserLib(lib *thingpedia.Library, scale genie.Scale, strategy genie.S
 	}
 	mcfg.BucketByLength = bucket
 	tp := d.Train(genie.TrainOptions{Strategy: strategy, Topt: genie.CanonicalTargets, Model: mcfg, Seed: seed})
+	// Stamp the library's grammar spec so every decode path is constrained to
+	// well-formed programs; the spec also travels with the snapshot (v3). A
+	// vocabulary too small to express any program keeps decoding unmasked.
+	if err := tp.Parser.SetGrammar(grammar.NewSpec(lib.Functions())); err != nil {
+		fmt.Fprintf(os.Stderr, "genie: grammar mask unavailable, decoding unconstrained: %v\n", err)
+	}
 	return tp.Parser, d
+}
+
+// calibrateParser fits the adaptive-decoding confidence threshold on the
+// validation split and stamps it into the parser (and thus the snapshot).
+func calibrateParser(parser *model.Parser, d *genie.Data, width int) {
+	rep := eval.FitCalibration(parser, d.Validation, d.Lib, width)
+	parser.SetCalibration(model.Calibration{Fitted: rep.Fitted, Threshold: rep.Threshold})
+	fmt.Fprintf(os.Stderr, "genie: %s\n", rep)
 }
 
 func cmdTrain(args []string) {
@@ -69,6 +84,7 @@ func cmdTrain(args []string) {
 	batchSize := fs.Int("batchsize", 0, "training minibatch size (0 = scale preset, 1 = per-example)")
 	bucket := fs.Bool("bucket", false, "length-bucket training minibatches (cuts padding waste; needs -batchsize > 1)")
 	doEval := fs.Bool("eval", true, "score the trained parser on the validation set")
+	calibrate := fs.Int("calibrate", 4, "beam width for confidence-threshold calibration on the validation set (<=1 = skip)")
 	fs.Parse(args)
 	scale := resolveScale(*scaleName)
 	strategy, ok := strategyByName(*strategyName)
@@ -89,6 +105,9 @@ func cmdTrain(args []string) {
 		bt.Close()
 		fmt.Fprintf(os.Stderr, "genie: validation program accuracy %.1f%% (function %.1f%%, %d examples)\n",
 			rep.ProgramAccuracy(), rep.FunctionAccuracy(), rep.Total)
+	}
+	if *calibrate > 1 {
+		calibrateParser(parser, d, *calibrate)
 	}
 	if err := parser.SaveFile(*out); err != nil {
 		fmt.Fprintf(os.Stderr, "genie: saving snapshot: %v\n", err)
@@ -116,6 +135,7 @@ func cmdServe(args []string) {
 	wait := fs.Duration("wait", 2*time.Millisecond, "micro-batch gather window")
 	workers := fs.Int("serve-workers", 0, "decode workers (0 = all CPUs)")
 	beam := fs.Int("beam", 1, "beam width (1 = greedy)")
+	adaptive := fs.Bool("adaptive", false, "confidence-routed decode: greedy first, escalate to -beam below the snapshot's calibrated threshold")
 	fs.Parse(args)
 
 	var parser *model.Parser
@@ -139,11 +159,15 @@ func cmdServe(args []string) {
 		key := serve.Key(lib, scale.Name, strategy.String(),
 			fmt.Sprintf("seed=%d", *seed), fmt.Sprintf("maxsteps=%d", *maxSteps),
 			fmt.Sprintf("lmsteps=%d", *lmSteps), fmt.Sprintf("batchsize=%d", *batchSize),
-			fmt.Sprintf("bucket=%t", *bucket))
+			fmt.Sprintf("bucket=%t", *bucket),
+			fmt.Sprintf("calibrate=%t:%d", *adaptive, *beam))
 		cache := serve.NewCache(*cacheDir)
 		start := time.Now()
 		p, hit, err := cache.GetOrTrain(key, func() (*model.Parser, error) {
-			p, _ := trainParser(scale, strategy, *seed, *maxSteps, *lmSteps, *batchSize, *bucket)
+			p, d := trainParser(scale, strategy, *seed, *maxSteps, *lmSteps, *batchSize, *bucket)
+			if *adaptive && *beam > 1 {
+				calibrateParser(p, d, *beam)
+			}
 			return p, nil
 		})
 		if err != nil {
@@ -162,17 +186,25 @@ func cmdServe(args []string) {
 		os.Exit(2)
 	}
 
+	if *adaptive {
+		if thr, fitted := parser.ConfidenceThreshold(); fitted {
+			fmt.Fprintf(os.Stderr, "genie: adaptive decode on (threshold %.4f, beam %d)\n", thr, *beam)
+		} else {
+			fmt.Fprintln(os.Stderr, "genie: adaptive decode requested but the parser has no fitted calibration; serving greedy")
+		}
+	}
 	srv := serve.NewServer(parser, serve.Options{
 		MaxBatch: *batch,
 		MaxWait:  *wait,
 		Workers:  *workers,
 		Beam:     *beam,
+		Adaptive: *adaptive,
 	})
 	defer srv.Close()
 	e, h := parser.Dims()
 	sv, tv := parser.VocabSizes()
-	fmt.Fprintf(os.Stderr, "genie: serving on %s (embed=%d hidden=%d src-vocab=%d tgt-vocab=%d batch=%d wait=%s beam=%d)\n",
-		*addr, e, h, sv, tv, *batch, *wait, *beam)
+	fmt.Fprintf(os.Stderr, "genie: serving on %s (embed=%d hidden=%d src-vocab=%d tgt-vocab=%d batch=%d wait=%s beam=%d adaptive=%t)\n",
+		*addr, e, h, sv, tv, *batch, *wait, *beam, *adaptive)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fmt.Fprintf(os.Stderr, "genie: %v\n", err)
 		os.Exit(1)

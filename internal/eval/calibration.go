@@ -1,0 +1,153 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/thingtalk"
+)
+
+// Confidence calibration for adaptive decoding: greedy decode is ~3x cheaper
+// than the beam, and on most inputs it is already right. FitCalibration
+// fits, on held-out examples, a threshold over the greedy hypothesis's
+// length-normalized score such that serving can decode greedily when the
+// score clears the threshold and escalate to the beam only below it —
+// keeping accuracy within a hair of always-beam while routing the bulk of
+// traffic through the cheap path.
+
+// ScoredDecoder decodes with a per-parse confidence score; *model.Parser
+// satisfies it (width 1 = greedy, >1 = beam).
+type ScoredDecoder interface {
+	ParseScored(words []string, width int) ([]string, float64)
+}
+
+// CalibrationReport is the result of fitting the confidence threshold on a
+// held-out set: the threshold itself plus the accuracy/escalation ledger
+// behind it.
+type CalibrationReport struct {
+	Total     int
+	BeamWidth int
+	// Threshold is the fitted cutoff: escalate to the beam when the greedy
+	// score is strictly below it. Fitted is false when there was nothing to
+	// fit (no examples, or beam width <= 1).
+	Threshold float64
+	Fitted    bool
+	// Correctness of each fixed policy on the held-out set.
+	GreedyCorrect int
+	BeamCorrect   int
+	// The adaptive policy at Threshold: its correct count and how many
+	// examples it escalated.
+	AdaptiveCorrect int
+	Escalated       int
+}
+
+// GreedyAccuracy returns always-greedy program accuracy (percent).
+func (r CalibrationReport) GreedyAccuracy() float64 { return pct(r.GreedyCorrect, r.Total) }
+
+// BeamAccuracy returns always-beam program accuracy (percent).
+func (r CalibrationReport) BeamAccuracy() float64 { return pct(r.BeamCorrect, r.Total) }
+
+// AdaptiveAccuracy returns the adaptive policy's program accuracy (percent).
+func (r CalibrationReport) AdaptiveAccuracy() float64 { return pct(r.AdaptiveCorrect, r.Total) }
+
+// EscalationRate returns the share of held-out examples the adaptive policy
+// sent to the beam (percent).
+func (r CalibrationReport) EscalationRate() float64 { return pct(r.Escalated, r.Total) }
+
+func (r CalibrationReport) String() string {
+	if !r.Fitted {
+		return fmt.Sprintf("calibration: not fitted (%d examples, beam %d)", r.Total, r.BeamWidth)
+	}
+	return fmt.Sprintf(
+		"calibration: threshold %.4f | greedy %.1f%% beam%d %.1f%% adaptive %.1f%% | escalation %.1f%% (%d/%d)",
+		r.Threshold, r.GreedyAccuracy(), r.BeamWidth, r.BeamAccuracy(),
+		r.AdaptiveAccuracy(), r.EscalationRate(), r.Escalated, r.Total)
+}
+
+// maxEscalationShare caps how much held-out traffic the fitted threshold may
+// route to the beam: at least 70% must stay on the greedy path.
+const maxEscalationShare = 0.3
+
+// FitCalibration decodes every example greedily and with a width-wide beam,
+// then picks the threshold that maximizes adaptive accuracy (greedy at or
+// above the threshold, beam below) subject to escalating at most 30% of the
+// set; ties prefer the lower escalation rate. Examples is typically the
+// held-out split the model did not train on.
+func FitCalibration(dec ScoredDecoder, examples []dataset.Example, schemas thingtalk.SchemaSource, width int) CalibrationReport {
+	r := CalibrationReport{Total: len(examples), BeamWidth: width, Threshold: math.Inf(-1)}
+	if len(examples) == 0 || width <= 1 {
+		return r
+	}
+	type sample struct {
+		score float64
+		g, b  bool
+	}
+	samples := make([]sample, len(examples))
+	for i := range examples {
+		e := &examples[i]
+		gToks, gScore := dec.ParseScored(e.Words, 1)
+		bToks, _ := dec.ParseScored(e.Words, width)
+		samples[i] = sample{
+			score: gScore,
+			g:     predictionCorrect(gToks, e, schemas),
+			b:     predictionCorrect(bToks, e, schemas),
+		}
+		if samples[i].g {
+			r.GreedyCorrect++
+		}
+		if samples[i].b {
+			r.BeamCorrect++
+		}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].score < samples[j].score })
+
+	// With scores ascending, cutting at index k (escalate the k lowest-
+	// scoring examples) yields accuracy prefixBeam(k) + suffixGreedy(k).
+	// Only cut at distinct-score boundaries so "score < threshold" escalates
+	// exactly the counted prefix.
+	n := len(samples)
+	suffixGreedy := make([]int, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffixGreedy[i] = suffixGreedy[i+1]
+		if samples[i].g {
+			suffixGreedy[i]++
+		}
+	}
+	maxEsc := int(maxEscalationShare * float64(n))
+	bestK, bestAcc := 0, suffixGreedy[0]
+	prefixBeam := 0
+	for k := 1; k <= maxEsc; k++ {
+		if samples[k-1].b {
+			prefixBeam++
+		}
+		if k < n && samples[k].score == samples[k-1].score {
+			continue // not a distinct-score boundary
+		}
+		if acc := prefixBeam + suffixGreedy[k]; acc > bestAcc {
+			bestAcc, bestK = acc, k
+		}
+	}
+	r.Fitted = true
+	r.AdaptiveCorrect = bestAcc
+	r.Escalated = bestK
+	if bestK > 0 {
+		r.Threshold = samples[bestK].score
+	}
+	return r
+}
+
+// predictionCorrect reports whether toks is an exact (canonical) match of
+// the example's gold program or any alternative annotation — the same
+// correctness judgment Report.Correct counts.
+func predictionCorrect(toks []string, e *dataset.Example, schemas thingtalk.SchemaSource) bool {
+	pred, err := thingtalk.ParseTokens(toks, thingtalk.ParseOptions{Schemas: schemas})
+	if err != nil {
+		return false
+	}
+	if err := thingtalk.Typecheck(pred, schemas); err != nil {
+		return false
+	}
+	return matchesAny(thingtalk.Canonicalize(pred, schemas), e, schemas)
+}

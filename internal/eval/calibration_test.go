@@ -1,0 +1,122 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// cannedScored is a ScoredDecoder with fixed greedy/beam outputs and greedy
+// scores per sentence.
+type cannedScored struct {
+	greedy map[string][]string
+	beam   map[string][]string
+	score  map[string]float64
+}
+
+func (c cannedScored) ParseScored(words []string, width int) ([]string, float64) {
+	k := strings.Join(words, " ")
+	if width <= 1 {
+		return c.greedy[k], c.score[k]
+	}
+	return c.beam[k], c.score[k] + 1
+}
+
+const calGold = `now => @a.b.q => notify`
+const calWrong = `now => @a.b.q2 => notify`
+
+// calSet builds a held-out set where the nGood highest-scoring examples
+// decode correctly greedily and the nBad lowest-scoring ones only decode
+// correctly through the beam. Scores are distinct.
+func calSet(nGood, nBad int) (cannedScored, []dataset.Example) {
+	dec := cannedScored{
+		greedy: map[string][]string{},
+		beam:   map[string][]string{},
+		score:  map[string]float64{},
+	}
+	var examples []dataset.Example
+	for i := 0; i < nGood+nBad; i++ {
+		s := fmt.Sprintf("s%d", i)
+		examples = append(examples, example(calGold, s))
+		if i < nBad {
+			dec.greedy[s] = strings.Fields(calWrong)
+			dec.score[s] = -2 + float64(i)/10
+		} else {
+			dec.greedy[s] = strings.Fields(calGold)
+			dec.score[s] = -0.5 + float64(i)/100
+		}
+		dec.beam[s] = strings.Fields(calGold)
+	}
+	return dec, examples
+}
+
+func TestFitCalibrationSeparatesByScore(t *testing.T) {
+	dec, examples := calSet(7, 3)
+	r := FitCalibration(dec, examples, schemas(), 4)
+	if !r.Fitted {
+		t.Fatalf("not fitted: %+v", r)
+	}
+	if r.Total != 10 || r.GreedyCorrect != 7 || r.BeamCorrect != 10 {
+		t.Fatalf("ledger wrong: %+v", r)
+	}
+	// The 3 low-scoring failures sit under the 30% cap: escalating exactly
+	// them recovers full accuracy.
+	if r.Escalated != 3 || r.AdaptiveCorrect != 10 {
+		t.Errorf("expected 3 escalations recovering 10 correct, got %+v", r)
+	}
+	// Threshold sits above every escalated score and at/below every
+	// non-escalated one.
+	for s, sc := range dec.score {
+		wrongGreedy := strings.Join(dec.greedy[s], " ") == calWrong
+		if wrongGreedy && sc >= r.Threshold {
+			t.Errorf("low-confidence %s (%.2f) not under threshold %.2f", s, sc, r.Threshold)
+		}
+		if !wrongGreedy && sc < r.Threshold {
+			t.Errorf("high-confidence %s (%.2f) under threshold %.2f", s, sc, r.Threshold)
+		}
+	}
+	if r.AdaptiveAccuracy() != 100 || r.EscalationRate() != 30 {
+		t.Errorf("rates wrong: adaptive %.1f escalation %.1f", r.AdaptiveAccuracy(), r.EscalationRate())
+	}
+}
+
+func TestFitCalibrationRespectsEscalationCap(t *testing.T) {
+	// Half the set would profit from the beam, but only 30% may escalate.
+	dec, examples := calSet(5, 5)
+	r := FitCalibration(dec, examples, schemas(), 4)
+	if !r.Fitted {
+		t.Fatalf("not fitted: %+v", r)
+	}
+	if r.Escalated > 3 {
+		t.Errorf("escalated %d of 10, cap is 3", r.Escalated)
+	}
+	// Escalating the 3 worst recovers 3 of the 5 beam-only wins.
+	if r.AdaptiveCorrect != 8 {
+		t.Errorf("adaptive correct = %d, want 8: %+v", r.AdaptiveCorrect, r)
+	}
+}
+
+func TestFitCalibrationDegenerateInputs(t *testing.T) {
+	dec, examples := calSet(4, 1)
+	if r := FitCalibration(dec, nil, schemas(), 4); r.Fitted {
+		t.Error("fitted on empty set")
+	}
+	if r := FitCalibration(dec, examples, schemas(), 1); r.Fitted {
+		t.Error("fitted with beam width 1")
+	}
+	// All-greedy-correct: nothing to escalate, threshold stays -Inf.
+	decG, exG := calSet(6, 0)
+	r := FitCalibration(decG, exG, schemas(), 4)
+	if !r.Fitted || r.Escalated != 0 || !math.IsInf(r.Threshold, -1) {
+		t.Errorf("all-correct set should fit a never-escalate threshold: %+v", r)
+	}
+	if r.AdaptiveCorrect != 6 {
+		t.Errorf("adaptive correct = %d, want 6", r.AdaptiveCorrect)
+	}
+	if s := r.String(); !strings.Contains(s, "threshold") {
+		t.Errorf("String() = %q", s)
+	}
+}

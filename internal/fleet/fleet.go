@@ -563,6 +563,11 @@ func (r *Registry) Metrics() []serve.SkillMetrics {
 			m.QueueDepth = st.QueueDepth
 			m.Batches = st.Batches
 			m.BatchSizes = st.BatchSizes
+			m.Adaptive = st.Adaptive
+			m.Escalated = st.Escalated
+			if st.Adaptive > 0 {
+				m.EscalationRate = float64(st.Escalated) / float64(st.Adaptive)
+			}
 		}
 		out = append(out, m)
 	}

@@ -1,0 +1,437 @@
+package grammar
+
+import (
+	"repro/internal/thingtalk"
+)
+
+// addOptions adds every token the top frame of w can consume right now, gated
+// by the decode-length budget: a token is admitted only when the program can
+// still complete within R-1 further tokens after it. base is minTotal(w).
+//
+// The afterTotal for each option is base minus the top frame's current floor
+// plus the floor of the configuration the token leads to; most transitions
+// reduce the total by exactly one (the token just paid for itself).
+func (a *Automaton) addOptions(w *State, base, R int, ls *LegalSet) {
+	f := w.top()
+	ok := func(after int) bool { return after <= R-1 }
+	addIf := func(id int32, after int) bool {
+		if id >= 0 && ok(after) {
+			ls.add(id)
+			return true
+		}
+		return false
+	}
+
+	switch f.kind {
+	case frProgram:
+		switch f.pos {
+		case pg1:
+			addIf(a.kwID(tcArrow), base-1)
+		case pg2:
+			fm := a.frameMin(f)
+			addIf(a.kwID(tcNotify), base-fm)
+			for fi := range a.fns {
+				fn := &a.fns[fi]
+				if fn.kind != thingtalk.KindAction || !a.invocable(int32(fi), f.env) {
+					continue
+				}
+				addIf(fn.selID, base-fm+a.dynCost(int32(fi), f.env)-1)
+			}
+			a.addQueryStarts(f.env, false, base-fm+2, ls, ok)
+		case pg3:
+			addIf(a.kwID(tcArrow), base-1)
+		case pg4:
+			addIf(a.kwID(tcNotify), base-1)
+			env := extendEnv(f.env, f.env2)
+			for fi := range a.fns {
+				fn := &a.fns[fi]
+				if fn.kind != thingtalk.KindAction || !a.invocable(int32(fi), env) {
+					continue
+				}
+				addIf(fn.selID, base-1+a.dynCost(int32(fi), env)-1)
+			}
+		}
+
+	case frStream:
+		switch f.pos {
+		case s0:
+			fm := a.frameMin(f)
+			if f.flags&fEdgeInner == 0 {
+				addIf(a.kwID(tcNow), base-fm)
+				if a.constMinDate < noConst && a.constMinMs < noConst && a.kwID(tcEq) >= 0 {
+					addIf(a.kwID(tcTimer), base-fm+4+a.constMinDate+a.constMinMs)
+				}
+				if a.constMinTime < noConst && a.kwID(tcEq) >= 0 {
+					addIf(a.kwID(tcAtTimer), base-fm+2+a.constMinTime)
+				}
+			}
+			if a.minMonQuery < noConst && a.kwID(tcLParen) >= 0 && a.kwID(tcRParen) >= 0 {
+				addIf(a.kwID(tcMonitor), base-fm+2+a.minMonQuery)
+				if a.kwID(tcOn) >= 0 && a.minPred < noConst {
+					addIf(a.kwID(tcEdge), base-fm+6+a.minMonQuery+a.minPred)
+				}
+			}
+		case sT1:
+			addIf(a.kwID(tcBase), base-1)
+		case sT2, sT4, sA2:
+			addIf(a.kwID(tcEq), base-1)
+		case sT3:
+			addIf(a.kwID(tcInterval), base-1)
+		case sA1:
+			addIf(a.kwID(tcTimeKw), base-1)
+		case sM1:
+			addIf(a.kwID(tcLParen), base-1)
+		case sM2:
+			if a.envHasBare(f.env) {
+				addIf(a.kwID(tcOn), base+2)
+			}
+		case sM2n:
+			addIf(a.kwID(tcNew), base-1)
+		case sM3:
+			after := base
+			if f.aux == 0 {
+				after = base - 1
+			}
+			visitEnv(f.env, func(name, _ int32) {
+				if id, okb := a.bareByName[name]; okb {
+					addIf(id, after)
+				}
+			})
+		case sE1:
+			addIf(a.kwID(tcLParen), base-1)
+		case sE2:
+			addIf(a.kwID(tcRParen), base-1)
+		case sE3:
+			addIf(a.kwID(tcOn), base-1)
+		}
+
+	case frQuery:
+		switch f.pos {
+		case q0, qJPrm:
+			env2 := f.env2
+			if f.pos == qJPrm {
+				env2 = f.envR
+			}
+			a.addQueryStarts(env2, f.flags&fMonOnly != 0, base-a.minQuery, ls, ok)
+		case qLoop:
+			if a.hasPredStart(f.env) {
+				addIf(a.kwID(tcFilter), base+a.minPred)
+			}
+			if f.pending == 0 && a.minQuery < noConst && a.kwID(tcOn) >= 0 {
+				addIf(a.kwID(tcJoin), base+a.minQuery)
+			}
+			if f.flags&fParen != 0 {
+				addIf(a.kwID(tcRParen), base-1)
+			}
+		case qJR:
+			if w.lastFn >= 0 && a.onCandidate(w.lastFn, f.used, f.envR) {
+				if f.pending != 0 {
+					addIf(a.kwID(tcOn), base-1)
+				} else {
+					addIf(a.kwID(tcOn), base+3)
+				}
+			}
+		case qOn1:
+			if w.lastFn >= 0 {
+				fn := &a.fns[w.lastFn]
+				for pi := 0; pi < len(fn.params); pi++ {
+					p := &fn.params[pi]
+					if p.dir == thingtalk.DirOut || p.annID < 0 || f.used&(1<<uint(pi)) != 0 {
+						continue
+					}
+					if !a.envAssignable(f.envR, p.typ) {
+						continue
+					}
+					if f.pending&(1<<uint(pi)) != 0 || (f.aux == 0 && f.pending == 0) {
+						addIf(p.annID, base-1)
+					} else {
+						addIf(p.annID, base+2)
+					}
+				}
+			}
+		case qOn2:
+			addIf(a.kwID(tcEq), base-1)
+		case qOn3:
+			if w.lastFn >= 0 {
+				p := &a.fns[w.lastFn].params[f.fn]
+				visitEnv(f.envR, func(name, typ int32) {
+					id, okb := a.bareByName[name]
+					if okb && a.typeAssignable(typ, p.typ) {
+						addIf(id, base-1)
+					}
+				})
+			}
+		}
+
+	case frInv:
+		fn := &a.fns[f.fn]
+		switch f.pos {
+		case i0:
+			if a.kwID(tcEq) < 0 {
+				break
+			}
+			for pi := 0; pi < len(fn.params); pi++ {
+				p := &fn.params[pi]
+				if p.dir == thingtalk.DirOut || p.annID < 0 || f.used&(1<<uint(pi)) != 0 {
+					continue
+				}
+				mv := a.minValDyn(p, f.env2)
+				if mv >= noConst {
+					continue
+				}
+				if fn.reqMask&(1<<uint(pi)) != 0 {
+					c := 2 + mv
+					if f.flags&fProvOK != 0 && c > 3 {
+						c = 3
+					}
+					addIf(p.annID, base-c+1+mv)
+				} else {
+					addIf(p.annID, base+1+mv)
+				}
+			}
+		case i1:
+			addIf(a.kwID(tcEq), base-1)
+		}
+
+	case frPred:
+		switch f.pos {
+		case pU:
+			addIf(a.kwID(tcTrue), base-a.minPred)
+			addIf(a.kwID(tcFalse), base-a.minPred)
+			addIf(a.kwID(tcNot), base)
+			if a.hasPredStart(f.env) {
+				addIf(a.kwID(tcLParen), base+1)
+			}
+			visitEnv(f.env, func(name, typ int32) {
+				id, okAnn := a.annByNT[int64(name)<<32|int64(typ)]
+				if !okAnn || !a.hasAtomOp(typ) {
+					return
+				}
+				addIf(id, base-a.minPred+a.minAtomVal(typ))
+			})
+		case pOp:
+			for i := range thingtalk.Operators {
+				if a.opIDs[i] < 0 {
+					continue
+				}
+				vtyp, strOnly, okOp := a.opValue(int32(i), f.fn)
+				if !okOp {
+					continue
+				}
+				valMin := 2
+				if !strOnly {
+					valMin = a.types[vtyp].constMin
+				}
+				addIf(a.opIDs[i], base-2+valMin)
+			}
+		case pA:
+			if a.hasPredStart(f.env) {
+				addIf(a.kwID(tcAnd), base+a.minPred)
+				addIf(a.kwID(tcOr), base+a.minPred)
+			}
+			if f.flags&fParen != 0 {
+				addIf(a.kwID(tcRParen), base-1)
+			}
+		}
+
+	case frValue:
+		switch f.pos {
+		case v0:
+			if f.flags&fStrOnly != 0 {
+				addIf(a.kwID(tcQuote), base-1)
+				break
+			}
+			fm := a.frameMin(f)
+			if f.flags&fVarRefOK != 0 {
+				visitEnv(f.env, func(name, typ int32) {
+					id, okb := a.bareByName[name]
+					if okb && a.typeAssignable(typ, f.fn) {
+						addIf(id, base-fm)
+					}
+				})
+			}
+			if f.flags&fConstOK != 0 {
+				a.addConstStarts(f, base-fm, ls, addIf)
+			}
+		case vStr:
+			if base <= R-1 {
+				ls.AllTokens = true
+			}
+			addIf(a.kwID(tcQuote), base-1)
+		case vUnit:
+			for _, id := range a.unitsBy[a.strs[f.aux]] {
+				addIf(id, base-1)
+			}
+		case vPH:
+			for _, id := range a.unitsBy[a.strs[f.aux]] {
+				addIf(id, base)
+			}
+		case vMeas:
+			addIf(a.kwID(tcPlus), base+2)
+		case vPlus:
+			numeral := false
+			for _, id := range a.magnitudeIDs() {
+				numeral = addIf(id, base-1) || numeral
+			}
+			if numeral || ok(base-1) {
+				ls.NumberOK = true
+			}
+		}
+
+	case frAgg:
+		switch f.pos {
+		case aOp:
+			if a.countCand.minFn < noConst {
+				addIf(a.aggOpID(aggOpCount), base-1)
+			}
+			if len(a.numCands) > 0 {
+				for k := 1; k < len(aggOps); k++ {
+					addIf(a.aggOpID(k), base)
+				}
+			}
+		case aParam:
+			for name, cand := range a.numCands {
+				if cand.minFn >= noConst {
+					continue
+				}
+				addIf(a.bareByName[name], base-1)
+			}
+		case aOf:
+			addIf(a.kwID(tcOf), base-1)
+		case aLP:
+			best := a.countCand.minFn
+			if f.aux != aggOpCount {
+				best = a.numCands[f.fn].minFn
+			}
+			addIf(a.kwID(tcLParen), base-(2+a.minQuery)+1+best)
+		case aRP:
+			if a.aggObligationMet(f) {
+				addIf(a.kwID(tcRParen), base-1)
+			}
+		}
+	}
+}
+
+// addQueryStarts adds the tokens that can begin a query primary: selectors of
+// invocable query functions, "(", and "agg" when an aggregate is completable.
+// preBase is base minus the pending primary's floor (a.minQuery).
+func (a *Automaton) addQueryStarts(env2 []EnvEntry, monOnly bool, preBase int, ls *LegalSet, ok func(int) bool) {
+	for fi := range a.fns {
+		fn := &a.fns[fi]
+		if fn.kind != thingtalk.KindQuery || (monOnly && !fn.monitor) {
+			continue
+		}
+		if !a.invocable(int32(fi), env2) {
+			continue
+		}
+		if after := preBase + a.dynCost(int32(fi), env2) - 1; fn.selID >= 0 && ok(after) {
+			ls.add(fn.selID)
+		}
+	}
+	if id := a.kwID(tcLParen); id >= 0 && a.kwID(tcRParen) >= 0 && ok(preBase+1+a.minQuery) {
+		ls.add(id)
+	}
+	if id := a.kwID(tcAgg); id >= 0 && a.minAgg < noConst && ok(preBase+a.minAgg-1) {
+		ls.add(id)
+	}
+}
+
+// addConstStarts adds the constant-start tokens for a frValue at v0, with the
+// per-start afterTotal (single-token constants finish immediately; quoted
+// strings and measure magnitudes continue).
+func (a *Automaton) addConstStarts(f *frame, done int, ls *LegalSet, addIf func(int32, int) bool) {
+	ti := &a.types[f.fn]
+	switch ti.t.(type) {
+	case thingtalk.StringType, thingtalk.PathNameType, thingtalk.URLType, thingtalk.EntityType:
+		addIf(a.kwID(tcQuote), done+1)
+	case thingtalk.NumberType:
+		numeral := false
+		for _, id := range ti.constStart {
+			numeral = addIf(id, done) || numeral
+		}
+		if numeral {
+			ls.NumberOK = true
+		}
+	case thingtalk.CurrencyType, thingtalk.MeasureType:
+		// Single-token placeholders complete; magnitudes need a unit after.
+		hasUnits := len(a.unitsBy[ti.base]) > 0
+		numeral := false
+		for _, id := range ti.constStart {
+			if a.cls[id] == tcPlaceholder && a.phMatchesBase(a.payload[id], ti) {
+				addIf(id, done)
+				continue
+			}
+			if hasUnits {
+				numeral = addIf(id, done+1) || numeral
+			}
+		}
+		if numeral {
+			ls.NumberOK = true
+		}
+	default:
+		for _, id := range ti.constStart {
+			addIf(id, done)
+		}
+	}
+}
+
+// phMatchesBase reports whether a placeholder kind is the self-contained form
+// of a currency/measure type (CURRENCY for usd, DURATION for ms).
+func (a *Automaton) phMatchesBase(kind int32, ti *typeInfo) bool {
+	switch kind {
+	case phCurrency:
+		_, isCur := ti.t.(thingtalk.CurrencyType)
+		return isCur
+	case phDuration:
+		mt, isM := ti.t.(thingtalk.MeasureType)
+		return isM && mt.Unit == "ms"
+	}
+	return false
+}
+
+// envHasBare reports whether any visible env entry has a bare param token.
+func (a *Automaton) envHasBare(env []EnvEntry) bool {
+	found := false
+	visitEnv(env, func(name, _ int32) {
+		if _, ok := a.bareByName[name]; ok {
+			found = true
+		}
+	})
+	return found
+}
+
+// hasPredStart reports whether any predicate unary is expressible over env.
+func (a *Automaton) hasPredStart(env []EnvEntry) bool {
+	if a.kwID(tcTrue) >= 0 || a.kwID(tcFalse) >= 0 {
+		return true
+	}
+	found := false
+	visitEnv(env, func(name, typ int32) {
+		if found {
+			return
+		}
+		if _, ok := a.annByNT[int64(name)<<32|int64(typ)]; ok && a.hasAtomOp(typ) {
+			found = true
+		}
+	})
+	return found
+}
+
+// onCandidate reports whether the last invocation still has an assignable,
+// annotated input parameter for a join-on clause.
+func (a *Automaton) onCandidate(lastFn int32, used uint64, envR []EnvEntry) bool {
+	fn := &a.fns[lastFn]
+	if a.kwID(tcEq) < 0 {
+		return false
+	}
+	for pi := 0; pi < len(fn.params); pi++ {
+		p := &fn.params[pi]
+		if p.dir == thingtalk.DirOut || p.annID < 0 || used&(1<<uint(pi)) != 0 {
+			continue
+		}
+		if a.envAssignable(envR, p.typ) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,728 @@
+package grammar
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/thingtalk"
+)
+
+// LegalSet is the per-decode-state mask. IDs lists legal vocabulary ids in
+// ascending order; EOS marks end-of-sequence legality; AllTokens marks a
+// quoted-string interior where every token (and every out-of-vocabulary copy)
+// is a word; NumberOK marks positions where an out-of-vocabulary numeral is a
+// valid numeric constant. The struct is reusable across calls without
+// allocation.
+type LegalSet struct {
+	IDs       []int32
+	EOS       bool
+	AllTokens bool
+	NumberOK  bool
+
+	mark    []uint32
+	gen     uint32
+	scratch State
+}
+
+func (ls *LegalSet) reset(vsize int) {
+	ls.IDs = ls.IDs[:0]
+	ls.EOS, ls.AllTokens, ls.NumberOK = false, false, false
+	if len(ls.mark) < vsize {
+		ls.mark = make([]uint32, vsize)
+		ls.gen = 0
+	}
+	ls.gen++
+}
+
+func (ls *LegalSet) add(id int32) {
+	if id < 0 {
+		return
+	}
+	if ls.mark[id] != ls.gen {
+		ls.mark[id] = ls.gen
+		ls.IDs = append(ls.IDs, id)
+	}
+}
+
+// Has reports whether vocabulary id is in the mask (EOS and OOV rules are
+// separate flags).
+func (ls *LegalSet) Has(id int32) bool {
+	if ls.AllTokens && id >= 3 {
+		return true
+	}
+	return id >= 0 && int(id) < len(ls.mark) && ls.mark[id] == ls.gen
+}
+
+// WordLegal reports whether an out-of-vocabulary copy of word is legal.
+func (ls *LegalSet) WordLegal(word string) bool {
+	if ls.AllTokens {
+		return true
+	}
+	if ls.NumberOK {
+		if _, err := strconv.ParseFloat(word, 64); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Legal fills ls with the tokens legal from st when at most `remaining` more
+// tokens (including the one about to be emitted) may be produced. The walk
+// visits the active frame and then every ancestor reachable by finishing the
+// constructs below it, so postfix continuations and closings are all visible.
+func (a *Automaton) Legal(st *State, remaining int, ls *LegalSet) {
+	ls.reset(len(a.vocab))
+	w := &ls.scratch
+	w.frames = append(w.frames[:0], st.frames...)
+	w.lastFn = st.lastFn
+	for {
+		if len(w.frames) == 0 {
+			ls.EOS = true
+			break
+		}
+		base := a.minTotal(w)
+		a.addOptions(w, base, remaining, ls)
+		if ls.AllTokens {
+			break // string interior: the frame cannot finish without its quote
+		}
+		if !a.advance(w) {
+			break
+		}
+	}
+	sort.Slice(ls.IDs, func(i, j int) bool { return ls.IDs[i] < ls.IDs[j] })
+}
+
+// visitEnv calls fn for every visible (unshadowed) entry, right-most first.
+func visitEnv(env []EnvEntry, fn func(name, typ int32)) {
+outer:
+	for i := len(env) - 1; i >= 0; i-- {
+		for j := i + 1; j < len(env); j++ {
+			if env[j].name == env[i].name {
+				continue outer
+			}
+		}
+		fn(env[i].name, env[i].typ)
+	}
+}
+
+// invocable reports whether fn can be invoked to completion given env:
+// every required parameter has an annotated token and a producible value.
+func (a *Automaton) invocable(fi int32, env []EnvEntry) bool {
+	fn := &a.fns[fi]
+	if fn.selID < 0 {
+		return false
+	}
+	if fn.reqMask != 0 && a.kwID(tcEq) < 0 {
+		return false
+	}
+	for pi := 0; pi < len(fn.params); pi++ {
+		if fn.reqMask&(1<<uint(pi)) == 0 {
+			continue
+		}
+		p := &fn.params[pi]
+		if p.annID < 0 {
+			return false
+		}
+		if a.types[p.typ].constMin >= noConst && !a.envAssignable(env, p.typ) {
+			return false
+		}
+	}
+	return true
+}
+
+// dynCost is the minimum invocation length for fn given env.
+func (a *Automaton) dynCost(fi int32, env []EnvEntry) int {
+	fn := &a.fns[fi]
+	c := 1
+	for pi := 0; pi < len(fn.params); pi++ {
+		if fn.reqMask&(1<<uint(pi)) == 0 {
+			continue
+		}
+		c += 2 + a.minValDyn(&fn.params[pi], env)
+	}
+	return c
+}
+
+// opValue resolves a filter operator against an atom's type: the value type
+// it compares with, whether the value must be a quoted string, and legality.
+func (a *Automaton) opValue(opIdx int32, typ int32) (vtyp int32, strOnly, ok bool) {
+	ti := &a.types[typ]
+	switch thingtalk.Operators[opIdx] {
+	case thingtalk.OpEq:
+		return typ, false, ti.constMin < noConst
+	case thingtalk.OpGt, thingtalk.OpLt, thingtalk.OpGe, thingtalk.OpLe:
+		return typ, false, ti.comparable && ti.constMin < noConst
+	case thingtalk.OpContains:
+		if !ti.isArray || ti.elem < 0 {
+			return 0, false, false
+		}
+		return ti.elem, false, a.types[ti.elem].constMin < noConst
+	case thingtalk.OpSubstr, thingtalk.OpStartsWith, thingtalk.OpEndsWith:
+		return -1, true, ti.stringLike && a.kwID(tcQuote) >= 0
+	}
+	return 0, false, false
+}
+
+func (a *Automaton) hasAtomOp(typ int32) bool {
+	for i := range thingtalk.Operators {
+		if a.opIDs[i] < 0 {
+			continue
+		}
+		if _, _, ok := a.opValue(int32(i), typ); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// minAtomVal is the cheapest op+value completion of an atom on typ.
+func (a *Automaton) minAtomVal(typ int32) int {
+	best := noConst
+	for i := range thingtalk.Operators {
+		if a.opIDs[i] < 0 {
+			continue
+		}
+		vtyp, strOnly, ok := a.opValue(int32(i), typ)
+		if !ok {
+			continue
+		}
+		c := 1 + 2 // op + quoted string floor
+		if !strOnly {
+			c = 1 + a.types[vtyp].constMin
+		}
+		if c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+func isMagnitude(tok tokDesc) bool {
+	if tok.cls == tcNumber {
+		return true
+	}
+	return tok.cls == tcPlaceholder &&
+		(tok.payload == phNumber || tok.payload == phDuration || tok.payload == phCurrency)
+}
+
+func mkValue(typ int32, flags uint16, env []EnvEntry) frame {
+	return frame{kind: frValue, pos: v0, flags: flags, fn: typ, aux: -1, env: env}
+}
+
+// consume attempts to let the top frame absorb tok, mutating st and returning
+// true on success. On false the state is untouched.
+func (a *Automaton) consume(st *State, tok tokDesc) bool {
+	f := st.top()
+	switch f.kind {
+	case frProgram:
+		return a.consumeProgram(st, f, tok)
+	case frStream:
+		return a.consumeStream(st, f, tok)
+	case frQuery:
+		return a.consumeQuery(st, f, tok)
+	case frInv:
+		return a.consumeInv(st, f, tok)
+	case frPred:
+		return a.consumePred(st, f, tok)
+	case frValue:
+		return a.consumeValue(st, f, tok)
+	case frAgg:
+		return a.consumeAgg(st, f, tok)
+	}
+	return false
+}
+
+func isQueryStart(a *Automaton, tok tokDesc) bool {
+	switch tok.cls {
+	case tcLParen, tcAgg:
+		return true
+	case tcSelector:
+		return tok.payload >= 0 && a.fns[tok.payload].kind == thingtalk.KindQuery
+	}
+	return false
+}
+
+func (a *Automaton) consumeProgram(st *State, f *frame, tok tokDesc) bool {
+	switch f.pos {
+	case pg1:
+		if tok.cls == tcArrow {
+			f.pos = pg2
+			return true
+		}
+	case pg2:
+		switch {
+		case tok.cls == tcNotify:
+			f.pos = pgDone
+			return true
+		case tok.cls == tcSelector && tok.payload >= 0 && a.fns[tok.payload].kind == thingtalk.KindAction:
+			env := f.env
+			f.pos = pgDone
+			st.push(frame{kind: frInv, pos: i0, fn: tok.payload, aux: -1, env2: env})
+			return true
+		case isQueryStart(a, tok):
+			env := f.env
+			f.pos = pg3
+			st.push(frame{kind: frQuery, pos: q0, env2: env})
+			return a.consume(st, tok) // the new frame absorbs the same token
+		}
+	case pg3:
+		if tok.cls == tcArrow {
+			f.pos = pg4
+			return true
+		}
+	case pg4:
+		switch {
+		case tok.cls == tcNotify:
+			f.pos = pgDone
+			return true
+		case tok.cls == tcSelector && tok.payload >= 0 && a.fns[tok.payload].kind == thingtalk.KindAction:
+			env := extendEnv(f.env, f.env2)
+			f.pos = pgDone
+			st.push(frame{kind: frInv, pos: i0, fn: tok.payload, aux: -1, env2: env})
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Automaton) consumeStream(st *State, f *frame, tok tokDesc) bool {
+	switch f.pos {
+	case s0:
+		if f.flags&fEdgeInner != 0 && tok.cls != tcMonitor && tok.cls != tcEdge {
+			return false
+		}
+		switch tok.cls {
+		case tcNow:
+			f.pos = sDone
+			return true
+		case tcTimer:
+			f.pos = sT1
+			return true
+		case tcAtTimer:
+			f.pos = sA1
+			return true
+		case tcMonitor:
+			f.pos = sM1
+			return true
+		case tcEdge:
+			f.pos = sE1
+			return true
+		}
+	case sT1:
+		if tok.cls == tcBase {
+			f.pos = sT2
+			return true
+		}
+	case sT2:
+		if tok.cls == tcEq {
+			f.pos = sT3
+			st.push(mkValue(a.tDate, fConstOK, nil))
+			return true
+		}
+	case sT3:
+		if tok.cls == tcInterval {
+			f.pos = sT4
+			return true
+		}
+	case sT4:
+		if tok.cls == tcEq {
+			f.pos = sDone
+			st.push(mkValue(a.tMs, fConstOK, nil))
+			return true
+		}
+	case sA1:
+		if tok.cls == tcTimeKw {
+			f.pos = sA2
+			return true
+		}
+	case sA2:
+		if tok.cls == tcEq {
+			f.pos = sDone
+			st.push(mkValue(a.tTime, fConstOK, nil))
+			return true
+		}
+	case sM1:
+		if tok.cls == tcLParen {
+			f.pos = sM2
+			st.push(frame{kind: frQuery, pos: q0, flags: fParen | fMonOnly})
+			return true
+		}
+	case sM2:
+		if tok.cls == tcOn {
+			f.pos = sM2n
+			return true
+		}
+	case sM2n:
+		if tok.cls == tcNew {
+			f.pos = sM3
+			return true
+		}
+	case sM3:
+		if tok.cls == tcParamBare {
+			if _, ok := envLookup(f.env, tok.payload); ok {
+				f.aux++
+				return true
+			}
+		}
+	case sE1:
+		if tok.cls == tcLParen {
+			f.pos = sE2
+			st.push(frame{kind: frStream, pos: s0, flags: fEdgeInner})
+			return true
+		}
+	case sE2:
+		if tok.cls == tcRParen {
+			f.pos = sE3
+			return true
+		}
+	case sE3:
+		if tok.cls == tcOn {
+			f.pos = sDone
+			st.push(frame{kind: frPred, pos: pU, env: f.env})
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Automaton) consumeQuery(st *State, f *frame, tok tokDesc) bool {
+	switch f.pos {
+	case q0, qJPrm:
+		right := f.pos == qJPrm
+		env2 := f.env2
+		retPos := uint8(qLoop)
+		childFlags := f.flags & (fMonOnly | fProvOK)
+		if right {
+			env2 = f.envR
+			retPos = qJR
+			childFlags = (f.flags & fMonOnly) | fProvOK
+		}
+		switch tok.cls {
+		case tcLParen:
+			f.pos = retPos
+			st.push(frame{kind: frQuery, pos: q0, flags: childFlags | fParen, env2: env2})
+			return true
+		case tcAgg:
+			f.pos = retPos
+			st.push(frame{kind: frAgg, pos: aOp, flags: childFlags, fn: -1, aux: -1, env2: env2})
+			return true
+		case tcSelector:
+			if tok.payload < 0 {
+				return false
+			}
+			fn := &a.fns[tok.payload]
+			if fn.kind != thingtalk.KindQuery {
+				return false
+			}
+			if f.flags&fMonOnly != 0 && !fn.monitor {
+				return false
+			}
+			f.pos = retPos
+			st.push(frame{kind: frInv, pos: i0, flags: childFlags & fProvOK, fn: tok.payload, aux: -1, env2: env2})
+			return true
+		}
+	case qLoop:
+		switch tok.cls {
+		case tcFilter:
+			st.push(frame{kind: frPred, pos: pU, env: f.env})
+			return true
+		case tcJoin:
+			if f.pending != 0 {
+				return false
+			}
+			f.envR = extendEnv(f.env2, f.env)
+			f.used = 0
+			f.pos = qJPrm
+			return true
+		case tcRParen:
+			if f.flags&fParen != 0 {
+				fx := popFx{kind: fxQuery, env: f.env, sawList: f.sawList, pending: f.pending, lastFn: -1}
+				st.pop()
+				applyFx(st, fx)
+				return true
+			}
+		}
+	case qJR:
+		if tok.cls == tcOn {
+			f.pos = qOn1
+			f.aux = 0
+			return true
+		}
+	case qOn1:
+		if tok.cls == tcParamAnn && st.lastFn >= 0 {
+			e := a.annParams[tok.payload]
+			fn := &a.fns[st.lastFn]
+			for pi := 0; pi < len(fn.params); pi++ {
+				p := &fn.params[pi]
+				if p.nameIdx != e.name || p.typ != e.typ || p.dir == thingtalk.DirOut {
+					continue
+				}
+				if f.used&(1<<uint(pi)) != 0 {
+					continue
+				}
+				f.fn = int32(pi)
+				f.pos = qOn2
+				return true
+			}
+		}
+	case qOn2:
+		if tok.cls == tcEq {
+			f.pos = qOn3
+			return true
+		}
+	case qOn3:
+		if tok.cls == tcParamBare && st.lastFn >= 0 {
+			t, ok := envLookup(f.envR, tok.payload)
+			if !ok {
+				return false
+			}
+			p := &a.fns[st.lastFn].params[f.fn]
+			if !a.typeAssignable(t, p.typ) {
+				return false
+			}
+			f.used |= 1 << uint(f.fn)
+			f.pending &^= 1 << uint(f.fn)
+			f.aux++
+			f.pos = qOn1
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Automaton) consumeInv(st *State, f *frame, tok tokDesc) bool {
+	fn := &a.fns[f.fn]
+	switch f.pos {
+	case i0:
+		if tok.cls != tcParamAnn {
+			return false
+		}
+		e := a.annParams[tok.payload]
+		for pi := 0; pi < len(fn.params); pi++ {
+			p := &fn.params[pi]
+			if p.nameIdx != e.name || p.typ != e.typ || p.dir == thingtalk.DirOut {
+				continue
+			}
+			if f.used&(1<<uint(pi)) != 0 {
+				continue
+			}
+			f.used |= 1 << uint(pi)
+			f.aux = int32(pi)
+			f.pos = i1
+			return true
+		}
+	case i1:
+		if tok.cls == tcEq {
+			f.pos = i0
+			st.push(mkValue(fn.params[f.aux].typ, fConstOK|fVarRefOK, f.env2))
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Automaton) consumePred(st *State, f *frame, tok tokDesc) bool {
+	switch f.pos {
+	case pU:
+		switch tok.cls {
+		case tcTrue, tcFalse:
+			f.pos = pA
+			return true
+		case tcNot:
+			return true
+		case tcLParen:
+			env := f.env
+			f.pos = pA
+			st.push(frame{kind: frPred, pos: pU, flags: fParen, env: env})
+			return true
+		case tcParamAnn:
+			e := a.annParams[tok.payload]
+			t, ok := envLookup(f.env, e.name)
+			if !ok || t != e.typ || !a.hasAtomOp(t) {
+				return false
+			}
+			f.fn = t
+			f.pos = pOp
+			return true
+		}
+	case pOp:
+		if tok.cls == tcOp {
+			vtyp, strOnly, ok := a.opValue(tok.payload, f.fn)
+			if !ok {
+				return false
+			}
+			flags := uint16(fConstOK)
+			if strOnly {
+				flags = fStrOnly
+			}
+			f.pos = pA
+			st.push(mkValue(vtyp, flags, nil))
+			return true
+		}
+	case pA:
+		switch tok.cls {
+		case tcAnd, tcOr:
+			f.pos = pU
+			return true
+		case tcRParen:
+			if f.flags&fParen != 0 {
+				st.pop()
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (a *Automaton) consumeValue(st *State, f *frame, tok tokDesc) bool {
+	switch f.pos {
+	case v0:
+		if f.flags&fStrOnly != 0 {
+			if tok.cls == tcQuote {
+				f.pos = vStr
+				return true
+			}
+			return false
+		}
+		if f.flags&fVarRefOK != 0 && tok.cls == tcParamBare {
+			if t, ok := envLookup(f.env, tok.payload); ok && a.typeAssignable(t, f.fn) {
+				f.pos = vDone
+				return true
+			}
+		}
+		if f.flags&fConstOK == 0 {
+			return false
+		}
+		ti := &a.types[f.fn]
+		switch t := ti.t.(type) {
+		case thingtalk.StringType, thingtalk.PathNameType, thingtalk.URLType, thingtalk.EntityType:
+			if tok.cls == tcQuote {
+				f.pos = vStr
+				return true
+			}
+		case thingtalk.BoolType:
+			if tok.cls == tcTrue || tok.cls == tcFalse {
+				f.pos = vDone
+				return true
+			}
+		case thingtalk.NumberType:
+			if tok.cls == tcNumber || (tok.cls == tcPlaceholder && tok.payload == phNumber) {
+				f.pos = vDone
+				return true
+			}
+		case thingtalk.DateType:
+			if (tok.cls == tcDateVal && tok.payload == 1) || (tok.cls == tcPlaceholder && tok.payload == phDate) {
+				f.pos = vDone
+				return true
+			}
+		case thingtalk.TimeType:
+			if (tok.cls == tcTimeVal && tok.payload == 1) || (tok.cls == tcPlaceholder && tok.payload == phTime) {
+				f.pos = vDone
+				return true
+			}
+		case thingtalk.LocationType:
+			if (tok.cls == tcLocVal && tok.payload == 1) || (tok.cls == tcPlaceholder && tok.payload == phLocation) {
+				f.pos = vDone
+				return true
+			}
+		case thingtalk.EnumType:
+			if tok.cls == tcEnum && t.HasEnumValue(a.strs[tok.payload]) {
+				f.pos = vDone
+				return true
+			}
+		case thingtalk.CurrencyType:
+			if tok.cls == tcPlaceholder && tok.payload == phCurrency {
+				f.pos = vPH
+				f.aux = ti.baseIdx
+				return true
+			}
+			if isMagnitude(tok) && len(a.unitsBy[ti.base]) > 0 {
+				f.pos = vUnit
+				f.aux = ti.baseIdx
+				return true
+			}
+		case thingtalk.MeasureType:
+			if t.Unit == "ms" && tok.cls == tcPlaceholder && tok.payload == phDuration {
+				f.pos = vPH
+				f.aux = ti.baseIdx
+				return true
+			}
+			if isMagnitude(tok) && len(a.unitsBy[ti.base]) > 0 {
+				f.pos = vUnit
+				f.aux = ti.baseIdx
+				return true
+			}
+		}
+	case vStr:
+		if tok.cls == tcQuote {
+			f.pos = vDone
+		}
+		return true
+	case vUnit:
+		if tok.cls == tcUnit && tok.payload == f.aux {
+			f.pos = vMeas
+			return true
+		}
+	case vPH:
+		if tok.cls == tcUnit && tok.payload == f.aux {
+			f.pos = vMeas
+			return true
+		}
+	case vMeas:
+		if tok.cls == tcPlus {
+			f.pos = vPlus
+			return true
+		}
+	case vPlus:
+		if isMagnitude(tok) {
+			f.pos = vUnit
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Automaton) consumeAgg(st *State, f *frame, tok tokDesc) bool {
+	switch f.pos {
+	case aOp:
+		if tok.cls == tcAggOp {
+			f.aux = tok.payload
+			if tok.payload == aggOpCount {
+				f.pos = aOf
+			} else {
+				f.pos = aParam
+			}
+			return true
+		}
+	case aParam:
+		if tok.cls == tcParamBare {
+			f.fn = tok.payload
+			f.pos = aOf
+			return true
+		}
+	case aOf:
+		if tok.cls == tcOf {
+			f.pos = aLP
+			return true
+		}
+	case aLP:
+		if tok.cls == tcLParen {
+			f.pos = aRP
+			st.push(frame{kind: frQuery, pos: q0, flags: (f.flags & (fMonOnly | fProvOK)) | fAggInner, env2: f.env2})
+			return true
+		}
+	case aRP:
+		if tok.cls == tcRParen && a.aggObligationMet(f) {
+			env := a.countEnv
+			if f.aux != aggOpCount {
+				t, _ := envLookup(f.env, f.fn)
+				env = []EnvEntry{{name: f.fn, typ: t}}
+			}
+			fx := popFx{kind: fxQuery, env: env, sawList: f.sawList, pending: f.pending, lastFn: -1}
+			st.pop()
+			applyFx(st, fx)
+			return true
+		}
+	}
+	return false
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/grammar"
 	"repro/internal/nn"
 )
 
@@ -24,6 +25,7 @@ type decodeCtx struct {
 	srcIds []int
 	scored []scoredToken
 	ms     mixScorer
+	ls     grammar.LegalSet
 }
 
 var decodeCtxs = sync.Pool{New: func() any { return new(decodeCtx) }}
@@ -88,9 +90,24 @@ func (p *Parser) parseGreedyScored(words []string) ([]string, float64) {
 	logProb := 0.0
 	done := false
 	maxLen := p.cfg.maxDecodeLen()
+	gs := p.grammarStart()
 	for t := 0; t < maxLen; t++ {
 		pv, alpha, gate, next := p.step(g, st, prev, H)
-		tok, prob := p.bestTokenScored(&dc.ms, pv.W, alpha.W, gate.W[0], words)
+		var tok string
+		var prob float64
+		picked := false
+		if gs != nil {
+			if mt, mp, ok := p.maskedBest(&dc.ms, &dc.ls, gs, maskedBudget(maxLen, t), pv.W, alpha.W, gate.W[0], words); ok {
+				tok, prob, picked = mt, mp, true
+			} else {
+				// Empty mask (cannot happen for a well-formed automaton,
+				// kept as a defensive fallback): decode the rest unmasked.
+				gs = nil
+			}
+		}
+		if !picked {
+			tok, prob = p.bestTokenScored(&dc.ms, pv.W, alpha.W, gate.W[0], words)
+		}
 		logProb += math.Log(prob + 1e-12)
 		if tok == EosToken {
 			done = true
@@ -99,6 +116,7 @@ func (p *Parser) parseGreedyScored(words []string) ([]string, float64) {
 		out = append(out, tok)
 		st = next
 		prev = p.tgt.ID(tok)
+		gs = p.grammarStep(gs, tok)
 	}
 	return out, lengthNormScore(logProb, len(out), done)
 }
@@ -221,13 +239,16 @@ func (p *Parser) bestTokenScored(ms *mixScorer, pv, alpha []float64, gate float6
 	return bestTok, bestP
 }
 
-// beamItem is one hypothesis during beam decoding.
+// beamItem is one hypothesis during beam decoding. gs is the hypothesis's
+// grammar state (nil when decoding unmasked); grammar states are immutable
+// under Step, so forked hypotheses share their parent's state safely.
 type beamItem struct {
 	tokens  []string
 	logProb float64
 	st      decodeState
 	prev    int
 	done    bool
+	gs      *grammar.State
 }
 
 // lengthNormScore is the length-normalized log-probability used for both
@@ -297,7 +318,7 @@ func (p *Parser) beamDecode(words []string, width int) beamItem {
 	g := dc.g
 	dc.srcIds = p.src.EncodeInto(dc.srcIds[:0], words)
 	H, final := p.encode(g, &dc.enc, dc.srcIds)
-	beam := []beamItem{{st: p.initDecode(g, final), prev: BosID}}
+	beam := []beamItem{{st: p.initDecode(g, final), prev: BosID, gs: p.grammarStart()}}
 	maxLen := p.cfg.maxDecodeLen()
 	for t := 0; t < maxLen; t++ {
 		var candidates []beamItem
@@ -309,7 +330,15 @@ func (p *Parser) beamDecode(words []string, width int) beamItem {
 			}
 			allDone = false
 			pv, alpha, gate, next := p.step(g, item.st, item.prev, H)
-			for _, cand := range p.topTokens(&dc.ms, &dc.scored, pv.W, alpha.W, gate.W[0], words, width) {
+			var cands []scoredToken
+			masked := false
+			if item.gs != nil {
+				cands, masked = p.maskedTop(&dc.ms, &dc.ls, item.gs, maskedBudget(maxLen, t), &dc.scored, pv.W, alpha.W, gate.W[0], words, width)
+			}
+			if !masked {
+				cands = p.topTokens(&dc.ms, &dc.scored, pv.W, alpha.W, gate.W[0], words, width)
+			}
+			for _, cand := range cands {
 				ni := beamItem{
 					tokens:  append(append([]string(nil), item.tokens...), cand.tok),
 					logProb: item.logProb + math.Log(cand.p+1e-12),
@@ -319,6 +348,8 @@ func (p *Parser) beamDecode(words []string, width int) beamItem {
 				if cand.tok == EosToken {
 					ni.done = true
 					ni.tokens = ni.tokens[:len(ni.tokens)-1]
+				} else if masked {
+					ni.gs = p.grammarStep(item.gs, cand.tok)
 				}
 				candidates = append(candidates, ni)
 			}

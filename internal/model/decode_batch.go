@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/grammar"
 	"repro/internal/nn"
 )
 
@@ -29,6 +30,7 @@ type batchDecodeCtx struct {
 	blocks []int // per-row memory block (request) indices
 	srcIdx []int // per-row parent rows in the previous step's tensors
 	reqOf  []int // greedy path: per-row request indices
+	ls     grammar.LegalSet
 }
 
 var batchDecodeCtxs = sync.Pool{New: func() any { return new(batchDecodeCtx) }}
@@ -79,17 +81,30 @@ func (p *Parser) decodeStepBatch(g *nn.Graph, H *nn.Tensor, lens, prev, blocks [
 // Outputs are token-identical to per-sentence Parse; like Parse, ParseBatch
 // is safe for concurrent use.
 func (p *Parser) ParseBatch(sentences [][]string) [][]string {
+	outs, _ := p.ParseBatchScored(sentences)
+	return outs
+}
+
+// ParseBatchScored is ParseBatch plus each request's length-normalized
+// hypothesis score (exactly what ParseScored at width 1 returns). The
+// adaptive serving path decodes a whole window greedily through it and
+// re-decodes only the low-confidence subset with the beam.
+func (p *Parser) ParseBatchScored(sentences [][]string) ([][]string, []float64) {
 	B := len(sentences)
 	outs := make([][]string, B)
+	scores := make([]float64, B)
+	for b := range scores {
+		scores[b] = math.Inf(-1)
+	}
 	if B == 0 {
-		return outs
+		return outs, scores
 	}
 	dc := acquireBatchDecodeCtx()
 	defer dc.release()
 	g := dc.g
 	S := dc.bufs.prepareSrc(p.src, sentences)
 	if S == 0 {
-		return outs
+		return outs, scores
 	}
 	H, final := p.encodeBatch(g, &dc.bufs, B, S)
 	hid := p.cfg.HiddenDim
@@ -101,6 +116,12 @@ func (p *Parser) ParseBatch(sentences [][]string) [][]string {
 	prev := grow(&dc.prev, B)
 	blocks := grow(&dc.blocks, B)
 	keep := grow(&dc.srcIdx, B)
+	logProb := make([]float64, B)
+	done := make([]bool, B)
+	var gss []*grammar.State // per-row grammar states, compacted with reqOf
+	if p.auto != nil {
+		gss = make([]*grammar.State, B)
+	}
 	R := 0
 	for b := 0; b < B; b++ {
 		if len(sentences[b]) == 0 {
@@ -110,11 +131,14 @@ func (p *Parser) ParseBatch(sentences [][]string) [][]string {
 		prev[R] = BosID
 		blocks[R] = b
 		keep[R] = b
+		if gss != nil {
+			gss[R] = p.auto.Start()
+		}
 		R++
 		outs[b] = make([]string, 0, 16)
 	}
 	if R == 0 {
-		return outs
+		return outs, scores
 	}
 	if R < B {
 		h = gatherRows(g, h, keep[:R])
@@ -129,15 +153,36 @@ func (p *Parser) ParseBatch(sentences [][]string) [][]string {
 		for r := 0; r < R; r++ {
 			req := reqOf[r]
 			words := sentences[req]
-			tok := p.bestToken(&dc.ms, pv.W[r*V:(r+1)*V], alpha.W[r*S:r*S+len(words)], gate.W[r], words)
+			var tok string
+			var prob float64
+			picked := false
+			if gss != nil && gss[r] != nil {
+				if mt, mp, ok := p.maskedBest(&dc.ms, &dc.ls, gss[r], maskedBudget(maxLen, t), pv.W[r*V:(r+1)*V], alpha.W[r*S:r*S+len(words)], gate.W[r], words); ok {
+					tok, prob, picked = mt, mp, true
+				} else {
+					gss[r] = nil // defensive: decode this row's rest unmasked
+				}
+			}
+			if !picked {
+				tok, prob = p.bestTokenScored(&dc.ms, pv.W[r*V:(r+1)*V], alpha.W[r*S:r*S+len(words)], gate.W[r], words)
+			}
+			logProb[req] += math.Log(prob + 1e-12)
 			if tok == EosToken {
+				done[req] = true
 				continue
 			}
 			outs[req] = append(outs[req], tok)
+			var ngs *grammar.State
+			if gss != nil {
+				ngs = p.grammarStep(gss[r], tok)
+			}
 			reqOf[w] = req
 			prev[w] = p.tgt.ID(tok)
 			blocks[w] = req
 			keep[w] = r
+			if gss != nil {
+				gss[w] = ngs
+			}
 			w++
 		}
 		R = w
@@ -152,7 +197,13 @@ func (p *Parser) ParseBatch(sentences [][]string) [][]string {
 			h, c, ctx = hN, cN, ctxN
 		}
 	}
-	return outs
+	for b := 0; b < B; b++ {
+		if len(sentences[b]) == 0 {
+			continue
+		}
+		scores[b] = lengthNormScore(logProb[b], len(outs[b]), done[b])
+	}
+	return outs, scores
 }
 
 // batchHyp is one hypothesis of the batched beam: beamItem with the decoder
@@ -162,7 +213,8 @@ type batchHyp struct {
 	logProb float64
 	prev    int
 	done    bool
-	row     int // row in the latest step's output tensors (-1 once done)
+	row     int            // row in the latest step's output tensors (-1 once done)
+	gs      *grammar.State // grammar state (nil when unmasked); shared on fork
 }
 
 func (bh *batchHyp) score() float64 { return lengthNormScore(bh.logProb, len(bh.tokens), bh.done) }
@@ -207,7 +259,7 @@ func (p *Parser) ParseBeamBatch(sentences [][]string, width int) [][]string {
 	beams := make([][]batchHyp, B)
 	finished := make([]bool, B)
 	for b := range beams {
-		beams[b] = []batchHyp{{prev: BosID, row: b}}
+		beams[b] = []batchHyp{{prev: BosID, row: b, gs: p.grammarStart()}}
 		if len(sentences[b]) == 0 {
 			finished[b] = true // ParseBeam returns nil for empty input
 		}
@@ -260,7 +312,15 @@ func (p *Parser) ParseBeamBatch(sentences [][]string, width int) [][]string {
 				}
 				allDone = false
 				r := item.row
-				for _, cand := range p.topTokens(&dc.ms, &dc.scored, pv.W[r*V:(r+1)*V], alpha.W[r*S:r*S+len(words)], gate.W[r], words, width) {
+				var cands []scoredToken
+				masked := false
+				if item.gs != nil {
+					cands, masked = p.maskedTop(&dc.ms, &dc.ls, item.gs, maskedBudget(maxLen, t), &dc.scored, pv.W[r*V:(r+1)*V], alpha.W[r*S:r*S+len(words)], gate.W[r], words, width)
+				}
+				if !masked {
+					cands = p.topTokens(&dc.ms, &dc.scored, pv.W[r*V:(r+1)*V], alpha.W[r*S:r*S+len(words)], gate.W[r], words, width)
+				}
+				for _, cand := range cands {
 					ni := batchHyp{
 						tokens:  append(append([]string(nil), item.tokens...), cand.tok),
 						logProb: item.logProb + math.Log(cand.p+1e-12),
@@ -271,6 +331,8 @@ func (p *Parser) ParseBeamBatch(sentences [][]string, width int) [][]string {
 						ni.done = true
 						ni.tokens = ni.tokens[:len(ni.tokens)-1]
 						ni.row = -1
+					} else if masked {
+						ni.gs = p.grammarStep(item.gs, cand.tok)
 					}
 					candidates = append(candidates, ni)
 				}

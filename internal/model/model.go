@@ -3,6 +3,7 @@ package model
 import (
 	"math/rand"
 
+	"repro/internal/grammar"
 	"repro/internal/nn"
 )
 
@@ -106,6 +107,15 @@ type Parser struct {
 	bscr batchScratch // batched-loss buffers (batch.go); training goroutine only
 	valG *nn.Graph    // lazily built inference graph reused across valLoss calls
 	meta SnapshotMeta // provenance stamped into snapshots (snapshot.go)
+
+	// Constrained decoding and adaptive serving (grammar.go): the grammar
+	// spec the parser was trained against, its automaton compiled for this
+	// target vocabulary (nil decodes unmasked), and the fitted confidence
+	// threshold. Set before serving begins; decode paths read them without
+	// locking.
+	gspec *grammar.Spec
+	auto  *grammar.Automaton
+	calib Calibration
 }
 
 // scratch holds per-step buffers reused across training steps so that a

@@ -8,6 +8,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+
+	"repro/internal/grammar"
 )
 
 // Snapshot format: a versioned little-endian binary stream holding the full
@@ -18,15 +20,17 @@ import (
 // skill-library cache on top of these snapshots.
 //
 //	magic   "GENIEPSR" (8 bytes)
-//	version uint64 (currently 2; version-1 streams still load)
+//	version uint64 (currently 3; version 1 and 2 streams still load)
 //	config  fixed field order (ints as int64, floats as bits, bools as u8);
 //	        version 2 appends BucketByLength
 //	meta    (version 2) library checksum, generation, note
+//	grammar (version 3) calibration fitted flag + threshold, grammar spec
+//	        JSON (empty when the parser decodes unmasked), spec checksum
 //	vocabs  source then target: count, then length-prefixed tokens
 //	params  count, then per tensor: rows, cols, rows*cols float64 bits
 const (
 	snapshotMagic   = "GENIEPSR"
-	snapshotVersion = 2
+	snapshotVersion = 3
 )
 
 // SnapshotMeta is the provenance block of a snapshot: which skill library
@@ -47,15 +51,39 @@ func (p *Parser) Meta() SnapshotMeta { return p.meta }
 // SetMeta stamps the provenance metadata carried by subsequent Save calls.
 func (p *Parser) SetMeta(m SnapshotMeta) { p.meta = m }
 
-// Save writes the parser snapshot to w.
-func (p *Parser) Save(w io.Writer) error {
+// Save writes the parser snapshot to w in the current format.
+func (p *Parser) Save(w io.Writer) error { return p.saveVersioned(w, snapshotVersion) }
+
+// saveVersioned writes the snapshot in an older (or the current) format —
+// exactly the byte stream that version's Save produced. The back-compat
+// fixtures regenerate through it; real saves always use the current version.
+func (p *Parser) saveVersioned(w io.Writer, version uint64) error {
+	if version < 1 || version > snapshotVersion {
+		return fmt.Errorf("model: cannot write snapshot version %d", version)
+	}
 	bw := &binWriter{w: bufio.NewWriter(w)}
 	bw.bytes([]byte(snapshotMagic))
-	bw.u64(snapshotVersion)
-	writeConfig(bw, p.cfg)
-	bw.str(p.meta.LibraryChecksum)
-	bw.u64(p.meta.Generation)
-	bw.str(p.meta.Note)
+	bw.u64(version)
+	writeConfig(bw, p.cfg, version)
+	if version >= 2 {
+		bw.str(p.meta.LibraryChecksum)
+		bw.u64(p.meta.Generation)
+		bw.str(p.meta.Note)
+	}
+	if version >= 3 {
+		bw.bool(p.calib.Fitted)
+		bw.f64(p.calib.Threshold)
+		specJSON, checksum := "", ""
+		if p.gspec != nil {
+			data, err := p.gspec.Marshal()
+			if err != nil {
+				return fmt.Errorf("model: marshaling grammar spec: %w", err)
+			}
+			specJSON, checksum = string(data), p.gspec.Checksum()
+		}
+		bw.str(specJSON)
+		bw.str(checksum)
+	}
 	writeVocab(bw, p.src)
 	writeVocab(bw, p.tgt)
 	params := p.Params()
@@ -97,6 +125,14 @@ func Load(r io.Reader) (*Parser, error) {
 		meta.Generation = br.u64()
 		meta.Note = br.str()
 	}
+	var calib Calibration
+	var specJSON, specChecksum string
+	if version >= 3 {
+		calib.Fitted = br.bool()
+		calib.Threshold = br.f64()
+		specJSON = br.str()
+		specChecksum = br.str()
+	}
 	src := readVocab(br)
 	tgt := readVocab(br)
 	if br.err != nil {
@@ -114,6 +150,22 @@ func Load(r io.Reader) (*Parser, error) {
 	}
 	p := newParser(cfg, src, tgt)
 	p.meta = meta
+	p.calib = calib
+	if specJSON != "" {
+		spec, err := grammar.UnmarshalSpec([]byte(specJSON))
+		if err != nil {
+			return nil, fmt.Errorf("model: reading snapshot grammar spec: %w", err)
+		}
+		// The checksum pins the automaton the parser was calibrated with; a
+		// mismatch means the stream was corrupted or tampered with.
+		if got := spec.Checksum(); got != specChecksum {
+			return nil, fmt.Errorf("model: snapshot grammar checksum mismatch (stored %s, computed %s)", specChecksum, got)
+		}
+		// A compile failure is non-fatal: the spec is kept for provenance and
+		// the parser decodes unmasked (the automaton is a constraint, not a
+		// requirement, and older vocabularies may not cover the library).
+		_ = p.SetGrammar(spec)
+	}
 	params := p.Params()
 	if n := br.u64(); int(n) != len(params) {
 		return nil, fmt.Errorf("model: snapshot holds %d tensors, parser has %d", n, len(params))
@@ -166,7 +218,7 @@ func LoadFile(path string) (*Parser, error) {
 	return Load(f)
 }
 
-func writeConfig(bw *binWriter, c Config) {
+func writeConfig(bw *binWriter, c Config, version uint64) {
 	bw.i64(int64(c.EmbedDim))
 	bw.i64(int64(c.HiddenDim))
 	bw.f64(c.LR)
@@ -181,7 +233,9 @@ func writeConfig(bw *binWriter, c Config) {
 	bw.i64(int64(c.MaxDecodeLen))
 	bw.i64(int64(c.MinVocabCount))
 	bw.i64(c.Seed)
-	bw.bool(c.BucketByLength)
+	if version >= 2 {
+		bw.bool(c.BucketByLength)
+	}
 }
 
 func readConfig(br *binReader, version uint64) Config {

@@ -85,19 +85,12 @@ func TestSnapshotMetaRoundTrip(t *testing.T) {
 		t.Errorf("meta round trip = %+v, want %+v", q.Meta(), meta)
 	}
 
-	// Hand-build a version-1 stream: v1 header + v1 config (no
-	// BucketByLength) + the vocab/params tail shared with v2.
-	v2 := buf.Bytes()
+	// A version-1 stream (no meta, no BucketByLength, no grammar block)
+	// still loads, with zero meta.
 	var v1 bytes.Buffer
-	v1.WriteString(snapshotMagic)
-	v1.Write([]byte{1, 0, 0, 0, 0, 0, 0, 0})
-	const cfgV1Len = 12*8 + 2 // 12 i64/f64 fields + 2 bools
-	cfgStart := len(snapshotMagic) + 8
-	v1.Write(v2[cfgStart : cfgStart+cfgV1Len])
-	// Skip v2's trailing BucketByLength byte and the meta block
-	// (str "abc123" + u64 + str "fleet:alpha"), then copy the rest.
-	tail := cfgStart + cfgV1Len + 1 + (8 + 6) + 8 + (8 + 11)
-	v1.Write(v2[tail:])
+	if err := p.saveVersioned(&v1, 1); err != nil {
+		t.Fatalf("saveVersioned(1): %v", err)
+	}
 	q1, err := Load(bytes.NewReader(v1.Bytes()))
 	if err != nil {
 		t.Fatalf("loading version-1 stream: %v", err)

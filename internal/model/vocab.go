@@ -97,6 +97,11 @@ func (v *Vocab) lookup(tok string) (int, bool) {
 	return id, ok
 }
 
+// Tokens returns the full token list in id order (reserved entries first).
+// The grammar compiler consumes it to build the per-vocabulary automaton;
+// callers must not mutate the returned slice.
+func (v *Vocab) Tokens() []string { return v.tokens }
+
 // Token returns the token of an id.
 func (v *Vocab) Token(id int) string {
 	if id < 0 || id >= len(v.tokens) {

@@ -51,6 +51,26 @@ type ScoredParser interface {
 	ParseScored(words []string, width int) ([]string, float64)
 }
 
+// AdaptiveParser decodes greedily and escalates to the beam only below its
+// fitted confidence threshold; *model.Parser implements it.
+type AdaptiveParser interface {
+	ParseAdaptive(words []string, width int) (toks []string, score float64, escalated bool)
+}
+
+// ScoredBatchParser is the batched greedy decode with per-request scores;
+// *model.Parser implements it. The adaptive batched path decodes the whole
+// window greedily through it and re-decodes only the low-confidence subset
+// with the beam.
+type ScoredBatchParser interface {
+	ParseBatchScored(sentences [][]string) ([][]string, []float64)
+}
+
+// CalibratedParser exposes the fitted confidence threshold; *model.Parser
+// implements it.
+type CalibratedParser interface {
+	ConfidenceThreshold() (threshold float64, fitted bool)
+}
+
 // Options tune the serving layer.
 type Options struct {
 	// MaxBatch is the most requests gathered into one decode batch
@@ -69,6 +89,12 @@ type Options struct {
 	// maps that to 429 + Retry-After. 0 picks the default 8×MaxBatch
 	// (min 64); negative means unbounded.
 	MaxQueue int
+	// Adaptive (with Beam > 1) decodes greedy-first and escalates a request
+	// to the beam only when its greedy confidence falls below the parser's
+	// fitted threshold (CalibratedParser). High-confidence traffic then
+	// pays greedy latency; Stats.Escalated counts the beam re-decodes. With
+	// no fitted calibration every request stays greedy.
+	Adaptive bool
 }
 
 func (o Options) withDefaults() Options {
@@ -123,8 +149,11 @@ type request struct {
 type Batcher struct {
 	opt    Options
 	parser Parser
-	bp     BatchParser  // non-nil when parser supports batched decode
-	sp     ScoredParser // non-nil when parser supports scored decode
+	bp     BatchParser       // non-nil when parser supports batched decode
+	sp     ScoredParser      // non-nil when parser supports scored decode
+	ap     AdaptiveParser    // non-nil when parser supports adaptive decode
+	sbp    ScoredBatchParser // non-nil when parser supports scored batched decode
+	cp     CalibratedParser  // non-nil when parser exposes its calibration
 
 	in   chan request
 	jobs chan []request
@@ -135,11 +164,13 @@ type Batcher struct {
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
-	requests atomic.Int64
-	batches  atomic.Int64
-	shed     atomic.Int64
-	depth    atomic.Int64
-	hist     []atomic.Int64 // batch-size histogram, index = size-1
+	requests  atomic.Int64
+	batches   atomic.Int64
+	shed      atomic.Int64
+	depth     atomic.Int64
+	adaptive  atomic.Int64   // requests decoded under the adaptive policy
+	escalated atomic.Int64   // of those, requests re-decoded with the beam
+	hist      []atomic.Int64 // batch-size histogram, index = size-1
 }
 
 // NewBatcher starts the gather loop and the worker pool.
@@ -159,6 +190,9 @@ func NewBatcher(p Parser, opt Options) *Batcher {
 	}
 	b.bp, _ = p.(BatchParser)
 	b.sp, _ = p.(ScoredParser)
+	b.ap, _ = p.(AdaptiveParser)
+	b.sbp, _ = p.(ScoredBatchParser)
+	b.cp, _ = p.(CalibratedParser)
 	b.wg.Add(1)
 	go b.gather()
 	for w := 0; w < opt.Workers; w++ {
@@ -277,9 +311,12 @@ func (b *Batcher) worker() {
 				sentences[i] = r.words
 			}
 			var outs [][]string
-			if b.opt.Beam > 1 {
+			switch {
+			case b.adaptiveOn() && b.sbp != nil:
+				outs = b.decodeAdaptiveBatch(sentences)
+			case b.opt.Beam > 1:
 				outs = b.bp.ParseBeamBatch(sentences, b.opt.Beam)
-			} else {
+			default:
 				outs = b.bp.ParseBatch(sentences)
 			}
 			for i, r := range plain {
@@ -303,10 +340,57 @@ func (b *Batcher) reply(r request, res parseResult) {
 }
 
 func (b *Batcher) decode(words []string) []string {
+	if b.adaptiveOn() && b.ap != nil {
+		toks, _, escalated := b.ap.ParseAdaptive(words, b.opt.Beam)
+		b.adaptive.Add(1)
+		if escalated {
+			b.escalated.Add(1)
+		}
+		return toks
+	}
 	if b.opt.Beam > 1 {
 		return b.parser.ParseBeam(words, b.opt.Beam)
 	}
 	return b.parser.Parse(words)
+}
+
+// adaptiveOn reports whether the greedy-first escalation policy applies
+// (beam width 1 has nothing to escalate to).
+func (b *Batcher) adaptiveOn() bool { return b.opt.Adaptive && b.opt.Beam > 1 }
+
+// decodeAdaptiveBatch is the windowed form of the adaptive policy: the whole
+// window decodes greedily in lockstep, then only the requests whose greedy
+// confidence falls below the fitted threshold re-decode as one beam batch.
+func (b *Batcher) decodeAdaptiveBatch(sentences [][]string) [][]string {
+	outs, scores := b.sbp.ParseBatchScored(sentences)
+	b.adaptive.Add(int64(len(sentences)))
+	var thr float64
+	fitted := false
+	if b.cp != nil {
+		thr, fitted = b.cp.ConfidenceThreshold()
+	}
+	if !fitted {
+		return outs
+	}
+	var low []int
+	for i, s := range scores {
+		if len(sentences[i]) > 0 && s < thr {
+			low = append(low, i)
+		}
+	}
+	if len(low) == 0 {
+		return outs
+	}
+	sub := make([][]string, len(low))
+	for j, i := range low {
+		sub[j] = sentences[i]
+	}
+	reouts := b.bp.ParseBeamBatch(sub, b.opt.Beam)
+	for j, i := range low {
+		outs[i] = reouts[j]
+	}
+	b.escalated.Add(int64(len(low)))
+	return outs
 }
 
 // submit admits one request or reports why it cannot: ErrClosed after
@@ -394,6 +478,11 @@ type Stats struct {
 	Shed int64
 	// QueueDepth is the current number of admitted, unanswered requests.
 	QueueDepth int64
+	// Adaptive counts requests decoded under the greedy-first adaptive
+	// policy; Escalated counts the subset re-decoded with the beam because
+	// their greedy confidence fell below the fitted threshold.
+	Adaptive  int64
+	Escalated int64
 	// BatchSizes is the dispatch histogram: BatchSizes[i] batches carried
 	// i+1 requests.
 	BatchSizes []int64
@@ -410,6 +499,8 @@ func (b *Batcher) Stats() Stats {
 		Batches:    b.batches.Load(),
 		Shed:       b.shed.Load(),
 		QueueDepth: b.depth.Load(),
+		Adaptive:   b.adaptive.Load(),
+		Escalated:  b.escalated.Load(),
 		BatchSizes: hist,
 	}
 }

@@ -65,8 +65,13 @@ type SkillMetrics struct {
 	QueueDepth int64   `json:"queue_depth"`
 	Batches    int64   `json:"batches"`
 	BatchSizes []int64 `json:"batch_sizes,omitempty"`
-	P50MS      float64 `json:"p50_ms"`
-	P99MS      float64 `json:"p99_ms"`
+	// Adaptive decode: how many requests went through the confidence-routed
+	// path and how many of those escalated to the beam.
+	Adaptive       int64   `json:"adaptive"`
+	Escalated      int64   `json:"escalated"`
+	EscalationRate float64 `json:"escalation_rate"`
+	P50MS          float64 `json:"p50_ms"`
+	P99MS          float64 `json:"p99_ms"`
 }
 
 // MetricsResponse is the JSON reply of a fleet's GET /metrics.

@@ -1,0 +1,62 @@
+package thingtalk
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds are well-formed canonical programs covering every construct the
+// encoder can emit: streams (now/timer/attimer/monitor/edge), filters,
+// joins, aggregations, external predicates, boolean connectives, measures,
+// placeholders and parameter passing. They seed the fuzzer alongside the
+// files under testdata/fuzz/FuzzThingTalkParser.
+var fuzzSeeds = []string{
+	`now => notify`,
+	`now => @com.twitter.post param:status = " hello "`,
+	`now => @com.thecatapi.get param:count = NUMBER_0 => notify`,
+	`now => @com.twitter.timeline filter param:author == " alice " => notify`,
+	`monitor ( @com.twitter.timeline filter param:author == " pldi " ) => @com.twitter.retweet param:tweet_id = param:tweet_id`,
+	`monitor ( @com.dropbox.list_folder ) on new param:file_name => @com.twitter.post param:status = " new file "`,
+	`edge ( monitor ( @org.thingpedia.weather.current ) ) on param:temperature < 60 unit:F => notify`,
+	`timer base = date:now interval = 1 unit:h => @com.thecatapi.get => notify`,
+	`attimer time = TIME_0 => @com.twitter.post param:status = " good morning "`,
+	`now => @com.nytimes.get_front_page join @com.yandex.translate on param:text = param:title => notify`,
+	`now => agg sum param:file_size of ( @com.dropbox.list_folder ) => notify`,
+	`now => agg count of ( @com.dropbox.list_folder ) => notify`,
+	`now => @com.dropbox.list_folder filter param:file_size > 10 unit:MB and ( param:is_folder == false or param:modified_time > date:start_of_week ) => notify`,
+	`now => @com.twitter.timeline filter @org.thingpedia.weather.current { param:temperature > 30 unit:C } => notify`,
+	`now => @com.dropbox.list_folder filter param:file_size > 6 unit:GB + 300 unit:MB => notify`,
+	`now => @com.twitter.timeline filter param:hashtags contains " pldi " => notify`,
+	`now => @com.dropbox.list_folder filter not param:file_name starts_with " report " => notify`,
+}
+
+// FuzzThingTalkParser feeds arbitrary program text through tokenize → parse →
+// encode → reparse → re-encode. Malformed inputs must be rejected with an
+// error — never a panic — and for any input the parser accepts, the encoded
+// form must be a fixed point: it reparses cleanly, the two parses encode
+// identically, and the reparsed AST is equivalent (same canonical string).
+func FuzzThingTalkParser(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, err := Tokenize(src)
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		prog, err := ParseTokens(toks, ParseOptions{})
+		if err != nil {
+			return
+		}
+		enc := prog.Tokens()
+		reprog, err := ParseTokens(enc, ParseOptions{})
+		if err != nil {
+			t.Fatalf("encoded form of accepted input does not reparse\ninput:   %q\nencoded: %q\nerror:   %v",
+				src, strings.Join(enc, " "), err)
+		}
+		if got := strings.Join(reprog.Tokens(), " "); got != strings.Join(enc, " ") {
+			t.Fatalf("parse/encode round trip is not stable\ninput:  %q\nfirst:  %q\nsecond: %q",
+				src, strings.Join(enc, " "), got)
+		}
+	})
+}
