@@ -1,0 +1,40 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/faultinject"
+)
+
+// cmdChaos runs the fault-injection proxy in front of one backend: traffic
+// on -addr is forwarded to -target through the active fault, and a control
+// server on -ctl flips faults (POST /fault) and reports per-outcome counts
+// (GET /stats). The CI chaos smoke uses it to kill and restore a fleet
+// backend under gateway load without touching the real process.
+func cmdChaos(args []string) {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	target := fs.String("target", "", "backend base URL to proxy")
+	addr := fs.String("addr", ":8091", "proxy listen address")
+	ctl := fs.String("ctl", ":8092", "control listen address (POST /fault, GET /stats)")
+	fs.Parse(args)
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "genie: chaos needs -target")
+		os.Exit(2)
+	}
+	p, err := faultinject.New(*target)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genie: %v\n", err)
+		os.Exit(1)
+	}
+	errc := make(chan error, 2)
+	go func() { errc <- http.ListenAndServe(*ctl, p.ControlHandler()) }()
+	fmt.Fprintf(os.Stderr, "genie: chaos proxy %s -> %s (control %s)\n", *addr, *target, *ctl)
+	go func() { errc <- http.ListenAndServe(*addr, p) }()
+	if err := <-errc; err != nil {
+		fmt.Fprintf(os.Stderr, "genie: %v\n", err)
+		os.Exit(1)
+	}
+}

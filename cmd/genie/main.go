@@ -14,6 +14,10 @@
 //	    [-batch 8] [-wait 2ms] [-serve-workers N] [-beam 1] [-adaptive]
 //	genie fleet -libdir DIR [-watch 2s] [-maxqueue 64] [-cache DIR] [-addr :8080]
 //	    [-scale unit] [-maxsteps N] [-batch 8] [-beam 1] [-adaptive] [-train-workers 1]
+//	genie gateway (-backends URL,URL,... | -static-config cfg.json) [-addr :8090]
+//	    [-replication 2] [-probe 500ms] [-fail-threshold 3] [-retries 2]
+//	    [-hedge] [-hedge-after 0] [-fallback] [-seed 1]
+//	genie chaos -target URL [-addr :8091] [-ctl :8092]
 //
 // synthesize materializes the synthesized set and prints samples; pipeline
 // streams the concurrent synthesis→augmentation→parameter-replacement
@@ -31,7 +35,13 @@
 // with bounded-queue admission control (429 + Retry-After when full),
 // hot-swapped when the watcher sees a library's checksum change, routed by
 // the request's "skill" field (or by best length-normalized score when
-// absent), and observable on GET /skills and GET /metrics.
+// absent), and observable on GET /skills and GET /metrics. gateway is the
+// fault-tolerant routing tier in front of N fleet processes:
+// consistent-hash routing by skill with R-way replication, least-loaded
+// replica pick, health-checked membership with circuit-breaker readmission,
+// deadline budgets, shed-aware retry and optional hedging. chaos is the
+// fault-injection proxy the CI smoke uses to kill and restore a backend
+// under load.
 package main
 
 import (
@@ -66,13 +76,17 @@ func main() {
 		cmdServe(os.Args[2:])
 	case "fleet":
 		cmdFleet(os.Args[2:])
+	case "gateway":
+		cmdGateway(os.Args[2:])
+	case "chaos":
+		cmdChaos(os.Args[2:])
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: genie synthesize|pipeline|experiment|train|serve|fleet [args]")
+	fmt.Fprintln(os.Stderr, "usage: genie synthesize|pipeline|experiment|train|serve|fleet|gateway|chaos [args]")
 	fmt.Fprintln(os.Stderr, "  genie synthesize -scale unit -n 10")
 	fmt.Fprintln(os.Stderr, "  genie pipeline -scale unit -n 20 -workers 0   (0 = all CPUs)")
 	fmt.Fprintln(os.Stderr, "  genie experiment fig7|fig8|table3|fig9|stats|errors|limitation|ifttt|all -scale unit -seed 1 \\")
@@ -81,6 +95,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "  genie serve -snapshot parser.snap -addr :8080 [-batch 8] [-wait 2ms] [-serve-workers 0] [-beam 4] [-adaptive]")
 	fmt.Fprintln(os.Stderr, "  genie serve -train -cache /var/cache/genie -scale unit   (train once per library checksum)")
 	fmt.Fprintln(os.Stderr, "  genie fleet -libdir examples/fleet/skills -watch 2s -maxqueue 64   (one hot-swappable parser per skill)")
+	fmt.Fprintln(os.Stderr, "  genie gateway -backends http://:8080,http://:8081 -replication 2 -retries 2   (fault-tolerant routing tier)")
+	fmt.Fprintln(os.Stderr, "  genie chaos -target http://:8080 -addr :8091 -ctl :8092   (fault-injection proxy)")
 	os.Exit(2)
 }
 

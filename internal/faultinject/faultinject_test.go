@@ -1,0 +1,170 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newBackend is a healthy upstream answering a fixed JSON body.
+func newBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"tokens":["now","=>","notify"],"program":"now => notify"}`)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func newProxy(t *testing.T, target string) *Server {
+	t.Helper()
+	s, err := NewServer(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestProxyPassesThrough(t *testing.T) {
+	s := newProxy(t, newBackend(t).URL)
+	resp, err := http.Get(s.URL() + "/parse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "notify") {
+		t.Errorf("pass-through reply: status %d body %q", resp.StatusCode, body)
+	}
+	if st := s.Stats(); st.Passed != 1 {
+		t.Errorf("Stats.Passed = %d, want 1", st.Passed)
+	}
+}
+
+func TestProxyDropAbortsConnection(t *testing.T) {
+	s := newProxy(t, newBackend(t).URL)
+	s.SetFault(Fault{Mode: Drop})
+	if _, err := http.Get(s.URL() + "/parse"); err == nil {
+		t.Error("dropped request should surface a transport error")
+	}
+	if st := s.Stats(); st.Dropped != 1 {
+		t.Errorf("Stats.Dropped = %d, want 1", st.Dropped)
+	}
+}
+
+func TestProxyStatusInjects5xx(t *testing.T) {
+	s := newProxy(t, newBackend(t).URL)
+	s.SetFault(Fault{Mode: Status, Status: 500})
+	resp, err := http.Get(s.URL() + "/parse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Errorf("status = %d, want 500", resp.StatusCode)
+	}
+}
+
+func TestProxyDelayAddsLatency(t *testing.T) {
+	s := newProxy(t, newBackend(t).URL)
+	s.SetFault(Fault{Mode: Delay, Delay: 60 * time.Millisecond})
+	start := time.Now()
+	resp, err := http.Get(s.URL() + "/parse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Errorf("delayed request answered in %v, want >= 60ms", elapsed)
+	}
+	if resp.StatusCode != 200 {
+		t.Errorf("delayed status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestProxyTruncateTearsReply(t *testing.T) {
+	s := newProxy(t, newBackend(t).URL)
+	s.SetFault(Fault{Mode: Truncate, TruncateBytes: 5})
+	resp, err := http.Get(s.URL() + "/parse")
+	if err != nil {
+		return // aborting before headers is also a valid torn reply
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr == nil && len(body) > 5 {
+		t.Errorf("truncated body carried %d bytes with no read error: %q", len(body), body)
+	}
+}
+
+func TestProxyHangBlocksUntilReleased(t *testing.T) {
+	s := newProxy(t, newBackend(t).URL)
+	s.SetFault(Fault{Mode: Hang})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, s.URL()+"/parse", nil)
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Error("hung request should time out on the client deadline")
+	}
+	// Flipping the fault releases any still-hung request.
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(s.URL() + "/parse")
+		if err == nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	s.SetFault(Fault{Mode: Pass})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("hung request was not released by SetFault")
+	}
+}
+
+func TestControlHandlerFlipsFaults(t *testing.T) {
+	s := newProxy(t, newBackend(t).URL)
+	ctl := httptest.NewServer(s.ControlHandler())
+	defer ctl.Close()
+
+	resp, err := http.Post(ctl.URL+"/fault", "application/json",
+		bytes.NewReader([]byte(`{"mode":"status","status":503}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if f := s.CurrentFault(); f.Mode != Status || f.Status != 503 {
+		t.Errorf("fault after control POST = %+v", f)
+	}
+
+	// The proxy applies it, and /stats reflects the outcome.
+	presp, err := http.Get(s.URL() + "/parse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != 503 {
+		t.Errorf("status = %d, want 503", presp.StatusCode)
+	}
+	sresp, err := http.Get(ctl.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.Statused != 1 {
+		t.Errorf("Stats.Statused = %d, want 1", st.Statused)
+	}
+}

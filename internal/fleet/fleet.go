@@ -100,13 +100,15 @@ type skill struct {
 	shard atomic.Pointer[shard]
 
 	requests atomic.Int64
-	lat      latencyRing
+	errs     atomic.Int64 // answered with a non-shed error (see SkillMetrics.Errors)
+	lat      serve.LatencyRing
 }
 
 // Registry manages the fleet: skill discovery, background training,
 // checksum-watch hot reload, and per-skill routing.
 type Registry struct {
 	cfg      Config
+	start    time.Time     // process serving since (uptime_seconds on /metrics)
 	gen      atomic.Uint64 // fleet-wide snapshot generation counter
 	trainSem chan struct{}
 
@@ -138,6 +140,7 @@ func New(cfg Config) (*Registry, error) {
 	}
 	r := &Registry{
 		cfg:      cfg,
+		start:    time.Now(),
 		trainSem: make(chan struct{}, cfg.TrainWorkers),
 		skills:   map[string]*skill{},
 		stop:     make(chan struct{}),
@@ -428,15 +431,22 @@ func (r *Registry) Parse(ctx context.Context, name string, words []string) (toks
 	}
 	sh := sk.shard.Load()
 	if sh == nil {
+		sk.errs.Add(1)
 		return nil, 0, fmt.Errorf("%w: %q", ErrNotReady, name)
 	}
 	sk.requests.Add(1)
 	start := time.Now()
 	toks, err = sh.batcher.ParseCtx(ctx, words)
 	if err != nil {
+		// Sheds have their own counter (the batcher's); everything else —
+		// expired deadline budgets, decode failures, closed shards — is an
+		// error this skill answered with.
+		if !errors.Is(err, serve.ErrOverloaded) {
+			sk.errs.Add(1)
+		}
 		return nil, sh.generation, err
 	}
-	sk.lat.observe(float64(time.Since(start).Microseconds()) / 1000)
+	sk.lat.Observe(float64(time.Since(start).Microseconds()) / 1000)
 	return toks, sh.generation, nil
 }
 
@@ -471,7 +481,9 @@ func (r *Registry) ParseAny(ctx context.Context, words []string) (skillName stri
 			start := time.Now()
 			t, s, e := sh.batcher.ParseScoredCtx(ctx, words)
 			if e == nil {
-				sk.lat.observe(float64(time.Since(start).Microseconds()) / 1000)
+				sk.lat.Observe(float64(time.Since(start).Microseconds()) / 1000)
+			} else if !errors.Is(e, serve.ErrOverloaded) {
+				sk.errs.Add(1)
 			}
 			mu.Lock()
 			answers = append(answers, answer{name: sk.name, toks: t, score: s, gen: sh.generation, err: e})
@@ -547,6 +559,9 @@ func (r *Registry) Skills() []serve.SkillInfo {
 	return out
 }
 
+// Uptime is how long this registry has been serving.
+func (r *Registry) Uptime() time.Duration { return time.Since(r.start) }
+
 // Metrics reports every skill's live serving metrics, sorted by name.
 func (r *Registry) Metrics() []serve.SkillMetrics {
 	var out []serve.SkillMetrics
@@ -554,8 +569,9 @@ func (r *Registry) Metrics() []serve.SkillMetrics {
 		m := serve.SkillMetrics{
 			Name:     sk.name,
 			Requests: sk.requests.Load(),
+			Errors:   sk.errs.Load(),
 		}
-		m.P50MS, m.P99MS = sk.lat.quantiles()
+		m.P50MS, m.P99MS = sk.lat.Quantiles()
 		if sh := sk.shard.Load(); sh != nil {
 			st := sh.batcher.Stats()
 			m.Generation = sh.generation

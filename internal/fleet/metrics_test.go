@@ -1,0 +1,67 @@
+package fleet
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// TestFleetMetricsErrorsAndUptime covers the gateway-facing additions to
+// GET /metrics: the per-skill cumulative error counter (non-shed errors
+// only) and the process uptime.
+func TestFleetMetricsErrorsAndUptime(t *testing.T) {
+	dir := t.TempDir()
+	writeLib(t, dir, "alpha", libV1("test.alpha"))
+	var counts sync.Map
+	r, err := New(testConfig(dir, &counts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(r)
+	defer srv.Close()
+	waitReady(t, r)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := serve.NewClient(ts.URL)
+	ctx := context.Background()
+	words := []string{"tweet", "bravo", "now"}
+
+	// A healthy parse: no errors counted.
+	if _, err := c.ParseSkillCtx(ctx, "alpha", words); err != nil {
+		t.Fatalf("ParseSkillCtx: %v", err)
+	}
+
+	// An exhausted deadline budget is a non-shed error the skill answered
+	// with; it must move the counter.
+	expired, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, _, perr := r.Parse(expired, "alpha", words); perr == nil {
+		t.Fatal("expired-context Parse should error")
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if m.UptimeSeconds <= 0 {
+		t.Errorf("UptimeSeconds = %v, want > 0", m.UptimeSeconds)
+	}
+	var alpha *serve.SkillMetrics
+	for i := range m.Skills {
+		if m.Skills[i].Name == "alpha" {
+			alpha = &m.Skills[i]
+		}
+	}
+	if alpha == nil {
+		t.Fatalf("alpha missing from metrics: %+v", m)
+	}
+	if alpha.Errors != 1 {
+		t.Errorf("alpha.Errors = %d, want 1 (one expired-budget request)", alpha.Errors)
+	}
+	if alpha.Shed != 0 {
+		t.Errorf("alpha.Shed = %d, want 0", alpha.Shed)
+	}
+}

@@ -57,13 +57,15 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty sentence", http.StatusBadRequest)
 		return
 	}
+	ctx, cancel := serve.DeadlineContext(r)
+	defer cancel()
 	start := time.Now()
 	resp := serve.ParseResponse{Skill: req.Skill}
 	var err error
 	if req.Skill != "" {
-		resp.Tokens, resp.Generation, err = s.reg.Parse(r.Context(), req.Skill, words)
+		resp.Tokens, resp.Generation, err = s.reg.Parse(ctx, req.Skill, words)
 	} else {
-		resp.Skill, resp.Tokens, resp.Score, resp.Generation, err = s.reg.ParseAny(r.Context(), words)
+		resp.Skill, resp.Tokens, resp.Score, resp.Generation, err = s.reg.ParseAny(ctx, words)
 	}
 	if err != nil {
 		switch {
@@ -89,7 +91,10 @@ func (s *Server) handleSkills(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	serve.WriteJSON(w, serve.MetricsResponse{Skills: s.reg.Metrics()})
+	serve.WriteJSON(w, serve.MetricsResponse{
+		UptimeSeconds: s.reg.Uptime().Seconds(),
+		Skills:        s.reg.Metrics(),
+	})
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

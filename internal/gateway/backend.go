@@ -1,0 +1,156 @@
+package gateway
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a backend's health state. The machine is a circuit breaker fed
+// by both probes and proxied traffic:
+//
+//	Healthy --FailThreshold consecutive failures--> Ejected
+//	Ejected --1 success (probe)-----------------> HalfOpen
+//	HalfOpen --1 more success-------------------> Healthy (readmitted)
+//	HalfOpen --any failure----------------------> Ejected
+//
+// Ejected backends receive no traffic but keep being probed at the probe
+// interval, so a restored backend is readmitted within two probe intervals
+// (one success to go half-open, one to close the circuit). Half-open
+// backends are routable — they take trial traffic, preferred below healthy
+// replicas — and a single failure trips them straight back to ejected.
+type State int32
+
+const (
+	Healthy State = iota
+	HalfOpen
+	Ejected
+)
+
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case HalfOpen:
+		return "half-open"
+	case Ejected:
+		return "ejected"
+	}
+	return "unknown"
+}
+
+// backend is one fleet process behind the gateway: its address, health
+// state, and the serving signal from the last successful probe (/skills
+// membership, /metrics queue depths and p99 for least-loaded pick and
+// hedge-delay derivation).
+type backend struct {
+	addr string // base URL, trailing slash trimmed
+
+	state     atomic.Int32
+	fails     atomic.Int32 // consecutive failures toward ejection
+	ejections atomic.Int64
+	readmits  atomic.Int64
+	requests  atomic.Int64 // proxied /parse attempts
+	failures  atomic.Int64 // failed proxied attempts (transport or 5xx)
+
+	mu        sync.Mutex
+	skills    map[string]string  // skill -> lifecycle status, last /skills probe
+	depth     map[string]int64   // skill -> queue depth, last /metrics probe
+	p99       map[string]float64 // skill -> p99 ms, last /metrics probe
+	lastProbe time.Time
+}
+
+func newBackend(addr string) *backend {
+	return &backend{addr: addr, skills: map[string]string{}, depth: map[string]int64{}, p99: map[string]float64{}}
+}
+
+func (b *backend) healthState() State { return State(b.state.Load()) }
+
+// routable reports whether the router may pick this backend (healthy, or
+// half-open trial traffic).
+func (b *backend) routable() bool { return b.healthState() != Ejected }
+
+// servesSkill reports whether the backend's last /skills probe listed the
+// skill as serving (ready, or reloading — which serves the old snapshot).
+func (b *backend) servesSkill(name string) bool {
+	b.mu.Lock()
+	status, ok := b.skills[name]
+	b.mu.Unlock()
+	return ok && (status == "ready" || status == "reloading")
+}
+
+// skillNames snapshots the skills the backend listed, with their status.
+func (b *backend) skillNames() map[string]string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]string, len(b.skills))
+	for k, v := range b.skills {
+		out[k] = v
+	}
+	return out
+}
+
+// queueDepth is the probed queue depth for one skill ("" sums all skills);
+// the least-loaded pick orders replicas by it.
+func (b *backend) queueDepth(skill string) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if skill != "" {
+		return b.depth[skill]
+	}
+	var sum int64
+	for _, d := range b.depth {
+		sum += d
+	}
+	return sum
+}
+
+// skillP99 is the probed p99 latency (ms) for a skill, 0 when unknown.
+func (b *backend) skillP99(skill string) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.p99[skill]
+}
+
+// updateProbe installs a successful probe's serving signal.
+func (b *backend) updateProbe(skills map[string]string, depth map[string]int64, p99 map[string]float64) {
+	b.mu.Lock()
+	b.skills, b.depth, b.p99 = skills, depth, p99
+	b.lastProbe = time.Now()
+	b.mu.Unlock()
+}
+
+// recordFailure feeds the circuit breaker: FailThreshold consecutive
+// failures eject a healthy backend; any failure in half-open re-ejects
+// immediately.
+func (b *backend) recordFailure(threshold int32, logf func(string, ...any)) {
+	n := b.fails.Add(1)
+	switch b.healthState() {
+	case Healthy:
+		if n >= threshold {
+			b.state.Store(int32(Ejected))
+			b.ejections.Add(1)
+			logf("gateway: %s: ejected after %d consecutive failures", b.addr, n)
+		}
+	case HalfOpen:
+		b.state.Store(int32(Ejected))
+		b.ejections.Add(1)
+		logf("gateway: %s: half-open trial failed, re-ejected", b.addr)
+	}
+}
+
+// recordSuccess resets the failure streak and walks the readmission path:
+// ejected goes half-open on its first success, half-open closes the circuit
+// on the next.
+func (b *backend) recordSuccess(logf func(string, ...any)) {
+	b.fails.Store(0)
+	switch b.healthState() {
+	case Ejected:
+		b.state.Store(int32(HalfOpen))
+		logf("gateway: %s: probe succeeded, half-open", b.addr)
+	case HalfOpen:
+		b.state.Store(int32(Healthy))
+		b.readmits.Add(1)
+		logf("gateway: %s: readmitted", b.addr)
+	}
+}

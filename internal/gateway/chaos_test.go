@@ -1,0 +1,198 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/serve"
+)
+
+// TestGatewayChaosKillRestoreZeroFailures is the acceptance scenario: three
+// replicas behind fault-injection proxies, retry budget 2, one replica
+// killed mid-load (connection drops) and later restored. The skill keeps two
+// live replicas throughout, so the client must see zero failures, and the
+// killed replica must be readmitted within two probe intervals of
+// restoration.
+func TestGatewayChaosKillRestoreZeroFailures(t *testing.T) {
+	backends := make([]*fakeBackend, 3)
+	proxies := make([]*faultinject.Server, 3)
+	addrs := make([]string, 3)
+	for i := range backends {
+		backends[i] = newFakeBackend(t, fmt.Sprintf("replica-%d", i), "alpha")
+		p, err := faultinject.NewServer(backends[i].ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(p.Close)
+		proxies[i] = p
+		addrs[i] = p.URL()
+	}
+
+	opt := testOptions()
+	opt.Replication = 3
+	opt.RetryBudget = 2
+	opt.FailThreshold = 3
+	g := New(addrs, opt)
+	defer g.Close()
+
+	var failures atomic.Int64
+	var successes atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := httptestRequest(t, g, serve.ParseRequest{Skill: "alpha", Words: []string{"x"}})
+				if req == http.StatusOK {
+					successes.Add(1)
+				} else {
+					failures.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Let traffic flow, then kill the replica currently taking the traffic
+	// (the router's preferred candidate), so the drop actually costs retries.
+	time.Sleep(50 * time.Millisecond)
+	victimAddr := g.candidates("alpha")[0].addr
+	victim := 0
+	for i, a := range addrs {
+		if a == victimAddr {
+			victim = i
+		}
+	}
+	proxies[victim].SetFault(faultinject.Fault{Mode: faultinject.Drop})
+	// Traffic failures plus probes eject it; keep load running meanwhile.
+	for i := 0; i < opt.FailThreshold; i++ {
+		g.ProbeOnce()
+	}
+	if st, _ := g.BackendState(victimAddr); st != Ejected {
+		t.Errorf("killed replica state = %v, want Ejected", st)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	// Restore and assert readmission within two probe intervals.
+	proxies[victim].SetFault(faultinject.Fault{Mode: faultinject.Pass})
+	g.ProbeOnce()
+	g.ProbeOnce()
+	if st, _ := g.BackendState(victimAddr); st != Healthy {
+		t.Errorf("restored replica state after 2 probes = %v, want Healthy", st)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	close(stop)
+	wg.Wait()
+
+	if f := failures.Load(); f != 0 {
+		t.Errorf("client-visible failures = %d, want 0 (retry budget must absorb the kill)", f)
+	}
+	if s := successes.Load(); s == 0 {
+		t.Fatal("no load was driven")
+	}
+	if m := g.MetricsSnapshot(); m.Retries == 0 {
+		t.Errorf("Metrics.Retries = 0, expected the kill to cost retries")
+	}
+}
+
+// httptestRequest drives one POST /parse through the gateway's handler
+// in-process and returns the status code.
+func httptestRequest(t *testing.T, g *Gateway, req serve.ParseRequest) int {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	r, err := http.NewRequest(http.MethodPost, "/parse", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Header.Set("Content-Type", "application/json")
+	w := &statusRecorder{header: http.Header{}}
+	g.Handler().ServeHTTP(w, r)
+	return w.status
+}
+
+// statusRecorder is a minimal ResponseWriter; httptest.NewRecorder would
+// work too but this keeps the hot loop allocation-light.
+type statusRecorder struct {
+	header http.Header
+	status int
+}
+
+func (w *statusRecorder) Header() http.Header { return w.header }
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return len(b), nil
+}
+func (w *statusRecorder) WriteHeader(code int) { w.status = code }
+
+// TestGatewayConcurrentMembershipChange churns membership (add/remove of a
+// third replica) under concurrent load: every request must complete exactly
+// once, successfully, with no drops or double-completions. Runs under -race
+// in CI.
+func TestGatewayConcurrentMembershipChange(t *testing.T) {
+	b1 := newFakeBackend(t, "one", "alpha")
+	b2 := newFakeBackend(t, "two", "alpha")
+	b3 := newFakeBackend(t, "three", "alpha")
+	opt := testOptions()
+	opt.Replication = 3
+	opt.RetryBudget = 2
+	g := New([]string{b1.ts.URL, b2.ts.URL}, opt)
+	defer g.Close()
+
+	const requests = 200
+	var completions atomic.Int64
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+
+	// Membership churn: join and leave the third replica throughout the load.
+	churnDone := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(churnDone)
+		for i := 0; i < 20; i++ {
+			g.AddBackend(b3.ts.URL)
+			g.ProbeOnce()
+			g.RemoveBackend(b3.ts.URL)
+		}
+	}()
+
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status := httptestRequest(t, g, serve.ParseRequest{Skill: "alpha", Words: []string{"x"}})
+			completions.Add(1)
+			if status != http.StatusOK {
+				failures.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if c := completions.Load(); c != requests {
+		t.Errorf("completions = %d, want exactly %d (no dropped or double-counted requests)", c, requests)
+	}
+	if f := failures.Load(); f != 0 {
+		t.Errorf("failures under membership churn = %d, want 0", f)
+	}
+	// All requests the gateway routed are accounted on its counters.
+	if m := g.MetricsSnapshot(); m.Requests != requests {
+		t.Errorf("Metrics.Requests = %d, want %d", m.Requests, requests)
+	}
+}

@@ -1,0 +1,457 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// fakeBackend mimics a fleet process's HTTP surface (/parse, /healthz,
+// /skills, /metrics) with twistable behavior: health, per-skill queue depth
+// and p99 (the probe signal), parse delay and injected parse status.
+type fakeBackend struct {
+	ts     *httptest.Server
+	name   string
+	skills []string
+
+	ok          atomic.Bool  // /healthz answers OK
+	parseStatus atomic.Int32 // non-zero: /parse answers this status
+	parseDelay  atomic.Int64 // ns to sleep before answering /parse
+
+	mu    sync.Mutex
+	depth map[string]int64
+	p99   map[string]float64
+
+	parses       atomic.Int64
+	sawDeadline  atomic.Bool  // a /parse carried the deadline-budget header
+	lastDeadline atomic.Value // string
+}
+
+func newFakeBackend(t *testing.T, name string, skills ...string) *fakeBackend {
+	t.Helper()
+	b := &fakeBackend{name: name, skills: skills, depth: map[string]int64{}, p99: map[string]float64{}}
+	b.ok.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if !b.ok.Load() {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		serve.WriteJSON(w, serve.HealthResponse{OK: true})
+	})
+	mux.HandleFunc("/skills", func(w http.ResponseWriter, r *http.Request) {
+		var out serve.SkillsResponse
+		for _, s := range b.skills {
+			out.Skills = append(out.Skills, serve.SkillInfo{Name: s, Status: "ready"})
+		}
+		serve.WriteJSON(w, out)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		b.mu.Lock()
+		var out serve.MetricsResponse
+		for _, s := range b.skills {
+			out.Skills = append(out.Skills, serve.SkillMetrics{Name: s, QueueDepth: b.depth[s], P99MS: b.p99[s]})
+		}
+		b.mu.Unlock()
+		serve.WriteJSON(w, out)
+	})
+	mux.HandleFunc("/parse", func(w http.ResponseWriter, r *http.Request) {
+		b.parses.Add(1)
+		if h := r.Header.Get(serve.DeadlineHeader); h != "" {
+			b.sawDeadline.Store(true)
+			b.lastDeadline.Store(h)
+		}
+		if d := time.Duration(b.parseDelay.Load()); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if code := int(b.parseStatus.Load()); code != 0 {
+			if code == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", "0.02")
+			}
+			http.Error(w, "injected", code)
+			return
+		}
+		var req serve.ParseRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		serve.WriteJSON(w, serve.ParseResponse{
+			Skill: req.Skill, Tokens: []string{"now", "=>", b.name}, Program: "now => " + b.name,
+		})
+	})
+	b.ts = httptest.NewServer(mux)
+	t.Cleanup(b.ts.Close)
+	return b
+}
+
+func (b *fakeBackend) setDepth(skill string, d int64) {
+	b.mu.Lock()
+	b.depth[skill] = d
+	b.mu.Unlock()
+}
+
+func (b *fakeBackend) setP99(skill string, ms float64) {
+	b.mu.Lock()
+	b.p99[skill] = ms
+	b.mu.Unlock()
+}
+
+// testOptions parks the background probe loop (an hour) so tests drive
+// health deterministically with ProbeOnce.
+func testOptions() Options {
+	return Options{
+		ProbeInterval: time.Hour,
+		ProbeTimeout:  2 * time.Second,
+		BaseBackoff:   time.Millisecond,
+		MaxBackoff:    5 * time.Millisecond,
+	}
+}
+
+func newTestGateway(t *testing.T, opt Options, backends ...*fakeBackend) (*Gateway, *httptest.Server) {
+	t.Helper()
+	addrs := make([]string, len(backends))
+	for i, b := range backends {
+		addrs[i] = b.ts.URL
+	}
+	g := New(addrs, opt)
+	t.Cleanup(g.Close)
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(ts.Close)
+	return g, ts
+}
+
+func postParse(t *testing.T, url string, req serve.ParseRequest, hdr map[string]string) (*http.Response, serve.ParseResponse) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	hreq, err := http.NewRequest(http.MethodPost, url+"/parse", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		hreq.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var pr serve.ParseResponse
+	json.NewDecoder(resp.Body).Decode(&pr)
+	return resp, pr
+}
+
+// TestGatewayRoutesBySkillConsistently: the same skill hashes to the same
+// replica set request after request, and the replica set holds R distinct
+// backends.
+func TestGatewayRoutesBySkillConsistently(t *testing.T) {
+	b1 := newFakeBackend(t, "one", "alpha", "beta")
+	b2 := newFakeBackend(t, "two", "alpha", "beta")
+	b3 := newFakeBackend(t, "three", "alpha", "beta")
+	opt := testOptions()
+	opt.Replication = 2
+	g, ts := newTestGateway(t, opt, b1, b2, b3)
+
+	rg := g.ring.Load()
+	reps := rg.replicas("alpha", 2)
+	if len(reps) != 2 || reps[0] == reps[1] {
+		t.Fatalf("replicas(alpha, 2) = %d distinct backends, want 2", len(reps))
+	}
+	repAddrs := map[string]bool{reps[0].addr: true, reps[1].addr: true}
+
+	first := ""
+	for i := 0; i < 8; i++ {
+		resp, _ := postParse(t, ts.URL, serve.ParseRequest{Skill: "alpha", Words: []string{"x"}}, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+		got := resp.Header.Get("X-Genie-Backend")
+		if !repAddrs[got] {
+			t.Fatalf("request %d answered by %s, outside the replica set %v", i, got, repAddrs)
+		}
+		if first == "" {
+			first = got
+		} else if got != first {
+			t.Fatalf("routing flapped between %s and %s with stable health and load", first, got)
+		}
+	}
+}
+
+// TestGatewayLeastLoadedPick: with equal health, the replica with the lower
+// probed queue depth takes the traffic.
+func TestGatewayLeastLoadedPick(t *testing.T) {
+	b1 := newFakeBackend(t, "one", "alpha")
+	b2 := newFakeBackend(t, "two", "alpha")
+	opt := testOptions()
+	opt.Replication = 2
+	g, ts := newTestGateway(t, opt, b1, b2)
+
+	b1.setDepth("alpha", 50)
+	b2.setDepth("alpha", 0)
+	g.ProbeOnce()
+	resp, _ := postParse(t, ts.URL, serve.ParseRequest{Skill: "alpha", Words: []string{"x"}}, nil)
+	if got := resp.Header.Get("X-Genie-Backend"); got != b2.ts.URL {
+		t.Errorf("loaded pick answered by %s, want the idle backend %s", got, b2.ts.URL)
+	}
+
+	// Flip the load; the pick follows.
+	b1.setDepth("alpha", 0)
+	b2.setDepth("alpha", 50)
+	g.ProbeOnce()
+	resp, _ = postParse(t, ts.URL, serve.ParseRequest{Skill: "alpha", Words: []string{"x"}}, nil)
+	if got := resp.Header.Get("X-Genie-Backend"); got != b1.ts.URL {
+		t.Errorf("after load flip answered by %s, want %s", got, b1.ts.URL)
+	}
+}
+
+// TestGatewayRetryFailsOver: a 500 from the preferred replica is retried on
+// the next one within the budget, invisibly to the client.
+func TestGatewayRetryFailsOver(t *testing.T) {
+	b1 := newFakeBackend(t, "one", "alpha")
+	b2 := newFakeBackend(t, "two", "alpha")
+	opt := testOptions()
+	opt.Replication = 2
+	opt.RetryBudget = 2
+	g, ts := newTestGateway(t, opt, b1, b2)
+
+	b1.setDepth("alpha", 0)
+	b2.setDepth("alpha", 10) // prefer b1
+	g.ProbeOnce()
+	b1.parseStatus.Store(http.StatusInternalServerError)
+
+	resp, pr := postParse(t, ts.URL, serve.ParseRequest{Skill: "alpha", Words: []string{"x"}}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 via retry", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Genie-Backend") != b2.ts.URL {
+		t.Errorf("answered by %s, want failover to %s", resp.Header.Get("X-Genie-Backend"), b2.ts.URL)
+	}
+	if resp.Header.Get("X-Genie-Attempts") != "2" {
+		t.Errorf("X-Genie-Attempts = %q, want 2", resp.Header.Get("X-Genie-Attempts"))
+	}
+	if pr.Program != "now => two" {
+		t.Errorf("program = %q", pr.Program)
+	}
+	if m := g.MetricsSnapshot(); m.Retries < 1 {
+		t.Errorf("Metrics.Retries = %d, want >= 1", m.Retries)
+	}
+}
+
+// TestGatewayShedRetry: a 429 is backpressure, not a health failure — the
+// gateway retries elsewhere and the shedding backend stays healthy.
+func TestGatewayShedRetry(t *testing.T) {
+	b1 := newFakeBackend(t, "one", "alpha")
+	b2 := newFakeBackend(t, "two", "alpha")
+	opt := testOptions()
+	opt.Replication = 2
+	g, ts := newTestGateway(t, opt, b1, b2)
+
+	b1.setDepth("alpha", 0)
+	b2.setDepth("alpha", 10)
+	g.ProbeOnce()
+	b1.parseStatus.Store(http.StatusTooManyRequests)
+
+	resp, _ := postParse(t, ts.URL, serve.ParseRequest{Skill: "alpha", Words: []string{"x"}}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 via shed retry", resp.StatusCode)
+	}
+	if st, _ := g.BackendState(b1.ts.URL); st != Healthy {
+		t.Errorf("shedding backend state = %v, want Healthy (429 must not feed the breaker)", st)
+	}
+}
+
+// TestGatewayEjectionAndReadmission walks the circuit breaker end to end:
+// FailThreshold failed probes eject, traffic routes around the ejection, and
+// a restored backend is readmitted within two probes (half-open, then
+// healthy).
+func TestGatewayEjectionAndReadmission(t *testing.T) {
+	b1 := newFakeBackend(t, "one", "alpha")
+	b2 := newFakeBackend(t, "two", "alpha")
+	opt := testOptions()
+	opt.Replication = 2
+	opt.FailThreshold = 3
+	g, ts := newTestGateway(t, opt, b1, b2)
+
+	b1.setDepth("alpha", 0)
+	b2.setDepth("alpha", 10) // b1 preferred while healthy
+	g.ProbeOnce()
+
+	b1.ok.Store(false)
+	for i := 0; i < 3; i++ {
+		g.ProbeOnce()
+	}
+	if st, _ := g.BackendState(b1.ts.URL); st != Ejected {
+		t.Fatalf("state after %d failed probes = %v, want Ejected", 3, st)
+	}
+
+	// Ejected: traffic routes around it despite the depth preference.
+	resp, _ := postParse(t, ts.URL, serve.ParseRequest{Skill: "alpha", Words: []string{"x"}}, nil)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Genie-Backend") != b2.ts.URL {
+		t.Fatalf("during ejection: status %d via %s, want 200 via %s",
+			resp.StatusCode, resp.Header.Get("X-Genie-Backend"), b2.ts.URL)
+	}
+
+	// Restore: readmitted within two probe intervals.
+	b1.ok.Store(true)
+	g.ProbeOnce()
+	if st, _ := g.BackendState(b1.ts.URL); st != HalfOpen {
+		t.Fatalf("state after restore probe 1 = %v, want HalfOpen", st)
+	}
+	g.ProbeOnce()
+	if st, _ := g.BackendState(b1.ts.URL); st != Healthy {
+		t.Fatalf("state after restore probe 2 = %v, want Healthy", st)
+	}
+	if m := g.MetricsSnapshot(); m.Backends[0].Ejections < 1 && m.Backends[1].Ejections < 1 {
+		t.Errorf("no ejection counted in metrics: %+v", m.Backends)
+	}
+}
+
+// TestGatewayDegradedSkill: a skill whose only replica is gone answers 503
+// and shows degraded on /skills; with CrossSkillFallback armed the request
+// is answered by a healthy backend's scored fallback instead.
+func TestGatewayDegradedSkill(t *testing.T) {
+	b1 := newFakeBackend(t, "one", "gamma")
+	b2 := newFakeBackend(t, "two", "alpha")
+	opt := testOptions()
+	opt.Replication = 2
+	opt.FailThreshold = 2
+	g, ts := newTestGateway(t, opt, b1, b2)
+
+	b1.ok.Store(false)
+	g.ProbeOnce()
+	g.ProbeOnce()
+	if st, _ := g.BackendState(b1.ts.URL); st != Ejected {
+		t.Fatalf("gamma's backend not ejected: %v", st)
+	}
+
+	resp, _ := postParse(t, ts.URL, serve.ParseRequest{Skill: "gamma", Words: []string{"x"}}, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("degraded skill status = %d, want 503", resp.StatusCode)
+	}
+	found := false
+	for _, s := range g.SkillsSnapshot() {
+		if s.Name == "gamma" {
+			found = true
+			if s.Status != StatusDegraded || s.Replicas != 0 {
+				t.Errorf("gamma on /skills = %+v, want degraded with 0 replicas", s)
+			}
+		}
+	}
+	if !found {
+		t.Error("gamma missing from the aggregated /skills")
+	}
+
+	// Same topology with the fallback armed: the request is answered.
+	opt2 := testOptions()
+	opt2.Replication = 2
+	opt2.FailThreshold = 2
+	opt2.CrossSkillFallback = true
+	b3 := newFakeBackend(t, "three", "gamma")
+	b4 := newFakeBackend(t, "four", "alpha")
+	g2, ts2 := newTestGateway(t, opt2, b3, b4)
+	b3.ok.Store(false)
+	g2.ProbeOnce()
+	g2.ProbeOnce()
+	resp2, pr2 := postParse(t, ts2.URL, serve.ParseRequest{Skill: "gamma", Words: []string{"x"}}, nil)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("fallback status = %d, want 200", resp2.StatusCode)
+	}
+	if pr2.Program != "now => four" {
+		t.Errorf("fallback answered %q, want the healthy backend", pr2.Program)
+	}
+	if m := g2.MetricsSnapshot(); m.Fallbacks != 1 || m.Degraded != 1 {
+		t.Errorf("fallback metrics = fallbacks=%d degraded=%d, want 1/1", m.Fallbacks, m.Degraded)
+	}
+}
+
+// TestGatewayHedgeWins: a slow primary is hedged to the backup after the
+// hedge delay and the backup's answer wins.
+func TestGatewayHedgeWins(t *testing.T) {
+	b1 := newFakeBackend(t, "one", "alpha")
+	b2 := newFakeBackend(t, "two", "alpha")
+	opt := testOptions()
+	opt.Replication = 2
+	opt.Hedge = true
+	opt.HedgeAfter = 10 * time.Millisecond
+	g, ts := newTestGateway(t, opt, b1, b2)
+
+	b1.setDepth("alpha", 0)
+	b2.setDepth("alpha", 10) // b1 is primary
+	g.ProbeOnce()
+	b1.parseDelay.Store(int64(400 * time.Millisecond))
+
+	start := time.Now()
+	resp, pr := postParse(t, ts.URL, serve.ParseRequest{Skill: "alpha", Words: []string{"x"}}, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if pr.Program != "now => two" {
+		t.Errorf("answered %q, want the hedged backup", pr.Program)
+	}
+	if elapsed := time.Since(start); elapsed >= 400*time.Millisecond {
+		t.Errorf("hedged request took %v, the slow primary's latency", elapsed)
+	}
+	if m := g.MetricsSnapshot(); m.Hedges < 1 || m.HedgeWins < 1 {
+		t.Errorf("hedge metrics = hedges=%d wins=%d, want >= 1/1", m.Hedges, m.HedgeWins)
+	}
+}
+
+// TestGatewayDeadlinePropagation: the client's deadline-budget header rides
+// through the gateway to the backend, and an exhausted budget answers 408.
+func TestGatewayDeadlinePropagation(t *testing.T) {
+	b1 := newFakeBackend(t, "one", "alpha")
+	opt := testOptions()
+	opt.Replication = 1
+	g, ts := newTestGateway(t, opt, b1)
+	_ = g
+
+	resp, _ := postParse(t, ts.URL, serve.ParseRequest{Skill: "alpha", Words: []string{"x"}},
+		map[string]string{serve.DeadlineHeader: "5000"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if !b1.sawDeadline.Load() {
+		t.Error("backend never saw the propagated deadline header")
+	}
+
+	// A budget shorter than the backend's latency: 408, bounded by the budget.
+	b1.parseDelay.Store(int64(2 * time.Second))
+	start := time.Now()
+	resp2, _ := postParse(t, ts.URL, serve.ParseRequest{Skill: "alpha", Words: []string{"x"}},
+		map[string]string{serve.DeadlineHeader: "60"})
+	if resp2.StatusCode != http.StatusRequestTimeout {
+		t.Errorf("expired-budget status = %d, want 408", resp2.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("408 took %v, want roughly the 60ms budget", elapsed)
+	}
+}
+
+// TestGatewayUnknownSkillTerminal: requests for a skill nobody has ever
+// served answer 503 degraded without burning the retry budget on backends.
+func TestGatewayUnknownSkillTerminal(t *testing.T) {
+	b1 := newFakeBackend(t, "one", "alpha")
+	opt := testOptions()
+	g, ts := newTestGateway(t, opt, b1)
+
+	before := b1.parses.Load()
+	resp, _ := postParse(t, ts.URL, serve.ParseRequest{Skill: "nope", Words: []string{"x"}}, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("unknown skill status = %d, want 503", resp.StatusCode)
+	}
+	if b1.parses.Load() != before {
+		t.Error("unknown skill burned a backend attempt")
+	}
+	if m := g.MetricsSnapshot(); m.Degraded < 1 {
+		t.Errorf("Metrics.Degraded = %d, want >= 1", m.Degraded)
+	}
+}

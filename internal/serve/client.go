@@ -4,19 +4,115 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
-// Client talks to a Server over HTTP. Its Parse method implements
-// eval.Decoder, so an evaluation harness can score a remote parser through
-// the full batched serving path.
+// StatusError is a non-2xx HTTP reply surfaced as a typed error, so retry
+// policy can branch on the status code and the server's parsed Retry-After
+// hint instead of substring-matching flattened error text.
+type StatusError struct {
+	Status     int
+	RetryAfter time.Duration // parsed Retry-After hint (0 when absent)
+	Msg        string        // response body, truncated
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("serve: http %d: %s", e.Status, e.Msg)
+}
+
+// Is keeps errors.Is(err, ErrOverloaded) matching remote admission-control
+// sheds (HTTP 429), as the older string-flattened errors did by wrapping.
+func (e *StatusError) Is(target error) bool {
+	return target == ErrOverloaded && e.Status == http.StatusTooManyRequests
+}
+
+// Temporary reports whether the status names a transient condition worth
+// retrying: shed (429), or an unavailable/overwhelmed hop (502, 503, 504).
+func (e *StatusError) Temporary() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// NewStatusError drains (a prefix of) a non-2xx response's body into a
+// StatusError. Shared with the gateway's backend classification.
+func NewStatusError(resp *http.Response) *StatusError {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return &StatusError{
+		Status:     resp.StatusCode,
+		RetryAfter: ParseRetryAfter(resp.Header.Get("Retry-After")),
+		Msg:        strings.TrimSpace(string(msg)),
+	}
+}
+
+// ParseRetryAfter parses a Retry-After header value (delay-seconds or
+// HTTP-date); 0 means absent or unparsable.
+func ParseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.ParseFloat(v, 64); err == nil && secs >= 0 {
+		return time.Duration(secs * float64(time.Second))
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		return max(0, time.Until(t))
+	}
+	return 0
+}
+
+// RetryPolicy bounds the Client's shed-aware retry loop. Retries are
+// attempted only for transient failures — transport errors and Temporary
+// statuses — with capped exponential backoff, jittered by a deterministic
+// seedable RNG, honoring the server's Retry-After when it is longer, and
+// never sleeping past the request context's deadline budget.
+type RetryPolicy struct {
+	// MaxRetries is how many additional attempts follow a failed first one.
+	MaxRetries int
+	// BaseBackoff is the first retry's backoff before jitter (default 10ms);
+	// each further retry doubles it up to MaxBackoff (default 500ms).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed seeds the jitter RNG, so tests can fix the backoff schedule
+	// (0 uses seed 1).
+	Seed int64
+}
+
+type retryState struct {
+	policy RetryPolicy
+	mu     sync.Mutex
+	rng    *rand.Rand
+}
+
+// backoff is the jittered, capped wait before retry number attempt (1-based):
+// min(MaxBackoff, BaseBackoff<<(attempt-1)) scaled by a uniform [0.5, 1.5).
+func (r *retryState) backoff(attempt int) time.Duration {
+	d := min(r.policy.MaxBackoff, r.policy.BaseBackoff<<(attempt-1))
+	r.mu.Lock()
+	jitter := 0.5 + r.rng.Float64()
+	r.mu.Unlock()
+	return time.Duration(float64(d) * jitter)
+}
+
+// Client talks to a Server, fleet, or gateway over HTTP. Its Parse method
+// implements eval.Decoder, so an evaluation harness can score a remote
+// parser through the full batched serving path. A context deadline is
+// propagated to the server as a deadline-budget header (DeadlineHeader), and
+// WithRetry arms transparent shed-aware retry.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry *retryState
 }
 
 // NewClient returns a client for a server base URL (e.g.
@@ -28,8 +124,73 @@ func NewClient(base string) *Client {
 	}
 }
 
-// ParseRequestCtx sends one parse request and decodes the reply.
+// WithRetry arms the client's retry loop and returns the client (chainable
+// off NewClient). Not safe to call concurrently with in-flight requests.
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 10 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 500 * time.Millisecond
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	c.retry = &retryState{policy: p, rng: rand.New(rand.NewSource(seed))}
+	return c
+}
+
+// ParseRequestCtx sends one parse request and decodes the reply, retrying
+// transient failures when the client was armed with WithRetry.
 func (c *Client) ParseRequestCtx(ctx context.Context, req ParseRequest) (ParseResponse, error) {
+	resp, err := c.parseOnce(ctx, req)
+	if err == nil || c.retry == nil {
+		return resp, err
+	}
+	for attempt := 1; attempt <= c.retry.policy.MaxRetries; attempt++ {
+		if !retryable(err) {
+			return resp, err
+		}
+		wait := c.retry.backoff(attempt)
+		var se *StatusError
+		if errors.As(err, &se) && se.RetryAfter > wait {
+			wait = se.RetryAfter // the server named its price; honor it
+		}
+		if dl, ok := ctx.Deadline(); ok && time.Now().Add(wait).After(dl) {
+			return resp, err // budget-bounded: don't sleep past the deadline
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return resp, err
+		}
+		if resp, err = c.parseOnce(ctx, req); err == nil {
+			return resp, nil
+		}
+	}
+	return resp, err
+}
+
+// retryable reports whether an attempt's failure is transient: transport
+// errors are (connection refused/reset, truncated replies), Temporary HTTP
+// statuses are, an exhausted deadline budget or canceled context is not.
+func retryable(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Temporary()
+	}
+	return true
+}
+
+// parseOnce is one attempt: marshal, send (stamping the remaining deadline
+// budget), classify the status, decode.
+func (c *Client) parseOnce(ctx context.Context, req ParseRequest) (ParseResponse, error) {
 	var resp ParseResponse
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -40,21 +201,14 @@ func (c *Client) ParseRequestCtx(ctx context.Context, req ParseRequest) (ParseRe
 		return resp, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	SetDeadlineHeader(hreq.Header, ctx)
 	hresp, err := c.hc.Do(hreq)
 	if err != nil {
 		return resp, err
 	}
 	defer hresp.Body.Close()
-	if hresp.StatusCode == http.StatusTooManyRequests {
-		// Surface admission-control shedding as the sentinel the batcher
-		// itself returns, so callers can match errors.Is(err, ErrOverloaded)
-		// locally and remotely alike.
-		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
-		return resp, fmt.Errorf("serve: %s: %w", strings.TrimSpace(string(msg)), ErrOverloaded)
-	}
 	if hresp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
-		return resp, fmt.Errorf("serve: %s: %s", hresp.Status, strings.TrimSpace(string(msg)))
+		return resp, NewStatusError(hresp)
 	}
 	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
 		return resp, err
@@ -127,7 +281,7 @@ func (c *Client) getJSON(ctx context.Context, path string, v any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("serve: %s: %s", path, resp.Status)
+		return fmt.Errorf("serve: %s: %w", path, NewStatusError(resp))
 	}
 	return json.NewDecoder(resp.Body).Decode(v)
 }

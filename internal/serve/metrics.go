@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+)
+
+// LatencyRing keeps the last RingSize request latencies and derives p50/p99
+// on demand. A bounded ring favors recency — exactly what a hot-swap or a
+// recovering backend wants: after behavior changes, the window flushes to
+// the new regime within RingSize requests — and keeps the memory and
+// /metrics cost constant under heavy traffic. Used per skill by the fleet
+// and per gateway by the routing tier (whose hedge delay derives from p99).
+type LatencyRing struct {
+	mu   sync.Mutex
+	buf  [RingSize]float64
+	n    int // total observations (buf holds min(n, RingSize))
+	next int
+}
+
+// RingSize is the latency window length.
+const RingSize = 1024
+
+// Observe records one request latency in milliseconds.
+func (l *LatencyRing) Observe(ms float64) {
+	l.mu.Lock()
+	l.buf[l.next] = ms
+	l.next = (l.next + 1) % RingSize
+	l.n++
+	l.mu.Unlock()
+}
+
+// Quantiles returns the windowed p50 and p99 (0, 0 before any traffic).
+func (l *LatencyRing) Quantiles() (p50, p99 float64) {
+	l.mu.Lock()
+	n := min(l.n, RingSize)
+	window := make([]float64, n)
+	copy(window, l.buf[:n])
+	l.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Float64s(window)
+	return window[quantileIndex(n, 0.50)], window[quantileIndex(n, 0.99)]
+}
+
+// quantileIndex is the nearest-rank index of quantile q in n sorted values.
+func quantileIndex(n int, q float64) int {
+	i := int(q*float64(n-1) + 0.5)
+	return min(i, n-1)
+}

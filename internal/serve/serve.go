@@ -20,6 +20,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	goruntime "runtime"
 	"sync"
 	"sync/atomic"
@@ -120,13 +121,20 @@ var ErrClosed = errors.New("serve: batcher closed")
 // request was shed without queueing (HTTP 429).
 var ErrOverloaded = errors.New("serve: queue full, request shed")
 
+// ErrDecodeFailed is returned when a decode panicked; the panic is recovered
+// into this per-request error so one poisoned request cannot kill a worker
+// goroutine and strand the rest of its window (HTTP 500).
+var ErrDecodeFailed = errors.New("serve: decode failed")
+
 // parseResult is one request's answer.
 type parseResult struct {
 	toks  []string
 	score float64
+	err   error
 }
 
 type request struct {
+	ctx    context.Context // caller's deadline budget; checked before decode
 	words  []string
 	scored bool // decode through ScoredParser and report the hypothesis score
 	reply  chan parseResult
@@ -168,6 +176,8 @@ type Batcher struct {
 	batches   atomic.Int64
 	shed      atomic.Int64
 	depth     atomic.Int64
+	expired   atomic.Int64   // requests whose deadline passed before decode
+	failed    atomic.Int64   // requests whose decode panicked (ErrDecodeFailed)
 	adaptive  atomic.Int64   // requests decoded under the adaptive policy
 	escalated atomic.Int64   // of those, requests re-decoded with the beam
 	hist      []atomic.Int64 // batch-size histogram, index = size-1
@@ -293,45 +303,103 @@ func (b *Batcher) dispatch(batch []request) {
 func (b *Batcher) worker() {
 	defer b.wg.Done()
 	for batch := range b.jobs {
-		// Scored requests decode per-request through ScoredParser;
-		// partition them to the tail so the plain prefix can still decode
-		// as one lockstep batched call.
-		plain := batch[:0]
-		var scored []request
-		for _, r := range batch {
-			if r.scored && b.sp != nil {
-				scored = append(scored, r)
-			} else {
-				plain = append(plain, r)
-			}
+		b.serveBatch(batch)
+	}
+}
+
+// serveBatch answers one dispatched window. Requests whose deadline budget
+// ran out while they sat in the queue are answered with their context error
+// before any decode is spent on them (the HTTP layer maps that to 408);
+// scored requests decode per-request through ScoredParser; the plain
+// remainder decodes as one lockstep batched call when the parser supports
+// it. A decode panic anywhere is recovered into a per-request
+// ErrDecodeFailed instead of killing the worker.
+func (b *Batcher) serveBatch(batch []request) {
+	// The expired/scored partition appends lag the iteration, so reusing the
+	// batch's backing array for the plain prefix is safe.
+	plain := batch[:0]
+	var scored []request
+	for _, r := range batch {
+		switch {
+		case r.ctx != nil && r.ctx.Err() != nil:
+			b.expired.Add(1)
+			b.reply(r, parseResult{err: r.ctx.Err()})
+		case r.scored && b.sp != nil:
+			scored = append(scored, r)
+		default:
+			plain = append(plain, r)
 		}
-		if b.bp != nil && len(plain) > 1 {
-			sentences := make([][]string, len(plain))
-			for i, r := range plain {
-				sentences[i] = r.words
-			}
-			var outs [][]string
-			switch {
-			case b.adaptiveOn() && b.sbp != nil:
-				outs = b.decodeAdaptiveBatch(sentences)
-			case b.opt.Beam > 1:
-				outs = b.bp.ParseBeamBatch(sentences, b.opt.Beam)
-			default:
-				outs = b.bp.ParseBatch(sentences)
-			}
+	}
+	if b.bp != nil && len(plain) > 1 {
+		sentences := make([][]string, len(plain))
+		for i, r := range plain {
+			sentences[i] = r.words
+		}
+		outs, err := b.decodeWindow(sentences)
+		if err == nil {
 			for i, r := range plain {
 				b.reply(r, parseResult{toks: outs[i]})
 			}
 		} else {
+			// The batched call panicked: one poisoned request must not take
+			// the whole window down. Re-decode per request so only the
+			// poisoned one errors.
 			for _, r := range plain {
-				b.reply(r, parseResult{toks: b.decode(r.words)})
+				toks, derr := b.safeDecode(r.words)
+				b.reply(r, parseResult{toks: toks, err: derr})
 			}
 		}
-		for _, r := range scored {
-			toks, score := b.sp.ParseScored(r.words, max(1, b.opt.Beam))
-			b.reply(r, parseResult{toks: toks, score: score})
+	} else {
+		for _, r := range plain {
+			toks, err := b.safeDecode(r.words)
+			b.reply(r, parseResult{toks: toks, err: err})
 		}
 	}
+	for _, r := range scored {
+		b.reply(r, b.safeScored(r.words))
+	}
+}
+
+// decodeWindow decodes one gathered window through the batched surface,
+// recovering a panic into an error instead of killing the worker.
+func (b *Batcher) decodeWindow(sentences [][]string) (outs [][]string, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			outs, err = nil, fmt.Errorf("%w: batched decode panicked: %v", ErrDecodeFailed, rec)
+		}
+	}()
+	switch {
+	case b.adaptiveOn() && b.sbp != nil:
+		outs = b.decodeAdaptiveBatch(sentences)
+	case b.opt.Beam > 1:
+		outs = b.bp.ParseBeamBatch(sentences, b.opt.Beam)
+	default:
+		outs = b.bp.ParseBatch(sentences)
+	}
+	return outs, nil
+}
+
+// safeDecode is the per-request decode with panic recovery.
+func (b *Batcher) safeDecode(words []string) (toks []string, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			b.failed.Add(1)
+			toks, err = nil, fmt.Errorf("%w: decode panicked: %v", ErrDecodeFailed, rec)
+		}
+	}()
+	return b.decode(words), nil
+}
+
+// safeScored is the per-request scored decode with panic recovery.
+func (b *Batcher) safeScored(words []string) (res parseResult) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			b.failed.Add(1)
+			res = parseResult{err: fmt.Errorf("%w: decode panicked: %v", ErrDecodeFailed, rec)}
+		}
+	}()
+	toks, score := b.sp.ParseScored(words, max(1, b.opt.Beam))
+	return parseResult{toks: toks, score: score}
 }
 
 func (b *Batcher) reply(r request, res parseResult) {
@@ -447,11 +515,15 @@ func (b *Batcher) do(ctx context.Context, r request) (parseResult, error) {
 	if err := ctx.Err(); err != nil {
 		return parseResult{}, err
 	}
+	r.ctx = ctx
 	if err := b.submit(ctx, r); err != nil {
 		return parseResult{}, err
 	}
 	select {
 	case out := <-r.reply:
+		if out.err != nil {
+			return parseResult{}, out.err
+		}
 		return out, nil
 	case <-ctx.Done():
 		return parseResult{}, ctx.Err()
@@ -476,6 +548,12 @@ type Stats struct {
 	Batches  int64
 	// Shed counts requests rejected by admission control (queue full).
 	Shed int64
+	// Expired counts requests whose deadline budget ran out in the queue;
+	// they were answered with their context error before any decode was
+	// spent (the HTTP layer's 408).
+	Expired int64
+	// Failed counts requests whose decode panicked (ErrDecodeFailed).
+	Failed int64
 	// QueueDepth is the current number of admitted, unanswered requests.
 	QueueDepth int64
 	// Adaptive counts requests decoded under the greedy-first adaptive
@@ -498,6 +576,8 @@ func (b *Batcher) Stats() Stats {
 		Requests:   b.requests.Load(),
 		Batches:    b.batches.Load(),
 		Shed:       b.shed.Load(),
+		Expired:    b.expired.Load(),
+		Failed:     b.failed.Load(),
 		QueueDepth: b.depth.Load(),
 		Adaptive:   b.adaptive.Load(),
 		Escalated:  b.escalated.Load(),

@@ -1,9 +1,11 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -41,14 +43,17 @@ type HealthResponse struct {
 	Skills int `json:"skills,omitempty"`
 }
 
-// SkillInfo describes one skill of a fleet (GET /skills).
+// SkillInfo describes one skill of a fleet (GET /skills). A gateway's
+// /skills aggregates across backends: Status degrades to "degraded" when no
+// live replica serves the skill, and Replicas counts the live ones.
 type SkillInfo struct {
 	Name       string `json:"name"`
-	Status     string `json:"status"` // training, ready, reloading, failed
+	Status     string `json:"status"` // training, ready, reloading, failed, degraded
 	Checksum   string `json:"checksum,omitempty"`
 	Generation uint64 `json:"generation"`
 	Error      string `json:"error,omitempty"`
 	Path       string `json:"path,omitempty"`
+	Replicas   int    `json:"replicas,omitempty"`
 }
 
 // SkillsResponse is the JSON reply of a fleet's GET /skills.
@@ -58,10 +63,15 @@ type SkillsResponse struct {
 
 // SkillMetrics is one skill's live serving metrics (GET /metrics).
 type SkillMetrics struct {
-	Name       string  `json:"name"`
-	Generation uint64  `json:"generation"`
-	Requests   int64   `json:"requests"`
-	Shed       int64   `json:"shed"`
+	Name       string `json:"name"`
+	Generation uint64 `json:"generation"`
+	Requests   int64  `json:"requests"`
+	Shed       int64  `json:"shed"`
+	// Errors is the cumulative count of requests this skill answered with an
+	// error other than an admission-control shed (not-ready routing, expired
+	// deadline budgets, decode failures); the gateway's ejection logic reads
+	// it alongside Shed and QueueDepth.
+	Errors     int64   `json:"errors"`
 	QueueDepth int64   `json:"queue_depth"`
 	Batches    int64   `json:"batches"`
 	BatchSizes []int64 `json:"batch_sizes,omitempty"`
@@ -76,7 +86,9 @@ type SkillMetrics struct {
 
 // MetricsResponse is the JSON reply of a fleet's GET /metrics.
 type MetricsResponse struct {
-	Skills []SkillMetrics `json:"skills"`
+	// UptimeSeconds is how long this process has been serving.
+	UptimeSeconds float64        `json:"uptime_seconds,omitempty"`
+	Skills        []SkillMetrics `json:"skills"`
 }
 
 // Server is the HTTP front end over a Batcher.
@@ -122,8 +134,47 @@ func (r *ParseRequest) RequestWords() []string {
 	return Tokenize(r.Sentence)
 }
 
+// DeadlineHeader carries a request's remaining deadline budget in
+// milliseconds. The gateway and Client stamp it from their context deadline
+// on every outbound hop; servers honor it end to end (the Batcher answers a
+// request whose budget ran out in the queue with 408 before spending a
+// decode on it), so a caller's latency contract survives proxying, queueing
+// and retries.
+const DeadlineHeader = "X-Genie-Deadline-Ms"
+
+// DeadlineContext applies an inbound request's propagated deadline budget:
+// the returned context carries min(connection lifetime, header budget).
+// With no (or an unparsable) header it is just the request context.
+func DeadlineContext(r *http.Request) (context.Context, context.CancelFunc) {
+	v := r.Header.Get(DeadlineHeader)
+	if v == "" {
+		return r.Context(), func() {}
+	}
+	ms, err := strconv.ParseFloat(v, 64)
+	if err != nil || ms < 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), time.Duration(ms*float64(time.Millisecond)))
+}
+
+// SetDeadlineHeader stamps ctx's remaining deadline budget onto an outbound
+// request's headers (no-op without a deadline). Shared by Client and the
+// gateway's proxy hop.
+func SetDeadlineHeader(h http.Header, ctx context.Context) {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return
+	}
+	ms := time.Until(d).Seconds() * 1000
+	if ms < 0 {
+		ms = 0
+	}
+	h.Set(DeadlineHeader, strconv.FormatFloat(ms, 'f', 3, 64))
+}
+
 // WriteParseError maps a serving error to its HTTP status: 429 with a
-// Retry-After for admission-control shedding, 408 for caller timeouts, 503
+// Retry-After for admission-control shedding, 408 for exhausted deadline
+// budgets and caller timeouts, 500 for recovered decode panics, 503
 // otherwise. Shared by the single-parser and fleet servers.
 func WriteParseError(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusServiceUnavailable
@@ -131,8 +182,10 @@ func WriteParseError(w http.ResponseWriter, r *http.Request, err error) {
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
 		status = http.StatusTooManyRequests
-	case r.Context().Err() != nil:
+	case errors.Is(err, context.DeadlineExceeded), r.Context().Err() != nil:
 		status = http.StatusRequestTimeout
+	case errors.Is(err, ErrDecodeFailed):
+		status = http.StatusInternalServerError
 	}
 	http.Error(w, err.Error(), status)
 }
@@ -152,8 +205,10 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty sentence", http.StatusBadRequest)
 		return
 	}
+	ctx, cancel := DeadlineContext(r)
+	defer cancel()
 	start := time.Now()
-	toks, err := s.b.ParseCtx(r.Context(), words)
+	toks, err := s.b.ParseCtx(ctx, words)
 	if err != nil {
 		WriteParseError(w, r, err)
 		return
