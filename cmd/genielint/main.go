@@ -1,0 +1,103 @@
+// Command genielint runs the repo's invariant-enforcing static-analysis
+// passes (internal/analysis) over Go packages and reports violations of the
+// contracts the code declares via //genielint: directives: arena/pool value
+// lifetimes, pool Get/Put discipline, clone-before-mutate on pooled values,
+// bit-determinism, ctx/deadline propagation, and guarded-by locking.
+//
+//	genielint ./...          # lint the whole module (CI gate)
+//	genielint -json ./...    # machine-readable findings (CI artifact)
+//	genielint ./internal/model ./internal/serve
+//
+// Exit status is 1 when any diagnostic survives the //genielint:allow
+// suppressions, 2 on driver errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	listPasses := flag.Bool("passes", false, "list the pass catalog and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: genielint [-json] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listPasses {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	if len(pkgs) == 0 {
+		fatal(fmt.Errorf("no packages matched %v", patterns))
+	}
+	for _, p := range pkgs {
+		for _, e := range p.Errors {
+			fmt.Fprintf(os.Stderr, "genielint: %s: %v\n", p.ImportPath, e)
+		}
+	}
+
+	diags := analysis.Run(pkgs, analysis.Analyzers())
+
+	if *jsonOut {
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := struct {
+			Packages int       `json:"packages"`
+			Findings []finding `json:"findings"`
+		}{Packages: len(pkgs), Findings: []finding{}}
+		for _, d := range diags {
+			out.Findings = append(out.Findings, finding{
+				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) == 0 {
+			fmt.Fprintf(os.Stderr, "genielint: %d packages clean\n", len(pkgs))
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genielint:", err)
+	os.Exit(2)
+}

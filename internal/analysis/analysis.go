@@ -1,0 +1,226 @@
+// Package analysis is genielint's engine: a zero-dependency static-analysis
+// driver (stdlib go/parser + go/types, package metadata via `go list`) and
+// the five invariant-enforcing passes that guard this repository's contracts:
+//
+//	arena-escape   — arena/pool-backed nn.Tensor values must not outlive the
+//	                 graph lease that produced them
+//	pool-retention — sync.Pool-style Get results are Put on every exit path,
+//	                 never used after Put, and pooled (shared) values are
+//	                 cloned before mutation
+//	determinism    — packages annotated deterministic may not read wall
+//	                 clocks, the global math/rand stream, or unordered map
+//	                 iteration
+//	ctx-deadline   — request-path packages must thread their incoming
+//	                 context; new root contexts need an annotated reason
+//	guarded-field  — fields declared `// guarded by <mu>` are only touched
+//	                 under that mutex, and atomic fields are not mixed with
+//	                 direct access
+//
+// The invariants themselves are declared in the code via //genielint:
+// directives (see directives.go); the passes only enforce what the
+// declarations promise, the same bet Genie Worksheets makes at the dialogue
+// level: reliability comes from machine-checked contracts, not convention.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding: a position, the pass that produced it, and a
+// human-readable message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant-enforcing pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass is the per-(analyzer, package) invocation context handed to Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	// Dirs are the package's parsed //genielint: directives and guarded-by
+	// annotations (allow suppressions and package-level flags are always
+	// package-local).
+	Dirs *Directives
+	// Prog is the whole analyzed program: object-keyed annotations (pooled,
+	// arena-scoped, returns-arena, ...) resolve through it so a directive in
+	// internal/nn governs call sites in internal/model.
+	Prog *Program
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless an allow directive suppresses
+// it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	if p.Dirs.allowed(p.Analyzer.Name, position.Filename, position.Line) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full pass catalog in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		ArenaEscapeAnalyzer,
+		PoolRetentionAnalyzer,
+		DeterminismAnalyzer,
+		CtxDeadlineAnalyzer,
+		GuardedFieldAnalyzer,
+	}
+}
+
+// Program is the cross-package view of an analyzed module: every package's
+// directives merged into one object-keyed annotation table. Object identity
+// is shared across packages (the loader typechecks each module package once),
+// so an annotation in internal/nn is visible at call sites in internal/model.
+type Program struct {
+	dirs map[*Package]*Directives
+
+	ctxRoot      map[types.Object]bool
+	returnsArena map[types.Object]bool
+	pooled       map[types.Object]bool
+	arenaScoped  map[types.Object]bool
+	arenaSource  map[types.Object]bool
+	poolType     map[types.Object]bool
+	guarded      map[types.Object]string
+}
+
+// NewProgram parses every package's directives and merges the object-keyed
+// tables.
+func NewProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		dirs:         map[*Package]*Directives{},
+		ctxRoot:      map[types.Object]bool{},
+		returnsArena: map[types.Object]bool{},
+		pooled:       map[types.Object]bool{},
+		arenaScoped:  map[types.Object]bool{},
+		arenaSource:  map[types.Object]bool{},
+		poolType:     map[types.Object]bool{},
+		guarded:      map[types.Object]string{},
+	}
+	for _, pkg := range pkgs {
+		if pkg.Types == nil || pkg.Info == nil {
+			continue
+		}
+		dirs := parseDirectives(pkg)
+		prog.dirs[pkg] = dirs
+		for o := range dirs.ctxRoot {
+			prog.ctxRoot[o] = true
+		}
+		for o := range dirs.returnsArena {
+			prog.returnsArena[o] = true
+		}
+		for o := range dirs.pooled {
+			prog.pooled[o] = true
+		}
+		for o := range dirs.arenaScoped {
+			prog.arenaScoped[o] = true
+		}
+		for o := range dirs.arenaSource {
+			prog.arenaSource[o] = true
+		}
+		for o := range dirs.poolType {
+			prog.poolType[o] = true
+		}
+		for o, mu := range dirs.guarded {
+			prog.guarded[o] = mu
+		}
+	}
+	return prog
+}
+
+// CtxRoot reports whether fn is an annotated context root.
+func (p *Program) CtxRoot(obj types.Object) bool { return p.ctxRoot[obj] }
+
+// ReturnsArena reports whether fn is annotated returns-arena.
+func (p *Program) ReturnsArena(obj types.Object) bool { return p.returnsArena[obj] }
+
+// Pooled reports whether the named type is annotated pooled.
+func (p *Program) Pooled(obj types.Object) bool { return p.pooled[obj] }
+
+// ArenaScoped reports whether the named type is annotated arena-scoped.
+func (p *Program) ArenaScoped(obj types.Object) bool { return p.arenaScoped[obj] }
+
+// ArenaSource reports whether the named type is annotated arena-source.
+func (p *Program) ArenaSource(obj types.Object) bool { return p.arenaSource[obj] }
+
+// PoolType reports whether the named type is annotated pool (a Get/Put
+// container).
+func (p *Program) PoolType(obj types.Object) bool { return p.poolType[obj] }
+
+// GuardedBy returns the declared mutex field name for a guarded field object
+// ("" when unguarded).
+func (p *Program) GuardedBy(obj types.Object) string { return p.guarded[obj] }
+
+// Run applies the analyzers to every package and returns the surviving
+// diagnostics sorted by position. Directives are parsed for the whole
+// program first, so annotations resolve across package boundaries.
+// Malformed directives (an allow without a reason) are reported as
+// diagnostics of the pseudo-pass "directive".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	prog := NewProgram(pkgs)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := prog.dirs[pkg]
+		if dirs == nil {
+			continue
+		}
+		for _, bad := range dirs.malformed {
+			diags = append(diags, Diagnostic{
+				Pos:      pkg.Fset.Position(bad.pos),
+				Analyzer: "directive",
+				Message:  bad.msg,
+			})
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, Dirs: dirs, Prog: prog, diags: &diags}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		di, dj := diags[i], diags[j]
+		if di.Pos.Filename != dj.Pos.Filename {
+			return di.Pos.Filename < dj.Pos.Filename
+		}
+		if di.Pos.Line != dj.Pos.Line {
+			return di.Pos.Line < dj.Pos.Line
+		}
+		if di.Pos.Column != dj.Pos.Column {
+			return di.Pos.Column < dj.Pos.Column
+		}
+		return di.Analyzer < dj.Analyzer
+	})
+	return diags
+}
+
+// funcDecls yields every function declaration in the package with a body.
+func funcDecls(pkg *Package, fn func(*ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe matches golden-diagnostic comments in fixtures:
+//
+//	m.cache = t // want `arena-backed value stored`
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+type wantEntry struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// loadFixture loads testdata fixture packages by directory name. Fixtures
+// must typecheck cleanly so the passes see full type information.
+func loadFixture(t *testing.T, names ...string) []*Package {
+	t.Helper()
+	patterns := make([]string, len(names))
+	for i, n := range names {
+		patterns[i] = "./testdata/src/" + n
+	}
+	pkgs, err := Load(".", patterns...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", names, err)
+	}
+	if len(pkgs) != len(names) {
+		t.Fatalf("loaded %d packages for %v", len(pkgs), names)
+	}
+	for _, p := range pkgs {
+		for _, e := range p.Errors {
+			t.Errorf("%s: load/typecheck: %v", p.ImportPath, e)
+		}
+	}
+	return pkgs
+}
+
+// collectWants scans fixture sources for want comments.
+func collectWants(t *testing.T, pkgs []*Package) []*wantEntry {
+	t.Helper()
+	var wants []*wantEntry
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			name := p.Fset.Position(f.Pos()).Filename
+			data, err := os.ReadFile(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern: %v", name, i+1, err)
+					}
+					wants = append(wants, &wantEntry{file: name, line: i + 1, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture runs the full pass catalog over one fixture and checks its
+// diagnostics against the want comments both ways: no unexpected findings, no
+// missed wants.
+func runFixture(t *testing.T, name string) []Diagnostic {
+	t.Helper()
+	pkgs := loadFixture(t, name)
+	diags := Run(pkgs, Analyzers())
+	wants := collectWants(t, pkgs)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected a diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	return diags
+}
+
+// TestFixtures is the golden suite: each pass must catch every seeded bug in
+// its fixture (matching the want comments exactly) and stay silent on the
+// clean twin.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		fixture string
+		pass    string
+	}{
+		{"arenaescape", "arena-escape"},
+		{"poolretention", "pool-retention"},
+		{"determinism", "determinism"},
+		{"ctxdeadline", "ctx-deadline"},
+		{"guardedfield", "guarded-field"},
+	}
+	for _, c := range cases {
+		t.Run(c.fixture, func(t *testing.T) {
+			diags := runFixture(t, c.fixture)
+			fired := false
+			for _, d := range diags {
+				if d.Analyzer == c.pass {
+					fired = true
+					break
+				}
+			}
+			if !fired {
+				t.Errorf("pass %s produced no diagnostics on its seeded fixture", c.pass)
+			}
+		})
+		t.Run(c.fixture+"_clean", func(t *testing.T) {
+			pkgs := loadFixture(t, c.fixture+"_clean")
+			for _, d := range Run(pkgs, Analyzers()) {
+				t.Errorf("clean twin diagnostic: %s", d)
+			}
+		})
+	}
+}
+
+// TestPooledDerivationBugCaught pins the PR 1 regression specifically: the
+// pool-retention pass must flag a semantic function mutating a shared pooled
+// derivation (the exact bug class fixed by hand back then).
+func TestPooledDerivationBugCaught(t *testing.T) {
+	pkgs := loadFixture(t, "poolretention")
+	found := false
+	for _, d := range Run(pkgs, Analyzers()) {
+		if d.Analyzer == "pool-retention" && strings.Contains(d.Message, "mutated in place") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("pool-retention did not flag the seeded pooled-derivation mutation")
+	}
+}
+
+// TestMalformedDirectives: a typo in a directive must surface as a finding,
+// never silently disable a check.
+func TestMalformedDirectives(t *testing.T) {
+	pkgs := loadFixture(t, "directivebad")
+	diags := Run(pkgs, Analyzers())
+	var msgs []string
+	for _, d := range diags {
+		if d.Analyzer != "directive" {
+			t.Errorf("unexpected non-directive diagnostic: %s", d)
+			continue
+		}
+		msgs = append(msgs, d.Message)
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("got %d directive diagnostics %v, want 3", len(msgs), msgs)
+	}
+	for _, want := range []string{"unknown genielint directive bogus", "allow directive needs", "ctx-root directive needs"} {
+		found := false
+		for _, m := range msgs {
+			if strings.Contains(m, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing directive diagnostic containing %q in %v", want, msgs)
+		}
+	}
+}
+
+// TestRepoIsClean dogfoods the suite: the repository's own packages must lint
+// clean (true positives fixed, declared exceptions annotated). This is the
+// same gate CI runs via cmd/genielint.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module load is slow; run without -short")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, d := range Run(pkgs, Analyzers()) {
+		t.Errorf("%s", d)
+	}
+}

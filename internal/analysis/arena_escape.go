@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ArenaEscapeAnalyzer enforces the graph-lease lifetime contract: a value
+// obtained from an arena (a method call on an arena-source type, or a call to
+// a returns-arena function) is only valid until the arena is reset or its
+// graph returned to the pool. Storing such a value into a struct field, a
+// package-level variable, or returning it lets it outlive the lease.
+//
+// Escapes are legal in two declared places: fields of arena-scoped types
+// (their lifetime is bounded by the same lease), and functions annotated
+// returns-arena (their callers inherit the taint).
+var ArenaEscapeAnalyzer = &Analyzer{
+	Name: "arena-escape",
+	Doc:  "arena/pool-backed values must not outlive the graph lease that produced them",
+	Run:  runArenaEscape,
+}
+
+func runArenaEscape(pass *Pass) {
+	funcDecls(pass.Pkg, func(fd *ast.FuncDecl) {
+		// An arena-source type's own methods are the allocator: they carve
+		// and recycle the very memory whose lifetime the pass polices.
+		if obj := pass.Pkg.Info.Defs[fd.Name]; obj != nil {
+			if tn := recvNamed(obj); tn != nil && pass.Prog.ArenaSource(tn) {
+				return
+			}
+		}
+		ae := &arenaEscape{pass: pass, fd: fd, tainted: map[types.Object]bool{}}
+		ae.block(fd.Body)
+	})
+}
+
+type arenaEscape struct {
+	pass *Pass
+	fd   *ast.FuncDecl
+	// tainted holds local variables currently bound to arena-backed values.
+	tainted map[types.Object]bool
+}
+
+// taintedExpr reports whether evaluating e yields an arena-backed value.
+func (ae *arenaEscape) taintedExpr(e ast.Expr) bool {
+	info := ae.pass.Pkg.Info
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return ae.tainted[info.Uses[e]]
+	case *ast.CallExpr:
+		obj := calleeObj(info, e)
+		if obj == nil {
+			return false
+		}
+		if b, ok := obj.(*types.Builtin); ok && b.Name() == "append" && len(e.Args) > 0 {
+			// append keeps (or reuses) the backing of a tainted slice and
+			// taints the result if any appended element is arena-backed.
+			for _, arg := range e.Args {
+				if ae.taintedExpr(arg) {
+					return true
+				}
+			}
+			return false
+		}
+		if ae.pass.Prog.ReturnsArena(obj) {
+			return true
+		}
+		if tn := recvNamed(obj); tn != nil && ae.pass.Prog.ArenaSource(tn) {
+			return true
+		}
+		return false
+	case *ast.IndexExpr:
+		return ae.taintedExpr(e.X)
+	case *ast.SliceExpr:
+		return ae.taintedExpr(e.X)
+	case *ast.StarExpr:
+		return ae.taintedExpr(e.X)
+	case *ast.UnaryExpr:
+		return ae.taintedExpr(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if ae.taintedExpr(el) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// block walks statements in order so taint assignments are visible to later
+// uses in the same body.
+func (ae *arenaEscape) block(b *ast.BlockStmt) {
+	if b == nil {
+		return
+	}
+	for _, st := range b.List {
+		ae.stmt(st)
+	}
+}
+
+func (ae *arenaEscape) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.AssignStmt:
+		ae.assign(st)
+	case *ast.ReturnStmt:
+		ae.returnStmt(st)
+	case *ast.BlockStmt:
+		ae.block(st)
+	case *ast.IfStmt:
+		ae.stmt(orNop(st.Init))
+		ae.block(st.Body)
+		if st.Else != nil {
+			ae.stmt(st.Else)
+		}
+	case *ast.ForStmt:
+		ae.stmt(orNop(st.Init))
+		ae.block(st.Body)
+	case *ast.RangeStmt:
+		// Ranging over a tainted slice taints the element variable.
+		if ae.taintedExpr(st.X) && st.Value != nil {
+			if id, ok := st.Value.(*ast.Ident); ok {
+				if obj := ae.defOrUse(id); obj != nil {
+					ae.tainted[obj] = true
+				}
+			}
+		}
+		ae.block(st.Body)
+	case *ast.SwitchStmt:
+		ae.stmt(orNop(st.Init))
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, s := range cc.Body {
+					ae.stmt(s)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, s := range cc.Body {
+					ae.stmt(s)
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) && ae.taintedExpr(vs.Values[i]) {
+						if obj := ae.pass.Pkg.Info.Defs[name]; obj != nil {
+							ae.tainted[obj] = true
+						}
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt, *ast.DeferStmt, *ast.GoStmt:
+		// Calls may consume tainted values; consumption inside the lease is
+		// fine, only stores and returns escape.
+	case *ast.LabeledStmt:
+		ae.stmt(st.Stmt)
+	}
+}
+
+func orNop(st ast.Stmt) ast.Stmt {
+	if st == nil {
+		return &ast.EmptyStmt{}
+	}
+	return st
+}
+
+func (ae *arenaEscape) defOrUse(id *ast.Ident) types.Object {
+	if obj := ae.pass.Pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return ae.pass.Pkg.Info.Uses[id]
+}
+
+func (ae *arenaEscape) assign(st *ast.AssignStmt) {
+	info := ae.pass.Pkg.Info
+	for i, lhs := range st.Lhs {
+		if i >= len(st.Rhs) {
+			break // multi-value call/comma-ok: calls never taint tuples here
+		}
+		rhsTainted := ae.taintedExpr(st.Rhs[i])
+		switch lhs := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			obj := ae.defOrUse(lhs)
+			if obj == nil {
+				continue
+			}
+			if _, isVar := obj.(*types.Var); isVar && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				// Package-level variable: storing a tainted value escapes.
+				if rhsTainted {
+					ae.pass.Reportf(st.Pos(), "arena-backed value stored in package-level var %s outlives its graph lease", lhs.Name)
+				}
+				continue
+			}
+			ae.tainted[obj] = rhsTainted // reassignment also clears taint
+		case *ast.SelectorExpr:
+			if !rhsTainted {
+				continue
+			}
+			owner := namedOf(info.TypeOf(lhs.X))
+			if owner != nil && ae.pass.Prog.ArenaScoped(owner) {
+				continue // declared lease-bounded container
+			}
+			if root := rootIdent(lhs.X); root != nil {
+				if obj := ae.defOrUse(root); obj != nil && ae.lhsIsArenaScoped(obj) {
+					continue
+				}
+			}
+			name := "field"
+			if owner != nil {
+				name = owner.Name() + "." + lhs.Sel.Name
+			}
+			ae.pass.Reportf(st.Pos(), "arena-backed value stored in %s, which is not arena-scoped; it outlives the graph lease", name)
+		case *ast.IndexExpr:
+			if !rhsTainted {
+				continue
+			}
+			// Writing into an element of a non-local container: flag stores
+			// into fields/globals, leave local slices alone.
+			if root := rootIdent(lhs.X); root != nil {
+				obj := ae.defOrUse(root)
+				if obj != nil && obj.Pkg() != nil {
+					if _, isVar := obj.(*types.Var); isVar && obj.Parent() == obj.Pkg().Scope() {
+						ae.pass.Reportf(st.Pos(), "arena-backed value stored in package-level container %s outlives its graph lease", root.Name)
+						continue
+					}
+				}
+			}
+			if sel, ok := ast.Unparen(lhs.X).(*ast.SelectorExpr); ok {
+				owner := namedOf(info.TypeOf(sel.X))
+				if owner != nil && ae.pass.Prog.ArenaScoped(owner) {
+					continue
+				}
+				name := "field " + sel.Sel.Name
+				if owner != nil {
+					name = "field " + owner.Name() + "." + sel.Sel.Name
+				}
+				ae.pass.Reportf(st.Pos(), "arena-backed value stored in %s, which is not arena-scoped; it outlives the graph lease", name)
+			}
+		}
+	}
+}
+
+// lhsIsArenaScoped reports whether the assignment target's root variable has
+// an arena-scoped type (covers x.a.b = t where x itself is the scoped struct).
+func (ae *arenaEscape) lhsIsArenaScoped(obj types.Object) bool {
+	tn := namedOf(obj.Type())
+	return tn != nil && ae.pass.Prog.ArenaScoped(tn)
+}
+
+func (ae *arenaEscape) returnStmt(st *ast.ReturnStmt) {
+	for _, res := range st.Results {
+		if !ae.taintedExpr(res) {
+			continue
+		}
+		obj := ae.pass.Pkg.Info.Defs[ae.fd.Name]
+		if obj != nil && ae.pass.Prog.ReturnsArena(obj) {
+			continue // declared: callers inherit the lease
+		}
+		if tn := recvNamed(obj); tn != nil && ae.pass.Prog.ArenaScoped(tn) {
+			continue // methods of lease-bounded types hand out lease-bounded views
+		}
+		ae.pass.Reportf(st.Pos(), "arena-backed value returned from %s; annotate //genielint:returns-arena if callers respect the graph lease", ae.fd.Name.Name)
+	}
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// CtxDeadlineAnalyzer enforces deadline propagation in packages annotated
+// //genielint:ctx-strict (serve, fleet, gateway): a request path must thread
+// its incoming context, so context.Background()/context.TODO() — which sever
+// the deadline and cancellation chain — are only legal inside functions
+// annotated //genielint:ctx-root <reason> (background probers, interface
+// adapters whose contract has no ctx parameter). http.NewRequest is flagged
+// for the same reason: it builds a context.Background() request.
+var CtxDeadlineAnalyzer = &Analyzer{
+	Name: "ctx-deadline",
+	Doc:  "request paths must propagate the incoming ctx; new root contexts need an annotated reason",
+	Run:  runCtxDeadline,
+}
+
+func runCtxDeadline(pass *Pass) {
+	if !pass.Dirs.CtxStrict {
+		return
+	}
+	funcDecls(pass.Pkg, func(fd *ast.FuncDecl) {
+		if obj := pass.Pkg.Info.Defs[fd.Name]; obj != nil && pass.Prog.CtxRoot(obj) {
+			return // declared context root; closures inside inherit the license
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObj(pass.Pkg.Info, call)
+			if obj == nil {
+				return true
+			}
+			switch pkgPathOf(obj) {
+			case "context":
+				switch obj.Name() {
+				case "Background", "TODO":
+					pass.Reportf(call.Pos(), "context.%s severs the request deadline in a ctx-strict package; thread the incoming ctx or annotate //genielint:ctx-root <why>", obj.Name())
+				}
+			case "net/http":
+				if obj.Name() == "NewRequest" {
+					pass.Reportf(call.Pos(), "http.NewRequest builds a context.Background() request; use http.NewRequestWithContext with the incoming ctx")
+				}
+			}
+			return true
+		})
+	})
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DeterminismAnalyzer enforces bit-reproducibility in packages annotated
+// //genielint:deterministic (synthesis, augment, experiments, params): no
+// wall-clock reads, no draws from the global math/rand stream (per-stream
+// *rand.Rand values with derived seeds are fine — that is the repo's
+// parallel-determinism design), and no map iteration that feeds ordered
+// output. The collect-keys-then-sort idiom is recognized: a map range whose
+// only emission is appending to slices that are all sorted later in the same
+// function stays silent.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "deterministic packages may not read clocks, the global rand stream, or emit from unordered map ranges",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	if !pass.Dirs.Deterministic {
+		return
+	}
+	info := pass.Pkg.Info
+	funcDecls(pass.Pkg, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterminismCall(pass, n)
+			case *ast.RangeStmt:
+				t := info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := types.Unalias(t).Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRange(pass, fd, n)
+			}
+			return true
+		})
+	})
+}
+
+func checkDeterminismCall(pass *Pass, call *ast.CallExpr) {
+	obj := calleeObj(pass.Pkg.Info, call)
+	if obj == nil {
+		return
+	}
+	switch pkgPathOf(obj) {
+	case "time":
+		switch obj.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "time.%s in a deterministic package; thread a logical clock or drop the timing from output", obj.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Methods on a seeded *rand.Rand are the sanctioned per-stream
+		// pattern; only package-level draws hit the shared global stream.
+		// New/NewSource/... construct those streams and are fine.
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			return
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return
+		}
+		switch obj.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return
+		}
+		pass.Reportf(call.Pos(), "global %s.%s stream in a deterministic package; use a seeded *rand.Rand (params.DeriveSeed)", obj.Pkg().Name(), obj.Name())
+	}
+}
+
+// checkMapRange flags a map-range body that emits in iteration order —
+// channel sends, writer calls, or appends to slices that are not all sorted
+// after the loop.
+func checkMapRange(pass *Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
+	info := pass.Pkg.Info
+	ordered := false // sends/writes: order-dependent with no sort escape hatch
+	var appended []types.Object
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || i >= len(n.Lhs) {
+					continue
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+					continue
+				}
+				if tgt, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+					obj := info.Uses[tgt]
+					if obj == nil {
+						obj = info.Defs[tgt]
+					}
+					if obj != nil {
+						appended = append(appended, obj)
+						continue
+					}
+				}
+				ordered = true // appending into a field/element we can't trace
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Write", "WriteString", "WriteByte", "Printf", "Fprintf", "Print", "Println":
+					ordered = true
+				}
+			}
+		case *ast.SendStmt:
+			ordered = true
+		}
+		return true
+	})
+	if !ordered && len(appended) == 0 {
+		return // pure accumulation (map writes, counters) is order-insensitive
+	}
+	if !ordered {
+		allSorted := true
+		for _, obj := range appended {
+			if !sortedAfter(info, fd.Body, obj, rng.End()) {
+				allSorted = false
+				break
+			}
+		}
+		if allSorted {
+			return // collect-then-sort idiom
+		}
+	}
+	pass.Reportf(rng.Pos(), "map iteration feeds ordered output in a deterministic package; sort the keys first")
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices call after pos
+// in the function body (sort.Strings(keys), slices.Sort(keys), ...).
+func sortedAfter(info *types.Info, body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		callee := calleeObj(info, call)
+		switch pkgPathOf(callee) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if root := rootIdent(arg); root != nil && info.Uses[root] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

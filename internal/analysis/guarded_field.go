@@ -1,0 +1,331 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GuardedFieldAnalyzer enforces `// guarded by <mu>` field annotations: a
+// guarded field may only be read or written while the declared sibling mutex
+// is held on the same receiver chain (s.f guarded by mu requires s.mu locked).
+// The walker is lexical and flow-light: Lock/RLock adds the mutex to the held
+// set, Unlock/RUnlock removes it, deferred unlocks hold to function end,
+// branch bodies get copies of the held set, and function literals start cold
+// (they may run on another goroutine).
+//
+// It also flags atomic/direct mixing: a field passed to sync/atomic functions
+// anywhere in the package must never be accessed directly.
+var GuardedFieldAnalyzer = &Analyzer{
+	Name: "guarded-field",
+	Doc:  "guarded-by fields are only touched under their mutex; atomic fields are never accessed directly",
+	Run:  runGuardedField,
+}
+
+func runGuardedField(pass *Pass) {
+	funcDecls(pass.Pkg, func(fd *ast.FuncDecl) {
+		w := &lockWalker{
+			pass:  pass,
+			fresh: freshLocals(pass, fd),
+			held:  map[string]bool{},
+		}
+		w.stmts(fd.Body.List)
+	})
+	checkAtomicMixing(pass)
+}
+
+// freshLocals collects variables bound to values constructed in this function
+// (composite literals, new(T)). Initializing their fields before publication
+// does not need the lock.
+func freshLocals(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	info := pass.Pkg.Info
+	fresh := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				continue // only fresh at the defining :=
+			}
+			if isConstruction(info, as.Rhs[i]) {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+func isConstruction(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		return isConstruction(info, e.X)
+	case *ast.CallExpr:
+		if obj := calleeObj(info, e); obj != nil {
+			if b, ok := obj.(*types.Builtin); ok && b.Name() == "new" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type lockWalker struct {
+	pass  *Pass
+	fresh map[types.Object]bool
+	// held maps mutex access paths ("b.closeMu", "sk.mu") to true while the
+	// lexical walk is inside the locked region.
+	held map[string]bool
+}
+
+func (w *lockWalker) copyHeld() map[string]bool {
+	c := make(map[string]bool, len(w.held))
+	for k := range w.held {
+		c[k] = true
+	}
+	return c
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt) {
+	for _, st := range list {
+		w.stmt(st)
+	}
+}
+
+func (w *lockWalker) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if mu, locking, ok := mutexOp(w.pass.Pkg.Info, call); ok {
+				if locking {
+					w.held[mu] = true
+				} else {
+					delete(w.held, mu)
+				}
+				return
+			}
+		}
+		w.checkExpr(st.X)
+	case *ast.DeferStmt:
+		if _, locking, ok := mutexOp(w.pass.Pkg.Info, st.Call); ok && !locking {
+			return // deferred unlock: held to function end
+		}
+		w.checkExpr(st.Call)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.checkExpr(e)
+		}
+		for _, e := range st.Lhs {
+			w.checkExpr(e)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		w.checkExpr(st.Cond)
+		w.withCopy(func(inner *lockWalker) { inner.stmts(st.Body.List) })
+		if st.Else != nil {
+			w.withCopy(func(inner *lockWalker) { inner.stmt(st.Else) })
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			w.checkExpr(st.Cond)
+		}
+		w.withCopy(func(inner *lockWalker) { inner.stmts(st.Body.List) })
+	case *ast.RangeStmt:
+		w.checkExpr(st.X)
+		w.withCopy(func(inner *lockWalker) { inner.stmts(st.Body.List) })
+	case *ast.BlockStmt:
+		w.withCopy(func(inner *lockWalker) { inner.stmts(st.List) })
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			w.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			w.checkExpr(st.Tag)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.withCopy(func(inner *lockWalker) { inner.stmts(cc.Body) })
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.withCopy(func(inner *lockWalker) { inner.stmts(cc.Body) })
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.withCopy(func(inner *lockWalker) {
+					if cc.Comm != nil {
+						inner.stmt(cc.Comm)
+					}
+					inner.stmts(cc.Body)
+				})
+			}
+		}
+	case *ast.GoStmt:
+		w.checkExpr(st.Call) // the literal body is walked cold via checkExpr
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.checkExpr(e)
+		}
+	case *ast.SendStmt:
+		w.checkExpr(st.Chan)
+		w.checkExpr(st.Value)
+	case *ast.IncDecStmt:
+		w.checkExpr(st.X)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.checkExpr(v)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(st.Stmt)
+	}
+}
+
+func (w *lockWalker) withCopy(fn func(*lockWalker)) {
+	inner := &lockWalker{pass: w.pass, fresh: w.fresh, held: w.copyHeld()}
+	fn(inner)
+}
+
+// checkExpr flags guarded-field selectors reachable in e. Function literals
+// are walked with an empty held set: they may run later, on another
+// goroutine, when the lock is long gone.
+func (w *lockWalker) checkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			cold := &lockWalker{pass: w.pass, fresh: w.fresh, held: map[string]bool{}}
+			cold.stmts(n.Body.List)
+			return false
+		case *ast.SelectorExpr:
+			w.checkSelector(n)
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) checkSelector(sel *ast.SelectorExpr) {
+	info := w.pass.Pkg.Info
+	obj := info.Uses[sel.Sel]
+	if obj == nil {
+		if s, ok := info.Selections[sel]; ok {
+			obj = s.Obj()
+		}
+	}
+	if obj == nil {
+		return
+	}
+	mu := w.pass.Prog.GuardedBy(obj)
+	if mu == "" {
+		return
+	}
+	if root := rootIdent(sel.X); root != nil {
+		robj := info.Uses[root]
+		if robj == nil {
+			robj = info.Defs[root]
+		}
+		if w.fresh[robj] {
+			return // initializing a value constructed here, before publication
+		}
+	}
+	key := types.ExprString(sel.X) + "." + mu
+	if !w.held[key] {
+		w.pass.Reportf(sel.Pos(), "field %s is guarded by %s but accessed without %s held", sel.Sel.Name, mu, key)
+	}
+}
+
+// mutexOp decodes m.Lock()/RLock()/Unlock()/RUnlock() calls on mutex-typed
+// fields or variables, returning the mutex access path and lock direction.
+func mutexOp(info *types.Info, call *ast.CallExpr) (mu string, locking, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locking = true
+	case "Unlock", "RUnlock":
+		locking = false
+	default:
+		return "", false, false
+	}
+	if !isMutexType(namedOf(info.TypeOf(sel.X))) {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), locking, true
+}
+
+// checkAtomicMixing flags package fields that are touched both through
+// sync/atomic calls (&x.f passed to atomic.LoadInt64 etc.) and directly.
+func checkAtomicMixing(pass *Pass) {
+	info := pass.Pkg.Info
+	atomicFields := map[types.Object]bool{}
+	atomicOK := map[*ast.SelectorExpr]bool{}
+
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObj(info, call)
+			if pkgPathOf(obj) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fobj := info.Uses[sel.Sel]; fobj != nil {
+					atomicFields[fobj] = true
+					atomicOK[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicOK[sel] {
+				return true
+			}
+			if fobj := info.Uses[sel.Sel]; fobj != nil && atomicFields[fobj] {
+				pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic elsewhere in this package; direct access races — use atomic loads/stores", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

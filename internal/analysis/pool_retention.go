@@ -1,0 +1,308 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PoolRetentionAnalyzer enforces two recycling contracts:
+//
+//  1. Get/Put pairing — a value obtained from sync.Pool.Get (or Get on a type
+//     annotated //genielint:pool) must be Put back in the same function, or
+//     explicitly handed off (returned, stored into a field/global, or passed
+//     to another function that owns it from there). It must never be used
+//     after the Put that surrenders it.
+//
+//  2. Clone-before-mutate — a function that receives values of a type
+//     annotated //genielint:pooled (shared through pools across goroutines)
+//     may not mutate them in place; it must Clone first. Methods of the
+//     pooled type itself are exempt (Clone has to mutate its copy).
+var PoolRetentionAnalyzer = &Analyzer{
+	Name: "pool-retention",
+	Doc:  "pool Get results are Put or handed off, never used after Put; pooled values are cloned before mutation",
+	Run:  runPoolRetention,
+}
+
+func runPoolRetention(pass *Pass) {
+	funcDecls(pass.Pkg, func(fd *ast.FuncDecl) {
+		checkGetPut(pass, fd)
+		checkCloneBeforeMutate(pass, fd)
+	})
+}
+
+// isPoolObj reports whether a method object is <pool>.Get or <pool>.Put for a
+// recognized pool type (sync.Pool, or any type annotated pool).
+func isPoolMethod(pass *Pass, obj types.Object, name string) bool {
+	if obj == nil || obj.Name() != name {
+		return false
+	}
+	tn := recvNamed(obj)
+	if tn == nil {
+		return false
+	}
+	if pkgPathOf(tn) == "sync" && tn.Name() == "Pool" {
+		return true
+	}
+	return pass.Prog.PoolType(tn)
+}
+
+// getResult peels the type assertion conventionally wrapped around pool gets
+// (pool.Get().(*T)) and returns the inner Get call, or nil.
+func getCall(pass *Pass, e ast.Expr) *ast.CallExpr {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	if isPoolMethod(pass, calleeObj(pass.Pkg.Info, call), "Get") {
+		return call
+	}
+	return nil
+}
+
+type getTracker struct {
+	obj     types.Object
+	pos     ast.Node
+	put     bool // Put reached (directly or deferred)
+	handoff bool // returned, stored, or passed on — ownership transferred
+	putAt   ast.Node
+}
+
+func checkGetPut(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	var tracked []*getTracker
+	byObj := map[types.Object]*getTracker{}
+
+	// First sweep: find Get results bound to locals.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if getCall(pass, rhs) == nil || i >= len(as.Lhs) {
+				continue
+			}
+			id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			t := &getTracker{obj: obj, pos: as}
+			tracked = append(tracked, t)
+			byObj[obj] = t
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return
+	}
+
+	// Second sweep, in source order: record Puts, handoffs, and uses after a
+	// non-deferred Put. Deferred Puts satisfy the pairing without creating a
+	// use-after window.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if isPoolMethod(pass, calleeObj(info, n.Call), "Put") {
+				for _, arg := range n.Call.Args {
+					if t := trackerFor(info, byObj, arg); t != nil {
+						t.put = true
+					}
+				}
+				return false // args inside the defer are not "uses after Put"
+			}
+			markHandoffArgs(info, byObj, n.Call)
+			return true
+		case *ast.CallExpr:
+			obj := calleeObj(info, n)
+			if isPoolMethod(pass, obj, "Put") {
+				for _, arg := range n.Args {
+					if t := trackerFor(info, byObj, arg); t != nil {
+						t.put = true
+						t.putAt = n
+					}
+				}
+				return false
+			}
+			// Passing the value to any other call transfers responsibility
+			// (the release helper pattern: release(dc) Puts internally).
+			markHandoffArgs(info, byObj, n)
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if t := trackerFor(info, byObj, res); t != nil {
+					t.handoff = true
+				}
+			}
+		case *ast.AssignStmt:
+			// Storing the value into anything other than a fresh local is a
+			// handoff (field, global, map/slice slot).
+			for i, rhs := range n.Rhs {
+				t := trackerFor(info, byObj, rhs)
+				if t == nil || i >= len(n.Lhs) {
+					continue
+				}
+				if _, isIdent := ast.Unparen(n.Lhs[i]).(*ast.Ident); !isIdent {
+					t.handoff = true
+				}
+			}
+		case *ast.Ident:
+			obj := info.Uses[n]
+			if t := byObj[obj]; t != nil && t.put && t.putAt != nil && n.Pos() > t.putAt.End() {
+				pass.Reportf(n.Pos(), "%s used after being Put back in its pool", n.Name)
+				t.putAt = nil // one report per window
+			}
+		}
+		return true
+	})
+
+	for _, t := range tracked {
+		if !t.put && !t.handoff {
+			pass.Reportf(t.pos.Pos(), "pool Get result %s is never Put back (or handed off); the pool drains under load", t.obj.Name())
+		}
+	}
+}
+
+func trackerFor(info *types.Info, byObj map[types.Object]*getTracker, e ast.Expr) *getTracker {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return byObj[info.Uses[id]]
+}
+
+func markHandoffArgs(info *types.Info, byObj map[types.Object]*getTracker, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		if t := trackerFor(info, byObj, arg); t != nil {
+			t.handoff = true
+		}
+	}
+}
+
+// checkCloneBeforeMutate flags in-place mutation of pooled-typed parameters.
+func checkCloneBeforeMutate(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	obj := info.Defs[fd.Name]
+	if tn := recvNamed(obj); tn != nil && pass.Prog.Pooled(tn) {
+		return // the pooled type's own methods (Clone, pool management) may mutate
+	}
+
+	// Collect parameters (and receiver) whose type is pooled, or a
+	// slice/pointer of a pooled type.
+	watched := map[types.Object]bool{}
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				p := info.Defs[name]
+				if p == nil {
+					continue
+				}
+				if tn := pooledElem(pass, p.Type()); tn != nil {
+					watched[p] = true
+				}
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+	if len(watched) == 0 {
+		return
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		// d = d.Clone() (or d := shared.Clone()) severs sharing: stop
+		// watching the rebound variable.
+		for i, lhs := range as.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || i >= len(as.Rhs) {
+				continue
+			}
+			lobj := info.Defs[id]
+			if lobj == nil {
+				lobj = info.Uses[id]
+			}
+			if watched[lobj] && isCloneCall(info, as.Rhs[i]) {
+				delete(watched, lobj)
+			}
+		}
+		// Mutation through a watched root: d.Field = x, d.Field[i] = x,
+		// d.Field = append(d.Field, ...).
+		for _, lhs := range as.Lhs {
+			if _, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+				continue // rebinding the variable itself is not a mutation
+			}
+			root := rootIdent(lhs)
+			if root == nil {
+				continue
+			}
+			robj := info.Uses[root]
+			if robj == nil {
+				robj = info.Defs[root]
+			}
+			if !watched[robj] {
+				continue
+			}
+			tn := pooledElem(pass, robj.Type())
+			name := "pooled value"
+			if tn != nil {
+				name = "pooled " + tn.Name()
+			}
+			pass.Reportf(as.Pos(), "%s %s mutated in place; Clone before mutating — it is shared through a pool", name, root.Name)
+		}
+		return true
+	})
+}
+
+// pooledElem unwraps pointers and slices and returns the pooled named type,
+// or nil.
+func pooledElem(pass *Pass, t types.Type) *types.TypeName {
+	for t != nil {
+		t = types.Unalias(t)
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Slice:
+			t = tt.Elem()
+		case *types.Named:
+			if pass.Prog.Pooled(tt.Obj()) {
+				return tt.Obj()
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// isCloneCall reports whether e is a call to a method whose name contains
+// Clone or Copy (d.Clone(), deepCopy(d), ...).
+func isCloneCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	obj := calleeObj(info, call)
+	if obj == nil {
+		return false
+	}
+	name := obj.Name()
+	return strings.Contains(name, "Clone") || strings.Contains(name, "Copy")
+}

@@ -1,0 +1,75 @@
+// Package arenaescape seeds graph-lease lifetime bugs the arena-escape pass
+// must catch: arena-backed values stored into long-lived fields, globals, or
+// returned without a returns-arena contract.
+package arenaescape
+
+// Arena mimics nn.Arena: values it hands out are valid only until Reset.
+//
+//genielint:arena-source
+type Arena struct{ slab []float64 }
+
+// Tensor mimics nn.Tensor.
+type Tensor struct{ W []float64 }
+
+func (a *Arena) Get(n int) *Tensor { return &Tensor{W: a.slab[:n]} }
+func (a *Arena) Reset()            { a.slab = a.slab[:0] }
+
+// scratch is lease-bounded by design, like model.decodeCtx.
+//
+//genielint:arena-scoped
+type scratch struct{ rows []*Tensor }
+
+// Model outlives any single graph lease.
+type Model struct{ cache *Tensor }
+
+var globalTensor *Tensor
+
+func badFieldStore(m *Model, a *Arena) {
+	t := a.Get(4)
+	m.cache = t // want `arena-backed value stored in Model.cache`
+}
+
+func badGlobalStore(a *Arena) {
+	globalTensor = a.Get(2) // want `stored in package-level var globalTensor`
+}
+
+func badReturn(a *Arena) *Tensor {
+	t := a.Get(8)
+	return t // want `arena-backed value returned from badReturn`
+}
+
+func badReturnViaAppend(a *Arena, dst []*Tensor) []*Tensor {
+	dst = append(dst, a.Get(3))
+	return dst // want `arena-backed value returned from badReturnViaAppend`
+}
+
+//genielint:returns-arena
+func okAnnotatedReturn(a *Arena) *Tensor {
+	return a.Get(8)
+}
+
+func badTransitiveReturn(a *Arena) *Tensor {
+	t := okAnnotatedReturn(a)
+	return t // want `arena-backed value returned from badTransitiveReturn`
+}
+
+func okScratchStore(s *scratch, a *Arena) {
+	s.rows = append(s.rows, a.Get(1))
+}
+
+func okLocalUse(a *Arena) float64 {
+	t := a.Get(4)
+	sum := 0.0
+	for _, v := range t.W {
+		sum += v
+	}
+	a.Reset()
+	return sum
+}
+
+func okReassignClearsTaint(a *Arena) *Tensor {
+	t := a.Get(4)
+	_ = t
+	t = &Tensor{W: make([]float64, 4)}
+	return t
+}

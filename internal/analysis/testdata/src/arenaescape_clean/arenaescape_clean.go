@@ -1,0 +1,41 @@
+// Package arenaescapeclean is the clean twin of the arenaescape fixture:
+// the same shapes with every arena value kept inside its lease, so the
+// arena-escape pass must stay silent.
+package arenaescapeclean
+
+//genielint:arena-source
+type Arena struct{ slab []float64 }
+
+type Tensor struct{ W []float64 }
+
+func (a *Arena) Get(n int) *Tensor { return &Tensor{W: a.slab[:n]} }
+func (a *Arena) Reset()            { a.slab = a.slab[:0] }
+
+//genielint:arena-scoped
+type scratch struct{ rows []*Tensor }
+
+func scratchStore(s *scratch, a *Arena) {
+	s.rows = append(s.rows, a.Get(1))
+}
+
+//genielint:returns-arena
+func annotatedReturn(a *Arena) *Tensor {
+	return a.Get(8)
+}
+
+func localUse(a *Arena) float64 {
+	t := a.Get(4)
+	sum := 0.0
+	for _, v := range t.W {
+		sum += v
+	}
+	a.Reset()
+	return sum
+}
+
+func copyOut(a *Arena) []float64 {
+	t := a.Get(4)
+	out := make([]float64, len(t.W))
+	copy(out, t.W)
+	return out
+}

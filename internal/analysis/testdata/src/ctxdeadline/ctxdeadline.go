@@ -1,0 +1,44 @@
+// Package ctxdeadline seeds deadline-propagation bugs the ctx-deadline pass
+// must catch in ctx-strict packages: severing the request context with
+// Background/TODO, and building context-free HTTP requests.
+//
+//genielint:ctx-strict
+package ctxdeadline
+
+import (
+	"context"
+	"net/http"
+)
+
+type server struct{}
+
+func (s *server) helper(ctx context.Context) error { return ctx.Err() }
+
+func (s *server) badSever(ctx context.Context) error {
+	return s.helper(context.Background()) // want `context.Background severs the request deadline`
+}
+
+func (s *server) badTODO(ctx context.Context) error {
+	return s.helper(context.TODO()) // want `context.TODO severs the request deadline`
+}
+
+func badRequest(url string) (*http.Request, error) {
+	return http.NewRequest("GET", url, nil) // want `http.NewRequest builds a context.Background`
+}
+
+func (s *server) okThreaded(ctx context.Context) error {
+	return s.helper(ctx)
+}
+
+func (s *server) okDerived(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return s.helper(ctx)
+}
+
+// Parse adapts a ctx-free interface; the root context is declared.
+//
+//genielint:ctx-root interface adapter: the Decoder contract has no ctx parameter
+func (s *server) Parse(words []string) error {
+	return s.helper(context.Background())
+}

@@ -1,0 +1,34 @@
+// Package ctxdeadlineclean is the clean twin of the ctxdeadline fixture:
+// every path threads its incoming context, and the one legitimate root is
+// annotated.
+//
+//genielint:ctx-strict
+package ctxdeadlineclean
+
+import (
+	"context"
+	"net/http"
+)
+
+type server struct{}
+
+func (s *server) helper(ctx context.Context) error { return ctx.Err() }
+
+func (s *server) threaded(ctx context.Context) error {
+	return s.helper(ctx)
+}
+
+func (s *server) derived(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return s.helper(ctx)
+}
+
+func request(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, "GET", url, nil)
+}
+
+//genielint:ctx-root interface adapter: the Decoder contract has no ctx parameter
+func (s *server) Parse(words []string) error {
+	return s.helper(context.Background())
+}

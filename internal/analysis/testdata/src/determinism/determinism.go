@@ -1,0 +1,70 @@
+// Package determinism seeds reproducibility bugs the determinism pass must
+// catch in annotated packages: wall-clock reads, global rand draws, and map
+// iteration feeding ordered output.
+//
+//genielint:deterministic
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func badClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in a deterministic package`
+}
+
+func badElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in a deterministic package`
+}
+
+func badGlobalRand() int {
+	return rand.Intn(10) // want `global rand.Intn stream`
+}
+
+func badGlobalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand.Shuffle stream`
+}
+
+func okSeededStream(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func badMapEmit(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `map iteration feeds ordered output`
+		out = append(out, k)
+	}
+	return out
+}
+
+func badMapSend(m map[string]int, ch chan<- string) {
+	for k := range m { // want `map iteration feeds ordered output`
+		ch <- k
+	}
+}
+
+func okSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func okAccumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func okSliceRange(xs []int, ch chan<- int) {
+	for _, v := range xs {
+		ch <- v
+	}
+}

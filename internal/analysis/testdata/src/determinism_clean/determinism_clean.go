@@ -1,0 +1,32 @@
+// Package determinismclean is the clean twin of the determinism fixture:
+// seeded streams, sorted map keys, and order-insensitive accumulation only.
+//
+//genielint:deterministic
+package determinismclean
+
+import (
+	"math/rand"
+	"sort"
+)
+
+func seededStream(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func accumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,22 @@
+// Package directivebad seeds malformed //genielint: directives; the driver
+// reports them under the pseudo-pass "directive" so a typo can never silently
+// disable a check. The unit test asserts on these by count and message, not
+// want comments (a want comment cannot share a line with a line directive).
+package directivebad
+
+// An unknown directive name.
+//
+//genielint:bogus
+var a = 0
+
+// An allow without a reason: suppressions must be explained.
+//
+//genielint:allow ctx-deadline
+var b = 0
+
+// A ctx-root without a reason.
+//
+//genielint:ctx-root
+func root() {}
+
+var _ = a + b

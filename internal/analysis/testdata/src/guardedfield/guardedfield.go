@@ -1,0 +1,101 @@
+// Package guardedfield seeds locking bugs the guarded-field pass must catch:
+// guarded fields touched without their mutex, lock scope lost across
+// branches and goroutines, and atomic fields mixed with direct access.
+package guardedfield
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) badInc() {
+	c.n++ // want `guarded by mu but accessed without c.mu held`
+}
+
+func (c *counter) goodInc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) goodDeferred() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) badAfterUnlock() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n // want `accessed without c.mu held`
+}
+
+func (c *counter) badBranchScope(cond bool) {
+	if cond {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+	c.n++ // want `accessed without c.mu held`
+}
+
+func (c *counter) badGoroutine() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want `accessed without c.mu held`
+	}()
+}
+
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1 // fresh local before publication: fine
+	return c
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+func (t *table) goodGet(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+func (t *table) goodSet(k string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[k] = v
+}
+
+func (t *table) badGet(k string) int {
+	return t.m[k] // want `guarded by mu but accessed without t.mu held`
+}
+
+type stats struct {
+	hits int64
+	name string
+}
+
+func (s *stats) atomicAdd()        { atomic.AddInt64(&s.hits, 1) }
+func (s *stats) atomicRead() int64 { return atomic.LoadInt64(&s.hits) }
+
+func (s *stats) badDirectRead() int64 {
+	return s.hits // want `accessed with sync/atomic elsewhere`
+}
+
+func (s *stats) okUnrelatedField() string {
+	return s.name
+}
+
+func (c *counter) okAllowListed() int {
+	//genielint:allow guarded-field fixture demonstrating suppression: racy read is intended here
+	return c.n
+}

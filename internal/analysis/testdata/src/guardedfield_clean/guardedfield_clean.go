@@ -1,0 +1,56 @@
+// Package guardedfieldclean is the clean twin of the guardedfield fixture:
+// every guarded access is under its mutex, and the atomic field is only
+// touched through sync/atomic.
+package guardedfieldclean
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+func (t *table) get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+func (t *table) set(k string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[k] = v
+}
+
+type stats struct {
+	hits int64
+}
+
+func (s *stats) add()        { atomic.AddInt64(&s.hits, 1) }
+func (s *stats) read() int64 { return atomic.LoadInt64(&s.hits) }

@@ -1,0 +1,109 @@
+// Package poolretention seeds recycling bugs the pool-retention pass must
+// catch: leaked Gets, use-after-Put, and the PR 1 bug class — semantic
+// functions mutating shared pooled derivations in place.
+package poolretention
+
+import "sync"
+
+type decodeCtx struct{ buf []int }
+
+var ctxPool = sync.Pool{New: func() any { return new(decodeCtx) }}
+
+func badNoPut() int {
+	dc := ctxPool.Get().(*decodeCtx) // want `never Put back`
+	return len(dc.buf)
+}
+
+func badUseAfterPut() int {
+	dc := ctxPool.Get().(*decodeCtx)
+	ctxPool.Put(dc)
+	return len(dc.buf) // want `used after being Put`
+}
+
+func okPaired() int {
+	dc := ctxPool.Get().(*decodeCtx)
+	n := len(dc.buf)
+	ctxPool.Put(dc)
+	return n
+}
+
+func okDeferred() int {
+	dc := ctxPool.Get().(*decodeCtx)
+	defer ctxPool.Put(dc)
+	return len(dc.buf)
+}
+
+func okHandoffReturn() *decodeCtx {
+	dc := ctxPool.Get().(*decodeCtx)
+	return dc
+}
+
+func release(dc *decodeCtx) { ctxPool.Put(dc) }
+
+func okHandoffHelper() int {
+	dc := ctxPool.Get().(*decodeCtx)
+	n := len(dc.buf)
+	release(dc)
+	return n
+}
+
+// graphPool mimics nn.GraphPool, a recycling container outside sync.Pool.
+//
+//genielint:pool
+type graphPool struct{ p sync.Pool }
+
+func (gp *graphPool) Get() *decodeCtx {
+	c, _ := gp.p.Get().(*decodeCtx)
+	if c == nil {
+		c = new(decodeCtx)
+	}
+	return c
+}
+
+func (gp *graphPool) Put(c *decodeCtx) { gp.p.Put(c) }
+
+var graphs graphPool
+
+func badCustomPoolNoPut() int {
+	g := graphs.Get() // want `never Put back`
+	return len(g.buf)
+}
+
+func okCustomPoolPaired() int {
+	g := graphs.Get()
+	defer graphs.Put(g)
+	return len(g.buf)
+}
+
+// Derivation mimics nltemplate.Derivation, shared through sampler pools.
+//
+//genielint:pooled
+type Derivation struct {
+	Words []string
+	Value any
+}
+
+func (d *Derivation) Clone() *Derivation {
+	return &Derivation{Words: append([]string(nil), d.Words...), Value: d.Value}
+}
+
+// badSemantic reproduces the PR 1 bug: a semantic function appending to a
+// pooled derivation it does not own.
+func badSemantic(d *Derivation) *Derivation {
+	d.Words = append(d.Words, "the") // want `pooled Derivation d mutated in place`
+	return d
+}
+
+func badFieldWrite(d *Derivation, v any) {
+	d.Value = v // want `mutated in place`
+}
+
+func okClonedFirst(d *Derivation) *Derivation {
+	d = d.Clone()
+	d.Words = append(d.Words, "the")
+	return d
+}
+
+func okReadOnly(d *Derivation) int {
+	return len(d.Words)
+}

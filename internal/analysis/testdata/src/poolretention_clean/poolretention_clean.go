@@ -1,0 +1,52 @@
+// Package poolretentionclean is the clean twin of the poolretention fixture:
+// every Get is Put or handed off, nothing is touched after Put, and pooled
+// derivations are cloned before mutation.
+package poolretentionclean
+
+import "sync"
+
+type decodeCtx struct{ buf []int }
+
+var ctxPool = sync.Pool{New: func() any { return new(decodeCtx) }}
+
+func paired() int {
+	dc := ctxPool.Get().(*decodeCtx)
+	n := len(dc.buf)
+	ctxPool.Put(dc)
+	return n
+}
+
+func deferred() int {
+	dc := ctxPool.Get().(*decodeCtx)
+	defer ctxPool.Put(dc)
+	return len(dc.buf)
+}
+
+func release(dc *decodeCtx) { ctxPool.Put(dc) }
+
+func viaHelper() int {
+	dc := ctxPool.Get().(*decodeCtx)
+	n := len(dc.buf)
+	release(dc)
+	return n
+}
+
+//genielint:pooled
+type Derivation struct {
+	Words []string
+	Value any
+}
+
+func (d *Derivation) Clone() *Derivation {
+	return &Derivation{Words: append([]string(nil), d.Words...), Value: d.Value}
+}
+
+func clonedFirst(d *Derivation) *Derivation {
+	d = d.Clone()
+	d.Words = append(d.Words, "the")
+	return d
+}
+
+func readOnly(d *Derivation) int {
+	return len(d.Words)
+}

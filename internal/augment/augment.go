@@ -12,6 +12,8 @@
 // upstream stage such as synthesis.SynthesizeStream, with per-example RNGs
 // derived from StreamConfig.Seed so the output is identical for any worker
 // count.
+//
+//genielint:deterministic
 package augment
 
 import (

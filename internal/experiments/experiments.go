@@ -4,6 +4,8 @@
 // a CPU simulator, not the authors' V100 testbed), but the shapes — who
 // wins, by roughly what factor — are the reproduction target. See
 // EXPERIMENTS.md for recorded paper-vs-measured values.
+//
+//genielint:deterministic
 package experiments
 
 import (

@@ -14,6 +14,8 @@
 // Layering: internal/serve owns one parser's serving mechanics (micro-
 // batching, admission control, drain) and the wire types; this package owns
 // the many-parser concerns — lifecycle, routing, hot reload, observability.
+//
+//genielint:ctx-strict
 package fleet
 
 import (
@@ -88,14 +90,15 @@ type shard struct {
 
 // skill is one entry of the registry.
 type skill struct {
+	// name and path are fixed at construction and read lock-free.
 	name string
+	path string
 
 	mu        sync.Mutex
-	path      string
-	entry     thingpedia.DirEntry // stat signal at the last (re)load
-	err       error               // last build error, if any
-	reloading bool                // a background build is in flight
-	removed   bool
+	entry     thingpedia.DirEntry // guarded by mu; stat signal at the last (re)load
+	err       error               // guarded by mu; last build error, if any
+	reloading bool                // guarded by mu; a background build is in flight
+	removed   bool                // guarded by mu
 
 	shard atomic.Pointer[shard]
 
@@ -521,6 +524,8 @@ func (r *Registry) ParseAny(ctx context.Context, words []string) (skillName stri
 
 // ParseSkill implements eval.SkillDecoder: errors decode to nil (scored as
 // wrong), keeping fleet-level evaluation total-preserving.
+//
+//genielint:ctx-root interface adapter: the eval.SkillDecoder contract has no ctx parameter
 func (r *Registry) ParseSkill(skillName string, words []string) []string {
 	toks, _, err := r.Parse(context.Background(), skillName, words)
 	if err != nil {

@@ -23,6 +23,8 @@
 // this package owns the many-process concerns — membership, health, routing
 // policy. It speaks only HTTP to its backends; internal/faultinject proves
 // the contract by injecting faults on that boundary.
+//
+//genielint:ctx-strict
 package gateway
 
 import (
@@ -148,11 +150,19 @@ type Gateway struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
+
+	// lifeCtx is the gateway's lifetime context: probes derive their
+	// per-attempt timeouts from it, so Close cancels in-flight probes
+	// instead of abandoning them to their own timers.
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
 }
 
 // New assembles a gateway over the initial backend list, probes every
 // backend once synchronously (so routing has a health and skill picture
 // before the first request), and starts the probe loop.
+//
+//genielint:ctx-root process-lifetime root: the probe loop outlives any request; Close cancels it
 func New(backendAddrs []string, opt Options) *Gateway {
 	opt = opt.withDefaults()
 	g := &Gateway{
@@ -164,6 +174,7 @@ func New(backendAddrs []string, opt Options) *Gateway {
 		mux:      http.NewServeMux(),
 		stop:     make(chan struct{}),
 	}
+	g.lifeCtx, g.lifeCancel = context.WithCancel(context.Background())
 	for _, a := range backendAddrs {
 		addr := strings.TrimRight(strings.TrimSpace(a), "/")
 		if addr == "" {
@@ -185,9 +196,12 @@ func New(backendAddrs []string, opt Options) *Gateway {
 // Handler returns the HTTP handler (for http.Server or httptest).
 func (g *Gateway) Handler() http.Handler { return g.mux }
 
-// Close stops the probe loop.
+// Close stops the probe loop and cancels in-flight probes.
 func (g *Gateway) Close() {
-	g.stopOnce.Do(func() { close(g.stop) })
+	g.stopOnce.Do(func() {
+		close(g.stop)
+		g.lifeCancel()
+	})
 	g.wg.Wait()
 }
 
@@ -279,7 +293,7 @@ func (g *Gateway) ProbeOnce() {
 // gateway cannot see skills for cannot take skill traffic). Any failure
 // counts toward ejection.
 func (g *Gateway) probe(b *backend) {
-	ctx, cancel := context.WithTimeout(context.Background(), g.opt.ProbeTimeout)
+	ctx, cancel := context.WithTimeout(g.lifeCtx, g.opt.ProbeTimeout)
 	defer cancel()
 	var h serve.HealthResponse
 	var sk serve.SkillsResponse

@@ -11,9 +11,14 @@ import (
 // The afterTotal for each option is base minus the top frame's current floor
 // plus the floor of the configuration the token leads to; most transitions
 // reduce the total by exactly one (the token just paid for itself).
-func (a *Automaton) addOptions(w *State, base, R int, ls *LegalSet) {
+func (a *Automaton) addOptions(w *State, base, R int, ls *LegalSet, track *int) {
 	f := w.top()
-	ok := func(after int) bool { return after <= R-1 }
+	ok := func(after int) bool {
+		if track != nil && after > *track {
+			*track = after
+		}
+		return after <= R-1
+	}
 	addIf := func(id int32, after int) bool {
 		if id >= 0 && ok(after) {
 			ls.add(id)
@@ -254,7 +259,7 @@ func (a *Automaton) addOptions(w *State, base, R int, ls *LegalSet) {
 				a.addConstStarts(f, base-fm, ls, addIf)
 			}
 		case vStr:
-			if base <= R-1 {
+			if ok(base) {
 				ls.AllTokens = true
 			}
 			addIf(a.kwID(tcQuote), base-1)

@@ -1,0 +1,139 @@
+package grammar
+
+import "encoding/binary"
+
+// legalCacheLimit bounds the total number of memoized masks. Pooled decode
+// contexts live for the process lifetime, so without a cap a cache would
+// accumulate fingerprints across every request it ever served. When the cap
+// is hit the cache is dropped wholesale: entries are cheap to recompute and
+// an LRU chain would cost more bookkeeping than the walks it saves.
+const legalCacheLimit = 8192
+
+// LegalCache memoizes Legal results per (state fingerprint, budget band).
+//
+// Most decode states are budget-insensitive: every afterTotal the walk
+// compares against the budget is well under it, so the resulting mask is
+// identical for any budget at least as loose (see Automaton.legal). Those
+// results are stored once in sat, keyed by the state fingerprint alone, and
+// reused for every remaining-length in the band. Runs where the budget did
+// clip at least one option are stored in exact under (fingerprint, budget).
+//
+// A cache belongs to one goroutine (typically one pooled decode context) and
+// is not safe for concurrent use. It self-invalidates when queried with a
+// different Automaton, so a pooled context that alternates between parsers
+// stays correct, merely cold.
+type LegalCache struct {
+	auto   *Automaton
+	sat    map[string]memoEntry
+	exact  map[exactKey]memoEntry
+	key    []byte // encode scratch, reused across queries
+	hits   uint64
+	misses uint64
+}
+
+// Stats reports how many LegalCached queries were served from the cache and
+// how many fell through to the walker. Counters survive invalidation.
+func (c *LegalCache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+type exactKey struct {
+	state string
+	r     int
+}
+
+type memoEntry struct {
+	ids      []int32 // ascending, as Legal produces them
+	eos      bool
+	all      bool
+	num      bool
+	maxAfter int // sat only: largest afterTotal any budget check considered
+}
+
+func (e memoEntry) restore(ls *LegalSet, vsize int) {
+	ls.reset(vsize)
+	for _, id := range e.ids {
+		ls.add(id)
+	}
+	ls.EOS, ls.AllTokens, ls.NumberOK = e.eos, e.all, e.num
+}
+
+func (c *LegalCache) invalidate(a *Automaton) {
+	c.auto = a
+	c.sat = make(map[string]memoEntry)
+	c.exact = make(map[exactKey]memoEntry)
+}
+
+// trackFloor initializes the comparison tracker. Any real afterTotal exceeds
+// it, and a walk that never consults the budget (tracker untouched) is
+// budget-independent outright, reusable at every remaining-length.
+const trackFloor = -(1 << 30)
+
+// LegalCached is Legal through c. A nil cache degrades to the plain walk.
+func (a *Automaton) LegalCached(st *State, remaining int, ls *LegalSet, c *LegalCache) {
+	if c == nil {
+		a.Legal(st, remaining, ls)
+		return
+	}
+	if c.auto != a {
+		c.invalidate(a)
+	}
+	c.key = appendStateKey(c.key[:0], st)
+	if e, hit := c.sat[string(c.key)]; hit && remaining-1 >= e.maxAfter {
+		c.hits++
+		e.restore(ls, len(a.vocab))
+		return
+	}
+	if e, hit := c.exact[exactKey{string(c.key), remaining}]; hit {
+		c.hits++
+		e.restore(ls, len(a.vocab))
+		return
+	}
+	c.misses++
+	maxAfter := trackFloor
+	a.legal(st, remaining, ls, &maxAfter)
+	if len(c.sat)+len(c.exact) >= legalCacheLimit {
+		c.invalidate(a)
+	}
+	e := memoEntry{
+		ids:      append([]int32(nil), ls.IDs...),
+		eos:      ls.EOS,
+		all:      ls.AllTokens,
+		num:      ls.NumberOK,
+		maxAfter: maxAfter,
+	}
+	if maxAfter <= remaining-1 {
+		c.sat[string(c.key)] = e
+	} else {
+		c.exact[exactKey{string(c.key), remaining}] = e
+	}
+}
+
+// appendStateKey appends an exact byte encoding of st. Two states compare
+// equal under the encoding iff every frame field and environment entry
+// matches — no hashing, no collisions. Lengths are encoded before their
+// elements so adjacent variable-length sections cannot alias.
+func appendStateKey(b []byte, st *State) []byte {
+	b = binary.AppendVarint(b, int64(st.lastFn))
+	b = binary.AppendUvarint(b, uint64(len(st.frames)))
+	for i := range st.frames {
+		f := &st.frames[i]
+		b = append(b, f.kind, f.pos)
+		b = binary.AppendUvarint(b, uint64(f.flags))
+		b = binary.AppendVarint(b, int64(f.fn))
+		b = binary.AppendVarint(b, int64(f.aux))
+		b = binary.AppendUvarint(b, f.used)
+		b = binary.AppendUvarint(b, f.pending)
+		if f.sawList {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		for _, env := range [4][]EnvEntry{f.env, f.env2, f.envR, f.envRt} {
+			b = binary.AppendUvarint(b, uint64(len(env)))
+			for _, e := range env {
+				b = binary.AppendVarint(b, int64(e.name))
+				b = binary.AppendVarint(b, int64(e.typ))
+			}
+		}
+	}
+	return b
+}

@@ -1,0 +1,182 @@
+package grammar_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/grammar"
+)
+
+func masksEqual(a, b *grammar.LegalSet) bool {
+	if a.EOS != b.EOS || a.AllTokens != b.AllTokens || a.NumberOK != b.NumberOK {
+		return false
+	}
+	if len(a.IDs) != len(b.IDs) {
+		return false
+	}
+	for i := range a.IDs {
+		if a.IDs[i] != b.IDs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func describeMask(ls *grammar.LegalSet) string {
+	var sb strings.Builder
+	for _, id := range ls.IDs {
+		sb.WriteString(" ")
+		sb.WriteString(string(rune('0' + id%10)))
+	}
+	return sb.String()
+}
+
+// TestLegalCacheParity replays corpus programs and, at every decode state,
+// compares the memoized mask against the unmemoized walker across a sweep of
+// budgets — looser and tighter than the one that populated the cache, in both
+// orders, so saturated-band reuse and exact-budget entries are both exercised
+// against ground truth. One shared cache serves the whole replay, matching
+// how a pooled decode context accumulates states across requests.
+func TestLegalCacheParity(t *testing.T) {
+	lib, progs, vocab := corpus(t, 300)
+	auto := compile(t, lib, vocab)
+	index := map[string]int{}
+	for i, tok := range vocab {
+		if _, ok := index[tok]; !ok {
+			index[tok] = i
+		}
+	}
+
+	var want, got grammar.LegalSet
+	var cache grammar.LegalCache
+	// Descending then ascending: a loose-budget (often saturated) entry is
+	// queried again at tighter budgets where it must NOT be reused, and a
+	// tight-budget entry at looser ones.
+	budgets := []int{walkBudget + 16, walkBudget, 9, 3, 1, 5, walkBudget + 7}
+	check := func(st *grammar.State, where string, program []string) {
+		for _, r := range budgets {
+			auto.Legal(st, r, &want)
+			auto.LegalCached(st, r, &got, &cache)
+			if !masksEqual(&want, &got) {
+				t.Fatalf("mask mismatch at %s, budget %d\nwant: eos=%v all=%v num=%v ids=%s\ngot:  eos=%v all=%v num=%v ids=%s\nprogram: %s",
+					where, r,
+					want.EOS, want.AllTokens, want.NumberOK, describeMask(&want),
+					got.EOS, got.AllTokens, got.NumberOK, describeMask(&got),
+					strings.Join(program, " "))
+			}
+			// Immediate re-query: must hit and still agree.
+			auto.LegalCached(st, r, &got, &cache)
+			if !masksEqual(&want, &got) {
+				t.Fatalf("mask mismatch on re-query at %s, budget %d", where, r)
+			}
+		}
+	}
+
+	for _, toks := range progs {
+		st := auto.Start()
+		for i, tok := range toks {
+			check(st, "token "+tok, toks)
+			id, inVocab := index[tok]
+			if !inVocab {
+				id = -1
+			}
+			next, err := auto.Step(st, id, tok)
+			if err != nil {
+				t.Fatalf("Step(%q) at %d: %v\nprogram: %s", tok, i, err, strings.Join(toks, " "))
+			}
+			st = next
+		}
+		check(st, "end of program", toks)
+	}
+
+	hits, misses := cache.Stats()
+	if hits == 0 {
+		t.Fatal("cache never hit: memoization is not engaging")
+	}
+	t.Logf("cache: %d hits, %d misses (%.1f%% hit rate)",
+		hits, misses, 100*float64(hits)/float64(hits+misses))
+}
+
+// collectStates replays n corpus programs and returns every intermediate
+// decode state, the shared automaton, and a budget schedule mirroring the
+// decode loop's shrinking remaining-length.
+func collectStates(b *testing.B, n int) (*grammar.Automaton, []*grammar.State, []int) {
+	lib, progs, vocab := corpus(b, n)
+	auto := compile(b, lib, vocab)
+	index := map[string]int{}
+	for i, tok := range vocab {
+		if _, ok := index[tok]; !ok {
+			index[tok] = i
+		}
+	}
+	var states []*grammar.State
+	var budgets []int
+	for _, toks := range progs {
+		budget := walkBudget
+		if len(toks)+1 > budget {
+			budget = len(toks) + 1
+		}
+		st := auto.Start()
+		for _, tok := range toks {
+			states = append(states, st)
+			budgets = append(budgets, budget)
+			id, inVocab := index[tok]
+			if !inVocab {
+				id = -1
+			}
+			next, err := auto.Step(st, id, tok)
+			if err != nil {
+				b.Fatalf("Step(%q): %v", tok, err)
+			}
+			st = next
+			budget--
+		}
+	}
+	return auto, states, budgets
+}
+
+// BenchmarkLegalWalk / BenchmarkLegalMemo isolate what the per-context memo
+// buys on the mask walk itself (the decode benchmarks measure it diluted by
+// the neural forward pass): the same corpus-derived state stream, unmemoized
+// versus through one warm LegalCache.
+func BenchmarkLegalWalk(b *testing.B) {
+	auto, states, budgets := collectStates(b, 200)
+	var ls grammar.LegalSet
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		auto.Legal(states[i%len(states)], budgets[i%len(states)], &ls)
+	}
+}
+
+func BenchmarkLegalMemo(b *testing.B) {
+	auto, states, budgets := collectStates(b, 200)
+	var ls grammar.LegalSet
+	var cache grammar.LegalCache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		auto.LegalCached(states[i%len(states)], budgets[i%len(states)], &ls, &cache)
+	}
+}
+
+// TestLegalCacheAutomatonSwitch pins the invalidation path: a cache warmed on
+// one automaton must produce that *other* automaton's masks when a query
+// arrives for it — pooled decode contexts outlive any one parser.
+func TestLegalCacheAutomatonSwitch(t *testing.T) {
+	lib, progs, vocab := corpus(t, 120)
+	autoA := compile(t, lib, vocab)
+	autoB := compile(t, lib, vocab[:len(vocab)-1]) // distinct vocab => distinct masks
+
+	var want, got grammar.LegalSet
+	var cache grammar.LegalCache
+	for _, auto := range []*grammar.Automaton{autoA, autoB, autoA} {
+		for _, toks := range progs[:10] {
+			_ = toks
+			st := auto.Start()
+			auto.Legal(st, walkBudget, &want)
+			auto.LegalCached(st, walkBudget, &got, &cache)
+			if !masksEqual(&want, &got) {
+				t.Fatalf("mask mismatch after automaton switch")
+			}
+		}
+	}
+}

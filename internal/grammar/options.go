@@ -71,6 +71,18 @@ func (ls *LegalSet) WordLegal(word string) bool {
 // visits the active frame and then every ancestor reachable by finishing the
 // constructs below it, so postfix continuations and closings are all visible.
 func (a *Automaton) Legal(st *State, remaining int, ls *LegalSet) {
+	a.legal(st, remaining, ls, nil)
+}
+
+// legal is Legal with optional budget-comparison tracking: when track is
+// non-nil it records the largest afterTotal any budget check considered, so
+// a caller can tell whether the budget constrained the result at all. Every
+// comparison against R-1 funnels through addOptions' ok closure; a walk whose
+// tracked maximum is <= remaining-1 passed every check, which means the same
+// walk at any looser budget R' (R'-1 >= max) takes identical branches — the
+// AllTokens early-break and every addIf admit the same tokens — so the result
+// is reusable across that whole budget band.
+func (a *Automaton) legal(st *State, remaining int, ls *LegalSet, track *int) {
 	ls.reset(len(a.vocab))
 	w := &ls.scratch
 	w.frames = append(w.frames[:0], st.frames...)
@@ -81,7 +93,7 @@ func (a *Automaton) Legal(st *State, remaining int, ls *LegalSet) {
 			break
 		}
 		base := a.minTotal(w)
-		a.addOptions(w, base, remaining, ls)
+		a.addOptions(w, base, remaining, ls, track)
 		if ls.AllTokens {
 			break // string interior: the frame cannot finish without its quote
 		}

@@ -15,6 +15,8 @@ import "repro/internal/nn"
 // batchBufs holds the padded source-side buffers of one batched encoder
 // pass, reused across steps (training owns one inside batchScratch; every
 // batched decode call has its own inside a pooled batchDecodeCtx).
+//
+//genielint:arena-scoped
 type batchBufs struct {
 	srcIds []int  // position-major B×S source ids (S*B, padding UnkID)
 	lens   []int  // per-sequence source lengths (B)
@@ -23,6 +25,16 @@ type batchBufs struct {
 	fhs    []*nn.Tensor
 	bhs    []*nn.Tensor
 	rows   []*nn.Tensor
+}
+
+// releaseTensors zeroes the retained tensor pointers (full capacity; see
+// encBufs.releaseTensors) when a pooled batch decode context's graph lease
+// ends. The id/length/mask buffers carry no arena memory and are reused.
+func (bb *batchBufs) releaseTensors() {
+	clearTensorBuf(bb.embs)
+	clearTensorBuf(bb.fhs)
+	clearTensorBuf(bb.bhs)
+	clearTensorBuf(bb.rows)
 }
 
 // prepareSrc encodes B source sentences into the padded position-major
@@ -57,6 +69,8 @@ func (bb *batchBufs) prepareSrc(v *Vocab, srcs [][]string) int {
 // per sequence) and the concatenated final states (B×2h). Rows past a
 // sequence's end carry LSTM state through unchanged, so each row's final
 // state and memory rows are identical to a single-example encode call.
+//
+//genielint:returns-arena
 func (p *Parser) encodeBatch(g *nn.Graph, bb *batchBufs, B, S int) (H, final *nn.Tensor) {
 	h := p.cfg.HiddenDim
 	embs := grow(&bb.embs, S)
@@ -106,6 +120,8 @@ type batchScratch struct {
 
 // onesGateBatch is onesGate for B rows: a constant gate of 1 per row (pure
 // generation, the -pointer ablation).
+//
+//genielint:returns-arena
 func onesGateBatch(g *nn.Graph, B int) *nn.Tensor {
 	t := g.NewTensor(B, 1)
 	for b := range t.W {

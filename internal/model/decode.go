@@ -19,6 +19,8 @@ var inferGraphs = nn.NewGraphPool()
 // decode loop needs. Parse acquires one, decodes, and releases it, so a
 // single trained Parser serves any number of goroutines with near-zero
 // steady-state allocation. Nothing decode-time lives on the Parser itself.
+//
+//genielint:arena-scoped
 type decodeCtx struct {
 	g      *nn.Graph
 	enc    encBufs
@@ -26,6 +28,7 @@ type decodeCtx struct {
 	scored []scoredToken
 	ms     mixScorer
 	ls     grammar.LegalSet
+	lc     grammar.LegalCache
 }
 
 var decodeCtxs = sync.Pool{New: func() any { return new(decodeCtx) }}
@@ -38,8 +41,12 @@ func acquireDecodeCtx() *decodeCtx {
 
 // release returns the graph (resetting its arena) and the scratch buffers to
 // their pools. Tensors produced during the call are invalid afterwards, so
-// callers must copy anything that outlives the decode before releasing.
+// callers must copy anything that outlives the decode before releasing. The
+// tensor-pointer buffers are zeroed first: the arena recycles those tensors
+// for the next lease, and a pooled context must not pin (or accidentally
+// alias) another request's live tensors through stale pointers.
 func (dc *decodeCtx) release() {
+	dc.enc.releaseTensors()
 	inferGraphs.Put(dc.g)
 	dc.g = nil
 	decodeCtxs.Put(dc)
@@ -97,7 +104,7 @@ func (p *Parser) parseGreedyScored(words []string) ([]string, float64) {
 		var prob float64
 		picked := false
 		if gs != nil {
-			if mt, mp, ok := p.maskedBest(&dc.ms, &dc.ls, gs, maskedBudget(maxLen, t), pv.W, alpha.W, gate.W[0], words); ok {
+			if mt, mp, ok := p.maskedBest(&dc.ms, &dc.ls, &dc.lc, gs, maskedBudget(maxLen, t), pv.W, alpha.W, gate.W[0], words); ok {
 				tok, prob, picked = mt, mp, true
 			} else {
 				// Empty mask (cannot happen for a well-formed automaton,
@@ -333,7 +340,7 @@ func (p *Parser) beamDecode(words []string, width int) beamItem {
 			var cands []scoredToken
 			masked := false
 			if item.gs != nil {
-				cands, masked = p.maskedTop(&dc.ms, &dc.ls, item.gs, maskedBudget(maxLen, t), &dc.scored, pv.W, alpha.W, gate.W[0], words, width)
+				cands, masked = p.maskedTop(&dc.ms, &dc.ls, &dc.lc, item.gs, maskedBudget(maxLen, t), &dc.scored, pv.W, alpha.W, gate.W[0], words, width)
 			}
 			if !masked {
 				cands = p.topTokens(&dc.ms, &dc.scored, pv.W, alpha.W, gate.W[0], words, width)

@@ -21,6 +21,8 @@ import (
 // the padded-encode and per-step row buffers. Like decodeCtx, nothing
 // decode-time lives on the Parser, so batched decoding is concurrency-safe
 // alongside the per-sentence paths.
+//
+//genielint:arena-scoped
 type batchDecodeCtx struct {
 	g      *nn.Graph
 	bufs   batchBufs
@@ -31,6 +33,7 @@ type batchDecodeCtx struct {
 	srcIdx []int // per-row parent rows in the previous step's tensors
 	reqOf  []int // greedy path: per-row request indices
 	ls     grammar.LegalSet
+	lc     grammar.LegalCache
 }
 
 var batchDecodeCtxs = sync.Pool{New: func() any { return new(batchDecodeCtx) }}
@@ -42,8 +45,11 @@ func acquireBatchDecodeCtx() *batchDecodeCtx {
 }
 
 // release returns the graph (resetting its arena) and the scratch buffers to
-// their pools; tensors produced during the call are invalid afterwards.
+// their pools; tensors produced during the call are invalid afterwards. The
+// tensor-pointer buffers are zeroed first so the pooled context does not pin
+// recycled arena tensors across requests.
 func (dc *batchDecodeCtx) release() {
+	dc.bufs.releaseTensors()
 	inferGraphs.Put(dc.g)
 	dc.g = nil
 	batchDecodeCtxs.Put(dc)
@@ -52,6 +58,8 @@ func (dc *batchDecodeCtx) release() {
 // gatherRows copies the selected rows of t into a fresh graph tensor. It is
 // decode-only (no gradient link): the batched decoders use it to carry the
 // surviving hypotheses' states into the next lockstep decode step.
+//
+//genielint:returns-arena
 func gatherRows(g *nn.Graph, t *nn.Tensor, idx []int) *nn.Tensor {
 	out := g.NewTensor(len(idx), t.Cols)
 	for i, r := range idx {
@@ -63,6 +71,8 @@ func gatherRows(g *nn.Graph, t *nn.Tensor, idx []int) *nn.Tensor {
 // decodeStepBatch runs one batched decoder step over R rows: embedding
 // lookup, input feeding, LSTM, attention over each row's memory block, and
 // the output projections. It is the batched form of step.
+//
+//genielint:returns-arena
 func (p *Parser) decodeStepBatch(g *nn.Graph, H *nn.Tensor, lens, prev, blocks []int, h, c, ctx *nn.Tensor) (pv, alpha, gate, hN, cN, ctxN *nn.Tensor) {
 	emb := g.LookupRows(p.decEmb.Table, prev)
 	x := g.ConcatCols(emb, ctx)
@@ -157,7 +167,7 @@ func (p *Parser) ParseBatchScored(sentences [][]string) ([][]string, []float64) 
 			var prob float64
 			picked := false
 			if gss != nil && gss[r] != nil {
-				if mt, mp, ok := p.maskedBest(&dc.ms, &dc.ls, gss[r], maskedBudget(maxLen, t), pv.W[r*V:(r+1)*V], alpha.W[r*S:r*S+len(words)], gate.W[r], words); ok {
+				if mt, mp, ok := p.maskedBest(&dc.ms, &dc.ls, &dc.lc, gss[r], maskedBudget(maxLen, t), pv.W[r*V:(r+1)*V], alpha.W[r*S:r*S+len(words)], gate.W[r], words); ok {
 					tok, prob, picked = mt, mp, true
 				} else {
 					gss[r] = nil // defensive: decode this row's rest unmasked
@@ -315,7 +325,7 @@ func (p *Parser) ParseBeamBatch(sentences [][]string, width int) [][]string {
 				var cands []scoredToken
 				masked := false
 				if item.gs != nil {
-					cands, masked = p.maskedTop(&dc.ms, &dc.ls, item.gs, maskedBudget(maxLen, t), &dc.scored, pv.W[r*V:(r+1)*V], alpha.W[r*S:r*S+len(words)], gate.W[r], words, width)
+					cands, masked = p.maskedTop(&dc.ms, &dc.ls, &dc.lc, item.gs, maskedBudget(maxLen, t), &dc.scored, pv.W[r*V:(r+1)*V], alpha.W[r*S:r*S+len(words)], gate.W[r], words, width)
 				}
 				if !masked {
 					cands = p.topTokens(&dc.ms, &dc.scored, pv.W[r*V:(r+1)*V], alpha.W[r*S:r*S+len(words)], gate.W[r], words, width)

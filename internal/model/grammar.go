@@ -118,6 +118,21 @@ func (p *Parser) grammarStep(gs *grammar.State, tok string) *grammar.State {
 	return next
 }
 
+// legalMemoEnabled gates the per-context Legal memo. It exists so the
+// masked-decode benchmark can report the unmemoized walker alongside the
+// memoized one; production paths never turn it off.
+var legalMemoEnabled = true
+
+// legal computes the legal-token mask for gs at budget rem, consulting the
+// decode context's LegalCache when memoization is on.
+func (p *Parser) legal(gs *grammar.State, rem int, ls *grammar.LegalSet, lc *grammar.LegalCache) {
+	if !legalMemoEnabled {
+		p.auto.Legal(gs, rem, ls)
+		return
+	}
+	p.auto.LegalCached(gs, rem, ls, lc)
+}
+
 // maskedBest is bestTokenScored restricted to the tokens legal in gs with
 // rem emission slots left (EOS excluded). The scan order — EOS, then legal
 // vocabulary ids ascending, then out-of-vocabulary copy slots in first-
@@ -125,8 +140,8 @@ func (p *Parser) grammarStep(gs *grammar.State, tok string) *grammar.State {
 // filtered to the mask, so whenever the unmasked argmax is itself legal the
 // two paths pick the same token. ok is false when the mask admits nothing
 // (the caller falls back to unmasked decoding).
-func (p *Parser) maskedBest(ms *mixScorer, ls *grammar.LegalSet, gs *grammar.State, rem int, pv, alpha []float64, gate float64, words []string) (string, float64, bool) {
-	p.auto.Legal(gs, rem, ls)
+func (p *Parser) maskedBest(ms *mixScorer, ls *grammar.LegalSet, lc *grammar.LegalCache, gs *grammar.State, rem int, pv, alpha []float64, gate float64, words []string) (string, float64, bool) {
+	p.legal(gs, rem, ls, lc)
 	g := gate
 	if !p.cfg.PointerGen {
 		g = 1
@@ -175,8 +190,8 @@ func (p *Parser) maskedBest(ms *mixScorer, ls *grammar.LegalSet, gs *grammar.Sta
 // maskedTop is topTokens restricted to the legal set: the same fused scan and
 // stable descending sort over the masked candidates. ok is false when the
 // mask admits nothing.
-func (p *Parser) maskedTop(ms *mixScorer, ls *grammar.LegalSet, gs *grammar.State, rem int, scored *[]scoredToken, pv, alpha []float64, gate float64, words []string, k int) ([]scoredToken, bool) {
-	p.auto.Legal(gs, rem, ls)
+func (p *Parser) maskedTop(ms *mixScorer, ls *grammar.LegalSet, lc *grammar.LegalCache, gs *grammar.State, rem int, scored *[]scoredToken, pv, alpha []float64, gate float64, words []string, k int) ([]scoredToken, bool) {
+	p.legal(gs, rem, ls, lc)
 	g := gate
 	if !p.cfg.PointerGen {
 		g = 1

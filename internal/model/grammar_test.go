@@ -189,6 +189,7 @@ func TestMaskedUnmaskedParityScorer(t *testing.T) {
 	alpha := make([]float64, len(words))
 	var ms mixScorer
 	var ls grammar.LegalSet
+	var lc grammar.LegalCache
 	maxLen := p.cfg.maxDecodeLen()
 
 	legalHits := 0
@@ -236,7 +237,7 @@ func TestMaskedUnmaskedParityScorer(t *testing.T) {
 			}
 			if legal {
 				legalHits++
-				mTok, mP, ok := p.maskedBest(&ms, &ls, gs, rem, pv, alpha, gate, words)
+				mTok, mP, ok := p.maskedBest(&ms, &ls, &lc, gs, rem, pv, alpha, gate, words)
 				if !ok {
 					t.Fatalf("prog %d step %d: maskedBest empty while %q legal", pi, ti, unTok)
 				}
@@ -511,6 +512,22 @@ func TestParseBatchScoredMatchesSequential(t *testing.T) {
 // bench-masked-decode artifact: the per-decode cost of mask maintenance on
 // top of the fused scorer (same parser, same utterance, grammar on vs off).
 func BenchmarkMaskedDecode(b *testing.B) {
+	p := newGrammarParser(b, 21)
+	words := []string{"show", "me", "the", "latest", "news"}
+	var toks int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		toks += len(p.Parse(words))
+	}
+	b.ReportMetric(float64(toks)/float64(b.N), "tokens/op")
+}
+
+// BenchmarkMaskedDecodeNoMemo is BenchmarkMaskedDecode with the per-context
+// Legal memo disabled: the before/after pair in the bench-masked-decode
+// artifact that isolates what memoization buys.
+func BenchmarkMaskedDecodeNoMemo(b *testing.B) {
+	legalMemoEnabled = false
+	defer func() { legalMemoEnabled = true }()
 	p := newGrammarParser(b, 21)
 	words := []string{"show", "me", "the", "latest", "news"}
 	var toks int

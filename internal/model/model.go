@@ -134,11 +134,28 @@ type scratch struct {
 // encBufs holds the per-position tensor slices of one encoder pass. Training
 // reuses the parser's copy (inside scratch); every decode call has its own
 // (inside its decodeCtx), which is what makes inference concurrency-safe.
+//
+//genielint:arena-scoped
 type encBufs struct {
 	embs []*nn.Tensor
 	fhs  []*nn.Tensor
 	bhs  []*nn.Tensor
 	rows []*nn.Tensor
+}
+
+// releaseTensors zeroes the retained tensor pointers — full capacity, not
+// just the last call's length, because grow reslices without clearing — so a
+// pooled decode context releases its arena tensors when its graph lease
+// ends.
+func (e *encBufs) releaseTensors() {
+	clearTensorBuf(e.embs)
+	clearTensorBuf(e.fhs)
+	clearTensorBuf(e.bhs)
+	clearTensorBuf(e.rows)
+}
+
+func clearTensorBuf(ts []*nn.Tensor) {
+	clear(ts[:cap(ts)])
 }
 
 // grow returns a length-n slice backed by *buf, growing it as needed; the
@@ -201,6 +218,8 @@ func (p *Parser) decParams() []*nn.Tensor {
 // tensor slices come from the caller's encBufs and are valid until the next
 // encode call over the same bufs (the graph's tape only retains the rows
 // slice until Backward/Reset, which always precedes the next step).
+//
+//genielint:returns-arena
 func (p *Parser) encode(g *nn.Graph, enc *encBufs, srcIds []int) (H *nn.Tensor, final *nn.Tensor) {
 	n := len(srcIds)
 	embs := grow(&enc.embs, n)
@@ -229,11 +248,14 @@ func (p *Parser) encode(g *nn.Graph, enc *encBufs, srcIds []int) (H *nn.Tensor, 
 }
 
 // decodeState carries the decoder recurrence.
+//
+//genielint:arena-scoped
 type decodeState struct {
 	h, c *nn.Tensor
 	ctx  *nn.Tensor
 }
 
+//genielint:returns-arena
 func (p *Parser) initDecode(g *nn.Graph, final *nn.Tensor) decodeState {
 	h := g.Tanh(p.initLin.Apply(g, final))
 	_, c := p.dec.ZeroState(g)
@@ -244,6 +266,8 @@ func (p *Parser) initDecode(g *nn.Graph, final *nn.Tensor) decodeState {
 // decCell advances the decoder LSTM over the previous target token with
 // input feeding: the recurrence shared by the parser step (which then
 // attends for a fresh context) and the LM pass (which keeps a zero context).
+//
+//genielint:returns-arena
 func (p *Parser) decCell(g *nn.Graph, st decodeState, prev int) (h, c *nn.Tensor) {
 	emb := p.decEmb.Lookup(g, prev)
 	x := g.ConcatRow(emb, st.ctx)
@@ -254,6 +278,8 @@ func (p *Parser) decCell(g *nn.Graph, st decodeState, prev int) (h, c *nn.Tensor
 // from a decoder state and context — the output half of the decoder step,
 // shared by the parser step and the LM pass. rate is the dropout applied to
 // h-tilde (the LM pass trains without it).
+//
+//genielint:returns-arena
 func (p *Parser) vocabDist(g *nn.Graph, h, ctx *nn.Tensor, rate float64) (htilde, pv *nn.Tensor) {
 	htilde = g.Tanh(p.combLin.Apply(g, g.ConcatRow(h, ctx)))
 	htilde = g.Dropout(htilde, rate, p.rng)
@@ -264,6 +290,8 @@ func (p *Parser) vocabDist(g *nn.Graph, h, ctx *nn.Tensor, rate float64) (htilde
 // step advances the decoder one token: prev is the previous target token id.
 // It returns the vocabulary distribution, the attention weights, the
 // pointer gate, and the next state.
+//
+//genielint:returns-arena
 func (p *Parser) step(g *nn.Graph, st decodeState, prev int, H *nn.Tensor) (pv, alpha, gate *nn.Tensor, next decodeState) {
 	h, c := p.decCell(g, st, prev)
 	q := p.attnLin.Apply(g, h)
@@ -319,6 +347,8 @@ func (p *Parser) loss(g *nn.Graph, pair *Pair) float64 {
 
 // onesGate returns a constant gate of 1 (pure generation); it has no
 // parameter behind it, which is exactly the -pointer ablation.
+//
+//genielint:returns-arena
 func onesGate(g *nn.Graph) *nn.Tensor {
 	t := g.NewTensor(1, 1)
 	t.W[0] = 1

@@ -19,6 +19,9 @@ func benchPair() Pair {
 // fixed allocation budget. The pre-arena substrate allocated two slices and
 // a closure per op — thousands per step.
 func TestTrainerStepSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
 	pair := benchPair()
 	cfg := Config{EmbedDim: 32, HiddenDim: 48, LR: 1e-3, Epochs: 1,
 		EvalEvery: 1 << 30, PointerGen: true, MaxDecodeLen: 16, MinVocabCount: 1, Seed: 1}
@@ -35,6 +38,9 @@ func TestTrainerStepSteadyStateAllocs(t *testing.T) {
 // TestTrainerStepDropoutStaysInBudget repeats the check with dropout active
 // (masks must come from the arena, not per-step makes).
 func TestTrainerStepDropoutStaysInBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
 	pair := benchPair()
 	cfg := Config{EmbedDim: 32, HiddenDim: 48, LR: 1e-3, Dropout: 0.1, Epochs: 1,
 		EvalEvery: 1 << 30, PointerGen: true, MaxDecodeLen: 16, MinVocabCount: 1, Seed: 1}

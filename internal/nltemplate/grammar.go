@@ -50,6 +50,8 @@ func IsConstCategory(cat string) (thingtalk.Type, bool) {
 
 // Derivation is a partial or complete sentence/value pair produced by the
 // grammar.
+//
+//genielint:pooled
 type Derivation struct {
 	// Words is the sentence so far; unfilled parameters appear as __slot_N
 	// markers replaced later by the parameter-replacement stage.

@@ -16,6 +16,8 @@ package nn
 //   - An Arena is not safe for concurrent use; give each training goroutine
 //     its own (the parallel experiment harness trains one model per job, so
 //     each model.Train call owns one arena).
+//
+//genielint:arena-source
 type Arena struct {
 	free map[int][]*Tensor // recycled tensors by element count
 	live []*Tensor         // handed out since the last Reset

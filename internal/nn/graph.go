@@ -67,6 +67,8 @@ type tapeOp struct {
 // NewGraphArena, all intermediate tensors come from the arena and Reset
 // recycles them between training steps, so a steady-state step allocates
 // (near) nothing.
+//
+//genielint:arena-source
 type Graph struct {
 	NeedsGrad bool
 	arena     *Arena

@@ -15,6 +15,8 @@ func NewLinear(in, out int, rng *rand.Rand) *Linear {
 
 // Apply computes the layer output for a 1×in input with the fused
 // AffineRow kernel (numerically identical to Add(MatMul(x, W), B)).
+//
+//genielint:returns-arena
 func (l *Linear) Apply(g *Graph, x *Tensor) *Tensor {
 	return g.AffineRow(x, l.W, l.B)
 }
@@ -51,6 +53,8 @@ func NewLSTMCell(in, hidden int, rng *rand.Rand) *LSTMCell {
 // matmuls, bias, activations and state update in one pass and one tape
 // record (numerically identical to the chained MatMul/Add/Sigmoid/Tanh/Mul
 // composition).
+//
+//genielint:returns-arena
 func (l *LSTMCell) Step(g *Graph, x, h, c *Tensor) (hNext, cNext *Tensor) {
 	return g.lstmStep(l, x, h, c)
 }
@@ -60,6 +64,8 @@ func (l *LSTMCell) Step(g *Graph, x, h, c *Tensor) (hNext, cNext *Tensor) {
 // where active is false carry their state through unchanged and contribute
 // nothing to gradients (nil = all rows active); the active slice is retained
 // until Backward/Reset.
+//
+//genielint:returns-arena
 func (l *LSTMCell) StepBatch(g *Graph, x, h, c *Tensor, active []bool) (hNext, cNext *Tensor) {
 	return g.lstmStepBatch(l, x, h, c, active)
 }
@@ -71,6 +77,8 @@ func (l *LSTMCell) InitState() (h, c *Tensor) {
 
 // ZeroState returns zero state tensors owned by the graph (arena-recycled
 // when the graph has one); preferred inside training loops.
+//
+//genielint:returns-arena
 func (l *LSTMCell) ZeroState(g *Graph) (h, c *Tensor) {
 	return g.NewTensor(1, l.Hidden), g.NewTensor(1, l.Hidden)
 }
@@ -99,6 +107,8 @@ func NewEmbedding(vocab, dim int, rng *rand.Rand) *Embedding {
 }
 
 // Lookup returns the embedding row of a token.
+//
+//genielint:returns-arena
 func (e *Embedding) Lookup(g *Graph, idx int) *Tensor { return g.LookupRow(e.Table, idx) }
 
 // Params returns the trainable tensors.

@@ -13,6 +13,8 @@ import "sync"
 // valid only until the graph goes back via Put; never retain them across
 // requests. A single graph is still single-goroutine — the pool provides
 // exclusion by handing each goroutine its own.
+//
+//genielint:pool
 type GraphPool struct {
 	p sync.Pool
 }

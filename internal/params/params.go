@@ -4,6 +4,8 @@
 // deterministic compositional generators with the same role: enough value
 // diversity that the model cannot overfit specific strings, with realistic
 // token statistics, keyed by parameter type and name.
+//
+//genielint:deterministic
 package params
 
 import (

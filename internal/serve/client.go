@@ -232,6 +232,8 @@ func (c *Client) ParseWords(ctx context.Context, words []string) ([]string, erro
 
 // Parse implements eval.Decoder; transport errors decode to nil (scored as
 // wrong), keeping evaluation total-preserving.
+//
+//genielint:ctx-root interface adapter: the eval.Decoder contract has no ctx parameter
 func (c *Client) Parse(words []string) []string {
 	out, err := c.ParseWords(context.Background(), words)
 	if err != nil {
@@ -248,6 +250,8 @@ func (c *Client) ParseSkillCtx(ctx context.Context, skill string, words []string
 
 // ParseSkill implements eval.SkillDecoder against a fleet server; transport
 // errors decode to nil (scored as wrong), like Parse.
+//
+//genielint:ctx-root interface adapter: the eval.SkillDecoder contract has no ctx parameter
 func (c *Client) ParseSkill(skill string, words []string) []string {
 	resp, err := c.ParseSkillCtx(context.Background(), skill, words)
 	if err != nil {

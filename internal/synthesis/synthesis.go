@@ -19,6 +19,8 @@
 // wave completes, letting downstream stages (paraphrase augmentation,
 // parameter replacement) overlap with synthesis instead of waiting for the
 // whole set.
+//
+//genielint:deterministic
 package synthesis
 
 import (
