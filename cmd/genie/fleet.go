@@ -7,6 +7,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/fleet"
 	"repro/internal/model"
 	"repro/internal/serve"
@@ -23,6 +24,8 @@ func cmdFleet(args []string) {
 	watch := fs.Duration("watch", 2*time.Second, "library watch interval (0 disables hot reload)")
 	maxQueue := fs.Int("maxqueue", 0, "per-skill admission queue bound (0 = 8x batch, negative = unbounded)")
 	cacheDir := fs.String("cache", "", "snapshot-cache directory keyed by skill-library checksum")
+	ckptDir := fs.String("checkpoint", "", "training-checkpoint directory (restarts resume in-flight training)")
+	ckptSteps := fs.Int("ckpt-steps", 25, "mid-epoch checkpoint cadence in optimizer steps (0 = epoch boundaries only)")
 	scaleName := scaleFlag(fs)
 	seed := fs.Int64("seed", 1, "random seed")
 	strategyName := fs.String("strategy", "genie", "training strategy")
@@ -49,9 +52,19 @@ func cmdFleet(args []string) {
 		os.Exit(2)
 	}
 
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, "genie: "+format+"\n", a...)
+	}
 	var cache *serve.Cache
 	if *cacheDir != "" {
-		cache = serve.NewCache(*cacheDir)
+		cache = serve.NewCacheWith(serve.CacheOptions{
+			Store: durable.Open(*cacheDir, durable.Options{Logf: logf}),
+			Logf:  logf,
+		})
+	}
+	var ckpts *durable.Store
+	if *ckptDir != "" {
+		ckpts = durable.Open(*ckptDir, durable.Options{Logf: logf})
 	}
 	cfg := fleet.Config{
 		LibDir: *libdir,
@@ -65,7 +78,11 @@ func cmdFleet(args []string) {
 			Adaptive: *adaptive,
 		},
 		Train: func(name string, lib *thingpedia.Library) (*model.Parser, error) {
-			p, d := trainParserLib(lib, scale, strategy, *seed, *maxSteps, *lmSteps, *batchSize, *bucket)
+			var ck model.CheckpointStore
+			if ckpts != nil {
+				ck = ckpts.Key("skill-" + name)
+			}
+			p, d := trainParserLib(lib, scale, strategy, *seed, *maxSteps, *lmSteps, *batchSize, *bucket, ck, *ckptSteps)
 			if *adaptive && *beam > 1 {
 				calibrateParser(p, d, *beam)
 			}
@@ -80,9 +97,7 @@ func cmdFleet(args []string) {
 			fmt.Sprintf("calibrate=%t:%d", *adaptive, *beam),
 		},
 		TrainWorkers: *trainWorkers,
-		Logf: func(format string, a ...any) {
-			fmt.Fprintf(os.Stderr, "genie: "+format+"\n", a...)
-		},
+		Logf:         logf,
 	}
 	reg, err := fleet.New(cfg)
 	if err != nil {

@@ -1,0 +1,82 @@
+// Package durable is the crash-safe on-disk artifact store under the fleet's
+// snapshot cache and training checkpoints. Every artifact is written
+// atomically (temp file, fsync, rename, directory fsync) inside a
+// checksummed envelope, and the store keeps the last N generations per key:
+// a corrupt or torn file is quarantined to a .corrupt sidecar and the load
+// falls back to the last good generation, so a crash — or a disk fault —
+// costs at most the newest write, never the artifact.
+//
+// The package also owns the fleet's failure taxonomy (IsTransient): which
+// errors are worth retrying with backoff (I/O, ENOSPC, timeouts) and which
+// are deterministic (a library that does not parse fails the same way every
+// time) and should quarantine until the input changes.
+package durable
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the filesystem surface the store writes through. The default is the
+// real filesystem (OSFS); internal/faultinject wraps it to inject torn
+// writes, ENOSPC, read bit-flips and slow fsync underneath the store.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	// CreateTemp creates a unique temp file in dir (os.CreateTemp pattern
+	// semantics); the store writes, syncs, closes and renames it.
+	CreateTemp(dir, pattern string) (File, error)
+	Open(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	ReadDir(name string) ([]os.DirEntry, error)
+	// SyncDir fsyncs a directory, making a completed rename durable.
+	SyncDir(name string) error
+}
+
+// File is the store's view of one open file.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	Name() string
+	Sync() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OSFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OSFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(name string) error             { return os.Remove(name) }
+
+func (OSFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+func (OSFS) SyncDir(name string) error {
+	d, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,232 @@
+package faultinject
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/durable"
+)
+
+// FSMode selects the injected filesystem fault. These are the disk failure
+// modes the durable store's recovery contract must survive: a write that
+// silently loses its tail (torn write — the classic crash-mid-write
+// artifact), a full disk, a flipped bit surfacing on read, and an fsync that
+// takes forever.
+type FSMode string
+
+const (
+	// FSPass performs real filesystem operations untouched.
+	FSPass FSMode = "pass"
+	// FSTornWrite silently discards every written byte after AfterBytes —
+	// the file looks written (no error!) but its tail never hit the disk,
+	// exactly what a crash between write and fsync leaves behind.
+	FSTornWrite FSMode = "torn-write"
+	// FSENOSPC fails writes with ENOSPC once AfterBytes have been written to
+	// the faulted file (0 = immediately).
+	FSENOSPC FSMode = "enospc"
+	// FSBitFlip flips bit Bit of the byte at Offset in everything read — a
+	// latent media error the checksum must catch.
+	FSBitFlip FSMode = "bit-flip"
+	// FSSlowSync makes File.Sync and SyncDir sleep Delay before syncing.
+	FSSlowSync FSMode = "slow-sync"
+)
+
+// FSFault is the active filesystem injection.
+type FSFault struct {
+	Mode FSMode
+	// AfterBytes: torn-write discards after this many written bytes; enospc
+	// errors after this many.
+	AfterBytes int64
+	// Offset/Bit locate the flipped bit for bit-flip (offset within the
+	// file's byte stream as read).
+	Offset int64
+	Bit    uint
+	// Delay is the slow-sync sleep.
+	Delay time.Duration
+	// Match restricts the fault to paths containing this substring
+	// ("" = every file).
+	Match string
+}
+
+// FSStats counts injected filesystem faults.
+type FSStats struct {
+	TornWrites int64 `json:"torn_writes"`
+	ENOSPCs    int64 `json:"enospcs"`
+	BitFlips   int64 `json:"bit_flips"`
+	SlowSyncs  int64 `json:"slow_syncs"`
+}
+
+// FaultFS wraps a durable.FS and injects the active FSFault underneath it.
+// It is handed to durable.Open via Options.FS, so every store write and read
+// goes through the fault layer. Safe for concurrent use; the fault is
+// swapped atomically.
+type FaultFS struct {
+	inner durable.FS
+	fault atomic.Value // FSFault
+
+	torn, enospc, flips, slow atomic.Int64
+}
+
+// NewFaultFS wraps inner (nil = the real filesystem), starting in FSPass.
+func NewFaultFS(inner durable.FS) *FaultFS {
+	if inner == nil {
+		inner = durable.OSFS{}
+	}
+	f := &FaultFS{inner: inner}
+	f.fault.Store(FSFault{Mode: FSPass})
+	return f
+}
+
+// SetFault atomically swaps the active fault.
+func (f *FaultFS) SetFault(fault FSFault) {
+	if fault.Mode == "" {
+		fault.Mode = FSPass
+	}
+	f.fault.Store(fault)
+}
+
+// Fault returns the active fault.
+func (f *FaultFS) Fault() FSFault { return f.fault.Load().(FSFault) }
+
+// Stats returns how many faults have been injected.
+func (f *FaultFS) Stats() FSStats {
+	return FSStats{
+		TornWrites: f.torn.Load(),
+		ENOSPCs:    f.enospc.Load(),
+		BitFlips:   f.flips.Load(),
+		SlowSyncs:  f.slow.Load(),
+	}
+}
+
+// active reports the fault that applies to path (FSPass when the fault's
+// Match excludes it).
+func (f *FaultFS) active(path string) FSFault {
+	fault := f.Fault()
+	if fault.Match != "" && !strings.Contains(path, fault.Match) {
+		return FSFault{Mode: FSPass}
+	}
+	return fault
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error { return f.inner.MkdirAll(path, perm) }
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (durable.File, error) {
+	file, err := f.inner.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) Open(name string) (durable.File, error) {
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error { return f.inner.Rename(oldpath, newpath) }
+func (f *FaultFS) Remove(name string) error             { return f.inner.Remove(name) }
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	return f.inner.ReadDir(name)
+}
+
+func (f *FaultFS) SyncDir(name string) error {
+	if fault := f.active(name); fault.Mode == FSSlowSync {
+		f.slow.Add(1)
+		time.Sleep(fault.Delay)
+	}
+	return f.inner.SyncDir(name)
+}
+
+// faultFile wraps one open file, tracking write and read offsets so byte-
+// positioned faults (torn-write cutoff, bit-flip location) land
+// deterministically.
+type faultFile struct {
+	fs    *FaultFS
+	inner durable.File
+
+	mu      sync.Mutex
+	wrote   int64
+	readOff int64
+}
+
+func (f *faultFile) Name() string { return f.inner.Name() }
+func (f *faultFile) Close() error { return f.inner.Close() }
+
+func (f *faultFile) Sync() error {
+	if fault := f.fs.active(f.inner.Name()); fault.Mode == FSSlowSync {
+		f.fs.slow.Add(1)
+		time.Sleep(fault.Delay)
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	fault := f.fs.active(f.inner.Name())
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch fault.Mode {
+	case FSTornWrite:
+		// Write what fits under the cutoff, silently swallow the rest: the
+		// caller sees full success, the disk holds a prefix.
+		keep := fault.AfterBytes - f.wrote
+		if keep < 0 {
+			keep = 0
+		}
+		if keep > int64(len(p)) {
+			keep = int64(len(p))
+		}
+		if keep > 0 {
+			if n, err := f.inner.Write(p[:keep]); err != nil {
+				f.wrote += int64(n)
+				return n, err
+			}
+		}
+		if keep < int64(len(p)) {
+			f.fs.torn.Add(1)
+		}
+		f.wrote += int64(len(p))
+		return len(p), nil
+	case FSENOSPC:
+		room := fault.AfterBytes - f.wrote
+		if room >= int64(len(p)) {
+			n, err := f.inner.Write(p)
+			f.wrote += int64(n)
+			return n, err
+		}
+		// The disk filled up partway through this write: keep the prefix
+		// that fit, fail the rest — exactly what a real ENOSPC does.
+		n := 0
+		if room > 0 {
+			n, _ = f.inner.Write(p[:room])
+			f.wrote += int64(n)
+		}
+		f.fs.enospc.Add(1)
+		return n, &os.PathError{Op: "write", Path: f.inner.Name(), Err: syscall.ENOSPC}
+	default:
+		n, err := f.inner.Write(p)
+		f.wrote += int64(n)
+		return n, err
+	}
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	fault := f.fs.active(f.inner.Name())
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n, err := f.inner.Read(p)
+	if fault.Mode == FSBitFlip && n > 0 {
+		if i := fault.Offset - f.readOff; i >= 0 && i < int64(n) {
+			p[i] ^= 1 << (fault.Bit % 8)
+			f.fs.flips.Add(1)
+		}
+	}
+	f.readOff += int64(n)
+	return n, err
+}

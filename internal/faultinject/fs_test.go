@@ -1,0 +1,168 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+)
+
+func storeOver(t *testing.T, ffs *FaultFS) (*durable.Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	return durable.Open(dir, durable.Options{FS: ffs}), dir
+}
+
+func save(t *testing.T, s *durable.Store, key, val string) {
+	t.Helper()
+	if err := saveErr(s, key, val); err != nil {
+		t.Fatalf("Save(%q): %v", key, err)
+	}
+}
+
+func saveErr(s *durable.Store, key, val string) error {
+	return s.Save(key, func(w io.Writer) error {
+		_, err := io.WriteString(w, val)
+		return err
+	})
+}
+
+func load(s *durable.Store, key string) (string, error) {
+	var buf bytes.Buffer
+	err := s.Load(key, func(r io.Reader) error {
+		_, err := io.Copy(&buf, r)
+		return err
+	})
+	return buf.String(), err
+}
+
+// TestTornWriteRollsBack: a write whose tail never hit the disk must fail
+// verification on load and fall back to the previous generation.
+func TestTornWriteRollsBack(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	s, _ := storeOver(t, ffs)
+	save(t, s, "k", "the good generation")
+
+	ffs.SetFault(FSFault{Mode: FSTornWrite, AfterBytes: 25})
+	// The torn save reports success — the bytes were "written", their tail
+	// just never reached the platter. That is exactly the lie a crash
+	// between write and fsync tells.
+	save(t, s, "k", strings.Repeat("doomed payload ", 20))
+	if ffs.Stats().TornWrites == 0 {
+		t.Fatal("torn-write fault never fired")
+	}
+	ffs.SetFault(FSFault{Mode: FSPass})
+
+	got, err := load(s, "k")
+	if err != nil {
+		t.Fatalf("Load over torn newest: %v", err)
+	}
+	if got != "the good generation" {
+		t.Fatalf("payload = %q, want rollback to last good", got)
+	}
+	st := s.Stats()
+	if st.Rollbacks != 1 || st.Quarantined != 1 {
+		t.Fatalf("store stats = %+v, want 1 rollback / 1 quarantined", st)
+	}
+}
+
+// TestENOSPCIsTransient: a full disk fails the save with an error the
+// failure taxonomy classifies as retryable, and leaves the stored state
+// untouched.
+func TestENOSPCIsTransient(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	s, _ := storeOver(t, ffs)
+	save(t, s, "k", "v1")
+
+	ffs.SetFault(FSFault{Mode: FSENOSPC, AfterBytes: 10})
+	err := saveErr(s, "k", strings.Repeat("x", 100))
+	if err == nil {
+		t.Fatal("save on a full disk must fail")
+	}
+	if !durable.IsTransient(err) {
+		t.Fatalf("ENOSPC must classify as transient, got deterministic: %v", err)
+	}
+	ffs.SetFault(FSFault{Mode: FSPass})
+
+	if got, lerr := load(s, "k"); lerr != nil || got != "v1" {
+		t.Fatalf("after failed save: %q, %v; want v1 intact", got, lerr)
+	}
+	st := s.Stats()
+	if st.SaveFailures != 1 {
+		t.Fatalf("store stats = %+v, want 1 save failure", st)
+	}
+	if g := s.Generations("k"); len(g) != 1 {
+		t.Fatalf("generations = %v, want the failed generation absent", g)
+	}
+}
+
+// TestBitFlipQuarantinesAndRollsBack: a latent media error surfacing on read
+// fails the checksum; the store quarantines the generation and serves the
+// older one.
+func TestBitFlipQuarantinesAndRollsBack(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	s, _ := storeOver(t, ffs)
+	save(t, s, "k", "older still-good generation")
+	save(t, s, "k", "newest generation with a bad sector")
+
+	// Flip one payload bit of the newest generation only.
+	ffs.SetFault(FSFault{Mode: FSBitFlip, Offset: 16, Bit: 3, Match: "k.g2"})
+	got, err := load(s, "k")
+	if err != nil {
+		t.Fatalf("Load over flipped bit: %v", err)
+	}
+	if got != "older still-good generation" {
+		t.Fatalf("payload = %q, want rollback", got)
+	}
+	if ffs.Stats().BitFlips == 0 {
+		t.Fatal("bit-flip fault never fired")
+	}
+	st := s.Stats()
+	if st.Rollbacks != 1 || st.Quarantined != 1 || st.LoadFailures != 1 {
+		t.Fatalf("store stats = %+v", st)
+	}
+}
+
+// TestSlowSyncStallsSave pins that fsync latency is injectable (the chaos
+// smoke uses it to widen crash windows).
+func TestSlowSyncStallsSave(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	s, _ := storeOver(t, ffs)
+	ffs.SetFault(FSFault{Mode: FSSlowSync, Delay: 60 * time.Millisecond})
+	start := time.Now()
+	save(t, s, "k", "v")
+	if d := time.Since(start); d < 60*time.Millisecond {
+		t.Fatalf("save took %v, want >= 60ms under slow-sync", d)
+	}
+	if ffs.Stats().SlowSyncs == 0 {
+		t.Fatal("slow-sync fault never fired")
+	}
+}
+
+// TestFaultMatchScopesFault: a Match substring confines the fault to
+// matching paths.
+func TestFaultMatchScopesFault(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	s, _ := storeOver(t, ffs)
+	ffs.SetFault(FSFault{Mode: FSENOSPC, Match: "victim"})
+	if err := saveErr(s, "bystander", "fine"); err != nil {
+		t.Fatalf("fault leaked to non-matching path: %v", err)
+	}
+	if err := saveErr(s, "victim", "doomed"); err == nil {
+		t.Fatal("matching path must fault")
+	}
+}
+
+// TestErrNotFoundSurvivesFaultFS: a missing key still reports not-found
+// through the fault layer (the checkpoint-resume path depends on it).
+func TestErrNotFoundSurvivesFaultFS(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	s, _ := storeOver(t, ffs)
+	if _, err := load(s, "absent"); !errors.Is(err, durable.ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}

@@ -20,13 +20,17 @@ package fleet
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/model"
 	"repro/internal/serve"
 	"repro/internal/thingpedia"
@@ -58,6 +62,12 @@ type Config struct {
 	// TrainWorkers bounds concurrent background training runs (default 1:
 	// training is CPU-saturating, so queue rather than thrash).
 	TrainWorkers int
+	// RetryBase/RetryMax bound the capped exponential backoff applied to
+	// *transient* build failures — I/O pressure, disk full, timeouts
+	// (defaults 1s / 1m). Deterministic failures don't retry on a clock:
+	// they quarantine the skill until its library bytes change.
+	RetryBase time.Duration
+	RetryMax  time.Duration
 	// Logf receives control-plane events (nil discards them).
 	Logf func(format string, args ...any)
 }
@@ -71,10 +81,11 @@ var (
 
 // Status is a skill's lifecycle state as surfaced on /skills.
 const (
-	StatusTraining  = "training"  // first parser still building; not serving
-	StatusReady     = "ready"     // serving
-	StatusReloading = "reloading" // serving the old snapshot while the new one trains
-	StatusFailed    = "failed"    // no parser and the last build errored
+	StatusTraining    = "training"    // first parser still building; not serving
+	StatusReady       = "ready"       // serving
+	StatusReloading   = "reloading"   // serving the old snapshot while the new one trains
+	StatusFailed      = "failed"      // no parser and the last (transient) build failure awaits retry
+	StatusQuarantined = "quarantined" // deterministic build failure; re-admitted when the library bytes change
 )
 
 // shard is one skill's immutable serving state: a trained parser behind its
@@ -99,6 +110,16 @@ type skill struct {
 	err       error               // guarded by mu; last build error, if any
 	reloading bool                // guarded by mu; a background build is in flight
 	removed   bool                // guarded by mu
+
+	// Failure-classified recovery state, guarded by mu. A deterministic
+	// build failure quarantines the skill: quarantineSum pins the raw
+	// library bytes that failed, and the watcher re-admits only once they
+	// change. A transient failure schedules a retry at retryAt with capped
+	// exponential backoff.
+	quarantined   bool
+	quarantineSum string
+	retryAt       time.Time
+	backoff       time.Duration
 
 	shard atomic.Pointer[shard]
 
@@ -136,6 +157,12 @@ func New(cfg Config) (*Registry, error) {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = time.Second
+	}
+	if cfg.RetryMax <= 0 {
+		cfg.RetryMax = time.Minute
 	}
 	entries, err := thingpedia.ScanLibraryDir(cfg.LibDir)
 	if err != nil {
@@ -195,7 +222,7 @@ func (r *Registry) spawnReload(sk *skill, e thingpedia.DirEntry) {
 func (r *Registry) reload(sk *skill, e thingpedia.DirEntry) {
 	lib, err := thingpedia.LoadLibraryFile(sk.path)
 	if err != nil {
-		r.buildFailed(sk, err)
+		r.buildFailed(sk, e, err)
 		return
 	}
 	sum := lib.Checksum()
@@ -204,6 +231,7 @@ func (r *Registry) reload(sk *skill, e thingpedia.DirEntry) {
 		// a formatting-only edit the checksum canonicalizes away.
 		sk.mu.Lock()
 		sk.entry, sk.err = e, nil
+		sk.clearRecoveryLocked()
 		sk.mu.Unlock()
 		return
 	}
@@ -211,7 +239,7 @@ func (r *Registry) reload(sk *skill, e thingpedia.DirEntry) {
 	start := time.Now()
 	parser, err := r.train(sk.name, lib)
 	if err != nil {
-		r.buildFailed(sk, err)
+		r.buildFailed(sk, e, err)
 		return
 	}
 	gen := r.gen.Add(1)
@@ -239,6 +267,7 @@ func (r *Registry) reload(sk *skill, e thingpedia.DirEntry) {
 	}
 	old := sk.shard.Swap(next)
 	sk.entry, sk.err = e, nil
+	sk.clearRecoveryLocked()
 	sk.mu.Unlock()
 	r.cfg.Logf("fleet: %s: generation %d live (checksum %.12s, built in %s)",
 		sk.name, gen, sum, time.Since(start).Round(time.Millisecond))
@@ -253,11 +282,55 @@ func (r *Registry) reload(sk *skill, e thingpedia.DirEntry) {
 	}
 }
 
-func (r *Registry) buildFailed(sk *skill, err error) {
-	r.cfg.Logf("fleet: %s: build failed: %v", sk.name, err)
+// clearRecoveryLocked resets the failure-recovery state after a successful
+// build; callers hold sk.mu.
+func (sk *skill) clearRecoveryLocked() {
+	sk.quarantined = false
+	sk.quarantineSum = ""
+	sk.retryAt = time.Time{}
+	sk.backoff = 0
+}
+
+// buildFailed records a failed build, classified through durable.IsTransient:
+// a transient failure (I/O pressure, disk full, timeout) schedules a
+// backoff retry; a deterministic one (the library itself is bad — it will
+// fail the same way every time) quarantines the skill until its bytes
+// change. Either way any previously serving shard keeps serving.
+func (r *Registry) buildFailed(sk *skill, e thingpedia.DirEntry, err error) {
+	transient := durable.IsTransient(err)
 	sk.mu.Lock()
 	sk.err = err
+	// Absorb the stat so the watcher doesn't re-trigger on the same bytes;
+	// recovery is driven by retryAt / quarantineSum from here.
+	sk.entry = e
+	if transient {
+		sk.backoff = max(r.cfg.RetryBase, 2*sk.backoff)
+		if sk.backoff > r.cfg.RetryMax {
+			sk.backoff = r.cfg.RetryMax
+		}
+		sk.retryAt = time.Now().Add(sk.backoff)
+		backoff := sk.backoff
+		sk.mu.Unlock()
+		r.cfg.Logf("fleet: %s: build failed transiently (retry in %v): %v", sk.name, backoff, err)
+		return
+	}
+	sk.quarantined = true
+	sk.quarantineSum = rawFileChecksum(sk.path)
+	sk.retryAt = time.Time{}
 	sk.mu.Unlock()
+	r.cfg.Logf("fleet: %s: build failed deterministically, quarantined until the library changes: %v", sk.name, err)
+}
+
+// rawFileChecksum hashes a library file's raw bytes. Quarantine pins this —
+// not the parsed library checksum, which may not exist when parsing itself
+// is what failed — so the re-admission probe works for any failure.
+func rawFileChecksum(path string) string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
 }
 
 // train invokes the configured TrainFunc through the snapshot cache (when
@@ -312,14 +385,34 @@ func (r *Registry) watch() {
 				r.addSkill(e)
 				continue
 			}
+			reload, reentry := false, e
 			sk.mu.Lock()
-			changed := e.Changed(sk.entry) && !sk.reloading
-			if changed {
+			switch {
+			case sk.reloading:
+				// A build is already in flight; its result resolves first.
+			case e.Changed(sk.entry):
+				if sk.quarantined {
+					// Re-admission probe: the stat changed, but a quarantined
+					// skill only gets another build when its bytes actually
+					// did — otherwise absorb the stat and stay quarantined.
+					if sum := rawFileChecksum(e.Path); sum != "" && sum == sk.quarantineSum {
+						sk.entry = e
+						break
+					}
+					r.cfg.Logf("fleet: %s: quarantined library changed, re-admitting", sk.name)
+				}
+				reload = true
+			case sk.err != nil && !sk.quarantined && !sk.retryAt.IsZero() && time.Now().After(sk.retryAt):
+				// Transient failure past its backoff: retry the same entry.
+				r.cfg.Logf("fleet: %s: retrying build after transient failure", sk.name)
+				reload, reentry = true, sk.entry
+			}
+			if reload {
 				sk.reloading = true
 			}
 			sk.mu.Unlock()
-			if changed {
-				r.spawnReload(sk, e)
+			if reload {
+				r.spawnReload(sk, reentry)
 			}
 		}
 		// Removed libraries: stop routing, then drain.
@@ -546,6 +639,8 @@ func (r *Registry) Skills() []serve.SkillInfo {
 			info.Status = StatusReloading
 		case sh != nil:
 			info.Status = StatusReady
+		case sk.quarantined:
+			info.Status = StatusQuarantined
 		case sk.err != nil:
 			info.Status = StatusFailed
 		default:

@@ -91,10 +91,14 @@ func (s *Server) handleSkills(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	serve.WriteJSON(w, serve.MetricsResponse{
+	resp := serve.MetricsResponse{
 		UptimeSeconds: s.reg.Uptime().Seconds(),
 		Skills:        s.reg.Metrics(),
-	})
+	}
+	if c := s.reg.cfg.Cache; c != nil {
+		resp.Durability = serve.DurabilityFrom(c.Stats())
+	}
+	serve.WriteJSON(w, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

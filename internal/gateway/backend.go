@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,8 +51,9 @@ type backend struct {
 	fails     atomic.Int32 // consecutive failures toward ejection
 	ejections atomic.Int64
 	readmits  atomic.Int64
-	requests  atomic.Int64 // proxied /parse attempts
-	failures  atomic.Int64 // failed proxied attempts (transport or 5xx)
+	requests  atomic.Int64  // proxied /parse attempts
+	failures  atomic.Int64  // failed proxied attempts (transport or 5xx)
+	ewmaBits  atomic.Uint64 // float64 bits: EWMA of successful request latency, ms (0 = no signal)
 
 	mu        sync.Mutex
 	skills    map[string]string  // skill -> lifecycle status, last /skills probe
@@ -118,6 +120,34 @@ func (b *backend) updateProbe(skills map[string]string, depth map[string]int64, 
 	b.skills, b.depth, b.p99 = skills, depth, p99
 	b.lastProbe = time.Now()
 	b.mu.Unlock()
+}
+
+// ewmaAlpha weights each new latency observation in the backend's moving
+// average. 0.2 converges within a handful of requests yet rides out single
+// outliers.
+const ewmaAlpha = 0.2
+
+// observeLatency folds one successful proxied request's round trip into the
+// backend's latency EWMA — the live per-traffic signal hedge delays prefer
+// over the probe-interval p99.
+func (b *backend) observeLatency(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	for {
+		old := b.ewmaBits.Load()
+		next := ms
+		if old != 0 {
+			next = (1-ewmaAlpha)*math.Float64frombits(old) + ewmaAlpha*ms
+		}
+		if b.ewmaBits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// latencyEWMA returns the smoothed successful-request latency in ms
+// (0 = no traffic observed yet).
+func (b *backend) latencyEWMA() float64 {
+	return math.Float64frombits(b.ewmaBits.Load())
 }
 
 // recordFailure feeds the circuit breaker: FailThreshold consecutive

@@ -201,6 +201,7 @@ func anyUntried(cands []*backend, tried map[*backend]bool) bool {
 // lost its race) records nothing.
 func (g *Gateway) attempt(ctx context.Context, b *backend, body []byte) (routeResult, error) {
 	b.requests.Add(1)
+	start := time.Now()
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, b.addr+"/parse", bytes.NewReader(body))
 	if err != nil {
 		return routeResult{}, err
@@ -233,6 +234,11 @@ func (g *Gateway) attempt(ctx context.Context, b *backend, body []byte) (routeRe
 		b.recordFailure(int32(g.opt.FailThreshold), g.opt.Logf)
 	default:
 		b.recordSuccess(g.opt.Logf)
+		if resp.StatusCode == http.StatusOK {
+			// Only clean parses feed the EWMA: sheds and not-ready replies
+			// return fast and would drag the hedge delay toward zero.
+			b.observeLatency(time.Since(start))
+		}
 	}
 	return res, nil
 }
@@ -297,16 +303,21 @@ func (g *Gateway) hedgedAttempt(ctx context.Context, primary, backup *backend, s
 }
 
 // hedgeDelay is how long the primary gets before the backup is hedged:
-// fixed when HedgeAfter is set, else 2× the primary's probed p99 for the
-// skill, clamped to [1ms, 500ms] (50ms before any p99 signal).
+// fixed when HedgeAfter is set; else 2× the primary's live latency EWMA —
+// per-request signal that tracks load shifts between probes; else 2× the
+// probed p99 for the skill. The derived delays clamp to [1ms, 500ms], and
+// 50ms covers the cold start before any signal exists.
 func (g *Gateway) hedgeDelay(primary *backend, skill string) time.Duration {
 	if g.opt.HedgeAfter > 0 {
 		return g.opt.HedgeAfter
 	}
-	p99 := primary.skillP99(skill)
-	if p99 <= 0 {
+	ms := primary.latencyEWMA()
+	if ms <= 0 {
+		ms = primary.skillP99(skill)
+	}
+	if ms <= 0 {
 		return 50 * time.Millisecond
 	}
-	d := time.Duration(2 * p99 * float64(time.Millisecond))
+	d := time.Duration(2 * ms * float64(time.Millisecond))
 	return min(max(d, time.Millisecond), 500*time.Millisecond)
 }

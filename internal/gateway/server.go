@@ -13,15 +13,16 @@ import (
 
 // BackendMetrics is one backend's view on the gateway's GET /metrics.
 type BackendMetrics struct {
-	Addr             string `json:"addr"`
-	State            string `json:"state"`
-	ConsecutiveFails int    `json:"consecutive_fails"`
-	Ejections        int64  `json:"ejections"`
-	Readmissions     int64  `json:"readmissions"`
-	Requests         int64  `json:"requests"` // proxied /parse attempts
-	Failures         int64  `json:"failures"` // of those, failed (transport/5xx)
-	QueueDepth       int64  `json:"queue_depth"`
-	Skills           int    `json:"skills"` // skills the last probe listed
+	Addr             string  `json:"addr"`
+	State            string  `json:"state"`
+	ConsecutiveFails int     `json:"consecutive_fails"`
+	Ejections        int64   `json:"ejections"`
+	Readmissions     int64   `json:"readmissions"`
+	Requests         int64   `json:"requests"` // proxied /parse attempts
+	Failures         int64   `json:"failures"` // of those, failed (transport/5xx)
+	QueueDepth       int64   `json:"queue_depth"`
+	Skills           int     `json:"skills"`  // skills the last probe listed
+	EWMAMS           float64 `json:"ewma_ms"` // live successful-request latency EWMA
 }
 
 // Metrics is the gateway's GET /metrics reply: routing-tier counters plus
@@ -162,6 +163,7 @@ func (g *Gateway) MetricsSnapshot() Metrics {
 			Failures:         b.failures.Load(),
 			QueueDepth:       b.queueDepth(""),
 			Skills:           len(b.skillNames()),
+			EWMAMS:           b.latencyEWMA(),
 		})
 	}
 	return m

@@ -1,6 +1,7 @@
 package genie
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/augment"
@@ -147,6 +148,17 @@ type TrainOptions struct {
 	Topt     TargetOptions
 	Model    model.Config
 	Seed     int64
+	// Checkpoint, when set, makes training resumable: epoch (and optionally
+	// mid-epoch) checkpoints go to the store, and a run that finds a
+	// compatible checkpoint resumes its exact trajectory instead of starting
+	// over.
+	Checkpoint model.CheckpointStore
+	// CheckpointEverySteps is the mid-epoch checkpoint cadence in optimizer
+	// steps (0 = epoch boundaries only). Only consulted with Checkpoint set.
+	CheckpointEverySteps int
+	// Logf receives resume/mismatch events from resumable training
+	// (nil discards).
+	Logf func(format string, args ...any)
 }
 
 // Train builds the training set for a strategy and trains a parser; the
@@ -170,7 +182,17 @@ func (d *Data) Train(opt TrainOptions) *TrainedParser {
 
 	mcfg := opt.Model
 	mcfg.Seed = opt.Seed
-	parser := model.Train(pairs, valPairs, lm, mcfg)
+	var parser *model.Parser
+	if opt.Checkpoint != nil {
+		//genielint:ctx-root training CLI entry point: interruption arrives as process death, which the checkpoint store absorbs
+		parser, _ = model.TrainResumable(context.Background(), pairs, valPairs, lm, mcfg, model.TrainOpts{
+			Checkpoint: opt.Checkpoint,
+			EverySteps: opt.CheckpointEverySteps,
+			Logf:       opt.Logf,
+		})
+	} else {
+		parser = model.Train(pairs, valPairs, lm, mcfg)
+	}
 	return &TrainedParser{Parser: parser, Topt: opt.Topt}
 }
 

@@ -4,36 +4,60 @@ import "encoding/binary"
 
 // legalCacheLimit bounds the total number of memoized masks. Pooled decode
 // contexts live for the process lifetime, so without a cap a cache would
-// accumulate fingerprints across every request it ever served. When the cap
-// is hit the cache is dropped wholesale: entries are cheap to recompute and
-// an LRU chain would cost more bookkeeping than the walks it saves.
+// accumulate fingerprints across every request it ever served.
 const legalCacheLimit = 8192
+
+// satBudget marks a clock slot holding a budget-saturated entry, keyed by
+// state fingerprint alone (see LegalCache). No real remaining-length ever
+// takes this value.
+const satBudget = -(1 << 30)
 
 // LegalCache memoizes Legal results per (state fingerprint, budget band).
 //
 // Most decode states are budget-insensitive: every afterTotal the walk
 // compares against the budget is well under it, so the resulting mask is
 // identical for any budget at least as loose (see Automaton.legal). Those
-// results are stored once in sat, keyed by the state fingerprint alone, and
-// reused for every remaining-length in the band. Runs where the budget did
-// clip at least one option are stored in exact under (fingerprint, budget).
+// results are stored once, keyed by the state fingerprint alone, and reused
+// for every remaining-length in the band. Runs where the budget did clip at
+// least one option are stored under (fingerprint, budget).
+//
+// Eviction is CLOCK second-chance over a fixed slot arena: each hit sets the
+// slot's reference bit; when the cache is full the hand sweeps, clearing set
+// bits and evicting the first unreferenced slot. Hot entries — the states
+// every decode revisits — survive indefinitely, while one-off fingerprints
+// recycle, so a full cache no longer forgets its working set the way the old
+// drop-everything reset did.
 //
 // A cache belongs to one goroutine (typically one pooled decode context) and
 // is not safe for concurrent use. It self-invalidates when queried with a
 // different Automaton, so a pooled context that alternates between parsers
-// stays correct, merely cold.
+// stays correct, merely cold. The zero value is ready to use.
 type LegalCache struct {
-	auto   *Automaton
-	sat    map[string]memoEntry
-	exact  map[exactKey]memoEntry
-	key    []byte // encode scratch, reused across queries
-	hits   uint64
-	misses uint64
+	auto  *Automaton
+	slots []clockSlot
+	sat   map[string]int   // state fingerprint -> slot (budget-saturated)
+	exact map[exactKey]int // (fingerprint, budget) -> slot
+	hand  int
+	limit int    // slot capacity; 0 means legalCacheLimit
+	key   []byte // encode scratch, reused across queries
+
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
-// Stats reports how many LegalCached queries were served from the cache and
-// how many fell through to the walker. Counters survive invalidation.
-func (c *LegalCache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+type clockSlot struct {
+	key exactKey // r == satBudget: sat entry, keyed by state alone
+	e   memoEntry
+	ref bool
+}
+
+// Stats reports how many LegalCached queries were served from the cache, how
+// many fell through to the walker, and how many entries the clock hand has
+// evicted. Counters survive invalidation.
+func (c *LegalCache) Stats() (hits, misses, evictions uint64) {
+	return c.hits, c.misses, c.evictions
+}
 
 type exactKey struct {
 	state string
@@ -48,7 +72,7 @@ type memoEntry struct {
 	maxAfter int // sat only: largest afterTotal any budget check considered
 }
 
-func (e memoEntry) restore(ls *LegalSet, vsize int) {
+func (e *memoEntry) restore(ls *LegalSet, vsize int) {
 	ls.reset(vsize)
 	for _, id := range e.ids {
 		ls.add(id)
@@ -58,8 +82,62 @@ func (e memoEntry) restore(ls *LegalSet, vsize int) {
 
 func (c *LegalCache) invalidate(a *Automaton) {
 	c.auto = a
-	c.sat = make(map[string]memoEntry)
-	c.exact = make(map[exactKey]memoEntry)
+	c.slots = c.slots[:0]
+	c.sat = make(map[string]int)
+	c.exact = make(map[exactKey]int)
+	c.hand = 0
+}
+
+func (c *LegalCache) capacity() int {
+	if c.limit > 0 {
+		return c.limit
+	}
+	return legalCacheLimit
+}
+
+// slot returns the index the next insert should use: a fresh slot while the
+// arena is below capacity, otherwise the first unreferenced slot clockwise of
+// the hand (clearing reference bits as it sweeps — second chance).
+func (c *LegalCache) slot() int {
+	if len(c.slots) < c.capacity() {
+		c.slots = append(c.slots, clockSlot{})
+		return len(c.slots) - 1
+	}
+	for {
+		s := &c.slots[c.hand]
+		i := c.hand
+		c.hand = (c.hand + 1) % len(c.slots)
+		if s.ref {
+			s.ref = false
+			continue
+		}
+		if s.key.r == satBudget {
+			delete(c.sat, s.key.state)
+		} else {
+			delete(c.exact, s.key)
+		}
+		c.evictions++
+		return i
+	}
+}
+
+func (c *LegalCache) insert(key exactKey, e memoEntry) {
+	// A sat entry can be re-memoized for a fingerprint that already holds a
+	// slot (a tighter budget widened its maxAfter): overwrite in place so a
+	// stale twin slot never evicts the live map entry out from under it.
+	i, ok := c.sat[key.state]
+	if key.r != satBudget {
+		i, ok = c.exact[key]
+	}
+	if !ok {
+		i = c.slot()
+	}
+	c.slots[i] = clockSlot{key: key, e: e, ref: true}
+	if key.r == satBudget {
+		c.sat[key.state] = i
+	} else {
+		c.exact[key] = i
+	}
 }
 
 // trackFloor initializes the comparison tracker. Any real afterTotal exceeds
@@ -77,22 +155,21 @@ func (a *Automaton) LegalCached(st *State, remaining int, ls *LegalSet, c *Legal
 		c.invalidate(a)
 	}
 	c.key = appendStateKey(c.key[:0], st)
-	if e, hit := c.sat[string(c.key)]; hit && remaining-1 >= e.maxAfter {
+	if i, hit := c.sat[string(c.key)]; hit && remaining-1 >= c.slots[i].e.maxAfter {
 		c.hits++
-		e.restore(ls, len(a.vocab))
+		c.slots[i].ref = true
+		c.slots[i].e.restore(ls, len(a.vocab))
 		return
 	}
-	if e, hit := c.exact[exactKey{string(c.key), remaining}]; hit {
+	if i, hit := c.exact[exactKey{string(c.key), remaining}]; hit {
 		c.hits++
-		e.restore(ls, len(a.vocab))
+		c.slots[i].ref = true
+		c.slots[i].e.restore(ls, len(a.vocab))
 		return
 	}
 	c.misses++
 	maxAfter := trackFloor
 	a.legal(st, remaining, ls, &maxAfter)
-	if len(c.sat)+len(c.exact) >= legalCacheLimit {
-		c.invalidate(a)
-	}
 	e := memoEntry{
 		ids:      append([]int32(nil), ls.IDs...),
 		eos:      ls.EOS,
@@ -101,9 +178,9 @@ func (a *Automaton) LegalCached(st *State, remaining int, ls *LegalSet, c *Legal
 		maxAfter: maxAfter,
 	}
 	if maxAfter <= remaining-1 {
-		c.sat[string(c.key)] = e
+		c.insert(exactKey{string(c.key), satBudget}, e)
 	} else {
-		c.exact[exactKey{string(c.key), remaining}] = e
+		c.insert(exactKey{string(c.key), remaining}, e)
 	}
 }
 

@@ -1,0 +1,206 @@
+package grammar
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/augment"
+	"repro/internal/dataset"
+	"repro/internal/nltemplate"
+	"repro/internal/params"
+	"repro/internal/synthesis"
+	"repro/internal/thingpedia"
+)
+
+// These tests live in-package so they can pin the clock arena to a tiny
+// limit and inspect slot/map consistency — the external parity test
+// (memo_test.go) never fills the default 8192 slots.
+
+func satEntry(n int) (exactKey, memoEntry) {
+	return exactKey{state: fmt.Sprintf("s%d", n), r: satBudget}, memoEntry{ids: []int32{int32(n)}, maxAfter: trackFloor}
+}
+
+// TestClockSecondChanceMechanics drives insert/evict by hand: referenced
+// slots survive one sweep (their bit is cleared, not their entry), and the
+// first unreferenced slot clockwise of the hand is the victim.
+func TestClockSecondChanceMechanics(t *testing.T) {
+	c := &LegalCache{limit: 3}
+	c.invalidate(nil)
+	for i := 0; i < 3; i++ {
+		k, e := satEntry(i)
+		c.insert(k, e)
+	}
+	if len(c.slots) != 3 || c.evictions != 0 {
+		t.Fatalf("after fill: %d slots, %d evictions", len(c.slots), c.evictions)
+	}
+
+	// All three slots are referenced (insert sets the bit): the next insert
+	// sweeps a full revolution clearing bits, then evicts slot 0.
+	k3, e3 := satEntry(3)
+	c.insert(k3, e3)
+	if c.evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.evictions)
+	}
+	if _, ok := c.sat["s0"]; ok {
+		t.Fatal("s0 should have been the clock victim")
+	}
+	for _, want := range []string{"s1", "s2", "s3"} {
+		if _, ok := c.sat[want]; !ok {
+			t.Fatalf("%s missing after eviction", want)
+		}
+	}
+
+	// A hit on s1 re-arms its reference bit, so the next insert skips it and
+	// evicts s2 — second chance in action.
+	c.slots[c.sat["s1"]].ref = true
+	k4, e4 := satEntry(4)
+	c.insert(k4, e4)
+	if _, ok := c.sat["s1"]; !ok {
+		t.Fatal("referenced s1 must survive the sweep")
+	}
+	if _, ok := c.sat["s2"]; ok {
+		t.Fatal("unreferenced s2 should have been evicted")
+	}
+	if c.evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", c.evictions)
+	}
+	if len(c.slots) != 3 || len(c.sat)+len(c.exact) != 3 {
+		t.Fatalf("arena inconsistent: %d slots, %d sat, %d exact", len(c.slots), len(c.sat), len(c.exact))
+	}
+}
+
+// TestClockSatReinsertReusesSlot: re-memoizing a fingerprint that already
+// holds a sat slot (a tighter budget widened maxAfter) must overwrite in
+// place — a stale twin slot would later evict the live map entry.
+func TestClockSatReinsertReusesSlot(t *testing.T) {
+	c := &LegalCache{limit: 4}
+	c.invalidate(nil)
+	k, e := satEntry(0)
+	c.insert(k, e)
+	e.maxAfter = 17
+	c.insert(k, e)
+	if len(c.slots) != 1 {
+		t.Fatalf("re-insert grew the arena to %d slots, want 1 reused", len(c.slots))
+	}
+	if got := c.slots[c.sat["s0"]].e.maxAfter; got != 17 {
+		t.Fatalf("maxAfter = %d, want the widened 17", got)
+	}
+}
+
+func clockCorpus(t *testing.T) (*Automaton, [][]string, map[string]int) {
+	t.Helper()
+	lib := thingpedia.Builtin()
+	g := nltemplate.StandardGrammar(lib, nltemplate.DefaultOptions)
+	raw := synthesis.Synthesize(g, synthesis.Config{TargetPerRule: 10, MaxDepth: 4, Seed: 7, Schemas: lib})
+	sampler := params.NewSampler()
+	rng := rand.New(rand.NewSource(11))
+	var progs [][]string
+	seen := map[string]bool{}
+	for i := range raw {
+		e := dataset.Example{Words: raw[i].Words, Program: raw[i].Program}
+		inst, err := augment.Instantiate(&e, sampler, rng)
+		if err != nil {
+			continue
+		}
+		toks := inst.Program.Tokens()
+		key := strings.Join(toks, " ")
+		if !seen[key] {
+			seen[key] = true
+			progs = append(progs, toks)
+		}
+		if len(progs) >= 60 {
+			break
+		}
+	}
+	if len(progs) < 30 {
+		t.Fatalf("corpus too small: %d programs", len(progs))
+	}
+	vocabSet := map[string]bool{}
+	for _, p := range progs {
+		for _, tok := range p {
+			vocabSet[tok] = true
+		}
+	}
+	var toks []string
+	for tok := range vocabSet {
+		toks = append(toks, tok)
+	}
+	sort.Strings(toks)
+	vocab := append([]string{"<unk>", "<s>", "</s>"}, toks...)
+	auto, err := Compile(NewSpec(lib.Functions()), vocab)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	index := map[string]int{}
+	for i, tok := range vocab {
+		if _, ok := index[tok]; !ok {
+			index[tok] = i
+		}
+	}
+	return auto, progs, index
+}
+
+// TestClockEvictionParityUnderPressure replays a corpus through a cache
+// whose arena is far smaller than the state population: the clock must evict
+// constantly, and every answer — fresh, hit, or recomputed after eviction —
+// must match the unmemoized walker exactly.
+func TestClockEvictionParityUnderPressure(t *testing.T) {
+	auto, progs, index := clockCorpus(t)
+	cache := &LegalCache{limit: 16}
+	var want, got LegalSet
+	const budget = 48
+
+	queries := 0
+	for pass := 0; pass < 2; pass++ { // second pass re-queries evicted states
+		for _, toks := range progs {
+			st := auto.Start()
+			rem := budget
+			for _, tok := range toks {
+				auto.Legal(st, rem, &want)
+				auto.LegalCached(st, rem, &got, cache)
+				queries++
+				if got.EOS != want.EOS || got.AllTokens != want.AllTokens || got.NumberOK != want.NumberOK ||
+					len(got.IDs) != len(want.IDs) {
+					t.Fatalf("mask mismatch under eviction pressure at %q (pass %d)", tok, pass)
+				}
+				for i := range want.IDs {
+					if want.IDs[i] != got.IDs[i] {
+						t.Fatalf("mask ids diverge at %q (pass %d)", tok, pass)
+					}
+				}
+				id, inVocab := index[tok]
+				if !inVocab {
+					id = -1
+				}
+				next, err := auto.Step(st, id, tok)
+				if err != nil {
+					t.Fatalf("Step(%q): %v", tok, err)
+				}
+				st = next
+				rem--
+			}
+		}
+	}
+
+	hits, misses, evictions := cache.Stats()
+	if evictions == 0 {
+		t.Fatal("a 16-slot arena over this corpus must evict")
+	}
+	if hits == 0 {
+		t.Fatal("cache never hit under eviction pressure")
+	}
+	if hits+misses != uint64(queries) {
+		t.Fatalf("hits+misses = %d, want %d queries", hits+misses, queries)
+	}
+	if len(cache.slots) > 16 {
+		t.Fatalf("arena grew past its limit: %d slots", len(cache.slots))
+	}
+	if len(cache.sat)+len(cache.exact) != len(cache.slots) {
+		t.Fatalf("index out of sync: %d sat + %d exact != %d slots",
+			len(cache.sat), len(cache.exact), len(cache.slots))
+	}
+	t.Logf("pressure: %d hits, %d misses, %d evictions over %d queries", hits, misses, evictions, queries)
+}

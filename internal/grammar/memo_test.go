@@ -89,7 +89,7 @@ func TestLegalCacheParity(t *testing.T) {
 		check(st, "end of program", toks)
 	}
 
-	hits, misses := cache.Stats()
+	hits, misses, _ := cache.Stats()
 	if hits == 0 {
 		t.Fatal("cache never hit: memoization is not engaging")
 	}

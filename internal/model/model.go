@@ -102,11 +102,12 @@ type Parser struct {
 	outLin  *nn.Linear // h-tilde -> target vocab
 	gateLin *nn.Linear // h-tilde -> pointer/generator gate
 
-	rng  *rand.Rand
-	scr  scratch
-	bscr batchScratch // batched-loss buffers (batch.go); training goroutine only
-	valG *nn.Graph    // lazily built inference graph reused across valLoss calls
-	meta SnapshotMeta // provenance stamped into snapshots (snapshot.go)
+	rng    *rand.Rand
+	rngSrc *countingSource // rng's source; draw position checkpointed by TrainResumable
+	scr    scratch
+	bscr   batchScratch // batched-loss buffers (batch.go); training goroutine only
+	valG   *nn.Graph    // lazily built inference graph reused across valLoss calls
+	meta   SnapshotMeta // provenance stamped into snapshots (snapshot.go)
 
 	// Constrained decoding and adaptive serving (grammar.go): the grammar
 	// spec the parser was trained against, its automaton compiled for this
@@ -169,8 +170,47 @@ func grow[T any](buf *[]T, n int) []T {
 	return *buf
 }
 
+// countingSource wraps the stdlib RNG source and counts draws, so a training
+// checkpoint can record the stream position and a resumed run can fast-forward
+// to it — the resumed trajectory consumes the identical value sequence an
+// uninterrupted run would have.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func newCountingSource(seed int64) *countingSource {
+	return &countingSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.n = 0
+}
+
+// forwardTo burns draws until the source has produced n values. Int63 and
+// Uint64 advance the underlying stdlib source by exactly one step each
+// (Int63 is Uint64 masked), so replaying the count restores the position
+// regardless of which mix of calls produced it.
+func (c *countingSource) forwardTo(n uint64) {
+	for c.n < n {
+		c.Uint64()
+	}
+}
+
 func newParser(cfg Config, src, tgt *Vocab) *Parser {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	csrc := newCountingSource(cfg.Seed)
+	rng := rand.New(csrc)
 	e, h := cfg.EmbedDim, cfg.HiddenDim
 	return &Parser{
 		cfg:     cfg,
@@ -187,6 +227,7 @@ func newParser(cfg Config, src, tgt *Vocab) *Parser {
 		outLin:  nn.NewLinear(h, tgt.Size(), rng),
 		gateLin: nn.NewLinear(h, 1, rng),
 		rng:     rng,
+		rngSrc:  csrc,
 	}
 }
 

@@ -1,6 +1,8 @@
 package model
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -162,9 +164,22 @@ func (p *Parser) pretrainLM(programs [][]string) {
 // step is allocation-free. With BatchSize > 1 each optimizer step (and so
 // each unit of MaxSteps/EvalEvery) covers one shuffled minibatch.
 func (p *Parser) fit(train, val []Pair) {
+	// Without a checkpointer or context fitRun cannot fail.
+	_ = p.fitRun(nil, train, val, nil, nil)
+}
+
+// fitRun is the fit loop with optional checkpointing (ck) and resume
+// (resume, a validated checkpoint or nil) threaded through. Both the plain
+// and the checkpointed run walk the identical trajectory: the RNG streams,
+// shuffles and optimizer steps are the same whether or not state is being
+// recorded, which is what makes a resumed run bit-identical to an
+// uninterrupted one. ctx (nil = never canceled) stops training between
+// batches after saving a final checkpoint, reported as ErrInterrupted.
+func (p *Parser) fitRun(ctx context.Context, train, val []Pair, ck *checkpointer, resume *trainCheckpoint) error {
 	opt := nn.NewAdam(p.cfg.LR)
 	params := p.Params()
-	rng := rand.New(rand.NewSource(p.cfg.Seed + 202))
+	fitSrc := newCountingSource(p.cfg.Seed + 202)
+	rng := rand.New(fitSrc)
 	g := nn.NewGraphArena(true, nn.NewArena())
 
 	bestLoss := 1e18
@@ -178,6 +193,25 @@ func (p *Parser) fit(train, val []Pair) {
 	badEvals := 0
 	step := 0
 	order := rng.Perm(len(train))
+	var starts []int
+
+	firstEpoch := 0
+	startPos := 0
+	if resume != nil {
+		if err := resume.apply(p, opt, params, fitSrc, order); err != nil {
+			return err
+		}
+		if resume.haveBest {
+			best = copySlices(resume.best)
+		}
+		bestLoss = resume.bestLoss
+		badEvals = resume.badEvals
+		step = resume.step
+		starts = append([]int(nil), resume.starts...)
+		firstEpoch = resume.epoch
+		startPos = resume.pos
+	}
+	resumedMidEpoch := resume != nil && resume.midEpoch
 
 	snapshot := func() {
 		if best == nil {
@@ -222,40 +256,68 @@ func (p *Parser) fit(train, val []Pair) {
 		}
 		return false
 	}
+	save := func(epoch, pos int, midEpoch bool) {
+		if ck == nil {
+			return
+		}
+		ck.save(captureCheckpoint(p, opt, params, fitSrc, epoch, pos, midEpoch, step, bestLoss, badEvals, best, order, starts))
+	}
 
 	bs := max(1, p.cfg.BatchSize)
+	// BucketByLength only applies to real minibatches; with bs 1 batchStarts
+	// degenerates to 0,1,2,... and draws nothing from rng.
+	bucket := p.cfg.BucketByLength && bs > 1
 	var batch []Pair
-	var starts []int
 	if bs > 1 {
 		batch = make([]Pair, 0, bs)
 	}
-	for epoch := 0; epoch < max(1, p.cfg.Epochs); epoch++ {
-		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		if bs <= 1 {
-			for _, idx := range order {
-				g.Reset()
-				p.loss(g, &train[idx])
-				g.Backward()
-				opt.Step(params)
-				if afterStep() {
-					return
-				}
+	if ck != nil && resume == nil {
+		// The initial checkpoint pins the post-LM weights so a resumed run
+		// never repeats LM pre-training.
+		save(0, 0, false)
+	}
+	for epoch := firstEpoch; epoch < max(1, p.cfg.Epochs); epoch++ {
+		pos0 := 0
+		if resumedMidEpoch {
+			// order and starts came from the checkpoint; re-enter this epoch
+			// at the saved batch without re-drawing the shuffle.
+			pos0 = startPos
+			resumedMidEpoch = false
+		} else {
+			if epoch != firstEpoch {
+				// Finished the previous epoch in this process: boundary
+				// checkpoint, taken before the shuffle so a resume replays it.
+				save(epoch, 0, false)
 			}
-			continue
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			starts = batchStarts(starts[:0], train, order, bs, bucket, rng)
 		}
-		starts = batchStarts(starts[:0], train, order, bs, p.cfg.BucketByLength, rng)
-		for _, start := range starts {
-			end := min(start+bs, len(order))
-			batch = batch[:0]
-			for _, idx := range order[start:end] {
-				batch = append(batch, train[idx])
+		for bi := pos0; bi < len(starts); bi++ {
+			if ctx != nil && ctx.Err() != nil {
+				// This epoch's shuffle has already been drawn, so the
+				// checkpoint is mid-epoch even at bi == 0.
+				save(epoch, bi, true)
+				return fmt.Errorf("%w before epoch %d batch %d: %v", ErrInterrupted, epoch, bi, ctx.Err())
 			}
+			start := starts[bi]
 			g.Reset()
-			p.lossBatch(g, batch)
+			if bs <= 1 {
+				p.loss(g, &train[order[start]])
+			} else {
+				end := min(start+bs, len(order))
+				batch = batch[:0]
+				for _, idx := range order[start:end] {
+					batch = append(batch, train[idx])
+				}
+				p.lossBatch(g, batch)
+			}
 			g.Backward()
 			opt.Step(params)
 			if afterStep() {
-				return
+				return nil
+			}
+			if ck != nil && ck.every > 0 && step%ck.every == 0 {
+				save(epoch, bi+1, true)
 			}
 		}
 	}
@@ -265,6 +327,7 @@ func (p *Parser) fit(train, val []Pair) {
 			restore()
 		}
 	}
+	return nil
 }
 
 // batchStarts returns this epoch's minibatch start offsets into order.

@@ -4,11 +4,14 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
-	"os"
-	"path/filepath"
+	"errors"
+	"io"
+	"io/fs"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/durable"
 	"repro/internal/model"
 	"repro/internal/thingpedia"
 )
@@ -34,15 +37,31 @@ func Key(lib *thingpedia.Library, extra ...string) string {
 }
 
 // Cache keys trained parser snapshots by skill-library checksum (see Key).
-// Hits are served from memory, then from disk snapshots (model.LoadFile);
-// misses train once — concurrent requests for the same key share a single
-// training run — and persist the snapshot when a directory is configured.
-// Re-serving an unchanged Thingpedia library therefore never retrains.
+// Hits are served from memory, then from checksum-verified disk snapshots in
+// a durable.Store (a corrupt snapshot is quarantined and the last good
+// generation served instead); misses train once — concurrent requests for
+// the same key share a single training run — and persist the snapshot when a
+// store is configured. Re-serving an unchanged Thingpedia library therefore
+// never retrains.
+//
+// Training failures are classified through durable.IsTransient: transient
+// failures (I/O pressure, disk full, timeouts) are retried with capped
+// exponential backoff on later GetOrTrain calls; deterministic failures stay
+// cached forever — the input is the problem, and any input change produces a
+// new key, which is the re-admission path.
 type Cache struct {
-	dir string // "" = memory-only
+	store     *durable.Store // nil = memory-only
+	logf      func(format string, args ...any)
+	retryBase time.Duration
+	retryMax  time.Duration
 
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
+
+	trainings        atomic.Uint64
+	trainFailures    atomic.Uint64
+	diskLoadFailures atomic.Uint64
+	transientRetries atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -51,45 +70,137 @@ type cacheEntry struct {
 	p     *model.Parser
 	err   error
 	disk  bool // resolved from a disk snapshot rather than training
+
+	// Transient-failure retry state, written inside once.Do (backoff is also
+	// seeded at construction from the entry being replaced) and read under
+	// Cache.mu after ready.
+	transient bool
+	backoff   time.Duration
+	retryAt   time.Time
+}
+
+// CacheOptions configure a Cache beyond the snapshot directory.
+type CacheOptions struct {
+	// Store persists snapshots (nil keeps the cache memory-only).
+	Store *durable.Store
+	// Logf receives snapshot-corruption and retry events (nil discards).
+	Logf func(format string, args ...any)
+	// RetryBase/RetryMax bound the transient-failure backoff
+	// (defaults 1s / 1m).
+	RetryBase time.Duration
+	RetryMax  time.Duration
 }
 
 // NewCache returns a cache; dir is the snapshot directory ("" keeps the
 // cache memory-only). The directory is created on first write.
 func NewCache(dir string) *Cache {
-	return &Cache{dir: dir, entries: map[string]*cacheEntry{}}
+	var store *durable.Store
+	if dir != "" {
+		store = durable.Open(dir, durable.Options{})
+	}
+	return NewCacheWith(CacheOptions{Store: store})
+}
+
+// NewCacheWith returns a cache with explicit options.
+func NewCacheWith(o CacheOptions) *Cache {
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = time.Second
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = time.Minute
+	}
+	return &Cache{
+		store:     o.Store,
+		logf:      o.Logf,
+		retryBase: o.RetryBase,
+		retryMax:  o.RetryMax,
+		entries:   map[string]*cacheEntry{},
+	}
+}
+
+// Store exposes the backing durable store (nil when memory-only); the fleet
+// surfaces its counters on /metrics.
+func (c *Cache) Store() *durable.Store { return c.store }
+
+// CacheStats are the cache's cumulative counters plus those of its backing
+// store.
+type CacheStats struct {
+	Trainings        uint64 // training runs started (cold misses + retries)
+	TrainFailures    uint64 // training runs that returned an error
+	DiskLoadFailures uint64 // snapshot keys whose disk load failed outright
+	TransientRetries uint64 // failed entries replaced for a backoff retry
+	Store            durable.Stats
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	s := CacheStats{
+		Trainings:        c.trainings.Load(),
+		TrainFailures:    c.trainFailures.Load(),
+		DiskLoadFailures: c.diskLoadFailures.Load(),
+		TransientRetries: c.transientRetries.Load(),
+	}
+	if c.store != nil {
+		s.Store = c.store.Stats()
+	}
+	return s
 }
 
 // GetOrTrain returns the parser for key, reporting whether it was a cache
 // hit — resolved from memory or a disk snapshot without this call training
 // or waiting on an in-flight training run. On a miss it invokes train —
 // once per key, no matter how many goroutines ask; concurrent callers for a
-// cold key share the run and all report a miss. Training errors are cached
-// too, so a failing recipe is not retried storm-style; use a new key (or a
-// new Cache) to retry.
+// cold key share the run and all report a miss. A deterministic training
+// error is cached (a new key is the retry path); a transient one is retried
+// here once its backoff expires.
 func (c *Cache) GetOrTrain(key string, train func() (*model.Parser, error)) (*model.Parser, bool, error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
-	if !ok {
+	switch {
+	case !ok:
 		e = &cacheEntry{}
 		c.entries[key] = e
+	case e.ready.Load() && e.transient && time.Now().After(e.retryAt):
+		// The previous attempt failed transiently and its backoff has
+		// expired: replace the entry so this call re-runs training. The new
+		// entry inherits the backoff so repeated transient failures keep
+		// widening the interval.
+		e = &cacheEntry{backoff: e.backoff}
+		c.entries[key] = e
+		c.transientRetries.Add(1)
+		ok = false
 	}
 	c.mu.Unlock()
 	inMemory := ok && e.ready.Load() // resolved before this call started
 
 	e.once.Do(func() {
 		defer e.ready.Store(true)
-		if c.dir != "" {
-			if p, err := model.LoadFile(c.path(key)); err == nil {
-				e.p, e.disk = p, true
-				return
-			}
+		if c.loadSnapshot(key, e) {
+			return
 		}
+		c.trainings.Add(1)
 		e.p, e.err = train()
-		if e.err == nil && c.dir != "" {
-			if err := os.MkdirAll(c.dir, 0o755); err == nil {
-				// Persisting is best-effort: a read-only disk degrades the
-				// cache to memory-only rather than failing the request.
-				_ = e.p.SaveFile(c.path(key))
+		if e.err != nil {
+			c.trainFailures.Add(1)
+			if durable.IsTransient(e.err) {
+				e.transient = true
+				e.backoff = max(c.retryBase, 2*e.backoff)
+				if e.backoff > c.retryMax {
+					e.backoff = c.retryMax
+				}
+				e.retryAt = time.Now().Add(e.backoff)
+				c.logf("serve: training %s failed transiently (retry in %v): %v", key, e.backoff, e.err)
+			}
+			return
+		}
+		if c.store != nil {
+			// Persisting is best-effort: a full or read-only disk degrades
+			// the cache to memory-only rather than failing the request.
+			if err := c.store.Save(key, func(w io.Writer) error { return e.p.Save(w) }); err != nil {
+				c.logf("serve: persisting snapshot %s: %v", key, err)
 			}
 		}
 	})
@@ -99,6 +210,29 @@ func (c *Cache) GetOrTrain(key string, train func() (*model.Parser, error)) (*mo
 	return e.p, e.disk || inMemory, nil
 }
 
-func (c *Cache) path(key string) string {
-	return filepath.Join(c.dir, key+".parser")
+// loadSnapshot resolves the entry from a verified disk snapshot, reporting
+// whether it succeeded. A key that has no snapshot is a plain miss; a key
+// whose snapshot exists but cannot be loaded is logged and counted — the
+// store has already quarantined the corrupt generations, so the retrain
+// below repairs the cache instead of hitting the same bad file every
+// restart.
+func (c *Cache) loadSnapshot(key string, e *cacheEntry) bool {
+	if c.store == nil {
+		return false
+	}
+	var p *model.Parser
+	err := c.store.Load(key, func(r io.Reader) error {
+		var derr error
+		p, derr = model.Load(r)
+		return derr
+	})
+	if err == nil {
+		e.p, e.disk = p, true
+		return true
+	}
+	if !errors.Is(err, fs.ErrNotExist) {
+		c.diskLoadFailures.Add(1)
+		c.logf("serve: snapshot %s unreadable (quarantined, retraining): %v", key, err)
+	}
+	return false
 }

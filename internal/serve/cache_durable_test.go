@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/model"
+)
+
+// TestCacheTransientErrorRetriesWithBackoff: a transient training failure
+// (disk full, I/O pressure) must not be cached forever — the next call after
+// the backoff expires retries, while calls inside the window get the cached
+// error without a retry storm.
+func TestCacheTransientErrorRetriesWithBackoff(t *testing.T) {
+	c := NewCacheWith(CacheOptions{RetryBase: 30 * time.Millisecond, RetryMax: time.Second})
+	var calls atomic.Int64
+	fail := true
+	train := func() (*model.Parser, error) {
+		calls.Add(1)
+		if fail {
+			return nil, durable.MarkTransient(errors.New("trainer disk full"))
+		}
+		return model.Train(toyTrainPairs(), nil, nil, toyConfig(2)), nil
+	}
+
+	if _, _, err := c.GetOrTrain("k", train); err == nil {
+		t.Fatal("first call should fail")
+	}
+	// Inside the backoff window: cached error, no retry.
+	if _, _, err := c.GetOrTrain("k", train); err == nil {
+		t.Fatal("call inside backoff should return the cached error")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("train ran %d times inside the backoff window, want 1", n)
+	}
+
+	fail = false
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		p, _, err := c.GetOrTrain("k", train)
+		if err == nil {
+			if p == nil {
+				t.Fatal("nil parser after successful retry")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retry never ran after backoff: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := c.Stats()
+	if st.TransientRetries == 0 {
+		t.Errorf("stats = %+v, want TransientRetries > 0", st)
+	}
+	if st.Trainings != 2 || st.TrainFailures != 1 {
+		t.Errorf("stats = %+v, want 2 trainings / 1 failure", st)
+	}
+
+	// The recovered parser is now cached: further calls are hits.
+	if _, hit, err := c.GetOrTrain("k", train); err != nil || !hit {
+		t.Fatalf("post-recovery: hit=%v err=%v, want hit", hit, err)
+	}
+}
+
+// TestCacheDeterministicErrorNotRetried pins the quarantine half of the
+// failure taxonomy: a deterministic failure stays cached (the key embeds the
+// input checksum, so changed input = new key = re-admission).
+func TestCacheDeterministicErrorNotRetried(t *testing.T) {
+	c := NewCacheWith(CacheOptions{RetryBase: time.Millisecond})
+	var calls atomic.Int64
+	train := func() (*model.Parser, error) {
+		calls.Add(1)
+		return nil, errors.New("library does not typecheck")
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.GetOrTrain("k", train); err == nil {
+			t.Fatal("want cached deterministic error")
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("deterministic failure retrained %d times, want 1", n)
+	}
+	if st := c.Stats(); st.TransientRetries != 0 {
+		t.Fatalf("stats = %+v, want no transient retries", st)
+	}
+}
+
+// TestCacheCorruptSnapshotRollsBack: with two stored generations, corrupting
+// the newest must roll a restarted cache back to last-good without
+// retraining.
+func TestCacheCorruptSnapshotRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	var calls atomic.Int64
+	train := func() (*model.Parser, error) {
+		calls.Add(1)
+		return model.Train(toyTrainPairs(), nil, nil, toyConfig(3)), nil
+	}
+	key := "skill"
+	c1 := NewCache(dir)
+	p1, _, err := c1.GetOrTrain(key, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second generation of the same snapshot (a later retrain would write
+	// one); then corrupt it on disk.
+	if err := c1.Store().Save(key, func(w io.Writer) error { return p1.Save(w) }); err != nil {
+		t.Fatal(err)
+	}
+	gens := c1.Store().Generations(key)
+	newest := filepath.Join(dir, fmt.Sprintf("%s.g%d", key, gens[len(gens)-1]))
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x10
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var logbuf strings.Builder
+	c2 := NewCacheWith(CacheOptions{
+		Store: durable.Open(dir, durable.Options{}),
+		Logf:  func(f string, a ...any) { fmt.Fprintf(&logbuf, f+"\n", a...) },
+	})
+	p2, hit, err := c2.GetOrTrain(key, train)
+	if err != nil {
+		t.Fatalf("restart over corrupt newest generation: %v", err)
+	}
+	if !hit {
+		t.Error("rollback load must still count as a disk hit")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("train ran %d times, want 1 (rollback, not retrain)", n)
+	}
+	st := c2.Stats()
+	if st.Store.Rollbacks != 1 || st.Store.Quarantined != 1 {
+		t.Fatalf("store stats = %+v, want 1 rollback / 1 quarantined", st.Store)
+	}
+	for _, src := range testSentences() {
+		if a, b := strings.Join(p1.Parse(src), " "), strings.Join(p2.Parse(src), " "); a != b {
+			t.Fatalf("rolled-back parser decodes %q, original %q", b, a)
+		}
+	}
+	if _, err := os.Stat(newest + ".corrupt"); err != nil {
+		t.Errorf("corrupt generation not quarantined: %v", err)
+	}
+}
+
+// TestCacheUnreadableSnapshotLoggedAndRetrained is the cache.go:82 satellite
+// fix: a snapshot that exists but cannot be decoded must be logged, counted,
+// and quarantined so it cannot cost a failed load on every restart.
+func TestCacheUnreadableSnapshotLoggedAndRetrained(t *testing.T) {
+	dir := t.TempDir()
+	key := "skill"
+	// A present-but-garbage snapshot generation (torn write from a dead
+	// process, say).
+	seed := durable.Open(dir, durable.Options{})
+	if err := seed.Save(key, func(w io.Writer) error {
+		_, err := io.WriteString(w, "definitely not a parser snapshot")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var calls atomic.Int64
+	train := func() (*model.Parser, error) {
+		calls.Add(1)
+		return model.Train(toyTrainPairs(), nil, nil, toyConfig(4)), nil
+	}
+	var logbuf strings.Builder
+	c := NewCacheWith(CacheOptions{
+		Store: durable.Open(dir, durable.Options{}),
+		Logf:  func(f string, a ...any) { fmt.Fprintf(&logbuf, f+"\n", a...) },
+	})
+	_, hit, err := c.GetOrTrain(key, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || calls.Load() != 1 {
+		t.Fatalf("hit=%v calls=%d, want retrain", hit, calls.Load())
+	}
+	if st := c.Stats(); st.DiskLoadFailures != 1 {
+		t.Fatalf("stats = %+v, want DiskLoadFailures 1", st)
+	}
+	if !strings.Contains(logbuf.String(), "unreadable") {
+		t.Fatalf("unreadable snapshot not logged: %q", logbuf.String())
+	}
+
+	// The bad generation was quarantined and the retrain wrote a good one: a
+	// fresh process now hits disk.
+	c2 := NewCacheWith(CacheOptions{Store: durable.Open(dir, durable.Options{})})
+	if _, hit, err := c2.GetOrTrain(key, train); err != nil || !hit {
+		t.Fatalf("restart after repair: hit=%v err=%v, want disk hit", hit, err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("train ran %d times, want 1", n)
+	}
+}

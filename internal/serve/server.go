@@ -84,11 +84,48 @@ type SkillMetrics struct {
 	P99MS          float64 `json:"p99_ms"`
 }
 
+// DurabilityMetrics are the snapshot-store and training-cache recovery
+// counters of a fleet (GET /metrics): how often snapshots were written and
+// read back, how many failed verification and were quarantined, how many
+// loads rolled back to a last-good generation, and how training failures
+// were handled.
+type DurabilityMetrics struct {
+	Saves            uint64 `json:"saves"`
+	SaveFailures     uint64 `json:"save_failures"`
+	Loads            uint64 `json:"loads"`
+	LoadFailures     uint64 `json:"load_failures"`
+	Quarantined      uint64 `json:"quarantined"`
+	Rollbacks        uint64 `json:"rollbacks"`
+	DiskLoadFailures uint64 `json:"disk_load_failures"`
+	TransientRetries uint64 `json:"transient_retries"`
+	Trainings        uint64 `json:"trainings"`
+	TrainFailures    uint64 `json:"train_failures"`
+}
+
 // MetricsResponse is the JSON reply of a fleet's GET /metrics.
 type MetricsResponse struct {
 	// UptimeSeconds is how long this process has been serving.
 	UptimeSeconds float64        `json:"uptime_seconds,omitempty"`
 	Skills        []SkillMetrics `json:"skills"`
+	// Durability carries the snapshot-store recovery counters (fleet
+	// servers with a snapshot cache only).
+	Durability *DurabilityMetrics `json:"durability,omitempty"`
+}
+
+// DurabilityFrom flattens cache stats into the wire form.
+func DurabilityFrom(s CacheStats) *DurabilityMetrics {
+	return &DurabilityMetrics{
+		Saves:            s.Store.Saves,
+		SaveFailures:     s.Store.SaveFailures,
+		Loads:            s.Store.Loads,
+		LoadFailures:     s.Store.LoadFailures,
+		Quarantined:      s.Store.Quarantined,
+		Rollbacks:        s.Store.Rollbacks,
+		DiskLoadFailures: s.DiskLoadFailures,
+		TransientRetries: s.TransientRetries,
+		Trainings:        s.Trainings,
+		TrainFailures:    s.TrainFailures,
+	}
 }
 
 // Server is the HTTP front end over a Batcher.
