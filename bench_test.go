@@ -329,6 +329,87 @@ func BenchmarkBatchedDecode(b *testing.B) {
 	})
 }
 
+// benchContextPairs extends benchBatchPairs with multi-turn follow-ups:
+// every base command gains one "change it to <value>" turn whose context is
+// the base program and whose target swaps only the quoted value, the shape
+// package dialogue synthesizes.
+func benchContextPairs() []model.Pair {
+	base := benchBatchPairs()
+	pairs := append([]model.Pair(nil), base...)
+	for i := range base {
+		prev := base[i].Tgt
+		next := base[(i+1)%len(base)].Tgt
+		tgt := append([]string(nil), prev...)
+		tgt[6] = next[6] // the quoted value token
+		pairs = append(pairs, model.Pair{
+			Src: []string{"change", "it", "to", tgt[6]},
+			Tgt: tgt,
+			Ctx: prev,
+		})
+	}
+	return pairs
+}
+
+// BenchmarkContextDecode measures what conditioning on the previous turn's
+// program costs at serving time: one contextual parser decodes the same
+// follow-up window through the plain path (nil context — bit-identical to a
+// single-turn parser) and through the contextual path (context encoder +
+// second attention head + pointer copy over context slots), sequentially and
+// as one lockstep batched forward.
+func BenchmarkContextDecode(b *testing.B) {
+	pairs := benchContextPairs()
+	cfg := benchTrainCfg
+	cfg.Epochs = 3
+	cfg.Contextual = true
+	p := model.Train(pairs, nil, nil, cfg)
+	window := make([][]string, 16)
+	ctxs := make([][]string, 16)
+	follow := pairs[len(pairs)/2:]
+	for i := range window {
+		window[i] = follow[i%len(follow)].Src
+		ctxs[i] = follow[i%len(follow)].Ctx
+	}
+	p.ParseBatch(window) // warm graph pools and scratch buffers
+	p.ParseBatchContext(window, ctxs)
+
+	perSentence := func(b *testing.B) func() {
+		b.ReportAllocs()
+		b.ResetTimer()
+		return func() {
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(window)), "ns/sentence")
+		}
+	}
+	b.Run("no-context/sequential", func(b *testing.B) {
+		defer perSentence(b)()
+		for i := 0; i < b.N; i++ {
+			for _, s := range window {
+				p.ParseContext(s, nil)
+			}
+		}
+	})
+	b.Run("context/sequential", func(b *testing.B) {
+		defer perSentence(b)()
+		for i := 0; i < b.N; i++ {
+			for j, s := range window {
+				p.ParseContext(s, ctxs[j])
+			}
+		}
+	})
+	b.Run("no-context/batched", func(b *testing.B) {
+		defer perSentence(b)()
+		for i := 0; i < b.N; i++ {
+			p.ParseBatch(window)
+		}
+	})
+	b.Run("context/batched", func(b *testing.B) {
+		defer perSentence(b)()
+		for i := 0; i < b.N; i++ {
+			p.ParseBatchContext(window, ctxs)
+		}
+	})
+}
+
 func BenchmarkRuntimeExecution(b *testing.B) {
 	lib := thingpedia.Builtin()
 	exec := runtime.NewExecutor(lib)

@@ -33,6 +33,8 @@ func cmdFleet(args []string) {
 	lmSteps := fs.Int("lmsteps", -1, "LM pre-training steps (-1 = scale preset, 0 = skip)")
 	batchSize := fs.Int("batchsize", 0, "training minibatch size (0 = scale preset)")
 	bucket := fs.Bool("bucket", false, "length-bucket training minibatches (cuts padding waste)")
+	dialogue := fs.Bool("dialogue", false, "train contextual parsers on synthesized multi-turn sessions; X-Genie-Session requests then resolve follow-ups against the session's previous program")
+	sessionCap := fs.Int("sessions", 0, "per-skill dialogue session-store capacity (0 = default)")
 	trainWorkers := fs.Int("train-workers", 1, "concurrent background training runs")
 	addr := fs.String("addr", ":8080", "listen address")
 	batch := fs.Int("batch", 8, "per-skill micro-batch size")
@@ -82,7 +84,7 @@ func cmdFleet(args []string) {
 			if ckpts != nil {
 				ck = ckpts.Key("skill-" + name)
 			}
-			p, d := trainParserLib(lib, scale, strategy, *seed, *maxSteps, *lmSteps, *batchSize, *bucket, ck, *ckptSteps)
+			p, d := trainParserLib(lib, scale, strategy, *seed, *maxSteps, *lmSteps, *batchSize, *bucket, *dialogue, ck, *ckptSteps)
 			if *adaptive && *beam > 1 {
 				calibrateParser(p, d, *beam)
 			}
@@ -94,10 +96,12 @@ func cmdFleet(args []string) {
 			fmt.Sprintf("seed=%d", *seed), fmt.Sprintf("maxsteps=%d", *maxSteps),
 			fmt.Sprintf("lmsteps=%d", *lmSteps), fmt.Sprintf("batchsize=%d", *batchSize),
 			fmt.Sprintf("bucket=%t", *bucket),
+			fmt.Sprintf("dialogue=%t", *dialogue),
 			fmt.Sprintf("calibrate=%t:%d", *adaptive, *beam),
 		},
-		TrainWorkers: *trainWorkers,
-		Logf:         logf,
+		SessionCapacity: *sessionCap,
+		TrainWorkers:    *trainWorkers,
+		Logf:            logf,
 	}
 	reg, err := fleet.New(cfg)
 	if err != nil {

@@ -31,18 +31,21 @@ func strategyByName(name string) (genie.Strategy, bool) {
 // trainParser runs the full data pipeline and parser training over the
 // built-in library for one (scale, strategy, seed) recipe.
 func trainParser(scale genie.Scale, strategy genie.Strategy, seed int64, maxSteps, lmSteps, batchSize int, bucket bool) (*model.Parser, *genie.Data) {
-	return trainParserLib(thingpedia.Builtin(), scale, strategy, seed, maxSteps, lmSteps, batchSize, bucket, nil, 0)
+	return trainParserLib(thingpedia.Builtin(), scale, strategy, seed, maxSteps, lmSteps, batchSize, bucket, false, nil, 0)
 }
 
 // trainParserLib is trainParser over an arbitrary skill library (the fleet
 // trains one parser per library file); maxSteps/lmSteps (-1 = keep preset)
 // let the CI smoke tests cap the run, batchSize > 1 trains on shuffled
 // minibatches through the batched kernels (0 = scale preset), and bucket
-// length-buckets those minibatches to cut padding waste. A non-nil ck makes
+// length-buckets those minibatches to cut padding waste. dialogue augments
+// training with synthesized multi-turn sessions and produces a contextual
+// parser (snapshot v4) whose decodes can condition on the previous turn's
+// program. A non-nil ck makes
 // the run resumable: checkpoints every ckSteps optimizer steps, and a
 // restart that finds a compatible checkpoint picks the trajectory back up
 // instead of retraining from scratch.
-func trainParserLib(lib *thingpedia.Library, scale genie.Scale, strategy genie.Strategy, seed int64, maxSteps, lmSteps, batchSize int, bucket bool, ck model.CheckpointStore, ckSteps int) (*model.Parser, *genie.Data) {
+func trainParserLib(lib *thingpedia.Library, scale genie.Scale, strategy genie.Strategy, seed int64, maxSteps, lmSteps, batchSize int, bucket, dialogue bool, ck model.CheckpointStore, ckSteps int) (*model.Parser, *genie.Data) {
 	d := genie.BuildData(lib, nltemplate.DefaultOptions, scale, seed)
 	mcfg := scale.Model
 	if maxSteps > 0 {
@@ -60,6 +63,7 @@ func trainParserLib(lib *thingpedia.Library, scale genie.Scale, strategy genie.S
 	mcfg.BucketByLength = bucket
 	tp := d.Train(genie.TrainOptions{
 		Strategy: strategy, Topt: genie.CanonicalTargets, Model: mcfg, Seed: seed,
+		Dialogue:   dialogue,
 		Checkpoint: ck, CheckpointEverySteps: ckSteps,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "genie: "+format+"\n", a...)

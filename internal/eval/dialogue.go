@@ -1,0 +1,185 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dataset"
+	"repro/internal/thingtalk"
+)
+
+// ContextDecoder decodes a sentence conditioned on the previous turn's
+// program tokens; *model.Parser implements it (ParseContext), and decoding
+// with an empty context is exactly single-turn decoding.
+type ContextDecoder interface {
+	ParseContext(words, ctx []string) []string
+}
+
+// SessionDecoder routes one dialogue turn to a skill under a session id,
+// with the decoder — not the caller — supplying the previous-turn context
+// from its own session state; fleet.Registry implements it (ParseTurn over
+// the per-skill session store).
+type SessionDecoder interface {
+	ParseTurn(skill, session string, words []string) []string
+}
+
+// TurnSample is one dialogue turn under evaluation: the utterance, its gold
+// program, and the previous turn's gold program tokens as decoding context
+// (empty on first turns).
+type TurnSample struct {
+	Words   []string
+	Context []string
+	Program *thingtalk.Program
+	// Alt are alternative gold annotations, accepted like dataset.Example.Alt.
+	Alt []*thingtalk.Program
+}
+
+// DialogueReport splits program accuracy by turn position: first turns
+// decode with no context (the single-turn regime) and follow-ups decode
+// conditioned on the prior program, so the gap between the two is the cost
+// of contextual interpretation.
+type DialogueReport struct {
+	First     Report
+	Followups Report
+}
+
+// FirstTurnAccuracy is program accuracy over session-opening turns.
+func (r DialogueReport) FirstTurnAccuracy() float64 { return r.First.ProgramAccuracy() }
+
+// FollowupAccuracy is program accuracy over context-conditioned turns.
+func (r DialogueReport) FollowupAccuracy() float64 { return r.Followups.ProgramAccuracy() }
+
+// Gap is first-turn minus follow-up accuracy in percentage points.
+func (r DialogueReport) Gap() float64 { return r.FirstTurnAccuracy() - r.FollowupAccuracy() }
+
+// Combined merges both buckets into one flat report.
+func (r DialogueReport) Combined() Report {
+	c := r.First
+	c.add(r.Followups)
+	return c
+}
+
+func (r *DialogueReport) score(first bool, toks []string, t *TurnSample, schemas thingtalk.SchemaSource) {
+	e := dataset.Example{Words: t.Words, Program: t.Program, Alt: t.Alt}
+	if first {
+		r.First.score(toks, &e, schemas)
+	} else {
+		r.Followups.score(toks, &e, schemas)
+	}
+}
+
+// EvaluateDialogue scores a contextual decoder on multi-turn sessions with
+// teacher-forced context: every follow-up decodes against the gold previous
+// program, so the follow-up bucket isolates contextual decoding quality from
+// error propagation. Sessions fan across workers (0 = GOMAXPROCS);
+// predictions are scored in session order, so the report is deterministic
+// for any worker count.
+func EvaluateDialogue(dec ContextDecoder, sessions [][]TurnSample, schemas thingtalk.SchemaSource, workers int) DialogueReport {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sessions) {
+		workers = len(sessions)
+	}
+	preds := make([][][]string, len(sessions))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				si := int(next.Add(1)) - 1
+				if si >= len(sessions) {
+					return
+				}
+				out := make([][]string, len(sessions[si]))
+				for ti := range sessions[si] {
+					out[ti] = dec.ParseContext(sessions[si][ti].Words, sessions[si][ti].Context)
+				}
+				preds[si] = out
+			}
+		}()
+	}
+	wg.Wait()
+	var r DialogueReport
+	for si := range sessions {
+		for ti := range sessions[si] {
+			r.score(ti == 0, preds[si][ti], &sessions[si][ti], schemas)
+		}
+	}
+	return r
+}
+
+// DialogueSet is one skill's multi-turn evaluation slice: its sessions (each
+// an ordered turn sequence) and the schema source they canonicalize against.
+type DialogueSet struct {
+	Skill    string
+	Sessions [][]TurnSample
+	Schemas  thingtalk.SchemaSource
+}
+
+// SkillDialogueReport pairs a skill with its per-turn report.
+type SkillDialogueReport struct {
+	Skill string
+	DialogueReport
+}
+
+// FleetDialogueReport aggregates fleet-level multi-turn evaluation.
+type FleetDialogueReport struct {
+	Skills   []SkillDialogueReport
+	Combined DialogueReport
+}
+
+// EvaluateFleetDialogue scores a session-routed deployment end to end: each
+// session's turns decode in order under a unique session id, and the decoder
+// supplies each follow-up's context from its own session state (for
+// fleet.Registry, the per-skill session store fed by the previous accepted
+// parse). Unlike EvaluateDialogue's teacher forcing, a wrong turn here
+// poisons the stored context for the next one, so the follow-up bucket
+// measures the deployed multi-turn experience including error propagation.
+// Sessions fan across workers per skill; reports are deterministic for any
+// worker count.
+func EvaluateFleetDialogue(dec SessionDecoder, sets []DialogueSet, workers int) FleetDialogueReport {
+	var out FleetDialogueReport
+	for seti, set := range sets {
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		w := min(workers, len(set.Sessions))
+		preds := make([][][]string, len(set.Sessions))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					si := int(next.Add(1)) - 1
+					if si >= len(set.Sessions) {
+						return
+					}
+					session := fmt.Sprintf("eval-%d-%s-%d", seti, set.Skill, si)
+					outp := make([][]string, len(set.Sessions[si]))
+					for ti := range set.Sessions[si] {
+						outp[ti] = dec.ParseTurn(set.Skill, session, set.Sessions[si][ti].Words)
+					}
+					preds[si] = outp
+				}
+			}()
+		}
+		wg.Wait()
+		var r DialogueReport
+		for si := range set.Sessions {
+			for ti := range set.Sessions[si] {
+				r.score(ti == 0, preds[si][ti], &set.Sessions[si][ti], set.Schemas)
+			}
+		}
+		out.Skills = append(out.Skills, SkillDialogueReport{Skill: set.Skill, DialogueReport: r})
+		out.Combined.First.add(r.First)
+		out.Combined.Followups.add(r.Followups)
+	}
+	return out
+}

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dialogue"
 	"repro/internal/durable"
 	"repro/internal/model"
 	"repro/internal/serve"
@@ -51,6 +52,16 @@ type Config struct {
 	// Serve configures each skill's Batcher shard (batch window, workers,
 	// beam, admission queue bound).
 	Serve serve.Options
+	// ServeOverrides replaces Serve wholesale for the named skills, so one
+	// hot skill can run a wider batch window or its own beam width without
+	// retuning the fleet default. Overrides apply on the next (re)build of
+	// the skill's shard.
+	ServeOverrides map[string]serve.Options
+	// SessionCapacity bounds each skill's dialogue session store — the LRU
+	// map from X-Genie-Session ids to the last accepted program, which
+	// contextual parsers consume as follow-up decoding context (<= 0 uses
+	// dialogue.DefaultStoreCapacity).
+	SessionCapacity int
 	// Train builds a parser for a (possibly changed) library. Required.
 	Train TrainFunc
 	// Cache, when set, keys trained snapshots by library checksum so an
@@ -123,6 +134,12 @@ type skill struct {
 
 	shard atomic.Pointer[shard]
 
+	// sessions is the skill's dialogue session store. It lives on the skill,
+	// not the shard, so a hot-swap keeps every live session: requests
+	// draining on the old snapshot and requests arriving on the new one
+	// read and write the same store (drain-safe session handoff).
+	sessions *dialogue.Store
+
 	requests atomic.Int64
 	errs     atomic.Int64 // answered with a non-shed error (see SkillMetrics.Errors)
 	lat      serve.LatencyRing
@@ -188,7 +205,10 @@ func New(cfg Config) (*Registry, error) {
 // addSkill registers a discovered library and spawns its first build.
 // Callers must not hold r.mu.
 func (r *Registry) addSkill(e thingpedia.DirEntry) {
-	sk := &skill{name: e.Name, path: e.Path, entry: e, reloading: true}
+	sk := &skill{
+		name: e.Name, path: e.Path, entry: e, reloading: true,
+		sessions: dialogue.NewStore(r.cfg.SessionCapacity),
+	}
 	r.mu.Lock()
 	r.skills[sk.name] = sk
 	r.mu.Unlock()
@@ -250,7 +270,7 @@ func (r *Registry) reload(sk *skill, e thingpedia.DirEntry) {
 	})
 	next := &shard{
 		parser:     parser,
-		batcher:    serve.NewBatcher(parser, r.cfg.Serve),
+		batcher:    serve.NewBatcher(parser, r.serveOptions(sk.name)),
 		checksum:   sum,
 		generation: gen,
 	}
@@ -331,6 +351,16 @@ func rawFileChecksum(path string) string {
 	}
 	sum := sha256.Sum256(data)
 	return hex.EncodeToString(sum[:])
+}
+
+// serveOptions resolves one skill's batcher configuration: its
+// Config.ServeOverrides entry when present, the fleet-wide default
+// otherwise.
+func (r *Registry) serveOptions(name string) serve.Options {
+	if o, ok := r.cfg.ServeOverrides[name]; ok {
+		return o
+	}
+	return r.cfg.Serve
 }
 
 // train invokes the configured TrainFunc through the snapshot cache (when
@@ -521,6 +551,16 @@ func (r *Registry) readyShards() []*skill {
 // Parse routes one request to the named skill's shard. The returned
 // generation identifies the snapshot that answered.
 func (r *Registry) Parse(ctx context.Context, name string, words []string) (toks []string, generation uint64, err error) {
+	return r.ParseSession(ctx, name, "", words, nil)
+}
+
+// ParseSession is Parse with multi-turn dialogue state. prior is the
+// previous turn's program tokens supplied explicitly by the caller; when it
+// is empty and session names an X-Genie-Session, the skill's session store
+// supplies it instead. An accepted parse is recorded back under the session
+// id, becoming the next follow-up's context. On a non-contextual shard the
+// whole session flow is a no-op and this is exactly Parse.
+func (r *Registry) ParseSession(ctx context.Context, name, session string, words, prior []string) (toks []string, generation uint64, err error) {
 	sk := r.skill(name)
 	if sk == nil {
 		return nil, 0, fmt.Errorf("%w: %q", ErrUnknownSkill, name)
@@ -530,9 +570,13 @@ func (r *Registry) Parse(ctx context.Context, name string, words []string) (toks
 		sk.errs.Add(1)
 		return nil, 0, fmt.Errorf("%w: %q", ErrNotReady, name)
 	}
+	contextual := sh.batcher.Contextual()
+	if contextual && len(prior) == 0 && session != "" {
+		prior, _ = sk.sessions.Get(session, name)
+	}
 	sk.requests.Add(1)
 	start := time.Now()
-	toks, err = sh.batcher.ParseCtx(ctx, words)
+	toks, err = sh.batcher.ParseContextCtx(ctx, words, prior)
 	if err != nil {
 		// Sheds have their own counter (the batcher's); everything else —
 		// expired deadline budgets, decode failures, closed shards — is an
@@ -543,6 +587,9 @@ func (r *Registry) Parse(ctx context.Context, name string, words []string) (toks
 		return nil, sh.generation, err
 	}
 	sk.lat.Observe(float64(time.Since(start).Microseconds()) / 1000)
+	if contextual && session != "" && len(toks) > 0 {
+		sk.sessions.Put(session, name, toks)
+	}
 	return toks, sh.generation, nil
 }
 
@@ -627,6 +674,19 @@ func (r *Registry) ParseSkill(skillName string, words []string) []string {
 	return toks
 }
 
+// ParseTurn implements eval.SessionDecoder: one dialogue turn routed under a
+// session id, with the skill's session store supplying the follow-up
+// context. Errors decode to nil (scored as wrong).
+//
+//genielint:ctx-root interface adapter: the eval.SessionDecoder contract has no ctx parameter
+func (r *Registry) ParseTurn(skillName, session string, words []string) []string {
+	toks, _, err := r.ParseSession(context.Background(), skillName, session, words, nil)
+	if err != nil {
+		return nil
+	}
+	return toks
+}
+
 // Skills reports every skill's lifecycle state, sorted by name.
 func (r *Registry) Skills() []serve.SkillInfo {
 	var out []serve.SkillInfo
@@ -672,6 +732,11 @@ func (r *Registry) Metrics() []serve.SkillMetrics {
 			Errors:   sk.errs.Load(),
 		}
 		m.P50MS, m.P99MS = sk.lat.Quantiles()
+		ss := sk.sessions.Stats()
+		m.Sessions = int64(ss.Size)
+		m.SessionHits = int64(ss.Hits)
+		m.SessionMisses = int64(ss.Misses)
+		m.SessionEvictions = int64(ss.Evictions)
 		if sh := sk.shard.Load(); sh != nil {
 			st := sh.batcher.Stats()
 			m.Generation = sh.generation

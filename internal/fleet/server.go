@@ -63,7 +63,8 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	resp := serve.ParseResponse{Skill: req.Skill}
 	var err error
 	if req.Skill != "" {
-		resp.Tokens, resp.Generation, err = s.reg.Parse(ctx, req.Skill, words)
+		session := r.Header.Get(serve.SessionHeader)
+		resp.Tokens, resp.Generation, err = s.reg.ParseSession(ctx, req.Skill, session, words, req.Context)
 	} else {
 		resp.Skill, resp.Tokens, resp.Score, resp.Generation, err = s.reg.ParseAny(ctx, words)
 	}

@@ -145,6 +145,7 @@ type Gateway struct {
 	hedgeWins atomic.Int64 // hedges that answered first
 	fallbacks atomic.Int64 // cross-skill fallbacks taken
 	degraded  atomic.Int64 // requests that found no live replica
+	sticky    atomic.Int64 // session-affine requests (X-Genie-Session routing)
 
 	mux      *http.ServeMux
 	stop     chan struct{}

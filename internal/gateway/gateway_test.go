@@ -32,6 +32,7 @@ type fakeBackend struct {
 	parses       atomic.Int64
 	sawDeadline  atomic.Bool  // a /parse carried the deadline-budget header
 	lastDeadline atomic.Value // string
+	lastSession  atomic.Value // string: last X-Genie-Session a /parse carried
 }
 
 func newFakeBackend(t *testing.T, name string, skills ...string) *fakeBackend {
@@ -67,6 +68,9 @@ func newFakeBackend(t *testing.T, name string, skills ...string) *fakeBackend {
 		if h := r.Header.Get(serve.DeadlineHeader); h != "" {
 			b.sawDeadline.Store(true)
 			b.lastDeadline.Store(h)
+		}
+		if h := r.Header.Get(serve.SessionHeader); h != "" {
+			b.lastSession.Store(h)
 		}
 		if d := time.Duration(b.parseDelay.Load()); d > 0 {
 			select {

@@ -68,12 +68,32 @@ func (g *Gateway) candidates(skill string) []*backend {
 	return cands
 }
 
+// stickyOrder reorders a session-carrying request's candidates by rendezvous
+// hash of (session, backend), so every request of a dialogue session routes
+// to the same live replica — where the fleet's session store holds the
+// previous turn — regardless of queue-depth churn. The ordering is a full
+// deterministic preference chain, not a single pin: when the session's
+// first-choice backend is ejected, all its sessions fail over together to
+// one stable second choice, and return as soon as readmission puts the
+// backend back among the candidates.
+func stickyOrder(cands []*backend, session string) {
+	if session == "" || len(cands) < 2 {
+		return
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		return hashKey(session+"@"+cands[i].addr) > hashKey(session+"@"+cands[j].addr)
+	})
+}
+
 // route answers one client request end to end: replica routing with retry
 // and hedging, then — when the skill has no live replica — either the
 // cross-skill fallback or a degraded 503.
-func (g *Gateway) route(ctx context.Context, req serve.ParseRequest) (routeResult, error) {
+func (g *Gateway) route(ctx context.Context, req serve.ParseRequest, session string) (routeResult, error) {
 	g.requests.Add(1)
-	res, err := g.routeReplicas(ctx, req)
+	if session != "" {
+		g.sticky.Add(1)
+	}
+	res, err := g.routeReplicas(ctx, req, session)
 	if !errors.Is(err, errDegraded) {
 		return res, err
 	}
@@ -81,7 +101,7 @@ func (g *Gateway) route(ctx context.Context, req serve.ParseRequest) (routeResul
 	if g.opt.CrossSkillFallback && req.Skill != "" {
 		fb := req
 		fb.Skill = "" // let a healthy fleet's scored fallback answer
-		fres, ferr := g.routeReplicas(ctx, fb)
+		fres, ferr := g.routeReplicas(ctx, fb, session)
 		if ferr == nil {
 			g.fallbacks.Add(1)
 			g.opt.Logf("gateway: skill %q degraded, answered by cross-skill fallback via %s", req.Skill, fres.backend)
@@ -97,7 +117,7 @@ func (g *Gateway) route(ctx context.Context, req serve.ParseRequest) (routeResul
 // stretched to the server's Retry-After when every candidate has shed — and
 // gives up when the retry budget or the deadline budget runs out. The first
 // attempt may hedge.
-func (g *Gateway) routeReplicas(ctx context.Context, req serve.ParseRequest) (routeResult, error) {
+func (g *Gateway) routeReplicas(ctx context.Context, req serve.ParseRequest, session string) (routeResult, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return routeResult{}, err
@@ -114,6 +134,7 @@ func (g *Gateway) routeReplicas(ctx context.Context, req serve.ParseRequest) (ro
 		if len(cands) == 0 {
 			break
 		}
+		stickyOrder(cands, session)
 		routed = true
 		pick := cands[0]
 		backup := (*backend)(nil)
@@ -131,9 +152,9 @@ func (g *Gateway) routeReplicas(ctx context.Context, req serve.ParseRequest) (ro
 		}
 		var res routeResult
 		if attempt == 0 && g.opt.Hedge && backup != nil {
-			res, err = g.hedgedAttempt(ctx, pick, backup, req.Skill, body)
+			res, err = g.hedgedAttempt(ctx, pick, backup, req.Skill, body, session)
 		} else {
-			res, err = g.attempt(ctx, pick, body)
+			res, err = g.attempt(ctx, pick, body, session)
 		}
 		res.attempts = attempt + 1
 		if err == nil && res.status == http.StatusOK {
@@ -199,7 +220,7 @@ func anyUntried(cands []*backend, tried map[*backend]bool) bool {
 // breaker; sheds (429) and not-ready (503) are backpressure, not evidence
 // the process is down — probes decide those. A canceled context (a hedge
 // lost its race) records nothing.
-func (g *Gateway) attempt(ctx context.Context, b *backend, body []byte) (routeResult, error) {
+func (g *Gateway) attempt(ctx context.Context, b *backend, body []byte, session string) (routeResult, error) {
 	b.requests.Add(1)
 	start := time.Now()
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, b.addr+"/parse", bytes.NewReader(body))
@@ -207,6 +228,9 @@ func (g *Gateway) attempt(ctx context.Context, b *backend, body []byte) (routeRe
 		return routeResult{}, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if session != "" {
+		hreq.Header.Set(serve.SessionHeader, session)
+	}
 	serve.SetDeadlineHeader(hreq.Header, ctx)
 	resp, err := g.hc.Do(hreq)
 	if err != nil {
@@ -247,7 +271,7 @@ func (g *Gateway) attempt(ctx context.Context, b *backend, body []byte) (routeRe
 // after the hedge delay, the same request on the backup replica; the first
 // success wins and the loser's context is canceled. A hedge that loses or
 // errors never surfaces to the client — the primary's outcome does.
-func (g *Gateway) hedgedAttempt(ctx context.Context, primary, backup *backend, skill string, body []byte) (routeResult, error) {
+func (g *Gateway) hedgedAttempt(ctx context.Context, primary, backup *backend, skill string, body []byte, session string) (routeResult, error) {
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	type outcome struct {
@@ -257,7 +281,7 @@ func (g *Gateway) hedgedAttempt(ctx context.Context, primary, backup *backend, s
 	}
 	ch := make(chan outcome, 2)
 	go func() {
-		res, err := g.attempt(cctx, primary, body)
+		res, err := g.attempt(cctx, primary, body, session)
 		ch <- outcome{res, err, false}
 	}()
 	timer := time.NewTimer(g.hedgeDelay(primary, skill))
@@ -292,7 +316,7 @@ func (g *Gateway) hedgedAttempt(ctx context.Context, primary, backup *backend, s
 				pending++
 				g.hedges.Add(1)
 				go func() {
-					res, err := g.attempt(cctx, backup, body)
+					res, err := g.attempt(cctx, backup, body, session)
 					ch <- outcome{res, err, true}
 				}()
 			}

@@ -28,16 +28,19 @@ type BackendMetrics struct {
 // Metrics is the gateway's GET /metrics reply: routing-tier counters plus
 // per-backend health.
 type Metrics struct {
-	UptimeSeconds float64          `json:"uptime_seconds"`
-	Requests      int64            `json:"requests"`
-	Retries       int64            `json:"retries"`
-	Hedges        int64            `json:"hedges"`
-	HedgeWins     int64            `json:"hedge_wins"`
-	Fallbacks     int64            `json:"fallbacks"`
-	Degraded      int64            `json:"degraded"`
-	P50MS         float64          `json:"p50_ms"`
-	P99MS         float64          `json:"p99_ms"`
-	Backends      []BackendMetrics `json:"backends"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Requests      int64   `json:"requests"`
+	Retries       int64   `json:"retries"`
+	Hedges        int64   `json:"hedges"`
+	HedgeWins     int64   `json:"hedge_wins"`
+	Fallbacks     int64   `json:"fallbacks"`
+	Degraded      int64   `json:"degraded"`
+	// Sticky counts requests that carried an X-Genie-Session and were routed
+	// by session affinity rather than least-loaded pick.
+	Sticky   int64            `json:"sticky"`
+	P50MS    float64          `json:"p50_ms"`
+	P99MS    float64          `json:"p99_ms"`
+	Backends []BackendMetrics `json:"backends"`
 }
 
 // handleParse is the gateway's POST /parse: decode, route across replicas,
@@ -60,7 +63,7 @@ func (g *Gateway) handleParse(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := serve.DeadlineContext(r)
 	defer cancel()
 	start := time.Now()
-	res, err := g.route(ctx, req)
+	res, err := g.route(ctx, req, r.Header.Get(serve.SessionHeader))
 	switch {
 	case err == nil:
 		if res.backend != "" {
@@ -148,6 +151,7 @@ func (g *Gateway) MetricsSnapshot() Metrics {
 		HedgeWins:     g.hedgeWins.Load(),
 		Fallbacks:     g.fallbacks.Load(),
 		Degraded:      g.degraded.Load(),
+		Sticky:        g.sticky.Load(),
 	}
 	m.P50MS, m.P99MS = g.lat.Quantiles()
 	backends := g.backendList()

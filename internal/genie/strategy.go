@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/augment"
 	"repro/internal/dataset"
+	"repro/internal/dialogue"
 	"repro/internal/eval"
 	"repro/internal/model"
 	"repro/internal/thingtalk"
@@ -159,6 +160,16 @@ type TrainOptions struct {
 	// Logf receives resume/mismatch events from resumable training
 	// (nil discards).
 	Logf func(format string, args ...any)
+	// Dialogue augments the training pairs with synthesized multi-turn
+	// sessions (package dialogue) and turns on the model's context encoder:
+	// every follow-up turn becomes one contextual pair whose Ctx is the
+	// previous turn's target serialization. Single-turn pairs keep an empty
+	// Ctx, so the parser still decodes opening commands bit-identically to a
+	// non-contextual one.
+	Dialogue bool
+	// DialogueTurns is the session length for Dialogue synthesis
+	// (< 2 = the dialogue package's default of 3).
+	DialogueTurns int
 }
 
 // Train builds the training set for a strategy and trains a parser; the
@@ -182,6 +193,10 @@ func (d *Data) Train(opt TrainOptions) *TrainedParser {
 
 	mcfg := opt.Model
 	mcfg.Seed = opt.Seed
+	if opt.Dialogue {
+		mcfg.Contextual = true
+		pairs = append(pairs, d.dialoguePairs(trainSet, opt)...)
+	}
 	var parser *model.Parser
 	if opt.Checkpoint != nil {
 		//genielint:ctx-root training CLI entry point: interruption arrives as process death, which the checkpoint store absorbs
@@ -194,6 +209,30 @@ func (d *Data) Train(opt TrainOptions) *TrainedParser {
 		parser = model.Train(pairs, valPairs, lm, mcfg)
 	}
 	return &TrainedParser{Parser: parser, Topt: opt.Topt}
+}
+
+// dialoguePairs synthesizes multi-turn sessions from the (already
+// instantiated) training set and flattens their follow-up turns into
+// contextual pairs. First turns are skipped: each seed example is already a
+// single-turn pair, and session synthesis copies its program verbatim.
+func (d *Data) dialoguePairs(trainSet []dataset.Example, opt TrainOptions) []model.Pair {
+	sessions := dialogue.Synthesize(trainSet, dialogue.Config{
+		Seed:    opt.Seed,
+		Turns:   opt.DialogueTurns,
+		Schemas: d.Lib,
+		Encode: thingtalk.EncodeOptions{
+			TypeAnnotations: opt.Topt.TypeAnnotations,
+			Positional:      opt.Topt.Positional,
+			Schemas:         d.Lib,
+		},
+	})
+	var out []model.Pair
+	for _, p := range dialogue.Pairs(sessions) {
+		if len(p.Ctx) > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // Evaluate scores a trained parser on an evaluation set.

@@ -24,6 +24,7 @@ var inferGraphs = nn.NewGraphPool()
 type decodeCtx struct {
 	g      *nn.Graph
 	enc    encBufs
+	cs     ctxScratch
 	srcIds []int
 	scored []scoredToken
 	ms     mixScorer
@@ -47,6 +48,7 @@ func acquireDecodeCtx() *decodeCtx {
 // alias) another request's live tensors through stale pointers.
 func (dc *decodeCtx) release() {
 	dc.enc.releaseTensors()
+	dc.cs.cenc.releaseTensors()
 	inferGraphs.Put(dc.g)
 	dc.g = nil
 	decodeCtxs.Put(dc)

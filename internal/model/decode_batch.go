@@ -26,6 +26,8 @@ import (
 type batchDecodeCtx struct {
 	g      *nn.Graph
 	bufs   batchBufs
+	cbufs  batchBufs  // padded previous-program memory (contextual decode)
+	cs     ctxScratch // effective mixture rows (contextual decode)
 	scored []scoredToken
 	ms     mixScorer
 	prev   []int // per-row previous target token ids
@@ -50,6 +52,8 @@ func acquireBatchDecodeCtx() *batchDecodeCtx {
 // recycled arena tensors across requests.
 func (dc *batchDecodeCtx) release() {
 	dc.bufs.releaseTensors()
+	dc.cbufs.releaseTensors()
+	dc.cs.cenc.releaseTensors()
 	inferGraphs.Put(dc.g)
 	dc.g = nil
 	batchDecodeCtxs.Put(dc)

@@ -1,0 +1,194 @@
+package model
+
+import (
+	"math"
+	"sort"
+)
+
+// Contextual decoding (multi-turn parsing). The previous turn's accepted
+// program tokens form a second attended memory; its attention row folds into
+// the pointer mixture by treating context tokens as extra copyable positions:
+// the effective copy distribution over words++ctx is
+// [(1−cgate)·alpha, cgate·beta], so every existing mixture scorer — fused
+// argmax, top-k, and the grammar-masked variants — applies unchanged.
+//
+// An empty context (or a non-contextual parser) delegates to the single-turn
+// paths, which keeps those trajectories bit-identical to the pre-contextual
+// code.
+
+// ctxScratch holds the contextual decode buffers of a pooled decodeCtx.
+//
+//genielint:arena-scoped
+type ctxScratch struct {
+	cenc     ctxBufs
+	ctxIds   []int
+	effWords []string
+	effAlpha []float64
+}
+
+// effMix builds the effective copy distribution and word list covering the
+// source positions followed by the context positions.
+func (cs *ctxScratch) effMix(words, ctx []string, alpha, beta []float64, cgate float64) ([]string, []float64) {
+	ew := append(cs.effWords[:0], words...)
+	ew = append(ew, ctx...)
+	cs.effWords = ew
+	ea := cs.effAlpha[:0]
+	for _, a := range alpha[:len(words)] {
+		ea = append(ea, (1-cgate)*a)
+	}
+	for _, b := range beta[:len(ctx)] {
+		ea = append(ea, cgate*b)
+	}
+	cs.effAlpha = ea
+	return ew, ea
+}
+
+// ParseContext greedily decodes a sentence against the previous turn's
+// program tokens. With an empty context it is exactly Parse. Safe for
+// concurrent use, like every decode entry point.
+func (p *Parser) ParseContext(words, ctx []string) []string {
+	out, _ := p.ParseContextScored(words, ctx, 1)
+	return out
+}
+
+// ParseContextScored is the scored contextual decode: greedy at width <= 1,
+// beam otherwise. With an empty context (or a parser trained without
+// Config.Contextual) it delegates to the single-turn path bit-identically.
+func (p *Parser) ParseContextScored(words, ctx []string, width int) ([]string, float64) {
+	if p.ctxCell == nil || len(ctx) == 0 {
+		return p.ParseScored(words, width)
+	}
+	if len(words) == 0 {
+		return nil, math.Inf(-1)
+	}
+	if width <= 1 {
+		return p.parseGreedyCtxScored(words, ctx)
+	}
+	best := p.beamDecodeCtx(words, ctx, width)
+	return best.tokens, best.score()
+}
+
+// ParseContextAdaptive is the contextual twin of ParseAdaptive: greedy
+// first, beam re-decode only when the fitted confidence threshold flags the
+// greedy hypothesis. The escalated flag reports whether the beam ran.
+func (p *Parser) ParseContextAdaptive(words, ctx []string, width int) ([]string, float64, bool) {
+	if p.ctxCell == nil || len(ctx) == 0 {
+		return p.ParseAdaptive(words, width)
+	}
+	if len(words) == 0 {
+		return nil, math.Inf(-1), false
+	}
+	toks, score := p.parseGreedyCtxScored(words, ctx)
+	if width <= 1 || !p.calib.Fitted || score >= p.calib.Threshold {
+		return toks, score, false
+	}
+	best := p.beamDecodeCtx(words, ctx, width)
+	return best.tokens, best.score(), true
+}
+
+func (p *Parser) parseGreedyCtxScored(words, ctx []string) ([]string, float64) {
+	dc := acquireDecodeCtx()
+	defer dc.release()
+	g := dc.g
+	dc.srcIds = p.src.EncodeInto(dc.srcIds[:0], words)
+	dc.cs.ctxIds = p.tgt.EncodeInto(dc.cs.ctxIds[:0], ctx)
+	H, final := p.encode(g, &dc.enc, dc.srcIds)
+	C := p.encodeCtx(g, &dc.cs.cenc, dc.cs.ctxIds)
+	st := p.initDecode(g, final)
+	prev := BosID
+	out := make([]string, 0, 16)
+	logProb := 0.0
+	done := false
+	maxLen := p.cfg.maxDecodeLen()
+	gs := p.grammarStart()
+	for t := 0; t < maxLen; t++ {
+		pv, alpha, beta, gate, cgate, next := p.stepCtx(g, st, prev, H, C)
+		ew, ea := dc.cs.effMix(words, ctx, alpha.W, beta.W, cgate.W[0])
+		var tok string
+		var prob float64
+		picked := false
+		if gs != nil {
+			if mt, mp, ok := p.maskedBest(&dc.ms, &dc.ls, &dc.lc, gs, maskedBudget(maxLen, t), pv.W, ea, gate.W[0], ew); ok {
+				tok, prob, picked = mt, mp, true
+			} else {
+				gs = nil
+			}
+		}
+		if !picked {
+			tok, prob = p.bestTokenScored(&dc.ms, pv.W, ea, gate.W[0], ew)
+		}
+		logProb += math.Log(prob + 1e-12)
+		if tok == EosToken {
+			done = true
+			break
+		}
+		out = append(out, tok)
+		st = next
+		prev = p.tgt.ID(tok)
+		gs = p.grammarStep(gs, tok)
+	}
+	return out, lengthNormScore(logProb, len(out), done)
+}
+
+// beamDecodeCtx runs the contextual beam search, mirroring beamDecode with
+// the two-memory step and the effective mixture rows.
+func (p *Parser) beamDecodeCtx(words, ctx []string, width int) beamItem {
+	dc := acquireDecodeCtx()
+	defer dc.release()
+	g := dc.g
+	dc.srcIds = p.src.EncodeInto(dc.srcIds[:0], words)
+	dc.cs.ctxIds = p.tgt.EncodeInto(dc.cs.ctxIds[:0], ctx)
+	H, final := p.encode(g, &dc.enc, dc.srcIds)
+	C := p.encodeCtx(g, &dc.cs.cenc, dc.cs.ctxIds)
+	beam := []beamItem{{st: p.initDecode(g, final), prev: BosID, gs: p.grammarStart()}}
+	maxLen := p.cfg.maxDecodeLen()
+	for t := 0; t < maxLen; t++ {
+		var candidates []beamItem
+		allDone := true
+		for _, item := range beam {
+			if item.done {
+				candidates = append(candidates, item)
+				continue
+			}
+			allDone = false
+			pv, alpha, beta, gate, cgate, next := p.stepCtx(g, item.st, item.prev, H, C)
+			ew, ea := dc.cs.effMix(words, ctx, alpha.W, beta.W, cgate.W[0])
+			var cands []scoredToken
+			masked := false
+			if item.gs != nil {
+				cands, masked = p.maskedTop(&dc.ms, &dc.ls, &dc.lc, item.gs, maskedBudget(maxLen, t), &dc.scored, pv.W, ea, gate.W[0], ew, width)
+			}
+			if !masked {
+				cands = p.topTokens(&dc.ms, &dc.scored, pv.W, ea, gate.W[0], ew, width)
+			}
+			for _, cand := range cands {
+				ni := beamItem{
+					tokens:  append(append([]string(nil), item.tokens...), cand.tok),
+					logProb: item.logProb + math.Log(cand.p+1e-12),
+					st:      next,
+					prev:    p.tgt.ID(cand.tok),
+				}
+				if cand.tok == EosToken {
+					ni.done = true
+					ni.tokens = ni.tokens[:len(ni.tokens)-1]
+				} else if masked {
+					ni.gs = p.grammarStep(item.gs, cand.tok)
+				}
+				candidates = append(candidates, ni)
+			}
+		}
+		if allDone {
+			break
+		}
+		sort.SliceStable(candidates, func(i, j int) bool { return candidates[i].score() > candidates[j].score() })
+		if len(candidates) > width {
+			candidates = candidates[:width]
+		}
+		beam = candidates
+	}
+	return bestHypothesis(beam)
+}
+
+// Contextual reports whether the parser carries the multi-turn context
+// encoder (Config.Contextual at training time).
+func (p *Parser) Contextual() bool { return p.ctxCell != nil }

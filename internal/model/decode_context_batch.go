@@ -1,0 +1,205 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/grammar"
+	"repro/internal/nn"
+)
+
+// Batched contextual decode: the serving layer's gathered window of
+// follow-up requests advances in lockstep with *two* attended memories per
+// row — the padded source memory and a padded previous-program memory — via
+// the batched attention kernel's block mapping. Per row the kernels are
+// numerically identical to the single-row contextual path, so
+// ParseBatchContextScored emits exactly ParseContextScored's greedy tokens.
+//
+// Every request must carry a non-empty context: the serving layer partitions
+// a window into contextual and single-turn halves, and the single-turn half
+// goes through ParseBatch unchanged (bit-parity with the pre-contextual
+// path).
+
+// encodeCtxBatch runs the previous-program encoder over a prepared batch
+// (prepareSrc with the target vocabulary), returning the packed padded
+// context memory ((B*M)×h, one M-row block per request).
+//
+//genielint:returns-arena
+func (p *Parser) encodeCtxBatch(g *nn.Graph, bb *batchBufs, B, M int) *nn.Tensor {
+	hid := p.cfg.HiddenDim
+	embs := grow(&bb.embs, M)
+	for i := 0; i < M; i++ {
+		embs[i] = g.Dropout(g.LookupRows(p.decEmb.Table, bb.srcIds[i*B:(i+1)*B]), p.cfg.Dropout, p.rng)
+	}
+	h := g.NewTensor(B, hid)
+	c := g.NewTensor(B, hid)
+	hs := grow(&bb.fhs, M)
+	for i := 0; i < M; i++ {
+		h, c = p.ctxCell.StepBatch(g, embs[i], h, c, bb.active[i*B:(i+1)*B])
+		hs[i] = h
+	}
+	rows := grow(&bb.rows, M)
+	copy(rows, hs[:M])
+	return g.PackMemoryBatch(rows, bb.lens)
+}
+
+// decodeStepCtxBatch is the batched form of stepCtx: one lockstep decoder
+// step over R rows attending both the source memory H and the context memory
+// C through their block mappings.
+//
+//genielint:returns-arena
+func (p *Parser) decodeStepCtxBatch(g *nn.Graph, H *nn.Tensor, lens []int, C *nn.Tensor, clens []int, prev, blocks []int, h, c, ctx *nn.Tensor) (pv, alpha, beta, gate, cgate, hN, cN, ctxN *nn.Tensor) {
+	emb := g.LookupRows(p.decEmb.Table, prev)
+	x := g.ConcatCols(emb, ctx)
+	hN, cN = p.dec.StepBatch(g, x, h, c, nil)
+	q := g.BatchedAffine(hN, p.attnLin.W, p.attnLin.B)
+	alpha, ctxN = g.AttendSoftmaxContextBatch(q, H, blocks, lens)
+	htilde := g.Tanh(g.BatchedAffine(g.ConcatCols(hN, ctxN), p.combLin.W, p.combLin.B))
+	q2 := g.BatchedAffine(htilde, p.ctxAttnLin.W, p.ctxAttnLin.B)
+	var cctx *nn.Tensor
+	beta, cctx = g.AttendSoftmaxContextBatch(q2, C, blocks, clens)
+	h2 := g.Tanh(g.BatchedAffine(g.ConcatCols(htilde, cctx), p.ctxCombLin.W, p.ctxCombLin.B))
+	pv = g.SoftmaxRows(g.BatchedAffine(h2, p.outLin.W, p.outLin.B))
+	gate = g.Sigmoid(g.BatchedAffine(h2, p.gateLin.W, p.gateLin.B))
+	cgate = g.Sigmoid(g.BatchedAffine(h2, p.ctxGateLin.W, p.ctxGateLin.B))
+	return pv, alpha, beta, gate, cgate, hN, cN, ctxN
+}
+
+// ParseBatchContext greedily decodes B (sentence, previous-program) requests
+// in lockstep. Tokens are identical to per-request ParseContext calls.
+func (p *Parser) ParseBatchContext(sentences, contexts [][]string) [][]string {
+	outs, _ := p.ParseBatchContextScored(sentences, contexts)
+	return outs
+}
+
+// ParseBatchContextScored is the scored batched contextual greedy decode.
+// Every request must have a non-empty context (the serving layer routes
+// empty-context requests through the single-turn batched path); rows with an
+// empty sentence return nil like Parse.
+func (p *Parser) ParseBatchContextScored(sentences, contexts [][]string) ([][]string, []float64) {
+	if p.ctxCell == nil {
+		panic("model: ParseBatchContext on a non-contextual parser")
+	}
+	B := len(sentences)
+	outs := make([][]string, B)
+	scores := make([]float64, B)
+	for b := range scores {
+		scores[b] = math.Inf(-1)
+	}
+	if B == 0 {
+		return outs, scores
+	}
+	dc := acquireBatchDecodeCtx()
+	defer dc.release()
+	g := dc.g
+	S := dc.bufs.prepareSrc(p.src, sentences)
+	if S == 0 {
+		return outs, scores
+	}
+	M := dc.cbufs.prepareSrc(p.tgt, contexts)
+	if M == 0 {
+		panic("model: ParseBatchContext with all-empty contexts")
+	}
+	H, final := p.encodeBatch(g, &dc.bufs, B, S)
+	C := p.encodeCtxBatch(g, &dc.cbufs, B, M)
+	hid := p.cfg.HiddenDim
+	h := g.Tanh(g.BatchedAffine(final, p.initLin.W, p.initLin.B))
+	c := g.NewTensor(B, hid)
+	ctx := g.NewTensor(B, 2*hid)
+
+	reqOf := grow(&dc.reqOf, B)
+	prev := grow(&dc.prev, B)
+	blocks := grow(&dc.blocks, B)
+	keep := grow(&dc.srcIdx, B)
+	logProb := make([]float64, B)
+	done := make([]bool, B)
+	var gss []*grammar.State
+	if p.auto != nil {
+		gss = make([]*grammar.State, B)
+	}
+	R := 0
+	for b := 0; b < B; b++ {
+		if len(sentences[b]) == 0 {
+			continue
+		}
+		if len(contexts[b]) == 0 {
+			panic("model: ParseBatchContext row with empty context")
+		}
+		reqOf[R] = b
+		prev[R] = BosID
+		blocks[R] = b
+		keep[R] = b
+		if gss != nil {
+			gss[R] = p.auto.Start()
+		}
+		R++
+		outs[b] = make([]string, 0, 16)
+	}
+	if R == 0 {
+		return outs, scores
+	}
+	if R < B {
+		h = gatherRows(g, h, keep[:R])
+		c = gatherRows(g, c, keep[:R])
+		ctx = gatherRows(g, ctx, keep[:R])
+	}
+	V := p.tgt.Size()
+	maxLen := p.cfg.maxDecodeLen()
+	for t := 0; t < maxLen && R > 0; t++ {
+		pv, alpha, beta, gate, cgate, hN, cN, ctxN := p.decodeStepCtxBatch(g, H, dc.bufs.lens, C, dc.cbufs.lens, prev[:R], blocks[:R], h, c, ctx)
+		w := 0
+		for r := 0; r < R; r++ {
+			req := reqOf[r]
+			words := sentences[req]
+			ew, ea := dc.cs.effMix(words, contexts[req], alpha.W[r*S:r*S+len(words)], beta.W[r*M:r*M+len(contexts[req])], cgate.W[r])
+			var tok string
+			var prob float64
+			picked := false
+			if gss != nil && gss[r] != nil {
+				if mt, mp, ok := p.maskedBest(&dc.ms, &dc.ls, &dc.lc, gss[r], maskedBudget(maxLen, t), pv.W[r*V:(r+1)*V], ea, gate.W[r], ew); ok {
+					tok, prob, picked = mt, mp, true
+				} else {
+					gss[r] = nil
+				}
+			}
+			if !picked {
+				tok, prob = p.bestTokenScored(&dc.ms, pv.W[r*V:(r+1)*V], ea, gate.W[r], ew)
+			}
+			logProb[req] += math.Log(prob + 1e-12)
+			if tok == EosToken {
+				done[req] = true
+				continue
+			}
+			outs[req] = append(outs[req], tok)
+			var ngs *grammar.State
+			if gss != nil {
+				ngs = p.grammarStep(gss[r], tok)
+			}
+			reqOf[w] = req
+			prev[w] = p.tgt.ID(tok)
+			blocks[w] = req
+			keep[w] = r
+			if gss != nil {
+				gss[w] = ngs
+			}
+			w++
+		}
+		R = w
+		if R == 0 {
+			break
+		}
+		if R < hN.Rows {
+			h = gatherRows(g, hN, keep[:R])
+			c = gatherRows(g, cN, keep[:R])
+			ctx = gatherRows(g, ctxN, keep[:R])
+		} else {
+			h, c, ctx = hN, cN, ctxN
+		}
+	}
+	for b := 0; b < B; b++ {
+		if len(sentences[b]) == 0 {
+			continue
+		}
+		scores[b] = lengthNormScore(logProb[b], len(outs[b]), done[b])
+	}
+	return outs, scores
+}

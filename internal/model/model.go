@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/grammar"
 	"repro/internal/nn"
+	"repro/internal/params"
 )
 
 // Config holds the hyperparameters of the parser (Section 4.3, scaled for
@@ -47,7 +48,16 @@ type Config struct {
 	// MinVocabCount is the threshold for target vocabulary membership;
 	// rarer tokens must be copied.
 	MinVocabCount int
-	Seed          int64
+	// Contextual adds the multi-turn context encoder: the previous turn's
+	// program tokens become a second attended memory with its own pointer
+	// head, so follow-up commands can copy arguments from the prior program.
+	// Parsers with Contextual false (and contextual parsers decoding an
+	// empty context) walk exactly the single-turn graph: the context layers
+	// draw their initial weights from a separate derived RNG stream, so the
+	// base parameters and the training dropout stream are bit-identical to a
+	// non-contextual parser with the same seed.
+	Contextual bool
+	Seed       int64
 }
 
 // DefaultConfig is the configuration used by the experiment harness at test
@@ -78,10 +88,13 @@ func (c Config) maxDecodeLen() int {
 }
 
 // Pair is one training example: a tokenized sentence and the target program
-// token sequence.
+// token sequence. Ctx optionally carries the previous turn's program tokens
+// for contextual training; it is ignored (and must be empty for bit-parity
+// with single-turn training) unless Config.Contextual is set.
 type Pair struct {
 	Src []string
 	Tgt []string
+	Ctx []string
 }
 
 // Parser is the trained semantic parser.
@@ -101,6 +114,14 @@ type Parser struct {
 	combLin *nn.Linear // [h; ctx] -> h (the attentional h-tilde)
 	outLin  *nn.Linear // h-tilde -> target vocab
 	gateLin *nn.Linear // h-tilde -> pointer/generator gate
+
+	// Context-encoder layers (Config.Contextual only, nil otherwise): the
+	// previous turn's program tokens, embedded through decEmb, run through
+	// ctxCell into an m×h memory attended by a second head.
+	ctxCell    *nn.LSTMCell // program-token encoder (e -> h)
+	ctxAttnLin *nn.Linear   // h-tilde -> ctx space (h)
+	ctxCombLin *nn.Linear   // [h-tilde; cctx] -> h
+	ctxGateLin *nn.Linear   // h2 -> context-copy gate
 
 	rng    *rand.Rand
 	rngSrc *countingSource // rng's source; draw position checkpointed by TrainResumable
@@ -127,7 +148,9 @@ type Parser struct {
 // number of goroutines.
 type scratch struct {
 	enc     encBufs
+	cenc    ctxBufs
 	srcIds  []int
+	ctxIds  []int
 	target  []string
 	maskBuf []bool
 }
@@ -157,6 +180,22 @@ func (e *encBufs) releaseTensors() {
 
 func clearTensorBuf(ts []*nn.Tensor) {
 	clear(ts[:cap(ts)])
+}
+
+// ctxBufs holds the per-position tensor slices of one context-encoder pass,
+// mirroring encBufs for the (unidirectional) previous-program encoder.
+//
+//genielint:arena-scoped
+type ctxBufs struct {
+	embs []*nn.Tensor
+	hs   []*nn.Tensor
+	rows []*nn.Tensor
+}
+
+func (c *ctxBufs) releaseTensors() {
+	clearTensorBuf(c.embs)
+	clearTensorBuf(c.hs)
+	clearTensorBuf(c.rows)
 }
 
 // grow returns a length-n slice backed by *buf, growing it as needed; the
@@ -212,7 +251,7 @@ func newParser(cfg Config, src, tgt *Vocab) *Parser {
 	csrc := newCountingSource(cfg.Seed)
 	rng := rand.New(csrc)
 	e, h := cfg.EmbedDim, cfg.HiddenDim
-	return &Parser{
+	p := &Parser{
 		cfg:     cfg,
 		src:     src,
 		tgt:     tgt,
@@ -229,15 +268,34 @@ func newParser(cfg Config, src, tgt *Vocab) *Parser {
 		rng:     rng,
 		rngSrc:  csrc,
 	}
+	if cfg.Contextual {
+		// A separate derived stream keeps the base init draws — and with
+		// them the subsequent training dropout stream positions — identical
+		// to a non-contextual parser with the same seed.
+		crng := rand.New(rand.NewSource(params.DeriveSeed(cfg.Seed, "ctx-encoder", 0)))
+		p.ctxCell = nn.NewLSTMCell(e, h, crng)
+		p.ctxAttnLin = nn.NewLinear(h, h, crng)
+		p.ctxCombLin = nn.NewLinear(2*h, h, crng)
+		p.ctxGateLin = nn.NewLinear(h, 1, crng)
+	}
+	return p
 }
 
-// Params returns all trainable tensors.
+// Params returns all trainable tensors. Context-encoder parameters (when
+// present) come last, so the snapshot tensor order of a non-contextual
+// parser is a prefix of the contextual one.
 func (p *Parser) Params() []*nn.Tensor {
 	var out []*nn.Tensor
 	out = append(out, p.encEmb.Params()...)
 	out = append(out, p.fwd.Params()...)
 	out = append(out, p.bwd.Params()...)
 	out = append(out, p.decParams()...)
+	if p.ctxCell != nil {
+		out = append(out, p.ctxCell.Params()...)
+		out = append(out, p.ctxAttnLin.Params()...)
+		out = append(out, p.ctxCombLin.Params()...)
+		out = append(out, p.ctxGateLin.Params()...)
+	}
 	return out
 }
 
@@ -343,10 +401,59 @@ func (p *Parser) step(g *nn.Graph, st decodeState, prev int, H *nn.Tensor) (pv, 
 	return pv, alpha, gate, decodeState{h: h, c: c, ctx: ctx}
 }
 
+// encodeCtx runs the previous-program encoder: context tokens are embedded
+// through the decoder embedding (they are target-language tokens) and folded
+// by ctxCell into an m×h memory for the second attention head.
+//
+//genielint:returns-arena
+func (p *Parser) encodeCtx(g *nn.Graph, bufs *ctxBufs, ctxIds []int) *nn.Tensor {
+	n := len(ctxIds)
+	embs := grow(&bufs.embs, n)
+	for i, id := range ctxIds {
+		embs[i] = g.Dropout(p.decEmb.Lookup(g, id), p.cfg.Dropout, p.rng)
+	}
+	h, c := p.ctxCell.ZeroState(g)
+	hs := grow(&bufs.hs, n)
+	for i := 0; i < n; i++ {
+		h, c = p.ctxCell.Step(g, embs[i], h, c)
+		hs[i] = h
+	}
+	rows := grow(&bufs.rows, n)
+	copy(rows, hs)
+	return g.RowsToMatrix(rows)
+}
+
+// stepCtx is the contextual decoder step: the single-turn step through the
+// attentional h-tilde (including its dropout draw), then a second attention
+// over the context memory C whose summary refines h-tilde before the output
+// and gate projections. beta is the context attention and cgate the
+// context-copy gate that splits copy mass between source and context.
+//
+//genielint:returns-arena
+func (p *Parser) stepCtx(g *nn.Graph, st decodeState, prev int, H, C *nn.Tensor) (pv, alpha, beta, gate, cgate *nn.Tensor, next decodeState) {
+	h, c := p.decCell(g, st, prev)
+	q := p.attnLin.Apply(g, h)
+	var ctx *nn.Tensor
+	alpha, ctx = g.AttendSoftmaxContext(q, H)
+	htilde := g.Tanh(p.combLin.Apply(g, g.ConcatRow(h, ctx)))
+	htilde = g.Dropout(htilde, p.cfg.Dropout, p.rng)
+	q2 := p.ctxAttnLin.Apply(g, htilde)
+	var cctx *nn.Tensor
+	beta, cctx = g.AttendSoftmaxContext(q2, C)
+	h2 := g.Tanh(p.ctxCombLin.Apply(g, g.ConcatRow(htilde, cctx)))
+	pv = g.SoftmaxRow(p.outLin.Apply(g, h2))
+	gate = g.Sigmoid(p.gateLin.Apply(g, h2))
+	cgate = g.Sigmoid(p.ctxGateLin.Apply(g, h2))
+	return pv, alpha, beta, gate, cgate, decodeState{h: h, c: c, ctx: ctx}
+}
+
 // loss computes the teacher-forced loss of one pair. All per-step slices
 // (source ids, target tokens, per-token copy masks) come from the parser's
 // scratch so a steady-state training step allocates nothing.
 func (p *Parser) loss(g *nn.Graph, pair *Pair) float64 {
+	if p.ctxCell != nil && len(pair.Ctx) > 0 {
+		return p.lossCtx(g, pair)
+	}
 	p.scr.srcIds = p.src.EncodeInto(p.scr.srcIds[:0], pair.Src)
 	H, final := p.encode(g, &p.scr.enc, p.scr.srcIds)
 	st := p.initDecode(g, final)
@@ -378,6 +485,53 @@ func (p *Parser) loss(g *nn.Graph, pair *Pair) float64 {
 				idx = UnkID
 			}
 			total += g.NLLPointerMix(pv, alpha, onesGate(g), nil, idx)
+		}
+		st = next
+		prev = p.tgt.ID(tok)
+	}
+	p.scr.maskBuf = mb
+	return total / float64(len(target))
+}
+
+// lossCtx is the teacher-forced loss of a contextual pair: the previous
+// turn's program is encoded as a second memory, each step attends both, and
+// the pointer mixture splits copy mass between source and context tokens.
+func (p *Parser) lossCtx(g *nn.Graph, pair *Pair) float64 {
+	p.scr.srcIds = p.src.EncodeInto(p.scr.srcIds[:0], pair.Src)
+	p.scr.ctxIds = p.tgt.EncodeInto(p.scr.ctxIds[:0], pair.Ctx)
+	H, final := p.encode(g, &p.scr.enc, p.scr.srcIds)
+	C := p.encodeCtx(g, &p.scr.cenc, p.scr.ctxIds)
+	st := p.initDecode(g, final)
+	prev := BosID
+	total := 0.0
+	target := append(p.scr.target[:0], pair.Tgt...)
+	target = append(target, EosToken)
+	p.scr.target = target
+	mb := p.scr.maskBuf[:0]
+	for _, tok := range target {
+		pv, alpha, beta, gate, cgate, next := p.stepCtx(g, st, prev, H, C)
+		vocabIdx := -1
+		if p.tgt.Has(tok) {
+			vocabIdx = p.tgt.ID(tok)
+		}
+		if p.cfg.PointerGen {
+			start := len(mb)
+			for _, s := range pair.Src {
+				mb = append(mb, s == tok)
+			}
+			srcMask := mb[start:len(mb):len(mb)]
+			cstart := len(mb)
+			for _, c := range pair.Ctx {
+				mb = append(mb, c == tok)
+			}
+			ctxMask := mb[cstart:len(mb):len(mb)]
+			total += g.NLLPointerMixCtx(pv, alpha, beta, gate, cgate, srcMask, ctxMask, vocabIdx)
+		} else {
+			idx := vocabIdx
+			if idx < 0 {
+				idx = UnkID
+			}
+			total += g.NLLPointerMix(pv, nil, onesGate(g), nil, idx)
 		}
 		st = next
 		prev = p.tgt.ID(tok)

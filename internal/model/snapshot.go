@@ -20,17 +20,20 @@ import (
 // skill-library cache on top of these snapshots.
 //
 //	magic   "GENIEPSR" (8 bytes)
-//	version uint64 (currently 3; version 1 and 2 streams still load)
+//	version uint64 (currently 4; version 1, 2 and 3 streams still load)
 //	config  fixed field order (ints as int64, floats as bits, bools as u8);
-//	        version 2 appends BucketByLength
+//	        version 2 appends BucketByLength, version 4 appends Contextual
 //	meta    (version 2) library checksum, generation, note
 //	grammar (version 3) calibration fitted flag + threshold, grammar spec
 //	        JSON (empty when the parser decodes unmasked), spec checksum
 //	vocabs  source then target: count, then length-prefixed tokens
-//	params  count, then per tensor: rows, cols, rows*cols float64 bits
+//	params  count, then per tensor: rows, cols, rows*cols float64 bits;
+//	        version 4 contextual parsers append the context-encoder tensors
+//	        after the base Params() order (newParser sizes them from the
+//	        Contextual config bit, so the count check covers them)
 const (
 	snapshotMagic   = "GENIEPSR"
-	snapshotVersion = 3
+	snapshotVersion = 4
 )
 
 // SnapshotMeta is the provenance block of a snapshot: which skill library
@@ -60,6 +63,9 @@ func (p *Parser) Save(w io.Writer) error { return p.saveVersioned(w, snapshotVer
 func (p *Parser) saveVersioned(w io.Writer, version uint64) error {
 	if version < 1 || version > snapshotVersion {
 		return fmt.Errorf("model: cannot write snapshot version %d", version)
+	}
+	if p.cfg.Contextual && version < 4 {
+		return fmt.Errorf("model: contextual parsers need snapshot version 4 (asked for %d)", version)
 	}
 	bw := &binWriter{w: bufio.NewWriter(w)}
 	bw.bytes([]byte(snapshotMagic))
@@ -236,6 +242,9 @@ func writeConfig(bw *binWriter, c Config, version uint64) {
 	if version >= 2 {
 		bw.bool(c.BucketByLength)
 	}
+	if version >= 4 {
+		bw.bool(c.Contextual)
+	}
 }
 
 func readConfig(br *binReader, version uint64) Config {
@@ -256,6 +265,9 @@ func readConfig(br *binReader, version uint64) Config {
 	c.Seed = br.i64()
 	if version >= 2 {
 		c.BucketByLength = br.bool()
+	}
+	if version >= 4 {
+		c.Contextual = br.bool()
 	}
 	return c
 }

@@ -264,6 +264,13 @@ func (p *Parser) fitRun(ctx context.Context, train, val []Pair, ck *checkpointer
 	}
 
 	bs := max(1, p.cfg.BatchSize)
+	if p.ctxCell != nil {
+		// Contextual training runs per-example: the batched loss kernels
+		// have no context head, and the padded ctx memory layout is decode-
+		// only (blocks require an inference graph). B=1 keeps the gradient
+		// exact; the batched kernels still serve contextual decoding.
+		bs = 1
+	}
 	// BucketByLength only applies to real minibatches; with bs 1 batchStarts
 	// degenerates to 0,1,2,... and draws nothing from rng.
 	bucket := p.cfg.BucketByLength && bs > 1

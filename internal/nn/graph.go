@@ -30,6 +30,7 @@ const (
 	opLookupRows
 	opConcatCols2
 	opPackMemory
+	opNLLPointerMixCtx
 )
 
 // tapeOp is one record of the typed tape: the operands, outputs and stashed
@@ -234,6 +235,8 @@ func (g *Graph) backstep(o *tapeOp) {
 		backConcatCols2(o.a, o.b, o.out)
 	case opPackMemory:
 		backPackMemory(o)
+	case opNLLPointerMixCtx:
+		backNLLPointerMixCtx(o)
 	}
 }
 
@@ -311,6 +314,46 @@ func backNLLPointerMix(o *tapeOp) {
 		}
 	}
 	pgen.DW[0] += dp * (pv - pc)
+}
+
+// backNLLPointerMixCtx is the two-memory pointer mixture: the copy mass
+// splits between the source attention (alpha, masks[0]) and the context
+// attention (beta, masks[1]) by the context gate. Operands: a=pvocab,
+// b=alpha, c=pgen, aux=beta, aux2=cgate.
+func backNLLPointerMixCtx(o *tapeOp) {
+	pvocab, alpha, pgen, beta, cgate := o.a, o.b, o.c, o.aux, o.aux2
+	g, g2 := pgen.W[0], cgate.W[0]
+	var pv, ps, pc float64
+	if o.idx >= 0 {
+		pv = pvocab.W[o.idx]
+	}
+	for i, m := range o.masks[0] {
+		if m {
+			ps += alpha.W[i]
+		}
+	}
+	for i, m := range o.masks[1] {
+		if m {
+			pc += beta.W[i]
+		}
+	}
+	const eps = 1e-9
+	dp := -1 / (o.fval + eps)
+	if o.idx >= 0 {
+		pvocab.DW[o.idx] += dp * g
+	}
+	for i, m := range o.masks[0] {
+		if m {
+			alpha.DW[i] += dp * (1 - g) * (1 - g2)
+		}
+	}
+	for i, m := range o.masks[1] {
+		if m {
+			beta.DW[i] += dp * (1 - g) * g2
+		}
+	}
+	pgen.DW[0] += dp * (pv - ((1-g2)*ps + g2*pc))
+	cgate.DW[0] += dp * (1 - g) * (pc - ps)
 }
 
 func backAffineRow(x, w, b, out *Tensor) {

@@ -276,6 +276,43 @@ func (g *Graph) NLLPointerMix(pvocab, alpha, pgen *Tensor, copyMask []bool, voca
 	return loss
 }
 
+// NLLPointerMixCtx is the contextual twin of NLLPointerMix: the copy half of
+// the mixture is itself a mixture of copying from the source attention
+// (alpha over srcMask) and from the previous-turn program attention (beta
+// over ctxMask), weighted by the context gate pctx:
+//
+//	p = gate·pvocab[idx] + (1−gate)·((1−pctx)·Σ srcMask·alpha + pctx·Σ ctxMask·beta)
+//
+// The masks slice header pair is retained on the tape until Backward/Reset,
+// so callers must give each call distinct backings (the model slices them out
+// of one growing buffer per step, as with NLLPointerMix).
+func (g *Graph) NLLPointerMixCtx(pvocab, alpha, beta, pgen, pctx *Tensor, srcMask, ctxMask []bool, vocabIdx int) float64 {
+	gate, cg := pgen.W[0], pctx.W[0]
+	var pv, ps, pc float64
+	if vocabIdx >= 0 {
+		pv = pvocab.W[vocabIdx]
+	}
+	for i, m := range srcMask {
+		if m {
+			ps += alpha.W[i]
+		}
+	}
+	for i, m := range ctxMask {
+		if m {
+			pc += beta.W[i]
+		}
+	}
+	p := gate*pv + (1-gate)*((1-cg)*ps+cg*pc)
+	const eps = 1e-9
+	loss := -math.Log(p + eps)
+	g.push(tapeOp{
+		kind: opNLLPointerMixCtx, a: pvocab, b: alpha, c: pgen,
+		aux: beta, aux2: pctx, masks: [][]bool{srcMask, ctxMask},
+		idx: vocabIdx, fval: p,
+	})
+	return loss
+}
+
 func sameShape(a, b *Tensor) {
 	if a.Rows != b.Rows || a.Cols != b.Cols {
 		panic("nn: shape mismatch")

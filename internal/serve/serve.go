@@ -74,6 +74,32 @@ type CalibratedParser interface {
 	ConfidenceThreshold() (threshold float64, fitted bool)
 }
 
+// ContextParser is the contextual (multi-turn) decoding surface;
+// *model.Parser implements it. ctx is the previous turn's program token
+// sequence; both methods delegate to the single-turn decode — bit-identically
+// — when ctx is empty or the parser was trained without a context encoder,
+// so a batcher over a contextual parser serves single-turn traffic
+// unchanged.
+type ContextParser interface {
+	ParseContext(words, ctx []string) []string
+	ParseContextScored(words, ctx []string, width int) ([]string, float64)
+}
+
+// AdaptiveContextParser is the contextual form of the greedy-first
+// escalation policy; *model.Parser implements it.
+type AdaptiveContextParser interface {
+	ParseContextAdaptive(words, ctx []string, width int) (toks []string, score float64, escalated bool)
+}
+
+// BatchContextParser is the batched contextual decode; *model.Parser
+// implements it. Every row must carry a non-empty context (the model layer
+// panics otherwise), so the batcher partitions each gathered window into its
+// contextual and plain halves and decodes them as separate lockstep batches.
+type BatchContextParser interface {
+	ParseBatchContext(sentences, contexts [][]string) [][]string
+	ParseBatchContextScored(sentences, contexts [][]string) ([][]string, []float64)
+}
+
 // Options tune the serving layer.
 type Options struct {
 	// MaxBatch is the most requests gathered into one decode batch
@@ -136,10 +162,11 @@ type parseResult struct {
 }
 
 type request struct {
-	ctx    context.Context // caller's deadline budget; checked before decode
-	words  []string
-	scored bool // decode through ScoredParser and report the hypothesis score
-	reply  chan parseResult
+	ctx     context.Context // caller's deadline budget; checked before decode
+	words   []string
+	context []string // previous-turn program tokens (contextual decode)
+	scored  bool     // decode through ScoredParser and report the hypothesis score
+	reply   chan parseResult
 }
 
 // Batcher gathers incoming parse requests into micro-batches — up to
@@ -164,6 +191,9 @@ type Batcher struct {
 	ap     AdaptiveParser    // non-nil when parser supports adaptive decode
 	sbp    ScoredBatchParser // non-nil when parser supports scored batched decode
 	cp     CalibratedParser  // non-nil when parser exposes its calibration
+	ctxp   ContextParser     // non-nil when parser supports contextual decode
+	acp    AdaptiveContextParser
+	bcp    BatchContextParser
 
 	in   chan request
 	jobs chan []request
@@ -205,6 +235,9 @@ func NewBatcher(p Parser, opt Options) *Batcher {
 	b.ap, _ = p.(AdaptiveParser)
 	b.sbp, _ = p.(ScoredBatchParser)
 	b.cp, _ = p.(CalibratedParser)
+	b.ctxp, _ = p.(ContextParser)
+	b.acp, _ = p.(AdaptiveContextParser)
+	b.bcp, _ = p.(BatchContextParser)
 	b.wg.Add(1)
 	go b.gather()
 	for w := 0; w < opt.Workers; w++ {
@@ -317,17 +350,19 @@ func (b *Batcher) worker() {
 // it. A decode panic anywhere is recovered into a per-request
 // ErrDecodeFailed instead of killing the worker.
 func (b *Batcher) serveBatch(batch []request) {
-	// The expired/scored partition appends lag the iteration, so reusing the
-	// batch's backing array for the plain prefix is safe.
+	// The expired/scored/contextual partition appends lag the iteration, so
+	// reusing the batch's backing array for the plain prefix is safe.
 	plain := batch[:0]
-	var scored []request
+	var scored, ctxed []request
 	for _, r := range batch {
 		switch {
 		case r.ctx != nil && r.ctx.Err() != nil:
 			b.expired.Add(1)
 			b.reply(r, parseResult{err: r.ctx.Err()})
-		case r.scored && b.sp != nil:
+		case r.scored && (b.sp != nil || (len(r.context) > 0 && b.ctxp != nil)):
 			scored = append(scored, r)
+		case len(r.context) > 0 && b.ctxp != nil:
+			ctxed = append(ctxed, r)
 		default:
 			plain = append(plain, r)
 		}
@@ -357,9 +392,109 @@ func (b *Batcher) serveBatch(batch []request) {
 			b.reply(r, parseResult{toks: toks, err: err})
 		}
 	}
+	b.serveContextWindow(ctxed)
 	for _, r := range scored {
-		b.reply(r, b.safeScored(r.words))
+		b.reply(r, b.safeScored(r))
 	}
+}
+
+// serveContextWindow answers the contextual half of a gathered window. It
+// decodes as one lockstep contextual batch when the parser has the batched
+// surface and the policy allows it (greedy, or adaptive — there is no
+// batched contextual beam, so fixed beam widths decode per request), with
+// the same panic-isolation fallback as the plain window.
+func (b *Batcher) serveContextWindow(ctxed []request) {
+	if len(ctxed) == 0 {
+		return
+	}
+	if b.bcp != nil && len(ctxed) > 1 && (b.opt.Beam <= 1 || b.adaptiveOn()) {
+		sentences := make([][]string, len(ctxed))
+		contexts := make([][]string, len(ctxed))
+		for i, r := range ctxed {
+			sentences[i] = r.words
+			contexts[i] = r.context
+		}
+		outs, err := b.decodeContextWindow(sentences, contexts)
+		if err == nil {
+			for i, r := range ctxed {
+				b.reply(r, parseResult{toks: outs[i]})
+			}
+			return
+		}
+		// Batched contextual decode panicked: re-decode per request so only
+		// the poisoned request errors.
+	}
+	for _, r := range ctxed {
+		toks, err := b.safeDecodeContext(r.words, r.context)
+		b.reply(r, parseResult{toks: toks, err: err})
+	}
+}
+
+// decodeContextWindow is decodeWindow's contextual twin: greedy lockstep
+// batch, or — under the adaptive policy — a scored greedy batch with only
+// the low-confidence rows re-decoded through the contextual beam.
+func (b *Batcher) decodeContextWindow(sentences, contexts [][]string) (outs [][]string, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			outs, err = nil, fmt.Errorf("%w: batched context decode panicked: %v", ErrDecodeFailed, rec)
+		}
+	}()
+	if b.adaptiveOn() {
+		return b.decodeAdaptiveContextBatch(sentences, contexts), nil
+	}
+	return b.bcp.ParseBatchContext(sentences, contexts), nil
+}
+
+// decodeAdaptiveContextBatch mirrors decodeAdaptiveBatch for contextual
+// rows: the window decodes greedily in one scored contextual batch, then
+// requests below the fitted confidence threshold re-decode one by one
+// through the contextual beam (there is no batched contextual beam).
+func (b *Batcher) decodeAdaptiveContextBatch(sentences, contexts [][]string) [][]string {
+	outs, scores := b.bcp.ParseBatchContextScored(sentences, contexts)
+	b.adaptive.Add(int64(len(sentences)))
+	var thr float64
+	fitted := false
+	if b.cp != nil {
+		thr, fitted = b.cp.ConfidenceThreshold()
+	}
+	if !fitted {
+		return outs
+	}
+	for i, s := range scores {
+		if len(sentences[i]) > 0 && s < thr {
+			outs[i], _ = b.ctxp.ParseContextScored(sentences[i], contexts[i], b.opt.Beam)
+			b.escalated.Add(1)
+		}
+	}
+	return outs
+}
+
+// safeDecodeContext is the per-request contextual decode with panic
+// recovery.
+func (b *Batcher) safeDecodeContext(words, ctx []string) (toks []string, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			b.failed.Add(1)
+			toks, err = nil, fmt.Errorf("%w: context decode panicked: %v", ErrDecodeFailed, rec)
+		}
+	}()
+	return b.decodeContext(words, ctx), nil
+}
+
+func (b *Batcher) decodeContext(words, ctx []string) []string {
+	if b.adaptiveOn() && b.acp != nil {
+		toks, _, escalated := b.acp.ParseContextAdaptive(words, ctx, b.opt.Beam)
+		b.adaptive.Add(1)
+		if escalated {
+			b.escalated.Add(1)
+		}
+		return toks
+	}
+	if b.opt.Beam > 1 {
+		toks, _ := b.ctxp.ParseContextScored(words, ctx, b.opt.Beam)
+		return toks
+	}
+	return b.ctxp.ParseContext(words, ctx)
 }
 
 // decodeWindow decodes one gathered window through the batched surface,
@@ -392,15 +527,20 @@ func (b *Batcher) safeDecode(words []string) (toks []string, err error) {
 	return b.decode(words), nil
 }
 
-// safeScored is the per-request scored decode with panic recovery.
-func (b *Batcher) safeScored(words []string) (res parseResult) {
+// safeScored is the per-request scored decode with panic recovery;
+// contextual requests score through the contextual surface.
+func (b *Batcher) safeScored(r request) (res parseResult) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			b.failed.Add(1)
 			res = parseResult{err: fmt.Errorf("%w: decode panicked: %v", ErrDecodeFailed, rec)}
 		}
 	}()
-	toks, score := b.sp.ParseScored(words, max(1, b.opt.Beam))
+	if len(r.context) > 0 && b.ctxp != nil {
+		toks, score := b.ctxp.ParseContextScored(r.words, r.context, max(1, b.opt.Beam))
+		return parseResult{toks: toks, score: score}
+	}
+	toks, score := b.sp.ParseScored(r.words, max(1, b.opt.Beam))
 	return parseResult{toks: toks, score: score}
 }
 
@@ -505,12 +645,38 @@ func (b *Batcher) ParseCtx(ctx context.Context, words []string) ([]string, error
 	return res.toks, err
 }
 
+// ParseContextCtx is ParseCtx conditioned on the previous turn's program
+// tokens (multi-turn dialogue). With an empty prior — or a parser without
+// the ContextParser surface — it is exactly ParseCtx, so callers can thread
+// session context unconditionally.
+func (b *Batcher) ParseContextCtx(ctx context.Context, words, prior []string) ([]string, error) {
+	res, err := b.do(ctx, request{words: words, context: prior, reply: make(chan parseResult, 1)})
+	return res.toks, err
+}
+
 // ParseScoredCtx is ParseCtx plus the decoded hypothesis's
 // length-normalized score (see model.Parser.ParseScored); it requires a
 // parser with the ScoredParser surface, else the score is 0.
 func (b *Batcher) ParseScoredCtx(ctx context.Context, words []string) ([]string, float64, error) {
 	res, err := b.do(ctx, request{words: words, scored: true, reply: make(chan parseResult, 1)})
 	return res.toks, res.score, err
+}
+
+// ParseContextScoredCtx is ParseScoredCtx conditioned on the previous
+// turn's program tokens.
+func (b *Batcher) ParseContextScoredCtx(ctx context.Context, words, prior []string) ([]string, float64, error) {
+	res, err := b.do(ctx, request{words: words, context: prior, scored: true, reply: make(chan parseResult, 1)})
+	return res.toks, res.score, err
+}
+
+// Contextual reports whether the underlying parser decodes with dialogue
+// context (the fleet's session flow is a no-op otherwise).
+func (b *Batcher) Contextual() bool {
+	type contextual interface{ Contextual() bool }
+	if c, ok := b.parser.(contextual); ok {
+		return c.Contextual()
+	}
+	return false
 }
 
 func (b *Batcher) do(ctx context.Context, r request) (parseResult, error) {

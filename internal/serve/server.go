@@ -19,6 +19,12 @@ type ParseRequest struct {
 	Skill    string   `json:"skill,omitempty"`
 	Sentence string   `json:"sentence,omitempty"`
 	Words    []string `json:"words,omitempty"`
+	// Context is the previous turn's accepted program tokens, conditioning a
+	// contextual parser's decode (multi-turn dialogue). Callers that track
+	// their own dialogue state send it explicitly; callers that instead send
+	// an X-Genie-Session header get it filled in server-side from the fleet's
+	// session store. Non-contextual parsers ignore it.
+	Context []string `json:"context,omitempty"`
 }
 
 // ParseResponse is the JSON reply: the decoded ThingTalk program as a token
@@ -82,6 +88,13 @@ type SkillMetrics struct {
 	EscalationRate float64 `json:"escalation_rate"`
 	P50MS          float64 `json:"p50_ms"`
 	P99MS          float64 `json:"p99_ms"`
+	// Session-store counters (contextual skills with an X-Genie-Session
+	// flow): live sessions, context lookups that hit or missed, and sessions
+	// evicted by the store's LRU bound.
+	Sessions         int64 `json:"sessions,omitempty"`
+	SessionHits      int64 `json:"session_hits,omitempty"`
+	SessionMisses    int64 `json:"session_misses,omitempty"`
+	SessionEvictions int64 `json:"session_evictions,omitempty"`
 }
 
 // DurabilityMetrics are the snapshot-store and training-cache recovery
@@ -179,6 +192,13 @@ func (r *ParseRequest) RequestWords() []string {
 // and retries.
 const DeadlineHeader = "X-Genie-Deadline-Ms"
 
+// SessionHeader names a multi-turn dialogue session. A fleet server keys its
+// per-skill session store by it — looking up the previous turn's accepted
+// program as decoding context and recording each accepted parse back — and
+// the gateway routes requests carrying it sticky to a consistent replica so
+// follow-ups land where the session state lives.
+const SessionHeader = "X-Genie-Session"
+
 // DeadlineContext applies an inbound request's propagated deadline budget:
 // the returned context carries min(connection lifetime, header budget).
 // With no (or an unparsable) header it is just the request context.
@@ -245,7 +265,7 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := DeadlineContext(r)
 	defer cancel()
 	start := time.Now()
-	toks, err := s.b.ParseCtx(ctx, words)
+	toks, err := s.b.ParseContextCtx(ctx, words, req.Context)
 	if err != nil {
 		WriteParseError(w, r, err)
 		return
